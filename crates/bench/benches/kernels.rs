@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks for the dense and transport kernels — the
+//! performance baselines behind tab2/tab3 and the machine-model
+//! calibration in fig7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omen_lattice::{Crystal, Device};
+use omen_linalg::{eigh, lu::Lu, matmul, ZMat};
+use omen_num::{c64, A_SI};
+use omen_tb::{DeviceHamiltonian, Material, TbParams};
+
+fn randmat(n: usize, seed: u64) -> ZMat {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+    let mut next = move || {
+        s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    ZMat::from_fn(n, n, |_, _| c64::new(next(), next()))
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zgemm");
+    for &n in &[32usize, 64, 128] {
+        let a = randmat(n, 1);
+        let b = randmat(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zgetrf+inverse");
+    for &n in &[32usize, 64, 128] {
+        let mut a = randmat(n, 3);
+        for i in 0..n {
+            a[(i, i)] += c64::real(n as f64);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| Lu::factor(&a).unwrap().inverse())
+        });
+    }
+    g.finish();
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zheev");
+    g.sample_size(10);
+    for &n in &[32usize, 64] {
+        let a = randmat(n, 4).hermitian_part();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| bch.iter(|| eigh(&a)));
+    }
+    g.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let p = TbParams::of(Material::SingleBand { t_mev: 1000 });
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 8, 1.2, 1.2);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let pot = vec![0.0; dev.num_atoms()];
+    let h = ham.assemble(&pot, 0.0);
+    let (h00, h01) = ham.lead_blocks(0.0, 0.0);
+    let e = -3.2;
+
+    let mut g = c.benchmark_group("transport_point");
+    g.sample_size(10);
+    g.bench_function("rgf", |b| {
+        b.iter(|| omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)))
+    });
+    g.bench_function("wf_thomas", |b| {
+        b.iter(|| {
+            omen_wf::wf_transport_at_energy(
+                e,
+                &h,
+                (&h00, &h01),
+                (&h00, &h01),
+                omen_wf::SolverKind::Thomas,
+            )
+        })
+    });
+    g.bench_function("wf_bcr", |b| {
+        b.iter(|| {
+            omen_wf::wf_transport_at_energy(
+                e,
+                &h,
+                (&h00, &h01),
+                (&h00, &h01),
+                omen_wf::SolverKind::Bcr,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_sancho(c: &mut Criterion) {
+    let p = TbParams::of(Material::SiSp3s);
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 2, 0.8, 0.8);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let (h00, h01) = ham.lead_blocks(0.0, 0.0);
+    let mut g = c.benchmark_group("sancho_rubio");
+    g.sample_size(10);
+    g.bench_function("sp3s_0.8nm", |b| {
+        b.iter(|| {
+            omen_negf::sancho::ContactSelfEnergy::compute(
+                1.8,
+                2e-6,
+                &h00,
+                &h01,
+                omen_negf::sancho::Side::Left,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_lu, bench_eigh, bench_transport, bench_sancho);
+criterion_main!(benches);

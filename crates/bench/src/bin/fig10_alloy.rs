@@ -1,0 +1,105 @@
+//! fig10_alloy — random-alloy disorder vs the virtual crystal (extension).
+//!
+//! The experiment class behind the authors' SiGe nanowire studies: in the
+//! virtual crystal approximation (VCA) a Si₁₋ₓGeₓ wire stays ballistic with
+//! integer conductance steps, while a random site-by-site species
+//! assignment scatters carriers — ⟨T⟩ drops below the VCA staircase, more
+//! so for longer channels and stronger composition disorder (x → 0.5).
+//!
+//! Expected shape: T_pure(E) ≥ T_VCA-like(E) ≥ ⟨T_alloy(E)⟩, with the
+//! deficit growing with x(1−x) and channel length — the atomistic effect a
+//! VCA simulator cannot capture at all.
+
+use omen_bench::print_table;
+use omen_lattice::{Crystal, Device};
+use omen_num::linspace;
+use omen_tb::{virtual_crystal, AlloyModel, DeviceHamiltonian, Material, TbParams};
+
+fn mean_transmission(
+    ham: &DeviceHamiltonian<'_>,
+    lead: (&omen_linalg::ZMat, &omen_linalg::ZMat),
+    energies: &[f64],
+) -> f64 {
+    let pot = vec![0.0; ham.device().num_atoms()];
+    let h = ham.assemble(&pot, 0.0);
+    energies
+        .iter()
+        .map(|&e| {
+            omen_wf::wf_transport_at_energy(e, &h, lead, lead, omen_wf::SolverKind::Thomas)
+                .transmission
+        })
+        .sum::<f64>()
+        / energies.len() as f64
+}
+
+fn main() {
+    let si = TbParams::of(Material::SiSp3s);
+    let ge = TbParams::of(Material::GeSp3s);
+    // Geometry on the Si lattice (leads are pure Si; the VCA lattice
+    // mismatch enters through Harrison scaling on mixed bonds).
+    let dev = Device::nanowire(Crystal::Zincblende { a: si.a }, 10, 0.9, 0.9);
+    println!(
+        "device: {} atoms, {} slabs ({} interior alloy slabs), Si leads",
+        dev.num_atoms(),
+        dev.num_slabs,
+        dev.num_slabs - 2
+    );
+
+    // Energy window just above the Si wire conduction edge.
+    let energies = linspace(1.85, 2.25, 9);
+
+    // Pure Si reference.
+    let ham_si = DeviceHamiltonian::new(&dev, si, false);
+    let lead = ham_si.lead_blocks(0.0, 0.0);
+    let t_pure = mean_transmission(&ham_si, (&lead.0, &lead.1), &energies);
+    println!("pure Si wire: ⟨T⟩ = {t_pure:.4} over the window");
+
+    let mut rows = Vec::new();
+    for &x in &[0.15, 0.3, 0.5] {
+        // VCA channel (still perfectly periodic → ballistic).
+        let vca = virtual_crystal(&si, &ge, x);
+        let mut is_vca = vec![false; dev.num_atoms()];
+        let last = dev.num_slabs - 1;
+        for (i, a) in dev.atoms.iter().enumerate() {
+            is_vca[i] = a.slab != 0 && a.slab != last;
+        }
+        let ham_vca = DeviceHamiltonian::new_alloy(
+            &dev,
+            AlloyModel { params_a: si, params_b: vca, is_b: is_vca },
+            false,
+        );
+        let t_vca = mean_transmission(&ham_vca, (&lead.0, &lead.1), &energies);
+
+        // Random alloy: average over seeds.
+        let seeds = [11u64, 23, 47, 71];
+        let mut t_alloy = 0.0;
+        for &seed in &seeds {
+            let m = AlloyModel::random_channel(&dev, si, ge, x, seed);
+            let ham = DeviceHamiltonian::new_alloy(&dev, m, false);
+            t_alloy += mean_transmission(&ham, (&lead.0, &lead.1), &energies);
+        }
+        t_alloy /= seeds.len() as f64;
+
+        rows.push(vec![
+            format!("{x:.2}"),
+            format!("{t_vca:.4}"),
+            format!("{t_alloy:.4}"),
+            format!("{:.3}", t_alloy / t_vca),
+        ]);
+        assert!(
+            t_alloy < t_vca + 0.02,
+            "random disorder must not beat the ordered channel: {t_alloy} vs {t_vca}"
+        );
+    }
+    print_table(
+        "fig10: Si₁₋ₓGeₓ nanowire, disorder vs virtual crystal (⟨T⟩ over window)",
+        &["x (Ge)", "VCA-channel", "random alloy (4 seeds)", "ratio"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the random alloy transmits less than the ordered \
+         (VCA-like) channel, with the deficit growing with composition \
+         disorder — the atomistic-disorder effect motivating the real-space \
+         basis."
+    );
+}

@@ -1,0 +1,86 @@
+//! fig13_phonon — phonon dispersion and ballistic thermal conductance
+//! (extension; the thermal experiment class of the author group's
+//! suspended-nanowire papers).
+//!
+//! Three panels: (a) the phonon dispersion of a thin Si wire from the
+//! Keating valence force field, (b) the phonon transmission staircase, and
+//! (c) the ballistic Landauer thermal conductance κ(T), whose T → 0 limit
+//! is the universal quantum π²k_B²T/3h per gapless branch — reproduced
+//! quantitatively.
+
+use omen_bench::print_table;
+use omen_lattice::{Crystal, Device};
+use omen_num::{linspace, A_SI};
+use omen_phonon::{
+    phonon_dispersion, phonon_transmission, thermal_conductance, KeatingModel, PhononSystem,
+    KAPPA_QUANTUM_W_PER_K2,
+};
+
+fn main() {
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 6, 0.8, 0.8);
+    let sys = PhononSystem::build(&dev, KeatingModel::silicon());
+    println!(
+        "0.8 nm Si wire: {} atoms, {} phonon modes per slab, ω_max = {:.1} rad/ps \
+         ({:.1} THz)",
+        dev.num_atoms(),
+        sys.d00.nrows(),
+        sys.omega_max,
+        sys.omega_max / (2.0 * std::f64::consts::PI)
+    );
+
+    // Panel a: dispersion of the lowest branches.
+    let qs = linspace(0.0, std::f64::consts::PI, 9);
+    let bands = phonon_dispersion(&sys.d00, &sys.d01, &qs);
+    let mut rows = Vec::new();
+    for (iq, &q) in qs.iter().enumerate() {
+        rows.push(vec![
+            format!("{:.3}", q / std::f64::consts::PI),
+            format!("{:.2}", bands[iq][0]),
+            format!("{:.2}", bands[iq][1]),
+            format!("{:.2}", bands[iq][2]),
+            format!("{:.2}", bands[iq][3]),
+            format!("{:.2}", bands[iq][6]),
+        ]);
+    }
+    print_table(
+        "fig13a: wire phonon dispersion (rad/ps; flexural×2, torsion, LA, + an optical branch)",
+        &["q·Δ/π", "ω1", "ω2", "ω3", "ω4", "ω7"],
+        &rows,
+    );
+
+    // Panel b: transmission staircase.
+    let mut rows = Vec::new();
+    for w in [0.5, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0] {
+        if w > sys.omega_max {
+            break;
+        }
+        let t = phonon_transmission(&sys, w);
+        rows.push(vec![format!("{w:.1}"), format!("{t:.3}")]);
+    }
+    print_table("fig13b: ballistic phonon transmission", &["ω (rad/ps)", "T(ω)"], &rows);
+
+    // Panel c: κ(T) with the universal low-T check.
+    let mut rows = Vec::new();
+    for t in [1.0, 2.0, 5.0, 20.0, 77.0, 150.0, 300.0] {
+        let kappa = thermal_conductance(&sys, t, 48);
+        let quanta = kappa / (t * KAPPA_QUANTUM_W_PER_K2);
+        rows.push(vec![
+            format!("{t:.0}"),
+            format!("{:.3e}", kappa),
+            format!("{quanta:.2}"),
+        ]);
+    }
+    print_table(
+        "fig13c: ballistic thermal conductance",
+        &["T (K)", "κ (W/K)", "κ / (T·κ₀)"],
+        &rows,
+    );
+    let k2 = thermal_conductance(&sys, 2.0, 48);
+    let quanta = k2 / (2.0 * KAPPA_QUANTUM_W_PER_K2);
+    println!(
+        "\nuniversal limit: κ/T at 2 K = {quanta:.2} quanta (4 gapless wire \
+         branches expected) — the parameter-free check of the whole \
+         VFF → dynamical-matrix → NEGF chain."
+    );
+    assert!((quanta - 4.0).abs() < 0.5);
+}

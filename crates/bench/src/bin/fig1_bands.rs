@@ -1,0 +1,55 @@
+//! fig1_bands — bulk bandstructure validation (model-validity figure).
+//!
+//! Regenerates the series of the bulk-band validation plot: energies of the
+//! lowest 6 bands along L–Γ–X for Si (sp3s* and sp3d5s*) and GaAs (sp3s*),
+//! plus the extracted gap table the figure caption reports.
+
+use omen_bench::print_table;
+use omen_lattice::Vec3;
+use omen_tb::bulk::{band_gap, bulk_bands, path_l_gamma_x};
+use omen_tb::{Material, TbParams};
+
+fn main() {
+    let materials = [Material::SiSp3s, Material::SiSp3d5s, Material::GaAsSp3s, Material::InAsSp3s];
+
+    let mut gap_rows = Vec::new();
+    for m in materials {
+        let p = TbParams::of(m);
+        let path = path_l_gamma_x(p.a, 40);
+        let bands: Vec<Vec<f64>> = path.iter().map(|&k| bulk_bands(&p, k, false)).collect();
+        let (vbm, cbm, gap) = band_gap(&bands, 4);
+        let cb_gamma = bands[40][4]; // Γ is waypoint index 40 (end of L–Γ)
+        let direct = (cb_gamma - cbm).abs() < 1e-6;
+        gap_rows.push(vec![
+            p.name.to_string(),
+            format!("{vbm:+.3}"),
+            format!("{cbm:+.3}"),
+            format!("{gap:.3}"),
+            if direct { "direct (Γ)" } else { "indirect" }.to_string(),
+        ]);
+    }
+    print_table(
+        "fig1: bulk band edges (eV)",
+        &["material", "VBM", "CBM", "gap", "type"],
+        &gap_rows,
+    );
+
+    // Band series along the path for the figure itself (Si sp3s*).
+    let p = TbParams::of(Material::SiSp3s);
+    let path = path_l_gamma_x(p.a, 20);
+    println!("\nfig1 series: Si sp3s* bands along L–Γ–X (first 6 bands, eV)");
+    println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "k#", "E1", "E2", "E3", "E4", "E5", "E6");
+    for (i, &k) in path.iter().enumerate() {
+        let b = bulk_bands(&p, k, false);
+        println!(
+            "{i:>5} {:8.3} {:8.3} {:8.3} {:8.3} {:8.3} {:8.3}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        );
+    }
+
+    // Spin-orbit check at Γ for GaAs.
+    let pg = TbParams::of(Material::GaAsSp3s);
+    let g = bulk_bands(&pg, Vec3::ZERO, true);
+    println!("\nGaAs Γ with spin-orbit: split-off at {:+.3} eV, VBM at {:+.3} eV (Δso = {:.3} eV)",
+        g[2], g[4], g[4] - g[2]);
+}

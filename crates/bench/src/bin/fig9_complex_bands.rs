@@ -1,0 +1,78 @@
+//! fig9_complex_bands — evanescent states and tunneling decay (extension).
+//!
+//! The wave-function formalism's boundary treatment and every tunneling
+//! figure of merit rest on the lead's *complex* band structure: at each
+//! energy the Bloch factors `λ = e^{ikΔ}` split into propagating
+//! (`|λ| = 1`) and evanescent branches, and the smallest decay constant
+//! `κ(E) = −ln|λ|/Δ` inside the gap bounds through-barrier leakage.
+//!
+//! Two panels: (a) the 7-AGNR κ(E) profile across its gap — the quantity
+//! that set the TFET leakage floor in fig4 — and (b) the exact analytic
+//! check on the 1-D chain.
+
+use omen_bench::print_table;
+use omen_num::linspace;
+use omen_tb::cband::{min_decay_constant, propagating_count};
+use omen_tb::{DeviceHamiltonian, Material, TbParams};
+
+fn main() {
+    // --- Panel a: 7-AGNR gap profile ------------------------------------
+    let dev = omen_lattice::Device::ribbon_agnr(0.142, 2, 7);
+    let p = TbParams::of(Material::GraphenePz);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let (h00, h01) = ham.lead_blocks(0.0, 0.0);
+    let delta = dev.slab_width;
+    println!("7-AGNR: slab Δ = {delta:.3} nm, {} orbitals per slab", h00.nrows());
+
+    let mut rows = Vec::new();
+    let mut kappa_mid: f64 = 0.0;
+    let mut kappa_near_edge = f64::INFINITY;
+    for e in linspace(-0.8, 0.8, 17) {
+        let n_prop = propagating_count(e, &h00, &h01, 1e-4);
+        let kappa = min_decay_constant(e, &h00, &h01, 1e-4).map(|k| k / delta);
+        if e.abs() < 0.05 {
+            kappa_mid = kappa.unwrap_or(0.0);
+        }
+        if e.abs() > 0.55 && e.abs() < 0.65 {
+            if let Some(k) = kappa {
+                kappa_near_edge = kappa_near_edge.min(k);
+            }
+        }
+        rows.push(vec![
+            format!("{e:+.2}"),
+            format!("{n_prop}"),
+            match kappa {
+                Some(k) => format!("{k:.3}"),
+                None => "—".into(),
+            },
+        ]);
+    }
+    print_table(
+        "fig9a: 7-AGNR complex bands (κ in 1/nm, gap = ±0.63 eV)",
+        &["E (eV)", "propagating", "min κ (nm⁻¹)"],
+        &rows,
+    );
+    println!(
+        "\nmid-gap decay κ = {kappa_mid:.3} nm⁻¹ ⇒ a 3 nm channel suppresses \
+         direct tunneling by e^(−2κL) ≈ {:.1e} — the fig4 leakage floor.",
+        (-2.0 * kappa_mid * 3.0).exp()
+    );
+    assert!(kappa_mid > kappa_near_edge, "κ must peak mid-gap");
+
+    // --- Panel b: analytic chain check ----------------------------------
+    use omen_linalg::ZMat;
+    use omen_num::c64;
+    let h00c = ZMat::from_diag(&[c64::ZERO]);
+    let h01c = ZMat::from_diag(&[c64::real(-1.0)]);
+    let mut rows = Vec::new();
+    let mut worst = 0.0f64;
+    for e in [2.2f64, 2.6, 3.0, 3.4] {
+        let exact = (e / 2.0).acosh();
+        let got = min_decay_constant(e, &h00c, &h01c, 1e-6).unwrap();
+        worst = worst.max((got - exact).abs());
+        rows.push(vec![format!("{e:.1}"), format!("{got:.6}"), format!("{exact:.6}")]);
+    }
+    print_table("fig9b: chain evanescent κΔ vs acosh(E/2t)", &["E", "computed", "exact"], &rows);
+    println!("max deviation: {worst:.2e} ✓");
+    assert!(worst < 1e-9);
+}

@@ -1,0 +1,56 @@
+//! tab3_timetosol — time-to-solution per bias point, engine comparison.
+//!
+//! Wall-clock time of one complete ballistic bias-point solve (energy
+//! sweep + current + charge) with the RGF and wave-function engines on the
+//! same device and identical energy grids, for growing cross-sections.
+//!
+//! Expected shape: WF wins everywhere, with the advantage growing with the
+//! block size — the justification for the paper's wave-function production
+//! mode.
+
+use omen_bench::{print_table, timed};
+use omen_core::ballistic::{ballistic_solve, Engine};
+use omen_core::{Bias, TransistorSpec};
+use omen_tb::Material;
+
+fn main() {
+    let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -3.3 };
+    let mut rows = Vec::new();
+    for &w in &[0.8f64, 1.2, 1.6, 2.0] {
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, w, 8);
+        spec.doping_sd = 0.0;
+        let tr = spec.build();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let block = tr.hamiltonian().dim() / tr.device.num_slabs;
+
+        let (r_rgf, t_rgf) = timed(|| ballistic_solve(&tr, &v, &bias, Engine::Rgf, 31, 0.0));
+        let (r_wf, t_wf) = timed(|| ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 31, 0.0));
+        let (_, t_bcr) = timed(|| ballistic_solve(&tr, &v, &bias, Engine::WfBcr, 31, 0.0));
+        assert!(
+            (r_rgf.current_ua - r_wf.current_ua).abs()
+                < 1e-3 * r_rgf.current_ua.abs().max(1e-9),
+            "engines must agree: {} vs {}",
+            r_rgf.current_ua,
+            r_wf.current_ua
+        );
+        rows.push(vec![
+            format!("{w:.1}×{w:.1}"),
+            format!("{block}"),
+            format!("{t_rgf:.3}"),
+            format!("{t_wf:.3}"),
+            format!("{t_bcr:.3}"),
+            format!("{:.2}", t_rgf / t_wf),
+        ]);
+    }
+    print_table(
+        "tab3: wall-clock per ballistic bias point (31 energies)",
+        &["cross (nm)", "block n", "RGF (s)", "WF-Thomas (s)", "WF-BCR (s)", "RGF/WF"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: RGF/WF > 1 and growing with block size; BCR carries \
+         its ~2× arithmetic premium over Thomas sequentially (it buys \
+         parallelism, not serial speed)."
+    );
+}

@@ -1,0 +1,477 @@
+//! Per-bias ballistic transport: energy sweep, current and quantum charge.
+
+use crate::energy::{transport_window, EnergyWindow};
+use crate::spec::{Bias, NanoTransistor};
+use omen_negf::transport::EnergyPointData;
+use omen_num::{fermi, trapezoid, I0_UA_PER_EV};
+use omen_sparse::BlockTridiag;
+
+/// Which transport engine evaluates each energy point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Recursive Green's functions (the reference).
+    Rgf,
+    /// Wave-function with sequential block-Thomas.
+    WfThomas,
+    /// Wave-function with sequential block cyclic reduction.
+    WfBcr,
+}
+
+/// Output of one ballistic bias-point solve.
+#[derive(Debug, Clone)]
+pub struct BallisticResult {
+    /// Sampled energies (eV).
+    pub energies: Vec<f64>,
+    /// Transmission at each energy.
+    pub transmission: Vec<f64>,
+    /// Drain current (µA, spin degeneracy included).
+    pub current_ua: f64,
+    /// Electron density per atom (e).
+    pub electron_density: Vec<f64>,
+    /// Hole density per atom (e).
+    pub hole_density: Vec<f64>,
+}
+
+impl BallisticResult {
+    /// Net mobile charge per atom `p − n` (e).
+    pub fn net_mobile_charge(&self) -> Vec<f64> {
+        self.hole_density
+            .iter()
+            .zip(&self.electron_density)
+            .map(|(p, n)| p - n)
+            .collect()
+    }
+}
+
+/// Solves one (bias, k-point) transport problem on a prepared Hamiltonian.
+///
+/// `v_atoms` is the electrostatic potential per atom (V); leads are pinned
+/// to the mean potential of the terminal slabs. The energy window is
+/// derived from the lead subbands around the contact Fermi levels
+/// (electron side above the device midgap, hole side below).
+pub fn ballistic_solve(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_energy: usize,
+    ky: f64,
+) -> BallisticResult {
+    assert_eq!(v_atoms.len(), tr.device.num_atoms());
+    let ham = tr.hamiltonian();
+    // Electron potential energy is −qV.
+    let pot: Vec<f64> = v_atoms.iter().map(|&v| -v).collect();
+    let h = ham.assemble(&pot, ky);
+    let v_src = tr.slab_mean_potential(v_atoms, 0);
+    let v_drn = tr.slab_mean_potential(v_atoms, tr.device.num_slabs - 1);
+    let (h00_l, h01_l) = ham.lead_blocks(-v_src, ky);
+    let (h00_r, h01_r) = ham.lead_blocks(-v_drn, ky);
+
+    let mus = [bias.mu_source, bias.mu_drain()];
+    // Focus windows around the (potential-shifted) band structure: electron
+    // window above local midgap, hole window below; take a generous range.
+    let mid_lo = tr.e_midgap - v_atoms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mid_hi = tr.e_midgap - v_atoms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = 30.0 * tr.kt;
+    let window = transport_window(
+        &[(&h00_l, &h01_l), (&h00_r, &h01_r)],
+        &mus,
+        tr.kt,
+        12.0,
+        (mid_lo.min(mus[0].min(mus[1]) - span), mid_hi.max(mus[0].max(mus[1]) + span)),
+    );
+    let energies = window.grid(n_energy);
+
+    let mut points = Vec::with_capacity(energies.len());
+    for &e in &energies {
+        points.push(solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine));
+    }
+    integrate(tr, bias, v_atoms, &energies, points, &window)
+}
+
+/// Adaptive-grid ballistic solve: starts from `n_init` uniform energy
+/// points and inserts midpoints where the current integrand
+/// `T(E)·(f_L − f_R)` deviates from local linearity by more than `tol`
+/// (relative to its maximum), until no interval is flagged or `max_points`
+/// is reached. Resonances and subband onsets get resolved without paying
+/// for a uniformly fine grid — the production energy-grid strategy of
+/// adaptive quantum-transport codes.
+pub fn ballistic_solve_adaptive(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_init: usize,
+    max_points: usize,
+    tol: f64,
+    ky: f64,
+) -> BallisticResult {
+    assert!(n_init >= 5 && max_points >= n_init);
+    let ham = tr.hamiltonian();
+    let pot: Vec<f64> = v_atoms.iter().map(|&v| -v).collect();
+    let h = ham.assemble(&pot, ky);
+    let v_src = tr.slab_mean_potential(v_atoms, 0);
+    let v_drn = tr.slab_mean_potential(v_atoms, tr.device.num_slabs - 1);
+    let (h00_l, h01_l) = ham.lead_blocks(-v_src, ky);
+    let (h00_r, h01_r) = ham.lead_blocks(-v_drn, ky);
+    let mus = [bias.mu_source, bias.mu_drain()];
+    let mid_lo = tr.e_midgap - v_atoms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mid_hi = tr.e_midgap - v_atoms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = 30.0 * tr.kt;
+    let window = transport_window(
+        &[(&h00_l, &h01_l), (&h00_r, &h01_r)],
+        &mus,
+        tr.kt,
+        12.0,
+        (mid_lo.min(mus[0].min(mus[1]) - span), mid_hi.max(mus[0].max(mus[1]) + span)),
+    );
+
+    let mut grid = omen_num::grid::AdaptiveGrid::from_points(window.grid(n_init));
+    let mut points: Vec<EnergyPointData> = grid
+        .points()
+        .iter()
+        .map(|&e| solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine))
+        .collect();
+    let (mu_s, mu_d) = (bias.mu_source, bias.mu_drain());
+    for _round in 0..8 {
+        if grid.len() >= max_points {
+            break;
+        }
+        let f: Vec<f64> = grid
+            .points()
+            .iter()
+            .zip(&points)
+            .map(|(&e, p)| p.transmission * (fermi(e, mu_s, tr.kt) - fermi(e, mu_d, tr.kt)))
+            .collect();
+        let inserted = grid.refine(&f, tol);
+        if inserted.is_empty() {
+            break;
+        }
+        // Solve the fresh points and splice them in (indices are into the
+        // refined grid, ascending).
+        for &idx in &inserted {
+            let e = grid.points()[idx];
+            points.insert(idx, solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine));
+        }
+        if grid.len() > max_points {
+            break;
+        }
+    }
+    let energies = grid.points().to_vec();
+    integrate(tr, bias, v_atoms, &energies, points, &window)
+}
+
+/// Transverse momentum samples `(k_y, weight)` for a periodic device:
+/// a midpoint grid over half the transverse Brillouin zone (time-reversal
+/// pairs carry identical transmission, so the half-zone average equals the
+/// full-zone average). Non-periodic devices get the single Γ point.
+pub fn momentum_grid(tr: &NanoTransistor, n_k: usize) -> Vec<(f64, f64)> {
+    assert!(n_k >= 1);
+    match tr.device.kind {
+        omen_lattice::DeviceKind::Utb { period_y } => {
+            let kmax = std::f64::consts::PI / period_y;
+            (0..n_k)
+                .map(|j| ((j as f64 + 0.5) * kmax / n_k as f64, 1.0 / n_k as f64))
+                .collect()
+        }
+        _ => vec![(0.0, 1.0)],
+    }
+}
+
+/// Momentum-integrated ballistic solve: averages current and carrier
+/// densities over [`momentum_grid`] — the physical content of the paper's
+/// *momentum* parallel level. For non-periodic devices this reduces to a
+/// single [`ballistic_solve`] call.
+pub fn ballistic_solve_k(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_energy: usize,
+    n_k: usize,
+) -> BallisticResult {
+    let grid = momentum_grid(tr, n_k);
+    let mut acc: Option<BallisticResult> = None;
+    for &(ky, w) in &grid {
+        let r = ballistic_solve(tr, v_atoms, bias, engine, n_energy, ky);
+        match &mut acc {
+            None => {
+                let mut r0 = r;
+                r0.current_ua *= w;
+                for v in r0.electron_density.iter_mut().chain(r0.hole_density.iter_mut()) {
+                    *v *= w;
+                }
+                for t in r0.transmission.iter_mut() {
+                    *t *= w;
+                }
+                acc = Some(r0);
+            }
+            Some(a) => {
+                a.current_ua += w * r.current_ua;
+                for (x, y) in a.electron_density.iter_mut().zip(&r.electron_density) {
+                    *x += w * y;
+                }
+                for (x, y) in a.hole_density.iter_mut().zip(&r.hole_density) {
+                    *x += w * y;
+                }
+                // Energy grids can differ slightly per k (window follows the
+                // k-resolved subbands); keep the first grid's transmission as
+                // the representative trace and only accumulate when the grids
+                // coincide.
+                if a.energies.len() == r.energies.len() {
+                    for (t, u) in a.transmission.iter_mut().zip(&r.transmission) {
+                        *t += w * u;
+                    }
+                }
+            }
+        }
+    }
+    acc.expect("momentum grid is never empty")
+}
+
+/// Evaluates one energy point with the chosen engine.
+pub fn solve_point(
+    e: f64,
+    h: &BlockTridiag,
+    lead_l: (&omen_linalg::ZMat, &omen_linalg::ZMat),
+    lead_r: (&omen_linalg::ZMat, &omen_linalg::ZMat),
+    engine: Engine,
+) -> EnergyPointData {
+    match engine {
+        Engine::Rgf => omen_negf::transport_at_energy(e, h, lead_l, lead_r),
+        Engine::WfThomas => {
+            omen_wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen_wf::SolverKind::Thomas)
+        }
+        Engine::WfBcr => {
+            omen_wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen_wf::SolverKind::Bcr)
+        }
+    }
+}
+
+/// Integrates current and charge from solved energy points.
+pub fn integrate(
+    tr: &NanoTransistor,
+    bias: &Bias,
+    v_atoms: &[f64],
+    energies: &[f64],
+    points: Vec<EnergyPointData>,
+    _window: &EnergyWindow,
+) -> BallisticResult {
+    let spin = tr.spin_degeneracy();
+    let kt = tr.kt;
+    let (mu_s, mu_d) = (bias.mu_source, bias.mu_drain());
+    let two_pi = 2.0 * std::f64::consts::PI;
+
+    let transmission: Vec<f64> = points.iter().map(|p| p.transmission).collect();
+    // Landauer current.
+    let integrand: Vec<f64> = energies
+        .iter()
+        .zip(&transmission)
+        .map(|(&e, &t)| t * (fermi(e, mu_s, kt) - fermi(e, mu_d, kt)))
+        .collect();
+    let current_ua = spin / 2.0 * I0_UA_PER_EV * trapezoid(energies, &integrand);
+
+    // Charge: per-orbital spectral densities classified electron/hole by
+    // the local (potential-shifted) midgap.
+    let ham = tr.hamiltonian();
+    let per_atom = ham.orbitals_per_atom();
+    let n_atoms = tr.device.num_atoms();
+    let ne = energies.len();
+    let mut electron_density = vec![0.0; n_atoms];
+    let mut hole_density = vec![0.0; n_atoms];
+    // Trapezoid weights.
+    let mut wts = vec![0.0; ne];
+    for i in 1..ne {
+        let d = 0.5 * (energies[i] - energies[i - 1]);
+        wts[i - 1] += d;
+        wts[i] += d;
+    }
+    for (ie, p) in points.iter().enumerate() {
+        let e = energies[ie];
+        let (fl, fr) = (fermi(e, mu_s, kt), fermi(e, mu_d, kt));
+        for a in 0..n_atoms {
+            let e_mid_local = tr.e_midgap - v_atoms[a];
+            let mut al = 0.0;
+            let mut ar = 0.0;
+            for o in 0..per_atom {
+                al += p.spectral_left_diag[a * per_atom + o];
+                ar += p.spectral_right_diag[a * per_atom + o];
+            }
+            if e >= e_mid_local {
+                electron_density[a] += wts[ie] * (al * fl + ar * fr) / two_pi * spin;
+            } else {
+                hole_density[a] +=
+                    wts[ie] * (al * (1.0 - fl) + ar * (1.0 - fr)) / two_pi * spin;
+            }
+        }
+    }
+
+    BallisticResult {
+        energies: energies.to_vec(),
+        transmission,
+        current_ua,
+        electron_density,
+        hole_density,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TransistorSpec;
+    use omen_tb::Material;
+
+    fn flat_device() -> NanoTransistor {
+        let mut spec = TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+        spec.doping_sd = 0.0;
+        spec.build()
+    }
+
+    #[test]
+    fn engines_agree_on_current() {
+        let tr = flat_device();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -2.9 };
+        let rgf = ballistic_solve(&tr, &v, &bias, Engine::Rgf, 25, 0.0);
+        let wf = ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 25, 0.0);
+        assert!(rgf.current_ua > 0.0, "positive VDS must drive positive current");
+        assert!(
+            (rgf.current_ua - wf.current_ua).abs() < 1e-4 * rgf.current_ua.abs().max(1e-9),
+            "RGF {} vs WF {}",
+            rgf.current_ua,
+            wf.current_ua
+        );
+        // Charges agree too.
+        for (a, b) in rgf.electron_density.iter().zip(&wf.electron_density) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let tr = flat_device();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias { v_gate: 0.0, v_ds: 0.0, mu_source: -2.8 };
+        let r = ballistic_solve(&tr, &v, &bias, Engine::Rgf, 21, 0.0);
+        assert!(r.current_ua.abs() < 1e-10, "I(VDS=0) = {}", r.current_ua);
+        // Equilibrium density is still finite.
+        assert!(r.electron_density.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn current_increases_with_window() {
+        let tr = flat_device();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let lo = Bias { v_gate: 0.0, v_ds: 0.1, mu_source: -2.9 };
+        let hi = Bias { v_gate: 0.0, v_ds: 0.3, mu_source: -2.9 };
+        let i_lo = ballistic_solve(&tr, &v, &lo, Engine::Rgf, 31, 0.0).current_ua;
+        let i_hi = ballistic_solve(&tr, &v, &hi, Engine::Rgf, 31, 0.0).current_ua;
+        assert!(i_hi > i_lo, "more drive, more current: {i_lo} vs {i_hi}");
+    }
+
+    #[test]
+    fn barrier_potential_reduces_current() {
+        let tr = flat_device();
+        let flat = vec![0.0; tr.device.num_atoms()];
+        // A gate-like barrier in the middle (negative potential raises
+        // electron energy). The wire band bottom sits at −3.53; with
+        // μ = −2.9 a 1 V barrier pushes the channel far out of the window.
+        let lg_lo = 2;
+        let lg_hi = 4;
+        let barrier: Vec<f64> = tr
+            .device
+            .atoms
+            .iter()
+            .map(|a| if a.slab >= lg_lo && a.slab < lg_hi { -1.0 } else { 0.0 })
+            .collect();
+        let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -2.9 };
+        let i_flat = ballistic_solve(&tr, &flat, &bias, Engine::Rgf, 31, 0.0).current_ua;
+        let i_barrier = ballistic_solve(&tr, &barrier, &bias, Engine::Rgf, 31, 0.0).current_ua;
+        assert!(
+            i_barrier < 0.05 * i_flat,
+            "barrier must suppress current: {i_barrier} vs flat {i_flat}"
+        );
+    }
+
+    #[test]
+    fn adaptive_grid_matches_fine_uniform_with_fewer_points() {
+        let tr = flat_device();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias { v_gate: 0.0, v_ds: 0.25, mu_source: -3.4 };
+        let fine = ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 201, 0.0);
+        let adaptive =
+            ballistic_solve_adaptive(&tr, &v, &bias, Engine::WfThomas, 15, 120, 5e-3, 0.0);
+        assert!(
+            adaptive.energies.len() < 140,
+            "adaptive used {} points",
+            adaptive.energies.len()
+        );
+        assert!(adaptive.energies.windows(2).all(|w| w[0] < w[1]), "grid sorted");
+        let rel = (adaptive.current_ua - fine.current_ua).abs() / fine.current_ua.abs();
+        assert!(
+            rel < 0.02,
+            "adaptive {} vs fine {} ({}% off, {} pts)",
+            adaptive.current_ua,
+            fine.current_ua,
+            100.0 * rel,
+            adaptive.energies.len()
+        );
+    }
+
+    #[test]
+    fn momentum_grid_shapes() {
+        let tr = flat_device();
+        assert_eq!(momentum_grid(&tr, 4), vec![(0.0, 1.0)], "wire has no transverse k");
+        let spec = TransistorSpec {
+            geometry: crate::spec::Geometry::Utb { cells: 1, h: 1.0 },
+            ..TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6)
+        };
+        let utb = spec.build();
+        let g = momentum_grid(&utb, 4);
+        assert_eq!(g.len(), 4);
+        let wsum: f64 = g.iter().map(|(_, w)| w).sum();
+        assert!((wsum - 1.0).abs() < 1e-14, "weights sum to 1");
+        assert!(g.windows(2).all(|p| p[0].0 < p[1].0), "k sorted");
+        let kmax = std::f64::consts::PI / utb.device.cross.0;
+        assert!(g.iter().all(|&(k, _)| k > 0.0 && k < kmax), "midpoints inside half-BZ");
+    }
+
+    #[test]
+    fn k_average_equals_manual_average() {
+        let mut spec = TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+        spec.geometry = crate::spec::Geometry::Utb { cells: 1, h: 1.0 };
+        spec.doping_sd = 0.0;
+        let tr = spec.build();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -3.2 };
+        let avg = ballistic_solve_k(&tr, &v, &bias, Engine::WfThomas, 21, 2);
+        let grid = momentum_grid(&tr, 2);
+        let manual: f64 = grid
+            .iter()
+            .map(|&(ky, w)| {
+                w * ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 21, ky).current_ua
+            })
+            .sum();
+        assert!(
+            (avg.current_ua - manual).abs() < 1e-10 * (1.0 + manual.abs()),
+            "{} vs {manual}",
+            avg.current_ua
+        );
+        assert!(avg.current_ua > 0.0);
+    }
+
+    #[test]
+    fn charge_is_nonnegative_and_source_heavy_under_bias() {
+        let tr = flat_device();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias { v_gate: 0.0, v_ds: 0.4, mu_source: -2.9 };
+        let r = ballistic_solve(&tr, &v, &bias, Engine::Rgf, 31, 0.0);
+        assert!(r.electron_density.iter().all(|&n| n >= -1e-12));
+        assert!(r.hole_density.iter().all(|&p| p >= -1e-12));
+        // With mu_d lower, drain side holds less electron charge.
+        let offsets = tr.device.slab_offsets();
+        let n_src: f64 = r.electron_density[offsets[0]..offsets[1]].iter().sum();
+        let n_drn: f64 = r.electron_density[offsets[5]..offsets[6]].iter().sum();
+        assert!(n_src > n_drn, "source {n_src} vs drain {n_drn}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Transport energy windows and grids.
+
+use omen_linalg::ZMat;
+use omen_num::linspace;
+use omen_tb::bands::{subband_edges, wire_bands};
+
+/// The energy interval(s) a ballistic solve must cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyWindow {
+    /// Lower edge (eV).
+    pub e_min: f64,
+    /// Upper edge (eV).
+    pub e_max: f64,
+}
+
+impl EnergyWindow {
+    /// Uniform grid of `n` points over the window, nudged off the exact
+    /// endpoints (band edges are numerically delicate in the decimation).
+    pub fn grid(&self, n: usize) -> Vec<f64> {
+        let pad = 1e-4 * (self.e_max - self.e_min).max(1e-3);
+        linspace(self.e_min + pad, self.e_max - pad, n)
+    }
+}
+
+/// Computes the transport window from lead subband structure and the
+/// contact Fermi levels.
+///
+/// The window spans from `margin_kt·kT` below the lowest relevant band edge
+/// (or deepest Fermi level) to `margin_kt·kT` above the highest Fermi
+/// level; it is intersected with the union of lead bands broadened by the
+/// same margin so no flops are spent where `T(E) = 0`.
+pub fn transport_window(
+    leads: &[(&ZMat, &ZMat)],
+    mus: &[f64],
+    kt: f64,
+    margin_kt: f64,
+    e_focus: (f64, f64),
+) -> EnergyWindow {
+    assert!(!leads.is_empty() && !mus.is_empty());
+    let thetas = linspace(0.0, std::f64::consts::PI, 17);
+    let margin = margin_kt * kt;
+
+    // Collect subband intervals of all leads restricted to the focus range.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (h00, h01) in leads {
+        let bands = wire_bands(h00, h01, &thetas);
+        let mins = subband_edges(&bands);
+        let n = bands[0].len();
+        let maxs: Vec<f64> = (0..n)
+            .map(|b| bands.iter().map(|k| k[b]).fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        for b in 0..n {
+            // Band b spans [mins[b], maxs[b]]; keep what intersects focus.
+            if maxs[b] < e_focus.0 || mins[b] > e_focus.1 {
+                continue;
+            }
+            lo = lo.min(mins[b].max(e_focus.0));
+            hi = hi.max(maxs[b].min(e_focus.1));
+        }
+    }
+    let mu_lo = mus.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mu_hi = mus.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() {
+        // No lead states in focus: fall back to the Fermi window.
+        return EnergyWindow { e_min: mu_lo - margin, e_max: mu_hi + margin };
+    }
+    // States only matter where occupations differ from 0/1 relative to the
+    // band content: clip the band union against the Fermi window. The lower
+    // clip is deeper (2.5× margin) because degenerate source/drain stacks
+    // hold *charge* well below the Fermi level even where they carry no
+    // current.
+    let e_min = lo.max(mu_lo - 2.5 * margin).min(mu_hi + margin);
+    let e_max = hi.min(mu_hi + margin).max(e_min);
+    EnergyWindow { e_min: e_min - 1e-6, e_max: e_max + 1e-6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_num::c64;
+
+    fn chain_lead(e0: f64, t: f64) -> (ZMat, ZMat) {
+        (ZMat::from_diag(&[c64::real(e0)]), ZMat::from_diag(&[c64::real(t)]))
+    }
+
+    #[test]
+    fn window_clips_to_band() {
+        // Band spans [-2, 2]; Fermi levels deep inside.
+        let (h00, h01) = chain_lead(0.0, -1.0);
+        let w = transport_window(&[(&h00, &h01)], &[0.0, -0.1], 0.025, 10.0, (-5.0, 5.0));
+        assert!(w.e_min >= -2.01, "window must not extend below the band: {}", w.e_min);
+        assert!(w.e_min <= -0.35, "window must reach the deep charge clip");
+        assert!(w.e_max <= 0.3, "window must stop ~10kT above max mu: {}", w.e_max);
+        assert!(w.e_max > 0.1 && w.e_min < -0.3, "window must cover the Fermi window");
+    }
+
+    #[test]
+    fn window_handles_empty_band_overlap() {
+        // Focus range excludes the band entirely → Fermi-window fallback.
+        let (h00, h01) = chain_lead(0.0, -1.0);
+        let w = transport_window(&[(&h00, &h01)], &[0.0], 0.025, 8.0, (10.0, 12.0));
+        assert!(w.e_min < 0.0 && w.e_max > 0.0);
+    }
+
+    #[test]
+    fn grid_is_sorted_and_interior() {
+        let w = EnergyWindow { e_min: -1.0, e_max: 1.0 };
+        let g = w.grid(21);
+        assert_eq!(g.len(), 21);
+        assert!(g[0] > -1.0 && *g.last().unwrap() < 1.0);
+        assert!(g.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn two_leads_union() {
+        // Leads offset by 0.5, μ deep in both bands: the window floor is the
+        // documented deep-charge clip μ − 2.5·margin (not the band bottom,
+        // which lies below the clip here).
+        let (a0, a1) = chain_lead(0.0, -1.0);
+        let (b0, b1) = chain_lead(0.5, -1.0);
+        let w = transport_window(&[(&a0, &a1), (&b0, &b1)], &[0.3], 0.025, 10.0, (-5.0, 5.0));
+        let clip = 0.3 - 2.5 * 10.0 * 0.025;
+        assert!((w.e_min - clip).abs() < 0.01, "floor {} vs clip {clip}", w.e_min);
+        // With a shallow μ the floor becomes the band bottom instead.
+        let w2 = transport_window(&[(&a0, &a1)], &[-1.8], 0.025, 10.0, (-5.0, 5.0));
+        assert!(w2.e_min >= -2.01 && w2.e_min <= -1.95, "band-bottom floor: {}", w2.e_min);
+    }
+}

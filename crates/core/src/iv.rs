@@ -1,0 +1,200 @@
+//! Voltage sweeps and figure-of-merit extraction.
+
+use crate::ballistic::Engine;
+use crate::scf::{self_consistent, ScfOptions};
+use crate::spec::{Bias, NanoTransistor};
+
+/// One point of an I–V characteristic.
+#[derive(Debug, Clone, Copy)]
+pub struct IvPoint {
+    /// Gate voltage (V).
+    pub v_gate: f64,
+    /// Drain voltage (V).
+    pub v_ds: f64,
+    /// Drain current (µA).
+    pub current_ua: f64,
+    /// SCF iterations spent on this point.
+    pub scf_iterations: usize,
+    /// Whether the point converged.
+    pub converged: bool,
+}
+
+/// Sweeps the gate at fixed `v_ds`, warm-starting each point from the
+/// previous one (the standard way a full Id–Vg is produced).
+pub fn gate_sweep(
+    tr: &mut NanoTransistor,
+    v_gates: &[f64],
+    v_ds: f64,
+    mu_source: f64,
+    opts: &ScfOptions,
+) -> Vec<IvPoint> {
+    let mut out = Vec::with_capacity(v_gates.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &vg in v_gates {
+        let bias = Bias { v_gate: vg, v_ds, mu_source };
+        let r = self_consistent(tr, &bias, opts, warm.as_deref());
+        out.push(IvPoint {
+            v_gate: vg,
+            v_ds,
+            current_ua: r.transport.current_ua,
+            scf_iterations: r.iterations,
+            converged: r.converged,
+        });
+        warm = Some(r.v_grid);
+    }
+    out
+}
+
+/// Sweeps the drain at fixed `v_gate` (output characteristic).
+pub fn drain_sweep(
+    tr: &mut NanoTransistor,
+    v_gate: f64,
+    v_dss: &[f64],
+    mu_source: f64,
+    opts: &ScfOptions,
+) -> Vec<IvPoint> {
+    let mut out = Vec::with_capacity(v_dss.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &vds in v_dss {
+        let bias = Bias { v_gate, v_ds: vds, mu_source };
+        let r = self_consistent(tr, &bias, opts, warm.as_deref());
+        out.push(IvPoint {
+            v_gate,
+            v_ds: vds,
+            current_ua: r.transport.current_ua,
+            scf_iterations: r.iterations,
+            converged: r.converged,
+        });
+        warm = Some(r.v_grid);
+    }
+    out
+}
+
+/// Minimum subthreshold swing (mV/dec) over a transfer curve: the smallest
+/// `ΔV_G / Δlog₁₀(I)` over adjacent points with increasing current.
+pub fn subthreshold_swing(points: &[IvPoint]) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if a.current_ua <= 0.0 || b.current_ua <= a.current_ua {
+            continue;
+        }
+        let decades = (b.current_ua / a.current_ua).log10();
+        if decades <= 1e-12 {
+            continue;
+        }
+        let ss = (b.v_gate - a.v_gate) * 1e3 / decades;
+        best = Some(match best {
+            Some(v) => v.min(ss),
+            None => ss,
+        });
+    }
+    best
+}
+
+/// On/off current ratio over a sweep (max / min of positive currents).
+pub fn on_off_ratio(points: &[IvPoint]) -> Option<f64> {
+    let pos: Vec<f64> =
+        points.iter().map(|p| p.current_ua).filter(|&i| i > 0.0).collect();
+    if pos.len() < 2 {
+        return None;
+    }
+    let lo = pos.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = pos.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(hi / lo)
+}
+
+/// A cheap non-self-consistent transfer sweep: the gate directly shifts the
+/// channel potential (frozen electrostatics). Used by unit tests and as a
+/// fast preview mode.
+pub fn frozen_field_sweep(
+    tr: &NanoTransistor,
+    v_gates: &[f64],
+    v_ds: f64,
+    mu_source: f64,
+    engine: Engine,
+    n_energy: usize,
+) -> Vec<IvPoint> {
+    let lg_lo = tr.spec.source_slabs;
+    let lg_hi = tr.spec.num_slabs - tr.spec.drain_slabs;
+    v_gates
+        .iter()
+        .map(|&vg| {
+            let v_atoms: Vec<f64> = tr
+                .device
+                .atoms
+                .iter()
+                .map(|a| if a.slab >= lg_lo && a.slab < lg_hi { vg } else { 0.0 })
+                .collect();
+            let bias = Bias { v_gate: vg, v_ds, mu_source };
+            let r = crate::ballistic::ballistic_solve(tr, &v_atoms, &bias, engine, n_energy, 0.0);
+            IvPoint {
+                v_gate: vg,
+                v_ds,
+                current_ua: r.current_ua,
+                scf_iterations: 0,
+                converged: true,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TransistorSpec;
+    use omen_num::linspace;
+    use omen_tb::Material;
+
+    #[test]
+    fn frozen_sweep_shows_transistor_action() {
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 8);
+        spec.doping_sd = 0.0;
+        let tr = spec.build();
+        // Wire band bottom is −3.53; μ = −3.45 puts the device slightly on
+        // at V_G = 0 and the sweep straddles the off/on transition.
+        let vgs = linspace(-0.2, 0.2, 9);
+        let pts = frozen_field_sweep(&tr, &vgs, 0.15, -3.45, Engine::WfThomas, 41);
+        let ratio = on_off_ratio(&pts).unwrap();
+        assert!(ratio > 30.0, "on/off ratio {ratio}");
+        let ss = subthreshold_swing(&pts).unwrap();
+        assert!(ss > 40.0 && ss < 400.0, "SS {ss} mV/dec out of physical range");
+        // Current grows from the off end to the on end.
+        assert!(pts.last().unwrap().current_ua > pts[0].current_ua);
+    }
+
+    #[test]
+    fn subthreshold_swing_of_ideal_thermionic_curve() {
+        // I ∝ exp(V/kT): SS must be ≈ 59.6 mV/dec at 300 K.
+        let kt = omen_num::KT_ROOM;
+        let pts: Vec<IvPoint> = (0..10)
+            .map(|i| {
+                let v = i as f64 * 0.02;
+                IvPoint {
+                    v_gate: v,
+                    v_ds: 0.1,
+                    current_ua: (v / kt).exp(),
+                    scf_iterations: 0,
+                    converged: true,
+                }
+            })
+            .collect();
+        let ss = subthreshold_swing(&pts).unwrap();
+        assert!((ss - 59.6).abs() < 0.5, "SS {ss}");
+    }
+
+    #[test]
+    fn swing_none_for_flat_curve() {
+        let pts: Vec<IvPoint> = (0..5)
+            .map(|i| IvPoint {
+                v_gate: i as f64 * 0.1,
+                v_ds: 0.1,
+                current_ua: 1.0,
+                scf_iterations: 0,
+                converged: true,
+            })
+            .collect();
+        assert!(subthreshold_swing(&pts).is_none());
+    }
+}

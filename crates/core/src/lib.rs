@@ -1,0 +1,36 @@
+//! # omen-core — the device simulator
+//!
+//! Ties the substrates together into the tool the paper describes: an
+//! atomistic, full-band, ballistic quantum-transport simulator for
+//! nanoelectronic devices, self-consistently coupled to 3-D electrostatics
+//! and parallelized over four levels (bias × momentum × energy × space).
+//!
+//! * [`spec`] — high-level transistor descriptions (gate-all-around
+//!   nanowire FETs, ultra-thin bodies, graphene-nanoribbon TFETs) compiled
+//!   into geometry + Hamiltonian + doping + Poisson problem;
+//! * [`energy`] — transport energy windows from lead subband edges and the
+//!   contact Fermi levels;
+//! * [`ballistic`] — the per-bias transport solve: energy sweep with either
+//!   engine (RGF or wave-function), Landauer current, quantum electron and
+//!   hole densities;
+//! * [`scf`] — the Schrödinger–Poisson loop with the exponential charge
+//!   predictor (Gummel-accelerated);
+//! * [`iv`] — gate/drain voltage sweeps and figure-of-merit extraction
+//!   (subthreshold swing, on/off currents);
+//! * [`parallel`] — hierarchical rank decomposition over `omen-parsim`,
+//!   mirroring the paper's communicator layout.
+
+pub mod ballistic;
+pub mod energy;
+pub mod iv;
+pub mod parallel;
+pub mod scf;
+pub mod spec;
+
+pub use ballistic::{
+    ballistic_solve, ballistic_solve_adaptive, ballistic_solve_k, momentum_grid, BallisticResult,
+    Engine,
+};
+pub use iv::{drain_sweep, frozen_field_sweep, gate_sweep, on_off_ratio, subthreshold_swing, IvPoint};
+pub use scf::{self_consistent, ScfOptions, ScfResult};
+pub use spec::{Bias, Geometry, NanoTransistor, TransistorSpec};

@@ -1,0 +1,493 @@
+//! Transport device geometries: nanowires, ultra-thin bodies, ribbons.
+//!
+//! A [`Device`] is a finite stack of identical **slabs** along the transport
+//! axis x. Each slab is one principal layer of the crystal (thickness
+//! [`Crystal::transport_period`]), so nearest-neighbor bonds never span more
+//! than one slab boundary and the Hamiltonian is block tridiagonal with
+//! identical diagonal blocks in the flat-potential limit — which is exactly
+//! what semi-infinite contact leads require.
+
+use crate::crystal::{Crystal, Sublattice};
+use crate::neighbors::neighbor_pairs;
+use crate::vec3::Vec3;
+
+/// One atom of a device.
+#[derive(Debug, Clone, Copy)]
+pub struct Atom {
+    /// Position in nm.
+    pub pos: Vec3,
+    /// Sublattice tag (mapped to a species by the tight-binding crate).
+    pub sub: Sublattice,
+    /// Transport slab index.
+    pub slab: usize,
+}
+
+/// A nearest-neighbor bond (stored once, `i < j`).
+#[derive(Debug, Clone, Copy)]
+pub struct Bond {
+    /// First atom index.
+    pub i: usize,
+    /// Second atom index.
+    pub j: usize,
+    /// Minimum-image displacement `pos[j] - pos[i]` (+ periodic wrap) in nm.
+    pub delta: Vec3,
+    /// Number of transverse periods crossed in y (`0` for bonds inside the
+    /// cell, `±1` for bonds wrapping the periodic boundary). Bloch phases
+    /// `e^{i k_y L w}` attach to wrapped bonds.
+    pub wrap_y: i32,
+}
+
+/// What kind of transport structure this is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceKind {
+    /// Gate-all-around nanowire: fully confined cross-section.
+    Nanowire,
+    /// Ultra-thin body, periodic along y with the given period (nm).
+    Utb {
+        /// Transverse period in nm.
+        period_y: f64,
+    },
+    /// Planar ribbon (graphene), confined in y, z ≡ 0.
+    Ribbon,
+}
+
+/// An atomistic transport device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Generating crystal.
+    pub crystal: Crystal,
+    /// Structure kind.
+    pub kind: DeviceKind,
+    /// Atoms sorted by (slab, intra-slab position) — slab-contiguous.
+    pub atoms: Vec<Atom>,
+    /// Nearest-neighbor bonds.
+    pub bonds: Vec<Bond>,
+    /// Number of transport slabs.
+    pub num_slabs: usize,
+    /// Slab thickness (= crystal transport period) in nm.
+    pub slab_width: f64,
+    /// Cross-section extents `(y, z)` in nm (y = period for UTB).
+    pub cross: (f64, f64),
+    /// Carve interval in y used at generation time.
+    pub carve_y: (f64, f64),
+    /// Carve interval in z used at generation time.
+    pub carve_z: (f64, f64),
+}
+
+impl Device {
+    /// Builds a gate-all-around nanowire of `num_slabs` principal layers
+    /// with a `wy × hz` nm² cross-section.
+    pub fn nanowire(crystal: Crystal, num_slabs: usize, wy: f64, hz: f64) -> Device {
+        assert!(num_slabs >= 2, "need at least two slabs for leads");
+        let period = crystal.transport_period();
+        let lx = num_slabs as f64 * period;
+        let raw = crystal.generate(lx, (0.0, wy), (0.0, hz));
+        Self::assemble(
+            crystal,
+            DeviceKind::Nanowire,
+            raw,
+            num_slabs,
+            period,
+            (wy, hz),
+            None,
+            (0.0, wy),
+            (0.0, hz),
+        )
+    }
+
+    /// Builds an ultra-thin body: periodic along y with `cells_y` crystal
+    /// periods, confined to `hz` nm in z.
+    pub fn utb(crystal: Crystal, num_slabs: usize, cells_y: usize, hz: f64) -> Device {
+        assert!(num_slabs >= 2, "need at least two slabs for leads");
+        assert!(cells_y >= 1);
+        let period = crystal.transport_period();
+        let a = match crystal {
+            Crystal::Zincblende { a } => a,
+            Crystal::Honeycomb { acc } => 3.0_f64.sqrt() * acc,
+        };
+        let period_y = cells_y as f64 * a;
+        let lx = num_slabs as f64 * period;
+        let raw = crystal.generate(lx, (0.0, period_y), (0.0, hz));
+        Self::assemble(
+            crystal,
+            DeviceKind::Utb { period_y },
+            raw,
+            num_slabs,
+            period,
+            (period_y, hz),
+            Some(period_y),
+            (0.0, period_y),
+            (0.0, hz),
+        )
+    }
+
+    /// Builds an armchair graphene nanoribbon with `n_dimer` dimer lines
+    /// across (width ≈ `(n_dimer - 1)·√3/2·acc`) and `num_slabs` armchair
+    /// periods along transport.
+    pub fn ribbon_agnr(acc: f64, num_slabs: usize, n_dimer: usize) -> Device {
+        assert!(num_slabs >= 2, "need at least two slabs for leads");
+        assert!(n_dimer >= 2, "ribbon needs at least two dimer lines");
+        let crystal = Crystal::Honeycomb { acc };
+        let period = crystal.transport_period();
+        let lx = num_slabs as f64 * period;
+        // Dimer lines sit at y = m·(√3/2)acc; carve half a spacing beyond
+        // the outermost lines.
+        let dy = 3.0_f64.sqrt() * 0.5 * acc;
+        let w = (n_dimer as f64 - 1.0) * dy;
+        let raw = crystal.generate(lx, (-0.25 * dy, w + 0.25 * dy), (0.0, 0.0));
+        Self::assemble(
+            crystal,
+            DeviceKind::Ribbon,
+            raw,
+            num_slabs,
+            period,
+            (w, 0.0),
+            None,
+            (-0.25 * dy, w + 0.25 * dy),
+            (-0.1, 0.1),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        crystal: Crystal,
+        kind: DeviceKind,
+        raw: Vec<(Vec3, Sublattice)>,
+        num_slabs: usize,
+        period: f64,
+        cross: (f64, f64),
+        period_y: Option<f64>,
+        carve_y: (f64, f64),
+        carve_z: (f64, f64),
+    ) -> Device {
+        assert!(!raw.is_empty(), "empty device — cross-section too small for the lattice");
+        // Slab assignment and slab-major ordering with identical intra-slab
+        // order (sort key uses x modulo the slab, then y, z).
+        let mut atoms: Vec<Atom> = raw
+            .into_iter()
+            .map(|(pos, sub)| {
+                let slab = ((pos.x / period) + 1e-9).floor() as usize;
+                assert!(slab < num_slabs, "atom outside slab range at x={}", pos.x);
+                Atom { pos, sub, slab }
+            })
+            .collect();
+        atoms.sort_by(|a, b| {
+            let ka = (a.slab, a.pos.x - a.slab as f64 * period, a.pos.y, a.pos.z);
+            let kb = (b.slab, b.pos.x - b.slab as f64 * period, b.pos.y, b.pos.z);
+            ka.partial_cmp(&kb).unwrap()
+        });
+
+        let positions: Vec<Vec3> = atoms.iter().map(|a| a.pos).collect();
+        let pairs = neighbor_pairs(&positions, crystal.nn_cutoff(), period_y, None);
+        let bonds: Vec<Bond> = pairs
+            .into_iter()
+            .map(|(i, j, delta)| {
+                let wrap_y = match period_y {
+                    Some(l) => ((delta.y - (positions[j].y - positions[i].y)) / l).round() as i32,
+                    None => 0,
+                };
+                Bond { i, j, delta, wrap_y }
+            })
+            .collect();
+
+        let d = Device {
+            crystal,
+            kind,
+            atoms,
+            bonds,
+            num_slabs,
+            slab_width: period,
+            cross,
+            carve_y,
+            carve_z,
+        };
+        d.validate();
+        d
+    }
+
+    /// Total number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Device length along transport in nm.
+    pub fn length(&self) -> f64 {
+        self.num_slabs as f64 * self.slab_width
+    }
+
+    /// True when the dangling direction `dir` of atom `i` points to a site
+    /// that exists in the semi-infinite lead continuation (outside `[0, L)`
+    /// in x but inside the cross-section). Such bonds must *not* be
+    /// passivated — the contact self-energy supplies them.
+    /// Returns a homogeneously strained copy: positions and bond vectors are
+    /// scaled by `(1+εxx, 1+εyy, 1+εzz)`. The tight-binding layer picks the
+    /// deformation up through Harrison bond-length scaling, so this is the
+    /// entry point for strain-engineering studies (band edges shift, gaps
+    /// open/close). Slab width and cross-section scale accordingly.
+    pub fn strained(&self, exx: f64, eyy: f64, ezz: f64) -> Device {
+        assert!(exx > -0.5 && eyy > -0.5 && ezz > -0.5, "unphysical compression");
+        let s = Vec3::new(1.0 + exx, 1.0 + eyy, 1.0 + ezz);
+        let scale = |v: Vec3| Vec3::new(v.x * s.x, v.y * s.y, v.z * s.z);
+        let mut d = self.clone();
+        for a in &mut d.atoms {
+            a.pos = scale(a.pos);
+        }
+        for b in &mut d.bonds {
+            b.delta = scale(b.delta);
+        }
+        d.slab_width *= s.x;
+        d.cross = (d.cross.0 * s.y, d.cross.1 * s.z);
+        d.carve_y = (d.carve_y.0 * s.y, d.carve_y.1 * s.y);
+        d.carve_z = (d.carve_z.0 * s.z, d.carve_z.1 * s.z);
+        if let DeviceKind::Utb { period_y } = &mut d.kind {
+            *period_y *= s.y;
+        }
+        d
+    }
+
+    pub fn dangling_is_lead_facing(&self, i: usize, dir: Vec3) -> bool {
+        const EPS: f64 = 1e-6;
+        let ghost = self.atoms[i].pos + dir * self.crystal.bond_length();
+        let in_x = ghost.x >= -EPS && ghost.x < self.length() - EPS;
+        if in_x {
+            return false;
+        }
+        let in_y = match self.kind {
+            DeviceKind::Utb { .. } => true,
+            _ => ghost.y >= self.carve_y.0 - EPS && ghost.y < self.carve_y.1 - EPS,
+        };
+        let in_z = match self.kind {
+            DeviceKind::Ribbon => true,
+            _ => ghost.z >= self.carve_z.0 - EPS && ghost.z < self.carve_z.1 - EPS,
+        };
+        in_y && in_z
+    }
+
+    /// Atom index ranges per slab: slab `s` holds atoms
+    /// `offsets[s]..offsets[s+1]`.
+    pub fn slab_offsets(&self) -> Vec<usize> {
+        let mut offsets = vec![0usize; self.num_slabs + 1];
+        for a in &self.atoms {
+            offsets[a.slab + 1] += 1;
+        }
+        for s in 0..self.num_slabs {
+            offsets[s + 1] += offsets[s];
+        }
+        offsets
+    }
+
+    /// Number of bonds attached to atom `i`.
+    pub fn coordination(&self, i: usize) -> usize {
+        self.bonds.iter().filter(|b| b.i == i || b.j == i).count()
+    }
+
+    /// Ideal bond directions for atom `i` (unit vectors).
+    pub fn ideal_bond_directions(&self, i: usize) -> Vec<Vec3> {
+        let s3 = 1.0 / 3.0_f64.sqrt();
+        match (self.crystal, self.atoms[i].sub) {
+            (Crystal::Zincblende { .. }, Sublattice::A) => vec![
+                Vec3::new(s3, s3, s3),
+                Vec3::new(s3, -s3, -s3),
+                Vec3::new(-s3, s3, -s3),
+                Vec3::new(-s3, -s3, s3),
+            ],
+            (Crystal::Zincblende { .. }, Sublattice::B) => vec![
+                Vec3::new(-s3, -s3, -s3),
+                Vec3::new(-s3, s3, s3),
+                Vec3::new(s3, -s3, s3),
+                Vec3::new(s3, s3, -s3),
+            ],
+            (Crystal::Honeycomb { .. }, Sublattice::A) => vec![
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(-0.5, 3.0_f64.sqrt() / 2.0, 0.0),
+                Vec3::new(-0.5, -(3.0_f64.sqrt()) / 2.0, 0.0),
+            ],
+            (Crystal::Honeycomb { .. }, Sublattice::B) => vec![
+                Vec3::new(-1.0, 0.0, 0.0),
+                Vec3::new(0.5, 3.0_f64.sqrt() / 2.0, 0.0),
+                Vec3::new(0.5, -(3.0_f64.sqrt()) / 2.0, 0.0),
+            ],
+        }
+    }
+
+    /// Unit directions of *missing* neighbors of atom `i` (dangling bonds
+    /// that the tight-binding layer passivates).
+    pub fn dangling_directions(&self, i: usize) -> Vec<Vec3> {
+        let mut actual: Vec<Vec3> = Vec::new();
+        for b in &self.bonds {
+            if b.i == i {
+                actual.push(b.delta.normalized());
+            } else if b.j == i {
+                actual.push((-b.delta).normalized());
+            }
+        }
+        self.ideal_bond_directions(i)
+            .into_iter()
+            .filter(|ideal| !actual.iter().any(|a| a.dot(*ideal) > 0.9))
+            .collect()
+    }
+
+    /// Structural validation: every bond spans at most one slab boundary and
+    /// the first two slabs are congruent (required by the contact leads).
+    fn validate(&self) {
+        for b in &self.bonds {
+            let ds = self.atoms[b.i].slab.abs_diff(self.atoms[b.j].slab);
+            assert!(
+                ds <= 1,
+                "bond {}–{} spans {} slabs — slab width too small for NN coupling",
+                b.i,
+                b.j,
+                ds
+            );
+        }
+        let offsets = self.slab_offsets();
+        for s in 0..self.num_slabs {
+            assert!(
+                offsets[s + 1] > offsets[s],
+                "slab {s} is empty — length/cross-section mismatch"
+            );
+        }
+        // Congruence of slabs 0 and 1 (and by periodicity, all slabs).
+        let n0 = offsets[1] - offsets[0];
+        let n1 = offsets[2] - offsets[1];
+        assert_eq!(n0, n1, "slabs 0 and 1 differ in atom count — geometry not periodic");
+        for k in 0..n0 {
+            let a = &self.atoms[offsets[0] + k];
+            let b = &self.atoms[offsets[1] + k];
+            let d = b.pos - a.pos;
+            assert!(
+                (d.x - self.slab_width).abs() < 1e-7 && d.y.abs() < 1e-7 && d.z.abs() < 1e-7,
+                "slab atom {k} not translationally matched: {:?} vs {:?}",
+                a.pos,
+                b.pos
+            );
+            assert_eq!(a.sub, b.sub, "sublattice mismatch between congruent slabs");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_num::A_SI;
+
+    #[test]
+    fn nanowire_basic_structure() {
+        let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 4, 1.2, 1.2);
+        assert_eq!(d.num_slabs, 4);
+        assert!(d.num_atoms() > 0);
+        let offsets = d.slab_offsets();
+        assert_eq!(offsets.len(), 5);
+        assert_eq!(offsets[4], d.num_atoms());
+        // All slabs hold the same atom count.
+        for s in 0..4 {
+            assert_eq!(offsets[s + 1] - offsets[s], offsets[1], "slab {s}");
+        }
+    }
+
+    #[test]
+    fn nanowire_interior_atoms_fourfold() {
+        let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 4, 1.5, 1.5);
+        // Interior atoms (away from all surfaces) have coordination 4.
+        let mut interior_seen = 0;
+        for (i, a) in d.atoms.iter().enumerate() {
+            let margin = 0.3;
+            let inside = a.pos.x > margin
+                && a.pos.x < 4.0 * A_SI - margin
+                && a.pos.y > margin
+                && a.pos.y < 1.5 - margin
+                && a.pos.z > margin
+                && a.pos.z < 1.5 - margin;
+            if inside {
+                interior_seen += 1;
+                assert_eq!(d.coordination(i), 4, "atom {i} at {:?}", a.pos);
+                assert!(d.dangling_directions(i).is_empty());
+            }
+        }
+        assert!(interior_seen > 0, "test needs interior atoms");
+    }
+
+    #[test]
+    fn surface_atoms_have_dangling_bonds() {
+        let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 1.0, 1.0);
+        let dangling_total: usize = (0..d.num_atoms()).map(|i| d.dangling_directions(i).len()).sum();
+        assert!(dangling_total > 0, "a 1 nm wire must have surface dangling bonds");
+        // Coordination + dangling = ideal coordination for every atom.
+        for i in 0..d.num_atoms() {
+            assert_eq!(
+                d.coordination(i) + d.dangling_directions(i).len(),
+                4,
+                "atom {i}: bonds + dangling must equal 4"
+            );
+        }
+    }
+
+    #[test]
+    fn bonds_have_correct_length() {
+        let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 1.0, 1.0);
+        let expect = A_SI * 3.0_f64.sqrt() / 4.0;
+        for b in &d.bonds {
+            assert!((b.delta.norm() - expect).abs() < 1e-9, "bond length {}", b.delta.norm());
+        }
+    }
+
+    #[test]
+    fn utb_periodic_bonds_wrap() {
+        let d = Device::utb(Crystal::Zincblende { a: A_SI }, 3, 1, 1.2);
+        assert!(matches!(d.kind, DeviceKind::Utb { .. }));
+        let wrapped = d.bonds.iter().filter(|b| b.wrap_y != 0).count();
+        assert!(wrapped > 0, "a 1-cell-period UTB must have wrapping bonds");
+        // UTB atoms are 4-coordinated except at the z surfaces.
+        for (i, a) in d.atoms.iter().enumerate() {
+            if a.pos.z > 0.3 && a.pos.z < 0.9 && a.pos.x > 0.3 && a.pos.x < 3.0 * A_SI - 0.3 {
+                assert_eq!(d.coordination(i), 4, "atom {i} at {:?}", a.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn agnr_structure() {
+        let d = Device::ribbon_agnr(0.142, 3, 7);
+        // AGNR slab of N dimer lines holds 2N atoms per armchair period.
+        let offsets = d.slab_offsets();
+        assert_eq!(offsets[1] - offsets[0], 14, "7-AGNR has 14 atoms per period");
+        // Away from the transport ends (where lead bonds are missing):
+        // coordination 2 at the ribbon edges, 3 inside.
+        let period = d.slab_width;
+        for (i, a) in d.atoms.iter().enumerate() {
+            if a.pos.x < 0.5 * period || a.pos.x > 2.5 * period {
+                continue;
+            }
+            let c = d.coordination(i);
+            assert!((2..=3).contains(&c), "atom {i} at {:?} coordination {c}", a.pos);
+        }
+    }
+
+    #[test]
+    fn strained_device_scales_consistently() {
+        let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 1.0, 1.0);
+        let s = d.strained(0.02, -0.01, 0.0);
+        assert_eq!(s.num_atoms(), d.num_atoms());
+        assert!((s.slab_width - d.slab_width * 1.02).abs() < 1e-12);
+        // Bond vectors scale with the same tensor as positions.
+        for (a, b) in d.bonds.iter().zip(&s.bonds) {
+            assert!((b.delta.x - a.delta.x * 1.02).abs() < 1e-12);
+            assert!((b.delta.y - a.delta.y * 0.99).abs() < 1e-12);
+            assert!((b.delta.z - a.delta.z).abs() < 1e-12);
+        }
+        // Consistency: strained bond vector equals strained position delta
+        // for non-wrapping bonds.
+        for b in &s.bonds {
+            let d2 = s.atoms[b.j].pos - s.atoms[b.i].pos;
+            if b.wrap_y == 0 {
+                assert!((d2 - b.delta).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two slabs")]
+    fn single_slab_rejected() {
+        let _ = Device::nanowire(Crystal::Zincblende { a: A_SI }, 1, 1.0, 1.0);
+    }
+}

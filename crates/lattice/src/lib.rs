@@ -1,0 +1,18 @@
+//! # omen-lattice — atomistic device geometry
+//!
+//! Builds the atom-resolved geometry every tight-binding Hamiltonian is
+//! assembled on: diamond/zincblende crystals for Si/Ge/III-V devices and the
+//! honeycomb lattice for graphene nanoribbons, carved into transport
+//! structures (gate-all-around nanowires, ultra-thin bodies with transverse
+//! periodicity, armchair ribbons), with neighbor lists and a slab partition
+//! along the transport axis that is verified to produce nearest-neighbor
+//! (block-tridiagonal) coupling only.
+
+pub mod crystal;
+pub mod device;
+pub mod neighbors;
+pub mod vec3;
+
+pub use crystal::{Crystal, Sublattice};
+pub use device::{Atom, Bond, Device, DeviceKind};
+pub use vec3::Vec3;

@@ -1,0 +1,227 @@
+//! Cell-binned neighbor search with optional transverse periodicity.
+
+use crate::vec3::Vec3;
+
+/// Finds all unordered pairs `(i, j, delta)` with `i < j` whose displacement
+/// `delta = pos[j] - pos[i]` (after minimum-image wrapping along periodic
+/// axes) has norm below `cutoff`.
+///
+/// `period_y` / `period_z` activate minimum-image wrapping along those axes
+/// (used for ultra-thin-body devices that are periodic transverse to
+/// transport). The transport axis x is never periodic — leads handle the
+/// open boundaries.
+pub fn neighbor_pairs(
+    positions: &[Vec3],
+    cutoff: f64,
+    period_y: Option<f64>,
+    period_z: Option<f64>,
+) -> Vec<(usize, usize, Vec3)> {
+    let n = positions.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Bounding box.
+    let mut lo = positions[0];
+    let mut hi = positions[0];
+    for p in positions {
+        lo = Vec3::new(lo.x.min(p.x), lo.y.min(p.y), lo.z.min(p.z));
+        hi = Vec3::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z));
+    }
+    let cell = cutoff.max(1e-6);
+    let nx = (((hi.x - lo.x) / cell) as usize + 1).max(1);
+    let ny = (((hi.y - lo.y) / cell) as usize + 1).max(1);
+    let nz = (((hi.z - lo.z) / cell) as usize + 1).max(1);
+
+    let bin_of = |p: &Vec3| -> (usize, usize, usize) {
+        let bx = (((p.x - lo.x) / cell) as usize).min(nx - 1);
+        let by = (((p.y - lo.y) / cell) as usize).min(ny - 1);
+        let bz = (((p.z - lo.z) / cell) as usize).min(nz - 1);
+        (bx, by, bz)
+    };
+    let flat = |b: (usize, usize, usize)| b.0 + nx * (b.1 + ny * b.2);
+
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); nx * ny * nz];
+    for (i, p) in positions.iter().enumerate() {
+        bins[flat(bin_of(p))].push(i);
+    }
+
+    let wrap = |d: f64, period: Option<f64>| -> f64 {
+        match period {
+            Some(l) => {
+                let mut v = d % l;
+                if v > 0.5 * l {
+                    v -= l;
+                } else if v < -0.5 * l {
+                    v += l;
+                }
+                v
+            }
+            None => d,
+        }
+    };
+
+    let c2 = cutoff * cutoff;
+    let mut pairs = Vec::new();
+    // Neighboring bins. With periodicity the wrap can connect far bins, so
+    // along periodic axes with few bins we scan the whole axis (periods in
+    // devices are a handful of cells — this stays cheap).
+    let scan_y: Vec<i64> = if period_y.is_some() && ny <= 4 {
+        (0..ny as i64).map(|b| b - 0).collect()
+    } else {
+        vec![-1, 0, 1]
+    };
+    let scan_z: Vec<i64> = if period_z.is_some() && nz <= 4 {
+        (0..nz as i64).collect()
+    } else {
+        vec![-1, 0, 1]
+    };
+
+    for bx in 0..nx as i64 {
+        for by in 0..ny as i64 {
+            for bz in 0..nz as i64 {
+                let home = &bins[flat((bx as usize, by as usize, bz as usize))];
+                for dx in -1i64..=1 {
+                    for &sy in &scan_y {
+                        for &sz in &scan_z {
+                            let (obx, oby, obz) = (
+                                bx + dx,
+                                if period_y.is_some() && ny <= 4 { sy } else { by + sy },
+                                if period_z.is_some() && nz <= 4 { sz } else { bz + sz },
+                            );
+                            // Wrap or reject out-of-range bins.
+                            let oby = wrap_bin(oby, ny, period_y.is_some());
+                            let obz = wrap_bin(obz, nz, period_z.is_some());
+                            let (oby, obz) = match (oby, obz) {
+                                (Some(a), Some(b)) => (a, b),
+                                _ => continue,
+                            };
+                            if obx < 0 || obx >= nx as i64 {
+                                continue;
+                            }
+                            let other = &bins[flat((obx as usize, oby, obz))];
+                            for &i in home {
+                                for &j in other {
+                                    if j <= i {
+                                        continue;
+                                    }
+                                    let d = Vec3::new(
+                                        positions[j].x - positions[i].x,
+                                        wrap(positions[j].y - positions[i].y, period_y),
+                                        wrap(positions[j].z - positions[i].z, period_z),
+                                    );
+                                    if d.norm_sqr() < c2 {
+                                        pairs.push((i, j, d));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deduplicate: a pair can be seen from several bin combinations when
+    // periodic scanning covers the whole axis.
+    pairs.sort_by_key(|&(i, j, _)| (i, j));
+    pairs.dedup_by_key(|&mut (i, j, _)| (i, j));
+    pairs
+}
+
+fn wrap_bin(b: i64, n: usize, periodic: bool) -> Option<usize> {
+    if b >= 0 && (b as usize) < n {
+        Some(b as usize)
+    } else if periodic {
+        Some(((b % n as i64 + n as i64) % n as i64) as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(
+        positions: &[Vec3],
+        cutoff: f64,
+        py: Option<f64>,
+        pz: Option<f64>,
+    ) -> Vec<(usize, usize)> {
+        let wrap = |d: f64, period: Option<f64>| match period {
+            Some(l) => {
+                let mut v = d % l;
+                if v > 0.5 * l {
+                    v -= l
+                } else if v < -0.5 * l {
+                    v += l
+                }
+                v
+            }
+            None => d,
+        };
+        let mut out = Vec::new();
+        for i in 0..positions.len() {
+            for j in i + 1..positions.len() {
+                let d = Vec3::new(
+                    positions[j].x - positions[i].x,
+                    wrap(positions[j].y - positions[i].y, py),
+                    wrap(positions[j].z - positions[i].z, pz),
+                );
+                if d.norm() < cutoff {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo_points(n: usize, scale: f64, seed: u64) -> Vec<Vec3> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+        let mut next = move || {
+            s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+            (s >> 11) as f64 / (1u64 << 53) as f64 * scale
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_open() {
+        let pts = pseudo_points(120, 3.0, 7);
+        let got: Vec<(usize, usize)> =
+            neighbor_pairs(&pts, 0.5, None, None).into_iter().map(|(i, j, _)| (i, j)).collect();
+        let want = brute_force(&pts, 0.5, None, None);
+        assert_eq!(got, want);
+        assert!(!want.is_empty(), "test should exercise nonempty neighbor sets");
+    }
+
+    #[test]
+    fn matches_brute_force_periodic_y() {
+        let mut pts = pseudo_points(60, 1.0, 11);
+        // Confine y to [0, 1) so period 1.0 wraps meaningfully.
+        for p in &mut pts {
+            p.y = p.y.rem_euclid(1.0);
+        }
+        let got: Vec<(usize, usize)> = neighbor_pairs(&pts, 0.3, Some(1.0), None)
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect();
+        let want = brute_force(&pts, 0.3, Some(1.0), None);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wrapped_displacement_is_minimum_image() {
+        // Two atoms at y=0.05 and y=0.95 with period 1: distance 0.1 via wrap.
+        let pts = vec![Vec3::new(0.0, 0.05, 0.0), Vec3::new(0.0, 0.95, 0.0)];
+        let pairs = neighbor_pairs(&pts, 0.2, Some(1.0), None);
+        assert_eq!(pairs.len(), 1);
+        let (_, _, d) = pairs[0];
+        assert!((d.y + 0.1).abs() < 1e-12, "wrapped dy should be -0.1, got {}", d.y);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(neighbor_pairs(&[], 1.0, None, None).is_empty());
+        assert!(neighbor_pairs(&[Vec3::ZERO], 1.0, None, None).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal 3-vector used for atomic positions and bond displacements.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 3-component double vector (nm units throughout the workspace).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Transport-axis component.
+    pub x: f64,
+    /// First transverse component.
+    pub y: f64,
+    /// Second transverse component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates `(x, y, z)`.
+    #[inline(always)]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Unit vector in this direction. Panics on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self * (1.0 / n)
+    }
+
+    /// Direction cosines `(l, m, n)` — the Slater–Koster inputs.
+    pub fn direction_cosines(self) -> (f64, f64, f64) {
+        let n = self.norm();
+        assert!(n > 0.0, "direction cosines of the zero vector");
+        (self.x / n, self.y / n, self.z / n)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a.dot(b), -1.0 + 1.0 + 6.0);
+    }
+
+    #[test]
+    fn norms_and_cosines() {
+        let v = Vec3::new(3.0, 0.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_sqr(), 25.0);
+        let (l, m, n) = v.direction_cosines();
+        assert_eq!((l, m, n), (0.6, 0.0, 0.8));
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+        // l² + m² + n² = 1
+        assert!((l * l + m * m + n * n - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vector_normalize_panics() {
+        Vec3::ZERO.normalized();
+    }
+}

@@ -1,0 +1,514 @@
+//! Hermitian eigensolver.
+//!
+//! Complex Hermitian problems `H v = λ v` are solved through the standard
+//! real-symmetric embedding: writing `H = A + iB` (A symmetric, B
+//! antisymmetric), the real `2n × 2n` matrix
+//!
+//! ```text
+//!     M = [ A  -B ]
+//!         [ B   A ]
+//! ```
+//!
+//! is symmetric and has every eigenvalue of `H` twice; a real eigenvector
+//! `(x, y)ᵀ` of `M` maps back to the complex eigenvector `x + iy` of `H`.
+//! The real solver is Householder tridiagonalization (`tred2`) followed by
+//! implicit-shift QL iteration (`tql2`), the classic EISPACK pair. Pair
+//! collapse back to `n` complex eigenvectors is done per eigenvalue cluster
+//! with modified Gram–Schmidt, which is robust against degeneracies: a
+//! duplicate direction (the `i·v` partner) projects to zero and is skipped.
+
+use crate::flops;
+use crate::matrix::ZMat;
+use omen_num::c64;
+
+/// Eigenvalues (ascending) and matching orthonormal eigenvectors.
+pub struct EighResult {
+    /// Ascending eigenvalues.
+    pub values: Vec<f64>,
+    /// `vectors.col(k)` is the eigenvector of `values[k]`; the matrix is
+    /// unitary to working precision.
+    pub vectors: ZMat,
+}
+
+/// Full eigendecomposition of a Hermitian matrix.
+///
+/// Panics when `h` is not square; the Hermiticity defect is not checked
+/// (callers assemble Hamiltonians that are Hermitian by construction and
+/// assert it in tests) — only the Hermitian part participates through the
+/// embedding.
+pub fn eigh(h: &ZMat) -> EighResult {
+    let n = h.nrows();
+    assert!(h.is_square(), "eigh needs a square matrix");
+    if n == 0 {
+        return EighResult { values: Vec::new(), vectors: ZMat::zeros(0, 0) };
+    }
+    flops::add_flops(flops::eigh_flops(n));
+
+    let mut m = embed(h);
+    let (mut d, mut e) = tred2(&mut m, true);
+    tql2(&mut d, &mut e, Some(&mut m));
+
+    // Sort the 2n eigenpairs ascending.
+    let nn = 2 * n;
+    let mut order: Vec<usize> = (0..nn).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+
+    // Collapse the 2n real pairs to n complex eigenvectors. Every candidate
+    // is orthogonalized (two MGS passes) against *all* previously kept
+    // vectors — across exact eigenvalues this is a no-op up to rounding, and
+    // inside degenerate or numerically-split clusters it removes the `i·v`
+    // partner copies. Greedy acceptance with a descending threshold ladder
+    // guarantees exactly n survivors even when a cluster's candidates carry
+    // a needed direction with small amplitude.
+    let mut kept: Vec<(f64, Vec<c64>)> = Vec::with_capacity(n);
+    let mut candidates: Vec<(f64, Vec<c64>)> = order
+        .iter()
+        .map(|&idx| {
+            let v: Vec<c64> = (0..n).map(|r| c64::new(m[(r, idx)], m[(r + n, idx)])).collect();
+            (d[idx], v)
+        })
+        .collect();
+
+    for threshold in [1e-2, 1e-5, 1e-9, 1e-13] {
+        let mut remaining = Vec::new();
+        for (lambda, mut v) in candidates {
+            if kept.len() == n {
+                break;
+            }
+            for _pass in 0..2 {
+                for (_, vk) in &kept {
+                    let ip: c64 = vk.iter().zip(&v).map(|(&a, &b)| a.conj() * b).sum();
+                    if ip != c64::ZERO {
+                        for (vi, &ki) in v.iter_mut().zip(vk) {
+                            *vi -= ip * ki;
+                        }
+                    }
+                }
+            }
+            let nrm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if nrm > threshold {
+                let inv = 1.0 / nrm;
+                for vi in &mut v {
+                    *vi = vi.scale(inv);
+                }
+                kept.push((lambda, v));
+            } else {
+                remaining.push((lambda, v));
+            }
+        }
+        if kept.len() == n {
+            break;
+        }
+        candidates = remaining;
+    }
+    assert_eq!(kept.len(), n, "pair collapse must recover n eigenvectors");
+    kept.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = ZMat::zeros(n, n);
+    for (k, (lambda, v)) in kept.into_iter().enumerate() {
+        values.push(lambda);
+        for (r, z) in v.into_iter().enumerate() {
+            vectors[(r, k)] = z;
+        }
+    }
+    EighResult { values, vectors }
+}
+
+/// Eigenvalues only (skips eigenvector accumulation — roughly 2–3× faster;
+/// used by bandstructure sweeps).
+pub fn eigh_values(h: &ZMat) -> Vec<f64> {
+    let n = h.nrows();
+    assert!(h.is_square(), "eigh needs a square matrix");
+    if n == 0 {
+        return Vec::new();
+    }
+    flops::add_flops(flops::eigh_flops(n) / 2);
+    let mut m = embed(h);
+    let (mut d, mut e) = tred2(&mut m, false);
+    tql2(&mut d, &mut e, None);
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Every eigenvalue of H appears exactly twice: take one per pair.
+    (0..n).map(|k| 0.5 * (d[2 * k] + d[2 * k + 1])).collect()
+}
+
+/// Builds the real-symmetric `2n×2n` embedding of the Hermitian part of `h`.
+fn embed(h: &ZMat) -> RMat {
+    let n = h.nrows();
+    let mut m = RMat::zeros(2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            // Use the Hermitian average so tiny assembly asymmetries cancel.
+            let z = (h[(i, j)] + h[(j, i)].conj()).scale(0.5);
+            m[(i, j)] = z.re;
+            m[(i + n, j + n)] = z.re;
+            m[(i, j + n)] = -z.im;
+            m[(i + n, j)] = z.im;
+        }
+    }
+    m
+}
+
+/// Minimal square real matrix used only inside this module.
+struct RMat {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl RMat {
+    fn zeros(n: usize) -> Self {
+        RMat { n, a: vec![0.0; n * n] }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for RMat {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.a[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for RMat {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.a[i * self.n + j]
+    }
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form
+/// (EISPACK `tred2`, 0-indexed). Returns `(d, e)` with `d` the diagonal and
+/// `e[1..]` the subdiagonal. When `accumulate` is true, `a` is overwritten
+/// with the orthogonal transformation matrix `Q`; otherwise its contents are
+/// scratch afterwards.
+fn tred2(a: &mut RMat, accumulate: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = a.n;
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| a[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = a[(i, l)];
+            } else {
+                for k in 0..=l {
+                    a[(i, k)] /= scale;
+                    h += a[(i, k)] * a[(i, k)];
+                }
+                let f = a[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[(i, l)] = f - g;
+                let mut f_acc = 0.0;
+                for j in 0..=l {
+                    if accumulate {
+                        a[(j, i)] = a[(i, j)] / h;
+                    }
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in j + 1..=l {
+                        g += a[(k, j)] * a[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f_acc += e[j] * a[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = a[(i, j)];
+                    let gj = e[j] - hh * f;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        a[(j, k)] -= f * e[k] + gj * a[(i, k)];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+
+    if accumulate {
+        for i in 0..n {
+            if i > 0 && d[i] != 0.0 {
+                for j in 0..i {
+                    let mut g = 0.0;
+                    for k in 0..i {
+                        g += a[(i, k)] * a[(k, j)];
+                    }
+                    for k in 0..i {
+                        a[(k, j)] -= g * a[(k, i)];
+                    }
+                }
+            }
+            d[i] = a[(i, i)];
+            a[(i, i)] = 1.0;
+            for j in 0..i {
+                a[(j, i)] = 0.0;
+                a[(i, j)] = 0.0;
+            }
+        }
+    } else {
+        for i in 0..n {
+            d[i] = a[(i, i)];
+        }
+    }
+    (d, e)
+}
+
+#[inline]
+fn pythag(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix (EISPACK
+/// `tql2`/NR `tqli`, 0-indexed). On return `d` holds eigenvalues (unsorted);
+/// when `z` is provided its columns are rotated into the eigenvectors of the
+/// original matrix.
+fn tql2(d: &mut [f64], e: &mut [f64], mut z: Option<&mut RMat>) {
+    let n = d.len();
+    if n <= 1 {
+        return;
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tql2 failed to converge after 50 iterations");
+            // Form implicit shift.
+            let g0 = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = pythag(g0, 1.0);
+            let sign_r = if g0 >= 0.0 { r } else { -r };
+            let mut g = d[m] - d[l] + e[l] / (g0 + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut i = m as isize - 1;
+            while i >= l as isize {
+                let iu = i as usize;
+                let mut f = s * e[iu];
+                let b = c * e[iu];
+                r = pythag(f, g);
+                e[iu + 1] = r;
+                if r == 0.0 {
+                    d[iu + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[iu + 1] - p;
+                r = (d[iu] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[iu + 1] = g + p;
+                g = c * r - b;
+                if let Some(zm) = z.as_deref_mut() {
+                    for k in 0..n {
+                        f = zm[(k, iu + 1)];
+                        zm[(k, iu + 1)] = s * zm[(k, iu)] + c * f;
+                        zm[(k, iu)] = c * zm[(k, iu)] - s * f;
+                    }
+                }
+                i -= 1;
+            }
+            if r == 0.0 && i >= l as isize {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn rand_hermitian(n: usize, seed: u64) -> ZMat {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xBF58476D1CE4E5B9);
+        let mut next = move || {
+            s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xBF58476D1CE4E5B9);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let a = ZMat::from_fn(n, n, |_, _| c64::new(next(), next()));
+        a.hermitian_part()
+    }
+
+    fn check_decomposition(h: &ZMat, r: &EighResult, tol: f64) {
+        let n = h.nrows();
+        // H v = λ v for every pair.
+        for k in 0..n {
+            let v = r.vectors.col(k);
+            let hv = h.matvec(&v);
+            for i in 0..n {
+                let lhs = hv[i];
+                let rhs = v[i].scale(r.values[k]);
+                assert!(
+                    (lhs - rhs).abs() < tol,
+                    "residual too large at eigenpair {k}: {} (λ={})",
+                    (lhs - rhs).abs(),
+                    r.values[k]
+                );
+            }
+        }
+        // Unitarity of the eigenvector matrix.
+        let vhv = crate::gemm::matmul_h_n(&r.vectors, &r.vectors);
+        assert!((&vhv - &ZMat::eye(n)).max_abs() < tol, "eigenvectors not orthonormal");
+        // Ascending eigenvalues.
+        for k in 1..n {
+            assert!(r.values[k] >= r.values[k - 1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let h = ZMat::from_diag(&[c64::real(3.0), c64::real(-1.0), c64::real(0.5)]);
+        let r = eigh(&h);
+        assert!((r.values[0] + 1.0).abs() < 1e-12);
+        assert!((r.values[1] - 0.5).abs() < 1e-12);
+        assert!((r.values[2] - 3.0).abs() < 1e-12);
+        check_decomposition(&h, &r, 1e-10);
+    }
+
+    #[test]
+    fn pauli_y_has_plus_minus_one() {
+        // σ_y = [[0, -i], [i, 0]] — genuinely complex Hermitian.
+        let h = ZMat::from_rows(&[
+            vec![c64::ZERO, c64::new(0.0, -1.0)],
+            vec![c64::new(0.0, 1.0), c64::ZERO],
+        ]);
+        let r = eigh(&h);
+        assert!((r.values[0] + 1.0).abs() < 1e-12);
+        assert!((r.values[1] - 1.0).abs() < 1e-12);
+        check_decomposition(&h, &r, 1e-10);
+    }
+
+    #[test]
+    fn random_hermitian_various_sizes() {
+        for (n, seed) in [(1usize, 1u64), (2, 2), (3, 3), (5, 4), (8, 5), (13, 6), (24, 7)] {
+            let h = rand_hermitian(n, seed);
+            let r = eigh(&h);
+            check_decomposition(&h, &r, 1e-8);
+            // Trace preserved.
+            let tr: f64 = r.values.iter().sum();
+            assert!((tr - h.trace().re).abs() < 1e-9 * (1.0 + tr.abs()));
+        }
+    }
+
+    #[test]
+    fn degenerate_spectrum() {
+        // H = I ⊕ 2I has heavy degeneracy; vectors must still be orthonormal.
+        let mut h = ZMat::eye(6);
+        for i in 3..6 {
+            h[(i, i)] = c64::real(2.0);
+        }
+        let r = eigh(&h);
+        check_decomposition(&h, &r, 1e-10);
+        assert!((r.values[2] - 1.0).abs() < 1e-12);
+        assert!((r.values[3] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_only_matches_full() {
+        let h = rand_hermitian(10, 42);
+        let r = eigh(&h);
+        let v = eigh_values(&h);
+        for k in 0..10 {
+            assert!((r.values[k] - v[k]).abs() < 1e-9, "k={k}: {} vs {}", r.values[k], v[k]);
+        }
+    }
+
+    #[test]
+    fn tight_binding_chain_analytic() {
+        // 1D chain with onsite 0, hopping t: eigenvalues 2t cos(kπ/(n+1)).
+        let n = 12;
+        let t = -1.0;
+        let h = ZMat::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) == 1 {
+                c64::real(t)
+            } else {
+                c64::ZERO
+            }
+        });
+        let mut expect: Vec<f64> =
+            (1..=n).map(|k| 2.0 * t * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos()).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got = eigh_values(&h);
+        for k in 0..n {
+            assert!((got[k] - expect[k]).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn broadening_like_spectrum_with_huge_zero_cluster() {
+        // Regression: a PSD matrix with a large (near-)zero cluster plus a
+        // few split tiny eigenvalues and a handful of large ones — the
+        // spectrum shape of a contact broadening matrix Γ. The embedding's
+        // duplicated eigenvalues must collapse to exactly n orthonormal
+        // complex vectors with the large eigenvalues intact.
+        let n = 40;
+        // Random unitary from QR of a random complex matrix.
+        let mut s = 0xABCDu64;
+        let mut next = move || {
+            s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0x1234567);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let a = ZMat::from_fn(n, n, |_, _| c64::new(next(), next()));
+        let (q, _) = crate::qr::qr_decompose(&a);
+        let mut diag = vec![0.0; n];
+        diag[n - 1] = 84.0;
+        diag[n - 2] = 22.0;
+        diag[n - 3] = 3.5;
+        diag[n - 4] = 3.2e-4;
+        diag[n - 5] = 2.7e-4;
+        // rest exactly zero
+        let d = ZMat::from_diag(&diag.iter().map(|&v| c64::real(v)).collect::<Vec<_>>());
+        let h = matmul(&matmul(&q, &d), &q.adjoint());
+        let r = eigh(&h);
+        check_decomposition(&h.hermitian_part(), &r, 1e-7);
+        assert!((r.values[n - 1] - 84.0).abs() < 1e-8, "top eigenvalue lost: {}", r.values[n - 1]);
+        assert!((r.values[n - 2] - 22.0).abs() < 1e-8);
+        assert!((r.values[n - 3] - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_phase_invariance() {
+        // Unitary diagonal conjugation preserves the spectrum.
+        let h = rand_hermitian(6, 99);
+        let phases: Vec<c64> = (0..6).map(|i| c64::from_polar(1.0, 0.7 * i as f64)).collect();
+        let u = ZMat::from_diag(&phases);
+        let hu = matmul(&crate::gemm::matmul(&u, &h), &u.adjoint());
+        let a = eigh_values(&h);
+        let b = eigh_values(&hu);
+        for k in 0..6 {
+            assert!((a[k] - b[k]).abs() < 1e-9);
+        }
+    }
+}

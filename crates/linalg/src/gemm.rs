@@ -1,0 +1,240 @@
+//! Blocked complex GEMM.
+//!
+//! `gemm` computes `C ← α·op(A)·op(B) + β·C` where each operand op is
+//! none, transpose, or conjugate-transpose. The kernel materializes the
+//! transposed operands once (transport blocks are small enough that the
+//! copy is cheaper than strided access) and then runs a cache-blocked
+//! `i-k-j` loop on row-major data, which keeps the innermost loop a
+//! contiguous complex AXPY.
+
+use crate::flops;
+use crate::matrix::ZMat;
+use omen_num::c64;
+
+/// Operand transformation for [`gemm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    N,
+    /// Use the plain transpose.
+    T,
+    /// Use the conjugate (Hermitian) transpose.
+    H,
+}
+
+impl Op {
+    fn apply(self, a: &ZMat) -> ZMat {
+        match self {
+            Op::N => a.clone(),
+            Op::T => a.transpose(),
+            Op::H => a.adjoint(),
+        }
+    }
+
+    fn dims(self, a: &ZMat) -> (usize, usize) {
+        match self {
+            Op::N => (a.nrows(), a.ncols()),
+            Op::T | Op::H => (a.ncols(), a.nrows()),
+        }
+    }
+}
+
+/// Cache block edge (elements); 64 complex values = 1 KiB per row strip.
+const BLOCK: usize = 64;
+
+/// General matrix multiply-accumulate `C ← α·op(A)·op(B) + β·C`.
+///
+/// Panics on dimension mismatch. Reports `8·m·n·k` real flops.
+pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut ZMat) {
+    let (m, ka) = opa.dims(a);
+    let (kb, n) = opb.dims(b);
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
+    assert_eq!((c.nrows(), c.ncols()), (m, n), "gemm output shape mismatch");
+    let k = ka;
+
+    if beta == c64::ZERO {
+        c.data_mut().fill(c64::ZERO);
+    } else if beta != c64::ONE {
+        c.scale_inplace(beta);
+    }
+    if alpha == c64::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Materialize effective row-major operands.
+    let ae;
+    let a_eff: &ZMat = if opa == Op::N {
+        a
+    } else {
+        ae = opa.apply(a);
+        &ae
+    };
+    let be;
+    let b_eff: &ZMat = if opb == Op::N {
+        b
+    } else {
+        be = opb.apply(b);
+        &be
+    };
+
+    flops::add_flops(flops::gemm_flops(m, n, k));
+
+    // Blocked i-k-j: C[i, j..] += (alpha * A[i, k]) * B[k, j..]
+    for kk in (0..k).step_by(BLOCK) {
+        let k_hi = (kk + BLOCK).min(k);
+        for i in 0..m {
+            let arow = a_eff.row(i);
+            let crow = c.row_mut(i);
+            for (p, &aik) in arow.iter().enumerate().take(k_hi).skip(kk) {
+                if aik == c64::ZERO {
+                    continue;
+                }
+                let s = alpha * aik;
+                let brow = b_eff.row(p);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += s * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: `A · B`.
+pub fn matmul(a: &ZMat, b: &ZMat) -> ZMat {
+    let mut c = ZMat::zeros(a.nrows(), b.ncols());
+    gemm(c64::ONE, a, Op::N, b, Op::N, c64::ZERO, &mut c);
+    c
+}
+
+/// Convenience: `A† · B`.
+pub fn matmul_h_n(a: &ZMat, b: &ZMat) -> ZMat {
+    let mut c = ZMat::zeros(a.ncols(), b.ncols());
+    gemm(c64::ONE, a, Op::H, b, Op::N, c64::ZERO, &mut c);
+    c
+}
+
+/// Convenience: `A · B†`.
+pub fn matmul_n_h(a: &ZMat, b: &ZMat) -> ZMat {
+    let mut c = ZMat::zeros(a.nrows(), b.nrows());
+    gemm(c64::ONE, a, Op::N, b, Op::H, c64::ZERO, &mut c);
+    c
+}
+
+/// Triple product `A · B · C`, associating to minimize work.
+pub fn matmul3(a: &ZMat, b: &ZMat, c: &ZMat) -> ZMat {
+    // Cost of (AB)C vs A(BC)
+    let left = a.nrows() * b.ncols() * (a.ncols() + c.ncols());
+    let right = b.nrows() * c.ncols() * (b.ncols() + a.nrows());
+    if left <= right {
+        matmul(&matmul(a, b), c)
+    } else {
+        matmul(a, &matmul(b, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn randmat(nr: usize, nc: usize, seed: u64) -> ZMat {
+        // Tiny deterministic LCG so unit tests avoid dev-dependency plumbing.
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        ZMat::from_fn(nr, nc, |_, _| c64::new(next(), next()))
+    }
+
+    fn naive_mul(a: &ZMat, b: &ZMat) -> ZMat {
+        ZMat::from_fn(a.nrows(), b.ncols(), |i, j| {
+            (0..a.ncols()).map(|k| a[(i, k)] * b[(k, j)]).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 4, 2), (7, 5, 9), (70, 65, 80)] {
+            let a = randmat(m, k, 1);
+            let b = randmat(k, n, 2);
+            let c = matmul(&a, &b);
+            let r = naive_mul(&a, &b);
+            let mut err = 0.0f64;
+            for i in 0..m {
+                for j in 0..n {
+                    err = err.max((c[(i, j)] - r[(i, j)]).abs());
+                }
+            }
+            assert!(err < 1e-11 * k as f64, "m={m} k={k} n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn ops_match_explicit_transposes() {
+        let a = randmat(4, 6, 3);
+        let b = randmat(4, 5, 4);
+        // A† B: (6x4)(4x5)
+        let c = matmul_h_n(&a, &b);
+        let r = naive_mul(&a.adjoint(), &b);
+        assert!((&c - &r).max_abs() < 1e-12);
+        // A B† with compatible dims
+        let a2 = randmat(3, 6, 5);
+        let b2 = randmat(4, 6, 6);
+        let c2 = matmul_n_h(&a2, &b2);
+        let r2 = naive_mul(&a2, &b2.adjoint());
+        assert!((&c2 - &r2).max_abs() < 1e-12);
+        // T op
+        let mut c3 = ZMat::zeros(6, 5);
+        gemm(c64::ONE, &a, Op::T, &b.conj(), Op::N, c64::ZERO, &mut c3);
+        let r3 = naive_mul(&a.transpose(), &b.conj());
+        assert!((&c3 - &r3).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = randmat(3, 3, 7);
+        let b = randmat(3, 3, 8);
+        let c0 = randmat(3, 3, 9);
+        let mut c = c0.clone();
+        let alpha = c64::new(0.5, -1.0);
+        let beta = c64::new(2.0, 0.25);
+        gemm(alpha, &a, Op::N, &b, Op::N, beta, &mut c);
+        let r = &naive_mul(&a, &b).scaled(alpha) + &c0.scaled(beta);
+        assert!((&c - &r).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = randmat(5, 5, 11);
+        let e = ZMat::eye(5);
+        assert!((&matmul(&a, &e) - &a).max_abs() < 1e-14);
+        assert!((&matmul(&e, &a) - &a).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn matmul3_associativity() {
+        let a = randmat(4, 6, 21);
+        let b = randmat(6, 3, 22);
+        let c = randmat(3, 5, 23);
+        let p1 = matmul3(&a, &b, &c);
+        let p2 = matmul(&matmul(&a, &b), &c);
+        assert!((&p1 - &p2).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn gemm_counts_flops() {
+        crate::flops::reset_flops();
+        let a = randmat(10, 20, 31);
+        let b = randmat(20, 30, 32);
+        let _ = matmul(&a, &b);
+        assert!(crate::flops::flop_count() >= 8 * 10 * 20 * 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = ZMat::zeros(2, 3);
+        let b = ZMat::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,318 @@
+//! LU factorization with partial pivoting, solves and inverses.
+//!
+//! The recursive Green's function and the block-tridiagonal wave-function
+//! solver spend nearly all their time in `PA = LU` factorizations of slab
+//! blocks followed by multi-right-hand-side solves; this module is their
+//! workhorse. Factorization is in-place Doolittle with row pivoting.
+
+use crate::flops;
+use crate::matrix::ZMat;
+use omen_num::c64;
+
+/// An LU factorization `P·A = L·U` of a square complex matrix.
+#[derive(Clone)]
+pub struct Lu {
+    /// Packed factors: strict lower triangle holds L (unit diagonal
+    /// implicit), upper triangle holds U.
+    lu: ZMat,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Error raised when a pivot underflows — the matrix is singular to working
+/// precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Singular {
+    /// Index of the failing pivot.
+    pub at: usize,
+    /// Magnitude of the failing pivot.
+    pub pivot: f64,
+}
+
+impl std::fmt::Display for Singular {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix singular to working precision at pivot {} (|p| = {:.3e})", self.at, self.pivot)
+    }
+}
+
+impl std::error::Error for Singular {}
+
+impl Lu {
+    /// Factorizes `a`. Returns [`Singular`] when a pivot column is entirely
+    /// below `1e-300` in magnitude.
+    pub fn factor(a: &ZMat) -> Result<Lu, Singular> {
+        assert!(a.is_square(), "LU of non-square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        flops::add_flops(flops::lu_flops(n));
+
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-300 {
+                return Err(Singular { at: k, pivot: pmax });
+            }
+            if p != k {
+                // Swap full rows (both L and U parts) and permutation.
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = t;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            let inv_p = pivot.inv();
+            // Split rows k.. so we can read row k while updating rows below.
+            let ncols = n;
+            let (upper, lower) = lu.data_mut().split_at_mut((k + 1) * ncols);
+            let urow = &upper[k * ncols..(k + 1) * ncols];
+            for i in k + 1..n {
+                let row = &mut lower[(i - k - 1) * ncols..(i - k) * ncols];
+                let m = row[k] * inv_p;
+                row[k] = m;
+                if m == c64::ZERO {
+                    continue;
+                }
+                for j in k + 1..n {
+                    row[j] -= m * urow[j];
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> c64 {
+        let mut d = c64::real(self.sign);
+        for i in 0..self.n() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[c64]) -> Vec<c64> {
+        let n = self.n();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        flops::add_flops(flops::trsm_flops(n, 1));
+        // Apply permutation then forward/back substitution.
+        let mut x: Vec<c64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` for a matrix of right-hand sides.
+    pub fn solve_mat(&self, b: &ZMat) -> ZMat {
+        let n = self.n();
+        assert_eq!(b.nrows(), n, "rhs row count mismatch");
+        let nrhs = b.ncols();
+        flops::add_flops(flops::trsm_flops(n, nrhs));
+        // Permute rows of B.
+        let mut x = ZMat::zeros(n, nrhs);
+        for i in 0..n {
+            x.row_mut(i).copy_from_slice(b.row(self.perm[i]));
+        }
+        // Forward substitution L y = P b (unit diagonal).
+        for i in 1..n {
+            let (done, rest) = x.data_mut().split_at_mut(i * nrhs);
+            let xi = &mut rest[..nrhs];
+            for j in 0..i {
+                let lij = self.lu[(i, j)];
+                if lij == c64::ZERO {
+                    continue;
+                }
+                let xj = &done[j * nrhs..(j + 1) * nrhs];
+                for (a, &b) in xi.iter_mut().zip(xj) {
+                    *a -= lij * b;
+                }
+            }
+        }
+        // Back substitution U x = y.
+        for i in (0..n).rev() {
+            let nc = nrhs;
+            let (head, tail) = x.data_mut().split_at_mut((i + 1) * nc);
+            let xi = &mut head[i * nc..];
+            for j in i + 1..n {
+                let uij = self.lu[(i, j)];
+                if uij == c64::ZERO {
+                    continue;
+                }
+                let xj = &tail[(j - i - 1) * nc..(j - i) * nc];
+                for (a, &b) in xi.iter_mut().zip(xj) {
+                    *a -= uij * b;
+                }
+            }
+            let d = self.lu[(i, i)].inv();
+            for a in xi.iter_mut() {
+                *a *= d;
+            }
+        }
+        x
+    }
+
+    /// Explicit inverse `A⁻¹` (solves against the identity).
+    pub fn inverse(&self) -> ZMat {
+        self.solve_mat(&ZMat::eye(self.n()))
+    }
+}
+
+/// One-shot solve `A x = b`.
+pub fn solve(a: &ZMat, b: &ZMat) -> Result<ZMat, Singular> {
+    Ok(Lu::factor(a)?.solve_mat(b))
+}
+
+/// One-shot inverse.
+pub fn inverse(a: &ZMat) -> Result<ZMat, Singular> {
+    Ok(Lu::factor(a)?.inverse())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn randmat(n: usize, seed: u64) -> ZMat {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        ZMat::from_fn(n, n, |_, _| c64::new(next(), next()))
+    }
+
+    #[test]
+    fn reconstructs_pa_eq_lu() {
+        let n = 12;
+        let a = randmat(n, 5);
+        let f = Lu::factor(&a).unwrap();
+        // Rebuild L and U, check L·U == P·A.
+        let mut l = ZMat::eye(n);
+        let mut u = ZMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i > j {
+                    l[(i, j)] = f.lu[(i, j)];
+                } else {
+                    u[(i, j)] = f.lu[(i, j)];
+                }
+            }
+        }
+        let pa = ZMat::from_fn(n, n, |i, j| a[(f.perm[i], j)]);
+        assert!((&matmul(&l, &u) - &pa).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_vec_and_mat_agree() {
+        let n = 9;
+        let a = randmat(n, 17);
+        let b = randmat(n, 18);
+        let f = Lu::factor(&a).unwrap();
+        let xm = f.solve_mat(&b);
+        for j in 0..n {
+            let xv = f.solve_vec(&b.col(j));
+            for i in 0..n {
+                assert!((xv[i] - xm[(i, j)]).abs() < 1e-11);
+            }
+        }
+        // Residual check.
+        assert!((&matmul(&a, &xm) - &b).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = randmat(15, 33);
+        let inv = inverse(&a).unwrap();
+        assert!((&matmul(&a, &inv) - &ZMat::eye(15)).max_abs() < 1e-10);
+        assert!((&matmul(&inv, &a) - &ZMat::eye(15)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        // det([[2, 1], [1, 3]]) = 5; complex scaling multiplies by i^2... use exact case.
+        let a = ZMat::from_rows(&[
+            vec![c64::real(2.0), c64::real(1.0)],
+            vec![c64::real(1.0), c64::real(3.0)],
+        ]);
+        let d = Lu::factor(&a).unwrap().det();
+        assert!((d - c64::real(5.0)).abs() < 1e-13);
+        // Permutation sign: swapping rows flips sign.
+        let b = ZMat::from_rows(&[
+            vec![c64::real(0.0), c64::real(1.0)],
+            vec![c64::real(1.0), c64::real(0.0)],
+        ]);
+        assert!((Lu::factor(&b).unwrap().det() + c64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = randmat(6, 44);
+        // Make row 3 a copy of row 1.
+        for j in 0..6 {
+            let v = a[(1, j)];
+            a[(3, j)] = v;
+        }
+        let r = Lu::factor(&a);
+        match r {
+            Err(_) => {}
+            Ok(f) => assert!(f.det().abs() < 1e-10, "near-singular must have tiny det"),
+        }
+        let z = ZMat::zeros(4, 4);
+        assert!(Lu::factor(&z).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = ZMat::from_rows(&[
+            vec![c64::ZERO, c64::ONE],
+            vec![c64::ONE, c64::ZERO],
+        ]);
+        let f = Lu::factor(&a).unwrap();
+        let x = f.solve_vec(&[c64::real(3.0), c64::real(7.0)]);
+        assert!((x[0] - c64::real(7.0)).abs() < 1e-14);
+        assert!((x[1] - c64::real(3.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn diagonally_dominant_large_system() {
+        let n = 60;
+        let mut a = randmat(n, 7);
+        for i in 0..n {
+            a[(i, i)] += c64::real(n as f64);
+        }
+        let b = randmat(n, 8);
+        let x = solve(&a, &b).unwrap();
+        assert!((&matmul(&a, &x) - &b).max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Thin QR factorization by modified Gram–Schmidt.
+//!
+//! Used to orthonormalize contact injection-mode bundles and to
+//! re-orthogonalize scattering-state bases in the wave-function engine.
+//! MGS with one re-orthogonalization pass is adequate for the modest
+//! column counts (≤ a few hundred modes) that occur there.
+
+use crate::flops::add_flops;
+use crate::matrix::ZMat;
+use crate::vec_ops::dot;
+use omen_num::c64;
+
+/// Thin QR of an `m × n` matrix with `m ≥ n`: returns `(Q, R)` with `Q`
+/// `m × n` having orthonormal columns and `R` `n × n` upper triangular such
+/// that `A = Q R`. Rank-deficient columns produce zero columns in `Q` and a
+/// zero diagonal in `R` (callers check `R[(k,k)]` to drop them).
+pub fn qr_decompose(a: &ZMat) -> (ZMat, ZMat) {
+    let (m, n) = (a.nrows(), a.ncols());
+    assert!(m >= n, "thin QR requires m >= n (got {m} x {n})");
+    add_flops(16 * (m * n * n) as u64);
+
+    let mut q_cols: Vec<Vec<c64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut r = ZMat::zeros(n, n);
+
+    for k in 0..n {
+        // Two MGS passes for numerical robustness.
+        for _pass in 0..2 {
+            for j in 0..k {
+                let (head, tail) = q_cols.split_at_mut(k);
+                let proj = dot(&head[j], &tail[0]);
+                r[(j, k)] += proj;
+                for (t, &h) in tail[0].iter_mut().zip(&head[j]) {
+                    *t -= proj * h;
+                }
+            }
+        }
+        let nrm = q_cols[k].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        let col_scale = a.col(k).iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if nrm <= 1e-12 * (1.0 + col_scale) {
+            // Rank deficient: zero out.
+            r[(k, k)] = c64::ZERO;
+            for z in &mut q_cols[k] {
+                *z = c64::ZERO;
+            }
+        } else {
+            r[(k, k)] = c64::real(nrm);
+            let inv = 1.0 / nrm;
+            for z in &mut q_cols[k] {
+                *z = z.scale(inv);
+            }
+        }
+    }
+
+    let mut q = ZMat::zeros(m, n);
+    for (j, col) in q_cols.iter().enumerate() {
+        for (i, &z) in col.iter().enumerate() {
+            q[(i, j)] = z;
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_h_n};
+
+    fn randmat(m: usize, n: usize, seed: u64) -> ZMat {
+        let mut s = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(0x8CB92BA72F3D8DD7);
+        let mut next = move || {
+            s = s.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(0x8CB92BA72F3D8DD7);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        ZMat::from_fn(m, n, |_, _| c64::new(next(), next()))
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal() {
+        for (m, n) in [(4usize, 4usize), (8, 5), (20, 3), (6, 1)] {
+            let a = randmat(m, n, (m * 31 + n) as u64);
+            let (q, r) = qr_decompose(&a);
+            assert!((&matmul(&q, &r) - &a).max_abs() < 1e-10, "reconstruction {m}x{n}");
+            let qhq = matmul_h_n(&q, &q);
+            assert!((&qhq - &ZMat::eye(n)).max_abs() < 1e-10, "orthonormality {m}x{n}");
+            // R upper triangular.
+            for i in 0..n {
+                for j in 0..i {
+                    assert_eq!(r[(i, j)], c64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        let mut a = randmat(6, 3, 77);
+        // Column 2 = column 0 duplicated.
+        for i in 0..6 {
+            let v = a[(i, 0)];
+            a[(i, 2)] = v;
+        }
+        let (q, r) = qr_decompose(&a);
+        assert!(r[(2, 2)].abs() < 1e-9, "dependent column must yield zero diagonal");
+        // Q still reconstructs A.
+        assert!((&matmul(&q, &r) - &a).max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! BLAS-1 style operations on complex vectors.
+
+use crate::flops::add_flops;
+use omen_num::c64;
+
+/// Conjugated inner product `⟨x, y⟩ = Σ x̄ᵢ yᵢ` (linear in the second slot,
+/// the physics convention).
+pub fn dot(x: &[c64], y: &[c64]) -> c64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    add_flops(8 * x.len() as u64);
+    x.iter().zip(y).map(|(&a, &b)| a.conj() * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn nrm2(x: &[c64]) -> f64 {
+    add_flops(3 * x.len() as u64);
+    x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// `y ← y + α x`.
+pub fn axpy(alpha: c64, x: &[c64], y: &mut [c64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    add_flops(8 * x.len() as u64);
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← α x`.
+pub fn scal(alpha: c64, x: &mut [c64]) {
+    add_flops(6 * x.len() as u64);
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm; returns the original norm.
+/// A zero vector is left untouched and 0 is returned.
+pub fn normalize(x: &mut [c64]) -> f64 {
+    let n = nrm2(x);
+    if n > 0.0 {
+        scal(c64::real(1.0 / n), x);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_is_conjugate_linear_in_first_slot() {
+        let x = vec![c64::new(0.0, 1.0), c64::new(2.0, 0.0)];
+        let y = vec![c64::new(1.0, 0.0), c64::new(0.0, 3.0)];
+        // <x,y> = conj(i)*1 + conj(2)*3i = -i + 6i = 5i
+        assert!((dot(&x, &y) - c64::imag(5.0)).abs() < 1e-15);
+        // <x,x> is real nonnegative.
+        let xx = dot(&x, &x);
+        assert!(xx.im.abs() < 1e-15 && xx.re > 0.0);
+    }
+
+    #[test]
+    fn nrm2_matches_dot() {
+        let x = vec![c64::new(1.0, 2.0), c64::new(-3.0, 0.5)];
+        assert!((nrm2(&x).powi(2) - dot(&x, &x).re).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let x = vec![c64::ONE, c64::I];
+        let mut y = vec![c64::real(2.0), c64::real(-1.0)];
+        axpy(c64::imag(1.0), &x, &mut y);
+        assert_eq!(y[0], c64::new(2.0, 1.0));
+        assert_eq!(y[1], c64::new(-2.0, 0.0));
+        scal(c64::real(0.5), &mut y);
+        assert_eq!(y[0], c64::new(1.0, 0.5));
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut x = vec![c64::real(3.0), c64::real(4.0)];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-14);
+        assert!((nrm2(&x) - 1.0).abs() < 1e-14);
+        let mut z = vec![c64::ZERO; 3];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert!(z.iter().all(|&v| v == c64::ZERO));
+    }
+}

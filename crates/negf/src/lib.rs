@@ -1,0 +1,24 @@
+//! # omen-negf — ballistic non-equilibrium Green's function engine
+//!
+//! The reference transport engine of the simulator: recursive Green's
+//! functions (RGF) over the block-tridiagonal device Hamiltonian with
+//! semi-infinite contact self-energies.
+//!
+//! * [`sancho`] — Sancho–Rubio decimation for lead surface Green's
+//!   functions and the contact self-energies/broadenings `Σ`, `Γ`;
+//! * [`rgf`] — the forward/backward recursive Green's function returning
+//!   diagonal blocks (density/LDOS), first/last block columns (contact
+//!   spectral functions) and the Caroli transmission;
+//! * [`transport`] — one-call per-energy transport solve plus a dense-matrix
+//!   reference implementation used for cross-validation.
+//!
+//! Everything here is per-(energy, momentum) point: the embarrassing
+//! parallelism over those axes is orchestrated by `omen-core`.
+
+pub mod rgf;
+pub mod sancho;
+pub mod transport;
+
+pub use rgf::{rgf_solve, RgfResult};
+pub use sancho::{surface_green_function, ContactSelfEnergy, Side};
+pub use transport::{transmission_dense_reference, transport_at_energy, EnergyPointData};

@@ -1,0 +1,186 @@
+//! Per-energy transport driver and the dense reference implementation.
+
+use crate::rgf::{build_a_matrix, rgf_solve, RgfResult};
+use crate::sancho::{ContactSelfEnergy, Side};
+use omen_linalg::{lu, ZMat};
+use omen_num::c64;
+use omen_sparse::BlockTridiag;
+
+/// Everything the upper layers need from one (E, k) transport point.
+pub struct EnergyPointData {
+    /// Energy (eV).
+    pub energy: f64,
+    /// Transmission from left to right contact.
+    pub transmission: f64,
+    /// Per-slab LDOS `−Im Tr G_ii / π`.
+    pub ldos: Vec<f64>,
+    /// Per-orbital diagonal of the left-injected spectral function.
+    pub spectral_left_diag: Vec<f64>,
+    /// Per-orbital diagonal of the right-injected spectral function.
+    pub spectral_right_diag: Vec<f64>,
+}
+
+/// Default numerical broadening (eV) used by the transport engines.
+pub const DEFAULT_ETA: f64 = 2e-6;
+
+/// Solves one energy point with RGF: self-energies from Sancho–Rubio on the
+/// supplied lead blocks, then the recursive sweeps.
+///
+/// `lead_l`/`lead_r` are `(H00, H01)` principal-layer blocks for each
+/// contact (H01 oriented toward +x for both).
+pub fn transport_at_energy(
+    e: f64,
+    h: &BlockTridiag,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+) -> EnergyPointData {
+    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left);
+    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right);
+    let a = build_a_matrix(e, DEFAULT_ETA, h, &sl, &sr);
+    let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
+    package(e, h, &r, &sl.gamma, &sr.gamma)
+}
+
+/// Packages an [`RgfResult`] into the flat per-orbital data the density
+/// integrator consumes.
+pub fn package(
+    e: f64,
+    h: &BlockTridiag,
+    r: &RgfResult,
+    gamma_l: &ZMat,
+    gamma_r: &ZMat,
+) -> EnergyPointData {
+    let nb = h.num_blocks();
+    let mut ldos = Vec::with_capacity(nb);
+    let mut al = Vec::with_capacity(h.dim());
+    let mut ar = Vec::with_capacity(h.dim());
+    for i in 0..nb {
+        ldos.push(r.ldos(i));
+        let sal = r.spectral_left(gamma_l, i);
+        let sar = r.spectral_right(gamma_r, i);
+        for k in 0..sal.nrows() {
+            al.push(sal[(k, k)].re);
+            ar.push(sar[(k, k)].re);
+        }
+    }
+    EnergyPointData {
+        energy: e,
+        transmission: r.transmission,
+        ldos,
+        spectral_left_diag: al,
+        spectral_right_diag: ar,
+    }
+}
+
+/// Dense reference: inverts the full `A` matrix and evaluates the Caroli
+/// formula directly. O(dim³) — tests and small devices only.
+pub fn transmission_dense_reference(
+    e: f64,
+    h: &BlockTridiag,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+) -> f64 {
+    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left);
+    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right);
+    let n = h.dim();
+    let nb = h.num_blocks();
+    let mut a = ZMat::from_diag(&vec![c64::new(e, DEFAULT_ETA); n]);
+    let hd = h.to_dense();
+    a -= &hd;
+    let n0 = h.block_size(0);
+    let nn = h.block_size(nb - 1);
+    let off_r = h.offset(nb - 1);
+    // Subtract self-energies on the corner blocks.
+    for i in 0..n0 {
+        for j in 0..n0 {
+            a[(i, j)] -= sl.sigma[(i, j)];
+        }
+    }
+    for i in 0..nn {
+        for j in 0..nn {
+            a[(off_r + i, off_r + j)] -= sr.sigma[(i, j)];
+        }
+    }
+    let g = lu::Lu::factor(&a).expect("dense reference factor").inverse();
+    let g0n = g.block(0, off_r, n0, nn);
+    let t1 = omen_linalg::matmul(&sl.gamma, &g0n);
+    let t2 = omen_linalg::matmul(&t1, &sr.gamma);
+    let t3 = omen_linalg::matmul_n_h(&t2, &g0n);
+    t3.trace().re
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_lattice::{Crystal, Device};
+    use omen_num::A_SI;
+    use omen_tb::{DeviceHamiltonian, Material, TbParams};
+
+    fn si_wire_system(material: Material, slabs: usize, w: f64) -> (BlockTridiag, ZMat, ZMat) {
+        let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, slabs, w, w);
+        let p = TbParams::of(material);
+        let ham = DeviceHamiltonian::new(&dev, p, false);
+        let pot = vec![0.0; dev.num_atoms()];
+        let bt = ham.assemble(&pot, 0.0);
+        let (h00, h01) = ham.lead_blocks(0.0, 0.0);
+        (bt, h00, h01)
+    }
+
+    #[test]
+    fn rgf_matches_dense_reference_single_band_wire() {
+        let (bt, h00, h01) = si_wire_system(Material::SingleBand { t_mev: 800 }, 4, 0.8);
+        for &e in &[-2.03_f64, -0.51, 0.33, 1.48] {
+            let t_rgf = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01)).transmission;
+            let t_ref = transmission_dense_reference(e, &bt, (&h00, &h01), (&h00, &h01));
+            assert!(
+                (t_rgf - t_ref).abs() < 1e-6 * (1.0 + t_ref.abs()),
+                "E={e}: RGF {t_rgf} vs dense {t_ref}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_wire_transmission_is_integer_mode_count() {
+        // In a pristine wire T(E) equals the number of subbands at E.
+        let (bt, h00, h01) = si_wire_system(Material::SingleBand { t_mev: 1000 }, 3, 0.8);
+        let thetas = omen_num::linspace(-std::f64::consts::PI, std::f64::consts::PI, 101);
+        let bands = omen_tb::bands::wire_bands(&h00, &h01, &thetas);
+        for &e in &[-3.03_f64, -1.52, 0.07, 1.04] {
+            let modes = bands[0].len();
+            let count: usize = (0..modes)
+                .filter(|&b| {
+                    let lo = bands.iter().map(|k| k[b]).fold(f64::INFINITY, f64::min);
+                    let hi = bands.iter().map(|k| k[b]).fold(f64::NEG_INFINITY, f64::max);
+                    lo < e && e < hi
+                })
+                .count();
+            let t = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01)).transmission;
+            assert!(
+                (t - count as f64).abs() < 1e-3,
+                "E={e}: T={t} vs band count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn sp3s_wire_rgf_vs_dense() {
+        // Full 5-orbital Si wire: engines must agree to numerical precision.
+        let (bt, h00, h01) = si_wire_system(Material::SiSp3s, 3, 0.8);
+        for &e in &[1.6_f64, 2.2] {
+            let t_rgf = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01)).transmission;
+            let t_ref = transmission_dense_reference(e, &bt, (&h00, &h01), (&h00, &h01));
+            assert!(
+                (t_rgf - t_ref).abs() < 1e-6 * (1.0 + t_ref.abs()),
+                "E={e}: RGF {t_rgf} vs dense {t_ref}"
+            );
+        }
+    }
+
+    #[test]
+    fn transmission_zero_in_gap() {
+        let (bt, h00, h01) = si_wire_system(Material::SiSp3s, 3, 0.8);
+        // Mid-gap of the confined wire (bulk gap ~1.1, confined larger).
+        let t = transport_at_energy(0.6, &bt, (&h00, &h01), (&h00, &h01)).transmission;
+        assert!(t.abs() < 1e-6, "mid-gap transmission {t}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Fermi–Dirac statistics with overflow-safe evaluation.
+
+/// Numerically safe `ln(1 + e^x)`.
+///
+/// For large positive `x` returns `x + e^{-x}`-accurate value without
+/// overflowing; for large negative `x` returns `e^x` to full precision.
+#[inline]
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 35.0 {
+        // ln(1+e^x) = x + ln(1+e^-x) ≈ x + e^-x
+        x + (-x).exp()
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Fermi–Dirac occupation `f(E) = 1 / (1 + exp((E - mu)/kT))`.
+///
+/// `kt` must be positive; the function saturates cleanly to 0/1 for
+/// arguments far from the chemical potential instead of overflowing.
+#[inline]
+pub fn fermi(e: f64, mu: f64, kt: f64) -> f64 {
+    let x = (e - mu) / kt;
+    if x > 35.0 {
+        (-x).exp() // ≈ e^{-x}, avoids 1/(1+huge)
+    } else if x < -35.0 {
+        1.0 - x.exp()
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Derivative `∂f/∂E = -1/(4 kT) sech²((E-mu)/2kT)` (always ≤ 0).
+#[inline]
+pub fn dfermi_de(e: f64, mu: f64, kt: f64) -> f64 {
+    let x = (e - mu) / (2.0 * kt);
+    if x.abs() > 350.0 {
+        return 0.0;
+    }
+    let sech = 1.0 / x.cosh();
+    -sech * sech / (4.0 * kt)
+}
+
+/// Fermi–Dirac integral of order 1/2 (normalized to the Gamma function,
+/// `F_{1/2}(η) = (2/√π) ∫₀^∞ √x/(1+e^{x-η}) dx`), used by the semiclassical
+/// charge model in the Poisson solver.
+///
+/// Uses the Bednarczyk–Bednarczyk analytic approximation, accurate to ~0.4%
+/// over all η — more than sufficient for an initial-guess charge model.
+pub fn fermi_half(eta: f64) -> f64 {
+    // F_{1/2}(η) ≈ 1/(e^{-η} + 3√π/4 · ν^{-3/8}),  ν = η⁴ + 33.6η(1 − 0.68 e^{-0.17(η+1)²}) + 50
+    let nu = eta.powi(4) + 33.6 * eta * (1.0 - 0.68 * (-0.17 * (eta + 1.0).powi(2)).exp()) + 50.0;
+    let a = 3.0 * std::f64::consts::PI.sqrt() / 4.0 * nu.powf(-0.375);
+    1.0 / ((-eta).exp() + a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::KT_ROOM;
+
+    #[test]
+    fn fermi_limits() {
+        assert!((fermi(-10.0, 0.0, KT_ROOM) - 1.0).abs() < 1e-12);
+        assert!(fermi(10.0, 0.0, KT_ROOM) < 1e-12);
+        assert!((fermi(0.0, 0.0, KT_ROOM) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fermi_is_monotone_decreasing() {
+        let mut prev = 2.0;
+        for i in 0..200 {
+            let e = -1.0 + 0.01 * i as f64;
+            let f = fermi(e, 0.0, KT_ROOM);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let (mu, kt) = (0.1, KT_ROOM);
+        for &e in &[-0.2, 0.0, 0.1, 0.3] {
+            let h = 1e-6;
+            let fd = (fermi(e + h, mu, kt) - fermi(e - h, mu, kt)) / (2.0 * h);
+            let an = dfermi_de(e, mu, kt);
+            assert!((fd - an).abs() < 1e-6 * (1.0 + an.abs()), "e={e}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn no_overflow_far_from_mu() {
+        assert!(fermi(1e6, 0.0, KT_ROOM).is_finite());
+        assert!(fermi(-1e6, 0.0, KT_ROOM).is_finite());
+        assert!(dfermi_de(1e6, 0.0, KT_ROOM) == 0.0);
+    }
+
+    #[test]
+    fn log1p_exp_limits() {
+        assert!((log1p_exp(0.0) - 2.0_f64.ln()).abs() < 1e-15);
+        assert!((log1p_exp(100.0) - 100.0).abs() < 1e-12);
+        assert!(log1p_exp(-100.0) < 1e-40);
+        assert!(log1p_exp(-100.0) > 0.0);
+    }
+
+    #[test]
+    fn fermi_half_limits() {
+        // Non-degenerate limit: F_{1/2}(η) → e^η for η ≪ 0.
+        for &eta in &[-8.0, -6.0, -4.0] {
+            let f: f64 = fermi_half(eta);
+            assert!((f / eta.exp() - 1.0).abs() < 0.02, "eta={eta}");
+        }
+        // Degenerate limit: F_{1/2}(η) → (4/3√π) η^{3/2}.
+        let eta: f64 = 30.0;
+        let deg = 4.0 / (3.0 * std::f64::consts::PI.sqrt()) * eta.powf(1.5);
+        assert!((fermi_half(eta) / deg - 1.0).abs() < 0.02);
+    }
+}

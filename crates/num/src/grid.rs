@@ -1,0 +1,124 @@
+//! Uniform and refinable 1-D grids (energy axes, voltage sweeps).
+
+/// `n` evenly spaced points from `a` to `b` inclusive.
+///
+/// `n == 1` yields `[a]`. Panics when `n == 0`.
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace needs at least one point");
+    if n == 1 {
+        return vec![a];
+    }
+    let step = (b - a) / (n - 1) as f64;
+    (0..n).map(|i| a + step * i as f64).collect()
+}
+
+/// An energy grid that can insert midpoints where a tabulated integrand is
+/// rough, used by the transport driver to refine around subband onsets and
+/// resonances.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGrid {
+    points: Vec<f64>,
+}
+
+impl AdaptiveGrid {
+    /// Starts from a uniform grid of `n` points on `[a, b]`.
+    pub fn uniform(a: f64, b: f64, n: usize) -> Self {
+        AdaptiveGrid { points: linspace(a, b, n) }
+    }
+
+    /// Starts from an existing strictly sorted point set.
+    pub fn from_points(points: Vec<f64>) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        assert!(points.windows(2).all(|w| w[0] < w[1]), "points must be strictly sorted");
+        AdaptiveGrid { points }
+    }
+
+    /// Current sorted grid points.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Given integrand samples `f[i] = f(points[i])`, inserts midpoints in
+    /// every interval whose linear-interpolation defect against its
+    /// neighbours exceeds `tol * max|f|`. Returns the indices (into the *new*
+    /// grid) of the freshly inserted points, or an empty vector when the grid
+    /// is already adequate.
+    pub fn refine(&mut self, f: &[f64], tol: f64) -> Vec<usize> {
+        assert_eq!(f.len(), self.points.len(), "one sample per grid point");
+        if self.points.len() < 3 {
+            return Vec::new();
+        }
+        let fmax = f.iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1e-300);
+        let mut split = vec![false; self.points.len() - 1];
+        // Estimate curvature per interior point; flag both adjacent intervals.
+        for i in 1..self.points.len() - 1 {
+            let (x0, x1, x2) = (self.points[i - 1], self.points[i], self.points[i + 1]);
+            let t = (x1 - x0) / (x2 - x0);
+            let lin = f[i - 1] + (f[i + 1] - f[i - 1]) * t;
+            if (f[i] - lin).abs() > tol * fmax {
+                split[i - 1] = true;
+                split[i] = true;
+            }
+        }
+        let mut new_points = Vec::with_capacity(self.points.len() + split.len());
+        let mut inserted = Vec::new();
+        for i in 0..self.points.len() - 1 {
+            new_points.push(self.points[i]);
+            if split[i] {
+                inserted.push(new_points.len());
+                new_points.push(0.5 * (self.points[i] + self.points[i + 1]));
+            }
+        }
+        new_points.push(*self.points.last().unwrap());
+        self.points = new_points;
+        inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let g = linspace(-1.0, 1.0, 5);
+        assert_eq!(g, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+        assert_eq!(linspace(2.0, 3.0, 1), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn linspace_zero_points_panics() {
+        linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn refine_flags_sharp_feature() {
+        let mut g = AdaptiveGrid::uniform(0.0, 1.0, 11);
+        // A sharp Lorentzian at x = 0.5 needs refinement there.
+        let f: Vec<f64> = g.points().iter().map(|&x| 1.0 / ((x - 0.5).powi(2) + 1e-3)).collect();
+        let inserted = g.refine(&f, 1e-2);
+        assert!(!inserted.is_empty());
+        // All inserted points should be near the peak region, grid stays sorted.
+        let pts = g.points().to_vec();
+        assert!(pts.windows(2).all(|w| w[0] < w[1]), "grid stays strictly sorted");
+    }
+
+    #[test]
+    fn refine_leaves_linear_function_alone() {
+        let mut g = AdaptiveGrid::uniform(0.0, 1.0, 9);
+        let f: Vec<f64> = g.points().iter().map(|&x| 3.0 * x - 1.0).collect();
+        assert!(g.refine(&f, 1e-6).is_empty());
+        assert_eq!(g.len(), 9);
+    }
+}

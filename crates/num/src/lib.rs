@@ -1,0 +1,36 @@
+//! # omen-num — numeric foundation for the omen-rs workspace
+//!
+//! Provides the double-precision complex scalar [`c64`] used by every other
+//! crate, physical constants in the simulator's unit system (energies in eV,
+//! lengths in nm, currents in µA), Fermi–Dirac statistics, and adaptive
+//! quadrature used for energy integration of transmission and charge.
+//!
+//! The workspace deliberately owns its complex type instead of depending on
+//! `num-complex`: the dense kernels in `omen-linalg` instrument flop counts
+//! with the Gordon-Bell counting convention (complex multiply = 6 real flops,
+//! complex add = 2), and owning the scalar keeps that contract local.
+
+pub mod complex;
+pub mod constants;
+pub mod fermi;
+pub mod grid;
+pub mod quad;
+
+pub use complex::c64;
+pub use constants::*;
+pub use fermi::{dfermi_de, fermi, log1p_exp};
+pub use grid::linspace;
+pub use quad::{adaptive_simpson, trapezoid};
+
+/// Approximate equality for floats with absolute tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Relative-or-absolute approximate equality:
+/// true when `|a-b| <= tol * max(1, |a|, |b|)`.
+#[inline]
+pub fn rel_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * 1.0_f64.max(a.abs()).max(b.abs())
+}

@@ -1,0 +1,245 @@
+//! MPI-style sub-communicators for hierarchical parallelism.
+//!
+//! OMEN's four-level decomposition (bias × momentum × energy × space) maps
+//! each level onto a communicator split. A [`Comm`] is a view over a subset
+//! of world ranks; collectives inside it are built from world point-to-point
+//! messages with tags namespaced by a communicator id, so concurrent
+//! collectives on disjoint communicators cannot cross-talk.
+//!
+//! SPMD contract (same as MPI): every member of a communicator calls its
+//! collectives in the same order.
+
+use crate::runtime::{decode_f64s, encode_f64s, RankCtx, COLLECTIVE_TAG_BASE};
+use std::cell::RefCell;
+
+/// A sub-communicator: an ordered subset of world ranks.
+pub struct Comm<'a> {
+    ctx: &'a RankCtx,
+    /// Global rank of each member, ordered; `members[local_rank]` is me.
+    members: Vec<usize>,
+    my_index: usize,
+    comm_id: u64,
+    op_counter: RefCell<u64>,
+}
+
+impl<'a> Comm<'a> {
+    /// The world communicator containing every rank.
+    pub fn world(ctx: &'a RankCtx) -> Comm<'a> {
+        let members: Vec<usize> = (0..ctx.size()).collect();
+        let my_index = ctx.rank();
+        Comm { ctx, members, my_index, comm_id: 1, op_counter: RefCell::new(0) }
+    }
+
+    /// Local rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global rank of local member `i`.
+    pub fn global_rank(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    fn next_tag(&self) -> u64 {
+        let mut c = self.op_counter.borrow_mut();
+        *c += 1;
+        // Layout: [1 collective bit][31-bit comm id][32-bit op counter].
+        COLLECTIVE_TAG_BASE | ((self.comm_id & 0x7FFF_FFFF) << 32) | (*c & 0xFFFF_FFFF)
+    }
+
+    /// Point-to-point send to a *local* rank with a user tag.
+    pub fn send(&self, to_local: usize, tag: u64, data: Vec<u8>) {
+        // Namespace user p2p under the comm id as well (bit 62 marks p2p).
+        let t = (1 << 62) | ((self.comm_id & 0x3FFF_FFFF) << 24) | (tag & 0xFF_FFFF);
+        self.ctx.send_internal(self.members[to_local], t, data);
+    }
+
+    /// Point-to-point receive from a *local* rank.
+    pub fn recv(&self, from_local: usize, tag: u64) -> Vec<u8> {
+        let t = (1 << 62) | ((self.comm_id & 0x3FFF_FFFF) << 24) | (tag & 0xFF_FFFF);
+        self.ctx.recv_internal(self.members[from_local], t)
+    }
+
+    /// Allreduce (sum) over this communicator.
+    pub fn allreduce_sum(&self, x: &[f64]) -> Vec<f64> {
+        let tag = self.next_tag();
+        if self.my_index == 0 {
+            let mut acc = x.to_vec();
+            for i in 1..self.size() {
+                let d = self.ctx.recv_internal(self.members[i], tag);
+                for (a, b) in acc.iter_mut().zip(decode_f64s(&d)) {
+                    *a += b;
+                }
+            }
+            for i in 1..self.size() {
+                self.ctx.send_internal(self.members[i], tag, encode_f64s(&acc));
+            }
+            acc
+        } else {
+            self.ctx.send_internal(self.members[0], tag, encode_f64s(x));
+            decode_f64s(&self.ctx.recv_internal(self.members[0], tag))
+        }
+    }
+
+    /// Broadcast from local `root`.
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let tag = self.next_tag();
+        if self.my_index == root {
+            for i in 0..self.size() {
+                if i != root {
+                    self.ctx.send_internal(self.members[i], tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.ctx.recv_internal(self.members[root], tag)
+        }
+    }
+
+    /// Gathers payloads to local `root` (ordered by local rank).
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let tag = self.next_tag();
+        if self.my_index == root {
+            let mut out = vec![Vec::new(); self.size()];
+            out[root] = data;
+            for i in 0..self.size() {
+                if i != root {
+                    out[i] = self.ctx.recv_internal(self.members[i], tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.ctx.send_internal(self.members[root], tag, data);
+            None
+        }
+    }
+
+    /// Splits this communicator by `color`; members with the same color end
+    /// up in the same sub-communicator, ordered by `key` (ties by current
+    /// local rank).
+    pub fn split(&self, color: u64, key: u64) -> Comm<'a> {
+        // Allgather (color, key, global_rank) over this comm.
+        let mine = encode_f64s(&[color as f64, key as f64, self.ctx.rank() as f64]);
+        let gathered = match self.gather(0, mine) {
+            Some(g) => {
+                let flat: Vec<u8> = g.into_iter().flatten().collect();
+                self.bcast(0, flat)
+            }
+            None => self.bcast(0, Vec::new()),
+        };
+        let vals = decode_f64s(&gathered);
+        let mut triples: Vec<(u64, u64, usize)> = vals
+            .chunks_exact(3)
+            .map(|c| (c[0] as u64, c[1] as u64, c[2] as usize))
+            .collect();
+        triples.sort_by_key(|&(c, k, g)| (c, k, g));
+
+        let members: Vec<usize> =
+            triples.iter().filter(|&&(c, _, _)| c == color).map(|&(_, _, g)| g).collect();
+        let my_index = members
+            .iter()
+            .position(|&g| g == self.ctx.rank())
+            .expect("splitting rank must be in its own color group");
+        // Deterministic child id derived from parent id and color.
+        let comm_id = (self
+            .comm_id
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(color.wrapping_add(1) * 0x85EB_CA6B))
+            & 0x7FFF_FFFF;
+        Comm { ctx: self.ctx, members, my_index, comm_id, op_counter: RefCell::new(0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_ranks;
+
+    #[test]
+    fn world_matches_ctx() {
+        let out = run_ranks(4, |ctx| {
+            let w = Comm::world(ctx);
+            (w.rank(), w.size())
+        });
+        for (r, &(wr, ws)) in out.results.iter().enumerate() {
+            assert_eq!((wr, ws), (r, 4));
+        }
+    }
+
+    #[test]
+    fn split_groups_and_reduces_independently() {
+        // 6 ranks in 2 colors: evens and odds. Each group sums its ranks.
+        let out = run_ranks(6, |ctx| {
+            let w = Comm::world(ctx);
+            let color = (ctx.rank() % 2) as u64;
+            let sub = w.split(color, ctx.rank() as u64);
+            assert_eq!(sub.size(), 3);
+            let s = sub.allreduce_sum(&[ctx.rank() as f64]);
+            s[0]
+        });
+        for (r, &v) in out.results.iter().enumerate() {
+            let expect = if r % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            assert_eq!(v, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn nested_splits_form_grid() {
+        // 8 ranks → 2×2×2 grid via two successive splits.
+        let out = run_ranks(8, |ctx| {
+            let w = Comm::world(ctx);
+            let level1 = w.split((ctx.rank() / 4) as u64, ctx.rank() as u64);
+            assert_eq!(level1.size(), 4);
+            let level2 = level1.split((level1.rank() / 2) as u64, level1.rank() as u64);
+            assert_eq!(level2.size(), 2);
+            // Reduce within the innermost pair.
+            let s = level2.allreduce_sum(&[1.0]);
+            s[0]
+        });
+        assert!(out.results.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn sub_comm_bcast_and_gather() {
+        let out = run_ranks(4, |ctx| {
+            let w = Comm::world(ctx);
+            let sub = w.split((ctx.rank() / 2) as u64, 0);
+            let data = sub.bcast(0, vec![sub.global_rank(0) as u8]);
+            let g = sub.gather(1, data.clone());
+            if sub.rank() == 1 {
+                let g = g.unwrap();
+                assert_eq!(g.len(), 2);
+                assert_eq!(g[0], g[1]);
+            }
+            data[0] as usize
+        });
+        assert_eq!(out.results, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn concurrent_group_collectives_do_not_crosstalk() {
+        // Both groups run many interleaved allreduces; sums must stay exact.
+        let out = run_ranks(4, |ctx| {
+            let w = Comm::world(ctx);
+            let sub = w.split((ctx.rank() % 2) as u64, 0);
+            let mut acc = 0.0;
+            for i in 0..50 {
+                let v = sub.allreduce_sum(&[(ctx.rank() + i) as f64]);
+                acc += v[0];
+            }
+            acc
+        });
+        // Group evens: ranks 0,2 → sum per step = (0+i)+(2+i) = 2+2i.
+        let even: f64 = (0..50).map(|i| 2.0 + 2.0 * i as f64).sum();
+        let odd: f64 = (0..50).map(|i| 4.0 + 2.0 * i as f64).sum();
+        assert_eq!(out.results[0], even);
+        assert_eq!(out.results[2], even);
+        assert_eq!(out.results[1], odd);
+        assert_eq!(out.results[3], odd);
+    }
+}

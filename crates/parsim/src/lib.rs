@@ -1,0 +1,26 @@
+//! # omen-parsim — rank-parallel runtime and petascale machine model
+//!
+//! The original system ran on the Cray XT5 "Jaguar" through MPI with a
+//! four-level hierarchical communicator layout (bias × momentum × energy ×
+//! spatial domains). This crate substitutes both pieces:
+//!
+//! * [`runtime`] — OS threads act as MPI ranks. Tagged point-to-point
+//!   `send`/`recv`, barriers and collectives run over lock-free channels,
+//!   executing the *same communication pattern* (who talks to whom, message
+//!   sizes, reduction trees) the MPI code would. All traffic is counted per
+//!   rank ([`CommStats`]).
+//! * [`comm`] — MPI-style communicator splitting for the hierarchical
+//!   parallel levels, with collectives scoped to sub-communicators.
+//! * [`machine`] — an analytic model of Jaguar (per-core peak, GEMM
+//!   efficiency, LogGP-style link parameters) that converts *measured* flop
+//!   counts and communication volumes into projected wall-clock time and
+//!   sustained performance at arbitrary core counts — this is how the
+//!   1.44 PFlop/s scaling figures are regenerated without the hardware.
+
+pub mod comm;
+pub mod machine;
+pub mod runtime;
+
+pub use comm::Comm;
+pub use machine::MachineModel;
+pub use runtime::{run_ranks, CommStats, RankCtx, RunOutput};

@@ -1,0 +1,393 @@
+//! Threads-as-ranks message-passing runtime.
+//!
+//! [`run_ranks`] spawns `n` scoped threads, each holding a [`RankCtx`] with
+//! a channel receiver and clones of every other rank's sender. Messages are
+//! `(from, tag, payload)` triplets; `recv` delivers in match order with an
+//! out-of-order buffer, so the semantics match `MPI_Recv` with explicit
+//! source and tag. Collectives are built from point-to-point operations so
+//! their traffic is *executed*, not modeled.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Barrier;
+
+/// One message between ranks.
+struct Msg {
+    from: usize,
+    tag: u64,
+    data: Vec<u8>,
+}
+
+/// Per-rank communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Barriers participated in.
+    pub barriers: u64,
+    /// Collective operations (allreduce/bcast/gather) participated in.
+    pub collectives: u64,
+}
+
+impl CommStats {
+    /// Element-wise sum.
+    pub fn merged(&self, o: &CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + o.messages_sent,
+            bytes_sent: self.bytes_sent + o.bytes_sent,
+            barriers: self.barriers + o.barriers,
+            collectives: self.collectives + o.collectives,
+        }
+    }
+}
+
+/// The execution context handed to each rank's closure.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    barrier: std::sync::Arc<Barrier>,
+    // Out-of-order buffer: messages that arrived before being asked for.
+    pending: RefCell<HashMap<(usize, u64), VecDeque<Vec<u8>>>>,
+    stats: RefCell<CommStats>,
+    // Monotone counter namespacing world-collective tags.
+    op_counter: RefCell<u64>,
+}
+
+/// Tag namespace split: user tags occupy the low half, internal collective
+/// tags the high half.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+impl RankCtx {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of this rank's communication counters.
+    pub fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    /// Sends `data` to rank `to` with a user `tag` (must be < 2⁶³).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below 2^63");
+        self.send_internal(to, tag, data);
+    }
+
+    pub(crate) fn send_internal(&self, to: usize, tag: u64, data: Vec<u8>) {
+        assert!(to < self.size, "send to out-of-range rank {to}");
+        {
+            let mut s = self.stats.borrow_mut();
+            s.messages_sent += 1;
+            s.bytes_sent += data.len() as u64;
+        }
+        self.senders[to]
+            .send(Msg { from: self.rank, tag, data })
+            .expect("receiver thread terminated early");
+    }
+
+    /// Blocking receive of the next message from `from` with `tag`.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below 2^63");
+        self.recv_internal(from, tag)
+    }
+
+    pub(crate) fn recv_internal(&self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(q) = self.pending.borrow_mut().get_mut(&(from, tag)) {
+            if let Some(d) = q.pop_front() {
+                return d;
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("all senders dropped while receiving");
+            if msg.from == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.pending
+                .borrow_mut()
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.data);
+        }
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.stats.borrow_mut().barriers += 1;
+        self.barrier.wait();
+    }
+
+    /// World-scope allreduce (sum) of an `f64` vector. All ranks must call
+    /// in the same order (MPI semantics). Linear gather to rank 0 + bcast;
+    /// the traffic is really executed and counted.
+    pub fn allreduce_sum(&self, x: &[f64]) -> Vec<f64> {
+        let op = self.next_op();
+        self.stats.borrow_mut().collectives += 1;
+        let tag = COLLECTIVE_TAG_BASE | op;
+        if self.rank == 0 {
+            let mut acc = x.to_vec();
+            for r in 1..self.size {
+                let data = self.recv_internal(r, tag);
+                for (a, b) in acc.iter_mut().zip(decode_f64s(&data)) {
+                    *a += b;
+                }
+            }
+            for r in 1..self.size {
+                self.send_internal(r, tag, encode_f64s(&acc));
+            }
+            acc
+        } else {
+            self.send_internal(0, tag, encode_f64s(x));
+            decode_f64s(&self.recv_internal(0, tag))
+        }
+    }
+
+    /// World-scope broadcast from `root`.
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let op = self.next_op();
+        self.stats.borrow_mut().collectives += 1;
+        let tag = COLLECTIVE_TAG_BASE | op;
+        if self.rank == root {
+            for r in 0..self.size {
+                if r != root {
+                    self.send_internal(r, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_internal(root, tag)
+        }
+    }
+
+    /// World-scope gather to `root`; returns `Some(per-rank payloads)` on
+    /// the root and `None` elsewhere.
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let op = self.next_op();
+        self.stats.borrow_mut().collectives += 1;
+        let tag = COLLECTIVE_TAG_BASE | op;
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            out[root] = data;
+            for r in 0..self.size {
+                if r != root {
+                    out[r] = self.recv_internal(r, tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.send_internal(root, tag, data);
+            None
+        }
+    }
+
+    fn next_op(&self) -> u64 {
+        let mut c = self.op_counter.borrow_mut();
+        *c += 1;
+        assert!(*c < 1 << 31, "collective counter overflow");
+        *c
+    }
+}
+
+/// Result of a rank-parallel run.
+pub struct RunOutput<R> {
+    /// Per-rank closure results, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank communication counters.
+    pub stats: Vec<CommStats>,
+}
+
+impl<R> RunOutput<R> {
+    /// Aggregate communication counters over all ranks.
+    pub fn total_stats(&self) -> CommStats {
+        self.stats.iter().fold(CommStats::default(), |a, b| a.merged(b))
+    }
+}
+
+/// Runs `f` on `n` ranks (threads) and collects results and comm counters.
+///
+/// The closure receives this rank's [`RankCtx`]; it must follow SPMD
+/// collective ordering (all ranks call collectives in the same sequence).
+pub fn run_ranks<R, F>(n: usize, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&RankCtx) -> R + Sync,
+{
+    assert!(n > 0);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded::<Msg>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let barrier = std::sync::Arc::new(Barrier::new(n));
+
+    let mut out: Vec<Option<(R, CommStats)>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let barrier = barrier.clone();
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let ctx = RankCtx {
+                    rank,
+                    size: n,
+                    senders,
+                    receiver,
+                    barrier,
+                    pending: RefCell::new(HashMap::new()),
+                    stats: RefCell::new(CommStats::default()),
+                    op_counter: RefCell::new(0),
+                };
+                let r = f(&ctx);
+                let s = ctx.stats();
+                (r, s)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            out[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("rank scope failed");
+
+    let mut results = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(n);
+    for slot in out {
+        let (r, s) = slot.expect("missing rank result");
+        results.push(r);
+        stats.push(s);
+    }
+    RunOutput { results, stats }
+}
+
+/// Encodes an `f64` slice as little-endian bytes.
+pub fn encode_f64s(x: &[f64]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(x.len() * 8);
+    for &f in x {
+        v.extend_from_slice(&f.to_le_bytes());
+    }
+    v
+}
+
+/// Decodes little-endian bytes into `f64`s.
+pub fn decode_f64s(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "payload not a multiple of 8 bytes");
+    b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let n = 6;
+        let out = run_ranks(n, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 7, encode_f64s(&[ctx.rank() as f64]));
+            let got = decode_f64s(&ctx.recv(prev, 7));
+            got[0]
+        });
+        for (rank, &v) in out.results.iter().enumerate() {
+            let prev = (rank + n - 1) % n;
+            assert_eq!(v, prev as f64);
+        }
+        assert_eq!(out.total_stats().messages_sent, n as u64);
+        assert_eq!(out.total_stats().bytes_sent, 8 * n as u64);
+    }
+
+    #[test]
+    fn allreduce_matches_serial_sum() {
+        let n = 5;
+        let out = run_ranks(n, |ctx| {
+            let mine = vec![ctx.rank() as f64, 1.0, -(ctx.rank() as f64) * 0.5];
+            ctx.allreduce_sum(&mine)
+        });
+        let expect = [10.0, 5.0, -5.0];
+        for r in &out.results {
+            for (a, b) in r.iter().zip(expect) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_and_gather() {
+        let out = run_ranks(4, |ctx| {
+            let data = ctx.bcast(2, if ctx.rank() == 2 { vec![42, 43] } else { vec![] });
+            assert_eq!(data, vec![42, 43]);
+            let g = ctx.gather(0, vec![ctx.rank() as u8]);
+            if ctx.rank() == 0 {
+                let g = g.unwrap();
+                assert_eq!(g, vec![vec![0], vec![1], vec![2], vec![3]]);
+                1
+            } else {
+                assert!(g.is_none());
+                0
+            }
+        });
+        assert_eq!(out.results.iter().sum::<i32>(), 1);
+    }
+
+    #[test]
+    fn out_of_order_tags_buffered() {
+        let out = run_ranks(2, |ctx| {
+            if ctx.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                ctx.send(1, 2, vec![2]);
+                ctx.send(1, 1, vec![1]);
+                0
+            } else {
+                // Receive in the opposite order.
+                let a = ctx.recv(0, 1);
+                let b = ctx.recv(0, 2);
+                assert_eq!((a, b), (vec![1], vec![2]));
+                1
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_counts() {
+        let out = run_ranks(3, |ctx| {
+            ctx.barrier();
+            ctx.barrier();
+            ctx.rank()
+        });
+        for s in &out.stats {
+            assert_eq!(s.barriers, 2);
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let out = run_ranks(1, |ctx| {
+            assert_eq!(ctx.size(), 1);
+            let r = ctx.allreduce_sum(&[3.0]);
+            assert_eq!(r, vec![3.0]);
+            let b = ctx.bcast(0, vec![9]);
+            assert_eq!(b, vec![9]);
+            7u8
+        });
+        assert_eq!(out.results, vec![7]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let x = vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(decode_f64s(&encode_f64s(&x)), x);
+    }
+}

@@ -1,0 +1,29 @@
+//! # omen-phonon — valence-force-field lattice dynamics and ballistic
+//! phonon transport
+//!
+//! The thermal side of atomistic nanodevice engineering, built on the same
+//! machinery as the electronic transport: a Keating valence-force-field
+//! (VFF) describes the interatomic forces of the diamond/zincblende
+//! devices from `omen-lattice`, the mass-weighted dynamical matrix takes
+//! the same slab-ordered block-tridiagonal form as the electronic
+//! Hamiltonian, and ballistic phonon transmission/thermal conductance fall
+//! out of the *identical* Sancho–Rubio + RGF kernels of `omen-negf`
+//! (evaluated at `ω²` instead of `E`).
+//!
+//! * [`vff`] — Keating bond-stretch/bond-bend energy, analytic forces, and
+//!   the numerical-Hessian force-constant extractor (with the acoustic sum
+//!   rule enforced exactly);
+//! * [`dynmat`] — mass-weighted dynamical matrices: block-tridiagonal
+//!   device form and lead principal-layer blocks, plus wire phonon
+//!   dispersions;
+//! * [`transport`] — phonon transmission `T(ω)` through the device and the
+//!   Landauer thermal conductance `κ(T)`, including the universal
+//!   low-temperature conductance-quantum check.
+
+pub mod dynmat;
+pub mod transport;
+pub mod vff;
+
+pub use dynmat::{lead_dynamical_blocks, phonon_dispersion, PhononSystem};
+pub use transport::{phonon_transmission, thermal_conductance, KAPPA_QUANTUM_W_PER_K2};
+pub use vff::KeatingModel;

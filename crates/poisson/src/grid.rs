@@ -1,0 +1,182 @@
+//! Regular 3-D grid with atom↔grid transfer operators.
+
+use omen_lattice::Vec3;
+
+/// A regular grid of `nx × ny × nz` nodes with spacing `h` (nm), anchored
+/// at `origin`.
+#[derive(Debug, Clone)]
+pub struct Grid3 {
+    /// Nodes along x.
+    pub nx: usize,
+    /// Nodes along y.
+    pub ny: usize,
+    /// Nodes along z.
+    pub nz: usize,
+    /// Node spacing (nm), isotropic.
+    pub h: f64,
+    /// Position of node (0,0,0).
+    pub origin: Vec3,
+}
+
+impl Grid3 {
+    /// Builds a grid covering `[origin, origin + extents]` with spacing ≈ `h`
+    /// (adjusted so an integer number of cells fits).
+    pub fn covering(origin: Vec3, extents: Vec3, h: f64) -> Grid3 {
+        assert!(h > 0.0 && extents.x > 0.0 && extents.y > 0.0 && extents.z > 0.0);
+        let nx = (extents.x / h).round().max(1.0) as usize + 1;
+        let ny = (extents.y / h).round().max(1.0) as usize + 1;
+        let nz = (extents.z / h).round().max(1.0) as usize + 1;
+        // Use the x-fit spacing; device boxes are chosen h-commensurate.
+        let h = extents.x / (nx - 1) as f64;
+        Grid3 { nx, ny, nz, h, origin }
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when the grid has no nodes (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of node `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Node coordinates of flat index `n`.
+    #[inline]
+    pub fn coords(&self, n: usize) -> (usize, usize, usize) {
+        let i = n % self.nx;
+        let j = (n / self.nx) % self.ny;
+        let k = n / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Position of node `(i, j, k)`.
+    pub fn pos(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        self.origin + Vec3::new(i as f64, j as f64, k as f64) * self.h
+    }
+
+    /// Deposits point charges at `positions` with `charges` (e) onto grid
+    /// nodes with cloud-in-cell (trilinear) weights; returns charge *density*
+    /// per node in e/nm³. Total charge is conserved exactly for interior
+    /// points.
+    pub fn deposit(&self, positions: &[Vec3], charges: &[f64]) -> Vec<f64> {
+        assert_eq!(positions.len(), charges.len());
+        let mut rho = vec![0.0; self.len()];
+        let cell_vol = self.h * self.h * self.h;
+        for (p, &q) in positions.iter().zip(charges) {
+            let fx = ((p.x - self.origin.x) / self.h).clamp(0.0, (self.nx - 1) as f64 - 1e-9);
+            let fy = ((p.y - self.origin.y) / self.h).clamp(0.0, (self.ny - 1) as f64 - 1e-9);
+            let fz = ((p.z - self.origin.z) / self.h).clamp(0.0, (self.nz - 1) as f64 - 1e-9);
+            let (i0, j0, k0) = (fx as usize, fy as usize, fz as usize);
+            let (wx, wy, wz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
+            for (di, wi) in [(0usize, 1.0 - wx), (1, wx)] {
+                for (dj, wj) in [(0usize, 1.0 - wy), (1, wy)] {
+                    for (dk, wk) in [(0usize, 1.0 - wz), (1, wz)] {
+                        let w = wi * wj * wk;
+                        if w > 0.0 {
+                            rho[self.idx(i0 + di, j0 + dj, k0 + dk)] += q * w / cell_vol;
+                        }
+                    }
+                }
+            }
+        }
+        rho
+    }
+
+    /// Samples a node field at arbitrary positions by trilinear
+    /// interpolation.
+    pub fn sample(&self, field: &[f64], positions: &[Vec3]) -> Vec<f64> {
+        assert_eq!(field.len(), self.len());
+        positions
+            .iter()
+            .map(|p| {
+                let fx = ((p.x - self.origin.x) / self.h).clamp(0.0, (self.nx - 1) as f64 - 1e-9);
+                let fy = ((p.y - self.origin.y) / self.h).clamp(0.0, (self.ny - 1) as f64 - 1e-9);
+                let fz = ((p.z - self.origin.z) / self.h).clamp(0.0, (self.nz - 1) as f64 - 1e-9);
+                let (i0, j0, k0) = (fx as usize, fy as usize, fz as usize);
+                let (wx, wy, wz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
+                let mut v = 0.0;
+                for (di, wi) in [(0usize, 1.0 - wx), (1, wx)] {
+                    for (dj, wj) in [(0usize, 1.0 - wy), (1, wy)] {
+                        for (dk, wk) in [(0usize, 1.0 - wz), (1, wz)] {
+                            v += wi * wj * wk * field[self.idx(i0 + di, j0 + dj, k0 + dk)];
+                        }
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid3 {
+        Grid3::covering(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0), 0.5)
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let g = grid();
+        assert_eq!(g.nx, 5);
+        assert_eq!(g.len(), 125);
+        for n in [0usize, 1, 37, 124] {
+            let (i, j, k) = g.coords(n);
+            assert_eq!(g.idx(i, j, k), n);
+        }
+    }
+
+    #[test]
+    fn deposit_conserves_charge() {
+        let g = grid();
+        let pos = vec![Vec3::new(0.77, 1.13, 0.42), Vec3::new(1.5, 0.5, 1.9)];
+        let q = vec![1.0, -2.5];
+        let rho = g.deposit(&pos, &q);
+        let total: f64 = rho.iter().sum::<f64>() * g.h.powi(3);
+        assert!((total - (-1.5)).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn deposit_on_node_is_local() {
+        let g = grid();
+        let rho = g.deposit(&[g.pos(2, 2, 2)], &[1.0]);
+        let n = g.idx(2, 2, 2);
+        assert!((rho[n] - 1.0 / g.h.powi(3)).abs() < 1e-12);
+        assert_eq!(rho.iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn sample_linear_field_exact() {
+        let g = grid();
+        // field f = 2x - y + 3z + 1 at nodes.
+        let mut f = vec![0.0; g.len()];
+        for n in 0..g.len() {
+            let (i, j, k) = g.coords(n);
+            let p = g.pos(i, j, k);
+            f[n] = 2.0 * p.x - p.y + 3.0 * p.z + 1.0;
+        }
+        let pts = vec![Vec3::new(0.3, 1.7, 0.9), Vec3::new(1.99, 0.01, 1.5)];
+        let got = g.sample(&f, &pts);
+        for (p, v) in pts.iter().zip(got) {
+            let expect = 2.0 * p.x - p.y + 3.0 * p.z + 1.0;
+            assert!((v - expect).abs() < 1e-12, "{v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn out_of_box_positions_clamp() {
+        let g = grid();
+        let rho = g.deposit(&[Vec3::new(-5.0, 10.0, 1.0)], &[2.0]);
+        let total: f64 = rho.iter().sum::<f64>() * g.h.powi(3);
+        assert!((total - 2.0).abs() < 1e-12, "clamped deposit still conserves");
+    }
+}

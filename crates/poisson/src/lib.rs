@@ -1,0 +1,26 @@
+//! # omen-poisson — 3-D electrostatics for self-consistent device simulation
+//!
+//! Finite-volume Poisson solver on a regular grid enclosing the atomistic
+//! device: `∇·(ε_r ∇V) = −ρ/ε₀` with position-dependent permittivity
+//! (semiconductor core, oxide shell), Dirichlet gate/contact electrodes and
+//! Neumann outer boundaries.
+//!
+//! * [`grid`] — the regular grid, atom↔grid charge/potential transfer
+//!   (cloud-in-cell deposition, trilinear sampling);
+//! * [`charge`] — semiclassical carrier statistics (Fermi–Dirac F₁/₂) used
+//!   for the initial guess and the Gummel Jacobian;
+//! * [`solve`] — linear assembly (harmonic-mean face permittivity, SPD
+//!   system solved by preconditioned CG) and the damped Gummel–Newton
+//!   outer iteration.
+//!
+//! The quantum charge from the transport engines enters as a fixed charge
+//! density on the grid; `omen-core` alternates transport and Poisson
+//! solves with mixing until self-consistency.
+
+pub mod charge;
+pub mod grid;
+pub mod solve;
+
+pub use charge::Semiconductor;
+pub use grid::Grid3;
+pub use solve::{CellKind, PoissonProblem, PoissonSolution};

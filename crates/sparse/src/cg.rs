@@ -1,0 +1,154 @@
+//! Preconditioned conjugate gradient for real symmetric positive-definite
+//! systems — the linear kernel inside each Newton step of the Poisson
+//! substrate.
+
+use crate::csr::CsrR;
+
+/// Convergence report from [`cg_solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final relative residual `‖b - Ax‖ / ‖b‖`.
+    pub rel_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` with Jacobi-preconditioned CG.
+///
+/// `a` must be symmetric positive definite (diagonal entries are used as the
+/// preconditioner and must be positive). Returns the solution and a
+/// [`CgReport`]; a non-converged report is returned rather than panicking so
+/// the Newton loop above can shrink its step.
+pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usize) -> (Vec<f64>, CgReport) {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "CG needs a square matrix");
+    assert_eq!(b.len(), n);
+
+    let inv_diag: Vec<f64> = a
+        .diagonal()
+        .iter()
+        .map(|&d| {
+            assert!(d > 0.0, "Jacobi preconditioner needs positive diagonal (got {d})");
+            1.0 / d
+        })
+        .collect();
+
+    let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+    let mut x = match x0 {
+        Some(v) => {
+            assert_eq!(v.len(), n);
+            v.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    let ax = a.matvec(&x);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+
+    let mut rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / bnorm;
+    if rel <= tol {
+        return (x, CgReport { iterations: 0, rel_residual: rel, converged: true });
+    }
+
+    for it in 1..=max_iter {
+        let ap = a.matvec(&p);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap <= 0.0 {
+            // Not SPD along this direction — bail out with current iterate.
+            return (x, CgReport { iterations: it, rel_residual: rel, converged: false });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / bnorm;
+        if rel <= tol {
+            return (x, CgReport { iterations: it, rel_residual: rel, converged: true });
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    (x, CgReport { iterations: max_iter, rel_residual: rel, converged: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D Laplacian with Dirichlet ends: tridiag(-1, 2, -1).
+    fn laplacian_1d(n: usize) -> CsrR {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrR::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn solves_laplacian() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let (x, rep) = cg_solve(&a, &b, None, 1e-10, 1000);
+        assert!(rep.converged, "{rep:?}");
+        let ax = a.matvec(&x);
+        for i in 0..n {
+            assert!((ax[i] - 1.0).abs() < 1e-7);
+        }
+        // Analytic solution of -u'' = 1 with u(0)=u(n+1)=0 discretized:
+        // x_i = (i+1)(n-i)/2.
+        for i in 0..n {
+            let exact = (i as f64 + 1.0) * (n as f64 - i as f64) / 2.0;
+            assert!((x[i] - exact).abs() < 1e-6 * exact.max(1.0), "i={i}: {} vs {exact}", x[i]);
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 80;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (x, rep_cold) = cg_solve(&a, &b, None, 1e-10, 2000);
+        assert!(rep_cold.converged);
+        let (_, rep_warm) = cg_solve(&a, &b, Some(&x), 1e-10, 2000);
+        assert!(rep_warm.iterations <= 1, "exact warm start should converge immediately");
+    }
+
+    #[test]
+    fn identity_converges_instantly() {
+        let t: Vec<(usize, usize, f64)> = (0..10).map(|i| (i, i, 1.0)).collect();
+        let a = CsrR::from_triplets(10, 10, &t);
+        let b = vec![3.0; 10];
+        let (x, rep) = cg_solve(&a, &b, None, 1e-12, 10);
+        assert!(rep.converged && rep.iterations <= 1);
+        assert!(x.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn reports_nonconvergence_gracefully() {
+        let n = 200;
+        let a = laplacian_1d(n);
+        let b = vec![1.0; n];
+        let (_, rep) = cg_solve(&a, &b, None, 1e-14, 3);
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 3);
+        assert!(rep.rel_residual > 0.0);
+    }
+}

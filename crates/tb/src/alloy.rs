@@ -1,0 +1,249 @@
+//! Random-alloy devices (Si₁₋ₓGeₓ and friends).
+//!
+//! Atomistic alloy disorder is one of the effects that *requires* the
+//! atomistic basis this simulator is built on: in the virtual crystal
+//! approximation (VCA) every site carries the composition-weighted average
+//! parameters and transport stays ballistic, while a random site-by-site
+//! species assignment scatters carriers and localizes thin-wire states —
+//! the physics of the authors' SiGe nanowire studies.
+//!
+//! Conventions:
+//! * species are assigned per atom; terminal slabs stay pure species-A so
+//!   the contact leads remain periodic;
+//! * same-species bonds use that species' two-center integrals, mixed
+//!   bonds the arithmetic mean (the standard virtual-bond rule);
+//! * the geometry uses the VCA (Vegard) lattice constant; local bond-length
+//!   differences enter through the Harrison strain scaling.
+
+use crate::params::{SpeciesParams, TbParams, TwoCenter};
+use omen_lattice::Device;
+
+/// A per-atom species assignment over a device.
+#[derive(Debug, Clone)]
+pub struct AlloyModel {
+    /// Species-A parameterization (e.g. Si).
+    pub params_a: TbParams,
+    /// Species-B parameterization (e.g. Ge).
+    pub params_b: TbParams,
+    /// `true` where the atom is species B.
+    pub is_b: Vec<bool>,
+}
+
+impl AlloyModel {
+    /// Randomly assigns species B with probability `x` to atoms in the
+    /// *interior* slabs (terminal slabs stay species A so the leads remain
+    /// periodic). Deterministic in `seed` (splitmix64).
+    pub fn random_channel(
+        device: &Device,
+        params_a: TbParams,
+        params_b: TbParams,
+        x: f64,
+        seed: u64,
+    ) -> AlloyModel {
+        assert!((0.0..=1.0).contains(&x), "composition fraction out of range");
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z = z ^ (z >> 31);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let last = device.num_slabs - 1;
+        let is_b = device
+            .atoms
+            .iter()
+            .map(|a| a.slab != 0 && a.slab != last && next() < x)
+            .collect();
+        AlloyModel { params_a, params_b, is_b }
+    }
+
+    /// Fraction of species-B atoms actually assigned.
+    pub fn fraction_b(&self) -> f64 {
+        self.is_b.iter().filter(|&&b| b).count() as f64 / self.is_b.len() as f64
+    }
+
+    /// Onsite parameters of atom `i`'s species.
+    pub fn params_of(&self, i: usize) -> &TbParams {
+        if self.is_b[i] {
+            &self.params_b
+        } else {
+            &self.params_a
+        }
+    }
+
+    /// Two-center integrals for the bond `i → j` given the sublattice
+    /// orientation: same species → that species' integrals; mixed → the
+    /// arithmetic mean.
+    pub fn bond_two_center(
+        &self,
+        i: usize,
+        j: usize,
+        from: omen_lattice::Sublattice,
+        to: omen_lattice::Sublattice,
+    ) -> TwoCenter {
+        match (self.is_b[i], self.is_b[j]) {
+            (false, false) => self.params_a.two_center(from, to),
+            (true, true) => self.params_b.two_center(from, to),
+            _ => average_tc(
+                &self.params_a.two_center(from, to),
+                &self.params_b.two_center(from, to),
+            ),
+        }
+    }
+
+    /// Reference bond length for Harrison scaling of the bond `i → j`
+    /// (mean of the species' natural bond lengths).
+    pub fn bond_d0(&self, i: usize, j: usize) -> f64 {
+        let d = |p: &TbParams| p.a * 3.0_f64.sqrt() / 4.0;
+        0.5 * (d(self.params_of(i)) + d(self.params_of(j)))
+    }
+}
+
+/// Virtual crystal approximation: every parameter linearly interpolated at
+/// composition `x` (0 → pure A, 1 → pure B). Vegard's law for the lattice
+/// constant.
+pub fn virtual_crystal(a: &TbParams, b: &TbParams, x: f64) -> TbParams {
+    assert!((0.0..=1.0).contains(&x));
+    let lerp = |p: f64, q: f64| p + (q - p) * x;
+    let sp = |p: &SpeciesParams, q: &SpeciesParams| SpeciesParams {
+        e_s: lerp(p.e_s, q.e_s),
+        e_p: lerp(p.e_p, q.e_p),
+        e_d: lerp(p.e_d, q.e_d),
+        e_s2: lerp(p.e_s2, q.e_s2),
+        so_lambda: lerp(p.so_lambda, q.so_lambda),
+    };
+    TbParams {
+        name: "virtual crystal",
+        basis: a.basis,
+        a: lerp(a.a, b.a),
+        cation: sp(&a.cation, &b.cation),
+        anion: sp(&a.anion, &b.anion),
+        tc_ab: lerp_tc(&a.tc_ab, &b.tc_ab, x),
+        strain_eta: lerp(a.strain_eta, b.strain_eta),
+        passivation_shift: lerp(a.passivation_shift, b.passivation_shift),
+    }
+}
+
+fn lerp_tc(p: &TwoCenter, q: &TwoCenter, x: f64) -> TwoCenter {
+    let l = |a: f64, b: f64| a + (b - a) * x;
+    TwoCenter {
+        ss_sigma: l(p.ss_sigma, q.ss_sigma),
+        s2s2_sigma: l(p.s2s2_sigma, q.s2s2_sigma),
+        ss2_sigma: l(p.ss2_sigma, q.ss2_sigma),
+        s2s_sigma: l(p.s2s_sigma, q.s2s_sigma),
+        sp_sigma: l(p.sp_sigma, q.sp_sigma),
+        ps_sigma: l(p.ps_sigma, q.ps_sigma),
+        s2p_sigma: l(p.s2p_sigma, q.s2p_sigma),
+        ps2_sigma: l(p.ps2_sigma, q.ps2_sigma),
+        sd_sigma: l(p.sd_sigma, q.sd_sigma),
+        ds_sigma: l(p.ds_sigma, q.ds_sigma),
+        s2d_sigma: l(p.s2d_sigma, q.s2d_sigma),
+        ds2_sigma: l(p.ds2_sigma, q.ds2_sigma),
+        pp_sigma: l(p.pp_sigma, q.pp_sigma),
+        pp_pi: l(p.pp_pi, q.pp_pi),
+        pd_sigma: l(p.pd_sigma, q.pd_sigma),
+        pd_pi: l(p.pd_pi, q.pd_pi),
+        dp_sigma: l(p.dp_sigma, q.dp_sigma),
+        dp_pi: l(p.dp_pi, q.dp_pi),
+        dd_sigma: l(p.dd_sigma, q.dd_sigma),
+        dd_pi: l(p.dd_pi, q.dd_pi),
+        dd_delta: l(p.dd_delta, q.dd_delta),
+    }
+}
+
+fn average_tc(p: &TwoCenter, q: &TwoCenter) -> TwoCenter {
+    lerp_tc(p, q, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Material;
+    use omen_lattice::Crystal;
+    use omen_num::A_SI;
+
+    fn device() -> Device {
+        Device::nanowire(Crystal::Zincblende { a: A_SI }, 5, 0.9, 0.9)
+    }
+
+    #[test]
+    fn terminal_slabs_stay_pure() {
+        let dev = device();
+        let m = AlloyModel::random_channel(
+            &dev,
+            TbParams::of(Material::SiSp3s),
+            TbParams::of(Material::GeSp3s),
+            0.5,
+            42,
+        );
+        for (i, a) in dev.atoms.iter().enumerate() {
+            if a.slab == 0 || a.slab == dev.num_slabs - 1 {
+                assert!(!m.is_b[i], "terminal slab atom {i} must stay species A");
+            }
+        }
+        assert!(m.fraction_b() > 0.1 && m.fraction_b() < 0.5, "fraction {}", m.fraction_b());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let dev = device();
+        let si = TbParams::of(Material::SiSp3s);
+        let ge = TbParams::of(Material::GeSp3s);
+        let m0 = AlloyModel::random_channel(&dev, si, ge, 0.0, 1);
+        assert!(m0.is_b.iter().all(|&b| !b));
+        let m1 = AlloyModel::random_channel(&dev, si, ge, 1.0, 1);
+        // Interior fully B.
+        for (i, a) in dev.atoms.iter().enumerate() {
+            let interior = a.slab != 0 && a.slab != dev.num_slabs - 1;
+            assert_eq!(m1.is_b[i], interior);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let dev = device();
+        let si = TbParams::of(Material::SiSp3s);
+        let ge = TbParams::of(Material::GeSp3s);
+        let a = AlloyModel::random_channel(&dev, si, ge, 0.3, 7);
+        let b = AlloyModel::random_channel(&dev, si, ge, 0.3, 7);
+        let c = AlloyModel::random_channel(&dev, si, ge, 0.3, 8);
+        assert_eq!(a.is_b, b.is_b);
+        assert_ne!(a.is_b, c.is_b);
+    }
+
+    #[test]
+    fn vca_endpoints_reproduce_pure_materials() {
+        let si = TbParams::of(Material::SiSp3s);
+        let ge = TbParams::of(Material::GeSp3s);
+        let v0 = virtual_crystal(&si, &ge, 0.0);
+        assert_eq!(v0.tc_ab, si.tc_ab);
+        assert_eq!(v0.cation, si.cation);
+        assert_eq!(v0.a, si.a);
+        let v1 = virtual_crystal(&si, &ge, 1.0);
+        assert_eq!(v1.tc_ab, ge.tc_ab);
+        let vh = virtual_crystal(&si, &ge, 0.5);
+        assert!((vh.a - 0.5 * (si.a + ge.a)).abs() < 1e-15, "Vegard law");
+        assert!(
+            (vh.tc_ab.ss_sigma - 0.5 * (si.tc_ab.ss_sigma + ge.tc_ab.ss_sigma)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn mixed_bond_is_mean() {
+        let dev = device();
+        let si = TbParams::of(Material::SiSp3s);
+        let ge = TbParams::of(Material::GeSp3s);
+        let mut m = AlloyModel::random_channel(&dev, si, ge, 0.0, 1);
+        m.is_b[10] = true;
+        let sub_a = omen_lattice::Sublattice::A;
+        let sub_b = omen_lattice::Sublattice::B;
+        let tc = m.bond_two_center(10, 11, sub_a, sub_b);
+        let expect = 0.5 * (si.two_center(sub_a, sub_b).ss_sigma + ge.two_center(sub_a, sub_b).ss_sigma);
+        assert!((tc.ss_sigma - expect).abs() < 1e-15);
+        let pure = m.bond_two_center(11, 12, sub_a, sub_b);
+        assert_eq!(pure.ss_sigma, si.two_center(sub_a, sub_b).ss_sigma);
+    }
+}

@@ -1,0 +1,114 @@
+//! Wire/ribbon subband dispersions from lead principal-layer blocks.
+
+use omen_linalg::{eigh_values, gemm, Op, ZMat};
+use omen_num::c64;
+
+/// Bloch Hamiltonian of an infinite periodic wire built from principal-layer
+/// blocks: `H(θ) = H00 + H01 e^{iθ} + H01† e^{-iθ}` with `θ = k_x · L_slab`.
+pub fn bloch_hamiltonian(h00: &ZMat, h01: &ZMat, theta: f64) -> ZMat {
+    let n = h00.nrows();
+    assert!(h00.is_square() && h01.nrows() == n && h01.ncols() == n);
+    let mut h = h00.clone();
+    let ph = c64::from_polar(1.0, theta);
+    gemm(ph, h01, Op::N, &ZMat::eye(n), Op::N, c64::ONE, &mut h);
+    gemm(ph.conj(), h01, Op::H, &ZMat::eye(n), Op::N, c64::ONE, &mut h);
+    h
+}
+
+/// Subband energies over a grid of `θ = k_x · L` values; `bands[ik][n]` is
+/// ascending per k-point.
+pub fn wire_bands(h00: &ZMat, h01: &ZMat, thetas: &[f64]) -> Vec<Vec<f64>> {
+    thetas.iter().map(|&t| eigh_values(&bloch_hamiltonian(h00, h01, t))).collect()
+}
+
+/// Minimum of each subband over the sampled Brillouin zone (subband edges).
+pub fn subband_edges(bands: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!bands.is_empty());
+    let n = bands[0].len();
+    (0..n)
+        .map(|b| bands.iter().map(|k| k[b]).fold(f64::INFINITY, f64::min))
+        .collect()
+}
+
+/// Band gap of a wire given the number of occupied subbands: returns
+/// `(vbm, cbm, gap)` over the sampled grid.
+pub fn wire_gap(bands: &[Vec<f64>], n_valence: usize) -> (f64, f64, f64) {
+    let vbm = bands.iter().map(|b| b[n_valence - 1]).fold(f64::NEG_INFINITY, f64::max);
+    let cbm = bands.iter().map(|b| b[n_valence]).fold(f64::INFINITY, f64::min);
+    (vbm, cbm, cbm - vbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::DeviceHamiltonian;
+    use crate::params::{Material, TbParams};
+    use omen_lattice::{Crystal, Device};
+    use omen_num::{linspace, A_SI};
+
+    fn lead(material: Material, w: f64) -> (ZMat, ZMat, usize) {
+        let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 2, w, w);
+        let p = TbParams::of(material);
+        let h = DeviceHamiltonian::new(&dev, p, false);
+        let (h00, h01) = h.lead_blocks(0.0, 0.0);
+        // Occupied (spin-degenerate) states per slab of the infinite wire:
+        // one bonding state per bond, i.e. (4·N_atoms − N_passivated)/2.
+        let offsets = dev.slab_offsets();
+        let n_slab = offsets[1];
+        let dang: usize = (0..n_slab)
+            .map(|i| {
+                dev.dangling_directions(i)
+                    .into_iter()
+                    .filter(|&d| !dev.dangling_is_lead_facing(i, d))
+                    .count()
+            })
+            .sum();
+        let n_occ = (4 * n_slab - dang) / 2;
+        (h00, h01, n_occ)
+    }
+
+    #[test]
+    fn bands_symmetric_in_k_without_so() {
+        let (h00, h01, _) = lead(Material::SingleBand { t_mev: 1000 }, 0.8);
+        let thetas = linspace(-std::f64::consts::PI, std::f64::consts::PI, 9);
+        let b = wire_bands(&h00, &h01, &thetas);
+        for i in 0..4 {
+            let (l, r) = (&b[i], &b[8 - i]);
+            for (a, c) in l.iter().zip(r) {
+                assert!((a - c).abs() < 1e-9, "E(k) = E(-k) violated");
+            }
+        }
+    }
+
+    #[test]
+    fn bloch_hamiltonian_hermitian() {
+        let (h00, h01, _) = lead(Material::SiSp3s, 0.8);
+        for theta in [0.0, 0.7, 2.1, -1.3] {
+            assert!(bloch_hamiltonian(&h00, &h01, theta).is_hermitian(1e-11));
+        }
+    }
+
+    #[test]
+    fn confinement_opens_the_gap() {
+        // A 0.8 nm Si wire must have a (much) larger gap than bulk Si.
+        let (h00, h01, n_occ) = lead(Material::SiSp3s, 0.8);
+        let thetas = linspace(0.0, std::f64::consts::PI, 9);
+        let bands = wire_bands(&h00, &h01, &thetas);
+        let (vbm, cbm, gap) = wire_gap(&bands, n_occ);
+        assert!(gap > 1.3, "confined wire gap {gap} (vbm {vbm}, cbm {cbm}) should exceed bulk");
+        assert!(gap < 6.0, "gap {gap} unphysically large — passivation/ordering bug?");
+    }
+
+    #[test]
+    fn subband_edges_are_band_minima() {
+        let (h00, h01, _) = lead(Material::SingleBand { t_mev: 500 }, 0.8);
+        let thetas = linspace(-std::f64::consts::PI, std::f64::consts::PI, 17);
+        let b = wire_bands(&h00, &h01, &thetas);
+        let edges = subband_edges(&b);
+        for (n, &e) in edges.iter().enumerate() {
+            for kb in &b {
+                assert!(kb[n] >= e - 1e-12);
+            }
+        }
+    }
+}

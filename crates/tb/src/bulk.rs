@@ -1,0 +1,258 @@
+//! Bulk bandstructure for model validation (fig. 1 class experiments).
+
+use crate::params::TbParams;
+use crate::slater_koster::sk_element;
+use crate::spin_orbit::soc_p_block;
+use omen_lattice::{Sublattice, Vec3};
+use omen_linalg::{eigh_values, ZMat};
+use omen_num::c64;
+
+/// Bulk Bloch Hamiltonian `H(k)` of the two-atom primitive cell.
+///
+/// `k` is in rad/nm. Basis ordering: (atom A orbitals ⊗ spin, atom B
+/// orbitals ⊗ spin).
+pub fn bulk_hamiltonian(p: &TbParams, k: Vec3, spin_orbit: bool) -> ZMat {
+    let basis = p.basis;
+    let norb = basis.count();
+    let spin = if spin_orbit { 2 } else { 1 };
+    let per = norb * spin;
+    let mut h = ZMat::zeros(2 * per, 2 * per);
+
+    // Onsite blocks.
+    for (blk, sub) in [(0, Sublattice::A), (per, Sublattice::B)] {
+        let sp = p.species(sub);
+        for (oi, orb) in basis.orbitals().iter().enumerate() {
+            let e = match orb.l() {
+                0 => {
+                    if *orb == crate::orbitals::Orbital::Sstar {
+                        sp.e_s2
+                    } else {
+                        sp.e_s
+                    }
+                }
+                1 => sp.e_p,
+                _ => sp.e_d,
+            };
+            for s in 0..spin {
+                let r = blk + oi * spin + s;
+                h[(r, r)] = c64::real(e);
+            }
+        }
+        if spin_orbit && sp.so_lambda != 0.0 {
+            if let Some(px) = basis.index_of(crate::orbitals::Orbital::Px) {
+                let soc = soc_p_block(sp.so_lambda);
+                for a in 0..6 {
+                    for b in 0..6 {
+                        h[(blk + px * spin + a, blk + px * spin + b)] += soc[(a, b)];
+                    }
+                }
+            }
+        }
+    }
+
+    // Hopping block A → B summed over nearest neighbors with Bloch phases.
+    let tc = p.two_center(Sublattice::A, Sublattice::B);
+    for d in neighbor_vectors(p) {
+        let phase = c64::from_polar(1.0, k.dot(d));
+        let cos = d.direction_cosines();
+        for (oi, orb_i) in basis.orbitals().iter().enumerate() {
+            for (oj, orb_j) in basis.orbitals().iter().enumerate() {
+                let v = sk_element(*orb_i, *orb_j, cos, &tc);
+                if v == 0.0 {
+                    continue;
+                }
+                for s in 0..spin {
+                    h[(oi * spin + s, per + oj * spin + s)] += phase.scale(v);
+                }
+            }
+        }
+    }
+    // Hermitian closure.
+    for i in 0..per {
+        for j in per..2 * per {
+            h[(j, i)] = h[(i, j)].conj();
+        }
+    }
+    h
+}
+
+/// Nearest-neighbor displacement vectors from a sublattice-A atom.
+pub fn neighbor_vectors(p: &TbParams) -> Vec<Vec3> {
+    match p.basis {
+        crate::orbitals::Basis::Pz => {
+            let acc = p.a;
+            vec![
+                Vec3::new(acc, 0.0, 0.0),
+                Vec3::new(-0.5 * acc, 3.0_f64.sqrt() * 0.5 * acc, 0.0),
+                Vec3::new(-0.5 * acc, -(3.0_f64.sqrt()) * 0.5 * acc, 0.0),
+            ]
+        }
+        _ => {
+            let q = p.a / 4.0;
+            vec![
+                Vec3::new(q, q, q),
+                Vec3::new(q, -q, -q),
+                Vec3::new(-q, q, -q),
+                Vec3::new(-q, -q, q),
+            ]
+        }
+    }
+}
+
+/// Bulk band energies at `k`, ascending.
+pub fn bulk_bands(p: &TbParams, k: Vec3, spin_orbit: bool) -> Vec<f64> {
+    eigh_values(&bulk_hamiltonian(p, k, spin_orbit))
+}
+
+/// A k-path as a list of `(label, k)` waypoints interpolated with `n`
+/// points per segment (the final point of each segment is included).
+pub fn k_path(waypoints: &[(&str, Vec3)], n: usize) -> Vec<Vec3> {
+    assert!(waypoints.len() >= 2 && n >= 1);
+    let mut ks = vec![waypoints[0].1];
+    for w in waypoints.windows(2) {
+        let (a, b) = (w[0].1, w[1].1);
+        for t in 1..=n {
+            ks.push(a + (b - a) * (t as f64 / n as f64));
+        }
+    }
+    ks
+}
+
+/// Standard L–Γ–X path for a zincblende crystal with lattice constant `a`.
+pub fn path_l_gamma_x(a: f64, n: usize) -> Vec<Vec3> {
+    let g = 2.0 * std::f64::consts::PI / a;
+    k_path(
+        &[
+            ("L", Vec3::new(0.5 * g, 0.5 * g, 0.5 * g)),
+            ("G", Vec3::ZERO),
+            ("X", Vec3::new(g, 0.0, 0.0)),
+        ],
+        n,
+    )
+}
+
+/// Valence-band maximum, conduction-band minimum and gap over a sampled
+/// path, given the number of occupied bands.
+pub fn band_gap(bands_along_path: &[Vec<f64>], n_valence: usize) -> (f64, f64, f64) {
+    let vbm = bands_along_path
+        .iter()
+        .map(|b| b[n_valence - 1])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cbm = bands_along_path.iter().map(|b| b[n_valence]).fold(f64::INFINITY, f64::min);
+    (vbm, cbm, cbm - vbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Material, TbParams};
+
+    #[test]
+    fn hermitian_at_arbitrary_k() {
+        for m in [Material::SiSp3s, Material::GaAsSp3s, Material::SiSp3d5s, Material::GraphenePz] {
+            let p = TbParams::of(m);
+            let k = Vec3::new(1.7, -2.3, 0.9);
+            let h = bulk_hamiltonian(&p, k, false);
+            assert!(h.is_hermitian(1e-12), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn si_sp3s_band_edges() {
+        let p = TbParams::of(Material::SiSp3s);
+        let path = path_l_gamma_x(p.a, 24);
+        let bands: Vec<Vec<f64>> = path.iter().map(|&k| bulk_bands(&p, k, false)).collect();
+        let (vbm, cbm, gap) = band_gap(&bands, 4);
+        // Vogl Si: VBM = 0 at Γ by construction, indirect gap ≈ 1.1–1.3 eV.
+        assert!(vbm.abs() < 0.05, "Si VBM should sit at 0, got {vbm}");
+        assert!((0.9..1.45).contains(&gap), "Si gap {gap}");
+        // Indirect: CBM must not be at Γ.
+        let gamma_idx = 24; // path L..Γ has 24 segments
+        let cb_gamma = bands[gamma_idx][4];
+        assert!(cb_gamma > cbm + 0.2, "Si must be indirect: Γ₁c={cb_gamma}, CBM={cbm}");
+    }
+
+    #[test]
+    fn gaas_sp3s_direct_gap() {
+        let p = TbParams::of(Material::GaAsSp3s);
+        let path = path_l_gamma_x(p.a, 24);
+        let bands: Vec<Vec<f64>> = path.iter().map(|&k| bulk_bands(&p, k, false)).collect();
+        let (vbm, cbm, gap) = band_gap(&bands, 4);
+        assert!(vbm.abs() < 0.05, "GaAs VBM at 0, got {vbm}");
+        assert!((1.3..1.7).contains(&gap), "GaAs gap {gap}");
+        // Direct at Γ: CBM equals the Γ conduction energy.
+        let cb_gamma = bands[24][4];
+        assert!((cb_gamma - cbm).abs() < 1e-6, "GaAs must be direct");
+        // Analytic Γ₁c for sp3s*: mean(Es) + sqrt(ΔEs² + Vss²).
+        let (esa, esc, vss): (f64, f64, f64) = (-8.3431, -2.6569, -6.4513);
+        let e_g1c = 0.5 * (esa + esc) + (0.25 * (esa - esc) * (esa - esc) + vss * vss).sqrt();
+        assert!((cb_gamma - e_g1c).abs() < 1e-6, "Γ₁c {cb_gamma} vs analytic {e_g1c}");
+    }
+
+    #[test]
+    fn ge_sp3s_indirect_at_l() {
+        let p = TbParams::of(Material::GeSp3s);
+        let path = path_l_gamma_x(p.a, 30);
+        let bands: Vec<Vec<f64>> = path.iter().map(|&k| bulk_bands(&p, k, false)).collect();
+        let (vbm, cbm, gap) = band_gap(&bands, 4);
+        assert!(vbm.abs() < 0.05, "Ge VBM at 0, got {vbm}");
+        assert!((0.5..1.0).contains(&gap), "Ge gap {gap} (exp. 0.66 eV)");
+        // Germanium signature: the conduction minimum sits at L, below Γ.
+        let cb_l = bands[0][4];
+        let cb_g = bands[30][4];
+        assert!(cb_l < cb_g, "Ge CBM must be at L: L={cb_l}, Γ={cb_g}");
+        assert!((cb_l - cbm).abs() < 1e-6);
+    }
+
+    #[test]
+    fn si_sp3d5s_gap() {
+        let p = TbParams::of(Material::SiSp3d5s);
+        let path = path_l_gamma_x(p.a, 30);
+        let bands: Vec<Vec<f64>> = path.iter().map(|&k| bulk_bands(&p, k, false)).collect();
+        let (vbm, _cbm, gap) = band_gap(&bands, 4);
+        assert!((0.8..1.5).contains(&gap), "sp3d5s* Si gap {gap}");
+        assert!(vbm.abs() < 0.6, "sp3d5s* Si VBM near 0, got {vbm}");
+    }
+
+    #[test]
+    fn graphene_dirac_point() {
+        let p = TbParams::of(Material::GraphenePz);
+        let acc = p.a;
+        // K point of graphene: |K| = 4π/(3√3 acc) along the zigzag (y) axis
+        // in our orientation (armchair = x).
+        let k_dirac = Vec3::new(0.0, 4.0 * std::f64::consts::PI / (3.0 * 3.0_f64.sqrt() * acc), 0.0);
+        let e = bulk_bands(&p, k_dirac, false);
+        assert!(e[0].abs() < 1e-8 && e[1].abs() < 1e-8, "Dirac point not gapless: {e:?}");
+        // Γ: E = ±3|t| = ±8.1.
+        let g = bulk_bands(&p, Vec3::ZERO, false);
+        assert!((g[0] + 8.1).abs() < 1e-9 && (g[1] - 8.1).abs() < 1e-9, "{g:?}");
+    }
+
+    #[test]
+    fn spin_orbit_splits_valence_top() {
+        let p = TbParams::of(Material::GaAsSp3s);
+        let g = bulk_bands(&p, Vec3::ZERO, true);
+        // 20 states with SO; 8 occupied. VBM 4-fold (j=3/2), split-off 2-fold
+        // at Δ_so below. Δ_so = 3·mean(λ_a, λ_c)·... — for the two-atom cell
+        // the splitting is between j=3/2 and j=1/2 combinations of both
+        // species; just require a clear positive splitting.
+        // State ordering at Γ: (s-bonding ×2) ≪ (split-off ×2) < (j=3/2 ×4).
+        let quartet_ok = (g[7] - g[4]).abs() < 1e-9;
+        let doublet_ok = (g[3] - g[2]).abs() < 1e-9;
+        assert!(quartet_ok && doublet_ok, "Γ multiplet structure wrong: {:?}", &g[..8]);
+        let split = g[4] - g[3];
+        assert!(split > 0.05, "expected SO splitting, got {split}");
+        // Γ₁c unaffected (s-like): compare against no-SO value.
+        let g0 = bulk_bands(&p, Vec3::ZERO, false);
+        let cb_so = g[8];
+        let cb = g0[4];
+        assert!((cb_so - cb).abs() < 1e-6, "s-like CB must not shift: {cb_so} vs {cb}");
+    }
+
+    #[test]
+    fn k_path_interpolation() {
+        let ks = k_path(&[("A", Vec3::ZERO), ("B", Vec3::new(1.0, 0.0, 0.0))], 4);
+        assert_eq!(ks.len(), 5);
+        assert!((ks[2].x - 0.5).abs() < 1e-15);
+    }
+}

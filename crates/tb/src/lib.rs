@@ -1,0 +1,34 @@
+//! # omen-tb — empirical tight-binding models and Hamiltonian assembly
+//!
+//! Implements the electronic-structure layer of the simulator: empirical
+//! tight-binding in the nearest-neighbor two-center approximation on the
+//! device geometries of `omen-lattice`.
+//!
+//! * [`orbitals`] — orbital sets: single-band `s`, graphene `pz`,
+//!   `sp3s*` (Vogl) and `sp3d5s*` (Boykin/Klimeck) bases;
+//! * [`slater_koster`] — the full Slater–Koster two-center table up to
+//!   d orbitals, with the parity rule for reversed orbital order;
+//! * [`params`] — tabulated material parameterizations (Si, Ge, GaAs,
+//!   graphene) as two-center integrals, with Harrison-type strain scaling;
+//! * [`spin_orbit`] — onsite `λ L·S` coupling in the p shell;
+//! * [`hamiltonian`] — assembly of the slab-ordered block-tridiagonal
+//!   device Hamiltonian, including hydrogen-like passivation of dangling
+//!   hybrids and transverse Bloch phases for periodic devices;
+//! * [`bulk`] / [`bands`] — bulk zincblende bandstructure and wire/ribbon
+//!   subband dispersions for model validation and device design.
+
+pub mod alloy;
+pub mod bands;
+pub mod bulk;
+pub mod cband;
+pub mod hamiltonian;
+pub mod orbitals;
+pub mod params;
+pub mod slater_koster;
+pub mod spin_orbit;
+
+pub use alloy::{virtual_crystal, AlloyModel};
+pub use cband::{complex_bands, min_decay_constant, propagating_count, BlochMode};
+pub use hamiltonian::DeviceHamiltonian;
+pub use orbitals::{Basis, Orbital};
+pub use params::{Material, TbParams, TwoCenter};

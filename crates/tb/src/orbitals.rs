@@ -1,0 +1,108 @@
+//! Orbital sets used by the tight-binding models.
+
+/// A single atomic-like orbital.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orbital {
+    /// s orbital.
+    S,
+    /// p_x orbital.
+    Px,
+    /// p_y orbital.
+    Py,
+    /// p_z orbital.
+    Pz,
+    /// d_xy orbital.
+    Dxy,
+    /// d_yz orbital.
+    Dyz,
+    /// d_zx orbital.
+    Dzx,
+    /// d_{x²−y²} orbital.
+    Dx2y2,
+    /// d_{3z²−r²} orbital.
+    Dz2,
+    /// Excited s* orbital (Vogl).
+    Sstar,
+}
+
+impl Orbital {
+    /// Angular momentum quantum number ℓ (s* counts as ℓ = 0).
+    pub fn l(self) -> u32 {
+        match self {
+            Orbital::S | Orbital::Sstar => 0,
+            Orbital::Px | Orbital::Py | Orbital::Pz => 1,
+            _ => 2,
+        }
+    }
+
+    /// True for p orbitals (the shell that carries spin-orbit coupling).
+    pub fn is_p(self) -> bool {
+        self.l() == 1
+    }
+}
+
+/// An ordered orbital basis per atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Basis {
+    /// Single s orbital — the effective-mass / validation model.
+    S,
+    /// Single p_z orbital — graphene π systems.
+    Pz,
+    /// sp3s* (5 orbitals, Vogl 1983).
+    Sp3s,
+    /// sp3d5s* (10 orbitals, Boykin–Klimeck).
+    Sp3d5s,
+}
+
+impl Basis {
+    /// The ordered orbital list of this basis.
+    pub fn orbitals(self) -> &'static [Orbital] {
+        use Orbital::*;
+        match self {
+            Basis::S => &[S],
+            Basis::Pz => &[Pz],
+            Basis::Sp3s => &[S, Px, Py, Pz, Sstar],
+            Basis::Sp3d5s => &[S, Px, Py, Pz, Dxy, Dyz, Dzx, Dx2y2, Dz2, Sstar],
+        }
+    }
+
+    /// Number of orbitals per atom (excluding spin).
+    pub fn count(self) -> usize {
+        self.orbitals().len()
+    }
+
+    /// Index of an orbital within this basis, if present.
+    pub fn index_of(self, o: Orbital) -> Option<usize> {
+        self.orbitals().iter().position(|&x| x == o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_counts() {
+        assert_eq!(Basis::S.count(), 1);
+        assert_eq!(Basis::Pz.count(), 1);
+        assert_eq!(Basis::Sp3s.count(), 5);
+        assert_eq!(Basis::Sp3d5s.count(), 10);
+    }
+
+    #[test]
+    fn orbital_angular_momenta() {
+        assert_eq!(Orbital::S.l(), 0);
+        assert_eq!(Orbital::Sstar.l(), 0);
+        assert_eq!(Orbital::Px.l(), 1);
+        assert_eq!(Orbital::Dz2.l(), 2);
+        assert!(Orbital::Py.is_p());
+        assert!(!Orbital::Dxy.is_p());
+    }
+
+    #[test]
+    fn index_lookup() {
+        assert_eq!(Basis::Sp3d5s.index_of(Orbital::Sstar), Some(9));
+        assert_eq!(Basis::Sp3s.index_of(Orbital::Dxy), None);
+        assert_eq!(Basis::Pz.index_of(Orbital::Pz), Some(0));
+    }
+}

@@ -1,0 +1,456 @@
+//! Material parameterizations as two-center integrals.
+//!
+//! All numbers are in eV. The sp3s* sets follow Vogl, Hjalmarson & Dow
+//! (J. Phys. Chem. Solids 44, 365 (1983)), converted from their
+//! four-neighbor matrix elements `V(α,β)` to two-center integrals
+//! (`V_ssσ = V(s,s)/4`, `V_spσ = √3 V(s,p)/4`, `V_ppσ = (V(x,x)+2V(x,y))·3/4/3`,
+//! `V_ppπ = (V(x,x)−V(x,y))·3/4/3`). The Si sp3d5s* set follows the
+//! Boykin–Klimeck parameterization used by OMEN/NEMO. Values are entered to
+//! the precision needed for qualitative device physics; validation tests
+//! check gaps and band orderings with correspondingly loose tolerances.
+
+use crate::orbitals::Basis;
+use omen_lattice::Sublattice;
+use omen_num::{A_CC, A_GAAS, A_GE, A_INAS, A_SI};
+
+/// Two-center Slater–Koster integrals for an *ordered* atom pair (1 → 2).
+///
+/// Directional slots (`sp` vs `ps`, …) matter for heteropolar pairs; for
+/// homopolar materials the mirrored slots are equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub struct TwoCenter {
+    pub ss_sigma: f64,
+    /// s*–s* σ.
+    pub s2s2_sigma: f64,
+    /// s(1)–s*(2) σ.
+    pub ss2_sigma: f64,
+    /// s*(1)–s(2) σ.
+    pub s2s_sigma: f64,
+    /// s(1)–p(2) σ.
+    pub sp_sigma: f64,
+    /// p(1)–s(2) σ.
+    pub ps_sigma: f64,
+    /// s*(1)–p(2) σ.
+    pub s2p_sigma: f64,
+    /// p(1)–s*(2) σ.
+    pub ps2_sigma: f64,
+    /// s(1)–d(2) σ.
+    pub sd_sigma: f64,
+    /// d(1)–s(2) σ.
+    pub ds_sigma: f64,
+    /// s*(1)–d(2) σ.
+    pub s2d_sigma: f64,
+    /// d(1)–s*(2) σ.
+    pub ds2_sigma: f64,
+    pub pp_sigma: f64,
+    pub pp_pi: f64,
+    /// p(1)–d(2) σ/π.
+    pub pd_sigma: f64,
+    pub pd_pi: f64,
+    /// d(1)–p(2) σ/π.
+    pub dp_sigma: f64,
+    pub dp_pi: f64,
+    pub dd_sigma: f64,
+    pub dd_pi: f64,
+    pub dd_delta: f64,
+}
+
+impl TwoCenter {
+    /// All-zero integrals (builder starting point).
+    pub const ZERO: TwoCenter = TwoCenter {
+        ss_sigma: 0.0,
+        s2s2_sigma: 0.0,
+        ss2_sigma: 0.0,
+        s2s_sigma: 0.0,
+        sp_sigma: 0.0,
+        ps_sigma: 0.0,
+        s2p_sigma: 0.0,
+        ps2_sigma: 0.0,
+        sd_sigma: 0.0,
+        ds_sigma: 0.0,
+        s2d_sigma: 0.0,
+        ds2_sigma: 0.0,
+        pp_sigma: 0.0,
+        pp_pi: 0.0,
+        pd_sigma: 0.0,
+        pd_pi: 0.0,
+        dp_sigma: 0.0,
+        dp_pi: 0.0,
+        dd_sigma: 0.0,
+        dd_pi: 0.0,
+        dd_delta: 0.0,
+    };
+
+    /// The same integrals viewed from atom 2 (directional slots swapped).
+    pub fn mirrored(&self) -> TwoCenter {
+        TwoCenter {
+            ss2_sigma: self.s2s_sigma,
+            s2s_sigma: self.ss2_sigma,
+            sp_sigma: self.ps_sigma,
+            ps_sigma: self.sp_sigma,
+            s2p_sigma: self.ps2_sigma,
+            ps2_sigma: self.s2p_sigma,
+            sd_sigma: self.ds_sigma,
+            ds_sigma: self.sd_sigma,
+            s2d_sigma: self.ds2_sigma,
+            ds2_sigma: self.s2d_sigma,
+            pd_sigma: self.dp_sigma,
+            pd_pi: self.dp_pi,
+            dp_sigma: self.pd_sigma,
+            dp_pi: self.pd_pi,
+            ..*self
+        }
+    }
+}
+
+/// Onsite orbital energies and spin-orbit strength for one species.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeciesParams {
+    /// s onsite energy.
+    pub e_s: f64,
+    /// p onsite energy.
+    pub e_p: f64,
+    /// d onsite energy (sp3d5s* only).
+    pub e_d: f64,
+    /// s* onsite energy.
+    pub e_s2: f64,
+    /// Spin-orbit parameter λ = Δ_so/3 acting in the p shell.
+    pub so_lambda: f64,
+}
+
+/// Supported material systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Material {
+    /// Silicon, sp3s* basis.
+    SiSp3s,
+    /// Silicon, sp3d5s* basis (OMEN's production model).
+    SiSp3d5s,
+    /// Germanium, sp3s* basis.
+    GeSp3s,
+    /// Gallium arsenide, sp3s* basis.
+    GaAsSp3s,
+    /// Indium arsenide, sp3s* basis.
+    InAsSp3s,
+    /// Graphene π system, single p_z orbital.
+    GraphenePz,
+    /// Single-band nearest-neighbor model with hopping `-t` (validation).
+    SingleBand {
+        /// Hopping magnitude in eV (element is `-t`).
+        t_mev: i32,
+    },
+}
+
+/// A complete tight-binding parameterization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbParams {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Orbital basis.
+    pub basis: Basis,
+    /// Lattice constant (zincblende `a`, or graphene `a_cc`) in nm.
+    pub a: f64,
+    /// Sublattice-A (cation) species.
+    pub cation: SpeciesParams,
+    /// Sublattice-B (anion) species.
+    pub anion: SpeciesParams,
+    /// Two-center integrals for the ordered pair A → B.
+    pub tc_ab: TwoCenter,
+    /// Harrison strain exponent η in `V(d) = V(d₀) (d₀/d)^η`.
+    pub strain_eta: f64,
+    /// Energy shift applied to dangling sp³ hybrids (hydrogen-like
+    /// passivation); 0 disables passivation (graphene π).
+    pub passivation_shift: f64,
+}
+
+impl TbParams {
+    /// Onsite parameters of a sublattice.
+    pub fn species(&self, sub: Sublattice) -> &SpeciesParams {
+        match sub {
+            Sublattice::A => &self.cation,
+            Sublattice::B => &self.anion,
+        }
+    }
+
+    /// Two-center integrals for the ordered pair `from → to`.
+    /// Nearest neighbors always connect opposite sublattices in the
+    /// supported crystals.
+    pub fn two_center(&self, from: Sublattice, to: Sublattice) -> TwoCenter {
+        assert_ne!(from, to, "nearest neighbors connect opposite sublattices");
+        match from {
+            Sublattice::A => self.tc_ab,
+            Sublattice::B => self.tc_ab.mirrored(),
+        }
+    }
+
+    /// Builds the parameter set for `m`.
+    pub fn of(m: Material) -> TbParams {
+        match m {
+            Material::SiSp3s => si_sp3s(),
+            Material::SiSp3d5s => si_sp3d5s(),
+            Material::GeSp3s => ge_sp3s(),
+            Material::GaAsSp3s => gaas_sp3s(),
+            Material::InAsSp3s => inas_sp3s(),
+            Material::GraphenePz => graphene_pz(),
+            Material::SingleBand { t_mev } => single_band(t_mev as f64 * 1e-3),
+        }
+    }
+}
+
+fn homopolar(sp: SpeciesParams) -> (SpeciesParams, SpeciesParams) {
+    (sp, sp)
+}
+
+/// Converts Vogl-style matrix elements `(V_ss, V_xx, V_xy, V_sapc, V_pasc,
+/// V_s*apc, V_pas*c)` into two-center integrals.
+fn vogl_tc(
+    v_ss: f64,
+    v_xx: f64,
+    v_xy: f64,
+    v_sapc: f64,
+    v_pasc: f64,
+    v_s2apc: f64,
+    v_pas2c: f64,
+) -> TwoCenter {
+    let s3 = 3.0_f64.sqrt();
+    let a = 0.75 * v_xx;
+    let b = 0.75 * v_xy;
+    TwoCenter {
+        ss_sigma: v_ss / 4.0,
+        // Vogl's model has no s*–s* or s–s* coupling.
+        s2s2_sigma: 0.0,
+        ss2_sigma: 0.0,
+        s2s_sigma: 0.0,
+        // Convention: sublattice A is the cation, B the anion. Vogl's
+        // `V(sa,pc)` couples the *anion* s to the *cation* p — for our
+        // ordered pair A(cation) → B(anion) that is the `ps` slot; his
+        // `V(pa,sc)` is our `sp` slot, and likewise for the s* pairs.
+        sp_sigma: s3 * v_pasc / 4.0,
+        ps_sigma: s3 * v_sapc / 4.0,
+        s2p_sigma: s3 * v_pas2c / 4.0,
+        ps2_sigma: s3 * v_s2apc / 4.0,
+        sd_sigma: 0.0,
+        ds_sigma: 0.0,
+        s2d_sigma: 0.0,
+        ds2_sigma: 0.0,
+        pp_sigma: (a + 2.0 * b) / 3.0,
+        pp_pi: (a - b) / 3.0,
+        pd_sigma: 0.0,
+        pd_pi: 0.0,
+        dp_sigma: 0.0,
+        dp_pi: 0.0,
+        dd_sigma: 0.0,
+        dd_pi: 0.0,
+        dd_delta: 0.0,
+    }
+}
+
+/// Vogl sp3s* silicon.
+fn si_sp3s() -> TbParams {
+    let sp = SpeciesParams { e_s: -4.2, e_p: 1.715, e_d: 0.0, e_s2: 6.685, so_lambda: 0.0147 };
+    let (cation, anion) = homopolar(sp);
+    TbParams {
+        name: "Si sp3s* (Vogl)",
+        basis: Basis::Sp3s,
+        a: A_SI,
+        cation,
+        anion,
+        tc_ab: vogl_tc(-8.3, 1.715, 4.575, 5.7292, 5.7292, 5.3749, 5.3749),
+        strain_eta: 2.0,
+        passivation_shift: 30.0,
+    }
+}
+
+/// Vogl sp3s* germanium.
+fn ge_sp3s() -> TbParams {
+    let sp = SpeciesParams { e_s: -5.88, e_p: 1.61, e_d: 0.0, e_s2: 6.39, so_lambda: 0.097 };
+    let (cation, anion) = homopolar(sp);
+    TbParams {
+        name: "Ge sp3s* (Vogl)",
+        basis: Basis::Sp3s,
+        a: A_GE,
+        cation,
+        anion,
+        tc_ab: vogl_tc(-6.78, 1.61, 4.90, 5.4649, 5.4649, 5.2191, 5.2191),
+        strain_eta: 2.0,
+        passivation_shift: 30.0,
+    }
+}
+
+/// Vogl sp3s* gallium arsenide. Sublattice A = Ga (cation), B = As (anion).
+fn gaas_sp3s() -> TbParams {
+    let ga = SpeciesParams { e_s: -2.6569, e_p: 3.6686, e_d: 0.0, e_s2: 6.7386, so_lambda: 0.058 };
+    let as_ = SpeciesParams { e_s: -8.3431, e_p: 1.0414, e_d: 0.0, e_s2: 8.5914, so_lambda: 0.140 };
+    TbParams {
+        name: "GaAs sp3s* (Vogl)",
+        basis: Basis::Sp3s,
+        a: A_GAAS,
+        cation: ga,
+        anion: as_,
+        tc_ab: vogl_tc(-6.4513, 1.9546, 5.0779, 4.48, 5.7839, 4.8422, 4.8077),
+        strain_eta: 2.0,
+        passivation_shift: 30.0,
+    }
+}
+
+/// Vogl sp3s* indium arsenide. Sublattice A = In, B = As.
+fn inas_sp3s() -> TbParams {
+    let in_ = SpeciesParams { e_s: -2.7219, e_p: 3.7201, e_d: 0.0, e_s2: 6.7401, so_lambda: 0.131 };
+    let as_ = SpeciesParams { e_s: -9.5381, e_p: 0.9099, e_d: 0.0, e_s2: 7.4099, so_lambda: 0.140 };
+    TbParams {
+        name: "InAs sp3s* (Vogl)",
+        basis: Basis::Sp3s,
+        a: A_INAS,
+        cation: in_,
+        anion: as_,
+        tc_ab: vogl_tc(-5.6052, 1.8398, 4.4693, 3.0354, 5.4389, 3.3744, 3.9097),
+        strain_eta: 2.0,
+        passivation_shift: 30.0,
+    }
+}
+
+/// Boykin–Klimeck sp3d5s* silicon (no spin-orbit in the integrals; λ is the
+/// onsite p-shell parameter).
+fn si_sp3d5s() -> TbParams {
+    let sp = SpeciesParams {
+        e_s: -2.0196,
+        e_p: 4.5448,
+        e_d: 14.1836,
+        e_s2: 19.6748,
+        so_lambda: 0.0147,
+    };
+    let (cation, anion) = homopolar(sp);
+    let tc = TwoCenter {
+        ss_sigma: -1.9413,
+        s2s2_sigma: -3.3081,
+        ss2_sigma: -1.6933,
+        s2s_sigma: -1.6933,
+        sp_sigma: 2.7836,
+        ps_sigma: 2.7836,
+        s2p_sigma: 2.8428,
+        ps2_sigma: 2.8428,
+        sd_sigma: -2.7998,
+        ds_sigma: -2.7998,
+        s2d_sigma: -0.7003,
+        ds2_sigma: -0.7003,
+        pp_sigma: 4.1068,
+        pp_pi: -1.5934,
+        pd_sigma: -2.1073,
+        dp_sigma: -2.1073,
+        pd_pi: 1.9977,
+        dp_pi: 1.9977,
+        dd_sigma: -1.2327,
+        dd_pi: 2.5145,
+        dd_delta: -2.4734,
+    };
+    TbParams {
+        name: "Si sp3d5s* (Boykin)",
+        basis: Basis::Sp3d5s,
+        a: A_SI,
+        cation,
+        anion,
+        tc_ab: tc,
+        strain_eta: 2.0,
+        passivation_shift: 30.0,
+    }
+}
+
+/// Graphene π system: single p_z orbital, first-neighbor V_ppπ = −2.7 eV.
+fn graphene_pz() -> TbParams {
+    let c = SpeciesParams { e_s: 0.0, e_p: 0.0, e_d: 0.0, e_s2: 0.0, so_lambda: 0.0 };
+    let (cation, anion) = homopolar(c);
+    TbParams {
+        name: "graphene pz",
+        basis: Basis::Pz,
+        a: A_CC,
+        cation,
+        anion,
+        tc_ab: TwoCenter { pp_pi: -2.7, ..TwoCenter::ZERO },
+        strain_eta: 2.0,
+        passivation_shift: 0.0,
+    }
+}
+
+/// Single-orbital validation model with hopping `-t` on every bond.
+fn single_band(t: f64) -> TbParams {
+    let sp = SpeciesParams { e_s: 0.0, e_p: 0.0, e_d: 0.0, e_s2: 0.0, so_lambda: 0.0 };
+    let (cation, anion) = homopolar(sp);
+    TbParams {
+        name: "single-band",
+        basis: Basis::S,
+        a: A_SI,
+        cation,
+        anion,
+        tc_ab: TwoCenter { ss_sigma: -t, ..TwoCenter::ZERO },
+        strain_eta: 0.0,
+        passivation_shift: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrored_swaps_directional_slots() {
+        let tc = TwoCenter {
+            sp_sigma: 1.0,
+            ps_sigma: 2.0,
+            pd_sigma: 3.0,
+            dp_sigma: 4.0,
+            ss2_sigma: 5.0,
+            s2s_sigma: 6.0,
+            ..TwoCenter::ZERO
+        };
+        let m = tc.mirrored();
+        assert_eq!(m.sp_sigma, 2.0);
+        assert_eq!(m.ps_sigma, 1.0);
+        assert_eq!(m.pd_sigma, 4.0);
+        assert_eq!(m.dp_sigma, 3.0);
+        assert_eq!(m.ss2_sigma, 6.0);
+        assert_eq!(m.s2s_sigma, 5.0);
+        // Involution.
+        assert_eq!(m.mirrored(), tc);
+    }
+
+    #[test]
+    fn homopolar_mirrors_to_itself() {
+        let p = TbParams::of(Material::SiSp3s);
+        assert_eq!(p.tc_ab.mirrored(), p.tc_ab);
+        let p = TbParams::of(Material::SiSp3d5s);
+        assert_eq!(p.tc_ab.mirrored(), p.tc_ab);
+    }
+
+    #[test]
+    fn heteropolar_is_directional() {
+        let p = TbParams::of(Material::GaAsSp3s);
+        assert_ne!(p.tc_ab.sp_sigma, p.tc_ab.ps_sigma);
+        let ab = p.two_center(Sublattice::A, Sublattice::B);
+        let ba = p.two_center(Sublattice::B, Sublattice::A);
+        assert_eq!(ab.sp_sigma, ba.ps_sigma);
+    }
+
+    #[test]
+    fn vogl_conversion_roundtrip() {
+        // For Si: V_ppσ + 2V_ppπ = 3/4·V_xx and V_ppσ − V_ppπ = 3/4·V_xy.
+        let p = TbParams::of(Material::SiSp3s);
+        let tc = p.tc_ab;
+        assert!((tc.pp_sigma + 2.0 * tc.pp_pi - 0.75 * 1.715).abs() < 1e-12);
+        assert!((tc.pp_sigma - tc.pp_pi - 0.75 * 4.575).abs() < 1e-12);
+        assert!((tc.ss_sigma + 8.3 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_band_hopping() {
+        let p = TbParams::of(Material::SingleBand { t_mev: 500 });
+        assert_eq!(p.tc_ab.ss_sigma, -0.5);
+        assert_eq!(p.basis.count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn same_sublattice_pair_rejected() {
+        let p = TbParams::of(Material::SiSp3s);
+        let _ = p.two_center(Sublattice::A, Sublattice::A);
+    }
+}

@@ -1,0 +1,334 @@
+//! The Slater–Koster two-center table up to d orbitals.
+//!
+//! `sk_element(o1, o2, (l, m, n), tc)` returns the hopping matrix element
+//! `⟨o1, atom1 | H | o2, atom2⟩` for a bond with direction cosines
+//! `(l, m, n)` pointing from atom 1 to atom 2, given the two-center
+//! integrals `tc` *for that ordered pair* (heteropolar materials have
+//! e.g. `V_{s_a p_c σ} ≠ V_{p_a s_c σ}`).
+//!
+//! Only the canonical orderings (ℓ₁ ≤ ℓ₂, with s before s*) are written
+//! explicitly; reversed pairs use the Slater–Koster parity rule
+//! `E_{βα}(l,m,n) = (−1)^{ℓ₁+ℓ₂} E_{αβ}(l,m,n)` with the integrals taken
+//! from the mirrored slots of [`TwoCenter`].
+
+use crate::orbitals::Orbital;
+use crate::params::TwoCenter;
+
+const SQ3: f64 = 1.732_050_807_568_877_2;
+
+/// Two-center hopping element; see module docs for conventions.
+pub fn sk_element(o1: Orbital, o2: Orbital, (l, m, n): (f64, f64, f64), tc: &TwoCenter) -> f64 {
+    use Orbital::*;
+    // Canonicalize so the explicit table below only handles ℓ₁ ≤ ℓ₂ and
+    // (S before Sstar). The parity rule flips the sign for odd ℓ₁+ℓ₂ and
+    // swaps the directional integral slots.
+    let rank = |o: Orbital| match o {
+        S => 0,
+        Sstar => 1,
+        Px | Py | Pz => 2,
+        _ => 3,
+    };
+    if rank(o1) > rank(o2) {
+        let sign = if (o1.l() + o2.l()) % 2 == 1 { -1.0 } else { 1.0 };
+        return sign * sk_element(o2, o1, (l, m, n), &tc.mirrored());
+    }
+
+    match (o1, o2) {
+        (S, S) => tc.ss_sigma,
+        (Sstar, Sstar) => tc.s2s2_sigma,
+        (S, Sstar) => tc.ss2_sigma,
+
+        (S, Px) => l * tc.sp_sigma,
+        (S, Py) => m * tc.sp_sigma,
+        (S, Pz) => n * tc.sp_sigma,
+        (Sstar, Px) => l * tc.s2p_sigma,
+        (Sstar, Py) => m * tc.s2p_sigma,
+        (Sstar, Pz) => n * tc.s2p_sigma,
+
+        (S, Dxy) => SQ3 * l * m * tc.sd_sigma,
+        (S, Dyz) => SQ3 * m * n * tc.sd_sigma,
+        (S, Dzx) => SQ3 * n * l * tc.sd_sigma,
+        (S, Dx2y2) => 0.5 * SQ3 * (l * l - m * m) * tc.sd_sigma,
+        (S, Dz2) => (n * n - 0.5 * (l * l + m * m)) * tc.sd_sigma,
+        (Sstar, Dxy) => SQ3 * l * m * tc.s2d_sigma,
+        (Sstar, Dyz) => SQ3 * m * n * tc.s2d_sigma,
+        (Sstar, Dzx) => SQ3 * n * l * tc.s2d_sigma,
+        (Sstar, Dx2y2) => 0.5 * SQ3 * (l * l - m * m) * tc.s2d_sigma,
+        (Sstar, Dz2) => (n * n - 0.5 * (l * l + m * m)) * tc.s2d_sigma,
+
+        (Px, Px) => l * l * tc.pp_sigma + (1.0 - l * l) * tc.pp_pi,
+        (Py, Py) => m * m * tc.pp_sigma + (1.0 - m * m) * tc.pp_pi,
+        (Pz, Pz) => n * n * tc.pp_sigma + (1.0 - n * n) * tc.pp_pi,
+        (Px, Py) | (Py, Px) => l * m * (tc.pp_sigma - tc.pp_pi),
+        (Py, Pz) | (Pz, Py) => m * n * (tc.pp_sigma - tc.pp_pi),
+        (Pz, Px) | (Px, Pz) => n * l * (tc.pp_sigma - tc.pp_pi),
+
+        (Px, Dxy) => SQ3 * l * l * m * tc.pd_sigma + m * (1.0 - 2.0 * l * l) * tc.pd_pi,
+        (Px, Dyz) => l * m * n * (SQ3 * tc.pd_sigma - 2.0 * tc.pd_pi),
+        (Px, Dzx) => SQ3 * l * l * n * tc.pd_sigma + n * (1.0 - 2.0 * l * l) * tc.pd_pi,
+        (Py, Dxy) => SQ3 * m * m * l * tc.pd_sigma + l * (1.0 - 2.0 * m * m) * tc.pd_pi,
+        (Py, Dyz) => SQ3 * m * m * n * tc.pd_sigma + n * (1.0 - 2.0 * m * m) * tc.pd_pi,
+        (Py, Dzx) => l * m * n * (SQ3 * tc.pd_sigma - 2.0 * tc.pd_pi),
+        (Pz, Dxy) => l * m * n * (SQ3 * tc.pd_sigma - 2.0 * tc.pd_pi),
+        (Pz, Dyz) => SQ3 * n * n * m * tc.pd_sigma + m * (1.0 - 2.0 * n * n) * tc.pd_pi,
+        (Pz, Dzx) => SQ3 * n * n * l * tc.pd_sigma + l * (1.0 - 2.0 * n * n) * tc.pd_pi,
+        (Px, Dx2y2) => {
+            0.5 * SQ3 * l * (l * l - m * m) * tc.pd_sigma + l * (1.0 - l * l + m * m) * tc.pd_pi
+        }
+        (Py, Dx2y2) => {
+            0.5 * SQ3 * m * (l * l - m * m) * tc.pd_sigma - m * (1.0 + l * l - m * m) * tc.pd_pi
+        }
+        (Pz, Dx2y2) => {
+            0.5 * SQ3 * n * (l * l - m * m) * tc.pd_sigma - n * (l * l - m * m) * tc.pd_pi
+        }
+        (Px, Dz2) => {
+            l * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma - SQ3 * l * n * n * tc.pd_pi
+        }
+        (Py, Dz2) => {
+            m * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma - SQ3 * m * n * n * tc.pd_pi
+        }
+        (Pz, Dz2) => {
+            n * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma
+                + SQ3 * n * (l * l + m * m) * tc.pd_pi
+        }
+
+        (Dxy, Dxy) => {
+            3.0 * l * l * m * m * tc.dd_sigma
+                + (l * l + m * m - 4.0 * l * l * m * m) * tc.dd_pi
+                + (n * n + l * l * m * m) * tc.dd_delta
+        }
+        (Dyz, Dyz) => {
+            3.0 * m * m * n * n * tc.dd_sigma
+                + (m * m + n * n - 4.0 * m * m * n * n) * tc.dd_pi
+                + (l * l + m * m * n * n) * tc.dd_delta
+        }
+        (Dzx, Dzx) => {
+            3.0 * n * n * l * l * tc.dd_sigma
+                + (n * n + l * l - 4.0 * n * n * l * l) * tc.dd_pi
+                + (m * m + n * n * l * l) * tc.dd_delta
+        }
+        (Dxy, Dyz) | (Dyz, Dxy) => {
+            3.0 * l * m * m * n * tc.dd_sigma
+                + l * n * (1.0 - 4.0 * m * m) * tc.dd_pi
+                + l * n * (m * m - 1.0) * tc.dd_delta
+        }
+        (Dxy, Dzx) | (Dzx, Dxy) => {
+            3.0 * l * l * m * n * tc.dd_sigma
+                + m * n * (1.0 - 4.0 * l * l) * tc.dd_pi
+                + m * n * (l * l - 1.0) * tc.dd_delta
+        }
+        (Dyz, Dzx) | (Dzx, Dyz) => {
+            3.0 * m * n * n * l * tc.dd_sigma
+                + m * l * (1.0 - 4.0 * n * n) * tc.dd_pi
+                + m * l * (n * n - 1.0) * tc.dd_delta
+        }
+        (Dxy, Dx2y2) | (Dx2y2, Dxy) => {
+            let f = l * m * (l * l - m * m);
+            1.5 * f * tc.dd_sigma + 2.0 * l * m * (m * m - l * l) * tc.dd_pi
+                + 0.5 * f * tc.dd_delta
+        }
+        (Dyz, Dx2y2) | (Dx2y2, Dyz) => {
+            let w = l * l - m * m;
+            1.5 * m * n * w * tc.dd_sigma - m * n * (1.0 + 2.0 * w) * tc.dd_pi
+                + m * n * (1.0 + 0.5 * w) * tc.dd_delta
+        }
+        (Dzx, Dx2y2) | (Dx2y2, Dzx) => {
+            let w = l * l - m * m;
+            1.5 * n * l * w * tc.dd_sigma + n * l * (1.0 - 2.0 * w) * tc.dd_pi
+                - n * l * (1.0 - 0.5 * w) * tc.dd_delta
+        }
+        (Dxy, Dz2) | (Dz2, Dxy) => {
+            SQ3 * l * m * (n * n - 0.5 * (l * l + m * m)) * tc.dd_sigma
+                - 2.0 * SQ3 * l * m * n * n * tc.dd_pi
+                + 0.5 * SQ3 * l * m * (1.0 + n * n) * tc.dd_delta
+        }
+        (Dyz, Dz2) | (Dz2, Dyz) => {
+            SQ3 * m * n * (n * n - 0.5 * (l * l + m * m)) * tc.dd_sigma
+                + SQ3 * m * n * (l * l + m * m - n * n) * tc.dd_pi
+                - 0.5 * SQ3 * m * n * (l * l + m * m) * tc.dd_delta
+        }
+        (Dzx, Dz2) | (Dz2, Dzx) => {
+            SQ3 * n * l * (n * n - 0.5 * (l * l + m * m)) * tc.dd_sigma
+                + SQ3 * n * l * (l * l + m * m - n * n) * tc.dd_pi
+                - 0.5 * SQ3 * n * l * (l * l + m * m) * tc.dd_delta
+        }
+        (Dx2y2, Dx2y2) => {
+            let w = l * l - m * m;
+            0.75 * w * w * tc.dd_sigma + (l * l + m * m - w * w) * tc.dd_pi
+                + (n * n + 0.25 * w * w) * tc.dd_delta
+        }
+        (Dx2y2, Dz2) | (Dz2, Dx2y2) => {
+            let w = l * l - m * m;
+            0.5 * SQ3 * w * (n * n - 0.5 * (l * l + m * m)) * tc.dd_sigma
+                + SQ3 * n * n * (m * m - l * l) * tc.dd_pi
+                + 0.25 * SQ3 * (1.0 + n * n) * w * tc.dd_delta
+        }
+        (Dz2, Dz2) => {
+            let u = n * n - 0.5 * (l * l + m * m);
+            let v = l * l + m * m;
+            u * u * tc.dd_sigma + 3.0 * n * n * v * tc.dd_pi + 0.75 * v * v * tc.dd_delta
+        }
+
+        // All remaining combinations are reversed pairs handled above.
+        _ => unreachable!("non-canonical pair {:?},{:?} must have been mirrored", o1, o2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orbitals::Orbital::*;
+    use crate::params::TwoCenter;
+
+    fn tc_test() -> TwoCenter {
+        TwoCenter {
+            ss_sigma: -1.0,
+            s2s2_sigma: -2.0,
+            ss2_sigma: -0.5,
+            s2s_sigma: -0.7,
+            sp_sigma: 1.3,
+            ps_sigma: 1.7,
+            s2p_sigma: 0.9,
+            ps2_sigma: 1.1,
+            sd_sigma: -0.6,
+            ds_sigma: -0.8,
+            s2d_sigma: -0.3,
+            ds2_sigma: -0.4,
+            pp_sigma: 2.2,
+            pp_pi: -0.9,
+            pd_sigma: -1.1,
+            pd_pi: 0.8,
+            dp_sigma: -1.4,
+            dp_pi: 0.6,
+            dd_sigma: -0.5,
+            dd_pi: 0.4,
+            dd_delta: -0.2,
+        }
+    }
+
+    const ALL: [Orbital; 10] = [S, Px, Py, Pz, Dxy, Dyz, Dzx, Dx2y2, Dz2, Sstar];
+
+    /// Bond along +z: every element must reduce to a pure σ/π/δ channel.
+    #[test]
+    fn z_axis_special_cases() {
+        let tc = tc_test();
+        let d = (0.0, 0.0, 1.0);
+        assert_eq!(sk_element(S, S, d, &tc), tc.ss_sigma);
+        assert_eq!(sk_element(S, Pz, d, &tc), tc.sp_sigma);
+        assert_eq!(sk_element(Pz, S, d, &tc), -tc.ps_sigma);
+        assert_eq!(sk_element(S, Px, d, &tc), 0.0);
+        assert_eq!(sk_element(Px, Px, d, &tc), tc.pp_pi);
+        assert_eq!(sk_element(Pz, Pz, d, &tc), tc.pp_sigma);
+        assert_eq!(sk_element(Px, Py, d, &tc), 0.0);
+        assert_eq!(sk_element(S, Dz2, d, &tc), tc.sd_sigma);
+        assert_eq!(sk_element(S, Dxy, d, &tc), 0.0);
+        assert_eq!(sk_element(Pz, Dz2, d, &tc), tc.pd_sigma);
+        assert_eq!(sk_element(Px, Dzx, d, &tc), tc.pd_pi);
+        assert_eq!(sk_element(Dz2, Dz2, d, &tc), tc.dd_sigma);
+        assert_eq!(sk_element(Dyz, Dyz, d, &tc), tc.dd_pi);
+        assert_eq!(sk_element(Dxy, Dxy, d, &tc), tc.dd_delta);
+        assert_eq!(sk_element(Dx2y2, Dx2y2, d, &tc), tc.dd_delta);
+    }
+
+    /// Bond along +x: cyclic analog of the z-axis case.
+    #[test]
+    fn x_axis_special_cases() {
+        let tc = tc_test();
+        let d = (1.0, 0.0, 0.0);
+        assert_eq!(sk_element(S, Px, d, &tc), tc.sp_sigma);
+        assert_eq!(sk_element(Px, Px, d, &tc), tc.pp_sigma);
+        assert_eq!(sk_element(Py, Py, d, &tc), tc.pp_pi);
+        assert_eq!(sk_element(Dyz, Dyz, d, &tc), tc.dd_delta);
+        assert_eq!(sk_element(Dxy, Dxy, d, &tc), tc.dd_pi);
+        // s–dz2 along x: n=0 ⇒ -(1/2) Vsdσ.
+        assert!((sk_element(S, Dz2, d, &tc) + 0.5 * tc.sd_sigma).abs() < 1e-15);
+        // s–dx2y2 along x: (√3/2) Vsdσ.
+        assert!((sk_element(S, Dx2y2, d, &tc) - 0.5 * SQ3 * tc.sd_sigma).abs() < 1e-15);
+    }
+
+    /// Parity: E_{βα}(d) must equal (−1)^{ℓ₁+ℓ₂} E_{αβ}(−d) with mirrored
+    /// integrals — the fundamental consistency rule of the SK construction.
+    #[test]
+    fn parity_relation_all_pairs() {
+        let tc = tc_test();
+        let dirs = [
+            (0.3, -0.5, 0.812403840463596),
+            (1.0 / SQ3, 1.0 / SQ3, 1.0 / SQ3),
+            (-0.6, 0.64, 0.48),
+        ];
+        for &(l, m, n) in &dirs {
+            assert!((l * l + m * m + n * n - 1.0).abs() < 1e-12);
+            for &o1 in &ALL {
+                for &o2 in &ALL {
+                    let e12 = sk_element(o1, o2, (l, m, n), &tc);
+                    // From atom 2's perspective, the direction reverses and
+                    // the integral slots mirror.
+                    let e21 = sk_element(o2, o1, (-l, -m, -n), &tc.mirrored());
+                    assert!(
+                        (e12 - e21).abs() < 1e-12,
+                        "SK parity violated for {:?},{:?} along ({l},{m},{n}): {e12} vs {e21}",
+                        o1,
+                        o2
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Frobenius norm of a complete shell–shell SK block depends only
+    /// on the σ/π/δ integrals, not on the bond direction — rotating the
+    /// bond is a unitary transformation on both shells. This catches
+    /// coefficient errors in any of the angular formulas.
+    #[test]
+    fn shell_block_norm_rotation_invariance() {
+        let tc = tc_test();
+        let s_shell: &[Orbital] = &[S];
+        let p_shell: &[Orbital] = &[Px, Py, Pz];
+        let d_shell: &[Orbital] = &[Dxy, Dyz, Dzx, Dx2y2, Dz2];
+        let shells: [&[Orbital]; 3] = [s_shell, p_shell, d_shell];
+        let dirs = [
+            (1.0, 0.0, 0.0),
+            (0.0, 0.0, 1.0),
+            (1.0 / SQ3, 1.0 / SQ3, 1.0 / SQ3),
+            (0.6, 0.0, 0.8),
+            (0.48, -0.6, 0.64),
+        ];
+        for sa in shells {
+            for sb in shells {
+                let sums: Vec<f64> = dirs
+                    .iter()
+                    .map(|&d| {
+                        sa.iter()
+                            .flat_map(|&a| sb.iter().map(move |&b| (a, b)))
+                            .map(|(a, b)| sk_element(a, b, d, &tc).powi(2))
+                            .sum()
+                    })
+                    .collect();
+                for w in sums.windows(2) {
+                    assert!(
+                        (w[0] - w[1]).abs() < 1e-12,
+                        "block norm not rotation invariant for shells {:?}/{:?}: {sums:?}",
+                        sa[0],
+                        sb[0]
+                    );
+                }
+            }
+        }
+    }
+
+    /// d-d cross elements must be symmetric under orbital exchange at fixed
+    /// direction (ℓ₁+ℓ₂ even ⇒ no sign flip, same integrals).
+    #[test]
+    fn dd_exchange_symmetry() {
+        let tc = tc_test();
+        let d = (0.36, 0.48, 0.8);
+        let ds = [Dxy, Dyz, Dzx, Dx2y2, Dz2];
+        for &a in &ds {
+            for &b in &ds {
+                let e1 = sk_element(a, b, d, &tc);
+                let e2 = sk_element(b, a, d, &tc);
+                assert!((e1 - e2).abs() < 1e-13, "{a:?},{b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Onsite spin-orbit coupling `λ L·S` in the p shell.
+//!
+//! In the basis ordering used by the Hamiltonian assembler — orbital-major
+//! with spin inner, i.e. `(px↑, px↓, py↑, py↓, pz↑, pz↓)` — the standard
+//! Chadi matrix has entries
+//!
+//! ```text
+//! ⟨x↑|H|y↑⟩ = −iλ     ⟨x↓|H|y↓⟩ = +iλ
+//! ⟨x↑|H|z↓⟩ = +λ      ⟨x↓|H|z↑⟩ = −λ
+//! ⟨y↑|H|z↓⟩ = −iλ     ⟨y↓|H|z↑⟩ = −iλ
+//! ```
+//!
+//! (+ Hermitian conjugates). Its eigenvalues are `+λ` (four-fold, j = 3/2)
+//! and `−2λ` (two-fold, j = 1/2), giving the valence-band splitting
+//! Δ_so = 3λ.
+
+use omen_linalg::ZMat;
+use omen_num::c64;
+
+/// The 6×6 `λ L·S` matrix in the `(px↑, px↓, py↑, py↓, pz↑, pz↓)` basis.
+pub fn soc_p_block(lambda: f64) -> ZMat {
+    let l = lambda;
+    let mut h = ZMat::zeros(6, 6);
+    // Index helpers: orbital o ∈ {x:0, y:1, z:2}, spin s ∈ {↑:0, ↓:1}.
+    let idx = |o: usize, s: usize| 2 * o + s;
+    let mut set = |a: usize, b: usize, v: c64| {
+        h[(a, b)] = v;
+        h[(b, a)] = v.conj();
+    };
+    set(idx(0, 0), idx(1, 0), c64::new(0.0, -l)); // ⟨x↑|y↑⟩ = -iλ
+    set(idx(0, 1), idx(1, 1), c64::new(0.0, l)); // ⟨x↓|y↓⟩ = +iλ
+    set(idx(0, 0), idx(2, 1), c64::new(l, 0.0)); // ⟨x↑|z↓⟩ = +λ
+    set(idx(0, 1), idx(2, 0), c64::new(-l, 0.0)); // ⟨x↓|z↑⟩ = -λ
+    set(idx(1, 0), idx(2, 1), c64::new(0.0, -l)); // ⟨y↑|z↓⟩ = -iλ
+    set(idx(1, 1), idx(2, 0), c64::new(0.0, -l)); // ⟨y↓|z↑⟩ = -iλ
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_linalg::eigh_values;
+
+    #[test]
+    fn matrix_is_hermitian_and_traceless() {
+        let h = soc_p_block(0.3);
+        assert!(h.is_hermitian(1e-15));
+        assert!(h.trace().abs() < 1e-15);
+    }
+
+    #[test]
+    fn splitting_is_three_lambda() {
+        let lambda = 0.1;
+        let vals = eigh_values(&soc_p_block(lambda));
+        // Two states at -2λ (j=1/2), four at +λ (j=3/2).
+        for k in 0..2 {
+            assert!((vals[k] + 2.0 * lambda).abs() < 1e-12, "j=1/2 level: {}", vals[k]);
+        }
+        for k in 2..6 {
+            assert!((vals[k] - lambda).abs() < 1e-12, "j=3/2 level: {}", vals[k]);
+        }
+        // Δ_so = 3λ.
+        assert!((vals[5] - vals[0] - 3.0 * lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lambda_is_zero_matrix() {
+        assert_eq!(soc_p_block(0.0).max_abs(), 0.0);
+    }
+}

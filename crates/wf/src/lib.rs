@@ -1,0 +1,31 @@
+//! # omen-wf — wave-function (QTBM) transport engine and SplitSolve
+//!
+//! The paper's key algorithmic claim is that ballistic full-band transport
+//! is much cheaper as a *wave-function* computation than as a full NEGF/RGF
+//! computation: instead of O(N·n³) block inversions, one solves a single
+//! block-tridiagonal linear system `A·Ψ = B` whose right-hand side carries
+//! only the few injected contact modes, using a *parallel* sparse solver
+//! (the SplitSolve family, introduced in the authors' Euro-Par 2008 paper).
+//!
+//! * [`injection`] — injected-mode bundles from the eigendecomposition of
+//!   the contact broadening `Γ = i(Σ−Σ†)` (spectrally equivalent to QTBM
+//!   lead-mode injection);
+//! * [`solver`] — sequential block-Thomas elimination and sequential block
+//!   cyclic reduction over the block-tridiagonal system;
+//! * [`splitsolve`] — block cyclic reduction distributed over `omen-parsim`
+//!   ranks: log₂(N) reduction levels with nearest-neighbor block exchanges,
+//!   the communication pattern of the paper's spatial-domain parallel level;
+//! * [`transport`] — per-energy wave-function transport returning the same
+//!   observables as `omen-negf` (transmission, LDOS, spectral densities),
+//!   enabling the WF-vs-RGF equivalence and time-to-solution experiments.
+
+pub mod injection;
+pub mod serialize;
+pub mod solver;
+pub mod splitsolve;
+pub mod transport;
+
+pub use injection::{injection_bundle, InjectionBundle};
+pub use solver::{bcr_solve, thomas_solve};
+pub use splitsolve::splitsolve_parallel;
+pub use transport::{wf_transport_at_energy, SolverKind};

@@ -1,0 +1,95 @@
+//! Byte (de)serialization of dense blocks for rank messages.
+
+use omen_linalg::ZMat;
+use omen_num::c64;
+
+/// Serializes a matrix as `[nrows u64][ncols u64][re, im f64 pairs…]`,
+/// little endian.
+pub fn mat_to_bytes(m: &ZMat) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16 + m.data().len() * 16);
+    v.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+    v.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+    for z in m.data() {
+        v.extend_from_slice(&z.re.to_le_bytes());
+        v.extend_from_slice(&z.im.to_le_bytes());
+    }
+    v
+}
+
+/// Inverse of [`mat_to_bytes`].
+pub fn bytes_to_mat(b: &[u8]) -> ZMat {
+    assert!(b.len() >= 16, "truncated matrix payload");
+    let nrows = u64::from_le_bytes(b[0..8].try_into().unwrap()) as usize;
+    let ncols = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+    let need = 16 + nrows * ncols * 16;
+    assert_eq!(b.len(), need, "matrix payload size mismatch");
+    let mut data = Vec::with_capacity(nrows * ncols);
+    for c in b[16..].chunks_exact(16) {
+        let re = f64::from_le_bytes(c[0..8].try_into().unwrap());
+        let im = f64::from_le_bytes(c[8..16].try_into().unwrap());
+        data.push(c64::new(re, im));
+    }
+    ZMat::from_vec(nrows, ncols, data)
+}
+
+/// Serializes several matrices back-to-back with a count prefix.
+pub fn mats_to_bytes(ms: &[&ZMat]) -> Vec<u8> {
+    let mut v = Vec::new();
+    v.extend_from_slice(&(ms.len() as u64).to_le_bytes());
+    for m in ms {
+        let b = mat_to_bytes(m);
+        v.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        v.extend_from_slice(&b);
+    }
+    v
+}
+
+/// Inverse of [`mats_to_bytes`].
+pub fn bytes_to_mats(b: &[u8]) -> Vec<ZMat> {
+    let count = u64::from_le_bytes(b[0..8].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 8;
+    for _ in 0..count {
+        let len = u64::from_le_bytes(b[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        out.push(bytes_to_mat(&b[off..off + len]));
+        off += len;
+    }
+    assert_eq!(off, b.len(), "trailing bytes in matrix bundle");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let m = ZMat::from_fn(3, 5, |i, j| c64::new(i as f64 + 0.5, -(j as f64)));
+        let b = mat_to_bytes(&m);
+        let m2 = bytes_to_mat(&b);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn roundtrip_bundle() {
+        let a = ZMat::eye(2);
+        let b = ZMat::zeros(1, 4);
+        let c = ZMat::from_fn(3, 3, |i, j| c64::new((i * j) as f64, 1.0));
+        let bytes = mats_to_bytes(&[&a, &b, &c]);
+        let out = bytes_to_mats(&bytes);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], a);
+        assert_eq!(out[1], b);
+        assert_eq!(out[2], c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrupt_payload_panics() {
+        let m = ZMat::eye(2);
+        let mut b = mat_to_bytes(&m);
+        b.pop();
+        let _ = bytes_to_mat(&b);
+    }
+}

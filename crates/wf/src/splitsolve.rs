@@ -1,0 +1,408 @@
+//! SplitSolve: block cyclic reduction distributed over ranks.
+//!
+//! The spatial parallel level of the simulator: device slabs are owned by
+//! ranks in contiguous ranges; every cyclic-reduction level eliminates the
+//! odd-position blocks of the active set, which requires each surviving
+//! block to receive three factored products `(D⁻¹b, D⁻¹L, D⁻¹U)` from its
+//! eliminated neighbors — a nearest-neighbor exchange whose volume halves
+//! every level. Back substitution replays the tree downward, sending the
+//! solved even blocks to the owners of the eliminated odd blocks.
+//!
+//! Every rank calls with the same assembled system (SPMD; in the full
+//! simulator each rank assembles its slabs deterministically) but only
+//! factors and updates the blocks it owns, so the arithmetic is genuinely
+//! distributed and the traffic is executed and counted by `omen-parsim`.
+
+use crate::serialize::{bytes_to_mat, bytes_to_mats, mat_to_bytes, mats_to_bytes};
+use omen_linalg::{lu::Lu, matmul, ZMat};
+use omen_parsim::Comm;
+use omen_sparse::BlockTridiag;
+
+/// Tag layout: `[level:6][position:16][kind:2]` (fits the 24-bit comm tag).
+fn tag(level: usize, pos: usize, kind: u64) -> u64 {
+    assert!(level < 64 && pos < (1 << 16));
+    ((level as u64) << 18) | ((pos as u64) << 2) | kind
+}
+
+const KIND_BUNDLE: u64 = 0;
+const KIND_X: u64 = 1;
+
+/// Owner of original block `g` among `r` ranks for `n` blocks: contiguous
+/// ranges.
+fn owner(g: usize, n: usize, r: usize) -> usize {
+    ((g * r) / n).min(r - 1)
+}
+
+/// Solves `A X = B` with rank-distributed block cyclic reduction. All
+/// members of `comm` must call with identical `a` and `b`; each returns the
+/// complete solution (one block per slab).
+pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
+    let nb = a.num_blocks();
+    assert_eq!(b.len(), nb);
+    let nranks = comm.size();
+    let me = comm.rank();
+    let nrhs = b[0].ncols();
+
+    let own = |g: usize| owner(g, nb, nranks);
+
+    // Working copies (only owned entries are kept current).
+    let mut diag: Vec<ZMat> = a.diag.clone();
+    let mut rhs: Vec<ZMat> = b.to_vec();
+
+    // Eliminated-block records for back substitution, per level:
+    // (odd original index, left/right original indices, factored products).
+    struct Elim {
+        index: usize,
+        left: Option<usize>,
+        right: Option<usize>,
+        d_inv_b: ZMat,
+        d_inv_l: Option<ZMat>,
+        d_inv_u: Option<ZMat>,
+    }
+    let mut my_elims: Vec<Vec<Elim>> = Vec::new();
+    // Level structure replayed identically on every rank for back-sub
+    // scheduling: (odd index, left, right).
+    let mut schedule: Vec<Vec<(usize, Option<usize>, Option<usize>)>> = Vec::new();
+
+    let mut active: Vec<usize> = (0..nb).collect();
+    let mut cl: Vec<Option<ZMat>> =
+        std::iter::once(None).chain(a.lower.iter().cloned().map(Some)).collect();
+    let mut cu: Vec<Option<ZMat>> =
+        a.upper.iter().cloned().map(Some).chain(std::iter::once(None)).collect();
+
+    let mut level = 0usize;
+    while active.len() > 1 {
+        let m = active.len();
+        let empty = ZMat::zeros(0, 0);
+
+        // 1. Factor owned odd blocks and ship bundles to even neighbors.
+        let mut local_fact: Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>> = vec![None; m];
+        for k in (1..m).step_by(2) {
+            let g = active[k];
+            if own(g) != me {
+                continue;
+            }
+            let f = Lu::factor(&diag[g]).expect("singular pivot block in SplitSolve");
+            let dib = f.solve_mat(&rhs[g]);
+            let dil = cl[k].as_ref().map(|l| f.solve_mat(l));
+            let diu = cu[k].as_ref().map(|u| f.solve_mat(u));
+            let payload = mats_to_bytes(&[
+                &dib,
+                dil.as_ref().unwrap_or(&empty),
+                diu.as_ref().unwrap_or(&empty),
+            ]);
+            for nk in [k.wrapping_sub(1), k + 1] {
+                if nk < m {
+                    let no = own(active[nk]);
+                    if no != me {
+                        comm.send(no, tag(level, k, KIND_BUNDLE), payload.clone());
+                    }
+                }
+            }
+            local_fact[k] = Some((dib, dil, diu));
+        }
+
+        // 2. Update owned even blocks, building the next level's couplings.
+        let mut new_active = Vec::with_capacity(m / 2 + 1);
+        let mut new_cl: Vec<Option<ZMat>> = Vec::with_capacity(m / 2 + 1);
+        let mut new_cu: Vec<Option<ZMat>> = Vec::with_capacity(m / 2 + 1);
+        // Cache of received bundles keyed by odd position.
+        let mut received: Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>> = vec![None; m];
+        let get_bundle = |k: usize,
+                              local_fact: &Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>>,
+                              received: &mut Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>>|
+         -> (ZMat, Option<ZMat>, Option<ZMat>) {
+            if let Some(f) = &local_fact[k] {
+                return f.clone();
+            }
+            if received[k].is_none() {
+                let o = own(active[k]);
+                let data = comm.recv(o, tag(level, k, KIND_BUNDLE));
+                let mats = bytes_to_mats(&data);
+                let opt = |m_: &ZMat| {
+                    if m_.nrows() == 0 {
+                        None
+                    } else {
+                        Some(m_.clone())
+                    }
+                };
+                received[k] = Some((mats[0].clone(), opt(&mats[1]), opt(&mats[2])));
+            }
+            received[k].clone().unwrap()
+        };
+
+        for k in (0..m).step_by(2) {
+            let g = active[k];
+            let mine = own(g) == me;
+            let mut ncl = None;
+            let mut ncu = None;
+            if mine {
+                if k + 1 < m {
+                    let (dib, dil, diu) = get_bundle(k + 1, &local_fact, &mut received);
+                    let u = cu[k].as_ref().expect("missing right coupling");
+                    if let Some(dil) = &dil {
+                        let c = matmul(u, dil);
+                        diag[g] -= &c;
+                    }
+                    let cb = matmul(u, &dib);
+                    rhs[g] -= &cb;
+                    if k + 2 < m {
+                        if let Some(diu) = &diu {
+                            ncu = Some(-&matmul(u, diu));
+                        }
+                    }
+                }
+                if k >= 1 {
+                    let (dib, dil, diu) = get_bundle(k - 1, &local_fact, &mut received);
+                    let l = cl[k].as_ref().expect("missing left coupling");
+                    if let Some(diu) = &diu {
+                        let c = matmul(l, diu);
+                        diag[g] -= &c;
+                    }
+                    let cb = matmul(l, &dib);
+                    rhs[g] -= &cb;
+                    if k >= 2 {
+                        if let Some(dil) = &dil {
+                            ncl = Some(-&matmul(l, dil));
+                        }
+                    }
+                }
+            }
+            new_active.push(g);
+            new_cl.push(ncl);
+            new_cu.push(ncu);
+        }
+
+        // 3. Record eliminations and the global schedule.
+        let mut sched_level = Vec::new();
+        let mut elim_level = Vec::new();
+        for k in (1..m).step_by(2) {
+            let left = if k >= 1 { Some(active[k - 1]) } else { None };
+            let right = if k + 1 < m { Some(active[k + 1]) } else { None };
+            sched_level.push((active[k], left, right));
+            if let Some((dib, dil, diu)) = local_fact[k].take() {
+                elim_level.push(Elim {
+                    index: active[k],
+                    left,
+                    right,
+                    d_inv_b: dib,
+                    d_inv_l: dil,
+                    d_inv_u: diu,
+                });
+            }
+        }
+        schedule.push(sched_level);
+        my_elims.push(elim_level);
+
+        active = new_active;
+        cl = new_cl;
+        cu = new_cu;
+        level += 1;
+    }
+
+    // 4. Root solve on its owner; others allocate placeholders.
+    let root = active[0];
+    let mut x: Vec<Option<ZMat>> = vec![None; nb];
+    if own(root) == me {
+        x[root] =
+            Some(Lu::factor(&diag[root]).expect("singular root block").solve_mat(&rhs[root]));
+    }
+
+    // 5. Back substitution down the tree, with x-block exchanges.
+    for (lvl, sched_level) in schedule.iter().enumerate().rev() {
+        let my_level: &mut Vec<Elim> = &mut my_elims[lvl];
+        // First: owners of needed even blocks send them to the odd owners.
+        for &(odd, left, right) in sched_level {
+            let odd_owner = own(odd);
+            for dep in [left, right].into_iter().flatten() {
+                let dep_owner = own(dep);
+                if dep_owner == me && odd_owner != me {
+                    let xb = x[dep].as_ref().expect("dependency solved before send");
+                    comm.send(odd_owner, tag(lvl, dep, KIND_X), mat_to_bytes(xb));
+                }
+            }
+        }
+        // Then: owned odd blocks compute their solution.
+        for e in my_level.iter() {
+            let mut xi = e.d_inv_b.clone();
+            if let (Some(left), Some(dil)) = (e.left, e.d_inv_l.as_ref()) {
+                let xl = match &x[left] {
+                    Some(v) => v.clone(),
+                    None => {
+                        let v = bytes_to_mat(&comm.recv(own(left), tag(lvl, left, KIND_X)));
+                        x[left] = Some(v.clone());
+                        v
+                    }
+                };
+                let c = matmul(dil, &xl);
+                xi -= &c;
+            }
+            if let (Some(right), Some(diu)) = (e.right, e.d_inv_u.as_ref()) {
+                let xr = match &x[right] {
+                    Some(v) => v.clone(),
+                    None => {
+                        let v = bytes_to_mat(&comm.recv(own(right), tag(lvl, right, KIND_X)));
+                        x[right] = Some(v.clone());
+                        v
+                    }
+                };
+                let c = matmul(diu, &xr);
+                xi -= &c;
+            }
+            x[e.index] = Some(xi);
+        }
+    }
+
+    // 6. Allgather: everyone ends up with the complete block solution.
+    let mut mine_payload = Vec::new();
+    let my_blocks: Vec<usize> = (0..nb).filter(|&g| own(g) == me).collect();
+    mine_payload.extend_from_slice(&(my_blocks.len() as u64).to_le_bytes());
+    for &g in &my_blocks {
+        let xb = x[g]
+            .as_ref()
+            .unwrap_or_else(|| panic!("owned block {g} unsolved after back substitution"));
+        let bb = mat_to_bytes(xb);
+        mine_payload.extend_from_slice(&(g as u64).to_le_bytes());
+        mine_payload.extend_from_slice(&(bb.len() as u64).to_le_bytes());
+        mine_payload.extend_from_slice(&bb);
+    }
+    let all = match comm.gather(0, mine_payload) {
+        Some(parts) => {
+            let flat: Vec<u8> = parts.into_iter().flatten().collect();
+            comm.bcast(0, flat)
+        }
+        None => comm.bcast(0, Vec::new()),
+    };
+    // Decode the concatenated per-rank payloads.
+    let mut out: Vec<Option<ZMat>> = vec![None; nb];
+    let mut off = 0usize;
+    while off < all.len() {
+        let count = u64::from_le_bytes(all[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        for _ in 0..count {
+            let g = u64::from_le_bytes(all[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            let len = u64::from_le_bytes(all[off..off + 8].try_into().unwrap()) as usize;
+            off += 8;
+            out[g] = Some(bytes_to_mat(&all[off..off + len]));
+            off += len;
+        }
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(g, o)| o.unwrap_or_else(|| panic!("block {g} missing from allgather")))
+        .collect::<Vec<_>>()
+        .tap_check(nb, nrhs)
+}
+
+trait TapCheck {
+    fn tap_check(self, nb: usize, nrhs: usize) -> Self;
+}
+
+impl TapCheck for Vec<ZMat> {
+    fn tap_check(self, nb: usize, nrhs: usize) -> Self {
+        assert_eq!(self.len(), nb);
+        for b in &self {
+            assert_eq!(b.ncols(), nrhs);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::thomas_solve;
+    use omen_num::c64;
+    use omen_parsim::{run_ranks, Comm};
+
+    fn rand_system(nb: usize, bs: usize, nrhs: usize, seed: u64) -> (BlockTridiag, Vec<ZMat>) {
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = move || {
+            s = s.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut rnd = |r: usize, c: usize| ZMat::from_fn(r, c, |_, _| c64::new(next(), next()));
+        let diag: Vec<ZMat> = (0..nb)
+            .map(|_| {
+                let mut d = rnd(bs, bs);
+                for i in 0..bs {
+                    d[(i, i)] += c64::real(6.0);
+                }
+                d
+            })
+            .collect();
+        let lower = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
+        let upper = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
+        let b = (0..nb).map(|_| rnd(bs, nrhs)).collect();
+        (BlockTridiag::new(diag, lower, upper), b)
+    }
+
+    #[test]
+    fn owner_partition_is_contiguous_and_complete() {
+        for (n, r) in [(8usize, 3usize), (13, 4), (4, 8), (1, 1), (16, 16)] {
+            let mut prev = 0;
+            for g in 0..n {
+                let o = owner(g, n, r);
+                assert!(o < r);
+                assert!(o >= prev, "ownership must be monotone");
+                prev = o;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_thomas_across_rank_counts() {
+        for &nranks in &[1usize, 2, 3, 4] {
+            for &(nb, bs, nrhs, seed) in &[(4usize, 2usize, 2usize, 1u64), (8, 3, 2, 2), (13, 2, 3, 3)] {
+                let (a, b) = rand_system(nb, bs, nrhs, seed);
+                let reference = thomas_solve(&a, &b);
+                let out = run_ranks(nranks, |ctx| {
+                    let comm = Comm::world(ctx);
+                    splitsolve_parallel(&comm, &a, &b)
+                });
+                for (rank, sol) in out.results.iter().enumerate() {
+                    for (i, (x, y)) in sol.iter().zip(&reference).enumerate() {
+                        let d = (x - y).max_abs();
+                        assert!(
+                            d < 1e-8,
+                            "ranks={nranks} nb={nb} rank {rank} block {i}: deviation {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communication_happens_for_multirank() {
+        let (a, b) = rand_system(8, 2, 1, 42);
+        let out = run_ranks(4, |ctx| {
+            let comm = Comm::world(ctx);
+            splitsolve_parallel(&comm, &a, &b);
+        });
+        let total = out.total_stats();
+        assert!(total.messages_sent > 8, "reduction tree must exchange blocks: {total:?}");
+        // Single rank: only the trivial gather/bcast collectives.
+        let out1 = run_ranks(1, |ctx| {
+            let comm = Comm::world(ctx);
+            splitsolve_parallel(&comm, &a, &b);
+        });
+        assert_eq!(out1.total_stats().messages_sent, 0);
+    }
+
+    #[test]
+    fn more_ranks_than_blocks() {
+        let (a, b) = rand_system(3, 2, 2, 7);
+        let reference = thomas_solve(&a, &b);
+        let out = run_ranks(6, |ctx| {
+            let comm = Comm::world(ctx);
+            splitsolve_parallel(&comm, &a, &b)
+        });
+        for sol in &out.results {
+            for (x, y) in sol.iter().zip(&reference) {
+                assert!((x - y).max_abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Phonon engineering: thermal transport through a silicon nanowire.
+//!
+//! ```sh
+//! cargo run --release --example thermal_transport
+//! ```
+//!
+//! The thermal side of nanodevice engineering on the same atomistic
+//! machinery as the electronic examples: Keating valence-force-field
+//! phonons, the ballistic transmission staircase, and the Landauer thermal
+//! conductance from the cryogenic (universal-quantum) regime to room
+//! temperature — including the Si vs Ge mass contrast.
+
+use omen::lattice::{Crystal, Device};
+use omen::num::A_SI;
+use omen::phonon::{
+    phonon_dispersion, phonon_transmission, thermal_conductance, KeatingModel, PhononSystem,
+    KAPPA_QUANTUM_W_PER_K2,
+};
+
+fn main() {
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 6, 0.8, 0.8);
+    let si = PhononSystem::build(&dev, KeatingModel::silicon());
+    let ge = PhononSystem::build(&dev, KeatingModel::germanium());
+    println!(
+        "0.8 nm wire, {} atoms; Si ω_max = {:.1} rad/ps, Ge ω_max = {:.1} rad/ps \
+         (heavier atoms → softer spectrum)",
+        dev.num_atoms(),
+        si.omega_max,
+        ge.omega_max
+    );
+    assert!(ge.omega_max < si.omega_max, "mass scaling must soften Ge");
+
+    // Acoustic branches at a small q.
+    let bands = phonon_dispersion(&si.d00, &si.d01, &[0.1]);
+    println!(
+        "\nlowest Si branches at qΔ = 0.1: flexural {:.2}/{:.2}, torsion {:.2}, LA {:.2} rad/ps",
+        bands[0][0], bands[0][1], bands[0][2], bands[0][3]
+    );
+
+    // Low-frequency transmission counts the gapless branches.
+    let t0 = phonon_transmission(&si, 1.0);
+    println!("T(ω→0) = {t0:.3} (3 translations + torsion = 4 channels)");
+
+    println!("\n   T (K)    κ_Si (W/K)    κ_Ge (W/K)   κ_Si/(T·κ₀)");
+    for t in [2.0, 20.0, 77.0, 300.0] {
+        let k_si = thermal_conductance(&si, t, 40);
+        let k_ge = thermal_conductance(&ge, t, 40);
+        println!(
+            "  {t:6.0}   {k_si:.3e}    {k_ge:.3e}   {:.2}",
+            k_si / (t * KAPPA_QUANTUM_W_PER_K2)
+        );
+    }
+    let k2 = thermal_conductance(&si, 2.0, 40);
+    let quanta = k2 / (2.0 * KAPPA_QUANTUM_W_PER_K2);
+    assert!(
+        (quanta - 4.0).abs() < 0.6,
+        "low-T conductance must approach 4 universal quanta, got {quanta}"
+    );
+    println!("\nat 2 K the wire carries ≈ 4 × π²k_B²T/3h — the universal ballistic limit ✓");
+}

@@ -1,0 +1,20 @@
+//! # omen — atomistic nanoelectronic device engineering
+//!
+//! Umbrella crate re-exporting the full `omen-rs` workspace: a Rust
+//! reproduction of the OMEN full-band atomistic quantum-transport simulator
+//! (Luisier, Boykin, Klimeck, Fichtner, SC 2011).
+//!
+//! Start with [`core`] for the device/simulation API, or the `examples/`
+//! directory for runnable scenarios.
+
+pub use omen_core as core;
+pub use omen_lattice as lattice;
+pub use omen_linalg as linalg;
+pub use omen_negf as negf;
+pub use omen_num as num;
+pub use omen_parsim as parsim;
+pub use omen_phonon as phonon;
+pub use omen_poisson as poisson;
+pub use omen_sparse as sparse;
+pub use omen_tb as tb;
+pub use omen_wf as wf;

@@ -1,0 +1,147 @@
+//! Cross-crate integration: the two transport engines (and the dense
+//! reference) must produce identical observables on every device family
+//! the simulator supports.
+
+use omen::lattice::{Crystal, Device};
+use omen::linalg::ZMat;
+use omen::num::{c64, linspace, A_SI};
+use omen::sparse::BlockTridiag;
+use omen::tb::{DeviceHamiltonian, Material, TbParams};
+
+fn check_equivalence(
+    name: &str,
+    h: &BlockTridiag,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+    energies: &[f64],
+    tol: f64,
+) {
+    for &e in energies {
+        let rgf = omen::negf::transport_at_energy(e, h, lead_l, lead_r);
+        let wf = omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Thomas);
+        let bcr = omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Bcr);
+        let scale = 1.0 + rgf.transmission.abs();
+        assert!(
+            (rgf.transmission - wf.transmission).abs() < tol * scale,
+            "{name} E={e}: RGF {} vs WF {}",
+            rgf.transmission,
+            wf.transmission
+        );
+        assert!(
+            (wf.transmission - bcr.transmission).abs() < 1e-8 * scale,
+            "{name} E={e}: Thomas vs BCR backend"
+        );
+        // Spectral densities agree orbital-by-orbital.
+        for (i, (a, b)) in wf.spectral_left_diag.iter().zip(&rgf.spectral_left_diag).enumerate()
+        {
+            assert!(
+                (a - b).abs() < 100.0 * tol * (1.0 + b.abs()),
+                "{name} E={e} A_L[{i}]: {a} vs {b}"
+            );
+        }
+        // LDOS agrees.
+        for (a, b) in wf.ldos.iter().zip(&rgf.ldos) {
+            assert!((a - b).abs() < 100.0 * tol * (1.0 + b.abs()), "{name} E={e} LDOS");
+        }
+    }
+}
+
+#[test]
+fn chain_with_disorder() {
+    let nb = 10;
+    let mut s = 0xFEEDu64;
+    let mut next = move || {
+        s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let diag: Vec<ZMat> =
+        (0..nb).map(|_| ZMat::from_diag(&[c64::real(0.4 * next())])).collect();
+    let off: Vec<ZMat> = (0..nb - 1).map(|_| ZMat::from_diag(&[c64::real(-1.0)])).collect();
+    let h = BlockTridiag::new(diag, off.clone(), off);
+    let h00 = ZMat::from_diag(&[c64::ZERO]);
+    let h01 = ZMat::from_diag(&[c64::real(-1.0)]);
+    check_equivalence(
+        "disordered chain",
+        &h,
+        (&h00, &h01),
+        (&h00, &h01),
+        &linspace(-1.7, 1.7, 15),
+        1e-6,
+    );
+}
+
+#[test]
+fn silicon_wire_with_potential_step() {
+    let p = TbParams::of(Material::SiSp3s);
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 4, 0.8, 0.8);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let pot: Vec<f64> = dev.atoms.iter().map(|a| 0.08 * (a.pos.x / dev.length())).collect();
+    let h = ham.assemble(&pot, 0.0);
+    let ll = ham.lead_blocks(0.0, 0.0);
+    let lr = ham.lead_blocks(0.08, 0.0);
+    check_equivalence(
+        "Si sp3s* wire",
+        &h,
+        (&ll.0, &ll.1),
+        (&lr.0, &lr.1),
+        &linspace(1.7, 2.3, 5),
+        1e-4,
+    );
+}
+
+#[test]
+fn graphene_ribbon() {
+    let dev = Device::ribbon_agnr(0.142, 6, 7);
+    let p = TbParams::of(Material::GraphenePz);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let pot: Vec<f64> =
+        dev.atoms.iter().map(|a| if a.slab >= 2 && a.slab < 4 { 0.2 } else { 0.0 }).collect();
+    let h = ham.assemble(&pot, 0.0);
+    let lead = ham.lead_blocks(0.0, 0.0);
+    check_equivalence(
+        "7-AGNR",
+        &h,
+        (&lead.0, &lead.1),
+        (&lead.0, &lead.1),
+        &linspace(0.7, 1.5, 5),
+        1e-5,
+    );
+}
+
+#[test]
+fn utb_with_transverse_momentum() {
+    let p = TbParams::of(Material::SingleBand { t_mev: 900 });
+    let dev = Device::utb(Crystal::Zincblende { a: A_SI }, 4, 1, 1.0);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let pot = vec![0.0; dev.num_atoms()];
+    for ky in [0.0, 1.1, 2.7] {
+        let h = ham.assemble(&pot, ky);
+        let lead = ham.lead_blocks(0.0, ky);
+        check_equivalence(
+            &format!("UTB ky={ky}"),
+            &h,
+            (&lead.0, &lead.1),
+            (&lead.0, &lead.1),
+            &linspace(-3.3, -2.7, 4),
+            1e-5,
+        );
+    }
+}
+
+#[test]
+fn spin_orbit_device() {
+    let p = TbParams::of(Material::SiSp3s);
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 0.8, 0.8);
+    let ham = DeviceHamiltonian::new(&dev, p, true);
+    let pot = vec![0.0; dev.num_atoms()];
+    let h = ham.assemble(&pot, 0.0);
+    let lead = ham.lead_blocks(0.0, 0.0);
+    check_equivalence(
+        "Si wire + SO",
+        &h,
+        (&lead.0, &lead.1),
+        (&lead.0, &lead.1),
+        &[1.9, 2.2],
+        1e-4,
+    );
+}
