@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus style/lint gates. Run from anywhere; works offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Panic-free solver stack: the linalg/sparse/wf/negf crates must not grow
+# new unwrap/expect/panic sites in non-test code (typed OmenError instead).
+# Test modules are exempt via allow-unwrap-in-tests/allow-expect-in-tests
+# in clippy.toml.
+cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "ci: all gates passed"

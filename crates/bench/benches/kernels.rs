@@ -1,12 +1,17 @@
-//! Criterion microbenchmarks for the dense and transport kernels — the
-//! performance baselines behind tab2/tab3 and the machine-model
-//! calibration in fig7.
+//! Microbenchmarks for the dense and transport kernels — the performance
+//! baselines behind tab2/tab3 and the machine-model calibration in fig7.
+//!
+//! Self-contained timing harness (`harness = false`): each kernel runs a
+//! warm-up pass, then is sampled repeatedly with `std::time::Instant`; the
+//! median and minimum per-iteration times are reported. Run with
+//! `cargo bench -p omen-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omen_lattice::{Crystal, Device};
 use omen_linalg::{eigh, lu::Lu, matmul, ZMat};
 use omen_num::{c64, A_SI};
 use omen_tb::{DeviceHamiltonian, Material, TbParams};
+use std::hint::black_box;
+use std::time::Instant;
 
 fn randmat(n: usize, seed: u64) -> ZMat {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
@@ -17,43 +22,74 @@ fn randmat(n: usize, seed: u64) -> ZMat {
     ZMat::from_fn(n, n, |_, _| c64::new(next(), next()))
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zgemm");
+/// Times `f` over enough iterations to fill ~200 ms, reporting
+/// (median, min) seconds per iteration.
+fn sample<T>(mut f: impl FnMut() -> T) -> (f64, f64) {
+    // Warm-up + per-iteration cost estimate.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.02 / once).ceil() as usize).clamp(1, 10_000);
+    let samples = 11usize;
+    let mut per_iter = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter.push(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    (per_iter[samples / 2], per_iter[0])
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+fn report(name: &str, (median, min): (f64, f64)) {
+    println!(
+        "{name:<28} median {:>12}   min {:>12}",
+        fmt_time(median),
+        fmt_time(min)
+    );
+}
+
+fn bench_gemm() {
     for &n in &[32usize, 64, 128] {
         let a = randmat(n, 1);
         let b = randmat(n, 2);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| matmul(&a, &b))
-        });
+        report(&format!("zgemm/{n}"), sample(|| matmul(&a, &b)));
     }
-    g.finish();
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zgetrf+inverse");
+fn bench_lu() {
     for &n in &[32usize, 64, 128] {
         let mut a = randmat(n, 3);
         for i in 0..n {
             a[(i, i)] += c64::real(n as f64);
         }
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| Lu::factor(&a).unwrap().inverse())
-        });
+        report(
+            &format!("zgetrf+inverse/{n}"),
+            sample(|| Lu::factor(&a).unwrap().inverse()),
+        );
     }
-    g.finish();
 }
 
-fn bench_eigh(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zheev");
-    g.sample_size(10);
+fn bench_eigh() {
     for &n in &[32usize, 64] {
         let a = randmat(n, 4).hermitian_part();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| bch.iter(|| eigh(&a)));
+        report(&format!("zheev/{n}"), sample(|| eigh(&a)));
     }
-    g.finish();
 }
 
-fn bench_transport(c: &mut Criterion) {
+fn bench_transport() {
     let p = TbParams::of(Material::SingleBand { t_mev: 1000 });
     let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 8, 1.2, 1.2);
     let ham = DeviceHamiltonian::new(&dev, p, false);
@@ -62,13 +98,13 @@ fn bench_transport(c: &mut Criterion) {
     let (h00, h01) = ham.lead_blocks(0.0, 0.0);
     let e = -3.2;
 
-    let mut g = c.benchmark_group("transport_point");
-    g.sample_size(10);
-    g.bench_function("rgf", |b| {
-        b.iter(|| omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)))
-    });
-    g.bench_function("wf_thomas", |b| {
-        b.iter(|| {
+    report(
+        "transport_point/rgf",
+        sample(|| omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))),
+    );
+    report(
+        "transport_point/wf_thomas",
+        sample(|| {
             omen_wf::wf_transport_at_energy(
                 e,
                 &h,
@@ -76,10 +112,11 @@ fn bench_transport(c: &mut Criterion) {
                 (&h00, &h01),
                 omen_wf::SolverKind::Thomas,
             )
-        })
-    });
-    g.bench_function("wf_bcr", |b| {
-        b.iter(|| {
+        }),
+    );
+    report(
+        "transport_point/wf_bcr",
+        sample(|| {
             omen_wf::wf_transport_at_energy(
                 e,
                 &h,
@@ -87,31 +124,14 @@ fn bench_transport(c: &mut Criterion) {
                 (&h00, &h01),
                 omen_wf::SolverKind::Bcr,
             )
-        })
-    });
-    g.finish();
+        }),
+    );
 }
 
-fn bench_sancho(c: &mut Criterion) {
-    let p = TbParams::of(Material::SiSp3s);
-    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 2, 0.8, 0.8);
-    let ham = DeviceHamiltonian::new(&dev, p, false);
-    let (h00, h01) = ham.lead_blocks(0.0, 0.0);
-    let mut g = c.benchmark_group("sancho_rubio");
-    g.sample_size(10);
-    g.bench_function("sp3s_0.8nm", |b| {
-        b.iter(|| {
-            omen_negf::sancho::ContactSelfEnergy::compute(
-                1.8,
-                2e-6,
-                &h00,
-                &h01,
-                omen_negf::sancho::Side::Left,
-            )
-        })
-    });
-    g.finish();
+fn main() {
+    println!("omen-bench kernels (median/min of 11 samples)");
+    bench_gemm();
+    bench_lu();
+    bench_eigh();
+    bench_transport();
 }
-
-criterion_group!(benches, bench_gemm, bench_lu, bench_eigh, bench_transport, bench_sancho);
-criterion_main!(benches);

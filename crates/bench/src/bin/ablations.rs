@@ -25,11 +25,17 @@ use omen_tb::{DeviceHamiltonian, Material, TbParams};
 fn ablation_a_predictor() {
     let mut spec = TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 8);
     spec.doping_sd = 2e-3;
-    let bias = Bias { v_gate: 0.2, v_ds: 0.2, mu_source: -3.4 };
+    let bias = Bias {
+        v_gate: 0.2,
+        v_ds: 0.2,
+        mu_source: -3.4,
+    };
     let mut rows = Vec::new();
-    for (name, predictor, mixing) in
-        [("exponential predictor", true, 0.8), ("plain mixing 0.8", false, 0.8), ("plain mixing 0.3", false, 0.3)]
-    {
+    for (name, predictor, mixing) in [
+        ("exponential predictor", true, 0.8),
+        ("plain mixing 0.8", false, 0.8),
+        ("plain mixing 0.3", false, 0.3),
+    ] {
         let mut tr = spec.build();
         let opts = ScfOptions {
             engine: Engine::WfThomas,
@@ -105,7 +111,9 @@ fn ablation_c_eta() {
     // numerical broadening error.
     let nb = 8;
     let diag: Vec<ZMat> = (0..nb).map(|_| ZMat::from_diag(&[c64::ZERO])).collect();
-    let off: Vec<ZMat> = (0..nb - 1).map(|_| ZMat::from_diag(&[c64::real(-1.0)])).collect();
+    let off: Vec<ZMat> = (0..nb - 1)
+        .map(|_| ZMat::from_diag(&[c64::real(-1.0)]))
+        .collect();
     let h = BlockTridiag::new(diag, off.clone(), off);
     let h00 = ZMat::from_diag(&[c64::ZERO]);
     let h01 = ZMat::from_diag(&[c64::real(-1.0)]);
@@ -120,16 +128,18 @@ fn ablation_c_eta() {
                 &h00,
                 &h01,
                 omen_negf::sancho::Side::Left,
-            );
+            )
+            .expect("left lead failed");
             let sr = omen_negf::sancho::ContactSelfEnergy::compute(
                 e,
                 eta,
                 &h00,
                 &h01,
                 omen_negf::sancho::Side::Right,
-            );
+            )
+            .expect("right lead failed");
             let a = omen_negf::rgf::build_a_matrix(e, eta, &h, &sl, &sr);
-            let r = omen_negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma);
+            let r = omen_negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma).expect("RGF solve failed");
             worst = worst.max((r.transmission - 1.0).abs());
         }
         rows.push(vec![format!("{eta:.0e}"), format!("{worst:.2e}")]);
@@ -185,7 +195,10 @@ fn ablation_d_strain() {
     // Monotone response across the strain range.
     let increasing = gaps.windows(2).all(|w| w[1] >= w[0] - 1e-9);
     let decreasing = gaps.windows(2).all(|w| w[1] <= w[0] + 1e-9);
-    assert!(increasing || decreasing, "gap response must be monotone: {gaps:?}");
+    assert!(
+        increasing || decreasing,
+        "gap response must be monotone: {gaps:?}"
+    );
     println!("(tensile strain weakens the couplings; the gap responds monotonically)");
 }
 

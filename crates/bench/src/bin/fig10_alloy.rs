@@ -26,6 +26,7 @@ fn mean_transmission(
         .iter()
         .map(|&e| {
             omen_wf::wf_transport_at_energy(e, &h, lead, lead, omen_wf::SolverKind::Thomas)
+                .expect("transport point failed")
                 .transmission
         })
         .sum::<f64>()
@@ -65,7 +66,11 @@ fn main() {
         }
         let ham_vca = DeviceHamiltonian::new_alloy(
             &dev,
-            AlloyModel { params_a: si, params_b: vca, is_b: is_vca },
+            AlloyModel {
+                params_a: si,
+                params_b: vca,
+                is_b: is_vca,
+            },
             false,
         );
         let t_vca = mean_transmission(&ham_vca, (&lead.0, &lead.1), &energies);

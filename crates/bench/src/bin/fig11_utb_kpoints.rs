@@ -19,7 +19,11 @@ fn main() {
     spec.doping_sd = 0.0;
     let tr = spec.build();
     let v = vec![0.0; tr.device.num_atoms()];
-    let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -3.4 };
+    let bias = Bias {
+        v_gate: 0.0,
+        v_ds: 0.2,
+        mu_source: -3.4,
+    };
     println!(
         "UTB: {} atoms, transverse period {:.3} nm, thickness {:.1} nm",
         tr.device.num_atoms(),

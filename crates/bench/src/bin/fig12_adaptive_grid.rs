@@ -20,7 +20,11 @@ fn main() {
     spec.doping_sd = 0.0;
     let tr = spec.build();
     let v = vec![0.0; tr.device.num_atoms()];
-    let bias = Bias { v_gate: 0.0, v_ds: 0.25, mu_source: -3.4 };
+    let bias = Bias {
+        v_gate: 0.0,
+        v_ds: 0.25,
+        mu_source: -3.4,
+    };
 
     // Ground truth: dense uniform grid.
     let truth = ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 401, 0.0).current_ua;

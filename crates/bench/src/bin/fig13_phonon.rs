@@ -54,15 +54,19 @@ fn main() {
         if w > sys.omega_max {
             break;
         }
-        let t = phonon_transmission(&sys, w);
+        let t = phonon_transmission(&sys, w).expect("phonon point failed");
         rows.push(vec![format!("{w:.1}"), format!("{t:.3}")]);
     }
-    print_table("fig13b: ballistic phonon transmission", &["ω (rad/ps)", "T(ω)"], &rows);
+    print_table(
+        "fig13b: ballistic phonon transmission",
+        &["ω (rad/ps)", "T(ω)"],
+        &rows,
+    );
 
     // Panel c: κ(T) with the universal low-T check.
     let mut rows = Vec::new();
     for t in [1.0, 2.0, 5.0, 20.0, 77.0, 150.0, 300.0] {
-        let kappa = thermal_conductance(&sys, t, 48);
+        let kappa = thermal_conductance(&sys, t, 48).expect("phonon sweep failed");
         let quanta = kappa / (t * KAPPA_QUANTUM_W_PER_K2);
         rows.push(vec![
             format!("{t:.0}"),
@@ -75,7 +79,7 @@ fn main() {
         &["T (K)", "κ (W/K)", "κ / (T·κ₀)"],
         &rows,
     );
-    let k2 = thermal_conductance(&sys, 2.0, 48);
+    let k2 = thermal_conductance(&sys, 2.0, 48).expect("phonon sweep failed");
     let quanta = k2 / (2.0 * KAPPA_QUANTUM_W_PER_K2);
     println!(
         "\nuniversal limit: κ/T at 2 K = {quanta:.2} quanta (4 gapless wire \

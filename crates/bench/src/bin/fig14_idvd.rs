@@ -49,7 +49,9 @@ fn main() {
 
     assert!(pts.iter().all(|p| p.converged), "all drain points converge");
     // Monotone current, sublinear beyond the linear region (saturation).
-    assert!(pts.windows(2).all(|w| w[1].current_ua >= w[0].current_ua * 0.98));
+    assert!(pts
+        .windows(2)
+        .all(|w| w[1].current_ua >= w[0].current_ua * 0.98));
     let g_lin = pts[1].current_ua / pts[1].v_ds;
     let g_sat = (pts[9].current_ua - pts[8].current_ua) / (pts[9].v_ds - pts[8].v_ds);
     println!(
@@ -57,5 +59,8 @@ fn main() {
          (ratio {:.2}) — ballistic saturation once μ_D drops below the barrier.",
         g_sat / g_lin
     );
-    assert!(g_sat < 0.6 * g_lin, "output curve must saturate: {g_sat} vs {g_lin}");
+    assert!(
+        g_sat < 0.6 * g_lin,
+        "output curve must saturate: {g_sat} vs {g_lin}"
+    );
 }

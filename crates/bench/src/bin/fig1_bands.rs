@@ -10,7 +10,12 @@ use omen_tb::bulk::{band_gap, bulk_bands, path_l_gamma_x};
 use omen_tb::{Material, TbParams};
 
 fn main() {
-    let materials = [Material::SiSp3s, Material::SiSp3d5s, Material::GaAsSp3s, Material::InAsSp3s];
+    let materials = [
+        Material::SiSp3s,
+        Material::SiSp3d5s,
+        Material::GaAsSp3s,
+        Material::InAsSp3s,
+    ];
 
     let mut gap_rows = Vec::new();
     for m in materials {
@@ -38,7 +43,10 @@ fn main() {
     let p = TbParams::of(Material::SiSp3s);
     let path = path_l_gamma_x(p.a, 20);
     println!("\nfig1 series: Si sp3s* bands along L–Γ–X (first 6 bands, eV)");
-    println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}", "k#", "E1", "E2", "E3", "E4", "E5", "E6");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "k#", "E1", "E2", "E3", "E4", "E5", "E6"
+    );
     for (i, &k) in path.iter().enumerate() {
         let b = bulk_bands(&p, k, false);
         println!(
@@ -50,6 +58,10 @@ fn main() {
     // Spin-orbit check at Γ for GaAs.
     let pg = TbParams::of(Material::GaAsSp3s);
     let g = bulk_bands(&pg, Vec3::ZERO, true);
-    println!("\nGaAs Γ with spin-orbit: split-off at {:+.3} eV, VBM at {:+.3} eV (Δso = {:.3} eV)",
-        g[2], g[4], g[4] - g[2]);
+    println!(
+        "\nGaAs Γ with spin-orbit: split-off at {:+.3} eV, VBM at {:+.3} eV (Δso = {:.3} eV)",
+        g[2],
+        g[4],
+        g[4] - g[2]
+    );
 }

@@ -45,12 +45,21 @@ fn main() {
             format!("{cbm:+.3}"),
             format!("{gap:.3}"),
         ]);
-        assert!(gap < last_gap + 1e-6, "confinement must not increase with size");
+        assert!(
+            gap < last_gap + 1e-6,
+            "confinement must not increase with size"
+        );
         last_gap = gap;
     }
     print_table(
         "fig2: Si [100] nanowire gap vs cross-section (sp3s*, H-passivated)",
-        &["size (nm)", "atoms/slab", "VBM (eV)", "CBM (eV)", "gap (eV)"],
+        &[
+            "size (nm)",
+            "atoms/slab",
+            "VBM (eV)",
+            "CBM (eV)",
+            "gap (eV)",
+        ],
         &rows,
     );
     println!("\nbulk Si gap (same model): 1.171 eV — wire gaps approach it from above ✓");

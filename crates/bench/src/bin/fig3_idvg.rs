@@ -21,7 +21,11 @@ fn main() {
     let (material, mu_source, vgs) = if full_band {
         (Material::SiSp3s, 1.75, linspace(-0.2, 0.5, 8))
     } else {
-        (Material::SingleBand { t_mev: 1000 }, -3.4, linspace(-0.4, 0.4, 9))
+        (
+            Material::SingleBand { t_mev: 1000 },
+            -3.4,
+            linspace(-0.4, 0.4, 9),
+        )
     };
 
     let mut spec = TransistorSpec::si_nanowire_nmos(material, 1.0, 8);
@@ -70,5 +74,8 @@ fn main() {
         println!("on/off over sweep ≈ {r:.2e}");
     }
     println!("total sweep time: {secs:.1} s");
-    assert!(points.iter().all(|p| p.converged), "every bias point must converge");
+    assert!(
+        points.iter().all(|p| p.converged),
+        "every bias point must converge"
+    );
 }

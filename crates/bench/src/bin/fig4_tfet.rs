@@ -21,7 +21,11 @@ fn main() {
     let ribbon = bands::wire_bands(&h00, &h01, &linspace(0.0, std::f64::consts::PI, 33));
     let n_occ = ribbon[0].len() / 2;
     let (vbm, cbm, gap) = bands::wire_gap(&ribbon, n_occ);
-    println!("7-AGNR: gap {gap:.3} eV, device {} atoms / {} slabs", tr.device.num_atoms(), tr.device.num_slabs);
+    println!(
+        "7-AGNR: gap {gap:.3} eV, device {} atoms / {} slabs",
+        tr.device.num_atoms(),
+        tr.device.num_slabs
+    );
 
     let v_ds = 0.3;
     let mu_source = vbm - 0.05;
@@ -46,9 +50,19 @@ fn main() {
                 }
             })
             .collect();
-        let bias = Bias { v_gate: vg, v_ds, mu_source };
+        let bias = Bias {
+            v_gate: vg,
+            v_ds,
+            mu_source,
+        };
         let r = ballistic_solve(&tr, &v_atoms, &bias, Engine::WfThomas, 81, 0.0);
-        pts.push(IvPoint { v_gate: vg, v_ds, current_ua: r.current_ua, scf_iterations: 0, converged: true });
+        pts.push(IvPoint {
+            v_gate: vg,
+            v_ds,
+            current_ua: r.current_ua,
+            scf_iterations: 0,
+            converged: true,
+        });
     }
 
     let rows: Vec<Vec<String>> = pts
@@ -67,9 +81,15 @@ fn main() {
         &rows,
     );
 
-    let i_min = pts.iter().map(|p| p.current_ua).fold(f64::INFINITY, f64::min);
+    let i_min = pts
+        .iter()
+        .map(|p| p.current_ua)
+        .fold(f64::INFINITY, f64::min);
     let i_on = pts.last().unwrap().current_ua;
-    println!("\nleakage floor {i_min:.3e} µA, on-current {i_on:.3e} µA (ratio {:.1e})", i_on / i_min);
+    println!(
+        "\nleakage floor {i_min:.3e} µA, on-current {i_on:.3e} µA (ratio {:.1e})",
+        i_on / i_min
+    );
     if let Some(ss) = subthreshold_swing(&pts) {
         println!(
             "steepest BTBT swing ≈ {ss:.1} mV/dec \
@@ -79,5 +99,8 @@ fn main() {
     // Turn-on threshold: where the channel CBM crosses the source VBM.
     let vt_expected = cbm - vbm; // = gap
     println!("turn-on expected at V_G ≈ {vt_expected:.2} V (channel CBM = source VBM) ✓");
-    assert!(i_on / i_min > 100.0, "BTBT window must modulate the current strongly");
+    assert!(
+        i_on / i_min > 100.0,
+        "BTBT window must modulate the current strongly"
+    );
 }

@@ -46,14 +46,21 @@ fn system(nb: usize, bs: usize, nrhs: usize) -> (BlockTridiag, Vec<ZMat>) {
 fn main() {
     let (nb, bs, nrhs) = (64usize, 64usize, 8usize);
     let (a, b) = system(nb, bs, nrhs);
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("system: {nb} slabs × block {bs}, {nrhs} RHS columns (host parallelism: {host_cores})");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "system: {nb} slabs × block {bs}, {nrhs} RHS columns (host parallelism: {host_cores})"
+    );
 
     // Sequential baseline: flops and wall-clock of block-Thomas.
     reset_flops();
-    let (x_ref, t_thomas) = timed(|| thomas_solve(&a, &b));
+    let (x_ref, t_thomas) = timed(|| thomas_solve(&a, &b).expect("Thomas solve failed"));
     let thomas_flops = flop_count();
-    println!("block-Thomas baseline: {t_thomas:.3} s, {:.3e} flops", thomas_flops as f64);
+    println!(
+        "block-Thomas baseline: {t_thomas:.3} s, {:.3e} flops",
+        thomas_flops as f64
+    );
 
     let m = MachineModel::jaguar_xt5();
     let mut rows = Vec::new();
@@ -64,9 +71,10 @@ fn main() {
             let out = run_ranks(ranks, |ctx| {
                 let comm = Comm::world(ctx);
                 splitsolve_parallel(&comm, &a, &b)
-            });
+            })
+            .flattened();
             let stats = out.total_stats();
-            (out.results, stats)
+            (out.unwrap_all(), stats)
         });
         let total_flops = flop_count();
         for (x, y) in results[0].iter().zip(&x_ref) {
@@ -94,7 +102,16 @@ fn main() {
     }
     print_table(
         "fig5: SplitSolve strong scaling (measured flops+comm → Jaguar projection)",
-        &["ranks", "flops", "msgs", "bytes", "t_jaguar (s)", "speedup", "efficiency", "t_host (s)"],
+        &[
+            "ranks",
+            "flops",
+            "msgs",
+            "bytes",
+            "t_jaguar (s)",
+            "speedup",
+            "efficiency",
+            "t_host (s)",
+        ],
         &rows,
     );
     println!(

@@ -29,7 +29,9 @@ fn main() {
     let v = vec![0.0; tr.device.num_atoms()];
     let (h, h00, h01) = frozen_system(&tr, &v, 0.0);
     let energies = linspace(-3.45, -2.4, 16);
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "workload: {} energies × ({} slabs, block {}); host parallelism {host_cores}",
         energies.len(),
@@ -47,16 +49,35 @@ fn main() {
             &energies,
             Engine::WfThomas,
         )
+        .expect("sequential sweep failed")
     });
     let seq_flops = flop_count();
     let m = MachineModel::jaguar_xt5();
     let t_seq_proj = m.compute_time(seq_flops as f64);
-    println!("sequential: {t_seq:.3} s host, {:.3e} flops ({t_seq_proj:.3} s on one Jaguar core)", seq_flops as f64);
+    println!(
+        "sequential: {t_seq:.3} s host, {:.3e} flops ({t_seq_proj:.3} s on one Jaguar core)",
+        seq_flops as f64
+    );
 
     let configs = [
-        LevelConfig { bias: 1, momentum: 1, energy: 4, spatial: 1 },
-        LevelConfig { bias: 1, momentum: 1, energy: 2, spatial: 2 },
-        LevelConfig { bias: 1, momentum: 1, energy: 1, spatial: 4 },
+        LevelConfig {
+            bias: 1,
+            momentum: 1,
+            energy: 4,
+            spatial: 1,
+        },
+        LevelConfig {
+            bias: 1,
+            momentum: 1,
+            energy: 2,
+            spatial: 2,
+        },
+        LevelConfig {
+            bias: 1,
+            momentum: 1,
+            energy: 1,
+            spatial: 4,
+        },
     ];
     let mut rows = Vec::new();
     for cfg in &configs {
@@ -65,13 +86,17 @@ fn main() {
             let out = run_ranks(cfg.total(), |ctx| {
                 let comms = split_levels(ctx, cfg);
                 parallel_transmission(&comms, cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
-            });
+            })
+            .flattened();
             let stats = out.total_stats();
-            (out.results, stats)
+            (out.unwrap_all(), stats)
         });
         let total_flops = flop_count();
         for (a, b) in res[0].iter().zip(&reference) {
-            assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()), "distributed result must match");
+            assert!(
+                (a - b).abs() < 1e-7 * (1.0 + b.abs()),
+                "distributed result must match"
+            );
         }
         // Jaguar projection: balanced split of the executed arithmetic plus
         // the executed traffic.
@@ -92,7 +117,16 @@ fn main() {
     }
     print_table(
         "fig6: 4 ranks allocated across energy × spatial levels (Jaguar projection)",
-        &["allocation", "flops", "msgs", "bytes", "t_jaguar (s)", "speedup", "efficiency", "t_host (s)"],
+        &[
+            "allocation",
+            "flops",
+            "msgs",
+            "bytes",
+            "t_jaguar (s)",
+            "speedup",
+            "efficiency",
+            "t_host (s)",
+        ],
         &rows,
     );
     println!(

@@ -41,25 +41,28 @@ fn measure_alpha(w: f64, slabs: usize) -> (f64, usize, usize) {
         &lead.0,
         &lead.1,
         omen_negf::sancho::Side::Left,
-    );
+    )
+    .expect("left lead failed");
     let sr = omen_negf::sancho::ContactSelfEnergy::compute(
         e,
         2e-6,
         &lead.0,
         &lead.1,
         omen_negf::sancho::Side::Right,
-    );
+    )
+    .expect("right lead failed");
     let a = omen_negf::rgf::build_a_matrix(e, 2e-6, &h, &sl, &sr);
     // Solver-only measurement: injected-mode solve on the prebuilt system.
     let wl = omen_wf::injection_bundle(&sl.gamma, 1e-9);
     let wr = omen_wf::injection_bundle(&sr.gamma, 1e-9);
     let nb = h.num_blocks();
-    let mut b: Vec<omen_linalg::ZMat> =
-        (0..nb).map(|i| omen_linalg::ZMat::zeros(h.block_size(i), wl.w.ncols() + wr.w.ncols())).collect();
+    let mut b: Vec<omen_linalg::ZMat> = (0..nb)
+        .map(|i| omen_linalg::ZMat::zeros(h.block_size(i), wl.w.ncols() + wr.w.ncols()))
+        .collect();
     b[0].set_block(0, 0, &wl.w);
     b[nb - 1].set_block(0, wl.w.ncols(), &wr.w);
     reset_flops();
-    let _ = omen_wf::thomas_solve(&a, &b);
+    let _ = omen_wf::thomas_solve(&a, &b).expect("Thomas solve failed");
     let flops = flop_count();
     let alpha = flops as f64 / (slabs as f64 * (n as f64).powi(3));
     (alpha, n, slabs)
@@ -97,10 +100,7 @@ fn main() {
         let flops_per_rank = per_point * points_per_group / (spatial as f64 * eta_spatial);
         let comm = CommVolume {
             p2p_messages: points_per_group * 2.0 * (spatial as f64).log2().max(1.0),
-            p2p_bytes: points_per_group
-                * 2.0
-                * (spatial as f64).log2().max(1.0)
-                * bytes_per_block
+            p2p_bytes: points_per_group * 2.0 * (spatial as f64).log2().max(1.0) * bytes_per_block
                 / (spatial as f64),
             collectives: points_per_group,
             collective_bytes: 1000.0 * 8.0,
@@ -112,7 +112,10 @@ fn main() {
             format!("{spatial}"),
             format!("{:.2e}", t),
             format!("{:.3}", sustained / 1e15),
-            format!("{:.1}%", 100.0 * sustained / (cores as f64 * m.peak_flops_per_core)),
+            format!(
+                "{:.1}%",
+                100.0 * sustained / (cores as f64 * m.peak_flops_per_core)
+            ),
         ]);
     }
     print_table(

@@ -38,9 +38,15 @@ fn main() {
                     .count()
             })
             .sum();
-        let t = omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)).transmission;
+        let t = omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+            .expect("transport point failed")
+            .transmission;
         worst = worst.max((t - modes as f64).abs());
-        rows.push(vec![format!("{e:+.3}"), format!("{t:.5}"), format!("{modes}")]);
+        rows.push(vec![
+            format!("{e:+.3}"),
+            format!("{t:.5}"),
+            format!("{modes}"),
+        ]);
     }
     print_table(
         "fig8a: conductance quantization (pristine 1 nm wire)",
@@ -56,8 +62,9 @@ fn main() {
     let diag: Vec<omen_linalg::ZMat> = (0..nb)
         .map(|i| omen_linalg::ZMat::from_diag(&[c64::real(e0 + if i == nb / 2 { u } else { 0.0 })]))
         .collect();
-    let off: Vec<omen_linalg::ZMat> =
-        (0..nb - 1).map(|_| omen_linalg::ZMat::from_diag(&[c64::real(t_hop)])).collect();
+    let off: Vec<omen_linalg::ZMat> = (0..nb - 1)
+        .map(|_| omen_linalg::ZMat::from_diag(&[c64::real(t_hop)]))
+        .collect();
     let chain = BlockTridiag::new(diag, off.clone(), off);
     let h00c = omen_linalg::ZMat::from_diag(&[c64::real(e0)]);
     let h01c = omen_linalg::ZMat::from_diag(&[c64::real(t_hop)]);
@@ -69,11 +76,20 @@ fn main() {
         let sink = (1.0 - cosk * cosk).max(0.0).sqrt();
         let exact = 1.0 / (1.0 + (u / (2.0 * t_hop.abs() * sink)).powi(2));
         let t = omen_negf::transport_at_energy(e, &chain, (&h00c, &h01c), (&h00c, &h01c))
+            .expect("transport point failed")
             .transmission;
         worst = worst.max((t - exact).abs());
-        rows.push(vec![format!("{e:+.2}"), format!("{t:.6}"), format!("{exact:.6}")]);
+        rows.push(vec![
+            format!("{e:+.2}"),
+            format!("{t:.6}"),
+            format!("{exact:.6}"),
+        ]);
     }
-    print_table("fig8b: δ-barrier transmission vs exact formula", &["E (eV)", "T(E)", "analytic"], &rows);
+    print_table(
+        "fig8b: δ-barrier transmission vs exact formula",
+        &["E (eV)", "T(E)", "analytic"],
+        &rows,
+    );
     println!("max deviation from the exact scattering result: {worst:.2e} ✓");
     assert!(worst < 1e-4);
 }

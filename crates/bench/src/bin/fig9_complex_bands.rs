@@ -22,7 +22,10 @@ fn main() {
     let ham = DeviceHamiltonian::new(&dev, p, false);
     let (h00, h01) = ham.lead_blocks(0.0, 0.0);
     let delta = dev.slab_width;
-    println!("7-AGNR: slab Δ = {delta:.3} nm, {} orbitals per slab", h00.nrows());
+    println!(
+        "7-AGNR: slab Δ = {delta:.3} nm, {} orbitals per slab",
+        h00.nrows()
+    );
 
     let mut rows = Vec::new();
     let mut kappa_mid: f64 = 0.0;
@@ -70,9 +73,17 @@ fn main() {
         let exact = (e / 2.0).acosh();
         let got = min_decay_constant(e, &h00c, &h01c, 1e-6).unwrap();
         worst = worst.max((got - exact).abs());
-        rows.push(vec![format!("{e:.1}"), format!("{got:.6}"), format!("{exact:.6}")]);
+        rows.push(vec![
+            format!("{e:.1}"),
+            format!("{got:.6}"),
+            format!("{exact:.6}"),
+        ]);
     }
-    print_table("fig9b: chain evanescent κΔ vs acosh(E/2t)", &["E", "computed", "exact"], &rows);
+    print_table(
+        "fig9b: chain evanescent κΔ vs acosh(E/2t)",
+        &["E", "computed", "exact"],
+        &rows,
+    );
     println!("max deviation: {worst:.2e} ✓");
     assert!(worst < 1e-9);
 }

@@ -27,8 +27,9 @@ fn chain_case() -> Case {
             omen_linalg::ZMat::from_diag(&[c64::real(u)])
         })
         .collect();
-    let off: Vec<omen_linalg::ZMat> =
-        (0..nb - 1).map(|_| omen_linalg::ZMat::from_diag(&[c64::real(-1.0)])).collect();
+    let off: Vec<omen_linalg::ZMat> = (0..nb - 1)
+        .map(|_| omen_linalg::ZMat::from_diag(&[c64::real(-1.0)]))
+        .collect();
     Case {
         name: "1-band chain + barrier".into(),
         h: BlockTridiag::new(diag, off.clone(), off),
@@ -44,16 +45,30 @@ fn wire_case(material: Material, name: &str, w: f64, window: (f64, f64)) -> Case
     let p = TbParams::of(material);
     let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 4, w, w);
     let ham = DeviceHamiltonian::new(&dev, p, false);
-    let pot: Vec<f64> = dev.atoms.iter().map(|a| 0.05 * (a.pos.x / dev.length())).collect();
+    let pot: Vec<f64> = dev
+        .atoms
+        .iter()
+        .map(|a| 0.05 * (a.pos.x / dev.length()))
+        .collect();
     let h = ham.assemble(&pot, 0.0);
     let lead = ham.lead_blocks(0.0, 0.0);
-    Case { name: name.into(), h, lead, energies: linspace(window.0, window.1, 21) }
+    Case {
+        name: name.into(),
+        h,
+        lead,
+        energies: linspace(window.0, window.1, 21),
+    }
 }
 
 fn main() {
     let cases = vec![
         chain_case(),
-        wire_case(Material::SingleBand { t_mev: 1000 }, "1-band Si-geometry wire", 1.0, (-3.45, -2.2)),
+        wire_case(
+            Material::SingleBand { t_mev: 1000 },
+            "1-band Si-geometry wire",
+            1.0,
+            (-3.45, -2.2),
+        ),
         wire_case(Material::SiSp3s, "Si sp3s* wire 0.8 nm", 0.8, (1.55, 2.4)),
     ];
 
@@ -65,18 +80,34 @@ fn main() {
         let mut dev_dense: f64 = 0.0;
         let mut t_max: f64 = 0.0;
         for &e in &case.energies {
-            let rgf = omen_negf::transport_at_energy(e, &case.h, lead, lead).transmission;
-            let wf = omen_wf::wf_transport_at_energy(e, &case.h, lead, lead, omen_wf::SolverKind::Thomas)
+            let rgf = omen_negf::transport_at_energy(e, &case.h, lead, lead)
+                .expect("RGF point failed")
                 .transmission;
-            let bcr = omen_wf::wf_transport_at_energy(e, &case.h, lead, lead, omen_wf::SolverKind::Bcr)
-                .transmission;
-            let dense = omen_negf::transmission_dense_reference(e, &case.h, lead, lead);
+            let wf = omen_wf::wf_transport_at_energy(
+                e,
+                &case.h,
+                lead,
+                lead,
+                omen_wf::SolverKind::Thomas,
+            )
+            .expect("WF point failed")
+            .transmission;
+            let bcr =
+                omen_wf::wf_transport_at_energy(e, &case.h, lead, lead, omen_wf::SolverKind::Bcr)
+                    .expect("BCR point failed")
+                    .transmission;
+            let dense = omen_negf::transmission_dense_reference(e, &case.h, lead, lead)
+                .expect("dense reference failed");
             dev_wf = dev_wf.max((wf - rgf).abs());
             dev_bcr = dev_bcr.max((bcr - rgf).abs());
             dev_dense = dev_dense.max((rgf - dense).abs());
             t_max = t_max.max(rgf);
         }
-        assert!(dev_wf < 1e-4 && dev_bcr < 1e-4 && dev_dense < 1e-6, "engines diverged on {}", case.name);
+        assert!(
+            dev_wf < 1e-4 && dev_bcr < 1e-4 && dev_dense < 1e-6,
+            "engines diverged on {}",
+            case.name
+        );
         rows.push(vec![
             case.name.clone(),
             format!("{}", case.energies.len()),

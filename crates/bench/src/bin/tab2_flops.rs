@@ -32,17 +32,38 @@ fn main() {
         // Warm, then measure. Self-energy cost is shared by both engines —
         // exclude it by measuring it separately.
         reset_flops();
-        let sl = omen_negf::sancho::ContactSelfEnergy::compute(e, 2e-6, &lead.0, &lead.1, omen_negf::sancho::Side::Left);
-        let sr = omen_negf::sancho::ContactSelfEnergy::compute(e, 2e-6, &lead.0, &lead.1, omen_negf::sancho::Side::Right);
+        let sl = omen_negf::sancho::ContactSelfEnergy::compute(
+            e,
+            2e-6,
+            &lead.0,
+            &lead.1,
+            omen_negf::sancho::Side::Left,
+        )
+        .expect("left lead failed");
+        let sr = omen_negf::sancho::ContactSelfEnergy::compute(
+            e,
+            2e-6,
+            &lead.0,
+            &lead.1,
+            omen_negf::sancho::Side::Right,
+        )
+        .expect("right lead failed");
         let sigma_flops = flop_count();
 
         reset_flops();
         let a = omen_negf::rgf::build_a_matrix(e, 2e-6, &h, &sl, &sr);
-        let r = omen_negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma);
+        let r = omen_negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma).expect("RGF solve failed");
         let rgf_flops = flop_count();
 
         reset_flops();
-        let wf = omen_wf::wf_transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1), omen_wf::SolverKind::Thomas);
+        let wf = omen_wf::wf_transport_at_energy(
+            e,
+            &h,
+            (&lead.0, &lead.1),
+            (&lead.0, &lead.1),
+            omen_wf::SolverKind::Thomas,
+        )
+        .expect("WF solve failed");
         let wf_flops = flop_count().saturating_sub(sigma_flops);
 
         assert!((r.transmission - wf.transmission).abs() < 1e-4 * (1.0 + r.transmission));
@@ -58,7 +79,15 @@ fn main() {
     }
     print_table(
         "tab2: flops per energy point (single-band wire)",
-        &["cross", "slabs", "block n", "RGF", "WF", "RGF/WF", "Σ (shared)"],
+        &[
+            "cross",
+            "slabs",
+            "block n",
+            "RGF",
+            "WF",
+            "RGF/WF",
+            "Σ (shared)",
+        ],
         &rows,
     );
     println!(

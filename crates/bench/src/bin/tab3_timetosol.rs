@@ -14,11 +14,14 @@ use omen_core::{Bias, TransistorSpec};
 use omen_tb::Material;
 
 fn main() {
-    let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -3.3 };
+    let bias = Bias {
+        v_gate: 0.0,
+        v_ds: 0.2,
+        mu_source: -3.3,
+    };
     let mut rows = Vec::new();
     for &w in &[0.8f64, 1.2, 1.6, 2.0] {
-        let mut spec =
-            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, w, 8);
+        let mut spec = TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, w, 8);
         spec.doping_sd = 0.0;
         let tr = spec.build();
         let v = vec![0.0; tr.device.num_atoms()];
@@ -28,8 +31,7 @@ fn main() {
         let (r_wf, t_wf) = timed(|| ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 31, 0.0));
         let (_, t_bcr) = timed(|| ballistic_solve(&tr, &v, &bias, Engine::WfBcr, 31, 0.0));
         assert!(
-            (r_rgf.current_ua - r_wf.current_ua).abs()
-                < 1e-3 * r_rgf.current_ua.abs().max(1e-9),
+            (r_rgf.current_ua - r_wf.current_ua).abs() < 1e-3 * r_rgf.current_ua.abs().max(1e-9),
             "engines must agree: {} vs {}",
             r_rgf.current_ua,
             r_wf.current_ua
@@ -45,7 +47,14 @@ fn main() {
     }
     print_table(
         "tab3: wall-clock per ballistic bias point (31 energies)",
-        &["cross (nm)", "block n", "RGF (s)", "WF-Thomas (s)", "WF-BCR (s)", "RGF/WF"],
+        &[
+            "cross (nm)",
+            "block n",
+            "RGF (s)",
+            "WF-Thomas (s)",
+            "WF-BCR (s)",
+            "RGF/WF",
+        ],
         &rows,
     );
     println!(

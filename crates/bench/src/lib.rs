@@ -39,12 +39,18 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let head: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+    let head: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
     println!("{}", head.join("  "));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
         println!("{}", line.join("  "));
     }
 }

@@ -1,9 +1,14 @@
 //! Per-bias ballistic transport: energy sweep, current and quantum charge.
+//!
+//! Energy sweeps isolate failures per point: an energy whose solve returns
+//! a typed [`OmenError`] (after the lower-level recovery policies are
+//! exhausted) is dropped from the grid and recorded in the result's
+//! [`SweepReport`] instead of aborting the bias point.
 
 use crate::energy::{transport_window, EnergyWindow};
 use crate::spec::{Bias, NanoTransistor};
 use omen_negf::transport::EnergyPointData;
-use omen_num::{fermi, trapezoid, I0_UA_PER_EV};
+use omen_num::{fermi, trapezoid, OmenResult, SweepReport, I0_UA_PER_EV};
 use omen_sparse::BlockTridiag;
 
 /// Which transport engine evaluates each energy point.
@@ -30,6 +35,8 @@ pub struct BallisticResult {
     pub electron_density: Vec<f64>,
     /// Hole density per atom (e).
     pub hole_density: Vec<f64>,
+    /// Per-point solve/retry/failure accounting for the sweep.
+    pub report: SweepReport,
 }
 
 impl BallisticResult {
@@ -78,15 +85,45 @@ pub fn ballistic_solve(
         &mus,
         tr.kt,
         12.0,
-        (mid_lo.min(mus[0].min(mus[1]) - span), mid_hi.max(mus[0].max(mus[1]) + span)),
+        (
+            mid_lo.min(mus[0].min(mus[1]) - span),
+            mid_hi.max(mus[0].max(mus[1]) + span),
+        ),
     );
-    let energies = window.grid(n_energy);
+    let (energies, points, report) = solve_sweep(
+        &window.grid(n_energy),
+        &h,
+        (&h00_l, &h01_l),
+        (&h00_r, &h01_r),
+        engine,
+    );
+    integrate(tr, bias, v_atoms, &energies, points, &window, report)
+}
 
+/// Solves every energy of a grid with per-point failure isolation: a point
+/// whose engines exhaust their recovery policies is dropped and recorded in
+/// the [`SweepReport`]; the surviving `(energies, points)` stay aligned.
+pub fn solve_sweep(
+    energies: &[f64],
+    h: &BlockTridiag,
+    lead_l: (&omen_linalg::ZMat, &omen_linalg::ZMat),
+    lead_r: (&omen_linalg::ZMat, &omen_linalg::ZMat),
+    engine: Engine,
+) -> (Vec<f64>, Vec<EnergyPointData>, SweepReport) {
+    let mut report = SweepReport::default();
+    let mut kept = Vec::with_capacity(energies.len());
     let mut points = Vec::with_capacity(energies.len());
-    for &e in &energies {
-        points.push(solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine));
+    for &e in energies {
+        match solve_point(e, h, lead_l, lead_r, engine) {
+            Ok(p) => {
+                report.record_solved(p.retries);
+                kept.push(e);
+                points.push(p);
+            }
+            Err(err) => report.record_failed(e, err),
+        }
     }
-    integrate(tr, bias, v_atoms, &energies, points, &window)
+    (kept, points, report)
 }
 
 /// Adaptive-grid ballistic solve: starts from `n_init` uniform energy
@@ -96,6 +133,7 @@ pub fn ballistic_solve(
 /// is reached. Resonances and subband onsets get resolved without paying
 /// for a uniformly fine grid — the production energy-grid strategy of
 /// adaptive quantum-transport codes.
+#[allow(clippy::too_many_arguments)]
 pub fn ballistic_solve_adaptive(
     tr: &NanoTransistor,
     v_atoms: &[f64],
@@ -123,15 +161,27 @@ pub fn ballistic_solve_adaptive(
         &mus,
         tr.kt,
         12.0,
-        (mid_lo.min(mus[0].min(mus[1]) - span), mid_hi.max(mus[0].max(mus[1]) + span)),
+        (
+            mid_lo.min(mus[0].min(mus[1]) - span),
+            mid_hi.max(mus[0].max(mus[1]) + span),
+        ),
     );
 
-    let mut grid = omen_num::grid::AdaptiveGrid::from_points(window.grid(n_init));
-    let mut points: Vec<EnergyPointData> = grid
-        .points()
-        .iter()
-        .map(|&e| solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine))
-        .collect();
+    // Initial grid with failed energies dropped before the adaptive grid is
+    // built, so refinement only ever works on solved intervals.
+    let (seed_energies, mut points, mut report) = solve_sweep(
+        &window.grid(n_init),
+        &h,
+        (&h00_l, &h01_l),
+        (&h00_r, &h01_r),
+        engine,
+    );
+    if seed_energies.len() < 2 {
+        // Not enough surviving points to define intervals; integrate what
+        // is left (possibly nothing) without refinement.
+        return integrate(tr, bias, v_atoms, &seed_energies, points, &window, report);
+    }
+    let mut grid = omen_num::grid::AdaptiveGrid::from_points(seed_energies);
     let (mu_s, mu_d) = (bias.mu_source, bias.mu_drain());
     for _round in 0..8 {
         if grid.len() >= max_points {
@@ -148,17 +198,45 @@ pub fn ballistic_solve_adaptive(
             break;
         }
         // Solve the fresh points and splice them in (indices are into the
-        // refined grid, ascending).
-        for &idx in &inserted {
-            let e = grid.points()[idx];
-            points.insert(idx, solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine));
+        // refined grid, ascending). A fresh point that fails is recorded
+        // and removed from the grid again, keeping grid and points aligned.
+        let mut pending = inserted.iter().peekable();
+        let mut old = points.into_iter();
+        let mut kept = Vec::with_capacity(grid.len());
+        let mut next = Vec::with_capacity(grid.len());
+        let mut dropped = false;
+        for (idx, &e) in grid.points().iter().enumerate() {
+            if pending.peek() == Some(&&idx) {
+                pending.next();
+                match solve_point(e, &h, (&h00_l, &h01_l), (&h00_r, &h01_r), engine) {
+                    Ok(p) => {
+                        report.record_solved(p.retries);
+                        kept.push(e);
+                        next.push(p);
+                    }
+                    Err(err) => {
+                        report.record_failed(e, err);
+                        dropped = true;
+                    }
+                }
+            } else {
+                kept.push(e);
+                next.push(
+                    old.next()
+                        .expect("pre-refinement points align with the grid"),
+                );
+            }
+        }
+        points = next;
+        if dropped {
+            grid = omen_num::grid::AdaptiveGrid::from_points(kept);
         }
         if grid.len() > max_points {
             break;
         }
     }
     let energies = grid.points().to_vec();
-    integrate(tr, bias, v_atoms, &energies, points, &window)
+    integrate(tr, bias, v_atoms, &energies, points, &window, report)
 }
 
 /// Transverse momentum samples `(k_y, weight)` for a periodic device:
@@ -198,7 +276,11 @@ pub fn ballistic_solve_k(
             None => {
                 let mut r0 = r;
                 r0.current_ua *= w;
-                for v in r0.electron_density.iter_mut().chain(r0.hole_density.iter_mut()) {
+                for v in r0
+                    .electron_density
+                    .iter_mut()
+                    .chain(r0.hole_density.iter_mut())
+                {
                     *v *= w;
                 }
                 for t in r0.transmission.iter_mut() {
@@ -207,6 +289,7 @@ pub fn ballistic_solve_k(
                 acc = Some(r0);
             }
             Some(a) => {
+                a.report.merge(&r.report);
                 a.current_ua += w * r.current_ua;
                 for (x, y) in a.electron_density.iter_mut().zip(&r.electron_density) {
                     *x += w * y;
@@ -229,14 +312,16 @@ pub fn ballistic_solve_k(
     acc.expect("momentum grid is never empty")
 }
 
-/// Evaluates one energy point with the chosen engine.
+/// Evaluates one energy point with the chosen engine. Recovery (lead
+/// nudges, pivot regularization) happens inside the engines; an `Err` here
+/// means the point is lost for good and the sweep should isolate it.
 pub fn solve_point(
     e: f64,
     h: &BlockTridiag,
     lead_l: (&omen_linalg::ZMat, &omen_linalg::ZMat),
     lead_r: (&omen_linalg::ZMat, &omen_linalg::ZMat),
     engine: Engine,
-) -> EnergyPointData {
+) -> OmenResult<EnergyPointData> {
     match engine {
         Engine::Rgf => omen_negf::transport_at_energy(e, h, lead_l, lead_r),
         Engine::WfThomas => {
@@ -256,6 +341,7 @@ pub fn integrate(
     energies: &[f64],
     points: Vec<EnergyPointData>,
     _window: &EnergyWindow,
+    report: SweepReport,
 ) -> BallisticResult {
     let spin = tr.spin_degeneracy();
     let kt = tr.kt;
@@ -300,8 +386,7 @@ pub fn integrate(
             if e >= e_mid_local {
                 electron_density[a] += wts[ie] * (al * fl + ar * fr) / two_pi * spin;
             } else {
-                hole_density[a] +=
-                    wts[ie] * (al * (1.0 - fl) + ar * (1.0 - fr)) / two_pi * spin;
+                hole_density[a] += wts[ie] * (al * (1.0 - fl) + ar * (1.0 - fr)) / two_pi * spin;
             }
         }
     }
@@ -312,6 +397,7 @@ pub fn integrate(
         current_ua,
         electron_density,
         hole_density,
+        report,
     }
 }
 
@@ -322,7 +408,8 @@ mod tests {
     use omen_tb::Material;
 
     fn flat_device() -> NanoTransistor {
-        let mut spec = TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
         spec.doping_sd = 0.0;
         spec.build()
     }
@@ -331,10 +418,17 @@ mod tests {
     fn engines_agree_on_current() {
         let tr = flat_device();
         let v = vec![0.0; tr.device.num_atoms()];
-        let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -2.9 };
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.2,
+            mu_source: -2.9,
+        };
         let rgf = ballistic_solve(&tr, &v, &bias, Engine::Rgf, 25, 0.0);
         let wf = ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 25, 0.0);
-        assert!(rgf.current_ua > 0.0, "positive VDS must drive positive current");
+        assert!(
+            rgf.current_ua > 0.0,
+            "positive VDS must drive positive current"
+        );
         assert!(
             (rgf.current_ua - wf.current_ua).abs() < 1e-4 * rgf.current_ua.abs().max(1e-9),
             "RGF {} vs WF {}",
@@ -351,7 +445,11 @@ mod tests {
     fn zero_bias_zero_current() {
         let tr = flat_device();
         let v = vec![0.0; tr.device.num_atoms()];
-        let bias = Bias { v_gate: 0.0, v_ds: 0.0, mu_source: -2.8 };
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.0,
+            mu_source: -2.8,
+        };
         let r = ballistic_solve(&tr, &v, &bias, Engine::Rgf, 21, 0.0);
         assert!(r.current_ua.abs() < 1e-10, "I(VDS=0) = {}", r.current_ua);
         // Equilibrium density is still finite.
@@ -362,8 +460,16 @@ mod tests {
     fn current_increases_with_window() {
         let tr = flat_device();
         let v = vec![0.0; tr.device.num_atoms()];
-        let lo = Bias { v_gate: 0.0, v_ds: 0.1, mu_source: -2.9 };
-        let hi = Bias { v_gate: 0.0, v_ds: 0.3, mu_source: -2.9 };
+        let lo = Bias {
+            v_gate: 0.0,
+            v_ds: 0.1,
+            mu_source: -2.9,
+        };
+        let hi = Bias {
+            v_gate: 0.0,
+            v_ds: 0.3,
+            mu_source: -2.9,
+        };
         let i_lo = ballistic_solve(&tr, &v, &lo, Engine::Rgf, 31, 0.0).current_ua;
         let i_hi = ballistic_solve(&tr, &v, &hi, Engine::Rgf, 31, 0.0).current_ua;
         assert!(i_hi > i_lo, "more drive, more current: {i_lo} vs {i_hi}");
@@ -382,9 +488,19 @@ mod tests {
             .device
             .atoms
             .iter()
-            .map(|a| if a.slab >= lg_lo && a.slab < lg_hi { -1.0 } else { 0.0 })
+            .map(|a| {
+                if a.slab >= lg_lo && a.slab < lg_hi {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -2.9 };
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.2,
+            mu_source: -2.9,
+        };
         let i_flat = ballistic_solve(&tr, &flat, &bias, Engine::Rgf, 31, 0.0).current_ua;
         let i_barrier = ballistic_solve(&tr, &barrier, &bias, Engine::Rgf, 31, 0.0).current_ua;
         assert!(
@@ -397,7 +513,11 @@ mod tests {
     fn adaptive_grid_matches_fine_uniform_with_fewer_points() {
         let tr = flat_device();
         let v = vec![0.0; tr.device.num_atoms()];
-        let bias = Bias { v_gate: 0.0, v_ds: 0.25, mu_source: -3.4 };
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.25,
+            mu_source: -3.4,
+        };
         let fine = ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 201, 0.0);
         let adaptive =
             ballistic_solve_adaptive(&tr, &v, &bias, Engine::WfThomas, 15, 120, 5e-3, 0.0);
@@ -406,7 +526,10 @@ mod tests {
             "adaptive used {} points",
             adaptive.energies.len()
         );
-        assert!(adaptive.energies.windows(2).all(|w| w[0] < w[1]), "grid sorted");
+        assert!(
+            adaptive.energies.windows(2).all(|w| w[0] < w[1]),
+            "grid sorted"
+        );
         let rel = (adaptive.current_ua - fine.current_ua).abs() / fine.current_ua.abs();
         assert!(
             rel < 0.02,
@@ -421,7 +544,11 @@ mod tests {
     #[test]
     fn momentum_grid_shapes() {
         let tr = flat_device();
-        assert_eq!(momentum_grid(&tr, 4), vec![(0.0, 1.0)], "wire has no transverse k");
+        assert_eq!(
+            momentum_grid(&tr, 4),
+            vec![(0.0, 1.0)],
+            "wire has no transverse k"
+        );
         let spec = TransistorSpec {
             geometry: crate::spec::Geometry::Utb { cells: 1, h: 1.0 },
             ..TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6)
@@ -433,17 +560,25 @@ mod tests {
         assert!((wsum - 1.0).abs() < 1e-14, "weights sum to 1");
         assert!(g.windows(2).all(|p| p[0].0 < p[1].0), "k sorted");
         let kmax = std::f64::consts::PI / utb.device.cross.0;
-        assert!(g.iter().all(|&(k, _)| k > 0.0 && k < kmax), "midpoints inside half-BZ");
+        assert!(
+            g.iter().all(|&(k, _)| k > 0.0 && k < kmax),
+            "midpoints inside half-BZ"
+        );
     }
 
     #[test]
     fn k_average_equals_manual_average() {
-        let mut spec = TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
         spec.geometry = crate::spec::Geometry::Utb { cells: 1, h: 1.0 };
         spec.doping_sd = 0.0;
         let tr = spec.build();
         let v = vec![0.0; tr.device.num_atoms()];
-        let bias = Bias { v_gate: 0.0, v_ds: 0.2, mu_source: -3.2 };
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.2,
+            mu_source: -3.2,
+        };
         let avg = ballistic_solve_k(&tr, &v, &bias, Engine::WfThomas, 21, 2);
         let grid = momentum_grid(&tr, 2);
         let manual: f64 = grid
@@ -461,10 +596,66 @@ mod tests {
     }
 
     #[test]
+    fn sweep_isolates_provably_singular_point() {
+        use omen_linalg::ZMat;
+        use omen_negf::transport::DEFAULT_ETA;
+        use omen_num::{c64, OmenError};
+        // 1×1-block chain whose middle site (block 2) is decoupled from its
+        // left neighbor, so the forward elimination reaches it un-updated.
+        // Its on-site term absorbs the iη broadening the engines add, making
+        // the effective pivot (E + iη) − (0 + iη) = E *exactly* zero at the
+        // E = 0 grid point — a provably singular energy inside the sweep.
+        let n = 5;
+        let z = || ZMat::zeros(1, 1);
+        let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+        let mut diag = vec![z(); n];
+        diag[2] = ZMat::from_vec(1, 1, vec![c64::new(0.0, DEFAULT_ETA)]);
+        let mut lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        let mut upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        lower[1] = z();
+        upper[1] = z();
+        let h = BlockTridiag::new(diag, lower, upper);
+        let (h00, h01) = (z(), t());
+        // −0.5, −0.25, 0, 0.25, 0.5: all inside the lead band, the middle
+        // one exactly on the decoupled level.
+        let energies = omen_num::linspace(-0.5, 0.5, 5);
+
+        // The direct solvers have no pivot-recovery policy: the singular
+        // point is dropped and recorded, the rest of the sweep survives.
+        let (kept, points, report) =
+            solve_sweep(&energies, &h, (&h00, &h01), (&h00, &h01), Engine::WfThomas);
+        assert_eq!(report.solved, 4);
+        assert_eq!(kept.len(), 4);
+        assert_eq!(points.len(), 4);
+        assert!(!kept.contains(&0.0));
+        assert_eq!(report.failed.len(), 1, "exactly the singular point fails");
+        assert_eq!(report.failed[0].energy, 0.0);
+        match &report.failed[0].error {
+            OmenError::SingularBlock { block, .. } => assert_eq!(*block, 2),
+            e => panic!("expected SingularBlock, got {e:?}"),
+        }
+
+        // RGF regularizes the pivot instead: every point solves, the report
+        // shows the recovery.
+        let (kept, _, report) = solve_sweep(&energies, &h, (&h00, &h01), (&h00, &h01), Engine::Rgf);
+        assert_eq!(kept.len(), 5);
+        assert!(
+            report.failed.is_empty(),
+            "RGF must regularize the singular pivot"
+        );
+        assert!(report.recovered >= 1, "the recovery must be accounted");
+        assert!(report.retried >= 1);
+    }
+
+    #[test]
     fn charge_is_nonnegative_and_source_heavy_under_bias() {
         let tr = flat_device();
         let v = vec![0.0; tr.device.num_atoms()];
-        let bias = Bias { v_gate: 0.0, v_ds: 0.4, mu_source: -2.9 };
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.4,
+            mu_source: -2.9,
+        };
         let r = ballistic_solve(&tr, &v, &bias, Engine::Rgf, 31, 0.0);
         assert!(r.electron_density.iter().all(|&n| n >= -1e-12));
         assert!(r.hole_density.iter().all(|&p| p >= -1e-12));

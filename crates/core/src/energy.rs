@@ -63,7 +63,10 @@ pub fn transport_window(
     let mu_hi = mus.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if !lo.is_finite() {
         // No lead states in focus: fall back to the Fermi window.
-        return EnergyWindow { e_min: mu_lo - margin, e_max: mu_hi + margin };
+        return EnergyWindow {
+            e_min: mu_lo - margin,
+            e_max: mu_hi + margin,
+        };
     }
     // States only matter where occupations differ from 0/1 relative to the
     // band content: clip the band union against the Fermi window. The lower
@@ -72,7 +75,10 @@ pub fn transport_window(
     // current.
     let e_min = lo.max(mu_lo - 2.5 * margin).min(mu_hi + margin);
     let e_max = hi.min(mu_hi + margin).max(e_min);
-    EnergyWindow { e_min: e_min - 1e-6, e_max: e_max + 1e-6 }
+    EnergyWindow {
+        e_min: e_min - 1e-6,
+        e_max: e_max + 1e-6,
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +87,10 @@ mod tests {
     use omen_num::c64;
 
     fn chain_lead(e0: f64, t: f64) -> (ZMat, ZMat) {
-        (ZMat::from_diag(&[c64::real(e0)]), ZMat::from_diag(&[c64::real(t)]))
+        (
+            ZMat::from_diag(&[c64::real(e0)]),
+            ZMat::from_diag(&[c64::real(t)]),
+        )
     }
 
     #[test]
@@ -89,10 +98,21 @@ mod tests {
         // Band spans [-2, 2]; Fermi levels deep inside.
         let (h00, h01) = chain_lead(0.0, -1.0);
         let w = transport_window(&[(&h00, &h01)], &[0.0, -0.1], 0.025, 10.0, (-5.0, 5.0));
-        assert!(w.e_min >= -2.01, "window must not extend below the band: {}", w.e_min);
+        assert!(
+            w.e_min >= -2.01,
+            "window must not extend below the band: {}",
+            w.e_min
+        );
         assert!(w.e_min <= -0.35, "window must reach the deep charge clip");
-        assert!(w.e_max <= 0.3, "window must stop ~10kT above max mu: {}", w.e_max);
-        assert!(w.e_max > 0.1 && w.e_min < -0.3, "window must cover the Fermi window");
+        assert!(
+            w.e_max <= 0.3,
+            "window must stop ~10kT above max mu: {}",
+            w.e_max
+        );
+        assert!(
+            w.e_max > 0.1 && w.e_min < -0.3,
+            "window must cover the Fermi window"
+        );
     }
 
     #[test]
@@ -105,7 +125,10 @@ mod tests {
 
     #[test]
     fn grid_is_sorted_and_interior() {
-        let w = EnergyWindow { e_min: -1.0, e_max: 1.0 };
+        let w = EnergyWindow {
+            e_min: -1.0,
+            e_max: 1.0,
+        };
         let g = w.grid(21);
         assert_eq!(g.len(), 21);
         assert!(g[0] > -1.0 && *g.last().unwrap() < 1.0);
@@ -121,9 +144,17 @@ mod tests {
         let (b0, b1) = chain_lead(0.5, -1.0);
         let w = transport_window(&[(&a0, &a1), (&b0, &b1)], &[0.3], 0.025, 10.0, (-5.0, 5.0));
         let clip = 0.3 - 2.5 * 10.0 * 0.025;
-        assert!((w.e_min - clip).abs() < 0.01, "floor {} vs clip {clip}", w.e_min);
+        assert!(
+            (w.e_min - clip).abs() < 0.01,
+            "floor {} vs clip {clip}",
+            w.e_min
+        );
         // With a shallow μ the floor becomes the band bottom instead.
         let w2 = transport_window(&[(&a0, &a1)], &[-1.8], 0.025, 10.0, (-5.0, 5.0));
-        assert!(w2.e_min >= -2.01 && w2.e_min <= -1.95, "band-bottom floor: {}", w2.e_min);
+        assert!(
+            w2.e_min >= -2.01 && w2.e_min <= -1.95,
+            "band-bottom floor: {}",
+            w2.e_min
+        );
     }
 }

@@ -31,7 +31,11 @@ pub fn gate_sweep(
     let mut out = Vec::with_capacity(v_gates.len());
     let mut warm: Option<Vec<f64>> = None;
     for &vg in v_gates {
-        let bias = Bias { v_gate: vg, v_ds, mu_source };
+        let bias = Bias {
+            v_gate: vg,
+            v_ds,
+            mu_source,
+        };
         let r = self_consistent(tr, &bias, opts, warm.as_deref());
         out.push(IvPoint {
             v_gate: vg,
@@ -56,7 +60,11 @@ pub fn drain_sweep(
     let mut out = Vec::with_capacity(v_dss.len());
     let mut warm: Option<Vec<f64>> = None;
     for &vds in v_dss {
-        let bias = Bias { v_gate, v_ds: vds, mu_source };
+        let bias = Bias {
+            v_gate,
+            v_ds: vds,
+            mu_source,
+        };
         let r = self_consistent(tr, &bias, opts, warm.as_deref());
         out.push(IvPoint {
             v_gate,
@@ -94,8 +102,11 @@ pub fn subthreshold_swing(points: &[IvPoint]) -> Option<f64> {
 
 /// On/off current ratio over a sweep (max / min of positive currents).
 pub fn on_off_ratio(points: &[IvPoint]) -> Option<f64> {
-    let pos: Vec<f64> =
-        points.iter().map(|p| p.current_ua).filter(|&i| i > 0.0).collect();
+    let pos: Vec<f64> = points
+        .iter()
+        .map(|p| p.current_ua)
+        .filter(|&i| i > 0.0)
+        .collect();
     if pos.len() < 2 {
         return None;
     }
@@ -124,9 +135,19 @@ pub fn frozen_field_sweep(
                 .device
                 .atoms
                 .iter()
-                .map(|a| if a.slab >= lg_lo && a.slab < lg_hi { vg } else { 0.0 })
+                .map(|a| {
+                    if a.slab >= lg_lo && a.slab < lg_hi {
+                        vg
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
-            let bias = Bias { v_gate: vg, v_ds, mu_source };
+            let bias = Bias {
+                v_gate: vg,
+                v_ds,
+                mu_source,
+            };
             let r = crate::ballistic::ballistic_solve(tr, &v_atoms, &bias, engine, n_energy, 0.0);
             IvPoint {
                 v_gate: vg,
@@ -159,7 +180,10 @@ mod tests {
         let ratio = on_off_ratio(&pts).unwrap();
         assert!(ratio > 30.0, "on/off ratio {ratio}");
         let ss = subthreshold_swing(&pts).unwrap();
-        assert!(ss > 40.0 && ss < 400.0, "SS {ss} mV/dec out of physical range");
+        assert!(
+            ss > 40.0 && ss < 400.0,
+            "SS {ss} mV/dec out of physical range"
+        );
         // Current grows from the off end to the on end.
         assert!(pts.last().unwrap().current_ua > pts[0].current_ua);
     }

@@ -31,6 +31,8 @@ pub use ballistic::{
     ballistic_solve, ballistic_solve_adaptive, ballistic_solve_k, momentum_grid, BallisticResult,
     Engine,
 };
-pub use iv::{drain_sweep, frozen_field_sweep, gate_sweep, on_off_ratio, subthreshold_swing, IvPoint};
+pub use iv::{
+    drain_sweep, frozen_field_sweep, gate_sweep, on_off_ratio, subthreshold_swing, IvPoint,
+};
 pub use scf::{self_consistent, ScfOptions, ScfResult};
 pub use spec::{Bias, Geometry, NanoTransistor, TransistorSpec};

@@ -11,6 +11,7 @@
 use crate::ballistic::Engine;
 use crate::spec::NanoTransistor;
 use omen_linalg::ZMat;
+use omen_num::OmenResult;
 use omen_parsim::{Comm, RankCtx};
 use omen_sparse::BlockTridiag;
 
@@ -52,7 +53,11 @@ pub struct LevelComms<'a> {
 
 /// Splits the world communicator according to `cfg`.
 pub fn split_levels<'a>(ctx: &'a RankCtx, cfg: &LevelConfig) -> LevelComms<'a> {
-    assert_eq!(ctx.size(), cfg.total(), "world size must match the level product");
+    assert_eq!(
+        ctx.size(),
+        cfg.total(),
+        "world size must match the level product"
+    );
     let world = Comm::world(ctx);
     let r = ctx.rank();
     let per_bias = cfg.momentum * cfg.energy * cfg.spatial;
@@ -65,7 +70,14 @@ pub fn split_levels<'a>(ctx: &'a RankCtx, cfg: &LevelConfig) -> LevelComms<'a> {
     let momentum_group = bias_group.split(momentum_index as u64, r as u64);
     let energy_index = (r % per_mom) / per_energy;
     let spatial_group = momentum_group.split(energy_index as u64, r as u64);
-    LevelComms { bias_group, momentum_group, spatial_group, bias_index, momentum_index, energy_index }
+    LevelComms {
+        bias_group,
+        momentum_group,
+        spatial_group,
+        bias_index,
+        momentum_index,
+        energy_index,
+    }
 }
 
 /// Round-robin assignment of `n_items` over `n_groups`; returns the item
@@ -78,6 +90,10 @@ pub fn assign(n_items: usize, n_groups: usize, group: usize) -> Vec<usize> {
 /// this momentum group split the grid, each energy point is solved with
 /// SplitSolve across the spatial group, and the full `T(E)` vector is
 /// reduced over the momentum group. Every rank returns the complete result.
+///
+/// SplitSolve's per-level status exchange guarantees an `Err` surfaces as
+/// the *same* typed error on every rank of the spatial group, so the SPMD
+/// control flow (including the reductions below) never diverges.
 pub fn parallel_transmission(
     comms: &LevelComms<'_>,
     cfg: &LevelConfig,
@@ -85,7 +101,7 @@ pub fn parallel_transmission(
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
     energies: &[f64],
-) -> Vec<f64> {
+) -> OmenResult<Vec<f64>> {
     let mine = assign(energies.len(), cfg.energy, comms.energy_index);
     let mut partial = vec![0.0; energies.len()];
     for &ie in &mine {
@@ -95,15 +111,14 @@ pub fn parallel_transmission(
             h,
             lead_l,
             lead_r,
-        );
+        )?;
         partial[ie] = d.transmission;
     }
     // Spatial group members hold identical partials; scale so the
     // momentum-group reduction (which includes `spatial` copies of each
     // energy group) sums to the true value.
-    let scaled: Vec<f64> =
-        partial.iter().map(|t| t / cfg.spatial as f64).collect();
-    comms.momentum_group.allreduce_sum(&scaled)
+    let scaled: Vec<f64> = partial.iter().map(|t| t / cfg.spatial as f64).collect();
+    Ok(comms.momentum_group.allreduce_sum(&scaled))
 }
 
 /// Sequential reference used by the equivalence tests and benches.
@@ -113,20 +128,18 @@ pub fn sequential_transmission(
     lead_r: (&ZMat, &ZMat),
     energies: &[f64],
     engine: Engine,
-) -> Vec<f64> {
+) -> OmenResult<Vec<f64>> {
     energies
         .iter()
-        .map(|&e| crate::ballistic::solve_point(e, h, lead_l, lead_r, engine).transmission)
+        .map(|&e| {
+            crate::ballistic::solve_point(e, h, lead_l, lead_r, engine).map(|p| p.transmission)
+        })
         .collect()
 }
 
 /// Prepares the transport system of a transistor at a frozen potential —
 /// the shared setup for the distributed experiments.
-pub fn frozen_system(
-    tr: &NanoTransistor,
-    v_atoms: &[f64],
-    ky: f64,
-) -> (BlockTridiag, ZMat, ZMat) {
+pub fn frozen_system(tr: &NanoTransistor, v_atoms: &[f64], ky: f64) -> (BlockTridiag, ZMat, ZMat) {
     let ham = tr.hamiltonian();
     let pot: Vec<f64> = v_atoms.iter().map(|&v| -v).collect();
     let h = ham.assemble(&pot, ky);
@@ -144,7 +157,12 @@ mod tests {
 
     #[test]
     fn level_config_arithmetic() {
-        let cfg = LevelConfig { bias: 2, momentum: 3, energy: 4, spatial: 5 };
+        let cfg = LevelConfig {
+            bias: 2,
+            momentum: 3,
+            energy: 4,
+            spatial: 5,
+        };
         assert_eq!(cfg.total(), 120);
         assert_eq!(assign(10, 4, 1), vec![1, 5, 9]);
         assert_eq!(assign(3, 4, 3), Vec::<usize>::new());
@@ -152,7 +170,12 @@ mod tests {
 
     #[test]
     fn split_levels_shapes() {
-        let cfg = LevelConfig { bias: 2, momentum: 1, energy: 2, spatial: 2 };
+        let cfg = LevelConfig {
+            bias: 2,
+            momentum: 1,
+            energy: 2,
+            spatial: 2,
+        };
         let out = run_ranks(8, |ctx| {
             let c = split_levels(ctx, &cfg);
             (
@@ -163,7 +186,7 @@ mod tests {
                 c.energy_index,
             )
         });
-        for (r, &(bg, mg, sg, bi, ei)) in out.results.iter().enumerate() {
+        for (r, &(bg, mg, sg, bi, ei)) in out.unwrap_all().iter().enumerate() {
             assert_eq!(bg, 4, "rank {r}");
             assert_eq!(mg, 4);
             assert_eq!(sg, 2);
@@ -182,14 +205,23 @@ mod tests {
         let (h, h00, h01) = frozen_system(&tr, &v, 0.0);
         let energies = linspace(-3.4, -2.6, 7);
         let reference =
-            sequential_transmission(&h, (&h00, &h01), (&h00, &h01), &energies, Engine::WfThomas);
+            sequential_transmission(&h, (&h00, &h01), (&h00, &h01), &energies, Engine::WfThomas)
+                .unwrap();
 
-        let cfg = LevelConfig { bias: 1, momentum: 1, energy: 2, spatial: 2 };
+        let cfg = LevelConfig {
+            bias: 1,
+            momentum: 1,
+            energy: 2,
+            spatial: 2,
+        };
         let out = run_ranks(4, |ctx| {
             let comms = split_levels(ctx, &cfg);
             parallel_transmission(&comms, &cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
-        });
-        for (rank, res) in out.results.iter().enumerate() {
+        })
+        .flattened();
+        let stats = out.total_stats();
+        let results = out.unwrap_all();
+        for (rank, res) in results.iter().enumerate() {
             for (i, (a, b)) in res.iter().zip(&reference).enumerate() {
                 assert!(
                     (a - b).abs() < 1e-8 * (1.0 + b.abs()),
@@ -198,6 +230,6 @@ mod tests {
             }
         }
         // The distributed run must actually communicate.
-        assert!(out.total_stats().messages_sent > 0);
+        assert!(stats.messages_sent > 0);
     }
 }

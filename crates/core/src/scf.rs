@@ -78,7 +78,10 @@ pub fn self_consistent(
     let kt = tr.kt;
 
     // Fixed ionized doping density on the grid.
-    let rho_doping = tr.poisson.grid.deposit(&tr.atom_positions, &tr.doping_per_atom);
+    let rho_doping = tr
+        .poisson
+        .grid
+        .deposit(&tr.atom_positions, &tr.doping_per_atom);
 
     // Initial potential.
     let mut v_grid: Vec<f64> = match v_init {
@@ -99,12 +102,17 @@ pub fn self_consistent(
     for outer in 1..=opts.max_iter {
         iters = outer;
         let v_atoms = tr.poisson.grid.sample(&v_grid, &tr.atom_positions);
-        let result =
-            ballistic_solve_k(tr, &v_atoms, bias, opts.engine, opts.n_energy, opts.n_k);
+        let result = ballistic_solve_k(tr, &v_atoms, bias, opts.engine, opts.n_energy, opts.n_k);
 
         // Deposit quantum carrier densities (per atom, in e) on the grid.
-        let rho_n = tr.poisson.grid.deposit(&tr.atom_positions, &result.electron_density);
-        let rho_p = tr.poisson.grid.deposit(&tr.atom_positions, &result.hole_density);
+        let rho_n = tr
+            .poisson
+            .grid
+            .deposit(&tr.atom_positions, &result.electron_density);
+        let rho_p = tr
+            .poisson
+            .grid
+            .deposit(&tr.atom_positions, &result.hole_density);
 
         // Nonlinear Poisson with the exponential predictor around v_grid.
         let v_old = v_grid.clone();
@@ -135,9 +143,9 @@ pub fn self_consistent(
 
         // Under-relaxed acceptance of the predictor potential.
         residual = 0.0;
-        for i in 0..grid_len {
-            let d = opts.mixing * (sol.v[i] - v_grid[i]);
-            v_grid[i] += d;
+        for (vg, &vs) in v_grid.iter_mut().zip(&sol.v) {
+            let d = opts.mixing * (vs - *vg);
+            *vg += d;
             residual = residual.max(d.abs());
         }
         last_transport = Some(result);
@@ -170,7 +178,15 @@ mod tests {
     use omen_tb::Material;
 
     fn quick_opts() -> ScfOptions {
-        ScfOptions { engine: Engine::WfThomas, n_energy: 21, tol_v: 5e-3, max_iter: 15, mixing: 0.8, predictor: true, n_k: 1 }
+        ScfOptions {
+            engine: Engine::WfThomas,
+            n_energy: 21,
+            tol_v: 5e-3,
+            max_iter: 15,
+            mixing: 0.8,
+            predictor: true,
+            n_k: 1,
+        }
     }
 
     #[test]
@@ -179,9 +195,17 @@ mod tests {
             TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 8);
         spec.doping_sd = 2e-3;
         let mut tr = spec.build();
-        let bias = Bias { v_gate: 0.1, v_ds: 0.1, mu_source: -3.2 };
+        let bias = Bias {
+            v_gate: 0.1,
+            v_ds: 0.1,
+            mu_source: -3.2,
+        };
         let r = self_consistent(&mut tr, &bias, &quick_opts(), None);
-        assert!(r.converged, "SCF stalled: residual {} after {}", r.residual, r.iterations);
+        assert!(
+            r.converged,
+            "SCF stalled: residual {} after {}",
+            r.residual, r.iterations
+        );
         assert!(r.iterations <= 15);
         assert!(r.transport.current_ua.is_finite());
         // Gate bias must appear in the atom potential (nonzero field).
@@ -196,10 +220,18 @@ mod tests {
             TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 8);
         spec.doping_sd = 2e-3;
         let mut tr = spec.build();
-        let bias1 = Bias { v_gate: 0.10, v_ds: 0.1, mu_source: -3.2 };
+        let bias1 = Bias {
+            v_gate: 0.10,
+            v_ds: 0.1,
+            mu_source: -3.2,
+        };
         let r1 = self_consistent(&mut tr, &bias1, &quick_opts(), None);
         assert!(r1.converged);
-        let bias2 = Bias { v_gate: 0.12, v_ds: 0.1, mu_source: -3.2 };
+        let bias2 = Bias {
+            v_gate: 0.12,
+            v_ds: 0.1,
+            mu_source: -3.2,
+        };
         let warm = self_consistent(&mut tr, &bias2, &quick_opts(), Some(&r1.v_grid));
         let cold = self_consistent(&mut tr, &bias2, &quick_opts(), None);
         assert!(warm.converged);
@@ -218,10 +250,22 @@ mod tests {
         spec.doping_sd = 2e-3;
         let mut tr = spec.build();
         let opts = quick_opts();
-        let off = Bias { v_gate: -0.4, v_ds: 0.2, mu_source: -3.2 };
-        let on = Bias { v_gate: 0.4, v_ds: 0.2, mu_source: -3.2 };
-        let i_off = self_consistent(&mut tr, &off, &opts, None).transport.current_ua;
-        let i_on = self_consistent(&mut tr, &on, &opts, None).transport.current_ua;
+        let off = Bias {
+            v_gate: -0.4,
+            v_ds: 0.2,
+            mu_source: -3.2,
+        };
+        let on = Bias {
+            v_gate: 0.4,
+            v_ds: 0.2,
+            mu_source: -3.2,
+        };
+        let i_off = self_consistent(&mut tr, &off, &opts, None)
+            .transport
+            .current_ua;
+        let i_on = self_consistent(&mut tr, &on, &opts, None)
+            .transport
+            .current_ua;
         assert!(
             i_on > 5.0 * i_off.max(1e-12),
             "transistor action required: Ion {i_on} vs Ioff {i_off}"

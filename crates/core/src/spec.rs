@@ -113,9 +113,7 @@ impl TransistorSpec {
         let device = match self.geometry {
             Geometry::Nanowire { w, h } => Device::nanowire(crystal, self.num_slabs, w, h),
             Geometry::Utb { cells, h } => Device::utb(crystal, self.num_slabs, cells, h),
-            Geometry::Ribbon { n_dimer } => {
-                Device::ribbon_agnr(params.a, self.num_slabs, n_dimer)
-            }
+            Geometry::Ribbon { n_dimer } => Device::ribbon_agnr(params.a, self.num_slabs, n_dimer),
         };
 
         // Per-atom ionized doping (e/atom): convert volume doping using the
@@ -312,7 +310,7 @@ mod tests {
         let tr = small_spec().build();
         assert_eq!(tr.doping_per_atom.len(), tr.device.num_atoms());
         assert_eq!(tr.atom_positions.len(), tr.device.num_atoms());
-        assert!(tr.poisson.grid.len() > 0);
+        assert!(!tr.poisson.grid.is_empty());
         // Doping profile: n-n-n with zero channel.
         let offsets = tr.device.slab_offsets();
         let first = tr.doping_per_atom[0];
@@ -344,7 +342,10 @@ mod tests {
                 gate_nodes += 1;
                 let (i, j, k) = g.coords(n);
                 let p = g.pos(i, j, k);
-                assert!(p.x >= lg_lo - 1e-9 && p.x <= lg_hi + 1e-9, "gate node off-channel");
+                assert!(
+                    p.x >= lg_lo - 1e-9 && p.x <= lg_hi + 1e-9,
+                    "gate node off-channel"
+                );
             }
         }
         assert!(gate_nodes > 0, "must have gate electrode nodes");
@@ -363,7 +364,11 @@ mod tests {
 
     #[test]
     fn bias_fermi_levels() {
-        let b = Bias { v_gate: 0.5, v_ds: 0.3, mu_source: 0.1 };
+        let b = Bias {
+            v_gate: 0.5,
+            v_ds: 0.3,
+            mu_source: 0.1,
+        };
         assert!((b.mu_drain() - (-0.2)).abs() < 1e-15);
     }
 

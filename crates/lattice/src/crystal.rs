@@ -100,7 +100,9 @@ impl Crystal {
                         for k in k0..=k1 {
                             let corner = Vec3::new(i as f64, j as f64, k as f64) * a;
                             for &f in &fcc {
-                                for (basis, sub) in [(Vec3::ZERO, Sublattice::A), (off, Sublattice::B)] {
+                                for (basis, sub) in
+                                    [(Vec3::ZERO, Sublattice::A), (off, Sublattice::B)]
+                                {
                                     let p = corner + (f + basis) * a;
                                     if p.x >= -EPS
                                         && p.x < lx - EPS
@@ -132,11 +134,7 @@ impl Crystal {
                         let cell = a1 * i as f64 + a2 * j as f64;
                         for (basis, sub) in [(Vec3::ZERO, Sublattice::A), (b, Sublattice::B)] {
                             let p = cell + basis;
-                            if p.x >= -EPS
-                                && p.x < lx - EPS
-                                && p.y >= y0 - EPS
-                                && p.y < y1 - EPS
-                            {
+                            if p.x >= -EPS && p.x < lx - EPS && p.y >= y0 - EPS && p.y < y1 - EPS {
                                 atoms.push((Vec3::new(p.x, p.y, 0.0), sub));
                             }
                         }
@@ -148,7 +146,7 @@ impl Crystal {
         atoms.sort_by(|l, r| {
             (l.0.x, l.0.y, l.0.z)
                 .partial_cmp(&(r.0.x, r.0.y, r.0.z))
-                .unwrap()
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         atoms
     }
@@ -181,8 +179,16 @@ mod tests {
         let atoms = c.generate(2.0 * a, (0.0, a), (0.0, a));
         assert_eq!(atoms.len(), 16);
         // Second half is the first half shifted by a.
-        let first: Vec<Vec3> = atoms.iter().filter(|(p, _)| p.x < a - 1e-6).map(|(p, _)| *p).collect();
-        let second: Vec<Vec3> = atoms.iter().filter(|(p, _)| p.x >= a - 1e-6).map(|(p, _)| *p).collect();
+        let first: Vec<Vec3> = atoms
+            .iter()
+            .filter(|(p, _)| p.x < a - 1e-6)
+            .map(|(p, _)| *p)
+            .collect();
+        let second: Vec<Vec3> = atoms
+            .iter()
+            .filter(|(p, _)| p.x >= a - 1e-6)
+            .map(|(p, _)| *p)
+            .collect();
         assert_eq!(first.len(), second.len());
         for (p1, p2) in first.iter().zip(&second) {
             let d = *p2 - *p1;
@@ -197,7 +203,10 @@ mod tests {
         let b = c.bond_length();
         assert!((b - a * 0.43301).abs() < 1e-4);
         assert!(c.nn_cutoff() > b);
-        assert!(c.nn_cutoff() < a / 2.0_f64.sqrt(), "cutoff below 2nd-neighbor shell");
+        assert!(
+            c.nn_cutoff() < a / 2.0_f64.sqrt(),
+            "cutoff below 2nd-neighbor shell"
+        );
     }
 
     #[test]
@@ -218,7 +227,10 @@ mod tests {
                 let d = (*q - *p).norm();
                 (d - acc).abs() < 1e-9
             });
-            assert!(has_nn || p.x < acc || p.x > 2.0 * acc, "interior atom missing NN at {p:?}");
+            assert!(
+                has_nn || p.x < acc || p.x > 2.0 * acc,
+                "interior atom missing NN at {p:?}"
+            );
         }
     }
 
@@ -229,6 +241,10 @@ mod tests {
         let period = c.transport_period();
         let atoms1 = c.generate(period, (-0.4, 0.4), (0.0, 0.0));
         let atoms2 = c.generate(2.0 * period, (-0.4, 0.4), (0.0, 0.0));
-        assert_eq!(atoms2.len(), 2 * atoms1.len(), "doubling length doubles atoms");
+        assert_eq!(
+            atoms2.len(),
+            2 * atoms1.len(),
+            "doubling length doubles atoms"
+        );
     }
 }

@@ -160,7 +160,10 @@ impl Device {
         carve_y: (f64, f64),
         carve_z: (f64, f64),
     ) -> Device {
-        assert!(!raw.is_empty(), "empty device — cross-section too small for the lattice");
+        assert!(
+            !raw.is_empty(),
+            "empty device — cross-section too small for the lattice"
+        );
         // Slab assignment and slab-major ordering with identical intra-slab
         // order (sort key uses x modulo the slab, then y, z).
         let mut atoms: Vec<Atom> = raw
@@ -174,7 +177,7 @@ impl Device {
         atoms.sort_by(|a, b| {
             let ka = (a.slab, a.pos.x - a.slab as f64 * period, a.pos.y, a.pos.z);
             let kb = (b.slab, b.pos.x - b.slab as f64 * period, b.pos.y, b.pos.z);
-            ka.partial_cmp(&kb).unwrap()
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
         });
 
         let positions: Vec<Vec3> = atoms.iter().map(|a| a.pos).collect();
@@ -186,7 +189,12 @@ impl Device {
                     Some(l) => ((delta.y - (positions[j].y - positions[i].y)) / l).round() as i32,
                     None => 0,
                 };
-                Bond { i, j, delta, wrap_y }
+                Bond {
+                    i,
+                    j,
+                    delta,
+                    wrap_y,
+                }
             })
             .collect();
 
@@ -225,7 +233,10 @@ impl Device {
     /// entry point for strain-engineering studies (band edges shift, gaps
     /// open/close). Slab width and cross-section scale accordingly.
     pub fn strained(&self, exx: f64, eyy: f64, ezz: f64) -> Device {
-        assert!(exx > -0.5 && eyy > -0.5 && ezz > -0.5, "unphysical compression");
+        assert!(
+            exx > -0.5 && eyy > -0.5 && ezz > -0.5,
+            "unphysical compression"
+        );
         let s = Vec3::new(1.0 + exx, 1.0 + eyy, 1.0 + ezz);
         let scale = |v: Vec3| Vec3::new(v.x * s.x, v.y * s.y, v.z * s.z);
         let mut d = self.clone();
@@ -350,7 +361,10 @@ impl Device {
         // Congruence of slabs 0 and 1 (and by periodicity, all slabs).
         let n0 = offsets[1] - offsets[0];
         let n1 = offsets[2] - offsets[1];
-        assert_eq!(n0, n1, "slabs 0 and 1 differ in atom count — geometry not periodic");
+        assert_eq!(
+            n0, n1,
+            "slabs 0 and 1 differ in atom count — geometry not periodic"
+        );
         for k in 0..n0 {
             let a = &self.atoms[offsets[0] + k];
             let b = &self.atoms[offsets[1] + k];
@@ -410,8 +424,13 @@ mod tests {
     #[test]
     fn surface_atoms_have_dangling_bonds() {
         let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 1.0, 1.0);
-        let dangling_total: usize = (0..d.num_atoms()).map(|i| d.dangling_directions(i).len()).sum();
-        assert!(dangling_total > 0, "a 1 nm wire must have surface dangling bonds");
+        let dangling_total: usize = (0..d.num_atoms())
+            .map(|i| d.dangling_directions(i).len())
+            .sum();
+        assert!(
+            dangling_total > 0,
+            "a 1 nm wire must have surface dangling bonds"
+        );
         // Coordination + dangling = ideal coordination for every atom.
         for i in 0..d.num_atoms() {
             assert_eq!(
@@ -427,7 +446,11 @@ mod tests {
         let d = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 1.0, 1.0);
         let expect = A_SI * 3.0_f64.sqrt() / 4.0;
         for b in &d.bonds {
-            assert!((b.delta.norm() - expect).abs() < 1e-9, "bond length {}", b.delta.norm());
+            assert!(
+                (b.delta.norm() - expect).abs() < 1e-9,
+                "bond length {}",
+                b.delta.norm()
+            );
         }
     }
 
@@ -450,7 +473,11 @@ mod tests {
         let d = Device::ribbon_agnr(0.142, 3, 7);
         // AGNR slab of N dimer lines holds 2N atoms per armchair period.
         let offsets = d.slab_offsets();
-        assert_eq!(offsets[1] - offsets[0], 14, "7-AGNR has 14 atoms per period");
+        assert_eq!(
+            offsets[1] - offsets[0],
+            14,
+            "7-AGNR has 14 atoms per period"
+        );
         // Away from the transport ends (where lead bonds are missing):
         // coordination 2 at the ribbon edges, 3 inside.
         let period = d.slab_width;
@@ -459,7 +486,11 @@ mod tests {
                 continue;
             }
             let c = d.coordination(i);
-            assert!((2..=3).contains(&c), "atom {i} at {:?} coordination {c}", a.pos);
+            assert!(
+                (2..=3).contains(&c),
+                "atom {i} at {:?} coordination {c}",
+                a.pos
+            );
         }
     }
 

@@ -66,7 +66,7 @@ pub fn neighbor_pairs(
     // along periodic axes with few bins we scan the whole axis (periods in
     // devices are a handful of cells — this stays cheap).
     let scan_y: Vec<i64> = if period_y.is_some() && ny <= 4 {
-        (0..ny as i64).map(|b| b - 0).collect()
+        (0..ny as i64).collect()
     } else {
         vec![-1, 0, 1]
     };
@@ -85,8 +85,16 @@ pub fn neighbor_pairs(
                         for &sz in &scan_z {
                             let (obx, oby, obz) = (
                                 bx + dx,
-                                if period_y.is_some() && ny <= 4 { sy } else { by + sy },
-                                if period_z.is_some() && nz <= 4 { sz } else { bz + sz },
+                                if period_y.is_some() && ny <= 4 {
+                                    sy
+                                } else {
+                                    by + sy
+                                },
+                                if period_z.is_some() && nz <= 4 {
+                                    sz
+                                } else {
+                                    bz + sz
+                                },
                             );
                             // Wrap or reject out-of-range bins.
                             let oby = wrap_bin(oby, ny, period_y.is_some());
@@ -187,11 +195,16 @@ mod tests {
     #[test]
     fn matches_brute_force_open() {
         let pts = pseudo_points(120, 3.0, 7);
-        let got: Vec<(usize, usize)> =
-            neighbor_pairs(&pts, 0.5, None, None).into_iter().map(|(i, j, _)| (i, j)).collect();
+        let got: Vec<(usize, usize)> = neighbor_pairs(&pts, 0.5, None, None)
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect();
         let want = brute_force(&pts, 0.5, None, None);
         assert_eq!(got, want);
-        assert!(!want.is_empty(), "test should exercise nonempty neighbor sets");
+        assert!(
+            !want.is_empty(),
+            "test should exercise nonempty neighbor sets"
+        );
     }
 
     #[test]
@@ -216,7 +229,11 @@ mod tests {
         let pairs = neighbor_pairs(&pts, 0.2, Some(1.0), None);
         assert_eq!(pairs.len(), 1);
         let (_, _, d) = pairs[0];
-        assert!((d.y + 0.1).abs() < 1e-12, "wrapped dy should be -0.1, got {}", d.y);
+        assert!(
+            (d.y + 0.1).abs() < 1e-12,
+            "wrapped dy should be -0.1, got {}",
+            d.y
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub fn eigh(h: &ZMat) -> EighResult {
     let n = h.nrows();
     assert!(h.is_square(), "eigh needs a square matrix");
     if n == 0 {
-        return EighResult { values: Vec::new(), vectors: ZMat::zeros(0, 0) };
+        return EighResult {
+            values: Vec::new(),
+            vectors: ZMat::zeros(0, 0),
+        };
     }
     flops::add_flops(flops::eigh_flops(n));
 
@@ -51,7 +54,7 @@ pub fn eigh(h: &ZMat) -> EighResult {
     // Sort the 2n eigenpairs ascending.
     let nn = 2 * n;
     let mut order: Vec<usize> = (0..nn).collect();
-    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
 
     // Collapse the 2n real pairs to n complex eigenvectors. Every candidate
     // is orthogonalized (two MGS passes) against *all* previously kept
@@ -64,7 +67,9 @@ pub fn eigh(h: &ZMat) -> EighResult {
     let mut candidates: Vec<(f64, Vec<c64>)> = order
         .iter()
         .map(|&idx| {
-            let v: Vec<c64> = (0..n).map(|r| c64::new(m[(r, idx)], m[(r + n, idx)])).collect();
+            let v: Vec<c64> = (0..n)
+                .map(|r| c64::new(m[(r, idx)], m[(r + n, idx)]))
+                .collect();
             (d[idx], v)
         })
         .collect();
@@ -102,7 +107,7 @@ pub fn eigh(h: &ZMat) -> EighResult {
         candidates = remaining;
     }
     assert_eq!(kept.len(), n, "pair collapse must recover n eigenvectors");
-    kept.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    kept.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut values = Vec::with_capacity(n);
     let mut vectors = ZMat::zeros(n, n);
@@ -127,7 +132,7 @@ pub fn eigh_values(h: &ZMat) -> Vec<f64> {
     let mut m = embed(h);
     let (mut d, mut e) = tred2(&mut m, false);
     tql2(&mut d, &mut e, None);
-    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.sort_by(f64::total_cmp);
     // Every eigenvalue of H appears exactly twice: take one per pair.
     (0..n).map(|k| 0.5 * (d[2 * k] + d[2 * k + 1])).collect()
 }
@@ -157,7 +162,10 @@ struct RMat {
 
 impl RMat {
     fn zeros(n: usize) -> Self {
-        RMat { n, a: vec![0.0; n * n] }
+        RMat {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 }
 
@@ -352,9 +360,13 @@ mod tests {
     use crate::gemm::matmul;
 
     fn rand_hermitian(n: usize, seed: u64) -> ZMat {
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xBF58476D1CE4E5B9);
+        let mut s = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(0xBF58476D1CE4E5B9);
         let mut next = move || {
-            s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xBF58476D1CE4E5B9);
+            s = s
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(0xBF58476D1CE4E5B9);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let a = ZMat::from_fn(n, n, |_, _| c64::new(next(), next()));
@@ -380,7 +392,10 @@ mod tests {
         }
         // Unitarity of the eigenvector matrix.
         let vhv = crate::gemm::matmul_h_n(&r.vectors, &r.vectors);
-        assert!((&vhv - &ZMat::eye(n)).max_abs() < tol, "eigenvectors not orthonormal");
+        assert!(
+            (&vhv - &ZMat::eye(n)).max_abs() < tol,
+            "eigenvectors not orthonormal"
+        );
         // Ascending eigenvalues.
         for k in 1..n {
             assert!(r.values[k] >= r.values[k - 1] - 1e-12);
@@ -412,7 +427,15 @@ mod tests {
 
     #[test]
     fn random_hermitian_various_sizes() {
-        for (n, seed) in [(1usize, 1u64), (2, 2), (3, 3), (5, 4), (8, 5), (13, 6), (24, 7)] {
+        for (n, seed) in [
+            (1usize, 1u64),
+            (2, 2),
+            (3, 3),
+            (5, 4),
+            (8, 5),
+            (13, 6),
+            (24, 7),
+        ] {
             let h = rand_hermitian(n, seed);
             let r = eigh(&h);
             check_decomposition(&h, &r, 1e-8);
@@ -440,8 +463,8 @@ mod tests {
         let h = rand_hermitian(10, 42);
         let r = eigh(&h);
         let v = eigh_values(&h);
-        for k in 0..10 {
-            assert!((r.values[k] - v[k]).abs() < 1e-9, "k={k}: {} vs {}", r.values[k], v[k]);
+        for (k, (&rv, &vv)) in r.values.iter().zip(&v).enumerate() {
+            assert!((rv - vv).abs() < 1e-9, "k={k}: {rv} vs {vv}");
         }
     }
 
@@ -457,8 +480,9 @@ mod tests {
                 c64::ZERO
             }
         });
-        let mut expect: Vec<f64> =
-            (1..=n).map(|k| 2.0 * t * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos()).collect();
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| 2.0 * t * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let got = eigh_values(&h);
         for k in 0..n {
@@ -493,7 +517,11 @@ mod tests {
         let h = matmul(&matmul(&q, &d), &q.adjoint());
         let r = eigh(&h);
         check_decomposition(&h.hermitian_part(), &r, 1e-7);
-        assert!((r.values[n - 1] - 84.0).abs() < 1e-8, "top eigenvalue lost: {}", r.values[n - 1]);
+        assert!(
+            (r.values[n - 1] - 84.0).abs() < 1e-8,
+            "top eigenvalue lost: {}",
+            r.values[n - 1]
+        );
         assert!((r.values[n - 2] - 22.0).abs() < 1e-8);
         assert!((r.values[n - 3] - 3.5).abs() < 1e-9);
     }
@@ -502,7 +530,9 @@ mod tests {
     fn complex_phase_invariance() {
         // Unitary diagonal conjugation preserves the spectrum.
         let h = rand_hermitian(6, 99);
-        let phases: Vec<c64> = (0..6).map(|i| c64::from_polar(1.0, 0.7 * i as f64)).collect();
+        let phases: Vec<c64> = (0..6)
+            .map(|i| c64::from_polar(1.0, 0.7 * i as f64))
+            .collect();
         let u = ZMat::from_diag(&phases);
         let hu = matmul(&crate::gemm::matmul(&u, &h), &u.adjoint());
         let a = eigh_values(&h);

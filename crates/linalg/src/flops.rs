@@ -47,7 +47,9 @@ impl FlopScope {
     /// Starts measuring from the current global count.
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
-        FlopScope { start: flop_count() }
+        FlopScope {
+            start: flop_count(),
+        }
     }
 
     /// Flops executed since this scope was created.

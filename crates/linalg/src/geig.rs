@@ -67,7 +67,11 @@ pub fn eig_values_general(a: &ZMat) -> Vec<c64> {
         let disc = (tr * tr - 4.0 * det).sqrt();
         let r1 = (tr + disc).scale(0.5);
         let r2 = (tr - disc).scale(0.5);
-        let shift = if (r1 - a22).abs() < (r2 - a22).abs() { r1 } else { r2 };
+        let shift = if (r1 - a22).abs() < (r2 - a22).abs() {
+            r1
+        } else {
+            r2
+        };
         // Exceptional shift every 12 stalls to break symmetry cycles.
         let shift = if iters_since_deflation % 12 == 0 {
             shift + c64::real(h[(hi, hi - 1)].abs())
@@ -83,7 +87,7 @@ pub fn eig_values_general(a: &ZMat) -> Vec<c64> {
             let (c, s) = givens(x, y);
             apply_givens_left(&mut h, k, k + 1, c, s, l.saturating_sub(1));
             apply_givens_right(&mut h, k, k + 1, c, s, (k + 2).min(hi) + 1);
-            if k + 1 <= hi.saturating_sub(1) && k + 1 < hi {
+            if k < hi.saturating_sub(1) && k + 1 < hi {
                 x = h[(k + 1, k)];
                 y = h[(k + 2, k)];
             }
@@ -160,7 +164,11 @@ fn hessenberg(a: &ZMat) -> ZMat {
             continue;
         }
         // beta = -e^{i arg(alpha)} * norm
-        let phase = if alpha.abs() > 0.0 { alpha.scale(1.0 / alpha.abs()) } else { c64::ONE };
+        let phase = if alpha.abs() > 0.0 {
+            alpha.scale(1.0 / alpha.abs())
+        } else {
+            c64::ONE
+        };
         let beta = -phase.scale(norm);
         let mut v: Vec<c64> = vec![c64::ZERO; n];
         v[k + 1] = alpha - beta;
@@ -261,7 +269,11 @@ mod tests {
                 .map(|(k, w)| (k, (*g - *w).abs()))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .expect("nonempty");
-            assert!(d < tol, "{g} has no partner within {tol} (closest {})", remaining[k]);
+            assert!(
+                d < tol,
+                "{g} has no partner within {tol} (closest {})",
+                remaining[k]
+            );
             remaining.swap_remove(k);
         }
     }
@@ -283,11 +295,12 @@ mod tests {
     #[test]
     fn known_2x2_complex() {
         // [[0, 1], [-1, 0]] has eigenvalues ±i.
-        let a = ZMat::from_rows(&[
-            vec![c64::ZERO, c64::ONE],
-            vec![-c64::ONE, c64::ZERO],
-        ]);
-        assert_spectra_match(eig_values_general(&a), vec![c64::imag(1.0), c64::imag(-1.0)], 1e-12);
+        let a = ZMat::from_rows(&[vec![c64::ZERO, c64::ONE], vec![-c64::ONE, c64::ZERO]]);
+        assert_spectra_match(
+            eig_values_general(&a),
+            vec![c64::imag(1.0), c64::imag(-1.0)],
+            1e-12,
+        );
     }
 
     #[test]
@@ -298,7 +311,10 @@ mod tests {
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let a = ZMat::from_fn(8, 8, |_, _| c64::new(next(), next())).hermitian_part();
-        let want: Vec<c64> = crate::eig::eigh_values(&a).into_iter().map(c64::real).collect();
+        let want: Vec<c64> = crate::eig::eigh_values(&a)
+            .into_iter()
+            .map(c64::real)
+            .collect();
         assert_spectra_match(eig_values_general(&a), want, 1e-8);
     }
 
@@ -329,7 +345,10 @@ mod tests {
             let a = ZMat::from_fn(n, n, |_, _| c64::new(next(), next()));
             let eigs = eig_values_general(&a);
             let sum: c64 = eigs.iter().copied().sum();
-            assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.trace().abs()), "trace n={n}");
+            assert!(
+                (sum - a.trace()).abs() < 1e-8 * (1.0 + a.trace().abs()),
+                "trace n={n}"
+            );
             let prod = eigs.iter().fold(c64::ONE, |p, &e| p * e);
             let det = crate::lu::Lu::factor(&a).unwrap().det();
             assert!(

@@ -138,7 +138,9 @@ mod tests {
 
     fn randmat(nr: usize, nc: usize, seed: u64) -> ZMat {
         // Tiny deterministic LCG so unit tests avoid dev-dependency plumbing.
-        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut s = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
             s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0

@@ -33,11 +33,30 @@ pub struct Singular {
 
 impl std::fmt::Display for Singular {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix singular to working precision at pivot {} (|p| = {:.3e})", self.at, self.pivot)
+        write!(
+            f,
+            "matrix singular to working precision at pivot {} (|p| = {:.3e})",
+            self.at, self.pivot
+        )
     }
 }
 
 impl std::error::Error for Singular {}
+
+impl Singular {
+    /// Promotes this kernel-level error to the stack-wide
+    /// [`OmenError::SingularBlock`](omen_num::OmenError), attaching the
+    /// block index known to the caller. The energy is filled in higher up
+    /// via [`OmenError::with_energy`](omen_num::OmenError::with_energy).
+    pub fn at_block(self, block: usize) -> omen_num::OmenError {
+        omen_num::OmenError::SingularBlock {
+            block,
+            energy: omen_num::ENERGY_UNKNOWN,
+            pivot: self.at,
+            magnitude: self.pivot,
+        }
+    }
+}
 
 impl Lu {
     /// Factorizes `a`. Returns [`Singular`] when a pivot column is entirely
@@ -118,15 +137,15 @@ impl Lu {
         let mut x: Vec<c64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -188,6 +207,42 @@ impl Lu {
     }
 }
 
+/// Maximum escalation steps [`factor_regularized`] attempts before giving
+/// up: shifts of `i·eta`, `i·10·eta`, `i·100·eta`.
+pub const MAX_REGULARIZE_RETRIES: usize = 3;
+
+/// Factorizes `a`, recovering from singular pivots by retrying with a small
+/// imaginary diagonal shift `+ i·eta` (escalated ×10 per attempt, up to
+/// [`MAX_REGULARIZE_RETRIES`] times).
+///
+/// This is the standard NEGF regularization: the physical system matrix is
+/// `(E + i·η)S − H − Σ`, so an extra `i·eta` with `eta` at the numerical
+/// broadening scale moves the factorization off an exact eigenvalue without
+/// perturbing observables beyond the broadening already present. Returns
+/// the factorization and the number of retries spent (`0` = clean factor),
+/// so callers can account recoveries in their sweep reports.
+pub fn factor_regularized(a: &ZMat, eta: f64) -> Result<(Lu, usize), Singular> {
+    debug_assert!(eta > 0.0, "regularization shift must be positive");
+    match Lu::factor(a) {
+        Ok(f) => Ok((f, 0)),
+        Err(first) => {
+            let n = a.nrows();
+            let mut shift = eta;
+            for retry in 1..=MAX_REGULARIZE_RETRIES {
+                let mut shifted = a.clone();
+                for i in 0..n {
+                    shifted[(i, i)] += c64::new(0.0, shift);
+                }
+                if let Ok(f) = Lu::factor(&shifted) {
+                    return Ok((f, retry));
+                }
+                shift *= 10.0;
+            }
+            Err(first)
+        }
+    }
+}
+
 /// One-shot solve `A x = b`.
 pub fn solve(a: &ZMat, b: &ZMat) -> Result<ZMat, Singular> {
     Ok(Lu::factor(a)?.solve_mat(b))
@@ -204,9 +259,13 @@ mod tests {
     use crate::gemm::matmul;
 
     fn randmat(n: usize, seed: u64) -> ZMat {
-        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut s = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         ZMat::from_fn(n, n, |_, _| c64::new(next(), next()))
@@ -294,14 +353,51 @@ mod tests {
 
     #[test]
     fn pivoting_handles_zero_leading_entry() {
-        let a = ZMat::from_rows(&[
-            vec![c64::ZERO, c64::ONE],
-            vec![c64::ONE, c64::ZERO],
-        ]);
+        let a = ZMat::from_rows(&[vec![c64::ZERO, c64::ONE], vec![c64::ONE, c64::ZERO]]);
         let f = Lu::factor(&a).unwrap();
         let x = f.solve_vec(&[c64::real(3.0), c64::real(7.0)]);
         assert!((x[0] - c64::real(7.0)).abs() < 1e-14);
         assert!((x[1] - c64::real(3.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn regularized_factor_recovers_singular_matrix() {
+        // Exactly singular: rank-1 matrix. A clean factor fails, but the
+        // i·eta shift makes it invertible and reports one retry.
+        let a = ZMat::from_rows(&[
+            vec![c64::real(1.0), c64::real(2.0)],
+            vec![c64::real(2.0), c64::real(4.0)],
+        ]);
+        assert!(Lu::factor(&a).is_err());
+        let (f, retries) = factor_regularized(&a, 1e-6).unwrap();
+        assert!(retries >= 1, "recovery must be accounted");
+        assert!(f.det().abs() > 0.0);
+        // A healthy matrix costs no retries.
+        let (_, r0) = factor_regularized(&ZMat::eye(3), 1e-6).unwrap();
+        assert_eq!(r0, 0);
+        // The all-NaN-proof hopeless case still errors out.
+        let z = ZMat::zeros(3, 3);
+        // Zero matrix + tiny i·eta·I is invertible, so it actually recovers:
+        let (_, rz) = factor_regularized(&z, 1e-6).unwrap();
+        assert!(rz >= 1);
+    }
+
+    #[test]
+    fn singular_promotes_to_omen_error() {
+        let e = Singular { at: 2, pivot: 0.0 }.at_block(5);
+        match e {
+            omen_num::OmenError::SingularBlock {
+                block,
+                energy,
+                pivot,
+                ..
+            } => {
+                assert_eq!(block, 5);
+                assert_eq!(pivot, 2);
+                assert!(energy.is_nan());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct ZMat {
 impl ZMat {
     /// An `nrows × ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        ZMat { nrows, ncols, data: vec![c64::ZERO; nrows * ncols] }
+        ZMat {
+            nrows,
+            ncols,
+            data: vec![c64::ZERO; nrows * ncols],
+        }
     }
 
     /// The `n × n` identity.
@@ -121,17 +125,24 @@ impl ZMat {
 
     /// Copies the `nr × nc` block whose top-left corner is `(r0, c0)`.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> ZMat {
-        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "block out of range");
+        assert!(
+            r0 + nr <= self.nrows && c0 + nc <= self.ncols,
+            "block out of range"
+        );
         let mut out = ZMat::zeros(nr, nc);
         for i in 0..nr {
-            out.row_mut(i).copy_from_slice(&self.row(r0 + i)[c0..c0 + nc]);
+            out.row_mut(i)
+                .copy_from_slice(&self.row(r0 + i)[c0..c0 + nc]);
         }
         out
     }
 
     /// Writes `b` into the block whose top-left corner is `(r0, c0)`.
     pub fn set_block(&mut self, r0: usize, c0: usize, b: &ZMat) {
-        assert!(r0 + b.nrows <= self.nrows && c0 + b.ncols <= self.ncols, "block out of range");
+        assert!(
+            r0 + b.nrows <= self.nrows && c0 + b.ncols <= self.ncols,
+            "block out of range"
+        );
         for i in 0..b.nrows {
             self.row_mut(r0 + i)[c0..c0 + b.ncols].copy_from_slice(b.row(i));
         }
@@ -139,7 +150,10 @@ impl ZMat {
 
     /// Adds `b` into the block at `(r0, c0)`.
     pub fn add_block(&mut self, r0: usize, c0: usize, b: &ZMat) {
-        assert!(r0 + b.nrows <= self.nrows && c0 + b.ncols <= self.ncols, "block out of range");
+        assert!(
+            r0 + b.nrows <= self.nrows && c0 + b.ncols <= self.ncols,
+            "block out of range"
+        );
         for i in 0..b.nrows {
             let dst = &mut self.row_mut(r0 + i)[c0..c0 + b.ncols];
             for (d, &s) in dst.iter_mut().zip(b.row(i)) {
@@ -234,12 +248,12 @@ impl ZMat {
         assert_eq!(x.len(), self.ncols, "dimension mismatch");
         crate::flops::add_flops(8 * (self.nrows * self.ncols) as u64);
         let mut y = vec![c64::ZERO; self.nrows];
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = c64::ZERO;
             for (a, &xv) in self.row(i).iter().zip(x) {
                 acc += *a * xv;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -249,8 +263,7 @@ impl ZMat {
         assert_eq!(x.len(), self.nrows, "dimension mismatch");
         crate::flops::add_flops(8 * (self.nrows * self.ncols) as u64);
         let mut y = vec![c64::ZERO; self.ncols];
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             for (j, &a) in self.row(i).iter().enumerate() {
                 y[j] += a.conj() * xi;
             }
@@ -318,7 +331,11 @@ elementwise!(Sub, sub, -);
 
 impl AddAssign<&ZMat> for ZMat {
     fn add_assign(&mut self, o: &ZMat) {
-        assert_eq!((self.nrows, self.ncols), (o.nrows, o.ncols), "shape mismatch");
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (o.nrows, o.ncols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&o.data) {
             *a += b;
         }
@@ -327,7 +344,11 @@ impl AddAssign<&ZMat> for ZMat {
 
 impl SubAssign<&ZMat> for ZMat {
     fn sub_assign(&mut self, o: &ZMat) {
-        assert_eq!((self.nrows, self.ncols), (o.nrows, o.ncols), "shape mismatch");
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (o.nrows, o.ncols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&o.data) {
             *a -= b;
         }
@@ -428,7 +449,9 @@ mod tests {
 
     #[test]
     fn gamma_is_hermitian_and_traces_correctly() {
-        let s = ZMat::from_fn(3, 3, |i, j| c64::new((i + j) as f64, (i as f64) - (j as f64) * 0.5));
+        let s = ZMat::from_fn(3, 3, |i, j| {
+            c64::new((i + j) as f64, (i as f64) - (j as f64) * 0.5)
+        });
         let g = s.gamma_of();
         assert!(g.is_hermitian(1e-13));
         // Tr Γ = i Tr(Σ - Σ†) = -2 Im Tr Σ
@@ -439,11 +462,25 @@ mod tests {
     #[test]
     fn matvec_and_adjoint_matvec_consistency() {
         let a = ZMat::from_fn(3, 4, |i, j| c64::new(i as f64 - j as f64, 0.3 * j as f64));
-        let x = vec![c64::new(1.0, 0.0), c64::new(0.0, 1.0), c64::new(-1.0, 0.5), c64::new(2.0, -2.0)];
+        let x = vec![
+            c64::new(1.0, 0.0),
+            c64::new(0.0, 1.0),
+            c64::new(-1.0, 0.5),
+            c64::new(2.0, -2.0),
+        ];
         let y = vec![c64::new(0.5, 0.5), c64::new(1.0, -1.0), c64::new(0.0, 2.0)];
         // <y, A x> == <A† y, x>
-        let lhs: c64 = y.iter().zip(a.matvec(&x)).map(|(&yi, axi)| yi.conj() * axi).sum();
-        let rhs: c64 = a.matvec_h(&y).iter().zip(&x).map(|(ahy, &xi)| ahy.conj() * xi).sum();
+        let lhs: c64 = y
+            .iter()
+            .zip(a.matvec(&x))
+            .map(|(&yi, axi)| yi.conj() * axi)
+            .sum();
+        let rhs: c64 = a
+            .matvec_h(&y)
+            .iter()
+            .zip(&x)
+            .map(|(ahy, &xi)| ahy.conj() * xi)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-12);
     }
 

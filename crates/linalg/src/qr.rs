@@ -66,9 +66,13 @@ mod tests {
     use crate::gemm::{matmul, matmul_h_n};
 
     fn randmat(m: usize, n: usize, seed: u64) -> ZMat {
-        let mut s = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(0x8CB92BA72F3D8DD7);
+        let mut s = seed
+            .wrapping_mul(0xD1B54A32D192ED03)
+            .wrapping_add(0x8CB92BA72F3D8DD7);
         let mut next = move || {
-            s = s.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(0x8CB92BA72F3D8DD7);
+            s = s
+                .wrapping_mul(0xD1B54A32D192ED03)
+                .wrapping_add(0x8CB92BA72F3D8DD7);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         ZMat::from_fn(m, n, |_, _| c64::new(next(), next()))
@@ -79,9 +83,15 @@ mod tests {
         for (m, n) in [(4usize, 4usize), (8, 5), (20, 3), (6, 1)] {
             let a = randmat(m, n, (m * 31 + n) as u64);
             let (q, r) = qr_decompose(&a);
-            assert!((&matmul(&q, &r) - &a).max_abs() < 1e-10, "reconstruction {m}x{n}");
+            assert!(
+                (&matmul(&q, &r) - &a).max_abs() < 1e-10,
+                "reconstruction {m}x{n}"
+            );
             let qhq = matmul_h_n(&q, &q);
-            assert!((&qhq - &ZMat::eye(n)).max_abs() < 1e-10, "orthonormality {m}x{n}");
+            assert!(
+                (&qhq - &ZMat::eye(n)).max_abs() < 1e-10,
+                "orthonormality {m}x{n}"
+            );
             // R upper triangular.
             for i in 0..n {
                 for j in 0..i {
@@ -100,7 +110,10 @@ mod tests {
             a[(i, 2)] = v;
         }
         let (q, r) = qr_decompose(&a);
-        assert!(r[(2, 2)].abs() < 1e-9, "dependent column must yield zero diagonal");
+        assert!(
+            r[(2, 2)].abs() < 1e-9,
+            "dependent column must yield zero diagonal"
+        );
         // Q still reconstructs A.
         assert!((&matmul(&q, &r) - &a).max_abs() < 1e-9);
     }

@@ -15,8 +15,14 @@
 
 use crate::sancho::ContactSelfEnergy;
 use omen_linalg::{lu, ZMat};
-use omen_num::c64;
+use omen_num::{c64, OmenResult};
 use omen_sparse::BlockTridiag;
+
+/// Imaginary diagonal shift used to regularize a singular pivot block
+/// before giving up on the point. Matches the numerical broadening scale
+/// (see `omen_negf::DEFAULT_ETA`), so a recovered factorization stays
+/// within the resolution the solve already accepted.
+pub const REGULARIZATION_ETA: f64 = 1e-6;
 
 /// Output of one RGF solve at a single (energy, momentum) point.
 pub struct RgfResult {
@@ -28,6 +34,9 @@ pub struct RgfResult {
     pub g_col_right: Vec<ZMat>,
     /// Caroli transmission at this energy.
     pub transmission: f64,
+    /// Pivot-regularization retries spent across both sweeps
+    /// (0 = every block factored cleanly).
+    pub retries: usize,
 }
 
 impl RgfResult {
@@ -79,8 +88,14 @@ pub fn build_a_matrix(
 
 /// Runs the RGF sweeps on a prebuilt `A` matrix with the contact
 /// broadenings `Γ_L`, `Γ_R`.
-pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> RgfResult {
+///
+/// A singular pivot block is first retried with the `i·eta` shift of
+/// [`REGULARIZATION_ETA`] (recorded in [`RgfResult::retries`]); only when
+/// regularization is exhausted does the point fail with
+/// [`OmenError::SingularBlock`](omen_num::OmenError).
+pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult<RgfResult> {
     let nb = a.num_blocks();
+    let mut retries = 0usize;
 
     // Forward sweep: left-connected gL_i.
     let mut g_left: Vec<ZMat> = Vec::with_capacity(nb);
@@ -92,7 +107,9 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> RgfResult 
             let c = omen_linalg::matmul(&t, &a.upper[i - 1]);
             m -= &c;
         }
-        g_left.push(lu::Lu::factor(&m).expect("left-connected factor").inverse());
+        let (f, r) = lu::factor_regularized(&m, REGULARIZATION_ETA).map_err(|s| s.at_block(i))?;
+        retries += r;
+        g_left.push(f.inverse());
     }
 
     // Backward sweep: right-connected gR_i.
@@ -104,7 +121,9 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> RgfResult 
             let c = omen_linalg::matmul(&t, &a.lower[i]);
             m -= &c;
         }
-        g_right[i] = lu::Lu::factor(&m).expect("right-connected factor").inverse();
+        let (f, r) = lu::factor_regularized(&m, REGULARIZATION_ETA).map_err(|s| s.at_block(i))?;
+        retries += r;
+        g_right[i] = f.inverse();
     }
 
     // Full diagonal blocks via backward recursion from G_{N-1,N-1} = gL_{N-1}.
@@ -146,7 +165,13 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> RgfResult 
     let t3 = omen_linalg::matmul_n_h(&t2, g0n);
     let transmission = t3.trace().re;
 
-    RgfResult { g_diag, g_col_left, g_col_right, transmission }
+    Ok(RgfResult {
+        g_diag,
+        g_col_left,
+        g_col_right,
+        transmission,
+        retries,
+    })
 }
 
 #[cfg(test)]
@@ -157,11 +182,11 @@ mod tests {
     /// Uniform 1-D chain cut into `nb` single-site blocks.
     fn chain(nb: usize, e0: f64, t: f64, barrier: &[f64]) -> BlockTridiag {
         let diag: Vec<ZMat> = (0..nb)
-            .map(|i| {
-                ZMat::from_diag(&[c64::real(e0 + barrier.get(i).copied().unwrap_or(0.0))])
-            })
+            .map(|i| ZMat::from_diag(&[c64::real(e0 + barrier.get(i).copied().unwrap_or(0.0))]))
             .collect();
-        let off: Vec<ZMat> = (0..nb - 1).map(|_| ZMat::from_diag(&[c64::real(t)])).collect();
+        let off: Vec<ZMat> = (0..nb - 1)
+            .map(|_| ZMat::from_diag(&[c64::real(t)]))
+            .collect();
         BlockTridiag::new(diag, off.clone(), off)
     }
 
@@ -169,8 +194,8 @@ mod tests {
         let h00 = ZMat::from_diag(&[c64::real(e0)]);
         let h01 = ZMat::from_diag(&[c64::real(t)]);
         (
-            ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Left),
-            ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Right),
+            ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Left).unwrap(),
+            ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Right).unwrap(),
         )
     }
 
@@ -181,8 +206,12 @@ mod tests {
         for &e in &[-1.7, -0.9, 0.05, 0.8, 1.6] {
             let (sl, sr) = chain_leads(e0, t, e);
             let a = build_a_matrix(e, 1e-6, &h, &sl, &sr);
-            let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
-            assert!((r.transmission - 1.0).abs() < 1e-4, "E={e}: T={}", r.transmission);
+            let r = rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
+            assert!(
+                (r.transmission - 1.0).abs() < 1e-4,
+                "E={e}: T={}",
+                r.transmission
+            );
         }
     }
 
@@ -193,7 +222,7 @@ mod tests {
         for &e in &[-2.5, 2.5, 4.0] {
             let (sl, sr) = chain_leads(e0, t, e);
             let a = build_a_matrix(e, 1e-6, &h, &sl, &sr);
-            let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
+            let r = rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
             assert!(r.transmission.abs() < 1e-6, "E={e}: T={}", r.transmission);
         }
     }
@@ -213,7 +242,7 @@ mod tests {
             let expect = 1.0 / (1.0 + (u / (2.0 * t.abs() * sink)).powi(2));
             let (sl, sr) = chain_leads(e0, t, e);
             let a = build_a_matrix(e, 1e-6, &h, &sl, &sr);
-            let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
+            let r = rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
             assert!(
                 (r.transmission - expect).abs() < 1e-4,
                 "E={e}: T={} vs analytic {expect}",
@@ -233,7 +262,7 @@ mod tests {
         let e = 0.5;
         let (sl, sr) = chain_leads(e0, t, e);
         let a = build_a_matrix(e, 1e-6, &h, &sl, &sr);
-        let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
+        let r = rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
         for i in 0..6 {
             let g = &r.g_diag[i];
             let spectral = g.gamma_of(); // i(G − G†)
@@ -255,9 +284,12 @@ mod tests {
         let e = 0.4;
         let (sl, sr) = chain_leads(e0, t, e);
         let a = build_a_matrix(e, 1e-6, &h, &sl, &sr);
-        let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
+        let r = rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
         for i in 0..5 {
-            assert!(r.ldos(i) > 0.0, "LDOS must be positive in band at block {i}");
+            assert!(
+                r.ldos(i) > 0.0,
+                "LDOS must be positive in band at block {i}"
+            );
         }
         // Uniform chain: all sites share the same LDOS.
         for i in 1..5 {
@@ -277,12 +309,16 @@ mod tests {
         let e = 0.7;
         let (sl, sr) = chain_leads(e0, t, e);
         let a = build_a_matrix(e, 1e-6, &h, &sl, &sr);
-        let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
+        let r = rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
         let gn0 = &r.g_col_left[5];
         let t1 = omen_linalg::matmul(&sr.gamma, gn0);
         let t2 = omen_linalg::matmul(&t1, &sl.gamma);
         let t3 = omen_linalg::matmul_n_h(&t2, gn0);
         let t_rl = t3.trace().re;
-        assert!((r.transmission - t_rl).abs() < 1e-6, "{} vs {t_rl}", r.transmission);
+        assert!(
+            (r.transmission - t_rl).abs() < 1e-6,
+            "{} vs {t_rl}",
+            r.transmission
+        );
     }
 }

@@ -20,12 +20,19 @@
 //! keeps every intermediate bounded and still perturbs the physics at the
 //! 1e-5 eV level — far below thermal broadening.
 //!
+//! **Failure policy**: the iteration is bounded ([`MAX_DECIMATION_ITERS`]);
+//! non-convergence or a singular intermediate yields a typed
+//! [`OmenError`]. [`surface_green_function_recovering`] additionally
+//! retries with the energy nudged by a few η (off any pathological
+//! resonance of the decimated chain) before giving up, reporting the retry
+//! count so sweeps can account the recovery.
+//!
 //! Device coupling: the left contact touches slab 0 through `H_{0,-1} = H01†`
 //! giving `Σ_L = H01† g_L H01`; the right contact touches slab N−1 through
 //! `H_{N-1,N} = H01` giving `Σ_R = H01 g_R H01†`.
 
 use omen_linalg::{gemm, lu, Op, ZMat};
-use omen_num::c64;
+use omen_num::{c64, OmenError, OmenResult};
 
 /// Which contact a self-energy belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,13 +43,25 @@ pub enum Side {
     Right,
 }
 
-/// Surface Green's function of a semi-infinite lead at complex energy
-/// `E + iη`.
-///
-/// `h00`/`h01` follow the convention above; `side` selects the recursion
-/// orientation. Panics if the decimation fails to converge in 200
-/// iterations (practically unreachable for η > 0).
-pub fn surface_green_function(e: f64, eta: f64, h00: &ZMat, h01: &ZMat, side: Side) -> ZMat {
+/// Iteration bound of the decimation loop. Quadratic convergence needs
+/// 15–40 iterations; 200 is far past any physical case, so exhausting it
+/// means the energy sits on a pathological resonance.
+pub const MAX_DECIMATION_ITERS: usize = 200;
+
+/// Energy-nudge retries [`surface_green_function_recovering`] spends on a
+/// non-converged lead before surfacing the error.
+pub const MAX_LEAD_RETRIES: usize = 3;
+
+/// Core decimation loop with an explicit iteration bound. Returns the
+/// surface GF and the iterations consumed.
+fn decimate(
+    e: f64,
+    eta: f64,
+    h00: &ZMat,
+    h01: &ZMat,
+    side: Side,
+    max_iters: usize,
+) -> OmenResult<(ZMat, usize)> {
     assert!(eta > 0.0, "Sancho-Rubio needs a positive broadening");
     let n = h00.nrows();
     let ec = c64::new(e, eta);
@@ -55,11 +74,14 @@ pub fn surface_green_function(e: f64, eta: f64, h00: &ZMat, h01: &ZMat, side: Si
     let mut eps_s = h00.clone();
     let mut eps = h00.clone();
 
-    for _ in 0..200 {
+    for it in 0..max_iters {
         // g = (E − ε)⁻¹
         let mut a = ZMat::from_diag(&vec![ec; n]);
         a -= &eps;
-        let g = lu::Lu::factor(&a).expect("bulk factor in decimation").inverse();
+        let g = match lu::Lu::factor(&a) {
+            Ok(f) => f.inverse(),
+            Err(s) => return Err(s.at_block(0).with_energy(e)),
+        };
 
         // ε_s += α g β ;  ε += α g β + β g α ;  α ← α g α ;  β ← β g β
         let ag = omen_linalg::matmul(&alpha, &g);
@@ -75,10 +97,99 @@ pub fn surface_green_function(e: f64, eta: f64, h00: &ZMat, h01: &ZMat, side: Si
         if alpha.max_abs() < 1e-14 && beta.max_abs() < 1e-14 {
             let mut a = ZMat::from_diag(&vec![ec; n]);
             a -= &eps_s;
-            return lu::Lu::factor(&a).expect("surface factor").inverse();
+            return match lu::Lu::factor(&a) {
+                Ok(f) => Ok((f.inverse(), it + 1)),
+                Err(s) => Err(s.at_block(0).with_energy(e)),
+            };
         }
     }
-    panic!("Sancho-Rubio failed to converge at E = {e} (η = {eta})");
+    Err(OmenError::LeadNotConverged {
+        energy: e,
+        iters: max_iters,
+    })
+}
+
+/// [`surface_green_function`] with a caller-chosen iteration bound.
+pub fn surface_green_function_bounded(
+    e: f64,
+    eta: f64,
+    h00: &ZMat,
+    h01: &ZMat,
+    side: Side,
+    max_iters: usize,
+) -> OmenResult<ZMat> {
+    decimate(e, eta, h00, h01, side, max_iters).map(|(g, _)| g)
+}
+
+/// Surface Green's function of a semi-infinite lead at complex energy
+/// `E + iη`.
+///
+/// `h00`/`h01` follow the convention above; `side` selects the recursion
+/// orientation. Returns [`OmenError::LeadNotConverged`] when the decimation
+/// does not contract within [`MAX_DECIMATION_ITERS`] iterations, and
+/// [`OmenError::SingularBlock`] when an intermediate resolvent is singular
+/// to working precision (both practically unreachable for η > 0 off
+/// resonances and band edges).
+pub fn surface_green_function(
+    e: f64,
+    eta: f64,
+    h00: &ZMat,
+    h01: &ZMat,
+    side: Side,
+) -> OmenResult<ZMat> {
+    surface_green_function_bounded(e, eta, h00, h01, side, MAX_DECIMATION_ITERS)
+}
+
+/// Absolute floor of the recovery nudge step (eV): even with η below
+/// rounding, the retry moves far enough to escape a band-edge or resonance
+/// stall, while staying well below thermal broadening (~26 meV).
+pub const LEAD_NUDGE_FLOOR: f64 = 1e-7;
+
+/// [`surface_green_function_bounded`] with the energy-nudge recovery
+/// policy: on non-convergence, retry at `E ± k·step` (alternating sides,
+/// growing `k`, `step = max(4η, LEAD_NUDGE_FLOOR)`) up to
+/// [`MAX_LEAD_RETRIES`] times. The nudge moves the evaluation off a
+/// discrete resonance or band-edge stall of the decimated chain while
+/// staying inside the broadening-limited energy resolution. Returns the
+/// surface GF and the number of retries spent (`0` = converged at the
+/// requested energy).
+pub fn surface_green_function_recovering_bounded(
+    e: f64,
+    eta: f64,
+    h00: &ZMat,
+    h01: &ZMat,
+    side: Side,
+    max_iters: usize,
+) -> OmenResult<(ZMat, usize)> {
+    match surface_green_function_bounded(e, eta, h00, h01, side, max_iters) {
+        Ok(g) => Ok((g, 0)),
+        Err(first) => {
+            let step = (4.0 * eta).max(LEAD_NUDGE_FLOOR);
+            for retry in 1..=MAX_LEAD_RETRIES {
+                let k = retry.div_ceil(2) as f64;
+                let sign = if retry % 2 == 1 { 1.0 } else { -1.0 };
+                let nudged = e + sign * k * step;
+                if let Ok(g) =
+                    surface_green_function_bounded(nudged, eta, h00, h01, side, max_iters)
+                {
+                    return Ok((g, retry));
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+/// [`surface_green_function_recovering_bounded`] at the default
+/// [`MAX_DECIMATION_ITERS`] bound.
+pub fn surface_green_function_recovering(
+    e: f64,
+    eta: f64,
+    h00: &ZMat,
+    h01: &ZMat,
+    side: Side,
+) -> OmenResult<(ZMat, usize)> {
+    surface_green_function_recovering_bounded(e, eta, h00, h01, side, MAX_DECIMATION_ITERS)
 }
 
 /// A contact self-energy `Σ` with its broadening `Γ = i(Σ − Σ†)`.
@@ -90,13 +201,16 @@ pub struct ContactSelfEnergy {
     pub sigma: ZMat,
     /// Broadening matrix `Γ = i(Σ − Σ†)` (Hermitian, PSD).
     pub gamma: ZMat,
+    /// Recovery attempts the lead solve spent (0 = clean convergence).
+    pub retries: usize,
 }
 
 impl ContactSelfEnergy {
     /// Computes the contact self-energy of `side` at energy `e` with
-    /// broadening `eta`, for lead blocks `(h00, h01)`.
-    pub fn compute(e: f64, eta: f64, h00: &ZMat, h01: &ZMat, side: Side) -> Self {
-        let g = surface_green_function(e, eta, h00, h01, side);
+    /// broadening `eta`, for lead blocks `(h00, h01)`. The energy-nudge
+    /// recovery policy applies; `retries` on the result records it.
+    pub fn compute(e: f64, eta: f64, h00: &ZMat, h01: &ZMat, side: Side) -> OmenResult<Self> {
+        let (g, retries) = surface_green_function_recovering(e, eta, h00, h01, side)?;
         let sigma = match side {
             // Σ_L = H01† g_L H01
             Side::Left => {
@@ -113,7 +227,12 @@ impl ContactSelfEnergy {
             }
         };
         let gamma = sigma.gamma_of();
-        ContactSelfEnergy { side, sigma, gamma }
+        Ok(ContactSelfEnergy {
+            side,
+            sigma,
+            gamma,
+            retries,
+        })
     }
 }
 
@@ -135,7 +254,7 @@ mod tests {
         let (e0, t) = (0.0, -1.0);
         let (h00, h01) = chain_blocks(e0, t);
         for &e in &[-1.5, -0.5, 0.05, 0.7, 1.9] {
-            let g = surface_green_function(e, 1e-6, &h00, &h01, Side::Right);
+            let g = surface_green_function(e, 1e-6, &h00, &h01, Side::Right).unwrap();
             let x = e - e0;
             let disc = 4.0 * t * t - x * x;
             assert!(disc > 0.0, "test energies must lie inside the band");
@@ -152,20 +271,25 @@ mod tests {
     #[test]
     fn outside_band_gf_is_real() {
         let (h00, h01) = chain_blocks(0.0, -1.0);
-        let g = surface_green_function(3.0, 1e-6, &h00, &h01, Side::Left);
-        assert!(g[(0, 0)].im.abs() < 1e-4, "no DOS outside the band: {}", g[(0, 0)]);
+        let g = surface_green_function(3.0, 1e-6, &h00, &h01, Side::Left).unwrap();
+        assert!(
+            g[(0, 0)].im.abs() < 1e-4,
+            "no DOS outside the band: {}",
+            g[(0, 0)]
+        );
         assert!(g[(0, 0)].re != 0.0);
     }
 
     #[test]
     fn gamma_is_hermitian_psd_in_band() {
         let (h00, h01) = chain_blocks(0.0, -1.0);
-        let se = ContactSelfEnergy::compute(0.3, 1e-6, &h00, &h01, Side::Left);
+        let se = ContactSelfEnergy::compute(0.3, 1e-6, &h00, &h01, Side::Left).unwrap();
         assert!(se.gamma.is_hermitian(1e-10));
         let vals = omen_linalg::eigh_values(&se.gamma);
         assert!(vals[0] > -1e-8, "Γ must be PSD, min eig {}", vals[0]);
         // In-band Γ = 2|t| sinθ > 0.
         assert!(vals[0] > 0.1, "in-band broadening must be finite");
+        assert_eq!(se.retries, 0, "healthy in-band energy needs no recovery");
     }
 
     #[test]
@@ -173,8 +297,8 @@ mod tests {
         // For a symmetric (Hermitian h00, h01 = h01ᵀ real) chain both sides
         // give the same surface GF.
         let (h00, h01) = chain_blocks(0.5, -0.8);
-        let gl = surface_green_function(0.9, 1e-6, &h00, &h01, Side::Left);
-        let gr = surface_green_function(0.9, 1e-6, &h00, &h01, Side::Right);
+        let gl = surface_green_function(0.9, 1e-6, &h00, &h01, Side::Left).unwrap();
+        let gr = surface_green_function(0.9, 1e-6, &h00, &h01, Side::Right).unwrap();
         assert!((gl[(0, 0)] - gr[(0, 0)]).abs() < 1e-6);
     }
 
@@ -190,10 +314,51 @@ mod tests {
             vec![c64::real(0.05), c64::real(-0.5)],
         ]);
         for &e in &[-1.2, -0.4, 0.0, 0.6, 1.5] {
-            let se = ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Right);
+            let se = ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Right).unwrap();
             // Retarded: Im Σ ≤ 0 in the eigen-sense ⇒ Γ PSD.
             let vals = omen_linalg::eigh_values(&se.gamma);
             assert!(vals[0] > -1e-6, "Γ PSD failed at E={e}: {}", vals[0]);
         }
+    }
+
+    #[test]
+    fn band_edge_exceeding_iteration_bound_yields_typed_error() {
+        // Decimation halves the effective coupling per step, so the
+        // iteration count grows like log₂(1/√η) toward a band edge: at
+        // E = 2|t| (the 1-D band edge) with η = 1e-18 the chain needs 35
+        // doublings. A bound of 30 is therefore deterministically
+        // insufficient and must surface as a typed non-convergence, not a
+        // panic or a garbage surface GF.
+        let (h00, h01) = chain_blocks(0.0, -1.0);
+        let r = surface_green_function_bounded(2.0, 1e-18, &h00, &h01, Side::Left, 30);
+        match r {
+            Err(OmenError::LeadNotConverged { energy, iters }) => {
+                assert_eq!(energy, 2.0);
+                assert_eq!(iters, 30);
+            }
+            Err(other) => panic!("expected LeadNotConverged, got {other}"),
+            Ok(_) => panic!("band edge under an insufficient bound must not converge"),
+        }
+    }
+
+    #[test]
+    fn recovery_nudges_off_band_edge() {
+        // At E = 2|t| with η = 1e-9 the decimation needs 20 doublings;
+        // one LEAD_NUDGE_FLOOR step above the edge it needs only 17. A
+        // bound of 18 therefore fails at the requested energy but the
+        // first (+step) retry of the recovery policy converges — the
+        // retry count must record exactly that one nudge.
+        let (h00, h01) = chain_blocks(0.0, -1.0);
+        let eta = 1e-9;
+        assert!(
+            surface_green_function_bounded(2.0, eta, &h00, &h01, Side::Left, 18).is_err(),
+            "the edge itself must stall under the tight bound"
+        );
+        let (g, retries) =
+            surface_green_function_recovering_bounded(2.0, eta, &h00, &h01, Side::Left, 18)
+                .unwrap();
+        assert_eq!(retries, 1, "recovery must record the single nudge");
+        // The recovered surface GF is still retarded: Im g ≤ 0.
+        assert!(g[(0, 0)].im <= 0.0, "recovered GF must stay retarded");
     }
 }

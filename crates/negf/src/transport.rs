@@ -3,7 +3,7 @@
 use crate::rgf::{build_a_matrix, rgf_solve, RgfResult};
 use crate::sancho::{ContactSelfEnergy, Side};
 use omen_linalg::{lu, ZMat};
-use omen_num::c64;
+use omen_num::{c64, OmenResult};
 use omen_sparse::BlockTridiag;
 
 /// Everything the upper layers need from one (E, k) transport point.
@@ -18,6 +18,9 @@ pub struct EnergyPointData {
     pub spectral_left_diag: Vec<f64>,
     /// Per-orbital diagonal of the right-injected spectral function.
     pub spectral_right_diag: Vec<f64>,
+    /// Recovery attempts spent solving this point (lead energy nudges +
+    /// pivot regularizations); 0 = clean solve.
+    pub retries: usize,
 }
 
 /// Default numerical broadening (eV) used by the transport engines.
@@ -33,12 +36,16 @@ pub fn transport_at_energy(
     h: &BlockTridiag,
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
-) -> EnergyPointData {
-    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left);
-    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right);
+) -> OmenResult<EnergyPointData> {
+    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left)
+        .map_err(|err| err.with_energy(e))?;
+    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right)
+        .map_err(|err| err.with_energy(e))?;
     let a = build_a_matrix(e, DEFAULT_ETA, h, &sl, &sr);
-    let r = rgf_solve(&a, &sl.gamma, &sr.gamma);
-    package(e, h, &r, &sl.gamma, &sr.gamma)
+    let r = rgf_solve(&a, &sl.gamma, &sr.gamma).map_err(|err| err.with_energy(e))?;
+    let mut point = package(e, h, &r, &sl.gamma, &sr.gamma);
+    point.retries += sl.retries + sr.retries;
+    Ok(point)
 }
 
 /// Packages an [`RgfResult`] into the flat per-orbital data the density
@@ -69,6 +76,7 @@ pub fn package(
         ldos,
         spectral_left_diag: al,
         spectral_right_diag: ar,
+        retries: r.retries,
     }
 }
 
@@ -79,9 +87,11 @@ pub fn transmission_dense_reference(
     h: &BlockTridiag,
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
-) -> f64 {
-    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left);
-    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right);
+) -> OmenResult<f64> {
+    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left)
+        .map_err(|err| err.with_energy(e))?;
+    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right)
+        .map_err(|err| err.with_energy(e))?;
     let n = h.dim();
     let nb = h.num_blocks();
     let mut a = ZMat::from_diag(&vec![c64::new(e, DEFAULT_ETA); n]);
@@ -101,12 +111,14 @@ pub fn transmission_dense_reference(
             a[(off_r + i, off_r + j)] -= sr.sigma[(i, j)];
         }
     }
-    let g = lu::Lu::factor(&a).expect("dense reference factor").inverse();
+    let g = lu::Lu::factor(&a)
+        .map_err(|s| s.at_block(0).with_energy(e))?
+        .inverse();
     let g0n = g.block(0, off_r, n0, nn);
     let t1 = omen_linalg::matmul(&sl.gamma, &g0n);
     let t2 = omen_linalg::matmul(&t1, &sr.gamma);
     let t3 = omen_linalg::matmul_n_h(&t2, &g0n);
-    t3.trace().re
+    Ok(t3.trace().re)
 }
 
 #[cfg(test)]
@@ -130,8 +142,10 @@ mod tests {
     fn rgf_matches_dense_reference_single_band_wire() {
         let (bt, h00, h01) = si_wire_system(Material::SingleBand { t_mev: 800 }, 4, 0.8);
         for &e in &[-2.03_f64, -0.51, 0.33, 1.48] {
-            let t_rgf = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01)).transmission;
-            let t_ref = transmission_dense_reference(e, &bt, (&h00, &h01), (&h00, &h01));
+            let t_rgf = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01))
+                .unwrap()
+                .transmission;
+            let t_ref = transmission_dense_reference(e, &bt, (&h00, &h01), (&h00, &h01)).unwrap();
             assert!(
                 (t_rgf - t_ref).abs() < 1e-6 * (1.0 + t_ref.abs()),
                 "E={e}: RGF {t_rgf} vs dense {t_ref}"
@@ -154,7 +168,9 @@ mod tests {
                     lo < e && e < hi
                 })
                 .count();
-            let t = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01)).transmission;
+            let t = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01))
+                .unwrap()
+                .transmission;
             assert!(
                 (t - count as f64).abs() < 1e-3,
                 "E={e}: T={t} vs band count {count}"
@@ -167,8 +183,10 @@ mod tests {
         // Full 5-orbital Si wire: engines must agree to numerical precision.
         let (bt, h00, h01) = si_wire_system(Material::SiSp3s, 3, 0.8);
         for &e in &[1.6_f64, 2.2] {
-            let t_rgf = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01)).transmission;
-            let t_ref = transmission_dense_reference(e, &bt, (&h00, &h01), (&h00, &h01));
+            let t_rgf = transport_at_energy(e, &bt, (&h00, &h01), (&h00, &h01))
+                .unwrap()
+                .transmission;
+            let t_ref = transmission_dense_reference(e, &bt, (&h00, &h01), (&h00, &h01)).unwrap();
             assert!(
                 (t_rgf - t_ref).abs() < 1e-6 * (1.0 + t_ref.abs()),
                 "E={e}: RGF {t_rgf} vs dense {t_ref}"
@@ -180,7 +198,9 @@ mod tests {
     fn transmission_zero_in_gap() {
         let (bt, h00, h01) = si_wire_system(Material::SiSp3s, 3, 0.8);
         // Mid-gap of the confined wire (bulk gap ~1.1, confined larger).
-        let t = transport_at_energy(0.6, &bt, (&h00, &h01), (&h00, &h01)).transmission;
+        let t = transport_at_energy(0.6, &bt, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
         assert!(t.abs() < 1e-6, "mid-gap transmission {t}");
     }
 }

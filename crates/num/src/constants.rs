@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn hbar2_over_2m0() {
         // ħ²/2m0 = (1.054571817e-34)^2 / (2*9.1093837015e-31) J·m²
-        let j_m2 = (1.054_571_817e-34_f64).powi(2) / (2.0 * 9.109_383_7015e-31);
+        let j_m2 = (1.054_571_817e-34_f64).powi(2) / (2.0 * 9.109_383_701_5e-31);
         let ev_nm2 = j_m2 / Q_E * 1e18;
         assert!((ev_nm2 - HBAR2_OVER_2M0).abs() < 1e-6);
     }
@@ -81,7 +81,7 @@ mod tests {
     fn eps0_in_device_units() {
         // ε0 = 8.8541878128e-12 F/m = C/(V·m); per nm and per elementary
         // charge: 8.854e-12 / 1.602e-19 * 1e-9 e/(V·nm).
-        let v = 8.854_187_8128e-12 / Q_E * 1e-9;
+        let v = 8.854_187_812_8e-12 / Q_E * 1e-9;
         assert!((v - EPS0).abs() < 1e-6);
     }
 }

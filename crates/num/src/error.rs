@@ -1,0 +1,317 @@
+//! Typed errors and recovery accounting for the whole solver stack.
+//!
+//! The production simulator sustains long sweeps precisely because a point
+//! failure — one singular pivot block, one non-converged lead at one energy
+//! — stays local to its (bias, k, E) task instead of aborting the job.
+//! [`OmenError`] is the typed currency every solver layer speaks, and
+//! [`SweepReport`] is the per-sweep ledger of what was solved, retried,
+//! recovered, or abandoned.
+
+use std::fmt;
+
+/// Result alias used across the solver stack.
+pub type OmenResult<T> = Result<T, OmenError>;
+
+/// Sentinel for "energy unknown at this layer" (filled in by the transport
+/// driver via [`OmenError::with_energy`]).
+pub const ENERGY_UNKNOWN: f64 = f64::NAN;
+
+/// Typed failure of any solver-stack operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OmenError {
+    /// A diagonal pivot block was singular to working precision (even after
+    /// any regularization the calling policy allowed).
+    SingularBlock {
+        /// Slab/block index in the block-tridiagonal system.
+        block: usize,
+        /// Energy (eV) of the transport point, `NaN` when not yet known.
+        energy: f64,
+        /// Pivot index inside the block where elimination broke down.
+        pivot: usize,
+        /// Magnitude of the failing pivot.
+        magnitude: f64,
+    },
+    /// Sancho–Rubio decimation did not converge within its iteration bound.
+    LeadNotConverged {
+        /// Energy (eV) at which the lead was evaluated.
+        energy: f64,
+        /// Iterations performed before giving up.
+        iters: usize,
+    },
+    /// Operands with incompatible shapes reached a kernel.
+    ShapeMismatch {
+        /// Which operation rejected its operands.
+        context: &'static str,
+        /// Expected (rows, cols).
+        expected: (usize, usize),
+        /// Received (rows, cols).
+        got: (usize, usize),
+    },
+    /// A rank of a distributed run failed (panic or error).
+    RankFailed {
+        /// Rank index in the world communicator.
+        rank: usize,
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// A rank-message payload could not be decoded.
+    Deserialize {
+        /// Which decoder rejected the payload.
+        context: &'static str,
+    },
+    /// A matrix entry falls outside the block-tridiagonal envelope of the
+    /// given slab partition (non-nearest-neighbor coupling).
+    InvalidPartition {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Slab containing the row.
+        slab_row: usize,
+        /// Slab containing the column.
+        slab_col: usize,
+    },
+}
+
+impl OmenError {
+    /// Fills in the energy on variants that carry one but were raised below
+    /// the layer that knows it (e.g. a singular block inside a solver).
+    #[must_use]
+    pub fn with_energy(self, e: f64) -> OmenError {
+        match self {
+            OmenError::SingularBlock {
+                block,
+                energy,
+                pivot,
+                magnitude,
+            } if energy.is_nan() => OmenError::SingularBlock {
+                block,
+                energy: e,
+                pivot,
+                magnitude,
+            },
+            other => other,
+        }
+    }
+
+    /// The energy this error is attached to, when known.
+    pub fn energy(&self) -> Option<f64> {
+        match self {
+            OmenError::SingularBlock { energy, .. }
+            | OmenError::LeadNotConverged { energy, .. }
+                if !energy.is_nan() =>
+            {
+                Some(*energy)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OmenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmenError::SingularBlock {
+                block,
+                energy,
+                pivot,
+                magnitude,
+            } => {
+                if energy.is_nan() {
+                    write!(
+                        f,
+                        "singular diagonal block {block} (pivot {pivot}, |p| = {magnitude:.3e})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "singular diagonal block {block} at E = {energy} eV \
+                         (pivot {pivot}, |p| = {magnitude:.3e})"
+                    )
+                }
+            }
+            OmenError::LeadNotConverged { energy, iters } => {
+                write!(
+                    f,
+                    "Sancho-Rubio lead not converged at E = {energy} eV after {iters} iterations"
+                )
+            }
+            OmenError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {}x{}, got {}x{}",
+                    expected.0, expected.1, got.0, got.1
+                )
+            }
+            OmenError::RankFailed { rank, detail } => {
+                write!(f, "rank {rank} failed: {detail}")
+            }
+            OmenError::Deserialize { context } => {
+                write!(f, "malformed rank-message payload in {context}")
+            }
+            OmenError::InvalidPartition {
+                row,
+                col,
+                slab_row,
+                slab_col,
+            } => {
+                write!(
+                    f,
+                    "entry ({row},{col}) spans non-adjacent slabs {slab_row},{slab_col}: \
+                     slab partition incompatible with nearest-neighbor coupling"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OmenError {}
+
+/// One abandoned point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedPoint {
+    /// Energy (eV) of the abandoned point (for bias sweeps, the bias value).
+    pub energy: f64,
+    /// Why it was abandoned.
+    pub error: OmenError,
+}
+
+/// Per-sweep fault ledger: how many points solved cleanly, how many retry
+/// attempts the recovery policies spent, how many points only succeeded
+/// because of a recovery, and which points were abandoned.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    /// Points solved (including recovered ones).
+    pub solved: usize,
+    /// Total recovery attempts spent across the sweep (pivot
+    /// regularizations, lead energy nudges).
+    pub retried: usize,
+    /// Points that succeeded only after at least one recovery attempt.
+    pub recovered: usize,
+    /// Points abandoned after recovery was exhausted.
+    pub failed: Vec<FailedPoint>,
+}
+
+impl SweepReport {
+    /// Records a point solved with `retries` recovery attempts.
+    pub fn record_solved(&mut self, retries: usize) {
+        self.solved += 1;
+        self.retried += retries;
+        if retries > 0 {
+            self.recovered += 1;
+        }
+    }
+
+    /// Records an abandoned point.
+    pub fn record_failed(&mut self, energy: f64, error: OmenError) {
+        self.failed.push(FailedPoint { energy, error });
+    }
+
+    /// Total points attempted.
+    pub fn attempted(&self) -> usize {
+        self.solved + self.failed.len()
+    }
+
+    /// True when every attempted point solved cleanly on the first try.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty() && self.retried == 0
+    }
+
+    /// Folds another report into this one (k-point / bias aggregation).
+    pub fn merge(&mut self, other: &SweepReport) {
+        self.solved += other.solved;
+        self.retried += other.retried;
+        self.recovered += other.recovered;
+        self.failed.extend(other.failed.iter().cloned());
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} solved ({} recovered, {} retries), {} failed",
+            self.solved,
+            self.recovered,
+            self.retried,
+            self.failed.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_energy_fills_only_unknown() {
+        let e = OmenError::SingularBlock {
+            block: 3,
+            energy: ENERGY_UNKNOWN,
+            pivot: 1,
+            magnitude: 0.0,
+        };
+        match e.with_energy(0.5) {
+            OmenError::SingularBlock { energy, .. } => assert_eq!(energy, 0.5),
+            _ => unreachable!(),
+        }
+        let known = OmenError::SingularBlock {
+            block: 3,
+            energy: 1.25,
+            pivot: 1,
+            magnitude: 0.0,
+        };
+        match known.with_energy(0.5) {
+            OmenError::SingularBlock { energy, .. } => assert_eq!(energy, 1.25),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn report_accounting() {
+        let mut r = SweepReport::default();
+        r.record_solved(0);
+        r.record_solved(2);
+        r.record_failed(
+            0.7,
+            OmenError::LeadNotConverged {
+                energy: 0.7,
+                iters: 200,
+            },
+        );
+        assert_eq!(r.solved, 2);
+        assert_eq!(r.retried, 2);
+        assert_eq!(r.recovered, 1);
+        assert_eq!(r.attempted(), 3);
+        assert!(!r.is_clean());
+
+        let mut total = SweepReport::default();
+        total.merge(&r);
+        total.merge(&r);
+        assert_eq!(total.solved, 4);
+        assert_eq!(total.failed.len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = OmenError::SingularBlock {
+            block: 2,
+            energy: 0.4,
+            pivot: 0,
+            magnitude: 1e-301,
+        };
+        assert!(e.to_string().contains("block 2"));
+        assert!(e.to_string().contains("0.4"));
+        let u = OmenError::SingularBlock {
+            block: 2,
+            energy: ENERGY_UNKNOWN,
+            pivot: 0,
+            magnitude: 0.0,
+        };
+        assert!(!u.to_string().contains("NaN"));
+    }
+}

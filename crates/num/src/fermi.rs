@@ -86,7 +86,10 @@ mod tests {
             let h = 1e-6;
             let fd = (fermi(e + h, mu, kt) - fermi(e - h, mu, kt)) / (2.0 * h);
             let an = dfermi_de(e, mu, kt);
-            assert!((fd - an).abs() < 1e-6 * (1.0 + an.abs()), "e={e}: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-6 * (1.0 + an.abs()),
+                "e={e}: {fd} vs {an}"
+            );
         }
     }
 

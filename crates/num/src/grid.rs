@@ -23,13 +23,18 @@ pub struct AdaptiveGrid {
 impl AdaptiveGrid {
     /// Starts from a uniform grid of `n` points on `[a, b]`.
     pub fn uniform(a: f64, b: f64, n: usize) -> Self {
-        AdaptiveGrid { points: linspace(a, b, n) }
+        AdaptiveGrid {
+            points: linspace(a, b, n),
+        }
     }
 
     /// Starts from an existing strictly sorted point set.
     pub fn from_points(points: Vec<f64>) -> Self {
         assert!(points.len() >= 2, "need at least two points");
-        assert!(points.windows(2).all(|w| w[0] < w[1]), "points must be strictly sorted");
+        assert!(
+            points.windows(2).all(|w| w[0] < w[1]),
+            "points must be strictly sorted"
+        );
         AdaptiveGrid { points }
     }
 
@@ -72,14 +77,14 @@ impl AdaptiveGrid {
         }
         let mut new_points = Vec::with_capacity(self.points.len() + split.len());
         let mut inserted = Vec::new();
-        for i in 0..self.points.len() - 1 {
+        for (i, &split_here) in split.iter().enumerate() {
             new_points.push(self.points[i]);
-            if split[i] {
+            if split_here {
                 inserted.push(new_points.len());
                 new_points.push(0.5 * (self.points[i] + self.points[i + 1]));
             }
         }
-        new_points.push(*self.points.last().unwrap());
+        new_points.push(self.points[self.points.len() - 1]);
         self.points = new_points;
         inserted
     }
@@ -106,12 +111,19 @@ mod tests {
     fn refine_flags_sharp_feature() {
         let mut g = AdaptiveGrid::uniform(0.0, 1.0, 11);
         // A sharp Lorentzian at x = 0.5 needs refinement there.
-        let f: Vec<f64> = g.points().iter().map(|&x| 1.0 / ((x - 0.5).powi(2) + 1e-3)).collect();
+        let f: Vec<f64> = g
+            .points()
+            .iter()
+            .map(|&x| 1.0 / ((x - 0.5).powi(2) + 1e-3))
+            .collect();
         let inserted = g.refine(&f, 1e-2);
         assert!(!inserted.is_empty());
         // All inserted points should be near the peak region, grid stays sorted.
         let pts = g.points().to_vec();
-        assert!(pts.windows(2).all(|w| w[0] < w[1]), "grid stays strictly sorted");
+        assert!(
+            pts.windows(2).all(|w| w[0] < w[1]),
+            "grid stays strictly sorted"
+        );
     }
 
     #[test]

@@ -12,12 +12,14 @@
 
 pub mod complex;
 pub mod constants;
+pub mod error;
 pub mod fermi;
 pub mod grid;
 pub mod quad;
 
 pub use complex::c64;
 pub use constants::*;
+pub use error::{FailedPoint, OmenError, OmenResult, SweepReport, ENERGY_UNKNOWN};
 pub use fermi::{dfermi_de, fermi, log1p_exp};
 pub use grid::linspace;
 pub use quad::{adaptive_simpson, trapezoid};

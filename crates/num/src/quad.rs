@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn trapezoid_nonuniform_grid() {
         let x = vec![0.0, 0.1, 0.5, 1.0];
-        let f: Vec<f64> = x.iter().map(|&v| v).collect();
+        let f: Vec<f64> = x.to_vec();
         assert!((trapezoid(&x, &f) - 0.5).abs() < 1e-14);
     }
 

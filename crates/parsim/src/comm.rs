@@ -27,7 +27,13 @@ impl<'a> Comm<'a> {
     pub fn world(ctx: &'a RankCtx) -> Comm<'a> {
         let members: Vec<usize> = (0..ctx.size()).collect();
         let my_index = ctx.rank();
-        Comm { ctx, members, my_index, comm_id: 1, op_counter: RefCell::new(0) }
+        Comm {
+            ctx,
+            members,
+            my_index,
+            comm_id: 1,
+            op_counter: RefCell::new(0),
+        }
     }
 
     /// Local rank within this communicator.
@@ -65,6 +71,18 @@ impl<'a> Comm<'a> {
         self.ctx.recv_internal(self.members[from_local], t)
     }
 
+    /// Received-but-unconsumed messages in this rank's out-of-order buffer
+    /// (world-wide, not per-communicator). See [`RankCtx::pending_messages`].
+    pub fn pending_messages(&self) -> usize {
+        self.ctx.pending_messages()
+    }
+
+    /// Point-to-point subset of [`Self::pending_messages`] (messages from
+    /// in-flight collectives of faster ranks excluded).
+    pub fn pending_p2p_messages(&self) -> usize {
+        self.ctx.pending_p2p_messages()
+    }
+
     /// Allreduce (sum) over this communicator.
     pub fn allreduce_sum(&self, x: &[f64]) -> Vec<f64> {
         let tag = self.next_tag();
@@ -77,7 +95,8 @@ impl<'a> Comm<'a> {
                 }
             }
             for i in 1..self.size() {
-                self.ctx.send_internal(self.members[i], tag, encode_f64s(&acc));
+                self.ctx
+                    .send_internal(self.members[i], tag, encode_f64s(&acc));
             }
             acc
         } else {
@@ -107,9 +126,9 @@ impl<'a> Comm<'a> {
         if self.my_index == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = data;
-            for i in 0..self.size() {
+            for (i, slot) in out.iter_mut().enumerate() {
                 if i != root {
-                    out[i] = self.ctx.recv_internal(self.members[i], tag);
+                    *slot = self.ctx.recv_internal(self.members[i], tag);
                 }
             }
             Some(out)
@@ -139,8 +158,11 @@ impl<'a> Comm<'a> {
             .collect();
         triples.sort_by_key(|&(c, k, g)| (c, k, g));
 
-        let members: Vec<usize> =
-            triples.iter().filter(|&&(c, _, _)| c == color).map(|&(_, _, g)| g).collect();
+        let members: Vec<usize> = triples
+            .iter()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, _, g)| g)
+            .collect();
         let my_index = members
             .iter()
             .position(|&g| g == self.ctx.rank())
@@ -151,7 +173,13 @@ impl<'a> Comm<'a> {
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(color.wrapping_add(1) * 0x85EB_CA6B))
             & 0x7FFF_FFFF;
-        Comm { ctx: self.ctx, members, my_index, comm_id, op_counter: RefCell::new(0) }
+        Comm {
+            ctx: self.ctx,
+            members,
+            my_index,
+            comm_id,
+            op_counter: RefCell::new(0),
+        }
     }
 }
 
@@ -166,7 +194,7 @@ mod tests {
             let w = Comm::world(ctx);
             (w.rank(), w.size())
         });
-        for (r, &(wr, ws)) in out.results.iter().enumerate() {
+        for (r, (wr, ws)) in out.unwrap_all().into_iter().enumerate() {
             assert_eq!((wr, ws), (r, 4));
         }
     }
@@ -182,8 +210,12 @@ mod tests {
             let s = sub.allreduce_sum(&[ctx.rank() as f64]);
             s[0]
         });
-        for (r, &v) in out.results.iter().enumerate() {
-            let expect = if r % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+        for (r, v) in out.unwrap_all().into_iter().enumerate() {
+            let expect = if r % 2 == 0 {
+                0.0 + 2.0 + 4.0
+            } else {
+                1.0 + 3.0 + 5.0
+            };
             assert_eq!(v, expect, "rank {r}");
         }
     }
@@ -201,7 +233,7 @@ mod tests {
             let s = level2.allreduce_sum(&[1.0]);
             s[0]
         });
-        assert!(out.results.iter().all(|&v| v == 2.0));
+        assert!(out.unwrap_all().iter().all(|&v| v == 2.0));
     }
 
     #[test]
@@ -218,7 +250,7 @@ mod tests {
             }
             data[0] as usize
         });
-        assert_eq!(out.results, vec![0, 0, 2, 2]);
+        assert_eq!(out.unwrap_all(), vec![0, 0, 2, 2]);
     }
 
     #[test]
@@ -237,9 +269,10 @@ mod tests {
         // Group evens: ranks 0,2 → sum per step = (0+i)+(2+i) = 2+2i.
         let even: f64 = (0..50).map(|i| 2.0 + 2.0 * i as f64).sum();
         let odd: f64 = (0..50).map(|i| 4.0 + 2.0 * i as f64).sum();
-        assert_eq!(out.results[0], even);
-        assert_eq!(out.results[2], even);
-        assert_eq!(out.results[1], odd);
-        assert_eq!(out.results[3], odd);
+        let results = out.unwrap_all();
+        assert_eq!(results[0], even);
+        assert_eq!(results[2], even);
+        assert_eq!(results[1], odd);
+        assert_eq!(results[3], odd);
     }
 }

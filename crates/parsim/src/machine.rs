@@ -171,6 +171,9 @@ mod tests {
         // lands at ≈1.44 PFlop/s.
         let m = MachineModel::jaguar_xt5();
         let sustained = m.peak_flops() * m.gemm_efficiency * 0.86;
-        assert!((sustained / 1e15 - 1.44).abs() < 0.05, "sustained {sustained:e}");
+        assert!(
+            (sustained / 1e15 - 1.44).abs() < 0.05,
+            "sustained {sustained:e}"
+        );
     }
 }

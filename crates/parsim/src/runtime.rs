@@ -6,11 +6,20 @@
 //! out-of-order buffer, so the semantics match `MPI_Recv` with explicit
 //! source and tag. Collectives are built from point-to-point operations so
 //! their traffic is *executed*, not modeled.
+//!
+//! Fault containment: a panic inside one rank's closure is caught on that
+//! rank's thread and surfaced as `Err(OmenError::RankFailed)` in
+//! [`RunOutput::results`] — the other ranks and the calling process keep
+//! running. Receives carry a generous timeout so a peer's death converts a
+//! would-be deadlock into a bounded, attributable failure.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use omen_num::{OmenError, OmenResult};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Barrier;
+use std::time::Duration;
 
 /// One message between ranks.
 struct Msg {
@@ -18,6 +27,13 @@ struct Msg {
     tag: u64,
     data: Vec<u8>,
 }
+
+/// Upper bound on how long a blocking receive waits for a matching message.
+/// Ranks share one process, so any legitimate message arrives in micro- to
+/// milliseconds; hitting this bound means the sending rank died or the
+/// communication schedule diverged, and the receive fails loudly (captured
+/// per-rank by [`run_ranks`]) instead of deadlocking the job.
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Per-rank communication counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -44,6 +60,9 @@ impl CommStats {
     }
 }
 
+/// Out-of-order receive buffer keyed by `(source rank, tag)`.
+type PendingMsgs = HashMap<(usize, u64), VecDeque<Vec<u8>>>;
+
 /// The execution context handed to each rank's closure.
 pub struct RankCtx {
     rank: usize,
@@ -52,7 +71,7 @@ pub struct RankCtx {
     receiver: Receiver<Msg>,
     barrier: std::sync::Arc<Barrier>,
     // Out-of-order buffer: messages that arrived before being asked for.
-    pending: RefCell<HashMap<(usize, u64), VecDeque<Vec<u8>>>>,
+    pending: RefCell<PendingMsgs>,
     stats: RefCell<CommStats>,
     // Monotone counter namespacing world-collective tags.
     op_counter: RefCell<u64>,
@@ -78,6 +97,28 @@ impl RankCtx {
         *self.stats.borrow()
     }
 
+    /// Number of received-but-unconsumed messages sitting in the
+    /// out-of-order buffer. A correct SPMD protocol drains to zero at its
+    /// synchronization points; a nonzero value after a solve indicates a
+    /// leaked (e.g. duplicated) send.
+    pub fn pending_messages(&self) -> usize {
+        self.pending.borrow().values().map(|q| q.len()).sum()
+    }
+
+    /// Like [`Self::pending_messages`], restricted to point-to-point
+    /// traffic (collective-internal messages excluded). Collective
+    /// payloads from ranks running ahead of this one may legitimately sit
+    /// in the buffer at a solver's drain point; leaked point-to-point
+    /// sends may not.
+    pub fn pending_p2p_messages(&self) -> usize {
+        self.pending
+            .borrow()
+            .iter()
+            .filter(|((_, tag), _)| tag & COLLECTIVE_TAG_BASE == 0)
+            .map(|(_, q)| q.len())
+            .sum()
+    }
+
     /// Sends `data` to rank `to` with a user `tag` (must be < 2⁶³).
     pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below 2^63");
@@ -91,9 +132,14 @@ impl RankCtx {
             s.messages_sent += 1;
             s.bytes_sent += data.len() as u64;
         }
-        self.senders[to]
-            .send(Msg { from: self.rank, tag, data })
-            .expect("receiver thread terminated early");
+        // A send can only fail when the destination rank already died (its
+        // receiver dropped). The peer's failure is reported by run_ranks;
+        // aborting this rank too would just obscure the root cause.
+        let _ = self.senders[to].send(Msg {
+            from: self.rank,
+            tag,
+            data,
+        });
     }
 
     /// Blocking receive of the next message from `from` with `tag`.
@@ -109,7 +155,18 @@ impl RankCtx {
             }
         }
         loop {
-            let msg = self.receiver.recv().expect("all senders dropped while receiving");
+            let msg = match self.receiver.recv_timeout(RECV_TIMEOUT) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {} recv(from = {from}, tag = {tag:#x}) timed out after {}s \
+                     (peer dead or schedule divergence)",
+                    self.rank,
+                    RECV_TIMEOUT.as_secs()
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {} channel closed while receiving", self.rank)
+                }
+            };
             if msg.from == from && msg.tag == tag {
                 return msg.data;
             }
@@ -178,9 +235,9 @@ impl RankCtx {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size];
             out[root] = data;
-            for r in 0..self.size {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
-                    out[r] = self.recv_internal(r, tag);
+                    *slot = self.recv_internal(r, tag);
                 }
             }
             Some(out)
@@ -200,23 +257,78 @@ impl RankCtx {
 
 /// Result of a rank-parallel run.
 pub struct RunOutput<R> {
-    /// Per-rank closure results, indexed by rank.
-    pub results: Vec<R>,
-    /// Per-rank communication counters.
+    /// Per-rank closure results, indexed by rank. A rank that panicked or
+    /// whose receive timed out yields `Err(OmenError::RankFailed)` here;
+    /// the other ranks' results are still delivered.
+    pub results: Vec<OmenResult<R>>,
+    /// Per-rank communication counters (zeroed for failed ranks).
     pub stats: Vec<CommStats>,
 }
 
 impl<R> RunOutput<R> {
     /// Aggregate communication counters over all ranks.
     pub fn total_stats(&self) -> CommStats {
-        self.stats.iter().fold(CommStats::default(), |a, b| a.merged(b))
+        self.stats
+            .iter()
+            .fold(CommStats::default(), |a, b| a.merged(b))
+    }
+
+    /// The first failed rank, if any.
+    pub fn first_error(&self) -> Option<&OmenError> {
+        self.results.iter().find_map(|r| r.as_ref().err())
+    }
+
+    /// Unwraps every rank's result, panicking with the first failure's
+    /// message. Convenience for callers (tests, benches) where any rank
+    /// failure is a bug in the calling protocol.
+    pub fn unwrap_all(self) -> Vec<R> {
+        self.results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(e) => panic!("{e}"),
+            })
+            .collect()
     }
 }
 
-/// Runs `f` on `n` ranks (threads) and collects results and comm counters.
+impl<R> RunOutput<OmenResult<R>> {
+    /// Collapses `Ok(Err(e))` (the closure itself returned an error) into
+    /// `Err(e)`, merging closure-level and runtime-level failures into one
+    /// per-rank `OmenResult`.
+    pub fn flattened(self) -> RunOutput<R> {
+        RunOutput {
+            results: self
+                .results
+                .into_iter()
+                .map(|r| r.and_then(|inner| inner))
+                .collect(),
+            stats: self.stats,
+        }
+    }
+}
+
+fn panic_detail(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs `f` on `n` ranks (threads) and collects per-rank results and comm
+/// counters.
 ///
 /// The closure receives this rank's [`RankCtx`]; it must follow SPMD
 /// collective ordering (all ranks call collectives in the same sequence).
+/// A panic inside one rank is caught on that rank's thread and reported as
+/// `Err(OmenError::RankFailed { rank, .. })` in the output — it does not
+/// tear down the process or the surviving ranks. Note that a rank waiting
+/// on a dead peer fails via the receive timeout, while one blocked in
+/// [`RankCtx::barrier`] cannot be released early; barrier-free protocols
+/// (all solver traffic here) degrade gracefully.
 pub fn run_ranks<R, F>(n: usize, f: F) -> RunOutput<R>
 where
     R: Send,
@@ -226,20 +338,20 @@ where
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (s, r) = unbounded::<Msg>();
+        let (s, r) = channel::<Msg>();
         senders.push(s);
         receivers.push(r);
     }
     let barrier = std::sync::Arc::new(Barrier::new(n));
 
-    let mut out: Vec<Option<(R, CommStats)>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    let mut out: Vec<Option<(OmenResult<R>, CommStats)>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (rank, receiver) in receivers.into_iter().enumerate() {
             let senders = senders.clone();
             let barrier = barrier.clone();
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let ctx = RankCtx {
                     rank,
                     size: n,
@@ -250,21 +362,46 @@ where
                     stats: RefCell::new(CommStats::default()),
                     op_counter: RefCell::new(0),
                 };
-                let r = f(&ctx);
-                let s = ctx.stats();
-                (r, s)
+                match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    Ok(r) => (Ok(r), ctx.stats()),
+                    Err(p) => (
+                        Err(OmenError::RankFailed {
+                            rank,
+                            detail: panic_detail(p),
+                        }),
+                        CommStats::default(),
+                    ),
+                }
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
-            out[rank] = Some(h.join().expect("rank thread panicked"));
+            // The closure result is pre-caught above; join itself can only
+            // fail on runtime-internal corruption.
+            out[rank] = Some(match h.join() {
+                Ok(pair) => pair,
+                Err(p) => (
+                    Err(OmenError::RankFailed {
+                        rank,
+                        detail: panic_detail(p),
+                    }),
+                    CommStats::default(),
+                ),
+            });
         }
-    })
-    .expect("rank scope failed");
+    });
 
     let mut results = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
-    for slot in out {
-        let (r, s) = slot.expect("missing rank result");
+    for (rank, slot) in out.into_iter().enumerate() {
+        let (r, s) = slot.unwrap_or_else(|| {
+            (
+                Err(OmenError::RankFailed {
+                    rank,
+                    detail: "rank produced no result".into(),
+                }),
+                CommStats::default(),
+            )
+        });
         results.push(r);
         stats.push(s);
     }
@@ -283,7 +420,13 @@ pub fn encode_f64s(x: &[f64]) -> Vec<u8> {
 /// Decodes little-endian bytes into `f64`s.
 pub fn decode_f64s(b: &[u8]) -> Vec<f64> {
     assert_eq!(b.len() % 8, 0, "payload not a multiple of 8 bytes");
-    b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    b.chunks_exact(8)
+        .map(|c| {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(c);
+            f64::from_le_bytes(bytes)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -300,12 +443,13 @@ mod tests {
             let got = decode_f64s(&ctx.recv(prev, 7));
             got[0]
         });
-        for (rank, &v) in out.results.iter().enumerate() {
+        let total = out.total_stats();
+        for (rank, v) in out.unwrap_all().into_iter().enumerate() {
             let prev = (rank + n - 1) % n;
             assert_eq!(v, prev as f64);
         }
-        assert_eq!(out.total_stats().messages_sent, n as u64);
-        assert_eq!(out.total_stats().bytes_sent, 8 * n as u64);
+        assert_eq!(total.messages_sent, n as u64);
+        assert_eq!(total.bytes_sent, 8 * n as u64);
     }
 
     #[test]
@@ -316,7 +460,7 @@ mod tests {
             ctx.allreduce_sum(&mine)
         });
         let expect = [10.0, 5.0, -5.0];
-        for r in &out.results {
+        for r in out.unwrap_all() {
             for (a, b) in r.iter().zip(expect) {
                 assert!((a - b).abs() < 1e-12);
             }
@@ -326,7 +470,14 @@ mod tests {
     #[test]
     fn bcast_and_gather() {
         let out = run_ranks(4, |ctx| {
-            let data = ctx.bcast(2, if ctx.rank() == 2 { vec![42, 43] } else { vec![] });
+            let data = ctx.bcast(
+                2,
+                if ctx.rank() == 2 {
+                    vec![42, 43]
+                } else {
+                    vec![]
+                },
+            );
             assert_eq!(data, vec![42, 43]);
             let g = ctx.gather(0, vec![ctx.rank() as u8]);
             if ctx.rank() == 0 {
@@ -338,7 +489,7 @@ mod tests {
                 0
             }
         });
-        assert_eq!(out.results.iter().sum::<i32>(), 1);
+        assert_eq!(out.unwrap_all().iter().sum::<i32>(), 1);
     }
 
     #[test]
@@ -354,10 +505,11 @@ mod tests {
                 let a = ctx.recv(0, 1);
                 let b = ctx.recv(0, 2);
                 assert_eq!((a, b), (vec![1], vec![2]));
+                assert_eq!(ctx.pending_messages(), 0, "buffer drained after both recvs");
                 1
             }
         });
-        assert_eq!(out.results, vec![0, 1]);
+        assert_eq!(out.unwrap_all(), vec![0, 1]);
     }
 
     #[test]
@@ -382,12 +534,55 @@ mod tests {
             assert_eq!(b, vec![9]);
             7u8
         });
-        assert_eq!(out.results, vec![7]);
+        assert_eq!(out.unwrap_all(), vec![7]);
     }
 
     #[test]
     fn encode_decode_roundtrip() {
         let x = vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
         assert_eq!(decode_f64s(&encode_f64s(&x)), x);
+    }
+
+    #[test]
+    fn rank_panic_is_captured_not_fatal() {
+        let out = run_ranks(3, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("deliberate failure on rank 1");
+            }
+            ctx.rank() * 10
+        });
+        assert!(out.results[0].is_ok());
+        assert!(out.results[2].is_ok());
+        match &out.results[1] {
+            Err(OmenError::RankFailed { rank, detail }) => {
+                assert_eq!(*rank, 1);
+                assert!(detail.contains("deliberate failure"));
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+        assert!(out.first_error().is_some());
+    }
+
+    #[test]
+    fn closure_level_errors_flatten() {
+        let out = run_ranks(2, |ctx| -> OmenResult<usize> {
+            if ctx.rank() == 0 {
+                Err(OmenError::LeadNotConverged {
+                    energy: 0.25,
+                    iters: 200,
+                })
+            } else {
+                Ok(99)
+            }
+        })
+        .flattened();
+        assert_eq!(
+            out.results[0],
+            Err(OmenError::LeadNotConverged {
+                energy: 0.25,
+                iters: 200
+            })
+        );
+        assert_eq!(out.results[1], Ok(99));
     }
 }

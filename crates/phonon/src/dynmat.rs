@@ -93,9 +93,9 @@ impl PhononSystem {
         let mut coo = Coo::new(dim, dim);
         let w = EV_NM2_AMU_TO_RADPS2 / model.mass_amu;
         for (&(i, j), blk) in &phi {
-            for a in 0..3 {
-                for b in 0..3 {
-                    let v = blk[a][b] * w;
+            for (a, row) in blk.iter().enumerate() {
+                for (b, &fc) in row.iter().enumerate() {
+                    let v = fc * w;
                     if v != 0.0 {
                         coo.push(3 * i + a, 3 * j + b, c64::real(v));
                     }
@@ -103,7 +103,8 @@ impl PhononSystem {
             }
         }
         let offsets: Vec<usize> = device.slab_offsets().iter().map(|&o| 3 * o).collect();
-        let full = BlockTridiag::from_csr(&coo.to_csr(), &offsets);
+        let full = BlockTridiag::from_csr(&coo.to_csr(), &offsets)
+            .expect("nearest-neighbor force constants stay inside the slab partition");
 
         let nb = full.num_blocks();
         // Interior transport region: slabs 1..nb-1.
@@ -128,7 +129,12 @@ impl PhononSystem {
             let top_pi = eigh_values(&probe_pi).last().copied().unwrap_or(0.0);
             top.max(top_pi).max(0.0).sqrt() * 1.05
         };
-        PhononSystem { d, d00, d01, omega_max }
+        PhononSystem {
+            d,
+            d00,
+            d01,
+            omega_max,
+        }
     }
 }
 
@@ -189,10 +195,14 @@ mod tests {
         let w = &bands[0];
         // A free-standing wire has 4 zero modes at q = 0: three rigid
         // translations and the axial torsion.
-        for k in 0..3 {
-            assert!(w[k] < 0.5, "acoustic mode {k} must vanish at Γ: ω = {}", w[k]);
+        for (k, &wk) in w.iter().enumerate().take(3) {
+            assert!(wk < 0.5, "acoustic mode {k} must vanish at Γ: ω = {wk}");
         }
-        assert!(w[4] > 1.0, "optical-like modes must be gapped at Γ: {}", w[4]);
+        assert!(
+            w[4] > 1.0,
+            "optical-like modes must be gapped at Γ: {}",
+            w[4]
+        );
         // All frequencies real (ω² ≥ −tiny).
         assert!(w.iter().all(|&v| v >= 0.0));
     }
@@ -212,7 +222,10 @@ mod tests {
         // the same decade.
         let delta = A_SI;
         let v = bands[0][3] * delta / qs[0];
-        assert!((2.0..14.0).contains(&v), "sound velocity {v} km/s out of range");
+        assert!(
+            (2.0..14.0).contains(&v),
+            "sound velocity {v} km/s out of range"
+        );
         // Flexural branches: sublinear (quadratic) scaling.
         if bands[0][0] > 1e-6 {
             let rf = bands[1][0] / bands[0][0];

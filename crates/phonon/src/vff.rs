@@ -77,7 +77,11 @@ impl<'d> VffSystem<'d> {
             neighbors[b.i].push((b.j, b.delta));
             neighbors[b.j].push((b.i, -b.delta));
         }
-        VffSystem { device, model, neighbors }
+        VffSystem {
+            device,
+            model,
+            neighbors,
+        }
     }
 
     /// The underlying device.
@@ -137,7 +141,7 @@ impl<'d> VffSystem<'d> {
             let s = r.dot(r) - d2;
             let g = r * (4.0 * ka * s);
             f[b.j] = f[b.j] - g;
-            f[b.i] = f[b.i] + g;
+            f[b.i] += g;
         }
         // Bond bending: term kb (r1·r2 + d²/3)², with r1 = r_j − r_i, r2 =
         // r_k − r_i. ∂/∂r1 = 2 kb s r2 (chain: +j, −i), ∂/∂r2 = 2 kb s r1.
@@ -238,7 +242,7 @@ mod tests {
         let total = f.iter().fold(Vec3::ZERO, |a, &b| a + b);
         assert!(total.norm() < 1e-9, "net force must vanish: {total:?}");
         let e0 = sys.energy(&u);
-        assert!(e0 >= 0.0 && e0 < 0.1, "near-equilibrium energy: {e0}");
+        assert!((0.0..0.1).contains(&e0), "near-equilibrium energy: {e0}");
     }
 
     #[test]

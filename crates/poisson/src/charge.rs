@@ -124,7 +124,10 @@ mod tests {
             // Boltzmann closed form with our sign convention: the potential
             // where n − p = doping; check residual charge is ≪ |doping|.
             let res = si.rho(v, mu, doping).abs();
-            assert!(res < 0.05 * doping.abs(), "doping {doping}: residual {res:.3e} at V={v:.3}");
+            assert!(
+                res < 0.05 * doping.abs(),
+                "doping {doping}: residual {res:.3e} at V={v:.3}"
+            );
         }
     }
 
@@ -137,6 +140,9 @@ mod tests {
         let an = si.drho_dv(v, mu);
         // Boltzmann-limit Jacobian: same sign, right order of magnitude.
         assert!(an < 0.0 && fd < 0.0);
-        assert!((an / fd) > 0.3 && (an / fd) < 3.0, "an={an:.3e} fd={fd:.3e}");
+        assert!(
+            (an / fd) > 0.3 && (an / fd) < 3.0,
+            "an={an:.3e} fd={fd:.3e}"
+        );
     }
 }

@@ -28,7 +28,13 @@ impl Grid3 {
         let nz = (extents.z / h).round().max(1.0) as usize + 1;
         // Use the x-fit spacing; device boxes are chosen h-commensurate.
         let h = extents.x / (nx - 1) as f64;
-        Grid3 { nx, ny, nz, h, origin }
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            h,
+            origin,
+        }
     }
 
     /// Total node count.
@@ -159,10 +165,10 @@ mod tests {
         let g = grid();
         // field f = 2x - y + 3z + 1 at nodes.
         let mut f = vec![0.0; g.len()];
-        for n in 0..g.len() {
+        for (n, fn_) in f.iter_mut().enumerate() {
             let (i, j, k) = g.coords(n);
             let p = g.pos(i, j, k);
-            f[n] = 2.0 * p.x - p.y + 3.0 * p.z + 1.0;
+            *fn_ = 2.0 * p.x - p.y + 3.0 * p.z + 1.0;
         }
         let pts = vec![Vec3::new(0.3, 1.7, 0.9), Vec3::new(1.99, 0.01, 1.5)];
         let got = g.sample(&f, &pts);
@@ -177,6 +183,9 @@ mod tests {
         let g = grid();
         let rho = g.deposit(&[Vec3::new(-5.0, 10.0, 1.0)], &[2.0]);
         let total: f64 = rho.iter().sum::<f64>() * g.h.powi(3);
-        assert!((total - 2.0).abs() < 1e-12, "clamped deposit still conserves");
+        assert!(
+            (total - 2.0).abs() < 1e-12,
+            "clamped deposit still conserves"
+        );
     }
 }

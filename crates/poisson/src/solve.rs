@@ -127,9 +127,9 @@ impl PoissonProblem {
         // Unknown numbering over non-Dirichlet nodes.
         let mut unknown_of = vec![usize::MAX; n_nodes];
         let mut nodes_of = Vec::new();
-        for n in 0..n_nodes {
+        for (n, slot) in unknown_of.iter_mut().enumerate() {
             if !matches!(self.cells[n], CellKind::Dirichlet { .. }) {
-                unknown_of[n] = nodes_of.len();
+                *slot = nodes_of.len();
                 nodes_of.push(n);
             }
         }
@@ -143,9 +143,9 @@ impl PoissonProblem {
             }
             None => vec![0.0; n_nodes],
         };
-        for n in 0..n_nodes {
-            if let CellKind::Dirichlet { v: vd } = self.cells[n] {
-                v[n] = vd;
+        for (vn, cell) in v.iter_mut().zip(&self.cells) {
+            if let CellKind::Dirichlet { v: vd } = cell {
+                *vn = *vd;
             }
         }
 
@@ -192,7 +192,11 @@ impl PoissonProblem {
             // problem still converges in one iteration when the step is
             // moderate). Damping only engages for multi-iteration solves.
             let raw_max = delta.iter().fold(0.0f64, |m, d| m.max(d.abs()));
-            let scale = if max_outer > 1 && raw_max > 0.5 { 0.5 / raw_max } else { 1.0 };
+            let scale = if max_outer > 1 && raw_max > 0.5 {
+                0.5 / raw_max
+            } else {
+                1.0
+            };
             for (u, &n) in nodes_of.iter().enumerate() {
                 v[n] += scale * delta[u];
             }
@@ -200,7 +204,12 @@ impl PoissonProblem {
             last_update = upd;
             cg_x0 = Some(vec![0.0; n_unknowns]);
             if upd < tol {
-                return PoissonSolution { v, iterations: outer, residual: upd, converged: true };
+                return PoissonSolution {
+                    v,
+                    iterations: outer,
+                    residual: upd,
+                    converged: true,
+                };
             }
         }
         PoissonSolution {
@@ -309,7 +318,11 @@ mod tests {
         // Field in left region vs right region.
         let e_left = v[p.grid.idx(3, 0, 0)] - v[p.grid.idx(2, 0, 0)];
         let e_right = v[p.grid.idx(17, 0, 0)] - v[p.grid.idx(16, 0, 0)];
-        assert!((e_left / e_right - 4.0).abs() < 0.05, "ratio {}", e_left / e_right);
+        assert!(
+            (e_left / e_right - 4.0).abs() < 0.05,
+            "ratio {}",
+            e_left / e_right
+        );
     }
 
     #[test]
@@ -321,7 +334,13 @@ mod tests {
         let vn = si.neutral_potential(0.0, doping);
         let nx = 15;
         let h = 0.5;
-        let grid = Grid3 { nx, ny: 2, nz: 2, h, origin: Vec3::ZERO };
+        let grid = Grid3 {
+            nx,
+            ny: 2,
+            nz: 2,
+            h,
+            origin: Vec3::ZERO,
+        };
         let mut cells = vec![CellKind::Semiconductor { doping }; grid.len()];
         for j in 0..2 {
             for k in 0..2 {
@@ -331,9 +350,17 @@ mod tests {
         }
         let p = PoissonProblem::new(grid, cells, si);
         let sol = p.solve_semiclassical(0.0, 1e-8, 50);
-        assert!(sol.converged, "iterations {} residual {}", sol.iterations, sol.residual);
+        assert!(
+            sol.converged,
+            "iterations {} residual {}",
+            sol.iterations, sol.residual
+        );
         for n in 0..p.grid.len() {
-            assert!((sol.v[n] - vn).abs() < 1e-3, "node {n}: {} vs neutral {vn}", sol.v[n]);
+            assert!(
+                (sol.v[n] - vn).abs() < 1e-3,
+                "node {n}: {} vs neutral {vn}",
+                sol.v[n]
+            );
         }
     }
 
@@ -345,7 +372,13 @@ mod tests {
         let doping = 5e-4;
         let vn = si.neutral_potential(0.0, doping);
         let nx = 17;
-        let grid = Grid3 { nx, ny: 2, nz: 2, h: 0.5, origin: Vec3::ZERO };
+        let grid = Grid3 {
+            nx,
+            ny: 2,
+            nz: 2,
+            h: 0.5,
+            origin: Vec3::ZERO,
+        };
         let mut cells = vec![CellKind::Semiconductor { doping }; grid.len()];
         for j in 0..2 {
             for k in 0..2 {

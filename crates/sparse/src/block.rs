@@ -16,7 +16,7 @@
 //! slabs of a nanowire carry fewer atoms).
 
 use omen_linalg::ZMat;
-use omen_num::c64;
+use omen_num::{c64, OmenError, OmenResult};
 
 /// A square block-tridiagonal complex matrix.
 #[derive(Clone)]
@@ -126,19 +126,22 @@ impl BlockTridiag {
     }
 
     /// Extracts a block-tridiagonal structure from a CSR matrix given slab
-    /// boundaries (`offsets[i]..offsets[i+1]` is slab `i`). Panics when the
-    /// CSR has entries outside the block-tridiagonal envelope — that means
-    /// the slab partition is invalid for nearest-neighbor coupling.
-    pub fn from_csr(csr: &crate::csr::CsrC, offsets: &[usize]) -> Self {
+    /// boundaries (`offsets[i]..offsets[i+1]` is slab `i`). Returns
+    /// [`OmenError::InvalidPartition`] when the CSR has entries outside the
+    /// block-tridiagonal envelope — that means the slab partition is
+    /// invalid for nearest-neighbor coupling.
+    pub fn from_csr(csr: &crate::csr::CsrC, offsets: &[usize]) -> OmenResult<Self> {
         let nb = offsets.len() - 1;
         assert!(nb > 0);
-        assert_eq!(*offsets.last().unwrap(), csr.nrows(), "offsets must cover the matrix");
+        assert_eq!(offsets[nb], csr.nrows(), "offsets must cover the matrix");
         let sizes: Vec<usize> = (0..nb).map(|i| offsets[i + 1] - offsets[i]).collect();
         let mut diag: Vec<ZMat> = sizes.iter().map(|&s| ZMat::zeros(s, s)).collect();
-        let mut lower: Vec<ZMat> =
-            (0..nb - 1).map(|i| ZMat::zeros(sizes[i + 1], sizes[i])).collect();
-        let mut upper: Vec<ZMat> =
-            (0..nb - 1).map(|i| ZMat::zeros(sizes[i], sizes[i + 1])).collect();
+        let mut lower: Vec<ZMat> = (0..nb - 1)
+            .map(|i| ZMat::zeros(sizes[i + 1], sizes[i]))
+            .collect();
+        let mut upper: Vec<ZMat> = (0..nb - 1)
+            .map(|i| ZMat::zeros(sizes[i], sizes[i + 1]))
+            .collect();
 
         let slab_of = |row: usize| -> usize {
             match offsets.binary_search(&row) {
@@ -159,14 +162,16 @@ impl BlockTridiag {
                 } else if bi == bj + 1 {
                     lower[bj][(ri, rj)] = v;
                 } else {
-                    panic!(
-                        "entry ({i},{j}) spans non-adjacent slabs {bi},{bj}: slab partition \
-                         incompatible with nearest-neighbor coupling"
-                    );
+                    return Err(OmenError::InvalidPartition {
+                        row: i,
+                        col: j,
+                        slab_row: bi,
+                        slab_col: bj,
+                    });
                 }
             }
         }
-        BlockTridiag::new(diag, lower, upper)
+        Ok(BlockTridiag::new(diag, lower, upper))
     }
 }
 
@@ -181,13 +186,15 @@ mod tests {
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let mut rnd = |r: usize, c: usize| ZMat::from_fn(r, c, |_, _| c64::new(next(), next()));
-        let diag = (0..nb).map(|_| {
-            let mut d = rnd(bs, bs);
-            for i in 0..bs {
-                d[(i, i)] += c64::real(4.0); // diagonally dominant
-            }
-            d
-        }).collect();
+        let diag = (0..nb)
+            .map(|_| {
+                let mut d = rnd(bs, bs);
+                for i in 0..bs {
+                    d[(i, i)] += c64::real(4.0); // diagonally dominant
+                }
+                d
+            })
+            .collect();
         let lower = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
         let upper = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
         BlockTridiag::new(diag, lower, upper)
@@ -206,7 +213,9 @@ mod tests {
     fn matvec_matches_dense() {
         let bt = sample(5, 2, 7);
         let n = bt.dim();
-        let x: Vec<c64> = (0..n).map(|i| c64::new(i as f64 * 0.1, 1.0 - i as f64 * 0.05)).collect();
+        let x: Vec<c64> = (0..n)
+            .map(|i| c64::new(i as f64 * 0.1, 1.0 - i as f64 * 0.05))
+            .collect();
         let y1 = bt.matvec(&x);
         let y2 = bt.to_dense().matvec(&x);
         for i in 0..n {
@@ -241,12 +250,11 @@ mod tests {
             }
         }
         let csr = coo.to_csr();
-        let bt2 = BlockTridiag::from_csr(&csr, &[0, 3, 6, 9, 12]);
+        let bt2 = BlockTridiag::from_csr(&csr, &[0, 3, 6, 9, 12]).unwrap();
         assert!((&bt2.to_dense() - &dense).max_abs() < 1e-14);
     }
 
     #[test]
-    #[should_panic(expected = "non-adjacent")]
     fn from_csr_rejects_long_range_coupling() {
         let mut coo = crate::coo::Coo::new(4, 4);
         coo.push(0, 3, c64::ONE); // couples slab 0 to slab 3
@@ -254,7 +262,17 @@ mod tests {
             coo.push(i, i, c64::ONE);
         }
         let csr = coo.to_csr();
-        let _ = BlockTridiag::from_csr(&csr, &[0, 1, 2, 3, 4]);
+        match BlockTridiag::from_csr(&csr, &[0, 1, 2, 3, 4]) {
+            Err(OmenError::InvalidPartition {
+                row,
+                col,
+                slab_row,
+                slab_col,
+            }) => {
+                assert_eq!((row, col, slab_row, slab_col), (0, 3, 0, 3));
+            }
+            other => panic!("expected InvalidPartition, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

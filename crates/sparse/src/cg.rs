@@ -21,7 +21,13 @@ pub struct CgReport {
 /// preconditioner and must be positive). Returns the solution and a
 /// [`CgReport`]; a non-converged report is returned rather than panicking so
 /// the Newton loop above can shrink its step.
-pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usize) -> (Vec<f64>, CgReport) {
+pub fn cg_solve(
+    a: &CsrR,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    tol: f64,
+    max_iter: usize,
+) -> (Vec<f64>, CgReport) {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "CG needs a square matrix");
     assert_eq!(b.len(), n);
@@ -30,7 +36,10 @@ pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usi
         .diagonal()
         .iter()
         .map(|&d| {
-            assert!(d > 0.0, "Jacobi preconditioner needs positive diagonal (got {d})");
+            assert!(
+                d > 0.0,
+                "Jacobi preconditioner needs positive diagonal (got {d})"
+            );
             1.0 / d
         })
         .collect();
@@ -52,7 +61,14 @@ pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usi
 
     let mut rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / bnorm;
     if rel <= tol {
-        return (x, CgReport { iterations: 0, rel_residual: rel, converged: true });
+        return (
+            x,
+            CgReport {
+                iterations: 0,
+                rel_residual: rel,
+                converged: true,
+            },
+        );
     }
 
     for it in 1..=max_iter {
@@ -60,7 +76,14 @@ pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usi
         let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
         if pap <= 0.0 {
             // Not SPD along this direction — bail out with current iterate.
-            return (x, CgReport { iterations: it, rel_residual: rel, converged: false });
+            return (
+                x,
+                CgReport {
+                    iterations: it,
+                    rel_residual: rel,
+                    converged: false,
+                },
+            );
         }
         let alpha = rz / pap;
         for i in 0..n {
@@ -69,7 +92,14 @@ pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usi
         }
         rel = r.iter().map(|v| v * v).sum::<f64>().sqrt() / bnorm;
         if rel <= tol {
-            return (x, CgReport { iterations: it, rel_residual: rel, converged: true });
+            return (
+                x,
+                CgReport {
+                    iterations: it,
+                    rel_residual: rel,
+                    converged: true,
+                },
+            );
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -81,7 +111,14 @@ pub fn cg_solve(a: &CsrR, b: &[f64], x0: Option<&[f64]>, tol: f64, max_iter: usi
             p[i] = z[i] + beta * p[i];
         }
     }
-    (x, CgReport { iterations: max_iter, rel_residual: rel, converged: false })
+    (
+        x,
+        CgReport {
+            iterations: max_iter,
+            rel_residual: rel,
+            converged: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -109,14 +146,17 @@ mod tests {
         let (x, rep) = cg_solve(&a, &b, None, 1e-10, 1000);
         assert!(rep.converged, "{rep:?}");
         let ax = a.matvec(&x);
-        for i in 0..n {
-            assert!((ax[i] - 1.0).abs() < 1e-7);
+        for &axi in ax.iter().take(n) {
+            assert!((axi - 1.0).abs() < 1e-7);
         }
         // Analytic solution of -u'' = 1 with u(0)=u(n+1)=0 discretized:
         // x_i = (i+1)(n-i)/2.
-        for i in 0..n {
+        for (i, &xi) in x.iter().enumerate().take(n) {
             let exact = (i as f64 + 1.0) * (n as f64 - i as f64) / 2.0;
-            assert!((x[i] - exact).abs() < 1e-6 * exact.max(1.0), "i={i}: {} vs {exact}", x[i]);
+            assert!(
+                (xi - exact).abs() < 1e-6 * exact.max(1.0),
+                "i={i}: {xi} vs {exact}"
+            );
         }
     }
 
@@ -128,7 +168,10 @@ mod tests {
         let (x, rep_cold) = cg_solve(&a, &b, None, 1e-10, 2000);
         assert!(rep_cold.converged);
         let (_, rep_warm) = cg_solve(&a, &b, Some(&x), 1e-10, 2000);
-        assert!(rep_warm.iterations <= 1, "exact warm start should converge immediately");
+        assert!(
+            rep_warm.iterations <= 1,
+            "exact warm start should converge immediately"
+        );
     }
 
     #[test]

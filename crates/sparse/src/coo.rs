@@ -17,7 +17,11 @@ pub struct Coo {
 impl Coo {
     /// Empty `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo { nrows, ncols, entries: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -69,8 +73,10 @@ impl Coo {
                 let (_, j, v) = sorted[cursor];
                 cursor += 1;
                 // Merge with previous entry of the same row/column.
-                if col_idx.len() > row_start && *col_idx.last().unwrap() == j {
-                    *values.last_mut().unwrap() += v;
+                if col_idx.len() > row_start && col_idx.last() == Some(&j) {
+                    if let Some(last) = values.last_mut() {
+                        *last += v;
+                    }
                 } else {
                     col_idx.push(j);
                     values.push(v);

@@ -24,7 +24,7 @@ impl CsrC {
     ) -> Self {
         assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
         assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr tail");
+        assert_eq!(row_ptr[nrows], col_idx.len(), "row_ptr tail");
         for i in 0..nrows {
             assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr not monotone");
             let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
@@ -35,7 +35,13 @@ impl CsrC {
                 assert!(c < ncols, "column index out of range");
             }
         }
-        CsrC { nrows, ncols, row_ptr, col_idx, values }
+        CsrC {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -67,7 +73,10 @@ impl CsrC {
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, c64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Sparse matrix–vector product `y = A x`.
@@ -75,12 +84,12 @@ impl CsrC {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         omen_linalg::flops::add_flops(8 * self.nnz() as u64);
         let mut y = vec![c64::ZERO; self.nrows];
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = c64::ZERO;
             for (j, v) in self.row_iter(i) {
                 acc += v * x[j];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -90,8 +99,7 @@ impl CsrC {
         assert_eq!(x.len(), self.nrows, "matvec_h dimension mismatch");
         omen_linalg::flops::add_flops(8 * self.nnz() as u64);
         let mut y = vec![c64::ZERO; self.ncols];
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             for (j, v) in self.row_iter(i) {
                 y[j] += v.conj() * xi;
             }
@@ -148,8 +156,10 @@ impl CsrR {
                 let (_, j, v) = sorted[cursor];
                 assert!(j < ncols, "column out of range");
                 cursor += 1;
-                if col_idx.len() > row_start && *col_idx.last().unwrap() == j {
-                    *values.last_mut().unwrap() += v;
+                if col_idx.len() > row_start && col_idx.last() == Some(&j) {
+                    if let Some(last) = values.last_mut() {
+                        *last += v;
+                    }
                 } else {
                     col_idx.push(j);
                     values.push(v);
@@ -158,7 +168,13 @@ impl CsrR {
             row_ptr[row + 1] = col_idx.len();
         }
         assert_eq!(cursor, sorted.len(), "row index out of range");
-        CsrR { nrows, ncols, row_ptr, col_idx, values }
+        CsrR {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -190,7 +206,10 @@ impl CsrR {
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// `y = A x`.
@@ -198,19 +217,21 @@ impl CsrR {
         assert_eq!(x.len(), self.ncols);
         omen_linalg::flops::add_flops(2 * self.nnz() as u64);
         let mut y = vec![0.0; self.nrows];
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (j, v) in self.row_iter(i) {
                 acc += v * x[j];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
 
     /// Diagonal entries (zero when absent).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Maximum symmetry defect.
@@ -268,7 +289,12 @@ mod tests {
         let x = vec![c64::ONE, c64::I, c64::real(-2.0), c64::new(0.5, 1.0)];
         let y = vec![c64::new(1.0, 1.0), c64::real(2.0), c64::imag(-1.0)];
         let lhs: c64 = y.iter().zip(m.matvec(&x)).map(|(&a, b)| a.conj() * b).sum();
-        let rhs: c64 = m.matvec_h(&y).iter().zip(&x).map(|(a, &b)| a.conj() * b).sum();
+        let rhs: c64 = m
+            .matvec_h(&y)
+            .iter()
+            .zip(&x)
+            .map(|(a, &b)| a.conj() * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-13);
     }
 
@@ -286,7 +312,18 @@ mod tests {
 
     #[test]
     fn real_csr_from_triplets() {
-        let m = CsrR::from_triplets(3, 3, &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, -1.0), (1, 0, -1.0), (2, 2, 1.0), (0, 0, 0.5)]);
+        let m = CsrR::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (1, 1, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (2, 2, 1.0),
+                (0, 0, 0.5),
+            ],
+        );
         assert_eq!(m.get(0, 0), 2.5);
         assert_eq!(m.symmetry_defect(), 0.0);
         assert_eq!(m.diagonal(), vec![2.5, 2.0, 1.0]);

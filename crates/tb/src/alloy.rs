@@ -40,7 +40,10 @@ impl AlloyModel {
         x: f64,
         seed: u64,
     ) -> AlloyModel {
-        assert!((0.0..=1.0).contains(&x), "composition fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&x),
+            "composition fraction out of range"
+        );
         let mut state = seed;
         let mut next = move || {
             // splitmix64
@@ -57,7 +60,11 @@ impl AlloyModel {
             .iter()
             .map(|a| a.slab != 0 && a.slab != last && next() < x)
             .collect();
-        AlloyModel { params_a, params_b, is_b }
+        AlloyModel {
+            params_a,
+            params_b,
+            is_b,
+        }
     }
 
     /// Fraction of species-B atoms actually assigned.
@@ -184,7 +191,11 @@ mod tests {
                 assert!(!m.is_b[i], "terminal slab atom {i} must stay species A");
             }
         }
-        assert!(m.fraction_b() > 0.1 && m.fraction_b() < 0.5, "fraction {}", m.fraction_b());
+        assert!(
+            m.fraction_b() > 0.1 && m.fraction_b() < 0.5,
+            "fraction {}",
+            m.fraction_b()
+        );
     }
 
     #[test]
@@ -226,9 +237,7 @@ mod tests {
         assert_eq!(v1.tc_ab, ge.tc_ab);
         let vh = virtual_crystal(&si, &ge, 0.5);
         assert!((vh.a - 0.5 * (si.a + ge.a)).abs() < 1e-15, "Vegard law");
-        assert!(
-            (vh.tc_ab.ss_sigma - 0.5 * (si.tc_ab.ss_sigma + ge.tc_ab.ss_sigma)).abs() < 1e-15
-        );
+        assert!((vh.tc_ab.ss_sigma - 0.5 * (si.tc_ab.ss_sigma + ge.tc_ab.ss_sigma)).abs() < 1e-15);
     }
 
     #[test]
@@ -241,7 +250,8 @@ mod tests {
         let sub_a = omen_lattice::Sublattice::A;
         let sub_b = omen_lattice::Sublattice::B;
         let tc = m.bond_two_center(10, 11, sub_a, sub_b);
-        let expect = 0.5 * (si.two_center(sub_a, sub_b).ss_sigma + ge.two_center(sub_a, sub_b).ss_sigma);
+        let expect =
+            0.5 * (si.two_center(sub_a, sub_b).ss_sigma + ge.two_center(sub_a, sub_b).ss_sigma);
         assert!((tc.ss_sigma - expect).abs() < 1e-15);
         let pure = m.bond_two_center(11, 12, sub_a, sub_b);
         assert_eq!(pure.ss_sigma, si.two_center(sub_a, sub_b).ss_sigma);

@@ -11,14 +11,25 @@ pub fn bloch_hamiltonian(h00: &ZMat, h01: &ZMat, theta: f64) -> ZMat {
     let mut h = h00.clone();
     let ph = c64::from_polar(1.0, theta);
     gemm(ph, h01, Op::N, &ZMat::eye(n), Op::N, c64::ONE, &mut h);
-    gemm(ph.conj(), h01, Op::H, &ZMat::eye(n), Op::N, c64::ONE, &mut h);
+    gemm(
+        ph.conj(),
+        h01,
+        Op::H,
+        &ZMat::eye(n),
+        Op::N,
+        c64::ONE,
+        &mut h,
+    );
     h
 }
 
 /// Subband energies over a grid of `θ = k_x · L` values; `bands[ik][n]` is
 /// ascending per k-point.
 pub fn wire_bands(h00: &ZMat, h01: &ZMat, thetas: &[f64]) -> Vec<Vec<f64>> {
-    thetas.iter().map(|&t| eigh_values(&bloch_hamiltonian(h00, h01, t))).collect()
+    thetas
+        .iter()
+        .map(|&t| eigh_values(&bloch_hamiltonian(h00, h01, t)))
+        .collect()
 }
 
 /// Minimum of each subband over the sampled Brillouin zone (subband edges).
@@ -33,8 +44,14 @@ pub fn subband_edges(bands: &[Vec<f64>]) -> Vec<f64> {
 /// Band gap of a wire given the number of occupied subbands: returns
 /// `(vbm, cbm, gap)` over the sampled grid.
 pub fn wire_gap(bands: &[Vec<f64>], n_valence: usize) -> (f64, f64, f64) {
-    let vbm = bands.iter().map(|b| b[n_valence - 1]).fold(f64::NEG_INFINITY, f64::max);
-    let cbm = bands.iter().map(|b| b[n_valence]).fold(f64::INFINITY, f64::min);
+    let vbm = bands
+        .iter()
+        .map(|b| b[n_valence - 1])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cbm = bands
+        .iter()
+        .map(|b| b[n_valence])
+        .fold(f64::INFINITY, f64::min);
     (vbm, cbm, cbm - vbm)
 }
 
@@ -95,8 +112,14 @@ mod tests {
         let thetas = linspace(0.0, std::f64::consts::PI, 9);
         let bands = wire_bands(&h00, &h01, &thetas);
         let (vbm, cbm, gap) = wire_gap(&bands, n_occ);
-        assert!(gap > 1.3, "confined wire gap {gap} (vbm {vbm}, cbm {cbm}) should exceed bulk");
-        assert!(gap < 6.0, "gap {gap} unphysically large — passivation/ordering bug?");
+        assert!(
+            gap > 1.3,
+            "confined wire gap {gap} (vbm {vbm}, cbm {cbm}) should exceed bulk"
+        );
+        assert!(
+            gap < 6.0,
+            "gap {gap} unphysically large — passivation/ordering bug?"
+        );
     }
 
     #[test]

@@ -138,7 +138,10 @@ pub fn band_gap(bands_along_path: &[Vec<f64>], n_valence: usize) -> (f64, f64, f
         .iter()
         .map(|b| b[n_valence - 1])
         .fold(f64::NEG_INFINITY, f64::max);
-    let cbm = bands_along_path.iter().map(|b| b[n_valence]).fold(f64::INFINITY, f64::min);
+    let cbm = bands_along_path
+        .iter()
+        .map(|b| b[n_valence])
+        .fold(f64::INFINITY, f64::min);
     (vbm, cbm, cbm - vbm)
 }
 
@@ -149,7 +152,12 @@ mod tests {
 
     #[test]
     fn hermitian_at_arbitrary_k() {
-        for m in [Material::SiSp3s, Material::GaAsSp3s, Material::SiSp3d5s, Material::GraphenePz] {
+        for m in [
+            Material::SiSp3s,
+            Material::GaAsSp3s,
+            Material::SiSp3d5s,
+            Material::GraphenePz,
+        ] {
             let p = TbParams::of(m);
             let k = Vec3::new(1.7, -2.3, 0.9);
             let h = bulk_hamiltonian(&p, k, false);
@@ -169,7 +177,10 @@ mod tests {
         // Indirect: CBM must not be at Γ.
         let gamma_idx = 24; // path L..Γ has 24 segments
         let cb_gamma = bands[gamma_idx][4];
-        assert!(cb_gamma > cbm + 0.2, "Si must be indirect: Γ₁c={cb_gamma}, CBM={cbm}");
+        assert!(
+            cb_gamma > cbm + 0.2,
+            "Si must be indirect: Γ₁c={cb_gamma}, CBM={cbm}"
+        );
     }
 
     #[test]
@@ -186,7 +197,10 @@ mod tests {
         // Analytic Γ₁c for sp3s*: mean(Es) + sqrt(ΔEs² + Vss²).
         let (esa, esc, vss): (f64, f64, f64) = (-8.3431, -2.6569, -6.4513);
         let e_g1c = 0.5 * (esa + esc) + (0.25 * (esa - esc) * (esa - esc) + vss * vss).sqrt();
-        assert!((cb_gamma - e_g1c).abs() < 1e-6, "Γ₁c {cb_gamma} vs analytic {e_g1c}");
+        assert!(
+            (cb_gamma - e_g1c).abs() < 1e-6,
+            "Γ₁c {cb_gamma} vs analytic {e_g1c}"
+        );
     }
 
     #[test]
@@ -220,12 +234,22 @@ mod tests {
         let acc = p.a;
         // K point of graphene: |K| = 4π/(3√3 acc) along the zigzag (y) axis
         // in our orientation (armchair = x).
-        let k_dirac = Vec3::new(0.0, 4.0 * std::f64::consts::PI / (3.0 * 3.0_f64.sqrt() * acc), 0.0);
+        let k_dirac = Vec3::new(
+            0.0,
+            4.0 * std::f64::consts::PI / (3.0 * 3.0_f64.sqrt() * acc),
+            0.0,
+        );
         let e = bulk_bands(&p, k_dirac, false);
-        assert!(e[0].abs() < 1e-8 && e[1].abs() < 1e-8, "Dirac point not gapless: {e:?}");
+        assert!(
+            e[0].abs() < 1e-8 && e[1].abs() < 1e-8,
+            "Dirac point not gapless: {e:?}"
+        );
         // Γ: E = ±3|t| = ±8.1.
         let g = bulk_bands(&p, Vec3::ZERO, false);
-        assert!((g[0] + 8.1).abs() < 1e-9 && (g[1] - 8.1).abs() < 1e-9, "{g:?}");
+        assert!(
+            (g[0] + 8.1).abs() < 1e-9 && (g[1] - 8.1).abs() < 1e-9,
+            "{g:?}"
+        );
     }
 
     #[test]
@@ -239,14 +263,21 @@ mod tests {
         // State ordering at Γ: (s-bonding ×2) ≪ (split-off ×2) < (j=3/2 ×4).
         let quartet_ok = (g[7] - g[4]).abs() < 1e-9;
         let doublet_ok = (g[3] - g[2]).abs() < 1e-9;
-        assert!(quartet_ok && doublet_ok, "Γ multiplet structure wrong: {:?}", &g[..8]);
+        assert!(
+            quartet_ok && doublet_ok,
+            "Γ multiplet structure wrong: {:?}",
+            &g[..8]
+        );
         let split = g[4] - g[3];
         assert!(split > 0.05, "expected SO splitting, got {split}");
         // Γ₁c unaffected (s-like): compare against no-SO value.
         let g0 = bulk_bands(&p, Vec3::ZERO, false);
         let cb_so = g[8];
         let cb = g0[4];
-        assert!((cb_so - cb).abs() < 1e-6, "s-like CB must not shift: {cb_so} vs {cb}");
+        assert!(
+            (cb_so - cb).abs() < 1e-6,
+            "s-like CB must not shift: {cb_so} vs {cb}"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn complex_bands(e: f64, h00: &ZMat, h01: &ZMat, regularization: f64) -> Vec
     let fac = match Lu::factor(h01) {
         Ok(f) => f,
         Err(_) => {
-            assert!(regularization > 0.0, "singular H01 and no regularization allowed");
+            assert!(
+                regularization > 0.0,
+                "singular H01 and no regularization allowed"
+            );
             let scale = h01.max_abs().max(1e-12);
             let mut reg = h01.clone();
             for i in 0..n {
@@ -112,9 +115,7 @@ pub fn propagating_count(e: f64, h00: &ZMat, h01: &ZMat, tol: f64) -> usize {
 pub fn min_decay_constant(e: f64, h00: &ZMat, h01: &ZMat, prop_tol: f64) -> Option<f64> {
     complex_bands(e, h00, h01, 1e-6)
         .iter()
-        .filter(|m| {
-            !m.is_propagating(prop_tol) && m.lambda.abs() < 1.0 && m.lambda.abs() > 1e-4
-        })
+        .filter(|m| !m.is_propagating(prop_tol) && m.lambda.abs() < 1.0 && m.lambda.abs() > 1e-4)
         .map(|m| m.kappa_delta())
         .min_by(|a, b| a.partial_cmp(b).unwrap())
 }
@@ -140,7 +141,10 @@ mod tests {
     use super::*;
 
     fn chain(e0: f64, t: f64) -> (ZMat, ZMat) {
-        (ZMat::from_diag(&[c64::real(e0)]), ZMat::from_diag(&[c64::real(t)]))
+        (
+            ZMat::from_diag(&[c64::real(e0)]),
+            ZMat::from_diag(&[c64::real(t)]),
+        )
     }
 
     #[test]
@@ -153,7 +157,7 @@ mod tests {
                 assert!(m.is_propagating(1e-9), "E={e}: |λ| = {}", m.lambda.abs());
             }
             // k from the dispersion: cos(kΔ) = (E − e0)/(2t).
-            let k_exact = ((e) / (2.0 * -1.0) as f64).acos();
+            let k_exact = (e / -2.0).acos();
             let k_got = modes[0].k_delta.re.abs();
             let matches = (k_got - k_exact).abs() < 1e-9
                 || (k_got - (2.0 * std::f64::consts::PI - k_exact)).abs() < 1e-9
@@ -170,8 +174,7 @@ mod tests {
             assert_eq!(modes.len(), 2);
             // One decaying, one growing; κ = acosh(|E|/2).
             let kappa_exact = (e.abs() / 2.0).acosh();
-            let decaying: Vec<&BlochMode> =
-                modes.iter().filter(|m| m.lambda.abs() < 1.0).collect();
+            let decaying: Vec<&BlochMode> = modes.iter().filter(|m| m.lambda.abs() < 1.0).collect();
             assert_eq!(decaying.len(), 1, "E={e}");
             assert!(
                 (decaying[0].kappa_delta() - kappa_exact).abs() < 1e-9,
@@ -225,9 +228,15 @@ mod tests {
             kappa_mid > kappa_edge,
             "decay must peak mid-gap: edge {kappa_edge} vs mid {kappa_mid}"
         );
-        assert!(propagating_count(0.3, &h00, &h01, 1e-4) == 0, "inside the gap");
+        assert!(
+            propagating_count(0.3, &h00, &h01, 1e-4) == 0,
+            "inside the gap"
+        );
         // The 1e-6 coupling regularization perturbs |λ| at the 1e-5 level,
         // so the propagating test uses a matching tolerance.
-        assert!(propagating_count(1.0, &h00, &h01, 1e-4) > 0, "inside the band");
+        assert!(
+            propagating_count(1.0, &h00, &h01, 1e-4) > 0,
+            "inside the band"
+        );
     }
 }

@@ -44,7 +44,12 @@ impl<'d> DeviceHamiltonian<'d> {
                 "spin-orbit requires a p-shell basis"
             );
         }
-        DeviceHamiltonian { device, params, spin_orbit, alloy: None }
+        DeviceHamiltonian {
+            device,
+            params,
+            spin_orbit,
+            alloy: None,
+        }
     }
 
     /// Binds a random-alloy species map: atom-resolved onsite parameters and
@@ -57,7 +62,11 @@ impl<'d> DeviceHamiltonian<'d> {
             alloy.params_a.basis, alloy.params_b.basis,
             "alloy species must share an orbital basis"
         );
-        assert_eq!(alloy.is_b.len(), device.num_atoms(), "one species flag per atom");
+        assert_eq!(
+            alloy.is_b.len(),
+            device.num_atoms(),
+            "one species flag per atom"
+        );
         let params = alloy.params_a;
         let mut h = Self::new(device, params, spin_orbit);
         h.alloy = Some(alloy);
@@ -104,7 +113,11 @@ impl<'d> DeviceHamiltonian<'d> {
     /// Orbital-row offsets of each slab (length `num_slabs + 1`).
     pub fn slab_orbital_offsets(&self) -> Vec<usize> {
         let per = self.orbitals_per_atom();
-        self.device.slab_offsets().iter().map(|&a| a * per).collect()
+        self.device
+            .slab_offsets()
+            .iter()
+            .map(|&a| a * per)
+            .collect()
     }
 
     /// Assembles the block-tridiagonal Hamiltonian.
@@ -113,11 +126,19 @@ impl<'d> DeviceHamiltonian<'d> {
     /// (applied to all its orbitals); `ky` is the transverse Bloch vector in
     /// rad/nm (ignored unless the device is periodic).
     pub fn assemble(&self, potential: &[f64], ky: f64) -> BlockTridiag {
-        assert_eq!(potential.len(), self.device.num_atoms(), "one potential per atom");
+        assert_eq!(
+            potential.len(),
+            self.device.num_atoms(),
+            "one potential per atom"
+        );
         let coo = self.assemble_coo(potential, ky);
         let csr = coo.to_csr();
-        debug_assert!(csr.hermiticity_defect() < 1e-12, "assembled H must be Hermitian");
+        debug_assert!(
+            csr.hermiticity_defect() < 1e-12,
+            "assembled H must be Hermitian"
+        );
         BlockTridiag::from_csr(&csr, &self.slab_orbital_offsets())
+            .expect("nearest-neighbor TB assembly stays inside the slab partition")
     }
 
     /// Lead principal-layer blocks `(H00, H01)` for a contact held at
@@ -186,7 +207,9 @@ impl<'d> DeviceHamiltonian<'d> {
             // Passivation of dangling hybrids (sp3-type bases only).
             if p.passivation_shift != 0.0 && basis.index_of(crate::orbitals::Orbital::Px).is_some()
             {
-                let s_idx = basis.index_of(crate::orbitals::Orbital::S).expect("sp3 basis has s");
+                let s_idx = basis
+                    .index_of(crate::orbitals::Orbital::S)
+                    .expect("sp3 basis has s");
                 let px = basis.index_of(crate::orbitals::Orbital::Px).unwrap();
                 for dir in dev.dangling_directions(ai) {
                     if dev.dangling_is_lead_facing(ai, dir) {
@@ -286,7 +309,9 @@ mod tests {
         let dev = si_wire(3, 1.0);
         let h = DeviceHamiltonian::new(&dev, TbParams::of(Material::SiSp3s), false);
         // Random-ish potential profile.
-        let pot: Vec<f64> = (0..dev.num_atoms()).map(|i| 0.01 * (i % 7) as f64).collect();
+        let pot: Vec<f64> = (0..dev.num_atoms())
+            .map(|i| 0.01 * (i % 7) as f64)
+            .collect();
         let bt = h.assemble(&pot, 0.0);
         assert_eq!(bt.num_blocks(), 3);
         assert!(bt.is_hermitian(1e-12));
@@ -329,12 +354,23 @@ mod tests {
         p_off.passivation_shift = 0.0;
         p_on.passivation_shift = 30.0;
         let pot = vec![0.0; dev.num_atoms()];
-        let on = DeviceHamiltonian::new(&dev, p_on, false).assemble(&pot, 0.0).to_dense();
-        let off = DeviceHamiltonian::new(&dev, p_off, false).assemble(&pot, 0.0).to_dense();
+        let on = DeviceHamiltonian::new(&dev, p_on, false)
+            .assemble(&pot, 0.0)
+            .to_dense();
+        let off = DeviceHamiltonian::new(&dev, p_off, false)
+            .assemble(&pot, 0.0)
+            .to_dense();
         let diff = &on - &off;
         let vals = omen_linalg::eigh_values(&diff);
-        assert!(vals[0] > -1e-9, "passivation must be PSD, min eig {}", vals[0]);
-        assert!(*vals.last().unwrap() > 1.0, "surface hybrids must be shifted substantially");
+        assert!(
+            vals[0] > -1e-9,
+            "passivation must be PSD, min eig {}",
+            vals[0]
+        );
+        assert!(
+            *vals.last().unwrap() > 1.0,
+            "surface hybrids must be shifted substantially"
+        );
     }
 
     #[test]

@@ -247,7 +247,13 @@ fn vogl_tc(
 
 /// Vogl sp3s* silicon.
 fn si_sp3s() -> TbParams {
-    let sp = SpeciesParams { e_s: -4.2, e_p: 1.715, e_d: 0.0, e_s2: 6.685, so_lambda: 0.0147 };
+    let sp = SpeciesParams {
+        e_s: -4.2,
+        e_p: 1.715,
+        e_d: 0.0,
+        e_s2: 6.685,
+        so_lambda: 0.0147,
+    };
     let (cation, anion) = homopolar(sp);
     TbParams {
         name: "Si sp3s* (Vogl)",
@@ -263,7 +269,13 @@ fn si_sp3s() -> TbParams {
 
 /// Vogl sp3s* germanium.
 fn ge_sp3s() -> TbParams {
-    let sp = SpeciesParams { e_s: -5.88, e_p: 1.61, e_d: 0.0, e_s2: 6.39, so_lambda: 0.097 };
+    let sp = SpeciesParams {
+        e_s: -5.88,
+        e_p: 1.61,
+        e_d: 0.0,
+        e_s2: 6.39,
+        so_lambda: 0.097,
+    };
     let (cation, anion) = homopolar(sp);
     TbParams {
         name: "Ge sp3s* (Vogl)",
@@ -279,8 +291,20 @@ fn ge_sp3s() -> TbParams {
 
 /// Vogl sp3s* gallium arsenide. Sublattice A = Ga (cation), B = As (anion).
 fn gaas_sp3s() -> TbParams {
-    let ga = SpeciesParams { e_s: -2.6569, e_p: 3.6686, e_d: 0.0, e_s2: 6.7386, so_lambda: 0.058 };
-    let as_ = SpeciesParams { e_s: -8.3431, e_p: 1.0414, e_d: 0.0, e_s2: 8.5914, so_lambda: 0.140 };
+    let ga = SpeciesParams {
+        e_s: -2.6569,
+        e_p: 3.6686,
+        e_d: 0.0,
+        e_s2: 6.7386,
+        so_lambda: 0.058,
+    };
+    let as_ = SpeciesParams {
+        e_s: -8.3431,
+        e_p: 1.0414,
+        e_d: 0.0,
+        e_s2: 8.5914,
+        so_lambda: 0.140,
+    };
     TbParams {
         name: "GaAs sp3s* (Vogl)",
         basis: Basis::Sp3s,
@@ -295,8 +319,20 @@ fn gaas_sp3s() -> TbParams {
 
 /// Vogl sp3s* indium arsenide. Sublattice A = In, B = As.
 fn inas_sp3s() -> TbParams {
-    let in_ = SpeciesParams { e_s: -2.7219, e_p: 3.7201, e_d: 0.0, e_s2: 6.7401, so_lambda: 0.131 };
-    let as_ = SpeciesParams { e_s: -9.5381, e_p: 0.9099, e_d: 0.0, e_s2: 7.4099, so_lambda: 0.140 };
+    let in_ = SpeciesParams {
+        e_s: -2.7219,
+        e_p: 3.7201,
+        e_d: 0.0,
+        e_s2: 6.7401,
+        so_lambda: 0.131,
+    };
+    let as_ = SpeciesParams {
+        e_s: -9.5381,
+        e_p: 0.9099,
+        e_d: 0.0,
+        e_s2: 7.4099,
+        so_lambda: 0.140,
+    };
     TbParams {
         name: "InAs sp3s* (Vogl)",
         basis: Basis::Sp3s,
@@ -357,7 +393,13 @@ fn si_sp3d5s() -> TbParams {
 
 /// Graphene π system: single p_z orbital, first-neighbor V_ppπ = −2.7 eV.
 fn graphene_pz() -> TbParams {
-    let c = SpeciesParams { e_s: 0.0, e_p: 0.0, e_d: 0.0, e_s2: 0.0, so_lambda: 0.0 };
+    let c = SpeciesParams {
+        e_s: 0.0,
+        e_p: 0.0,
+        e_d: 0.0,
+        e_s2: 0.0,
+        so_lambda: 0.0,
+    };
     let (cation, anion) = homopolar(c);
     TbParams {
         name: "graphene pz",
@@ -365,7 +407,10 @@ fn graphene_pz() -> TbParams {
         a: A_CC,
         cation,
         anion,
-        tc_ab: TwoCenter { pp_pi: -2.7, ..TwoCenter::ZERO },
+        tc_ab: TwoCenter {
+            pp_pi: -2.7,
+            ..TwoCenter::ZERO
+        },
         strain_eta: 2.0,
         passivation_shift: 0.0,
     }
@@ -373,7 +418,13 @@ fn graphene_pz() -> TbParams {
 
 /// Single-orbital validation model with hopping `-t` on every bond.
 fn single_band(t: f64) -> TbParams {
-    let sp = SpeciesParams { e_s: 0.0, e_p: 0.0, e_d: 0.0, e_s2: 0.0, so_lambda: 0.0 };
+    let sp = SpeciesParams {
+        e_s: 0.0,
+        e_p: 0.0,
+        e_d: 0.0,
+        e_s2: 0.0,
+        so_lambda: 0.0,
+    };
     let (cation, anion) = homopolar(sp);
     TbParams {
         name: "single-band",
@@ -381,7 +432,10 @@ fn single_band(t: f64) -> TbParams {
         a: A_SI,
         cation,
         anion,
-        tc_ab: TwoCenter { ss_sigma: -t, ..TwoCenter::ZERO },
+        tc_ab: TwoCenter {
+            ss_sigma: -t,
+            ..TwoCenter::ZERO
+        },
         strain_eta: 0.0,
         passivation_shift: 0.0,
     }

@@ -29,7 +29,11 @@ pub fn sk_element(o1: Orbital, o2: Orbital, (l, m, n): (f64, f64, f64), tc: &Two
         _ => 3,
     };
     if rank(o1) > rank(o2) {
-        let sign = if (o1.l() + o2.l()) % 2 == 1 { -1.0 } else { 1.0 };
+        let sign = if (o1.l() + o2.l()) % 2 == 1 {
+            -1.0
+        } else {
+            1.0
+        };
         return sign * sk_element(o2, o1, (l, m, n), &tc.mirrored());
     }
 
@@ -81,15 +85,10 @@ pub fn sk_element(o1: Orbital, o2: Orbital, (l, m, n): (f64, f64, f64), tc: &Two
         (Pz, Dx2y2) => {
             0.5 * SQ3 * n * (l * l - m * m) * tc.pd_sigma - n * (l * l - m * m) * tc.pd_pi
         }
-        (Px, Dz2) => {
-            l * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma - SQ3 * l * n * n * tc.pd_pi
-        }
-        (Py, Dz2) => {
-            m * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma - SQ3 * m * n * n * tc.pd_pi
-        }
+        (Px, Dz2) => l * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma - SQ3 * l * n * n * tc.pd_pi,
+        (Py, Dz2) => m * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma - SQ3 * m * n * n * tc.pd_pi,
         (Pz, Dz2) => {
-            n * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma
-                + SQ3 * n * (l * l + m * m) * tc.pd_pi
+            n * (n * n - 0.5 * (l * l + m * m)) * tc.pd_sigma + SQ3 * n * (l * l + m * m) * tc.pd_pi
         }
 
         (Dxy, Dxy) => {
@@ -124,8 +123,7 @@ pub fn sk_element(o1: Orbital, o2: Orbital, (l, m, n): (f64, f64, f64), tc: &Two
         }
         (Dxy, Dx2y2) | (Dx2y2, Dxy) => {
             let f = l * m * (l * l - m * m);
-            1.5 * f * tc.dd_sigma + 2.0 * l * m * (m * m - l * l) * tc.dd_pi
-                + 0.5 * f * tc.dd_delta
+            1.5 * f * tc.dd_sigma + 2.0 * l * m * (m * m - l * l) * tc.dd_pi + 0.5 * f * tc.dd_delta
         }
         (Dyz, Dx2y2) | (Dx2y2, Dyz) => {
             let w = l * l - m * m;
@@ -154,7 +152,8 @@ pub fn sk_element(o1: Orbital, o2: Orbital, (l, m, n): (f64, f64, f64), tc: &Two
         }
         (Dx2y2, Dx2y2) => {
             let w = l * l - m * m;
-            0.75 * w * w * tc.dd_sigma + (l * l + m * m - w * w) * tc.dd_pi
+            0.75 * w * w * tc.dd_sigma
+                + (l * l + m * m - w * w) * tc.dd_pi
                 + (n * n + 0.25 * w * w) * tc.dd_delta
         }
         (Dx2y2, Dz2) | (Dz2, Dx2y2) => {
@@ -170,7 +169,10 @@ pub fn sk_element(o1: Orbital, o2: Orbital, (l, m, n): (f64, f64, f64), tc: &Two
         }
 
         // All remaining combinations are reversed pairs handled above.
-        _ => unreachable!("non-canonical pair {:?},{:?} must have been mirrored", o1, o2),
+        _ => unreachable!(
+            "non-canonical pair {:?},{:?} must have been mirrored",
+            o1, o2
+        ),
     }
 }
 

@@ -53,11 +53,11 @@ mod tests {
         let lambda = 0.1;
         let vals = eigh_values(&soc_p_block(lambda));
         // Two states at -2λ (j=1/2), four at +λ (j=3/2).
-        for k in 0..2 {
-            assert!((vals[k] + 2.0 * lambda).abs() < 1e-12, "j=1/2 level: {}", vals[k]);
+        for &v in vals.iter().take(2) {
+            assert!((v + 2.0 * lambda).abs() < 1e-12, "j=1/2 level: {v}");
         }
-        for k in 2..6 {
-            assert!((vals[k] - lambda).abs() < 1e-12, "j=3/2 level: {}", vals[k]);
+        for &v in vals.iter().take(6).skip(2) {
+            assert!((v - lambda).abs() < 1e-12, "j=3/2 level: {v}");
         }
         // Δ_so = 3λ.
         assert!((vals[5] - vals[0] - 3.0 * lambda).abs() < 1e-12);

@@ -40,7 +40,10 @@ pub fn injection_bundle(gamma: &ZMat, tol: f64) -> InjectionBundle {
     let r = eigh(gamma);
     let lmax = r.values.iter().fold(0.0_f64, |m, &v| m.max(v));
     if lmax <= GAMMA_FLOOR {
-        return InjectionBundle { w: ZMat::zeros(n, 0), strengths: Vec::new() };
+        return InjectionBundle {
+            w: ZMat::zeros(n, 0),
+            strengths: Vec::new(),
+        };
     }
     let cut = (tol * lmax).max(GAMMA_FLOOR);
     // eigh returns ascending; open channels sit at the top.
@@ -71,9 +74,7 @@ mod tests {
                 s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
                 ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             };
-            let b = omen_linalg::ZMat::from_fn(4, 3, |_, _| {
-                omen_num::c64::new(next(), next())
-            });
+            let b = omen_linalg::ZMat::from_fn(4, 3, |_, _| omen_num::c64::new(next(), next()));
             matmul_n_h(&b, &b)
         };
         let bundle = injection_bundle(&g, 1e-12);
@@ -94,7 +95,10 @@ mod tests {
     fn strengths_sorted_descending_and_positive() {
         use omen_num::c64;
         let b0 = ZMat::from_fn(6, 6, |i, j| {
-            c64::new(((i * 7 + j * 3) % 5) as f64 - 2.0, ((i + 2 * j) % 3) as f64 - 1.0)
+            c64::new(
+                ((i * 7 + j * 3) % 5) as f64 - 2.0,
+                ((i + 2 * j) % 3) as f64 - 1.0,
+            )
         });
         let g = matmul_n_h(&b0, &b0);
         let bundle = injection_bundle(&g, 1e-10);
@@ -110,7 +114,11 @@ mod tests {
         // Diagonal Γ with a real channel and an η-scale phantom.
         let g = ZMat::from_diag(&[c64::real(1.0), c64::real(1e-6)]);
         let b = injection_bundle(&g, 1e-12);
-        assert_eq!(b.num_modes(), 1, "phantom channel below GAMMA_FLOOR must drop");
+        assert_eq!(
+            b.num_modes(),
+            1,
+            "phantom channel below GAMMA_FLOOR must drop"
+        );
         // Entirely phantom Γ (out-of-band contact).
         let g2 = ZMat::from_diag(&[c64::real(3e-6), c64::real(1e-6)]);
         assert_eq!(injection_bundle(&g2, 1e-12).num_modes(), 0);

@@ -8,12 +8,14 @@
 //! [`crate::splitsolve`] distributes over ranks.
 
 use omen_linalg::{lu::Lu, matmul, ZMat};
+use omen_num::OmenResult;
 use omen_sparse::BlockTridiag;
 
 /// Solves `A X = B` by block Thomas (forward elimination, back
 /// substitution). `b[i]` holds the RHS rows of slab `i` (all with the same
-/// column count). Panics if a pivot block is singular.
-pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
+/// column count). A singular pivot block surfaces as
+/// [`omen_num::OmenError::SingularBlock`] carrying the slab index.
+pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
     let nb = a.num_blocks();
     assert_eq!(b.len(), nb, "one RHS block per slab");
     let nrhs = b[0].ncols();
@@ -34,7 +36,7 @@ pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
             d_eff = a.diag[i].clone();
             d_eff -= &corr;
         }
-        let f = Lu::factor(&d_eff).expect("singular pivot block in Thomas");
+        let f = Lu::factor(&d_eff).map_err(|s| s.at_block(i))?;
         if i + 1 < nb {
             u_tilde.push(f.solve_mat(&a.upper[i]));
         }
@@ -55,7 +57,7 @@ pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
         let corr = matmul(&u_tilde[i], &x[i + 1]);
         x[i] -= &corr;
     }
-    x
+    Ok(x)
 }
 
 /// Solves `A X = B` by sequential block cyclic reduction.
@@ -64,8 +66,10 @@ pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
 /// the currently active index set, producing a half-size block-tridiagonal
 /// system among the survivors; back substitution then recovers the
 /// eliminated blocks level by level. Handles arbitrary (non-power-of-two)
-/// block counts and variable block sizes.
-pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
+/// block counts and variable block sizes. A singular pivot block surfaces
+/// as [`omen_num::OmenError::SingularBlock`] carrying the original slab
+/// index.
+pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
     let nb = a.num_blocks();
     assert_eq!(b.len(), nb);
 
@@ -89,56 +93,64 @@ pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
     let mut cl: Vec<Option<ZMat>> = std::iter::once(None)
         .chain(a.lower.iter().cloned().map(Some))
         .collect();
-    let mut cu: Vec<Option<ZMat>> =
-        a.upper.iter().cloned().map(Some).chain(std::iter::once(None)).collect();
+    let mut cu: Vec<Option<ZMat>> = a
+        .upper
+        .iter()
+        .cloned()
+        .map(Some)
+        .chain(std::iter::once(None))
+        .collect();
 
     while active.len() > 1 {
         let mut level = Vec::new();
         let m = active.len();
         // Eliminate odd positions 1, 3, 5, …
-        // Precompute factorizations of odd blocks.
-        let mut fact: Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>> = vec![None; m];
+        // Precompute factorizations of odd blocks; odd position `k` lands
+        // at slot `k / 2`.
+        let mut fact: Vec<(ZMat, Option<ZMat>, Option<ZMat>)> = Vec::with_capacity(m / 2);
         for k in (1..m).step_by(2) {
-            let f = Lu::factor(&diag[active[k]]).expect("singular pivot block in BCR");
+            let f = Lu::factor(&diag[active[k]]).map_err(|s| s.at_block(active[k]))?;
             let dib = f.solve_mat(&rhs[active[k]]);
             let dil = cl[k].as_ref().map(|l| f.solve_mat(l));
             let diu = cu[k].as_ref().map(|u| f.solve_mat(u));
-            fact[k] = Some((dib, dil, diu));
+            fact.push((dib, dil, diu));
         }
-        // Update even positions.
+        // Update even positions. A `None` coupling means the neighbors are
+        // decoupled: no Schur update flows across that edge.
         let mut new_active = Vec::with_capacity(m / 2 + 1);
         let mut new_cl: Vec<Option<ZMat>> = Vec::with_capacity(m / 2 + 1);
         let mut new_cu: Vec<Option<ZMat>> = Vec::with_capacity(m / 2 + 1);
         for k in (0..m).step_by(2) {
             let g = active[k];
-            // Right odd neighbor k+1.
+            // Right odd neighbor k+1 (its factorization sits at slot k/2).
             if k + 1 < m {
-                let (dib, dil, _diu) = fact[k + 1].as_ref().unwrap();
-                let u = cu[k].as_ref().expect("active neighbors must be coupled");
-                // D_g -= U · D⁻¹L ; b_g -= U · D⁻¹b ; U' = −U · D⁻¹U
-                if let Some(dil) = dil {
-                    let c = matmul(u, dil);
-                    diag[g] -= &c;
+                if let Some(u) = cu[k].as_ref() {
+                    let (dib, dil, _diu) = &fact[k / 2];
+                    // D_g -= U · D⁻¹L ; b_g -= U · D⁻¹b ; U' = −U · D⁻¹U
+                    if let Some(dil) = dil {
+                        let c = matmul(u, dil);
+                        diag[g] -= &c;
+                    }
+                    let cb = matmul(u, dib);
+                    rhs[g] -= &cb;
                 }
-                let cb = matmul(u, dib);
-                rhs[g] -= &cb;
             }
-            // Left odd neighbor k−1.
+            // Left odd neighbor k−1 (slot k/2 − 1).
             if k >= 1 {
-                let (dib, dil, diu) = fact[k - 1].as_ref().unwrap();
-                let l = cl[k].as_ref().expect("active neighbors must be coupled");
-                if let Some(diu) = diu {
-                    let c = matmul(l, diu);
-                    diag[g] -= &c;
+                if let Some(l) = cl[k].as_ref() {
+                    let (dib, _dil, diu) = &fact[k / 2 - 1];
+                    if let Some(diu) = diu {
+                        let c = matmul(l, diu);
+                        diag[g] -= &c;
+                    }
+                    let cb = matmul(l, dib);
+                    rhs[g] -= &cb;
                 }
-                let cb = matmul(l, dib);
-                rhs[g] -= &cb;
-                let _ = dil;
             }
             // New couplings between surviving evens k and k+2.
             let ncl = if k >= 2 {
                 // L' (rows of g, cols of active[k-2]) = −L_k · D⁻¹L_{k-1}
-                let (_, dil, _) = fact[k - 1].as_ref().unwrap();
+                let (_, dil, _) = &fact[k / 2 - 1];
                 match (cl[k].as_ref(), dil.as_ref()) {
                     (Some(l), Some(dil)) => Some(-&matmul(l, dil)),
                     _ => None,
@@ -147,7 +159,7 @@ pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
                 None
             };
             let ncu = if k + 2 < m {
-                let (_, _, diu) = fact[k + 1].as_ref().unwrap();
+                let (_, _, diu) = &fact[k / 2];
                 match (cu[k].as_ref(), diu.as_ref()) {
                     (Some(u), Some(diu)) => Some(-&matmul(u, diu)),
                     _ => None,
@@ -160,8 +172,8 @@ pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
             new_cu.push(ncu);
         }
         // Record eliminations for back substitution.
-        for k in (1..m).step_by(2) {
-            let (dib, dil, diu) = fact[k].take().unwrap();
+        for (slot, (dib, dil, diu)) in fact.into_iter().enumerate() {
+            let k = 2 * slot + 1;
             level.push(Elim {
                 index: active[k],
                 d_inv_b: dib,
@@ -178,8 +190,12 @@ pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
     // Solve the final 1×1 block system.
     let root = active[0];
     let nrhs = b[0].ncols();
-    let mut x: Vec<ZMat> = (0..nb).map(|i| ZMat::zeros(a.block_size(i), nrhs)).collect();
-    x[root] = Lu::factor(&diag[root]).expect("singular root block").solve_mat(&rhs[root]);
+    let mut x: Vec<ZMat> = (0..nb)
+        .map(|i| ZMat::zeros(a.block_size(i), nrhs))
+        .collect();
+    x[root] = Lu::factor(&diag[root])
+        .map_err(|s| s.at_block(root))?
+        .solve_mat(&rhs[root]);
 
     // Back substitution, reverse level order.
     for level in elims.iter().rev() {
@@ -196,7 +212,7 @@ pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
             x[e.index] = xi;
         }
     }
-    x
+    Ok(x)
 }
 
 #[cfg(test)]
@@ -234,7 +250,9 @@ mod tests {
             bd.set_block(a.offset(i), 0, bi);
         }
         let x = Lu::factor(&a.to_dense()).unwrap().solve_mat(&bd);
-        (0..a.num_blocks()).map(|i| x.block(a.offset(i), 0, a.block_size(i), nrhs)).collect()
+        (0..a.num_blocks())
+            .map(|i| x.block(a.offset(i), 0, a.block_size(i), nrhs))
+            .collect()
     }
 
     fn assert_blocks_close(a: &[ZMat], b: &[ZMat], tol: f64, what: &str) {
@@ -249,7 +267,7 @@ mod tests {
     fn thomas_matches_dense() {
         for (nb, bs, nrhs, seed) in [(1, 3, 2, 1u64), (2, 2, 1, 2), (5, 3, 4, 3), (9, 2, 3, 4)] {
             let (a, b) = rand_system(nb, bs, nrhs, seed);
-            let x1 = thomas_solve(&a, &b);
+            let x1 = thomas_solve(&a, &b).unwrap();
             let x2 = dense_solve(&a, &b);
             assert_blocks_close(&x1, &x2, 1e-9, &format!("thomas nb={nb}"));
         }
@@ -257,12 +275,18 @@ mod tests {
 
     #[test]
     fn bcr_matches_thomas() {
-        for (nb, bs, nrhs, seed) in
-            [(1, 2, 1, 11u64), (2, 3, 2, 12), (3, 2, 2, 13), (4, 2, 3, 14), (7, 3, 2, 15), (8, 2, 2, 16), (13, 2, 1, 17)]
-        {
+        for (nb, bs, nrhs, seed) in [
+            (1, 2, 1, 11u64),
+            (2, 3, 2, 12),
+            (3, 2, 2, 13),
+            (4, 2, 3, 14),
+            (7, 3, 2, 15),
+            (8, 2, 2, 16),
+            (13, 2, 1, 17),
+        ] {
             let (a, b) = rand_system(nb, bs, nrhs, seed);
-            let x1 = thomas_solve(&a, &b);
-            let x2 = bcr_solve(&a, &b);
+            let x1 = thomas_solve(&a, &b).unwrap();
+            let x2 = bcr_solve(&a, &b).unwrap();
             assert_blocks_close(&x1, &x2, 1e-8, &format!("bcr nb={nb}"));
         }
     }
@@ -270,22 +294,22 @@ mod tests {
     #[test]
     fn residual_is_small() {
         let (a, b) = rand_system(6, 4, 3, 99);
-        let x = thomas_solve(&a, &b);
+        let x = thomas_solve(&a, &b).unwrap();
         // Flatten and check A x = b via matvec per RHS column.
         let n = a.dim();
         for col in 0..3 {
             let mut xf = vec![c64::ZERO; n];
-            for i in 0..6 {
+            for (i, xi) in x.iter().enumerate().take(6) {
                 let off = a.offset(i);
                 for r in 0..a.block_size(i) {
-                    xf[off + r] = x[i][(r, col)];
+                    xf[off + r] = xi[(r, col)];
                 }
             }
             let ax = a.matvec(&xf);
-            for i in 0..6 {
+            for (i, bi) in b.iter().enumerate().take(6) {
                 let off = a.offset(i);
                 for r in 0..a.block_size(i) {
-                    assert!((ax[off + r] - b[i][(r, col)]).abs() < 1e-9);
+                    assert!((ax[off + r] - bi[(r, col)]).abs() < 1e-9);
                 }
             }
         }
@@ -295,7 +319,9 @@ mod tests {
     fn variable_block_sizes_thomas() {
         // 3 blocks of sizes 2, 3, 1.
         let mk = |r: usize, c: usize, s: f64| {
-            ZMat::from_fn(r, c, |i, j| c64::new(s + i as f64 * 0.3 - j as f64 * 0.2, 0.1))
+            ZMat::from_fn(r, c, |i, j| {
+                c64::new(s + i as f64 * 0.3 - j as f64 * 0.2, 0.1)
+            })
         };
         let mut d0 = mk(2, 2, 1.0);
         let mut d1 = mk(3, 3, -0.5);
@@ -313,16 +339,27 @@ mod tests {
             vec![mk(2, 3, 0.2), mk(3, 1, 0.6)],
         );
         let b = vec![mk(2, 2, 1.0), mk(3, 2, 0.0), mk(1, 2, -1.0)];
-        let x1 = thomas_solve(&a, &b);
+        let x1 = thomas_solve(&a, &b).unwrap();
         let x2 = dense_solve(&a, &b);
         assert_blocks_close(&x1, &x2, 1e-10, "variable sizes");
     }
 
     #[test]
-    #[should_panic]
-    fn singular_block_panics() {
-        let a = BlockTridiag::new(vec![ZMat::zeros(2, 2)], vec![], vec![]);
-        let b = vec![ZMat::zeros(2, 1)];
-        let _ = thomas_solve(&a, &b);
+    fn singular_block_is_typed_error() {
+        use omen_num::OmenError;
+        // A provably singular pivot in slab 1 of a 3-slab system: the
+        // error must name that slab in both solvers, not panic.
+        let (a0, b) = rand_system(3, 2, 1, 21);
+        let a = BlockTridiag::new(
+            vec![a0.diag[0].clone(), ZMat::zeros(2, 2), a0.diag[2].clone()],
+            a0.lower.iter().map(|_| ZMat::zeros(2, 2)).collect(),
+            a0.upper.iter().map(|_| ZMat::zeros(2, 2)).collect(),
+        );
+        for solve in [thomas_solve, bcr_solve] {
+            match solve(&a, &b) {
+                Err(OmenError::SingularBlock { block, .. }) => assert_eq!(block, 1),
+                other => panic!("expected SingularBlock at slab 1, got {other:?}"),
+            }
+        }
     }
 }

@@ -12,11 +12,25 @@
 //! simulator each rank assembles its slabs deterministically) but only
 //! factors and updates the blocks it owns, so the arithmetic is genuinely
 //! distributed and the traffic is executed and counted by `omen-parsim`.
+//!
+//! ## Failure protocol
+//!
+//! A singular pivot on one rank must not leave its peers blocked in `recv`.
+//! Each elimination level therefore factors all owned odd blocks *before*
+//! any point-to-point traffic and agrees on collective health with one
+//! gather + broadcast round (an error payload from the lowest failing
+//! rank, empty on success). Only an all-clear level exchanges bundles, so
+//! the SPMD communication schedule stays aligned and every rank returns
+//! the same typed [`OmenError`].
 
-use crate::serialize::{bytes_to_mat, bytes_to_mats, mat_to_bytes, mats_to_bytes};
+use crate::serialize::{
+    bytes_to_error, bytes_to_mat, bytes_to_mats, error_to_bytes, mat_to_bytes, mats_to_bytes,
+};
 use omen_linalg::{lu::Lu, matmul, ZMat};
+use omen_num::{OmenError, OmenResult};
 use omen_parsim::Comm;
 use omen_sparse::BlockTridiag;
+use std::collections::HashSet;
 
 /// Tag layout: `[level:6][position:16][kind:2]` (fits the 24-bit comm tag).
 fn tag(level: usize, pos: usize, kind: u64) -> u64 {
@@ -27,16 +41,50 @@ fn tag(level: usize, pos: usize, kind: u64) -> u64 {
 const KIND_BUNDLE: u64 = 0;
 const KIND_X: u64 = 1;
 
+/// Factored products of one eliminated odd block: `(D⁻¹B, D⁻¹L, D⁻¹U)`,
+/// with the couplings absent at the chain ends.
+type ElimBundle = (ZMat, Option<ZMat>, Option<ZMat>);
+/// Back-substitution schedule entry: (odd index, left, right neighbors).
+type ElimStep = (usize, Option<usize>, Option<usize>);
+
 /// Owner of original block `g` among `r` ranks for `n` blocks: contiguous
 /// ranges.
 fn owner(g: usize, n: usize, r: usize) -> usize {
     ((g * r) / n).min(r - 1)
 }
 
+/// One gather + broadcast round agreeing on the health of a solver phase:
+/// every rank contributes its local error (or an empty payload), rank 0
+/// rebroadcasts the lowest failing rank's encoding, and every member
+/// returns the same verdict. `phase` disambiguates the collective's tag
+/// space across levels.
+fn sync_status(comm: &Comm, phase: usize, local: Option<&OmenError>) -> OmenResult<()> {
+    let payload = match local {
+        Some(e) => error_to_bytes(comm.rank(), e),
+        None => Vec::new(),
+    };
+    let _ = phase; // collectives carry their own ordered tag space
+    let verdict = match comm.gather(0, payload) {
+        Some(parts) => {
+            let first = parts
+                .into_iter()
+                .find(|p| !p.is_empty())
+                .unwrap_or_default();
+            comm.bcast(0, first)
+        }
+        None => comm.bcast(0, Vec::new()),
+    };
+    if verdict.is_empty() {
+        Ok(())
+    } else {
+        Err(bytes_to_error(&verdict)?)
+    }
+}
+
 /// Solves `A X = B` with rank-distributed block cyclic reduction. All
 /// members of `comm` must call with identical `a` and `b`; each returns the
-/// complete solution (one block per slab).
-pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMat> {
+/// complete solution (one block per slab) or the same typed error.
+pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
     let nb = a.num_blocks();
     assert_eq!(b.len(), nb);
     let nranks = comm.size();
@@ -62,44 +110,72 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMa
     let mut my_elims: Vec<Vec<Elim>> = Vec::new();
     // Level structure replayed identically on every rank for back-sub
     // scheduling: (odd index, left, right).
-    let mut schedule: Vec<Vec<(usize, Option<usize>, Option<usize>)>> = Vec::new();
+    let mut schedule: Vec<Vec<ElimStep>> = Vec::new();
 
     let mut active: Vec<usize> = (0..nb).collect();
-    let mut cl: Vec<Option<ZMat>> =
-        std::iter::once(None).chain(a.lower.iter().cloned().map(Some)).collect();
-    let mut cu: Vec<Option<ZMat>> =
-        a.upper.iter().cloned().map(Some).chain(std::iter::once(None)).collect();
+    let mut cl: Vec<Option<ZMat>> = std::iter::once(None)
+        .chain(a.lower.iter().cloned().map(Some))
+        .collect();
+    let mut cu: Vec<Option<ZMat>> = a
+        .upper
+        .iter()
+        .cloned()
+        .map(Some)
+        .chain(std::iter::once(None))
+        .collect();
 
     let mut level = 0usize;
     while active.len() > 1 {
         let m = active.len();
         let empty = ZMat::zeros(0, 0);
 
-        // 1. Factor owned odd blocks and ship bundles to even neighbors.
-        let mut local_fact: Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>> = vec![None; m];
+        // 1a. Factor owned odd blocks (no traffic yet; a failure here must
+        // first be agreed on collectively).
+        let mut local_fact: Vec<Option<ElimBundle>> = vec![None; m];
+        let mut local_err: Option<OmenError> = None;
         for k in (1..m).step_by(2) {
             let g = active[k];
             if own(g) != me {
                 continue;
             }
-            let f = Lu::factor(&diag[g]).expect("singular pivot block in SplitSolve");
-            let dib = f.solve_mat(&rhs[g]);
-            let dil = cl[k].as_ref().map(|l| f.solve_mat(l));
-            let diu = cu[k].as_ref().map(|u| f.solve_mat(u));
-            let payload = mats_to_bytes(&[
-                &dib,
-                dil.as_ref().unwrap_or(&empty),
-                diu.as_ref().unwrap_or(&empty),
-            ]);
-            for nk in [k.wrapping_sub(1), k + 1] {
-                if nk < m {
-                    let no = own(active[nk]);
-                    if no != me {
-                        comm.send(no, tag(level, k, KIND_BUNDLE), payload.clone());
+            match Lu::factor(&diag[g]) {
+                Ok(f) => {
+                    let dib = f.solve_mat(&rhs[g]);
+                    let dil = cl[k].as_ref().map(|l| f.solve_mat(l));
+                    let diu = cu[k].as_ref().map(|u| f.solve_mat(u));
+                    local_fact[k] = Some((dib, dil, diu));
+                }
+                Err(s) => {
+                    local_err = Some(s.at_block(g));
+                    break;
+                }
+            }
+        }
+
+        // 1b. Health barrier: every rank learns of any singular pivot and
+        // returns the same error before any bundle is sent.
+        sync_status(comm, level, local_err.as_ref())?;
+
+        // 1c. Ship bundles to even neighbors on other ranks; when one rank
+        // owns both neighbors it receives (and caches) the bundle once.
+        for k in (1..m).step_by(2) {
+            if let Some((dib, dil, diu)) = &local_fact[k] {
+                let payload = mats_to_bytes(&[
+                    dib,
+                    dil.as_ref().unwrap_or(&empty),
+                    diu.as_ref().unwrap_or(&empty),
+                ]);
+                let mut shipped: Option<usize> = None;
+                for nk in [k.wrapping_sub(1), k + 1] {
+                    if nk < m {
+                        let no = own(active[nk]);
+                        if no != me && shipped != Some(no) {
+                            comm.send(no, tag(level, k, KIND_BUNDLE), payload.clone());
+                            shipped = Some(no);
+                        }
                     }
                 }
             }
-            local_fact[k] = Some((dib, dil, diu));
         }
 
         // 2. Update owned even blocks, building the next level's couplings.
@@ -107,28 +183,35 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMa
         let mut new_cl: Vec<Option<ZMat>> = Vec::with_capacity(m / 2 + 1);
         let mut new_cu: Vec<Option<ZMat>> = Vec::with_capacity(m / 2 + 1);
         // Cache of received bundles keyed by odd position.
-        let mut received: Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>> = vec![None; m];
+        let mut received: Vec<Option<ElimBundle>> = vec![None; m];
         let get_bundle = |k: usize,
-                              local_fact: &Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>>,
-                              received: &mut Vec<Option<(ZMat, Option<ZMat>, Option<ZMat>)>>|
-         -> (ZMat, Option<ZMat>, Option<ZMat>) {
+                          local_fact: &[Option<ElimBundle>],
+                          received: &mut [Option<ElimBundle>]|
+         -> OmenResult<ElimBundle> {
             if let Some(f) = &local_fact[k] {
-                return f.clone();
+                return Ok(f.clone());
             }
-            if received[k].is_none() {
-                let o = own(active[k]);
-                let data = comm.recv(o, tag(level, k, KIND_BUNDLE));
-                let mats = bytes_to_mats(&data);
-                let opt = |m_: &ZMat| {
-                    if m_.nrows() == 0 {
-                        None
-                    } else {
-                        Some(m_.clone())
-                    }
-                };
-                received[k] = Some((mats[0].clone(), opt(&mats[1]), opt(&mats[2])));
+            if let Some(f) = &received[k] {
+                return Ok(f.clone());
             }
-            received[k].clone().unwrap()
+            let o = own(active[k]);
+            let data = comm.recv(o, tag(level, k, KIND_BUNDLE));
+            let mats = bytes_to_mats(&data)?;
+            if mats.len() != 3 {
+                return Err(OmenError::Deserialize {
+                    context: "elimination bundle",
+                });
+            }
+            let opt = |m_: &ZMat| {
+                if m_.nrows() == 0 {
+                    None
+                } else {
+                    Some(m_.clone())
+                }
+            };
+            let f = (mats[0].clone(), opt(&mats[1]), opt(&mats[2]));
+            received[k] = Some(f.clone());
+            Ok(f)
         };
 
         for k in (0..m).step_by(2) {
@@ -138,32 +221,34 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMa
             let mut ncu = None;
             if mine {
                 if k + 1 < m {
-                    let (dib, dil, diu) = get_bundle(k + 1, &local_fact, &mut received);
-                    let u = cu[k].as_ref().expect("missing right coupling");
-                    if let Some(dil) = &dil {
-                        let c = matmul(u, dil);
-                        diag[g] -= &c;
-                    }
-                    let cb = matmul(u, &dib);
-                    rhs[g] -= &cb;
-                    if k + 2 < m {
-                        if let Some(diu) = &diu {
-                            ncu = Some(-&matmul(u, diu));
+                    if let Some(u) = cu[k].clone() {
+                        let (dib, dil, diu) = get_bundle(k + 1, &local_fact, &mut received)?;
+                        if let Some(dil) = &dil {
+                            let c = matmul(&u, dil);
+                            diag[g] -= &c;
+                        }
+                        let cb = matmul(&u, &dib);
+                        rhs[g] -= &cb;
+                        if k + 2 < m {
+                            if let Some(diu) = &diu {
+                                ncu = Some(-&matmul(&u, diu));
+                            }
                         }
                     }
                 }
                 if k >= 1 {
-                    let (dib, dil, diu) = get_bundle(k - 1, &local_fact, &mut received);
-                    let l = cl[k].as_ref().expect("missing left coupling");
-                    if let Some(diu) = &diu {
-                        let c = matmul(l, diu);
-                        diag[g] -= &c;
-                    }
-                    let cb = matmul(l, &dib);
-                    rhs[g] -= &cb;
-                    if k >= 2 {
-                        if let Some(dil) = &dil {
-                            ncl = Some(-&matmul(l, dil));
+                    if let Some(l) = cl[k].clone() {
+                        let (dib, dil, diu) = get_bundle(k - 1, &local_fact, &mut received)?;
+                        if let Some(diu) = &diu {
+                            let c = matmul(&l, diu);
+                            diag[g] -= &c;
+                        }
+                        let cb = matmul(&l, &dib);
+                        rhs[g] -= &cb;
+                        if k >= 2 {
+                            if let Some(dil) = &dil {
+                                ncl = Some(-&matmul(&l, dil));
+                            }
                         }
                     }
                 }
@@ -200,67 +285,87 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMa
         level += 1;
     }
 
-    // 4. Root solve on its owner; others allocate placeholders.
+    // 4. Root solve on its owner; others learn the outcome through the
+    // same health barrier before back substitution starts.
     let root = active[0];
     let mut x: Vec<Option<ZMat>> = vec![None; nb];
+    let mut root_err: Option<OmenError> = None;
     if own(root) == me {
-        x[root] =
-            Some(Lu::factor(&diag[root]).expect("singular root block").solve_mat(&rhs[root]));
+        match Lu::factor(&diag[root]) {
+            Ok(f) => x[root] = Some(f.solve_mat(&rhs[root])),
+            Err(s) => root_err = Some(s.at_block(root)),
+        }
     }
+    sync_status(comm, level, root_err.as_ref())?;
 
-    // 5. Back substitution down the tree, with x-block exchanges.
+    // 5. Back substitution down the tree, with x-block exchanges. Each
+    // solved even block travels to a given rank at most once: the receiver
+    // caches it across levels, so the sender dedupes on the
+    // `(destination, block)` pair for the whole descent.
+    let mut sent: HashSet<(usize, usize)> = HashSet::new();
     for (lvl, sched_level) in schedule.iter().enumerate().rev() {
-        let my_level: &mut Vec<Elim> = &mut my_elims[lvl];
+        let my_level: &Vec<Elim> = &my_elims[lvl];
         // First: owners of needed even blocks send them to the odd owners.
         for &(odd, left, right) in sched_level {
             let odd_owner = own(odd);
             for dep in [left, right].into_iter().flatten() {
                 let dep_owner = own(dep);
-                if dep_owner == me && odd_owner != me {
-                    let xb = x[dep].as_ref().expect("dependency solved before send");
+                if dep_owner == me && odd_owner != me && sent.insert((odd_owner, dep)) {
+                    let xb = x[dep].as_ref().ok_or(OmenError::Deserialize {
+                        context: "back-substitution dependency not yet solved",
+                    })?;
                     comm.send(odd_owner, tag(lvl, dep, KIND_X), mat_to_bytes(xb));
                 }
             }
         }
-        // Then: owned odd blocks compute their solution.
+        // Then: owned odd blocks compute their solution. Dependencies are
+        // fetched by schedule position (mirroring the send side exactly,
+        // so the mailbox drains even for decoupled neighbors) and cached.
         for e in my_level.iter() {
+            for dep in [e.left, e.right].into_iter().flatten() {
+                if x[dep].is_none() {
+                    let o = own(dep);
+                    if o == me {
+                        return Err(OmenError::Deserialize {
+                            context: "back-substitution dependency not yet solved",
+                        });
+                    }
+                    x[dep] = Some(bytes_to_mat(&comm.recv(o, tag(lvl, dep, KIND_X)))?);
+                }
+            }
             let mut xi = e.d_inv_b.clone();
             if let (Some(left), Some(dil)) = (e.left, e.d_inv_l.as_ref()) {
-                let xl = match &x[left] {
-                    Some(v) => v.clone(),
-                    None => {
-                        let v = bytes_to_mat(&comm.recv(own(left), tag(lvl, left, KIND_X)));
-                        x[left] = Some(v.clone());
-                        v
-                    }
-                };
-                let c = matmul(dil, &xl);
-                xi -= &c;
+                if let Some(xl) = &x[left] {
+                    let c = matmul(dil, xl);
+                    xi -= &c;
+                }
             }
             if let (Some(right), Some(diu)) = (e.right, e.d_inv_u.as_ref()) {
-                let xr = match &x[right] {
-                    Some(v) => v.clone(),
-                    None => {
-                        let v = bytes_to_mat(&comm.recv(own(right), tag(lvl, right, KIND_X)));
-                        x[right] = Some(v.clone());
-                        v
-                    }
-                };
-                let c = matmul(diu, &xr);
-                xi -= &c;
+                if let Some(xr) = &x[right] {
+                    let c = matmul(diu, xr);
+                    xi -= &c;
+                }
             }
             x[e.index] = Some(xi);
         }
     }
+
+    // The dedup above must leave no orphan x-block in the mailbox; an
+    // undrained message would mean the send and receive schedules diverged.
+    assert_eq!(
+        comm.pending_p2p_messages(),
+        0,
+        "back substitution must drain every x-block exchange"
+    );
 
     // 6. Allgather: everyone ends up with the complete block solution.
     let mut mine_payload = Vec::new();
     let my_blocks: Vec<usize> = (0..nb).filter(|&g| own(g) == me).collect();
     mine_payload.extend_from_slice(&(my_blocks.len() as u64).to_le_bytes());
     for &g in &my_blocks {
-        let xb = x[g]
-            .as_ref()
-            .unwrap_or_else(|| panic!("owned block {g} unsolved after back substitution"));
+        let xb = x[g].as_ref().ok_or(OmenError::Deserialize {
+            context: "owned block unsolved after back substitution",
+        })?;
         let bb = mat_to_bytes(xb);
         mine_payload.extend_from_slice(&(g as u64).to_le_bytes());
         mine_payload.extend_from_slice(&(bb.len() as u64).to_le_bytes());
@@ -274,39 +379,49 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> Vec<ZMa
         None => comm.bcast(0, Vec::new()),
     };
     // Decode the concatenated per-rank payloads.
+    const CTX: &str = "solution allgather";
+    let read = |off: usize| -> OmenResult<u64> {
+        let s = all
+            .get(off..off + 8)
+            .ok_or(OmenError::Deserialize { context: CTX })?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(s);
+        Ok(u64::from_le_bytes(raw))
+    };
     let mut out: Vec<Option<ZMat>> = vec![None; nb];
     let mut off = 0usize;
     while off < all.len() {
-        let count = u64::from_le_bytes(all[off..off + 8].try_into().unwrap()) as usize;
+        let count = read(off)? as usize;
         off += 8;
         for _ in 0..count {
-            let g = u64::from_le_bytes(all[off..off + 8].try_into().unwrap()) as usize;
+            let g = read(off)? as usize;
             off += 8;
-            let len = u64::from_le_bytes(all[off..off + 8].try_into().unwrap()) as usize;
+            let len = read(off)? as usize;
             off += 8;
-            out[g] = Some(bytes_to_mat(&all[off..off + len]));
+            let chunk = all
+                .get(off..off + len)
+                .ok_or(OmenError::Deserialize { context: CTX })?;
+            if g >= nb {
+                return Err(OmenError::Deserialize { context: CTX });
+            }
+            out[g] = Some(bytes_to_mat(chunk)?);
             off += len;
         }
     }
-    out.into_iter()
-        .enumerate()
-        .map(|(g, o)| o.unwrap_or_else(|| panic!("block {g} missing from allgather")))
-        .collect::<Vec<_>>()
-        .tap_check(nb, nrhs)
-}
-
-trait TapCheck {
-    fn tap_check(self, nb: usize, nrhs: usize) -> Self;
-}
-
-impl TapCheck for Vec<ZMat> {
-    fn tap_check(self, nb: usize, nrhs: usize) -> Self {
-        assert_eq!(self.len(), nb);
-        for b in &self {
-            assert_eq!(b.ncols(), nrhs);
+    let blocks = out
+        .into_iter()
+        .map(|o| o.ok_or(OmenError::Deserialize { context: CTX }))
+        .collect::<OmenResult<Vec<_>>>()?;
+    for blk in &blocks {
+        if blk.ncols() != nrhs {
+            return Err(OmenError::ShapeMismatch {
+                context: "splitsolve solution block",
+                expected: (blk.nrows(), nrhs),
+                got: (blk.nrows(), blk.ncols()),
+            });
         }
-        self
     }
+    Ok(blocks)
 }
 
 #[cfg(test)]
@@ -354,14 +469,17 @@ mod tests {
     #[test]
     fn matches_thomas_across_rank_counts() {
         for &nranks in &[1usize, 2, 3, 4] {
-            for &(nb, bs, nrhs, seed) in &[(4usize, 2usize, 2usize, 1u64), (8, 3, 2, 2), (13, 2, 3, 3)] {
+            for &(nb, bs, nrhs, seed) in
+                &[(4usize, 2usize, 2usize, 1u64), (8, 3, 2, 2), (13, 2, 3, 3)]
+            {
                 let (a, b) = rand_system(nb, bs, nrhs, seed);
-                let reference = thomas_solve(&a, &b);
+                let reference = thomas_solve(&a, &b).unwrap();
                 let out = run_ranks(nranks, |ctx| {
                     let comm = Comm::world(ctx);
                     splitsolve_parallel(&comm, &a, &b)
-                });
-                for (rank, sol) in out.results.iter().enumerate() {
+                })
+                .flattened();
+                for (rank, sol) in out.unwrap_all().into_iter().enumerate() {
                     for (i, (x, y)) in sol.iter().zip(&reference).enumerate() {
                         let d = (x - y).max_abs();
                         assert!(
@@ -379,29 +497,69 @@ mod tests {
         let (a, b) = rand_system(8, 2, 1, 42);
         let out = run_ranks(4, |ctx| {
             let comm = Comm::world(ctx);
-            splitsolve_parallel(&comm, &a, &b);
-        });
+            splitsolve_parallel(&comm, &a, &b).map(|_| ())
+        })
+        .flattened();
         let total = out.total_stats();
-        assert!(total.messages_sent > 8, "reduction tree must exchange blocks: {total:?}");
+        assert!(
+            total.messages_sent > 8,
+            "reduction tree must exchange blocks: {total:?}"
+        );
+        out.unwrap_all();
         // Single rank: only the trivial gather/bcast collectives.
         let out1 = run_ranks(1, |ctx| {
             let comm = Comm::world(ctx);
-            splitsolve_parallel(&comm, &a, &b);
-        });
+            splitsolve_parallel(&comm, &a, &b).map(|_| ())
+        })
+        .flattened();
         assert_eq!(out1.total_stats().messages_sent, 0);
+        out1.unwrap_all();
     }
 
     #[test]
     fn more_ranks_than_blocks() {
         let (a, b) = rand_system(3, 2, 2, 7);
-        let reference = thomas_solve(&a, &b);
+        let reference = thomas_solve(&a, &b).unwrap();
         let out = run_ranks(6, |ctx| {
             let comm = Comm::world(ctx);
             splitsolve_parallel(&comm, &a, &b)
-        });
-        for sol in &out.results {
+        })
+        .flattened();
+        for sol in &out.unwrap_all() {
             for (x, y) in sol.iter().zip(&reference) {
                 assert!((x - y).max_abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_block_fails_identically_on_every_rank() {
+        use omen_num::OmenError;
+        // Zero couplings + a zero diagonal block: slab 5's pivot is
+        // provably singular. Every rank must return the same typed error —
+        // no deadlock, no panic, no divergent verdicts.
+        let (a0, b) = rand_system(8, 2, 2, 9);
+        let mut diag = a0.diag.clone();
+        diag[5] = ZMat::zeros(2, 2);
+        let a = BlockTridiag::new(
+            diag,
+            a0.lower.iter().map(|_| ZMat::zeros(2, 2)).collect(),
+            a0.upper.iter().map(|_| ZMat::zeros(2, 2)).collect(),
+        );
+        for &nranks in &[1usize, 3, 4] {
+            let out = run_ranks(nranks, |ctx| {
+                let comm = Comm::world(ctx);
+                splitsolve_parallel(&comm, &a, &b)
+            });
+            assert_eq!(out.results.len(), nranks);
+            for r in &out.results {
+                match r {
+                    Ok(inner) => match inner {
+                        Err(OmenError::SingularBlock { block: 5, .. }) => {}
+                        other => panic!("ranks={nranks}: expected SingularBlock 5, got {other:?}"),
+                    },
+                    Err(e) => panic!("ranks={nranks}: rank must not die: {e}"),
+                }
             }
         }
     }

@@ -15,6 +15,7 @@ use omen_linalg::{matmul, matmul_h_n, ZMat};
 use omen_negf::rgf::build_a_matrix;
 use omen_negf::sancho::{ContactSelfEnergy, Side};
 use omen_negf::transport::{EnergyPointData, DEFAULT_ETA};
+use omen_num::OmenResult;
 use omen_parsim::Comm;
 use omen_sparse::BlockTridiag;
 
@@ -37,13 +38,14 @@ pub fn wf_transport_at_energy(
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
     solver: SolverKind,
-) -> EnergyPointData {
-    let (sl, sr, a, b, ml) = setup(e, h, lead_l, lead_r);
+) -> OmenResult<EnergyPointData> {
+    let (sl, sr, a, b, ml) = setup(e, h, lead_l, lead_r)?;
     let psi = match solver {
         SolverKind::Thomas => thomas_solve(&a, &b),
         SolverKind::Bcr => bcr_solve(&a, &b),
-    };
-    observables(e, h, &sl, &sr, &psi, ml)
+    }
+    .map_err(|err| err.with_energy(e))?;
+    Ok(observables(e, h, &sl, &sr, &psi, ml))
 }
 
 /// Wave-function transport at one energy with the rank-parallel SplitSolve
@@ -54,10 +56,10 @@ pub fn wf_transport_splitsolve(
     h: &BlockTridiag,
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
-) -> EnergyPointData {
-    let (sl, sr, a, b, ml) = setup(e, h, lead_l, lead_r);
-    let psi = splitsolve_parallel(comm, &a, &b);
-    observables(e, h, &sl, &sr, &psi, ml)
+) -> OmenResult<EnergyPointData> {
+    let (sl, sr, a, b, ml) = setup(e, h, lead_l, lead_r)?;
+    let psi = splitsolve_parallel(comm, &a, &b).map_err(|err| err.with_energy(e))?;
+    Ok(observables(e, h, &sl, &sr, &psi, ml))
 }
 
 /// Assembles `A` and the injected right-hand side `B = [W_L at slab 0 |
@@ -67,9 +69,17 @@ fn setup(
     h: &BlockTridiag,
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
-) -> (ContactSelfEnergy, ContactSelfEnergy, BlockTridiag, Vec<ZMat>, usize) {
-    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left);
-    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right);
+) -> OmenResult<(
+    ContactSelfEnergy,
+    ContactSelfEnergy,
+    BlockTridiag,
+    Vec<ZMat>,
+    usize,
+)> {
+    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left)
+        .map_err(|err| err.with_energy(e))?;
+    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right)
+        .map_err(|err| err.with_energy(e))?;
     let a = build_a_matrix(e, DEFAULT_ETA, h, &sl, &sr);
 
     let wl = injection_bundle(&sl.gamma, MODE_TOL);
@@ -77,10 +87,12 @@ fn setup(
     let (ml, mr) = (wl.w.ncols(), wr.w.ncols());
     let nb = h.num_blocks();
     let nrhs = ml + mr;
-    let mut b: Vec<ZMat> = (0..nb).map(|i| ZMat::zeros(h.block_size(i), nrhs)).collect();
+    let mut b: Vec<ZMat> = (0..nb)
+        .map(|i| ZMat::zeros(h.block_size(i), nrhs))
+        .collect();
     b[0].set_block(0, 0, &wl.w);
     b[nb - 1].set_block(0, ml, &wr.w);
-    (sl, sr, a, b, ml)
+    Ok((sl, sr, a, b, ml))
 }
 
 /// Evaluates transmission, LDOS and spectral diagonals from the scattering
@@ -107,14 +119,14 @@ fn observables(
     let mut al = Vec::with_capacity(h.dim());
     let mut ar = Vec::with_capacity(h.dim());
     let mut ldos = Vec::with_capacity(nb);
-    for i in 0..nb {
+    for (i, psi_i) in psi.iter().enumerate().take(nb) {
         let ni = h.block_size(i);
         let mut slab_trace = 0.0;
         for r in 0..ni {
             let mut sl_sum = 0.0;
             let mut sr_sum = 0.0;
             for c in 0..nrhs {
-                let v = psi[i][(r, c)].norm_sqr();
+                let v = psi_i[(r, c)].norm_sqr();
                 if c < ml {
                     sl_sum += v;
                 } else {
@@ -127,21 +139,22 @@ fn observables(
         }
         ldos.push(slab_trace / two_pi);
     }
-    let _ = sl;
     EnergyPointData {
         energy: e,
         transmission,
         ldos,
         spectral_left_diag: al,
         spectral_right_diag: ar,
+        retries: sl.retries + sr.retries,
     }
 }
 
 /// Number of open channels of a lead at energy `e` (for mode-resolved
 /// analyses and the clean-wire conductance-step experiment).
-pub fn open_channels(e: f64, h00: &ZMat, h01: &ZMat, side: Side) -> usize {
-    let se = ContactSelfEnergy::compute(e, DEFAULT_ETA, h00, h01, side);
-    injection_bundle(&se.gamma, MODE_TOL).num_modes()
+pub fn open_channels(e: f64, h00: &ZMat, h01: &ZMat, side: Side) -> OmenResult<usize> {
+    let se = ContactSelfEnergy::compute(e, DEFAULT_ETA, h00, h01, side)
+        .map_err(|err| err.with_energy(e))?;
+    Ok(injection_bundle(&se.gamma, MODE_TOL).num_modes())
 }
 
 #[cfg(test)]
@@ -155,7 +168,9 @@ mod tests {
         let diag: Vec<ZMat> = (0..nb)
             .map(|i| ZMat::from_diag(&[c64::real(e0 + barrier.get(i).copied().unwrap_or(0.0))]))
             .collect();
-        let off: Vec<ZMat> = (0..nb - 1).map(|_| ZMat::from_diag(&[c64::real(t)])).collect();
+        let off: Vec<ZMat> = (0..nb - 1)
+            .map(|_| ZMat::from_diag(&[c64::real(t)]))
+            .collect();
         let h = BlockTridiag::new(diag, off.clone(), off);
         let h00 = ZMat::from_diag(&[c64::real(e0)]);
         let h01 = ZMat::from_diag(&[c64::real(t)]);
@@ -166,8 +181,13 @@ mod tests {
     fn clean_chain_unit_transmission() {
         let (h, h00, h01) = chain(6, 0.0, -1.0, &[]);
         for &e in &[-1.6, -0.8, 0.05, 0.9, 1.7] {
-            let d = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas);
-            assert!((d.transmission - 1.0).abs() < 1e-4, "E={e}: T={}", d.transmission);
+            let d = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas)
+                .unwrap();
+            assert!(
+                (d.transmission - 1.0).abs() < 1e-4,
+                "E={e}: T={}",
+                d.transmission
+            );
         }
     }
 
@@ -178,8 +198,9 @@ mod tests {
         barrier[4] = 0.6;
         let (h, h00, h01) = chain(8, 0.0, -1.0, &barrier);
         for &e in &[-1.3_f64, -0.2, 0.45, 1.2] {
-            let wf = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas);
-            let ng = omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01));
+            let wf = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas)
+                .unwrap();
+            let ng = omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)).unwrap();
             assert!(
                 (wf.transmission - ng.transmission).abs() < 1e-6 * (1.0 + ng.transmission),
                 "E={e}: WF {} vs RGF {}",
@@ -187,10 +208,16 @@ mod tests {
                 ng.transmission
             );
             // Spectral diagonals agree orbital by orbital.
-            for (i, (a, b)) in
-                wf.spectral_left_diag.iter().zip(&ng.spectral_left_diag).enumerate()
+            for (i, (a, b)) in wf
+                .spectral_left_diag
+                .iter()
+                .zip(&ng.spectral_left_diag)
+                .enumerate()
             {
-                assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()), "A_L diag {i}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-5 * (1.0 + b.abs()),
+                    "A_L diag {i}: {a} vs {b}"
+                );
             }
             for (a, b) in wf.spectral_right_diag.iter().zip(&ng.spectral_right_diag) {
                 assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()));
@@ -208,8 +235,10 @@ mod tests {
         barrier[4] = 0.5;
         let (h, h00, h01) = chain(9, 0.0, -1.0, &barrier);
         for &e in &[-0.9, 0.35, 1.1] {
-            let a = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas);
-            let b = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Bcr);
+            let a = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas)
+                .unwrap();
+            let b =
+                wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Bcr).unwrap();
             assert!((a.transmission - b.transmission).abs() < 1e-9);
         }
     }
@@ -220,15 +249,19 @@ mod tests {
         let p = TbParams::of(Material::SiSp3s);
         let ham = DeviceHamiltonian::new(&dev, p, false);
         // A gentle potential step through the device.
-        let pot: Vec<f64> =
-            dev.atoms.iter().map(|at| 0.05 * (at.pos.x / dev.length())).collect();
+        let pot: Vec<f64> = dev
+            .atoms
+            .iter()
+            .map(|at| 0.05 * (at.pos.x / dev.length()))
+            .collect();
         let h = ham.assemble(&pot, 0.0);
         let (h00, h01) = ham.lead_blocks(0.0, 0.0);
         let (h00r, h01r) = ham.lead_blocks(0.05, 0.0);
         for &e in &[1.7_f64, 2.1] {
             let wf =
-                wf_transport_at_energy(e, &h, (&h00, &h01), (&h00r, &h01r), SolverKind::Thomas);
-            let ng = omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00r, &h01r));
+                wf_transport_at_energy(e, &h, (&h00, &h01), (&h00r, &h01r), SolverKind::Thomas)
+                    .unwrap();
+            let ng = omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00r, &h01r)).unwrap();
             assert!(
                 (wf.transmission - ng.transmission).abs() < 1e-5 * (1.0 + ng.transmission),
                 "E={e}: WF {} vs RGF {}",
@@ -241,11 +274,12 @@ mod tests {
     #[test]
     fn open_channel_count_matches_transmission_steps() {
         let (h, h00, h01) = chain(5, 0.0, -1.0, &[]);
-        let inside = open_channels(0.5, &h00, &h01, Side::Left);
+        let inside = open_channels(0.5, &h00, &h01, Side::Left).unwrap();
         assert_eq!(inside, 1);
-        let outside = open_channels(2.5, &h00, &h01, Side::Left);
+        let outside = open_channels(2.5, &h00, &h01, Side::Left).unwrap();
         assert_eq!(outside, 0);
-        let d = wf_transport_at_energy(0.5, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas);
+        let d = wf_transport_at_energy(0.5, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas)
+            .unwrap();
         assert!((d.transmission - inside as f64).abs() < 1e-4);
     }
 
@@ -255,13 +289,20 @@ mod tests {
         barrier[2] = 0.4;
         let (h, h00, h01) = chain(8, 0.0, -1.0, &barrier);
         let e = 0.6;
-        let seq = wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas);
+        let seq =
+            wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), SolverKind::Thomas).unwrap();
         let out = omen_parsim::run_ranks(3, |ctx| {
             let comm = Comm::world(ctx);
-            wf_transport_splitsolve(&comm, e, &h, (&h00, &h01), (&h00, &h01)).transmission
-        });
-        for &t in &out.results {
-            assert!((t - seq.transmission).abs() < 1e-8, "{t} vs {}", seq.transmission);
+            wf_transport_splitsolve(&comm, e, &h, (&h00, &h01), (&h00, &h01))
+                .map(|d| d.transmission)
+        })
+        .flattened();
+        for t in out.unwrap_all() {
+            assert!(
+                (t - seq.transmission).abs() < 1e-8,
+                "{t} vs {}",
+                seq.transmission
+            );
         }
     }
 }

@@ -68,9 +68,18 @@ fn main() {
                 }
             })
             .collect();
-        let bias = Bias { v_gate: vg, v_ds, mu_source };
+        let bias = Bias {
+            v_gate: vg,
+            v_ds,
+            mu_source,
+        };
         let r = ballistic_solve(&tr, &v_atoms, &bias, Engine::WfThomas, 81, 0.0);
-        println!("  {:+.3}    {:12.5e}     {:+.3}", vg, r.current_ua, cbm - vg);
+        println!(
+            "  {:+.3}    {:12.5e}     {:+.3}",
+            vg,
+            r.current_ua,
+            cbm - vg
+        );
         pts.push(IvPoint {
             v_gate: vg,
             v_ds,
@@ -81,10 +90,16 @@ fn main() {
     }
 
     let on = pts.last().unwrap().current_ua;
-    let off = pts.iter().map(|p| p.current_ua).fold(f64::INFINITY, f64::min);
+    let off = pts
+        .iter()
+        .map(|p| p.current_ua)
+        .fold(f64::INFINITY, f64::min);
     println!("\nI_on/I_min over the sweep ≈ {:.2e}", on / off.max(1e-15));
     if let Some(ss) = subthreshold_swing(&pts) {
         println!("steepest swing over the BTBT turn-on ≈ {ss:.1} mV/dec");
     }
-    assert!(on > 10.0 * off.max(1e-15), "gate must open the tunneling window");
+    assert!(
+        on > 10.0 * off.max(1e-15),
+        "gate must open the tunneling window"
+    );
 }

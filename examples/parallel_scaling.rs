@@ -31,22 +31,33 @@ fn main() {
     reset_flops();
     let t0 = std::time::Instant::now();
     let reference =
-        sequential_transmission(&h, (&h00, &h01), (&h00, &h01), &energies, Engine::WfThomas);
+        sequential_transmission(&h, (&h00, &h01), (&h00, &h01), &energies, Engine::WfThomas)
+            .expect("sequential sweep failed");
     let seq_time = t0.elapsed();
     let seq_flops = flop_count();
 
-    let cfg = LevelConfig { bias: 1, momentum: 1, energy: 2, spatial: 2 };
+    let cfg = LevelConfig {
+        bias: 1,
+        momentum: 1,
+        energy: 2,
+        spatial: 2,
+    };
     let t1 = std::time::Instant::now();
     let out = run_ranks(cfg.total(), |ctx| {
         let comms = split_levels(ctx, &cfg);
         parallel_transmission(&comms, &cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
-    });
+    })
+    .flattened();
     let par_time = t1.elapsed();
-
-    for (a, b) in out.results[0].iter().zip(&reference) {
-        assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()), "distributed must equal sequential");
-    }
     let stats = out.total_stats();
+    let results = out.unwrap_all();
+
+    for (a, b) in results[0].iter().zip(&reference) {
+        assert!(
+            (a - b).abs() < 1e-8 * (1.0 + b.abs()),
+            "distributed must equal sequential"
+        );
+    }
     println!("sequential sweep: {seq_time:?} ({seq_flops} flops)");
     println!(
         "4-rank (2 energy groups × 2 spatial) sweep: {par_time:?}, \
@@ -56,7 +67,11 @@ fn main() {
 
     // --- 2. Jaguar projection -------------------------------------------
     let jaguar = MachineModel::jaguar_xt5();
-    println!("\nprojection target: {} ({:.2} PFlop/s peak)", jaguar.name, jaguar.peak_flops() / 1e15);
+    println!(
+        "\nprojection target: {} ({:.2} PFlop/s peak)",
+        jaguar.name,
+        jaguar.peak_flops() / 1e15
+    );
     // A production bias point: scale the measured per-energy flop count to
     // the paper-class workload (~50k atoms, sp3d5s*, ~1000 energies × 21
     // k-points × 13 bias points).

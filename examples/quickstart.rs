@@ -59,19 +59,27 @@ fn main() {
         .sum();
     let n_occ = (4 * offsets[1] - dangling) / 2;
     let (wvbm, wcbm, wgap) = bands::wire_gap(&wire, n_occ);
-    println!("          confined gap = {wgap:.3} eV (bulk {gap:.3}) — VBM {wvbm:+.3}, CBM {wcbm:+.3}");
+    println!(
+        "          confined gap = {wgap:.3} eV (bulk {gap:.3}) — VBM {wvbm:+.3}, CBM {wcbm:+.3}"
+    );
 
     // --- 3. Ballistic transmission: RGF vs wave-function ----------------
     let pot = vec![0.0; device.num_atoms()];
     let h = ham.assemble(&pot, 0.0);
     println!("\n   E (eV)    T_RGF      T_WF");
     for e in linspace(wcbm + 0.03, wcbm + 0.63, 7) {
-        let t_rgf = negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)).transmission;
+        let t_rgf = negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+            .expect("RGF point failed")
+            .transmission;
         let t_wf =
             wf::wf_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01), wf::SolverKind::Thomas)
+                .expect("WF point failed")
                 .transmission;
         println!("  {e:+.3}   {t_rgf:8.5}  {t_wf:8.5}");
-        assert!((t_rgf - t_wf).abs() < 1e-4 * (1.0 + t_rgf), "engines must agree");
+        assert!(
+            (t_rgf - t_wf).abs() < 1e-4 * (1.0 + t_rgf),
+            "engines must agree"
+        );
     }
     println!("\nRGF and wave-function engines agree to numerical precision ✓");
 }

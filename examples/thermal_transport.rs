@@ -38,19 +38,19 @@ fn main() {
     );
 
     // Low-frequency transmission counts the gapless branches.
-    let t0 = phonon_transmission(&si, 1.0);
+    let t0 = phonon_transmission(&si, 1.0).expect("phonon solve failed");
     println!("T(ω→0) = {t0:.3} (3 translations + torsion = 4 channels)");
 
     println!("\n   T (K)    κ_Si (W/K)    κ_Ge (W/K)   κ_Si/(T·κ₀)");
     for t in [2.0, 20.0, 77.0, 300.0] {
-        let k_si = thermal_conductance(&si, t, 40);
-        let k_ge = thermal_conductance(&ge, t, 40);
+        let k_si = thermal_conductance(&si, t, 40).expect("phonon solve failed");
+        let k_ge = thermal_conductance(&ge, t, 40).expect("phonon solve failed");
         println!(
             "  {t:6.0}   {k_si:.3e}    {k_ge:.3e}   {:.2}",
             k_si / (t * KAPPA_QUANTUM_W_PER_K2)
         );
     }
-    let k2 = thermal_conductance(&si, 2.0, 40);
+    let k2 = thermal_conductance(&si, 2.0, 40).expect("phonon solve failed");
     let quanta = k2 / (2.0 * KAPPA_QUANTUM_W_PER_K2);
     assert!(
         (quanta - 4.0).abs() < 0.6,

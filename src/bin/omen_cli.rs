@@ -58,15 +58,21 @@ fn run(spec_text: &str) -> Result<(), String> {
     let user = parse_spec(spec_text)?;
     for k in user.keys() {
         if !defaults.contains_key(k) {
-            return Err(format!("unknown key `{k}` (see --print-default for valid keys)"));
+            return Err(format!(
+                "unknown key `{k}` (see --print-default for valid keys)"
+            ));
         }
     }
     let get = |k: &str| user.get(k).unwrap_or_else(|| &defaults[k]).clone();
     let getf = |k: &str| -> Result<f64, String> {
-        get(k).parse().map_err(|_| format!("key `{k}`: expected a number, got `{}`", get(k)))
+        get(k)
+            .parse()
+            .map_err(|_| format!("key `{k}`: expected a number, got `{}`", get(k)))
     };
     let getu = |k: &str| -> Result<usize, String> {
-        get(k).parse().map_err(|_| format!("key `{k}`: expected an integer, got `{}`", get(k)))
+        get(k)
+            .parse()
+            .map_err(|_| format!("key `{k}`: expected an integer, got `{}`", get(k)))
     };
 
     let material = match get("material").as_str() {
@@ -88,7 +94,9 @@ fn run(spec_text: &str) -> Result<(), String> {
     spec.geometry = match get("geometry").as_str() {
         "nanowire" => Geometry::Nanowire { w: width, h: width },
         "utb" => Geometry::Utb { cells: 1, h: width },
-        "ribbon" => Geometry::Ribbon { n_dimer: width as usize },
+        "ribbon" => Geometry::Ribbon {
+            n_dimer: width as usize,
+        },
         g => return Err(format!("unknown geometry `{g}`")),
     };
     spec.material = material;
@@ -117,7 +125,11 @@ fn run(spec_text: &str) -> Result<(), String> {
     let points = match get("mode").as_str() {
         "frozen" => frozen_field_sweep(&tr, &vgs, v_ds, mu, engine, n_energy),
         "scf" => {
-            let opts = ScfOptions { engine, n_energy, ..ScfOptions::default() };
+            let opts = ScfOptions {
+                engine,
+                n_energy,
+                ..ScfOptions::default()
+            };
             gate_sweep(&mut tr, &vgs, v_ds, mu, &opts)
         }
         m => return Err(format!("unknown mode `{m}`")),

@@ -30,7 +30,8 @@ fn scf_gate_sweep_is_monotone_and_converged() {
     let pts = gate_sweep(&mut tr, &vgs, 0.2, -3.4, &quick_opts());
     assert!(pts.iter().all(|p| p.converged), "all bias points converge");
     assert!(
-        pts.windows(2).all(|w| w[1].current_ua > w[0].current_ua * 0.9),
+        pts.windows(2)
+            .all(|w| w[1].current_ua > w[0].current_ua * 0.9),
         "transfer curve is (weakly) monotone"
     );
     assert!(on_off_ratio(&pts).unwrap() > 50.0);
@@ -50,7 +51,10 @@ fn alloy_channel_transports_and_scatters() {
     let m = AlloyModel::random_channel(&dev, si, ge, 0.4, 99);
     let ham_alloy = DeviceHamiltonian::new_alloy(&dev, m, false);
     let h_alloy = ham_alloy.assemble(&pot, 0.0);
-    assert!(h_alloy.is_hermitian(1e-11), "alloy Hamiltonian stays Hermitian");
+    assert!(
+        h_alloy.is_hermitian(1e-11),
+        "alloy Hamiltonian stays Hermitian"
+    );
 
     // Mean transmission over a conduction window: disorder must scatter.
     let energies = linspace(1.9, 2.2, 5);
@@ -59,6 +63,7 @@ fn alloy_channel_transports_and_scatters() {
             .iter()
             .map(|&e| {
                 omen::negf::transport_at_energy(e, h, (&lead.0, &lead.1), (&lead.0, &lead.1))
+                    .unwrap()
                     .transmission
             })
             .sum::<f64>()
@@ -67,17 +72,22 @@ fn alloy_channel_transports_and_scatters() {
     let t_pure = mean(&h_pure);
     let t_alloy = mean(&h_alloy);
     assert!(t_pure > 0.5, "reference wire must conduct ({t_pure})");
-    assert!(t_alloy < t_pure, "alloy disorder must backscatter: {t_alloy} vs {t_pure}");
+    assert!(
+        t_alloy < t_pure,
+        "alloy disorder must backscatter: {t_alloy} vs {t_pure}"
+    );
     // Engines still agree on the disordered device.
     let e = 2.0;
-    let rgf = omen::negf::transport_at_energy(e, &h_alloy, (&lead.0, &lead.1), (&lead.0, &lead.1));
+    let rgf = omen::negf::transport_at_energy(e, &h_alloy, (&lead.0, &lead.1), (&lead.0, &lead.1))
+        .unwrap();
     let wf = omen::wf::wf_transport_at_energy(
         e,
         &h_alloy,
         (&lead.0, &lead.1),
         (&lead.0, &lead.1),
         omen::wf::SolverKind::Thomas,
-    );
+    )
+    .unwrap();
     assert!((rgf.transmission - wf.transmission).abs() < 1e-4 * (1.0 + rgf.transmission));
 }
 
@@ -97,6 +107,7 @@ fn strained_device_transport_shifts_band_edge() {
         let h = ham.assemble(&pot, 0.0);
         let lead = ham.lead_blocks(0.0, 0.0);
         omen::negf::transport_at_energy(e_probe, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
+            .unwrap()
             .transmission
     };
     let t0 = t(&dev0);
@@ -104,7 +115,10 @@ fn strained_device_transport_shifts_band_edge() {
     // Tensile strain weakens hoppings → band narrows → the probe energy
     // falls below the strained band bottom.
     assert!(t0 > 0.5, "unstrained wire conducts at the probe ({t0})");
-    assert!(t1 < 0.1, "3% tensile strain must push the band edge past the probe ({t1})");
+    assert!(
+        t1 < 0.1,
+        "3% tensile strain must push the band edge past the probe ({t1})"
+    );
 }
 
 #[test]
@@ -119,11 +133,18 @@ fn frozen_and_scf_agree_in_the_far_on_state() {
     let frozen = frozen_field_sweep(&tr, &[vg], 0.2, -3.4, Engine::WfThomas, 25)[0].current_ua;
     let scf = omen::core::self_consistent(
         &mut tr,
-        &Bias { v_gate: vg, v_ds: 0.2, mu_source: -3.4 },
+        &Bias {
+            v_gate: vg,
+            v_ds: 0.2,
+            mu_source: -3.4,
+        },
         &quick_opts(),
         None,
     )
     .transport
     .current_ua;
-    assert!(scf > 0.2 * frozen && scf < 5.0 * frozen, "frozen {frozen} vs SCF {scf}");
+    assert!(
+        scf > 0.2 * frozen && scf < 5.0 * frozen,
+        "frozen {frozen} vs SCF {scf}"
+    );
 }

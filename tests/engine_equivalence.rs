@@ -17,9 +17,13 @@ fn check_equivalence(
     tol: f64,
 ) {
     for &e in energies {
-        let rgf = omen::negf::transport_at_energy(e, h, lead_l, lead_r);
-        let wf = omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Thomas);
-        let bcr = omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Bcr);
+        let rgf = omen::negf::transport_at_energy(e, h, lead_l, lead_r)
+            .unwrap_or_else(|err| panic!("{name} E={e}: RGF failed: {err}"));
+        let wf =
+            omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Thomas)
+                .unwrap_or_else(|err| panic!("{name} E={e}: WF Thomas failed: {err}"));
+        let bcr = omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Bcr)
+            .unwrap_or_else(|err| panic!("{name} E={e}: WF BCR failed: {err}"));
         let scale = 1.0 + rgf.transmission.abs();
         assert!(
             (rgf.transmission - wf.transmission).abs() < tol * scale,
@@ -32,7 +36,11 @@ fn check_equivalence(
             "{name} E={e}: Thomas vs BCR backend"
         );
         // Spectral densities agree orbital-by-orbital.
-        for (i, (a, b)) in wf.spectral_left_diag.iter().zip(&rgf.spectral_left_diag).enumerate()
+        for (i, (a, b)) in wf
+            .spectral_left_diag
+            .iter()
+            .zip(&rgf.spectral_left_diag)
+            .enumerate()
         {
             assert!(
                 (a - b).abs() < 100.0 * tol * (1.0 + b.abs()),
@@ -41,7 +49,10 @@ fn check_equivalence(
         }
         // LDOS agrees.
         for (a, b) in wf.ldos.iter().zip(&rgf.ldos) {
-            assert!((a - b).abs() < 100.0 * tol * (1.0 + b.abs()), "{name} E={e} LDOS");
+            assert!(
+                (a - b).abs() < 100.0 * tol * (1.0 + b.abs()),
+                "{name} E={e} LDOS"
+            );
         }
     }
 }
@@ -54,9 +65,12 @@ fn chain_with_disorder() {
         s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
-    let diag: Vec<ZMat> =
-        (0..nb).map(|_| ZMat::from_diag(&[c64::real(0.4 * next())])).collect();
-    let off: Vec<ZMat> = (0..nb - 1).map(|_| ZMat::from_diag(&[c64::real(-1.0)])).collect();
+    let diag: Vec<ZMat> = (0..nb)
+        .map(|_| ZMat::from_diag(&[c64::real(0.4 * next())]))
+        .collect();
+    let off: Vec<ZMat> = (0..nb - 1)
+        .map(|_| ZMat::from_diag(&[c64::real(-1.0)]))
+        .collect();
     let h = BlockTridiag::new(diag, off.clone(), off);
     let h00 = ZMat::from_diag(&[c64::ZERO]);
     let h01 = ZMat::from_diag(&[c64::real(-1.0)]);
@@ -75,7 +89,11 @@ fn silicon_wire_with_potential_step() {
     let p = TbParams::of(Material::SiSp3s);
     let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 4, 0.8, 0.8);
     let ham = DeviceHamiltonian::new(&dev, p, false);
-    let pot: Vec<f64> = dev.atoms.iter().map(|a| 0.08 * (a.pos.x / dev.length())).collect();
+    let pot: Vec<f64> = dev
+        .atoms
+        .iter()
+        .map(|a| 0.08 * (a.pos.x / dev.length()))
+        .collect();
     let h = ham.assemble(&pot, 0.0);
     let ll = ham.lead_blocks(0.0, 0.0);
     let lr = ham.lead_blocks(0.08, 0.0);
@@ -94,8 +112,11 @@ fn graphene_ribbon() {
     let dev = Device::ribbon_agnr(0.142, 6, 7);
     let p = TbParams::of(Material::GraphenePz);
     let ham = DeviceHamiltonian::new(&dev, p, false);
-    let pot: Vec<f64> =
-        dev.atoms.iter().map(|a| if a.slab >= 2 && a.slab < 4 { 0.2 } else { 0.0 }).collect();
+    let pot: Vec<f64> = dev
+        .atoms
+        .iter()
+        .map(|a| if a.slab >= 2 && a.slab < 4 { 0.2 } else { 0.0 })
+        .collect();
     let h = ham.assemble(&pot, 0.0);
     let lead = ham.lead_blocks(0.0, 0.0);
     check_equivalence(

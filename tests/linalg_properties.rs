@@ -1,137 +1,202 @@
-//! Property-based tests on the dense/sparse linear-algebra substrates.
+//! Property-style tests on the dense/sparse linear-algebra substrates.
 //!
 //! These are the invariants the transport engines silently rely on; each is
-//! checked over randomized inputs far beyond what the unit tests sample.
+//! checked over many randomized inputs far beyond what the unit tests
+//! sample. Randomness comes from a deterministic splitmix-style generator,
+//! so every run exercises the identical case set and failures reproduce by
+//! case index.
 
 use omen::linalg::{eigh, lu::Lu, matmul, matmul_h_n, qr_decompose, ZMat};
 use omen::num::c64;
 use omen::sparse::{BlockTridiag, Coo};
-use proptest::prelude::*;
 
-/// Strategy: a random complex matrix with entries in [-1, 1]².
-fn zmat(n: usize, m: usize) -> impl Strategy<Value = ZMat> {
-    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n * m).prop_map(move |v| {
-        ZMat::from_vec(n, m, v.into_iter().map(|(re, im)| c64::new(re, im)).collect())
-    })
-}
+/// Deterministic uniform generator on [-1, 1).
+struct Rng(u64);
 
-/// Strategy: a well-conditioned (diagonally dominant) square matrix.
-fn dominant(n: usize) -> impl Strategy<Value = ZMat> {
-    zmat(n, n).prop_map(move |mut a| {
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let z = self.0 ^ (self.0 >> 29);
+        ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + ((self.f64() + 1.0) / 2.0 * (hi - lo) as f64) as usize % (hi - lo)
+    }
+
+    fn zmat(&mut self, n: usize, m: usize) -> ZMat {
+        ZMat::from_fn(n, m, |_, _| c64::new(self.f64(), self.f64()))
+    }
+
+    /// Well-conditioned (diagonally dominant) square matrix.
+    fn dominant(&mut self, n: usize) -> ZMat {
+        let mut a = self.zmat(n, n);
         for i in 0..n {
             a[(i, i)] += c64::real(2.0 * n as f64);
         }
         a
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lu_solves_and_roundtrips(a in dominant(7), b in zmat(7, 3)) {
+#[test]
+fn lu_solves_and_roundtrips() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x1000 + case);
+        let a = rng.dominant(7);
+        let b = rng.zmat(7, 3);
         let f = Lu::factor(&a).unwrap();
         let x = f.solve_mat(&b);
         let r = &matmul(&a, &x) - &b;
-        prop_assert!(r.max_abs() < 1e-9, "residual {}", r.max_abs());
+        assert!(r.max_abs() < 1e-9, "case {case}: residual {}", r.max_abs());
         // Inverse really inverts.
         let inv = f.inverse();
         let e = &matmul(&a, &inv) - &ZMat::eye(7);
-        prop_assert!(e.max_abs() < 1e-9);
+        assert!(e.max_abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn determinant_is_multiplicative(a in dominant(5), b in dominant(5)) {
+#[test]
+fn determinant_is_multiplicative() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x2000 + case);
+        let a = rng.dominant(5);
+        let b = rng.dominant(5);
         let da = Lu::factor(&a).unwrap().det();
         let db = Lu::factor(&b).unwrap().det();
         let dab = Lu::factor(&matmul(&a, &b)).unwrap().det();
-        prop_assert!((da * db - dab).abs() < 1e-6 * (1.0 + dab.abs()),
-            "det(AB) = det A det B violated: {} vs {}", da * db, dab);
+        assert!(
+            (da * db - dab).abs() < 1e-6 * (1.0 + dab.abs()),
+            "case {case}: det(AB) = det A det B violated: {} vs {}",
+            da * db,
+            dab
+        );
     }
+}
 
-    #[test]
-    fn eigh_reconstructs(a in zmat(6, 6)) {
-        let h = a.hermitian_part();
+#[test]
+fn eigh_reconstructs() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x3000 + case);
+        let h = rng.zmat(6, 6).hermitian_part();
         let r = eigh(&h);
         // V Λ V† = H
         let lam = ZMat::from_diag(&r.values.iter().map(|&v| c64::real(v)).collect::<Vec<_>>());
         let vl = matmul(&r.vectors, &lam);
         let rec = omen::linalg::matmul_n_h(&vl, &r.vectors);
-        prop_assert!((&rec - &h).max_abs() < 1e-8, "VΛV† ≠ H: {}", (&rec - &h).max_abs());
+        assert!(
+            (&rec - &h).max_abs() < 1e-8,
+            "case {case}: VΛV† ≠ H: {}",
+            (&rec - &h).max_abs()
+        );
         // Eigenvalues real and sorted.
-        prop_assert!(r.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!(
+            r.values.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn qr_orthonormal_and_reconstructs(a in zmat(8, 4)) {
+#[test]
+fn qr_orthonormal_and_reconstructs() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x4000 + case);
+        let a = rng.zmat(8, 4);
         let (q, r) = qr_decompose(&a);
         let qa = &matmul(&q, &r) - &a;
-        prop_assert!(qa.max_abs() < 1e-9);
+        assert!(qa.max_abs() < 1e-9, "case {case}");
         let qhq = matmul_h_n(&q, &q);
         // Columns are orthonormal or exactly zero (rank deficiency).
         for i in 0..4 {
             for j in 0..4 {
                 let v = qhq[(i, j)];
-                let expect = if i == j && r[(i, i)] != c64::ZERO { 1.0 } else { 0.0 };
-                prop_assert!((v - c64::real(expect)).abs() < 1e-9 || (i == j && v.abs() < 1e-9));
+                let expect = if i == j && r[(i, i)] != c64::ZERO {
+                    1.0
+                } else {
+                    0.0
+                };
+                assert!(
+                    (v - c64::real(expect)).abs() < 1e-9 || (i == j && v.abs() < 1e-9),
+                    "case {case}: Q†Q[{i},{j}] = {v:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn general_eig_preserves_trace(a in zmat(6, 6)) {
+#[test]
+fn general_eig_preserves_trace() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x5000 + case);
+        let a = rng.zmat(6, 6);
         let eigs = omen::linalg::eig_values_general(&a);
         let sum: c64 = eigs.iter().copied().sum();
-        prop_assert!((sum - a.trace()).abs() < 1e-7 * (1.0 + a.trace().abs()));
-    }
-
-    #[test]
-    fn gemm_is_associative(a in zmat(4, 5), b in zmat(5, 3), c in zmat(3, 6)) {
-        let left = matmul(&matmul(&a, &b), &c);
-        let right = matmul(&a, &matmul(&b, &c));
-        prop_assert!((&left - &right).max_abs() < 1e-11);
-    }
-
-    #[test]
-    fn adjoint_of_product(a in zmat(4, 5), b in zmat(5, 3)) {
-        // (AB)† = B†A†
-        let lhs = matmul(&a, &b).adjoint();
-        let rhs = matmul(&b.adjoint(), &a.adjoint());
-        prop_assert!((&lhs - &rhs).max_abs() < 1e-12);
+        assert!(
+            (sum - a.trace()).abs() < 1e-7 * (1.0 + a.trace().abs()),
+            "case {case}: Σλ = {sum:?} vs tr = {:?}",
+            a.trace()
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn gemm_is_associative() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x6000 + case);
+        let a = rng.zmat(4, 5);
+        let b = rng.zmat(5, 3);
+        let c = rng.zmat(3, 6);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!((&left - &right).max_abs() < 1e-11, "case {case}");
+    }
+}
 
-    #[test]
-    fn block_tridiag_matvec_matches_dense(
-        seed in 0u64..10_000,
-        nb in 2usize..6,
-        bs in 1usize..4,
-    ) {
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        let mut next = move || {
-            s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-        };
-        let mut rnd = |r: usize, c: usize| ZMat::from_fn(r, c, |_, _| c64::new(next(), next()));
-        let diag: Vec<ZMat> = (0..nb).map(|_| rnd(bs, bs)).collect();
-        let lower: Vec<ZMat> = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
-        let upper: Vec<ZMat> = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
+#[test]
+fn adjoint_of_product() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x7000 + case);
+        let a = rng.zmat(4, 5);
+        let b = rng.zmat(5, 3);
+        // (AB)† = B†A†
+        let lhs = matmul(&a, &b).adjoint();
+        let rhs = matmul(&b.adjoint(), &a.adjoint());
+        assert!((&lhs - &rhs).max_abs() < 1e-12, "case {case}");
+    }
+}
+
+#[test]
+fn block_tridiag_matvec_matches_dense() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(0x8000 + case);
+        let nb = rng.range(2, 6);
+        let bs = rng.range(1, 4);
+        let diag: Vec<ZMat> = (0..nb).map(|_| rng.zmat(bs, bs)).collect();
+        let lower: Vec<ZMat> = (0..nb - 1).map(|_| rng.zmat(bs, bs)).collect();
+        let upper: Vec<ZMat> = (0..nb - 1).map(|_| rng.zmat(bs, bs)).collect();
         let bt = BlockTridiag::new(diag, lower, upper);
-        let x: Vec<c64> = (0..bt.dim()).map(|_| c64::new(next(), next())).collect();
+        let x: Vec<c64> = (0..bt.dim())
+            .map(|_| c64::new(rng.f64(), rng.f64()))
+            .collect();
         let y1 = bt.matvec(&x);
         let y2 = bt.to_dense().matvec(&x);
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((*a - *b).abs() < 1e-11);
+            assert!((*a - *b).abs() < 1e-11, "case {case}: nb={nb} bs={bs}");
         }
     }
+}
 
-    #[test]
-    fn coo_accumulation_order_invariant(
-        entries in proptest::collection::vec((0usize..5, 0usize..5, -1.0f64..1.0), 1..40),
-    ) {
+#[test]
+fn coo_accumulation_order_invariant() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(0x9000 + case);
+        let count = rng.range(1, 40);
+        let entries: Vec<(usize, usize, f64)> = (0..count)
+            .map(|_| (rng.range(0, 5), rng.range(0, 5), rng.f64()))
+            .collect();
         let mut fwd = Coo::new(5, 5);
         for &(i, j, v) in &entries {
             fwd.push(i, j, c64::real(v));
@@ -142,6 +207,9 @@ proptest! {
         }
         let a = fwd.to_csr().to_dense();
         let b = rev.to_csr().to_dense();
-        prop_assert!((&a - &b).max_abs() < 1e-12, "assembly must be order independent");
+        assert!(
+            (&a - &b).max_abs() < 1e-12,
+            "case {case}: assembly must be order independent"
+        );
     }
 }

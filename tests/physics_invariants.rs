@@ -1,8 +1,9 @@
-//! Property-based physics invariants over randomized devices.
+//! Physics invariants over randomized devices.
 //!
 //! Each property encodes a law any correct ballistic quantum-transport
 //! implementation must satisfy, checked over randomized disorder, barriers
-//! and energies:
+//! and energies (deterministic generator, so every run covers the same
+//! cases):
 //!
 //! * `0 ≤ T(E) ≤ N_modes` (unitarity of the scattering matrix);
 //! * `T_{L→R} = T_{R→L}` (reciprocity);
@@ -14,12 +15,37 @@ use omen::linalg::ZMat;
 use omen::num::{c64, A_SI};
 use omen::sparse::BlockTridiag;
 use omen::tb::{DeviceHamiltonian, Material, TbParams};
-use proptest::prelude::*;
+
+/// Deterministic uniform generator on [-1, 1).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(9))
+    }
+
+    fn f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(9);
+        let z = self.0 ^ (self.0 >> 29);
+        ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.f64() + 1.0) / 2.0 * (hi - lo)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + ((self.f64() + 1.0) / 2.0 * (hi - lo) as f64) as usize % (hi - lo)
+    }
+}
 
 fn chain(nb: usize, onsite: &[f64]) -> (BlockTridiag, ZMat, ZMat) {
-    let diag: Vec<ZMat> =
-        (0..nb).map(|i| ZMat::from_diag(&[c64::real(onsite[i])])).collect();
-    let off: Vec<ZMat> = (0..nb - 1).map(|_| ZMat::from_diag(&[c64::real(-1.0)])).collect();
+    let diag: Vec<ZMat> = (0..nb)
+        .map(|i| ZMat::from_diag(&[c64::real(onsite[i])]))
+        .collect();
+    let off: Vec<ZMat> = (0..nb - 1)
+        .map(|_| ZMat::from_diag(&[c64::real(-1.0)]))
+        .collect();
     (
         BlockTridiag::new(diag, off.clone(), off),
         ZMat::from_diag(&[c64::ZERO]),
@@ -27,123 +53,166 @@ fn chain(nb: usize, onsite: &[f64]) -> (BlockTridiag, ZMat, ZMat) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn transmission_bounded_by_modes(
-        onsite in proptest::collection::vec(-0.8f64..0.8, 8),
-        e in -1.8f64..1.8,
-    ) {
+#[test]
+fn transmission_bounded_by_modes() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x11 + case);
+        let onsite: Vec<f64> = (0..8).map(|_| rng.uniform(-0.8, 0.8)).collect();
+        let e = rng.uniform(-1.8, 1.8);
         let (h, h00, h01) = chain(8, &onsite);
-        let t = omen::negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)).transmission;
+        let t = omen::negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
         // Single-mode chain: 0 ≤ T ≤ 1 (small numerical slack).
-        prop_assert!(t >= -1e-6, "T = {t} negative at E = {e}");
-        prop_assert!(t <= 1.0 + 1e-6, "T = {t} exceeds the open channel count at E = {e}");
+        assert!(t >= -1e-6, "case {case}: T = {t} negative at E = {e}");
+        assert!(
+            t <= 1.0 + 1e-6,
+            "case {case}: T = {t} exceeds the open channel count at E = {e}"
+        );
     }
+}
 
-    #[test]
-    fn reciprocity(
-        onsite in proptest::collection::vec(-0.8f64..0.8, 7),
-        e in -1.5f64..1.5,
-    ) {
+#[test]
+fn reciprocity() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x22 + case);
+        let onsite: Vec<f64> = (0..7).map(|_| rng.uniform(-0.8, 0.8)).collect();
+        let e = rng.uniform(-1.5, 1.5);
         let (h, h00, h01) = chain(7, &onsite);
         // Forward device vs spatially reversed device.
         let rev: Vec<f64> = onsite.iter().rev().cloned().collect();
         let (hr, _, _) = chain(7, &rev);
-        let tf = omen::negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)).transmission;
-        let tb = omen::negf::transport_at_energy(e, &hr, (&h00, &h01), (&h00, &h01)).transmission;
-        prop_assert!((tf - tb).abs() < 1e-7 * (1.0 + tf), "T forward {tf} vs reversed {tb}");
+        let tf = omen::negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
+        let tb = omen::negf::transport_at_energy(e, &hr, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
+        assert!(
+            (tf - tb).abs() < 1e-7 * (1.0 + tf),
+            "case {case}: T forward {tf} vs reversed {tb}"
+        );
     }
+}
 
-    #[test]
-    fn spectral_sum_rule(
-        onsite in proptest::collection::vec(-0.6f64..0.6, 6),
-        e in -1.4f64..1.4,
-    ) {
+#[test]
+fn spectral_sum_rule() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x33 + case);
+        let onsite: Vec<f64> = (0..6).map(|_| rng.uniform(-0.6, 0.6)).collect();
+        let e = rng.uniform(-1.4, 1.4);
         let (h, h00, h01) = chain(6, &onsite);
         let sl = omen::negf::sancho::ContactSelfEnergy::compute(
-            e, 2e-6, &h00, &h01, omen::negf::sancho::Side::Left);
+            e,
+            2e-6,
+            &h00,
+            &h01,
+            omen::negf::sancho::Side::Left,
+        )
+        .unwrap();
         let sr = omen::negf::sancho::ContactSelfEnergy::compute(
-            e, 2e-6, &h00, &h01, omen::negf::sancho::Side::Right);
+            e,
+            2e-6,
+            &h00,
+            &h01,
+            omen::negf::sancho::Side::Right,
+        )
+        .unwrap();
         let a = omen::negf::rgf::build_a_matrix(e, 2e-6, &h, &sl, &sr);
-        let r = omen::negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma);
+        let r = omen::negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma).unwrap();
         for i in 0..6 {
             let spectral = r.g_diag[i].gamma_of();
             let sum = &r.spectral_left(&sl.gamma, i) + &r.spectral_right(&sr.gamma, i);
-            prop_assert!(
+            assert!(
                 (&spectral - &sum).max_abs() < 2e-4 * (1.0 + spectral.max_abs()),
-                "sum rule defect {} at block {i}, E={e}",
+                "case {case}: sum rule defect {} at block {i}, E={e}",
                 (&spectral - &sum).max_abs()
             );
         }
     }
+}
 
-    #[test]
-    fn hamiltonian_hermitian_for_random_potentials(
-        seed in 0u64..1000,
-        ky in -3.0f64..3.0,
-    ) {
+#[test]
+fn hamiltonian_hermitian_for_random_potentials() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x44 + case);
+        let ky = rng.uniform(-3.0, 3.0);
         let p = TbParams::of(Material::SiSp3s);
         let dev = Device::utb(Crystal::Zincblende { a: A_SI }, 3, 1, 0.9);
         let ham = DeviceHamiltonian::new(&dev, p, false);
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
-        let pot: Vec<f64> = (0..dev.num_atoms())
-            .map(|_| {
-                s = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
-                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-            })
-            .collect();
+        let pot: Vec<f64> = (0..dev.num_atoms()).map(|_| rng.f64() * 0.5).collect();
         let h = ham.assemble(&pot, ky);
-        prop_assert!(h.is_hermitian(1e-11), "H(ky={ky}) not Hermitian");
-    }
-
-    #[test]
-    fn wf_rgf_agree_on_random_chains(
-        onsite in proptest::collection::vec(-0.7f64..0.7, 9),
-        e in -1.6f64..1.6,
-    ) {
-        let (h, h00, h01) = chain(9, &onsite);
-        let t1 = omen::negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01)).transmission;
-        let t2 = omen::wf::wf_transport_at_energy(
-            e, &h, (&h00, &h01), (&h00, &h01), omen::wf::SolverKind::Thomas).transmission;
-        prop_assert!((t1 - t2).abs() < 1e-6 * (1.0 + t1), "RGF {t1} vs WF {t2} at E={e}");
+        assert!(
+            h.is_hermitian(1e-11),
+            "case {case}: H(ky={ky}) not Hermitian"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+#[test]
+fn wf_rgf_agree_on_random_chains() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x55 + case);
+        let onsite: Vec<f64> = (0..9).map(|_| rng.uniform(-0.7, 0.7)).collect();
+        let e = rng.uniform(-1.6, 1.6);
+        let (h, h00, h01) = chain(9, &onsite);
+        let t1 = omen::negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
+        let t2 = omen::wf::wf_transport_at_energy(
+            e,
+            &h,
+            (&h00, &h01),
+            (&h00, &h01),
+            omen::wf::SolverKind::Thomas,
+        )
+        .unwrap()
+        .transmission;
+        assert!(
+            (t1 - t2).abs() < 1e-6 * (1.0 + t1),
+            "case {case}: RGF {t1} vs WF {t2} at E={e}"
+        );
+    }
+}
 
-    #[test]
-    fn splitsolve_matches_thomas_on_random_systems(
-        seed in 0u64..500,
-        nb in 3usize..10,
-        ranks in 1usize..5,
-    ) {
-        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(9);
-        let mut next = move || {
-            s = s.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(9);
-            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-        };
+#[test]
+fn splitsolve_matches_thomas_on_random_systems() {
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0x66 + case);
+        let nb = rng.range(3, 10);
+        let ranks = rng.range(1, 5);
         let bs = 3;
-        let mut rnd = |r: usize, c: usize| ZMat::from_fn(r, c, |_, _| c64::new(next(), next()));
-        let diag: Vec<ZMat> = (0..nb).map(|_| {
-            let mut d = rnd(bs, bs);
-            for i in 0..bs { d[(i, i)] += c64::real(7.0); }
-            d
-        }).collect();
-        let lower: Vec<ZMat> = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
-        let upper: Vec<ZMat> = (0..nb - 1).map(|_| rnd(bs, bs)).collect();
-        let b: Vec<ZMat> = (0..nb).map(|_| rnd(bs, 2)).collect();
+        let diag: Vec<ZMat> = (0..nb)
+            .map(|_| {
+                let mut d = ZMat::from_fn(bs, bs, |_, _| c64::new(rng.f64(), rng.f64()));
+                for i in 0..bs {
+                    d[(i, i)] += c64::real(7.0);
+                }
+                d
+            })
+            .collect();
+        let lower: Vec<ZMat> = (0..nb - 1)
+            .map(|_| ZMat::from_fn(bs, bs, |_, _| c64::new(rng.f64(), rng.f64())))
+            .collect();
+        let upper: Vec<ZMat> = (0..nb - 1)
+            .map(|_| ZMat::from_fn(bs, bs, |_, _| c64::new(rng.f64(), rng.f64())))
+            .collect();
+        let b: Vec<ZMat> = (0..nb)
+            .map(|_| ZMat::from_fn(bs, 2, |_, _| c64::new(rng.f64(), rng.f64())))
+            .collect();
         let a = BlockTridiag::new(diag, lower, upper);
-        let x_ref = omen::wf::thomas_solve(&a, &b);
+        let x_ref = omen::wf::thomas_solve(&a, &b).unwrap();
         let out = omen::parsim::run_ranks(ranks, |ctx| {
             let comm = omen::parsim::Comm::world(ctx);
             omen::wf::splitsolve_parallel(&comm, &a, &b)
-        });
-        for sol in &out.results {
+        })
+        .flattened();
+        for sol in out.unwrap_all() {
             for (x, y) in sol.iter().zip(&x_ref) {
-                prop_assert!((x - y).max_abs() < 1e-8, "nb={nb} ranks={ranks}");
+                assert!(
+                    (x - y).max_abs() < 1e-8,
+                    "case {case}: nb={nb} ranks={ranks}"
+                );
             }
         }
     }
