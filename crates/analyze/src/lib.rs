@@ -1,0 +1,717 @@
+//! # omen-analyze — dependency-free domain lints for the omen workspace
+//!
+//! Clippy knows Rust; it does not know SPMD programming or quantum-transport
+//! numerics. This crate encodes the workspace-specific invariants as a small
+//! rule engine over a hand-rolled tokenizer ([`lexer`]) — zero dependencies,
+//! so the CI gate costs one crate compile and no proc-macro stack.
+//!
+//! ## Rules
+//!
+//! | rule | what it catches |
+//! |------|-----------------|
+//! | `spmd-divergence` | collectives (`allreduce_sum`, `bcast`, `gather`, `barrier`, `split`) lexically inside `rank()`-conditioned branches — the classic deadlock/divergence seed in SPMD code |
+//! | `float-eq` | `==` / `!=` against a float literal in the solver crates — exact float comparison is almost always a tolerance bug |
+//! | `panic-backstop` | `panic!` / `todo!` / `unimplemented!` / `.unwrap()` / `.expect()` in non-test solver-crate code — the error taxonomy (`OmenResult`) exists so rank failures stay recoverable |
+//! | `print-in-lib` | `println!` / `eprintln!` (and `print!` / `eprint!`) in library targets — libraries must stay silent; drivers log through the sanctioned env-gated sink |
+//! | `errors-doc` | `pub fn` returning `OmenResult` without a `# Errors` doc section |
+//!
+//! ## Escape hatch
+//!
+//! A finding is suppressed by an adjacent annotation comment:
+//!
+//! ```text
+//! // analyze: allow(<rule>, <reason>)
+//! ```
+//!
+//! A *trailing* annotation covers its own line. An *own-line* annotation
+//! covers the next code line — and, when that line opens a brace block
+//! (`fn … {`, `if … {`), the whole block. Attribute lines (`#[…]`) between
+//! the annotation and the code it governs are skipped.
+
+pub mod lexer;
+
+use lexer::{lex, Comment, Lexed, Tok, TokKind};
+use std::collections::HashMap;
+use std::path::{Component, Path, PathBuf};
+
+/// Which kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Library code (`src/` outside `src/bin/`).
+    Lib,
+    /// Binary target (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Example (`examples/`).
+    Example,
+    /// Criterion-style bench target (`benches/`).
+    Bench,
+    /// Integration test (`tests/`).
+    Test,
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Short crate name: `"negf"` for `crates/negf`, `"omen"` for the root
+    /// package.
+    pub crate_name: String,
+    /// Target kind inferred from the path.
+    pub kind: TargetKind,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (see [`RULES`]).
+    pub rule: &'static str,
+    /// File the finding is in (as passed to [`analyze_source`]).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Static description of one rule for `--list-rules`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule name used in findings and `allow(...)` annotations.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+}
+
+/// The rule table.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "spmd-divergence",
+        summary: "collective call lexically inside a rank()-conditioned branch",
+        scope: "all crates, all targets (tests included)",
+    },
+    RuleInfo {
+        name: "float-eq",
+        summary: "== / != comparison against a float literal",
+        scope: "solver crates (num linalg sparse wf negf poisson phonon core), non-test code",
+    },
+    RuleInfo {
+        name: "panic-backstop",
+        summary: "panic!/todo!/unimplemented!/.unwrap()/.expect() outside tests",
+        scope: "fault-isolated crates (linalg sparse wf negf parsim), lib/bin non-test code",
+    },
+    RuleInfo {
+        name: "print-in-lib",
+        summary: "println!/eprintln!/print!/eprint! in library code",
+        scope: "lib targets of every crate except omen-bench, non-test code",
+    },
+    RuleInfo {
+        name: "errors-doc",
+        summary: "pub fn returning OmenResult without a `# Errors` doc section",
+        scope: "lib targets, non-test code",
+    },
+];
+
+/// Crates whose numerics must never use exact float equality.
+const FLOAT_EQ_CRATES: &[&str] = &[
+    "num", "linalg", "sparse", "wf", "negf", "poisson", "phonon", "core",
+];
+
+/// Crates whose non-test code must stay panic-free (mirrors the clippy
+/// `unwrap_used`/`expect_used`/`panic` CI gate).
+const PANIC_CRATES: &[&str] = &["linalg", "sparse", "wf", "negf", "parsim"];
+
+/// Collective operations whose call schedule must be rank-uniform.
+const COLLECTIVES: &[&str] = &["allreduce_sum", "bcast", "gather", "barrier", "split"];
+
+/// Classifies a workspace-relative path (`crates/negf/src/rgf.rs`,
+/// `src/bin/omen_cli.rs`, `examples/iv_curve.rs`, …).
+pub fn classify(rel: &Path) -> FileClass {
+    let parts: Vec<&str> = rel
+        .components()
+        .filter_map(|c| match c {
+            Component::Normal(p) => p.to_str(),
+            _ => None,
+        })
+        .collect();
+    let (crate_name, rest): (String, &[&str]) = if parts.first() == Some(&"crates") {
+        (
+            parts.get(1).unwrap_or(&"").to_string(),
+            parts.get(2..).unwrap_or(&[]),
+        )
+    } else {
+        ("omen".to_string(), &parts[..])
+    };
+    let kind = match rest.first() {
+        Some(&"examples") => TargetKind::Example,
+        Some(&"benches") => TargetKind::Bench,
+        Some(&"tests") => TargetKind::Test,
+        Some(&"src") => match rest.get(1) {
+            Some(&"bin") => TargetKind::Bin,
+            Some(&"main.rs") => TargetKind::Bin,
+            _ => TargetKind::Lib,
+        },
+        _ => TargetKind::Lib,
+    };
+    FileClass { crate_name, kind }
+}
+
+/// Recursively collects the workspace's `.rs` files, skipping `target`,
+/// VCS internals, and the analyzer's own lint fixtures (which deliberately
+/// violate every rule). Results are sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory traversal.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyzes one source file under the given classification and returns the
+/// surviving findings (allow-annotated ones are already filtered out).
+pub fn analyze_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
+    let lexed = lex(src);
+    let ctx = FileCtx::build(&lexed);
+    let mut findings = Vec::new();
+    rule_spmd_divergence(&lexed.toks, &ctx, &mut findings);
+    if FLOAT_EQ_CRATES.contains(&class.crate_name.as_str())
+        && matches!(class.kind, TargetKind::Lib | TargetKind::Bin)
+    {
+        rule_float_eq(&lexed.toks, &ctx, &mut findings);
+    }
+    if PANIC_CRATES.contains(&class.crate_name.as_str())
+        && matches!(class.kind, TargetKind::Lib | TargetKind::Bin)
+    {
+        rule_panic_backstop(&lexed.toks, &ctx, &mut findings);
+    }
+    if class.kind == TargetKind::Lib && class.crate_name != "bench" {
+        rule_print_in_lib(&lexed.toks, &ctx, &mut findings);
+    }
+    if class.kind == TargetKind::Lib {
+        rule_errors_doc(&lexed.toks, &ctx, &mut findings);
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+        .into_iter()
+        .map(|mut f| {
+            f.path = path.to_string();
+            f
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-file context
+// ---------------------------------------------------------------------------
+
+struct FileCtx<'a> {
+    /// The code token stream.
+    toks: &'a [Tok],
+    /// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]` spans.
+    test_spans: Vec<(u32, u32)>,
+    /// Rule name → covered line ranges from `analyze: allow(...)` comments.
+    allows: HashMap<String, Vec<(u32, u32)>>,
+    /// Line → index of its first code token.
+    line_first_tok: HashMap<u32, usize>,
+    /// Line → its comment (for doc lookup; last one wins).
+    line_comment: HashMap<u32, &'a Comment>,
+    /// Token index ranges (exclusive of the braces) inside
+    /// rank()-conditioned branches.
+    rank_spans: Vec<(usize, usize)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn build(lexed: &'a Lexed) -> Self {
+        let toks = &lexed.toks[..];
+        let brace_match = match_braces(toks);
+        let mut line_first_tok = HashMap::new();
+        for (i, t) in toks.iter().enumerate() {
+            line_first_tok.entry(t.line).or_insert(i);
+        }
+        let mut line_comment = HashMap::new();
+        for c in &lexed.comments {
+            line_comment.insert(c.line, c);
+        }
+        let test_spans = find_test_spans(toks, &brace_match);
+        let rank_spans = find_rank_spans(toks, &brace_match);
+        let allows = find_allows(toks, &lexed.comments, &line_first_tok, &brace_match);
+        FileCtx {
+            toks,
+            test_spans,
+            allows,
+            line_first_tok,
+            line_comment,
+            rank_spans,
+        }
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(rule)
+            .is_some_and(|spans| spans.iter().any(|&(a, b)| a <= line && line <= b))
+    }
+
+    fn in_rank_span(&self, tok_idx: usize) -> bool {
+        self.rank_spans
+            .iter()
+            .any(|&(open, close)| open < tok_idx && tok_idx < close)
+    }
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn match_braces(toks: &[Tok]) -> HashMap<usize, usize> {
+    let mut stack = Vec::new();
+    let mut map = HashMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if is_punct(t, "{") {
+            stack.push(i);
+        } else if is_punct(t, "}") {
+            if let Some(open) = stack.pop() {
+                map.insert(open, i);
+            }
+        }
+    }
+    map
+}
+
+/// Finds the line spans of `#[cfg(test)]` items and `#[test]` functions:
+/// from the attribute, the next top-level `{` opens the span (a `;` first
+/// means the attribute decorated a braceless item — no span).
+fn find_test_spans(toks: &[Tok], braces: &HashMap<usize, usize>) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_attr_start = is_punct(&toks[i], "#") && is_punct(&toks[i + 1], "[");
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let body = &toks[i + 2..];
+        let is_test_attr =
+            (body.len() >= 2 && is_ident(&body[0], "test") && is_punct(&body[1], "]"))
+                || (body.len() >= 5
+                    && is_ident(&body[0], "cfg")
+                    && is_punct(&body[1], "(")
+                    && is_ident(&body[2], "test")
+                    && is_punct(&body[3], ")")
+                    && is_punct(&body[4], "]"));
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Scan past the attribute to the decorated item's body.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if is_punct(t, "(") || is_punct(t, "[") {
+                depth += 1;
+            } else if is_punct(t, ")") || is_punct(t, "]") {
+                depth -= 1;
+            } else if depth <= 0 && is_punct(t, ";") {
+                break;
+            } else if depth <= 0 && is_punct(t, "{") {
+                if let Some(&close) = braces.get(&j) {
+                    spans.push((toks[j].line, toks[close].line));
+                }
+                break;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Marks the body blocks of `if` / `while` / `match` whose condition or
+/// scrutinee calls `rank()`, plus every `else` / `else if` block chained to
+/// such an `if` (the whole chain executes divergently across ranks).
+fn find_rank_spans(toks: &[Tok], braces: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !(is_ident(t, "if") || is_ident(t, "while") || is_ident(t, "match")) {
+            i += 1;
+            continue;
+        }
+        let Some((open, has_rank)) = scan_condition(toks, i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !has_rank {
+            i += 1;
+            continue;
+        }
+        let Some(&close) = braces.get(&open) else {
+            i += 1;
+            continue;
+        };
+        spans.push((open, close));
+        // Chain the else arms.
+        let mut k = close + 1;
+        while k + 1 < toks.len() && is_ident(&toks[k], "else") {
+            if is_punct(&toks[k + 1], "{") {
+                if let Some(&c2) = braces.get(&(k + 1)) {
+                    spans.push((k + 1, c2));
+                    k = c2 + 1;
+                    continue;
+                }
+                break;
+            } else if is_ident(&toks[k + 1], "if") || is_ident(&toks[k + 1], "match") {
+                if let Some((o2, _)) = scan_condition(toks, k + 2) {
+                    if let Some(&c2) = braces.get(&o2) {
+                        spans.push((o2, c2));
+                        k = c2 + 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+            break;
+        }
+        i += 1; // keep scanning inside the body for nested conditions
+    }
+    spans
+}
+
+/// From `start`, scans a condition/scrutinee to its body's `{` at delimiter
+/// depth 0. Returns `(open_brace_idx, condition_mentions_rank_call)`, or
+/// `None` when a `;` ends the statement first (macro fragments etc.).
+fn scan_condition(toks: &[Tok], start: usize) -> Option<(usize, bool)> {
+    let mut depth = 0i32;
+    let mut has_rank = false;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if is_punct(t, "(") || is_punct(t, "[") {
+            depth += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") {
+            depth -= 1;
+        } else if depth <= 0 && is_punct(t, ";") {
+            return None;
+        } else if depth <= 0 && is_punct(t, "{") {
+            return Some((j, has_rank));
+        } else if is_ident(t, "rank") && j + 1 < toks.len() && is_punct(&toks[j + 1], "(") {
+            has_rank = true;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `analyze: allow(<rule>, <reason>)` annotations out of the comment
+/// stream and computes the line ranges each one covers.
+fn find_allows(
+    toks: &[Tok],
+    comments: &[Comment],
+    line_first_tok: &HashMap<u32, usize>,
+    braces: &HashMap<usize, usize>,
+) -> HashMap<String, Vec<(u32, u32)>> {
+    let mut out: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = line_first_tok.keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    for c in comments {
+        let Some(rule) = parse_allow(&c.text) else {
+            continue;
+        };
+        let span = if c.own_line {
+            // Covers the next code line (skipping attribute lines); if that
+            // line opens a brace block, the whole block.
+            let mut covered = None;
+            let mut from = c.line;
+            while let Some(&next) = code_lines.iter().find(|&&l| l > from) {
+                let first = line_first_tok[&next];
+                if is_punct(&toks[first], "#") {
+                    from = next; // attribute — the allow rides through it
+                    continue;
+                }
+                // First open brace on that line extends coverage to its close.
+                let mut end = next;
+                let mut k = first;
+                while k < toks.len() && toks[k].line == next {
+                    if is_punct(&toks[k], "{") {
+                        if let Some(&close) = braces.get(&k) {
+                            end = toks[close].line;
+                        }
+                        break;
+                    }
+                    k += 1;
+                }
+                covered = Some((next, end));
+                break;
+            }
+            covered
+        } else {
+            Some((c.line, c.line))
+        };
+        if let Some(span) = span {
+            out.entry(rule).or_default().push(span);
+        }
+    }
+    out
+}
+
+/// Extracts the rule name from an `analyze: allow(rule, reason)` comment.
+fn parse_allow(comment: &str) -> Option<String> {
+    let idx = comment.find("analyze: allow(")?;
+    let rest = &comment[idx + "analyze: allow(".len()..];
+    let end = rest.rfind(')')?;
+    let inner = &rest[..end];
+    let rule = inner.split(',').next().unwrap_or("").trim();
+    if rule.is_empty() {
+        None
+    } else {
+        Some(rule.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+    findings.push(Finding {
+        rule,
+        path: String::new(),
+        line,
+        message,
+    });
+}
+
+fn rule_spmd_divergence(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..toks.len().saturating_sub(2) {
+        if is_punct(&toks[i], ".")
+            && toks[i + 1].kind == TokKind::Ident
+            && COLLECTIVES.contains(&toks[i + 1].text.as_str())
+            && is_punct(&toks[i + 2], "(")
+            && ctx.in_rank_span(i + 1)
+        {
+            let line = toks[i + 1].line;
+            if ctx.allowed("spmd-divergence", line) {
+                continue;
+            }
+            push(
+                findings,
+                "spmd-divergence",
+                line,
+                format!(
+                    "collective `{}` inside a rank()-conditioned branch: ranks taking the \
+                     other branch skip it and the schedule diverges",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_float_eq(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(is_punct(t, "==") || is_punct(t, "!=")) {
+            continue;
+        }
+        let adj_float = (i > 0 && toks[i - 1].kind == TokKind::Float)
+            || (i + 1 < toks.len() && toks[i + 1].kind == TokKind::Float);
+        if !adj_float || ctx.in_test(t.line) || ctx.allowed("float-eq", t.line) {
+            continue;
+        }
+        push(
+            findings,
+            "float-eq",
+            t.line,
+            format!(
+                "exact float comparison `{}` against a literal: use a tolerance, or annotate \
+                 an intentional exact guard",
+                t.text
+            ),
+        );
+    }
+}
+
+fn rule_panic_backstop(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let hit = if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], "!")
+        {
+            Some(format!("{}!", t.text))
+        } else if i >= 1
+            && is_punct(&toks[i - 1], ".")
+            && t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], "(")
+        {
+            Some(format!(".{}()", t.text))
+        } else {
+            None
+        };
+        let Some(what) = hit else { continue };
+        if ctx.in_test(t.line) || ctx.allowed("panic-backstop", t.line) {
+            continue;
+        }
+        push(
+            findings,
+            "panic-backstop",
+            t.line,
+            format!(
+                "`{what}` in non-test solver code: return a typed OmenError so rank faults \
+                 stay recoverable"
+            ),
+        );
+    }
+}
+
+fn rule_print_in_lib(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for i in 0..toks.len().saturating_sub(1) {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && is_punct(&toks[i + 1], "!")
+            && !ctx.in_test(t.line)
+            && !ctx.allowed("print-in-lib", t.line)
+        {
+            push(
+                findings,
+                "print-in-lib",
+                t.line,
+                format!(
+                    "`{}!` in library code: libraries stay silent — route driver progress \
+                     through the env-gated log sink",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_errors_doc(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip restricted visibility `pub(crate)` — not public API.
+        if j < toks.len() && is_punct(&toks[j], "(") {
+            i += 1;
+            continue;
+        }
+        // Skip qualifiers.
+        while j < toks.len()
+            && (toks[j].kind == TokKind::Str
+                || matches!(
+                    toks[j].text.as_str(),
+                    "unsafe" | "const" | "async" | "extern"
+                ))
+        {
+            j += 1;
+        }
+        if j + 1 >= toks.len() || !is_ident(&toks[j], "fn") {
+            i += 1;
+            continue;
+        }
+        let name = toks[j + 1].text.clone();
+        // Signature runs to the body `{` (or `;`) at delimiter depth 0.
+        let mut depth = 0i32;
+        let mut k = j + 2;
+        let mut returns_omen_result = false;
+        let mut past_arrow = false;
+        while k < toks.len() {
+            let t = &toks[k];
+            if is_punct(t, "(") || is_punct(t, "[") {
+                depth += 1;
+            } else if is_punct(t, ")") || is_punct(t, "]") {
+                depth -= 1;
+            } else if is_punct(t, "->") && depth <= 0 {
+                past_arrow = true;
+            } else if past_arrow && is_ident(t, "OmenResult") {
+                returns_omen_result = true;
+            } else if depth <= 0 && (is_punct(t, "{") || is_punct(t, ";")) {
+                break;
+            }
+            k += 1;
+        }
+        if returns_omen_result && !ctx.in_test(toks[i].line) {
+            let line = toks[i].line;
+            if !ctx.allowed("errors-doc", line) && !doc_has_errors_section(ctx, line) {
+                push(
+                    findings,
+                    "errors-doc",
+                    line,
+                    format!(
+                        "pub fn `{name}` returns OmenResult but its docs have no `# Errors` \
+                         section"
+                    ),
+                );
+            }
+        }
+        i = j + 2;
+    }
+}
+
+/// Walks upward from the `pub` token's line through doc comments and
+/// attribute lines, checking the doc block for a `# Errors` heading.
+fn doc_has_errors_section(ctx: &FileCtx, fn_line: u32) -> bool {
+    let mut l = fn_line.saturating_sub(1);
+    while l > 0 {
+        if let Some(c) = ctx.line_comment.get(&l) {
+            if c.text.starts_with("///") {
+                if c.text.contains("# Errors") {
+                    return true;
+                }
+                l -= 1;
+                continue;
+            }
+        }
+        if line_is_attribute(ctx, l) {
+            l -= 1;
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+fn line_is_attribute(ctx: &FileCtx, line: u32) -> bool {
+    ctx.line_first_tok
+        .get(&line)
+        .is_some_and(|&i| is_punct(&ctx.toks[i], "#"))
+}

@@ -1,0 +1,31 @@
+// Lint fixture: documented fallible API, infallible helpers, and
+// crate-internal fns — zero errors-doc findings expected. Never compiled.
+
+/// Parses the wire header.
+///
+/// # Errors
+///
+/// Returns [`OmenError::Deserialize`] when the buffer is shorter than one
+/// header.
+pub fn parse_header(b: &[u8]) -> OmenResult<u64> {
+    decode(b)
+}
+
+/// Infallible helper.
+pub fn length(b: &[u8]) -> usize {
+    b.len()
+}
+
+/// Attributes between the doc block and the signature are transparent.
+///
+/// # Errors
+///
+/// Never fails today; reserved for future validation.
+#[inline]
+pub fn attr_between(b: &[u8]) -> OmenResult<()> {
+    check(b)
+}
+
+pub(crate) fn internal_fallible(b: &[u8]) -> OmenResult<()> {
+    check(b)
+}

@@ -1,0 +1,11 @@
+// Lint fixture: public fallible API without `# Errors` docs must trip
+// errors-doc. Never compiled.
+
+/// Parses the wire header (documented, but silent about failure modes).
+pub fn parse_header(b: &[u8]) -> OmenResult<u64> {
+    decode(b)
+}
+
+pub fn bare_undocumented(b: &[u8]) -> OmenResult<()> {
+    check(b)
+}

@@ -1,0 +1,24 @@
+// Lint fixture: tolerance-based, integer, annotated, and test-scoped
+// comparisons — zero float-eq findings expected. Never compiled.
+
+pub fn tolerant(x: f64) -> bool {
+    x.abs() < 1e-12
+}
+
+pub fn integer_compare(n: usize) -> bool {
+    n == 0
+}
+
+// analyze: allow(float-eq, exact sparsity guard skips structurally absent entries)
+pub fn annotated_sparsity_guard(v: f64) -> bool {
+    v != 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_values_are_fine_in_tests() {
+        let z = 0.5_f64 * 2.0;
+        assert!(z == 1.0);
+    }
+}

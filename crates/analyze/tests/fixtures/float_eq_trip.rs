@@ -1,0 +1,14 @@
+// Lint fixture: exact float comparisons that must trip float-eq.
+// Never compiled.
+
+pub fn pivot_guard(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_unity(y: f64) -> bool {
+    1.0 != y
+}
+
+pub fn scientific(z: f64) -> bool {
+    z == 1e-12
+}

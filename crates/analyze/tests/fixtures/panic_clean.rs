@@ -1,0 +1,28 @@
+// Lint fixture: typed-error, defaulted, annotated, and test-scoped fallible
+// code — zero panic-backstop findings expected. Never compiled.
+
+pub fn take(v: Option<u32>) -> Result<u32, MissingValue> {
+    v.ok_or(MissingValue)
+}
+
+pub fn defaulted(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn lazy_default(v: Option<u32>) -> u32 {
+    v.unwrap_or_else(|| 7)
+}
+
+// analyze: allow(panic-backstop, deliberate test/bench convenience wrapper)
+pub fn backstop(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_idiomatic_in_tests() {
+        assert_eq!(Some(3).unwrap(), 3);
+        Some(()).expect("present");
+    }
+}

@@ -1,0 +1,24 @@
+// Lint fixture: every panic path here must trip panic-backstop.
+// Never compiled.
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expecting(v: Option<u32>) -> u32 {
+    v.expect("value must be present")
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("unrecoverable");
+    }
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn missing() {
+    unimplemented!()
+}

@@ -1,0 +1,19 @@
+// Lint fixture: silent library code — zero print-in-lib findings expected.
+// Never compiled.
+
+pub fn format_report(x: u64) -> String {
+    format!("progress: {x}")
+}
+
+// analyze: allow(print-in-lib, the sanctioned env-gated driver log sink)
+pub fn sink(line: &str) {
+    eprintln!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("captured by the test harness");
+    }
+}

@@ -1,0 +1,15 @@
+// Lint fixture: stdout/stderr writes in library code must trip
+// print-in-lib. Never compiled.
+
+pub fn chatty(x: u64) {
+    println!("progress: {x}");
+}
+
+pub fn warns(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+pub fn partial(x: u64) {
+    print!("{x} ");
+    eprint!("{x} ");
+}

@@ -84,7 +84,7 @@ fn main() {
         reset_flops();
         let ((res, stats), wall) = timed(|| {
             let out = run_ranks(cfg.total(), |ctx| {
-                let comms = split_levels(ctx, cfg);
+                let comms = split_levels(ctx, cfg)?;
                 parallel_transmission(&comms, cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
             })
             .flattened();

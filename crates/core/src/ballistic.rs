@@ -315,6 +315,13 @@ pub fn ballistic_solve_k(
 /// Evaluates one energy point with the chosen engine. Recovery (lead
 /// nudges, pivot regularization) happens inside the engines; an `Err` here
 /// means the point is lost for good and the sweep should isolate it.
+///
+/// # Errors
+///
+/// Propagates the engine's typed failure — a non-converged lead
+/// ([`omen_num::OmenError::LeadNotConverged`]) or an unrecoverable singular
+/// slab ([`omen_num::OmenError::SingularBlock`]), both stamped with the
+/// energy.
 pub fn solve_point(
     e: f64,
     h: &BlockTridiag,

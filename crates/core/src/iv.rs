@@ -37,6 +37,14 @@ pub fn gate_sweep(
             mu_source,
         };
         let r = self_consistent(tr, &bias, opts, warm.as_deref());
+        crate::log::emit(&format!(
+            "iv gate point V_G={vg:+.3} V_DS={v_ds:+.3}: I={:.4e} µA \
+             ({} SCF iters, {}), energies: {}",
+            r.transport.current_ua,
+            r.iterations,
+            if r.converged { "converged" } else { "stalled" },
+            r.transport.report,
+        ));
         out.push(IvPoint {
             v_gate: vg,
             v_ds,
@@ -66,6 +74,14 @@ pub fn drain_sweep(
             mu_source,
         };
         let r = self_consistent(tr, &bias, opts, warm.as_deref());
+        crate::log::emit(&format!(
+            "iv drain point V_G={v_gate:+.3} V_DS={vds:+.3}: I={:.4e} µA \
+             ({} SCF iters, {}), energies: {}",
+            r.transport.current_ua,
+            r.iterations,
+            if r.converged { "converged" } else { "stalled" },
+            r.transport.report,
+        ));
         out.push(IvPoint {
             v_gate,
             v_ds: vds,

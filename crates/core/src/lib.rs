@@ -17,12 +17,15 @@
 //!   predictor (Gummel-accelerated);
 //! * [`iv`] — gate/drain voltage sweeps and figure-of-merit extraction
 //!   (subthreshold swing, on/off currents);
+//! * [`log`] — the env-gated (`OMEN_LOG`) driver progress sink, reporting
+//!   per-bias-point convergence and energy-sweep fault-recovery counts;
 //! * [`parallel`] — hierarchical rank decomposition over `omen-parsim`,
 //!   mirroring the paper's communicator layout.
 
 pub mod ballistic;
 pub mod energy;
 pub mod iv;
+pub mod log;
 pub mod parallel;
 pub mod scf;
 pub mod spec;

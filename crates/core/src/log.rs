@@ -1,0 +1,52 @@
+//! Env-gated driver progress logging.
+//!
+//! Library crates must stay silent by default (the `print-in-lib` analyzer
+//! rule enforces this), yet the SCF and I–V drivers are long-running and
+//! operators need per-bias-point progress — convergence state and the
+//! [`omen_num::SweepReport`] fault-recovery counts — without attaching a
+//! debugger. This module is the one sanctioned stderr sink: it writes only
+//! when the `OMEN_LOG` environment variable is set to a non-empty value
+//! other than `0`.
+
+use std::sync::OnceLock;
+
+/// Interprets the raw `OMEN_LOG` value: set, non-empty, and not `"0"`.
+fn parse_enabled(val: Option<&str>) -> bool {
+    match val {
+        Some(v) => !v.is_empty() && v != "0",
+        None => false,
+    }
+}
+
+/// Whether driver logging is on for this process (reads `OMEN_LOG` once).
+pub fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| parse_enabled(std::env::var("OMEN_LOG").ok().as_deref()))
+}
+
+/// Emits one progress line to stderr when `OMEN_LOG` is on.
+pub fn emit(line: &str) {
+    if enabled() {
+        // analyze: allow(print-in-lib, the env-gated driver log sink — the one sanctioned stderr writer in library code)
+        eprintln!("[omen] {line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_value_parsing() {
+        assert!(!parse_enabled(None));
+        assert!(!parse_enabled(Some("")));
+        assert!(!parse_enabled(Some("0")));
+        assert!(parse_enabled(Some("1")));
+        assert!(parse_enabled(Some("verbose")));
+    }
+
+    #[test]
+    fn emit_is_safe_either_way() {
+        emit("test line (suppressed unless OMEN_LOG is set)");
+    }
+}

@@ -52,7 +52,13 @@ pub struct LevelComms<'a> {
 }
 
 /// Splits the world communicator according to `cfg`.
-pub fn split_levels<'a>(ctx: &'a RankCtx, cfg: &LevelConfig) -> LevelComms<'a> {
+///
+/// # Errors
+///
+/// Propagates the communicator-split collective failures: a rank whose
+/// split schedule diverged returns [`omen_num::OmenError::ScheduleDivergence`],
+/// a dead peer surfaces as [`omen_num::OmenError::RecvTimeout`].
+pub fn split_levels<'a>(ctx: &'a RankCtx, cfg: &LevelConfig) -> OmenResult<LevelComms<'a>> {
     assert_eq!(
         ctx.size(),
         cfg.total(),
@@ -65,19 +71,19 @@ pub fn split_levels<'a>(ctx: &'a RankCtx, cfg: &LevelConfig) -> LevelComms<'a> {
     let per_energy = cfg.spatial;
 
     let bias_index = r / per_bias;
-    let bias_group = world.split(bias_index as u64, r as u64);
+    let bias_group = world.split(bias_index as u64, r as u64)?;
     let momentum_index = (r % per_bias) / per_mom;
-    let momentum_group = bias_group.split(momentum_index as u64, r as u64);
+    let momentum_group = bias_group.split(momentum_index as u64, r as u64)?;
     let energy_index = (r % per_mom) / per_energy;
-    let spatial_group = momentum_group.split(energy_index as u64, r as u64);
-    LevelComms {
+    let spatial_group = momentum_group.split(energy_index as u64, r as u64)?;
+    Ok(LevelComms {
         bias_group,
         momentum_group,
         spatial_group,
         bias_index,
         momentum_index,
         energy_index,
-    }
+    })
 }
 
 /// Round-robin assignment of `n_items` over `n_groups`; returns the item
@@ -94,6 +100,13 @@ pub fn assign(n_items: usize, n_groups: usize, group: usize) -> Vec<usize> {
 /// SplitSolve's per-level status exchange guarantees an `Err` surfaces as
 /// the *same* typed error on every rank of the spatial group, so the SPMD
 /// control flow (including the reductions below) never diverges.
+///
+/// # Errors
+///
+/// Returns the energy point's typed solver failure (identical on every
+/// rank of the spatial group), or a communicator fault
+/// ([`omen_num::OmenError::ScheduleDivergence`],
+/// [`omen_num::OmenError::RecvTimeout`]) from the collectives.
 pub fn parallel_transmission(
     comms: &LevelComms<'_>,
     cfg: &LevelConfig,
@@ -118,10 +131,14 @@ pub fn parallel_transmission(
     // momentum-group reduction (which includes `spatial` copies of each
     // energy group) sums to the true value.
     let scaled: Vec<f64> = partial.iter().map(|t| t / cfg.spatial as f64).collect();
-    Ok(comms.momentum_group.allreduce_sum(&scaled))
+    comms.momentum_group.allreduce_sum(&scaled)
 }
 
 /// Sequential reference used by the equivalence tests and benches.
+///
+/// # Errors
+///
+/// Returns the first energy point's typed solver failure.
 pub fn sequential_transmission(
     h: &BlockTridiag,
     lead_l: (&ZMat, &ZMat),
@@ -177,7 +194,7 @@ mod tests {
             spatial: 2,
         };
         let out = run_ranks(8, |ctx| {
-            let c = split_levels(ctx, &cfg);
+            let c = split_levels(ctx, &cfg).unwrap();
             (
                 c.bias_group.size(),
                 c.momentum_group.size(),
@@ -215,7 +232,7 @@ mod tests {
             spatial: 2,
         };
         let out = run_ranks(4, |ctx| {
-            let comms = split_levels(ctx, &cfg);
+            let comms = split_levels(ctx, &cfg)?;
             parallel_transmission(&comms, &cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
         })
         .flattened();

@@ -161,6 +161,19 @@ pub fn self_consistent(
     } else {
         ballistic_solve_k(tr, &v_atoms, bias, opts.engine, opts.n_energy, opts.n_k)
     };
+    crate::log::emit(&format!(
+        "scf V_G={:+.3} V_DS={:+.3}: {} in {iters} iters (residual {residual:.2e}), \
+         I={:.4e} µA, energies: {}",
+        bias.v_gate,
+        bias.v_ds,
+        if residual < opts.tol_v {
+            "converged"
+        } else {
+            "UNCONVERGED"
+        },
+        transport.current_ua,
+        transport.report,
+    ));
     ScfResult {
         v_grid,
         v_atoms,

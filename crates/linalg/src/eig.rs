@@ -199,6 +199,7 @@ fn tred2(a: &mut RMat, accumulate: bool) -> (Vec<f64>, Vec<f64>) {
         let mut h = 0.0;
         if l > 0 {
             let scale: f64 = (0..=l).map(|k| a[(i, k)].abs()).sum();
+            // analyze: allow(float-eq, exact zero scale means a structurally zero row — skip the Householder step)
             if scale == 0.0 {
                 e[i] = a[(i, l)];
             } else {
@@ -246,6 +247,7 @@ fn tred2(a: &mut RMat, accumulate: bool) -> (Vec<f64>, Vec<f64>) {
 
     if accumulate {
         for i in 0..n {
+            // analyze: allow(float-eq, d[i] is set to exactly 0.0 by the skipped-row branch above)
             if i > 0 && d[i] != 0.0 {
                 for j in 0..i {
                     let mut g = 0.0;
@@ -323,6 +325,7 @@ fn tql2(d: &mut [f64], e: &mut [f64], mut z: Option<&mut RMat>) {
                 let b = c * e[iu];
                 r = pythag(f, g);
                 e[iu + 1] = r;
+                // analyze: allow(float-eq, exact pythag underflow guard — the classic tql2 idiom)
                 if r == 0.0 {
                     d[iu + 1] -= p;
                     e[m] = 0.0;
@@ -344,6 +347,7 @@ fn tql2(d: &mut [f64], e: &mut [f64], mut z: Option<&mut RMat>) {
                 }
                 i -= 1;
             }
+            // analyze: allow(float-eq, exact pythag underflow guard — the classic tql2 idiom)
             if r == 0.0 && i >= l as isize {
                 continue;
             }

@@ -90,9 +90,13 @@ pub fn build_a_matrix(
 /// broadenings `Γ_L`, `Γ_R`.
 ///
 /// A singular pivot block is first retried with the `i·eta` shift of
-/// [`REGULARIZATION_ETA`] (recorded in [`RgfResult::retries`]); only when
-/// regularization is exhausted does the point fail with
-/// [`OmenError::SingularBlock`](omen_num::OmenError).
+/// [`REGULARIZATION_ETA`] (recorded in [`RgfResult::retries`]).
+///
+/// # Errors
+///
+/// Only when regularization is exhausted does the point fail, with
+/// [`OmenError::SingularBlock`](omen_num::OmenError) carrying the slab
+/// index.
 pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult<RgfResult> {
     let nb = a.num_blocks();
     let mut retries = 0usize;

@@ -110,6 +110,11 @@ fn decimate(
 }
 
 /// [`surface_green_function`] with a caller-chosen iteration bound.
+///
+/// # Errors
+///
+/// Same contract as [`surface_green_function`], with `max_iters` as the
+/// decimation bound.
 pub fn surface_green_function_bounded(
     e: f64,
     eta: f64,
@@ -125,8 +130,12 @@ pub fn surface_green_function_bounded(
 /// `E + iη`.
 ///
 /// `h00`/`h01` follow the convention above; `side` selects the recursion
-/// orientation. Returns [`OmenError::LeadNotConverged`] when the decimation
-/// does not contract within [`MAX_DECIMATION_ITERS`] iterations, and
+/// orientation.
+///
+/// # Errors
+///
+/// Returns [`OmenError::LeadNotConverged`] when the decimation does not
+/// contract within [`MAX_DECIMATION_ITERS`] iterations, and
 /// [`OmenError::SingularBlock`] when an intermediate resolvent is singular
 /// to working precision (both practically unreachable for η > 0 off
 /// resonances and band edges).
@@ -153,6 +162,12 @@ pub const LEAD_NUDGE_FLOOR: f64 = 1e-7;
 /// staying inside the broadening-limited energy resolution. Returns the
 /// surface GF and the number of retries spent (`0` = converged at the
 /// requested energy).
+///
+/// # Errors
+///
+/// Returns the *original* energy's [`OmenError::LeadNotConverged`] /
+/// [`OmenError::SingularBlock`] when every nudge up to
+/// [`MAX_LEAD_RETRIES`] also fails.
 pub fn surface_green_function_recovering_bounded(
     e: f64,
     eta: f64,
@@ -182,6 +197,10 @@ pub fn surface_green_function_recovering_bounded(
 
 /// [`surface_green_function_recovering_bounded`] at the default
 /// [`MAX_DECIMATION_ITERS`] bound.
+///
+/// # Errors
+///
+/// Same contract as [`surface_green_function_recovering_bounded`].
 pub fn surface_green_function_recovering(
     e: f64,
     eta: f64,
@@ -209,6 +228,11 @@ impl ContactSelfEnergy {
     /// Computes the contact self-energy of `side` at energy `e` with
     /// broadening `eta`, for lead blocks `(h00, h01)`. The energy-nudge
     /// recovery policy applies; `retries` on the result records it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lead solve's [`OmenError::LeadNotConverged`] /
+    /// [`OmenError::SingularBlock`] once the nudge recovery is exhausted.
     pub fn compute(e: f64, eta: f64, h00: &ZMat, h01: &ZMat, side: Side) -> OmenResult<Self> {
         let (g, retries) = surface_green_function_recovering(e, eta, h00, h01, side)?;
         let sigma = match side {

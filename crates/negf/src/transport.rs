@@ -31,6 +31,13 @@ pub const DEFAULT_ETA: f64 = 2e-6;
 ///
 /// `lead_l`/`lead_r` are `(H00, H01)` principal-layer blocks for each
 /// contact (H01 oriented toward +x for both).
+///
+/// # Errors
+///
+/// Returns the lead solve's or RGF sweep's typed failure
+/// ([`omen_num::OmenError::LeadNotConverged`],
+/// [`omen_num::OmenError::SingularBlock`]) once the built-in recovery
+/// policies are exhausted, stamped with the energy.
 pub fn transport_at_energy(
     e: f64,
     h: &BlockTridiag,
@@ -82,6 +89,11 @@ pub fn package(
 
 /// Dense reference: inverts the full `A` matrix and evaluates the Caroli
 /// formula directly. O(dim³) — tests and small devices only.
+///
+/// # Errors
+///
+/// Same failure modes as [`transport_at_energy`]: a non-converged lead or
+/// a singular `A` matrix.
 pub fn transmission_dense_reference(
     e: f64,
     h: &BlockTridiag,

@@ -54,6 +54,46 @@ pub enum OmenError {
         /// Human-readable failure description.
         detail: String,
     },
+    /// The SPMD collective schedule diverged: a member of a communicator
+    /// entered a collective whose fingerprint (op kind, communicator id,
+    /// op counter, payload length) does not match the root's. Raised on
+    /// *every* member of the communicator within one collective round.
+    ScheduleDivergence {
+        /// Global rank whose fingerprint disagreed with the root's.
+        rank: usize,
+        /// The root's fingerprint, e.g. `bcast#2 comm=1 len=0`.
+        expected: String,
+        /// The divergent rank's fingerprint.
+        got: String,
+    },
+    /// A blocking receive waited past its bound: the peer died or the
+    /// communication schedule diverged outside any collective.
+    RecvTimeout {
+        /// Rank that was blocked in the receive.
+        rank: usize,
+        /// Source rank the receive was matching.
+        from: usize,
+        /// Tag the receive was matching.
+        tag: u64,
+        /// How long the receive waited (ms).
+        waited_ms: u64,
+        /// Received-but-unconsumed messages sitting in the out-of-order
+        /// buffer at the time of the timeout — nonzero values point at a
+        /// schedule divergence rather than a dead peer.
+        pending: usize,
+    },
+    /// A rank's message channel closed while it was blocked in a receive
+    /// (every peer's sender dropped — the runtime is tearing down).
+    ChannelClosed {
+        /// Rank that was blocked in the receive.
+        rank: usize,
+        /// Source rank the receive was matching.
+        from: usize,
+        /// Tag the receive was matching.
+        tag: u64,
+        /// Received-but-unconsumed messages in the out-of-order buffer.
+        pending: usize,
+    },
     /// A rank-message payload could not be decoded.
     Deserialize {
         /// Which decoder rejected the payload.
@@ -149,6 +189,43 @@ impl fmt::Display for OmenError {
             }
             OmenError::RankFailed { rank, detail } => {
                 write!(f, "rank {rank} failed: {detail}")
+            }
+            OmenError::ScheduleDivergence {
+                rank,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "collective schedule divergence: rank {rank} entered {got}, \
+                     root expected {expected}"
+                )
+            }
+            OmenError::RecvTimeout {
+                rank,
+                from,
+                tag,
+                waited_ms,
+                pending,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} recv(from = {from}, tag = {tag:#x}) timed out after \
+                     {waited_ms} ms (peer dead or schedule divergence; {pending} \
+                     unconsumed messages pending)"
+                )
+            }
+            OmenError::ChannelClosed {
+                rank,
+                from,
+                tag,
+                pending,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} channel closed while receiving (from = {from}, \
+                     tag = {tag:#x}, {pending} unconsumed messages pending)"
+                )
             }
             OmenError::Deserialize { context } => {
                 write!(f, "malformed rank-message payload in {context}")
@@ -294,6 +371,36 @@ mod tests {
         total.merge(&r);
         assert_eq!(total.solved, 4);
         assert_eq!(total.failed.len(), 2);
+    }
+
+    #[test]
+    fn comm_error_displays() {
+        let d = OmenError::ScheduleDivergence {
+            rank: 3,
+            expected: "bcast#2 comm=1 len=0".into(),
+            got: "allreduce#2 comm=1 len=8".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("bcast#2"));
+        assert!(s.contains("allreduce#2"));
+        let t = OmenError::RecvTimeout {
+            rank: 1,
+            from: 0,
+            tag: 0x10,
+            waited_ms: 250,
+            pending: 2,
+        };
+        let s = t.to_string();
+        assert!(s.contains("250 ms"));
+        assert!(s.contains("2 unconsumed"));
+        let c = OmenError::ChannelClosed {
+            rank: 0,
+            from: 1,
+            tag: 7,
+            pending: 0,
+        };
+        assert!(c.to_string().contains("channel closed"));
     }
 
     #[test]

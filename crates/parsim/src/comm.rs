@@ -7,9 +7,17 @@
 //! collectives on disjoint communicators cannot cross-talk.
 //!
 //! SPMD contract (same as MPI): every member of a communicator calls its
-//! collectives in the same order.
+//! collectives in the same order. The contract is *verified*, not assumed:
+//! every collective runs the fingerprint round of
+//! [`crate::runtime`] — op kind, communicator id, op counter and payload
+//! length travel with the first message, and a divergent member turns the
+//! whole round into a typed [`omen_num::OmenError::ScheduleDivergence`] on
+//! every rank instead of a hang.
 
-use crate::runtime::{decode_f64s, encode_f64s, RankCtx, COLLECTIVE_TAG_BASE};
+use crate::runtime::{
+    decode_f64s, encode_f64s, sum_contributions, CollectiveKind, RankCtx, LEN_UNCHECKED,
+};
+use omen_num::{OmenError, OmenResult};
 use std::cell::RefCell;
 
 /// A sub-communicator: an ordered subset of world ranks.
@@ -51,11 +59,10 @@ impl<'a> Comm<'a> {
         self.members[i]
     }
 
-    fn next_tag(&self) -> u64 {
+    fn next_op(&self) -> u64 {
         let mut c = self.op_counter.borrow_mut();
         *c += 1;
-        // Layout: [1 collective bit][31-bit comm id][32-bit op counter].
-        COLLECTIVE_TAG_BASE | ((self.comm_id & 0x7FFF_FFFF) << 32) | (*c & 0xFFFF_FFFF)
+        *c
     }
 
     /// Point-to-point send to a *local* rank with a user tag.
@@ -66,7 +73,13 @@ impl<'a> Comm<'a> {
     }
 
     /// Point-to-point receive from a *local* rank.
-    pub fn recv(&self, from_local: usize, tag: u64) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::RecvTimeout`] when no matching message arrives within
+    /// the runtime's receive bound, [`OmenError::ChannelClosed`] when the
+    /// runtime is tearing down; both report the out-of-order buffer state.
+    pub fn recv(&self, from_local: usize, tag: u64) -> OmenResult<Vec<u8>> {
         let t = (1 << 62) | ((self.comm_id & 0x3FFF_FFFF) << 24) | (tag & 0xFF_FFFF);
         self.ctx.recv_internal(self.members[from_local], t)
     }
@@ -84,72 +97,97 @@ impl<'a> Comm<'a> {
     }
 
     /// Allreduce (sum) over this communicator.
-    pub fn allreduce_sum(&self, x: &[f64]) -> Vec<f64> {
-        let tag = self.next_tag();
-        if self.my_index == 0 {
-            let mut acc = x.to_vec();
-            for i in 1..self.size() {
-                let d = self.ctx.recv_internal(self.members[i], tag);
-                for (a, b) in acc.iter_mut().zip(decode_f64s(&d)) {
-                    *a += b;
-                }
-            }
-            for i in 1..self.size() {
-                self.ctx
-                    .send_internal(self.members[i], tag, encode_f64s(&acc));
-            }
-            acc
-        } else {
-            self.ctx.send_internal(self.members[0], tag, encode_f64s(x));
-            decode_f64s(&self.ctx.recv_internal(self.members[0], tag))
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when a member entered a different
+    /// collective (or a different vector length) this round; receive
+    /// failures propagate as [`OmenError::RecvTimeout`] /
+    /// [`OmenError::ChannelClosed`].
+    pub fn allreduce_sum(&self, x: &[f64]) -> OmenResult<Vec<f64>> {
+        let op = self.next_op();
+        let up = encode_f64s(x);
+        let len = up.len() as u64;
+        let (_, down) = self.ctx.collective_round(
+            &self.members,
+            self.my_index,
+            0,
+            self.comm_id,
+            op,
+            CollectiveKind::AllreduceSum,
+            len,
+            up,
+            sum_contributions,
+        )?;
+        Ok(decode_f64s(&down))
     }
 
     /// Broadcast from local `root`.
-    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
-        let tag = self.next_tag();
-        if self.my_index == root {
-            for i in 0..self.size() {
-                if i != root {
-                    self.ctx.send_internal(self.members[i], tag, data.clone());
-                }
-            }
-            data
-        } else {
-            self.ctx.recv_internal(self.members[root], tag)
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when a member entered a different
+    /// collective this round; receive failures propagate as
+    /// [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`].
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> OmenResult<Vec<u8>> {
+        let op = self.next_op();
+        let (_, down) = self.ctx.collective_round(
+            &self.members,
+            self.my_index,
+            root,
+            self.comm_id,
+            op,
+            CollectiveKind::Bcast,
+            0,
+            Vec::new(),
+            move |_| data,
+        )?;
+        Ok(down)
     }
 
-    /// Gathers payloads to local `root` (ordered by local rank).
-    pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
-        let tag = self.next_tag();
-        if self.my_index == root {
-            let mut out = vec![Vec::new(); self.size()];
-            out[root] = data;
-            for (i, slot) in out.iter_mut().enumerate() {
-                if i != root {
-                    *slot = self.ctx.recv_internal(self.members[i], tag);
-                }
-            }
-            Some(out)
-        } else {
-            self.ctx.send_internal(self.members[root], tag, data);
-            None
-        }
+    /// Gathers payloads to local `root` (ordered by local rank); returns
+    /// `Some(per-rank payloads)` on the root and `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when a member entered a different
+    /// collective this round; receive failures propagate as
+    /// [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`].
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> OmenResult<Option<Vec<Vec<u8>>>> {
+        let op = self.next_op();
+        let (parts, _) = self.ctx.collective_round(
+            &self.members,
+            self.my_index,
+            root,
+            self.comm_id,
+            op,
+            CollectiveKind::Gather,
+            LEN_UNCHECKED,
+            data,
+            |_| Vec::new(),
+        )?;
+        Ok(parts)
     }
 
     /// Splits this communicator by `color`; members with the same color end
     /// up in the same sub-communicator, ordered by `key` (ties by current
     /// local rank).
-    pub fn split(&self, color: u64, key: u64) -> Comm<'a> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying gather/bcast failures
+    /// ([`OmenError::ScheduleDivergence`], [`OmenError::RecvTimeout`],
+    /// [`OmenError::ChannelClosed`]); [`OmenError::Deserialize`] when the
+    /// exchanged membership table does not contain this rank.
+    pub fn split(&self, color: u64, key: u64) -> OmenResult<Comm<'a>> {
         // Allgather (color, key, global_rank) over this comm.
         let mine = encode_f64s(&[color as f64, key as f64, self.ctx.rank() as f64]);
-        let gathered = match self.gather(0, mine) {
+        let gathered = match self.gather(0, mine)? {
             Some(g) => {
                 let flat: Vec<u8> = g.into_iter().flatten().collect();
-                self.bcast(0, flat)
+                self.bcast(0, flat)?
             }
-            None => self.bcast(0, Vec::new()),
+            None => self.bcast(0, Vec::new())?,
         };
         let vals = decode_f64s(&gathered);
         let mut triples: Vec<(u64, u64, usize)> = vals
@@ -163,23 +201,26 @@ impl<'a> Comm<'a> {
             .filter(|&&(c, _, _)| c == color)
             .map(|&(_, _, g)| g)
             .collect();
-        let my_index = members
-            .iter()
-            .position(|&g| g == self.ctx.rank())
-            .expect("splitting rank must be in its own color group");
+        let my_index =
+            members
+                .iter()
+                .position(|&g| g == self.ctx.rank())
+                .ok_or(OmenError::Deserialize {
+                    context: "comm split membership (splitting rank missing from its color group)",
+                })?;
         // Deterministic child id derived from parent id and color.
         let comm_id = (self
             .comm_id
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(color.wrapping_add(1) * 0x85EB_CA6B))
             & 0x7FFF_FFFF;
-        Comm {
+        Ok(Comm {
             ctx: self.ctx,
             members,
             my_index,
             comm_id,
             op_counter: RefCell::new(0),
-        }
+        })
     }
 }
 
@@ -205,9 +246,9 @@ mod tests {
         let out = run_ranks(6, |ctx| {
             let w = Comm::world(ctx);
             let color = (ctx.rank() % 2) as u64;
-            let sub = w.split(color, ctx.rank() as u64);
+            let sub = w.split(color, ctx.rank() as u64).unwrap();
             assert_eq!(sub.size(), 3);
-            let s = sub.allreduce_sum(&[ctx.rank() as f64]);
+            let s = sub.allreduce_sum(&[ctx.rank() as f64]).unwrap();
             s[0]
         });
         for (r, v) in out.unwrap_all().into_iter().enumerate() {
@@ -225,12 +266,14 @@ mod tests {
         // 8 ranks → 2×2×2 grid via two successive splits.
         let out = run_ranks(8, |ctx| {
             let w = Comm::world(ctx);
-            let level1 = w.split((ctx.rank() / 4) as u64, ctx.rank() as u64);
+            let level1 = w.split((ctx.rank() / 4) as u64, ctx.rank() as u64).unwrap();
             assert_eq!(level1.size(), 4);
-            let level2 = level1.split((level1.rank() / 2) as u64, level1.rank() as u64);
+            let level2 = level1
+                .split((level1.rank() / 2) as u64, level1.rank() as u64)
+                .unwrap();
             assert_eq!(level2.size(), 2);
             // Reduce within the innermost pair.
-            let s = level2.allreduce_sum(&[1.0]);
+            let s = level2.allreduce_sum(&[1.0]).unwrap();
             s[0]
         });
         assert!(out.unwrap_all().iter().all(|&v| v == 2.0));
@@ -240,9 +283,9 @@ mod tests {
     fn sub_comm_bcast_and_gather() {
         let out = run_ranks(4, |ctx| {
             let w = Comm::world(ctx);
-            let sub = w.split((ctx.rank() / 2) as u64, 0);
-            let data = sub.bcast(0, vec![sub.global_rank(0) as u8]);
-            let g = sub.gather(1, data.clone());
+            let sub = w.split((ctx.rank() / 2) as u64, 0).unwrap();
+            let data = sub.bcast(0, vec![sub.global_rank(0) as u8]).unwrap();
+            let g = sub.gather(1, data.clone()).unwrap();
             if sub.rank() == 1 {
                 let g = g.unwrap();
                 assert_eq!(g.len(), 2);
@@ -258,10 +301,10 @@ mod tests {
         // Both groups run many interleaved allreduces; sums must stay exact.
         let out = run_ranks(4, |ctx| {
             let w = Comm::world(ctx);
-            let sub = w.split((ctx.rank() % 2) as u64, 0);
+            let sub = w.split((ctx.rank() % 2) as u64, 0).unwrap();
             let mut acc = 0.0;
             for i in 0..50 {
-                let v = sub.allreduce_sum(&[(ctx.rank() + i) as f64]);
+                let v = sub.allreduce_sum(&[(ctx.rank() + i) as f64]).unwrap();
                 acc += v[0];
             }
             acc
@@ -274,5 +317,42 @@ mod tests {
         assert_eq!(results[2], even);
         assert_eq!(results[1], odd);
         assert_eq!(results[3], odd);
+    }
+
+    #[test]
+    fn sub_comm_skipped_bcast_is_schedule_divergence() {
+        use omen_num::{OmenError, OmenResult};
+        // Four ranks split into two pairs; local rank 1 of the second pair
+        // skips a bcast on its sub-communicator and goes straight to the
+        // pair's allreduce. Both members of that pair must fail with the
+        // same typed ScheduleDivergence; the healthy pair must be
+        // untouched and reduce correctly.
+        let out = run_ranks(4, |ctx| -> OmenResult<f64> {
+            let w = Comm::world(ctx);
+            let sub = w.split((ctx.rank() / 2) as u64, 0)?;
+            if ctx.rank() != 3 {
+                // analyze: allow(spmd-divergence, deliberately divergent schedule under test)
+                sub.bcast(0, vec![1])?;
+            }
+            let s = sub.allreduce_sum(&[1.0])?;
+            Ok(s[0])
+        })
+        .flattened();
+        assert_eq!(out.results[0], Ok(2.0));
+        assert_eq!(out.results[1], Ok(2.0));
+        for rank in [2, 3] {
+            match &out.results[rank] {
+                Err(OmenError::ScheduleDivergence {
+                    rank: divergent,
+                    expected,
+                    got,
+                }) => {
+                    assert_eq!(*divergent, 3);
+                    assert!(expected.contains("bcast#1"), "expected fp: {expected}");
+                    assert!(got.contains("allreduce_sum#1"), "got fp: {got}");
+                }
+                other => panic!("rank {rank}: expected ScheduleDivergence, got {other:?}"),
+            }
+        }
     }
 }

@@ -23,4 +23,4 @@ pub mod runtime;
 
 pub use comm::Comm;
 pub use machine::MachineModel;
-pub use runtime::{run_ranks, CommStats, RankCtx, RunOutput};
+pub use runtime::{run_ranks, run_ranks_with_timeout, CommStats, RankCtx, RunOutput};

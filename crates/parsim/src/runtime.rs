@@ -7,11 +7,24 @@
 //! source and tag. Collectives are built from point-to-point operations so
 //! their traffic is *executed*, not modeled.
 //!
+//! ## Collective schedule verification
+//!
+//! Every rank of a communicator must enter the same collectives in the same
+//! order (the SPMD contract). Instead of trusting a doc comment, each
+//! collective runs a verified round: every non-root member prepends a
+//! [`Fingerprint`] header — op kind, communicator id, op counter, payload
+//! length — to its first message, the root compares each header against its
+//! own fingerprint, and a mismatch is broadcast back down as a typed
+//! [`OmenError::ScheduleDivergence`] on *every* member within that one
+//! round. A divergent rank is named at the collective where it diverged,
+//! not 30 seconds later as an anonymous timeout.
+//!
 //! Fault containment: a panic inside one rank's closure is caught on that
 //! rank's thread and surfaced as `Err(OmenError::RankFailed)` in
 //! [`RunOutput::results`] — the other ranks and the calling process keep
-//! running. Receives carry a generous timeout so a peer's death converts a
-//! would-be deadlock into a bounded, attributable failure.
+//! running. Receives carry a bounded timeout so a peer's death converts a
+//! would-be deadlock into a typed, attributable [`OmenError::RecvTimeout`]
+//! that also reports the out-of-order buffer state.
 
 use omen_num::{OmenError, OmenResult};
 use std::cell::RefCell;
@@ -28,11 +41,12 @@ struct Msg {
     data: Vec<u8>,
 }
 
-/// Upper bound on how long a blocking receive waits for a matching message.
-/// Ranks share one process, so any legitimate message arrives in micro- to
-/// milliseconds; hitting this bound means the sending rank died or the
-/// communication schedule diverged, and the receive fails loudly (captured
-/// per-rank by [`run_ranks`]) instead of deadlocking the job.
+/// Default upper bound on how long a blocking receive waits for a matching
+/// message. Ranks share one process, so any legitimate message arrives in
+/// micro- to milliseconds; hitting this bound means the sending rank died
+/// (schedule divergence inside a collective is caught much earlier by the
+/// fingerprint check), and the receive fails with a typed error instead of
+/// deadlocking the job. [`run_ranks_with_timeout`] overrides it for tests.
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Per-rank communication counters.
@@ -63,6 +77,119 @@ impl CommStats {
 /// Out-of-order receive buffer keyed by `(source rank, tag)`.
 type PendingMsgs = HashMap<(usize, u64), VecDeque<Vec<u8>>>;
 
+/// Collective operation kinds carried in the [`Fingerprint`] header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CollectiveKind {
+    /// Element-wise sum reduction distributed back to every member.
+    AllreduceSum = 1,
+    /// One-to-all broadcast from a root.
+    Bcast = 2,
+    /// All-to-one gather at a root.
+    Gather = 3,
+}
+
+impl CollectiveKind {
+    fn from_u8(v: u8) -> Option<CollectiveKind> {
+        match v {
+            1 => Some(CollectiveKind::AllreduceSum),
+            2 => Some(CollectiveKind::Bcast),
+            3 => Some(CollectiveKind::Gather),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::AllreduceSum => "allreduce_sum",
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Gather => "gather",
+        }
+    }
+}
+
+/// Sentinel length meaning "payload length not checked for this op" (used
+/// by gather, whose per-rank contributions may legitimately differ).
+pub(crate) const LEN_UNCHECKED: u64 = u64::MAX;
+
+/// The schedule fingerprint prepended to every collective's first (upward)
+/// message. Wire format, little-endian: `[kind:u8][comm:u64][op:u64]
+/// [len:u64]` — 25 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fingerprint {
+    kind: u8,
+    comm: u64,
+    op: u64,
+    len: u64,
+}
+
+/// Encoded size of a [`Fingerprint`].
+const FINGERPRINT_LEN: usize = 25;
+
+impl Fingerprint {
+    fn new(kind: CollectiveKind, comm: u64, op: u64, len: u64) -> Fingerprint {
+        Fingerprint {
+            kind: kind as u8,
+            comm,
+            op,
+            len,
+        }
+    }
+
+    fn encode(&self) -> [u8; FINGERPRINT_LEN] {
+        let mut out = [0u8; FINGERPRINT_LEN];
+        out[0] = self.kind;
+        out[1..9].copy_from_slice(&self.comm.to_le_bytes());
+        out[9..17].copy_from_slice(&self.op.to_le_bytes());
+        out[17..25].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    fn decode(b: &[u8]) -> Option<Fingerprint> {
+        if b.len() < FINGERPRINT_LEN {
+            return None;
+        }
+        let word = |lo: usize| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&b[lo..lo + 8]);
+            u64::from_le_bytes(raw)
+        };
+        Some(Fingerprint {
+            kind: b[0],
+            comm: word(1),
+            op: word(9),
+            len: word(17),
+        })
+    }
+
+    /// Two fingerprints agree when kind, communicator and op counter are
+    /// identical and the payload lengths match (a [`LEN_UNCHECKED`] on
+    /// either side wildcards the length).
+    fn matches(&self, other: &Fingerprint) -> bool {
+        self.kind == other.kind
+            && self.comm == other.comm
+            && self.op == other.op
+            && (self.len == other.len || self.len == LEN_UNCHECKED || other.len == LEN_UNCHECKED)
+    }
+
+    /// Human-readable form used in [`OmenError::ScheduleDivergence`], e.g.
+    /// `bcast#2 comm=1 len=0`.
+    fn describe(&self) -> String {
+        let kind = match CollectiveKind::from_u8(self.kind) {
+            Some(k) => k.name().to_string(),
+            None => format!("op-kind-{}", self.kind),
+        };
+        if self.len == LEN_UNCHECKED {
+            format!("{kind}#{} comm={} len=?", self.op, self.comm)
+        } else {
+            format!("{kind}#{} comm={} len={}", self.op, self.comm, self.len)
+        }
+    }
+}
+
+/// Verdict byte leading every downward (root → member) collective message.
+const DOWN_OK: u8 = 0;
+const DOWN_DIVERGED: u8 = 1;
+
 /// The execution context handed to each rank's closure.
 pub struct RankCtx {
     rank: usize,
@@ -70,16 +197,21 @@ pub struct RankCtx {
     senders: Vec<Sender<Msg>>,
     receiver: Receiver<Msg>,
     barrier: std::sync::Arc<Barrier>,
+    recv_timeout: Duration,
     // Out-of-order buffer: messages that arrived before being asked for.
     pending: RefCell<PendingMsgs>,
     stats: RefCell<CommStats>,
-    // Monotone counter namespacing world-collective tags.
+    // Monotone counter namespacing world-collective fingerprints.
     op_counter: RefCell<u64>,
 }
 
 /// Tag namespace split: user tags occupy the low half, internal collective
 /// tags the high half.
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+/// Communicator id of the implicit world communicator every [`RankCtx`]
+/// collective runs on (sub-communicators derive nonzero ids).
+const WORLD_COMM_ID: u64 = 0;
 
 impl RankCtx {
     /// This rank's id in `0..size`.
@@ -143,32 +275,48 @@ impl RankCtx {
     }
 
     /// Blocking receive of the next message from `from` with `tag`.
-    pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::RecvTimeout`] when no matching message arrives within
+    /// the runtime's receive bound (the peer died or the communication
+    /// schedule diverged), [`OmenError::ChannelClosed`] when every sender
+    /// to this rank dropped while it was blocked. Both report the
+    /// out-of-order buffer occupancy at the time of failure.
+    pub fn recv(&self, from: usize, tag: u64) -> OmenResult<Vec<u8>> {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below 2^63");
         self.recv_internal(from, tag)
     }
 
-    pub(crate) fn recv_internal(&self, from: usize, tag: u64) -> Vec<u8> {
+    pub(crate) fn recv_internal(&self, from: usize, tag: u64) -> OmenResult<Vec<u8>> {
         if let Some(q) = self.pending.borrow_mut().get_mut(&(from, tag)) {
             if let Some(d) = q.pop_front() {
-                return d;
+                return Ok(d);
             }
         }
         loop {
-            let msg = match self.receiver.recv_timeout(RECV_TIMEOUT) {
+            let msg = match self.receiver.recv_timeout(self.recv_timeout) {
                 Ok(m) => m,
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "rank {} recv(from = {from}, tag = {tag:#x}) timed out after {}s \
-                     (peer dead or schedule divergence)",
-                    self.rank,
-                    RECV_TIMEOUT.as_secs()
-                ),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(OmenError::RecvTimeout {
+                        rank: self.rank,
+                        from,
+                        tag,
+                        waited_ms: self.recv_timeout.as_millis() as u64,
+                        pending: self.pending_messages(),
+                    });
+                }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("rank {} channel closed while receiving", self.rank)
+                    return Err(OmenError::ChannelClosed {
+                        rank: self.rank,
+                        from,
+                        tag,
+                        pending: self.pending_messages(),
+                    });
                 }
             };
             if msg.from == from && msg.tag == tag {
-                return msg.data;
+                return Ok(msg.data);
             }
             self.pending
                 .borrow_mut()
@@ -184,67 +332,200 @@ impl RankCtx {
         self.barrier.wait();
     }
 
-    /// World-scope allreduce (sum) of an `f64` vector. All ranks must call
-    /// in the same order (MPI semantics). Linear gather to rank 0 + bcast;
-    /// the traffic is really executed and counted.
-    pub fn allreduce_sum(&self, x: &[f64]) -> Vec<f64> {
-        let op = self.next_op();
+    /// One verified collective round over `members` (global ranks, ordered;
+    /// `members[my_index]` is this rank). Non-root members send
+    /// `fingerprint ‖ up_payload` to the root; the root checks every
+    /// fingerprint against its own, then either distributes
+    /// `DOWN_OK ‖ down_of(contributions)` or a `DOWN_DIVERGED` verdict
+    /// naming the first mismatching rank. Returns the root's contribution
+    /// table (root only) and the downward payload.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when any member's fingerprint
+    /// disagrees with the root's — raised identically on every member of
+    /// the round; receive failures propagate as
+    /// [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`].
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub(crate) fn collective_round(
+        &self,
+        members: &[usize],
+        my_index: usize,
+        root_index: usize,
+        comm_id: u64,
+        op: u64,
+        kind: CollectiveKind,
+        fp_len: u64,
+        up_payload: Vec<u8>,
+        down_of: impl FnOnce(&[Vec<u8>]) -> Vec<u8>,
+    ) -> OmenResult<(Option<Vec<Vec<u8>>>, Vec<u8>)> {
+        debug_assert_eq!(members[my_index], self.rank);
         self.stats.borrow_mut().collectives += 1;
-        let tag = COLLECTIVE_TAG_BASE | op;
-        if self.rank == 0 {
-            let mut acc = x.to_vec();
-            for r in 1..self.size {
-                let data = self.recv_internal(r, tag);
-                for (a, b) in acc.iter_mut().zip(decode_f64s(&data)) {
-                    *a += b;
+        let tag = COLLECTIVE_TAG_BASE | comm_id;
+        let my_fp = Fingerprint::new(kind, comm_id, op, fp_len);
+
+        if my_index == root_index {
+            // Collect every member's fingerprinted contribution before any
+            // verdict goes out, so one divergence report covers the round.
+            let mut contributions: Vec<Vec<u8>> = vec![Vec::new(); members.len()];
+            contributions[root_index] = up_payload;
+            let mut divergence: Option<(usize, Fingerprint)> = None;
+            for (i, &peer) in members.iter().enumerate() {
+                if i == root_index {
+                    continue;
+                }
+                let data = self.recv_internal(peer, tag)?;
+                let fp = Fingerprint::decode(&data).ok_or(OmenError::Deserialize {
+                    context: "collective fingerprint header",
+                })?;
+                if divergence.is_none() && !my_fp.matches(&fp) {
+                    divergence = Some((peer, fp));
+                }
+                contributions[i] = data[FINGERPRINT_LEN..].to_vec();
+            }
+            if let Some((peer, fp)) = divergence {
+                let mut verdict = Vec::with_capacity(1 + 8 + 2 * FINGERPRINT_LEN);
+                verdict.push(DOWN_DIVERGED);
+                verdict.extend_from_slice(&(peer as u64).to_le_bytes());
+                verdict.extend_from_slice(&my_fp.encode());
+                verdict.extend_from_slice(&fp.encode());
+                for (i, &other) in members.iter().enumerate() {
+                    if i != root_index {
+                        self.send_internal(other, tag, verdict.clone());
+                    }
+                }
+                return Err(OmenError::ScheduleDivergence {
+                    rank: peer,
+                    expected: my_fp.describe(),
+                    got: fp.describe(),
+                });
+            }
+            let down = down_of(&contributions);
+            for (i, &other) in members.iter().enumerate() {
+                if i != root_index {
+                    let mut msg = Vec::with_capacity(1 + down.len());
+                    msg.push(DOWN_OK);
+                    msg.extend_from_slice(&down);
+                    self.send_internal(other, tag, msg);
                 }
             }
-            for r in 1..self.size {
-                self.send_internal(r, tag, encode_f64s(&acc));
-            }
-            acc
+            Ok((Some(contributions), down))
         } else {
-            self.send_internal(0, tag, encode_f64s(x));
-            decode_f64s(&self.recv_internal(0, tag))
+            let root = members[root_index];
+            let mut up = Vec::with_capacity(FINGERPRINT_LEN + up_payload.len());
+            up.extend_from_slice(&my_fp.encode());
+            up.extend_from_slice(&up_payload);
+            self.send_internal(root, tag, up);
+            let down = self.recv_internal(root, tag)?;
+            match down.first() {
+                Some(&DOWN_OK) => Ok((None, down[1..].to_vec())),
+                Some(&DOWN_DIVERGED) => {
+                    let rest = &down[1..];
+                    if rest.len() != 8 + 2 * FINGERPRINT_LEN {
+                        return Err(OmenError::Deserialize {
+                            context: "collective divergence verdict",
+                        });
+                    }
+                    let mut raw = [0u8; 8];
+                    raw.copy_from_slice(&rest[..8]);
+                    let rank = u64::from_le_bytes(raw) as usize;
+                    let expected = Fingerprint::decode(&rest[8..8 + FINGERPRINT_LEN]);
+                    let got = Fingerprint::decode(&rest[8 + FINGERPRINT_LEN..]);
+                    match (expected, got) {
+                        (Some(e), Some(g)) => Err(OmenError::ScheduleDivergence {
+                            rank,
+                            expected: e.describe(),
+                            got: g.describe(),
+                        }),
+                        _ => Err(OmenError::Deserialize {
+                            context: "collective divergence verdict",
+                        }),
+                    }
+                }
+                _ => Err(OmenError::Deserialize {
+                    context: "collective verdict byte",
+                }),
+            }
         }
     }
 
-    /// World-scope broadcast from `root`.
-    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+    /// World-scope allreduce (sum) of an `f64` vector. All ranks must call
+    /// in the same order (MPI semantics, verified by the fingerprint
+    /// protocol). Linear gather to rank 0 + bcast; the traffic is really
+    /// executed and counted.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when another rank entered a
+    /// different collective (or an allreduce of a different vector length)
+    /// this round; receive failures propagate as
+    /// [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`].
+    pub fn allreduce_sum(&self, x: &[f64]) -> OmenResult<Vec<f64>> {
         let op = self.next_op();
-        self.stats.borrow_mut().collectives += 1;
-        let tag = COLLECTIVE_TAG_BASE | op;
-        if self.rank == root {
-            for r in 0..self.size {
-                if r != root {
-                    self.send_internal(r, tag, data.clone());
-                }
-            }
-            data
-        } else {
-            self.recv_internal(root, tag)
-        }
+        let members: Vec<usize> = (0..self.size).collect();
+        let up = encode_f64s(x);
+        let len = up.len() as u64;
+        let (_, down) = self.collective_round(
+            &members,
+            self.rank,
+            0,
+            WORLD_COMM_ID,
+            op,
+            CollectiveKind::AllreduceSum,
+            len,
+            up,
+            sum_contributions,
+        )?;
+        Ok(decode_f64s(&down))
+    }
+
+    /// World-scope broadcast from `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when another rank entered a
+    /// different collective this round; receive failures propagate as
+    /// [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`].
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> OmenResult<Vec<u8>> {
+        let op = self.next_op();
+        let members: Vec<usize> = (0..self.size).collect();
+        let (_, down) = self.collective_round(
+            &members,
+            self.rank,
+            root,
+            WORLD_COMM_ID,
+            op,
+            CollectiveKind::Bcast,
+            0,
+            Vec::new(),
+            move |_| data,
+        )?;
+        Ok(down)
     }
 
     /// World-scope gather to `root`; returns `Some(per-rank payloads)` on
     /// the root and `None` elsewhere.
-    pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ScheduleDivergence`] when another rank entered a
+    /// different collective this round; receive failures propagate as
+    /// [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`].
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> OmenResult<Option<Vec<Vec<u8>>>> {
         let op = self.next_op();
-        self.stats.borrow_mut().collectives += 1;
-        let tag = COLLECTIVE_TAG_BASE | op;
-        if self.rank == root {
-            let mut out = vec![Vec::new(); self.size];
-            out[root] = data;
-            for (r, slot) in out.iter_mut().enumerate() {
-                if r != root {
-                    *slot = self.recv_internal(r, tag);
-                }
-            }
-            Some(out)
-        } else {
-            self.send_internal(root, tag, data);
-            None
-        }
+        let members: Vec<usize> = (0..self.size).collect();
+        let (parts, _) = self.collective_round(
+            &members,
+            self.rank,
+            root,
+            WORLD_COMM_ID,
+            op,
+            CollectiveKind::Gather,
+            LEN_UNCHECKED,
+            data,
+            |_| Vec::new(),
+        )?;
+        Ok(parts)
     }
 
     fn next_op(&self) -> u64 {
@@ -253,6 +534,24 @@ impl RankCtx {
         assert!(*c < 1 << 31, "collective counter overflow");
         *c
     }
+}
+
+/// Element-wise sum of equal-length little-endian `f64` payloads (the
+/// allreduce reduction applied at the root; lengths were already checked by
+/// the fingerprint round).
+pub(crate) fn sum_contributions(parts: &[Vec<u8>]) -> Vec<u8> {
+    let mut acc: Vec<f64> = Vec::new();
+    for p in parts {
+        let vals = decode_f64s(p);
+        if acc.is_empty() {
+            acc = vals;
+        } else {
+            for (a, b) in acc.iter_mut().zip(vals) {
+                *a += b;
+            }
+        }
+    }
+    encode_f64s(&acc)
 }
 
 /// Result of a rank-parallel run.
@@ -281,11 +580,13 @@ impl<R> RunOutput<R> {
     /// Unwraps every rank's result, panicking with the first failure's
     /// message. Convenience for callers (tests, benches) where any rank
     /// failure is a bug in the calling protocol.
+    #[allow(clippy::panic)]
     pub fn unwrap_all(self) -> Vec<R> {
         self.results
             .into_iter()
             .map(|r| match r {
                 Ok(v) => v,
+                // analyze: allow(panic-backstop, deliberate test/bench convenience that converts rank failures into panics)
                 Err(e) => panic!("{e}"),
             })
             .collect()
@@ -322,14 +623,27 @@ fn panic_detail(p: Box<dyn std::any::Any + Send>) -> String {
 /// counters.
 ///
 /// The closure receives this rank's [`RankCtx`]; it must follow SPMD
-/// collective ordering (all ranks call collectives in the same sequence).
-/// A panic inside one rank is caught on that rank's thread and reported as
+/// collective ordering (all ranks call collectives in the same sequence —
+/// violations surface as typed [`OmenError::ScheduleDivergence`] via the
+/// fingerprint protocol rather than as hangs). A panic inside one rank is
+/// caught on that rank's thread and reported as
 /// `Err(OmenError::RankFailed { rank, .. })` in the output — it does not
 /// tear down the process or the surviving ranks. Note that a rank waiting
 /// on a dead peer fails via the receive timeout, while one blocked in
 /// [`RankCtx::barrier`] cannot be released early; barrier-free protocols
 /// (all solver traffic here) degrade gracefully.
 pub fn run_ranks<R, F>(n: usize, f: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&RankCtx) -> R + Sync,
+{
+    run_ranks_with_timeout(n, RECV_TIMEOUT, f)
+}
+
+/// [`run_ranks`] with an explicit receive-timeout bound. Production callers
+/// use [`run_ranks`]; tests exercising dead-peer handling shrink the bound
+/// so a deliberate stall fails in milliseconds instead of 30 s.
+pub fn run_ranks_with_timeout<R, F>(n: usize, recv_timeout: Duration, f: F) -> RunOutput<R>
 where
     R: Send,
     F: Fn(&RankCtx) -> R + Sync,
@@ -358,6 +672,7 @@ where
                     senders,
                     receiver,
                     barrier,
+                    recv_timeout,
                     pending: RefCell::new(HashMap::new()),
                     stats: RefCell::new(CommStats::default()),
                     op_counter: RefCell::new(0),
@@ -440,7 +755,7 @@ mod tests {
             let next = (ctx.rank() + 1) % ctx.size();
             let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
             ctx.send(next, 7, encode_f64s(&[ctx.rank() as f64]));
-            let got = decode_f64s(&ctx.recv(prev, 7));
+            let got = decode_f64s(&ctx.recv(prev, 7).unwrap());
             got[0]
         });
         let total = out.total_stats();
@@ -457,7 +772,7 @@ mod tests {
         let n = 5;
         let out = run_ranks(n, |ctx| {
             let mine = vec![ctx.rank() as f64, 1.0, -(ctx.rank() as f64) * 0.5];
-            ctx.allreduce_sum(&mine)
+            ctx.allreduce_sum(&mine).unwrap()
         });
         let expect = [10.0, 5.0, -5.0];
         for r in out.unwrap_all() {
@@ -470,16 +785,18 @@ mod tests {
     #[test]
     fn bcast_and_gather() {
         let out = run_ranks(4, |ctx| {
-            let data = ctx.bcast(
-                2,
-                if ctx.rank() == 2 {
-                    vec![42, 43]
-                } else {
-                    vec![]
-                },
-            );
+            let data = ctx
+                .bcast(
+                    2,
+                    if ctx.rank() == 2 {
+                        vec![42, 43]
+                    } else {
+                        vec![]
+                    },
+                )
+                .unwrap();
             assert_eq!(data, vec![42, 43]);
-            let g = ctx.gather(0, vec![ctx.rank() as u8]);
+            let g = ctx.gather(0, vec![ctx.rank() as u8]).unwrap();
             if ctx.rank() == 0 {
                 let g = g.unwrap();
                 assert_eq!(g, vec![vec![0], vec![1], vec![2], vec![3]]);
@@ -502,8 +819,8 @@ mod tests {
                 0
             } else {
                 // Receive in the opposite order.
-                let a = ctx.recv(0, 1);
-                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1).unwrap();
+                let b = ctx.recv(0, 2).unwrap();
                 assert_eq!((a, b), (vec![1], vec![2]));
                 assert_eq!(ctx.pending_messages(), 0, "buffer drained after both recvs");
                 1
@@ -528,9 +845,9 @@ mod tests {
     fn single_rank_degenerate() {
         let out = run_ranks(1, |ctx| {
             assert_eq!(ctx.size(), 1);
-            let r = ctx.allreduce_sum(&[3.0]);
+            let r = ctx.allreduce_sum(&[3.0]).unwrap();
             assert_eq!(r, vec![3.0]);
-            let b = ctx.bcast(0, vec![9]);
+            let b = ctx.bcast(0, vec![9]).unwrap();
             assert_eq!(b, vec![9]);
             7u8
         });
@@ -541,6 +858,22 @@ mod tests {
     fn encode_decode_roundtrip() {
         let x = vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
         assert_eq!(decode_f64s(&encode_f64s(&x)), x);
+    }
+
+    #[test]
+    fn fingerprint_wire_roundtrip() {
+        let fp = Fingerprint::new(CollectiveKind::Gather, 0x7FFF_0001, 42, LEN_UNCHECKED);
+        let enc = fp.encode();
+        assert_eq!(enc.len(), FINGERPRINT_LEN);
+        assert_eq!(Fingerprint::decode(&enc), Some(fp));
+        assert!(fp.describe().contains("gather#42"));
+        assert!(fp.describe().contains("len=?"));
+        let a = Fingerprint::new(CollectiveKind::AllreduceSum, 1, 2, 16);
+        let b = Fingerprint::new(CollectiveKind::AllreduceSum, 1, 2, 24);
+        assert!(!a.matches(&b), "allreduce length mismatch must not match");
+        let w = Fingerprint::new(CollectiveKind::AllreduceSum, 1, 2, LEN_UNCHECKED);
+        assert!(a.matches(&w) && w.matches(&b), "wildcard length matches");
+        assert!(Fingerprint::decode(&enc[..10]).is_none());
     }
 
     #[test]
@@ -584,5 +917,89 @@ mod tests {
             })
         );
         assert_eq!(out.results[1], Ok(99));
+    }
+
+    #[test]
+    fn skipped_bcast_is_schedule_divergence_on_every_rank() {
+        // Rank 1 skips the second bcast and goes straight to the allreduce.
+        // The fingerprint protocol must convert this into the *same* typed
+        // ScheduleDivergence on every rank within one collective round —
+        // no 30 s timeout, no panic. The generous default timeout proves
+        // detection does not rely on it.
+        let t0 = std::time::Instant::now();
+        let out = run_ranks(3, |ctx| -> OmenResult<()> {
+            ctx.bcast(0, vec![ctx.rank() as u8])?;
+            if ctx.rank() != 1 {
+                // analyze: allow(spmd-divergence, deliberately divergent schedule under test)
+                ctx.bcast(0, vec![7])?;
+            }
+            ctx.allreduce_sum(&[1.0])?;
+            Ok(())
+        })
+        .flattened();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "divergence must be detected without waiting out the recv timeout"
+        );
+        for (rank, r) in out.results.iter().enumerate() {
+            match r {
+                Err(OmenError::ScheduleDivergence {
+                    rank: divergent,
+                    expected,
+                    got,
+                }) => {
+                    assert_eq!(*divergent, 1, "rank {rank} must name the divergent rank");
+                    assert!(expected.contains("bcast#2"), "expected fp: {expected}");
+                    assert!(got.contains("allreduce_sum#2"), "got fp: {got}");
+                }
+                other => panic!("rank {rank}: expected ScheduleDivergence, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_length_mismatch_is_divergence() {
+        let out = run_ranks(2, |ctx| -> OmenResult<()> {
+            let mine: Vec<f64> = vec![1.0; 2 + ctx.rank()];
+            ctx.allreduce_sum(&mine)?;
+            Ok(())
+        })
+        .flattened();
+        for r in &out.results {
+            match r {
+                Err(OmenError::ScheduleDivergence { rank, .. }) => assert_eq!(*rank, 1),
+                other => panic!("expected ScheduleDivergence, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dead_peer_recv_is_typed_timeout_with_pending_state() {
+        let out = run_ranks_with_timeout(2, Duration::from_millis(100), |ctx| {
+            if ctx.rank() == 0 {
+                // Rank 1 exits without ever sending; also park an unrelated
+                // message in the buffer to check the pending count.
+                ctx.send(0, 3, vec![1, 2, 3]);
+                ctx.recv(1, 9).map(|_| ())
+            } else {
+                Ok(())
+            }
+        })
+        .flattened();
+        assert!(out.results[1].is_ok());
+        match &out.results[0] {
+            Err(OmenError::RecvTimeout {
+                rank,
+                from,
+                tag,
+                waited_ms,
+                pending,
+            }) => {
+                assert_eq!((*rank, *from, *tag), (0, 1, 9));
+                assert_eq!(*waited_ms, 100);
+                assert_eq!(*pending, 1, "the self-sent message must be reported");
+            }
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
     }
 }

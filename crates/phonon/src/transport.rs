@@ -26,9 +26,12 @@ pub const KAPPA_QUANTUM_W_PER_K2: f64 = 9.464e-13;
 /// Numerical broadening for the phonon Green's functions, in (rad/ps)².
 pub const PHONON_ETA: f64 = 1e-3;
 
-/// Ballistic phonon transmission at frequency `omega` (rad/ps). The typed
-/// error of a non-converged lead or singular slab (past the shared recovery
-/// policies) carries `ω²` in its energy field.
+/// Ballistic phonon transmission at frequency `omega` (rad/ps).
+///
+/// # Errors
+///
+/// The typed error of a non-converged lead or singular slab (past the
+/// shared recovery policies) carries `ω²` in its energy field.
 pub fn phonon_transmission(sys: &PhononSystem, omega: f64) -> OmenResult<f64> {
     assert!(omega > 0.0, "transmission is defined for ω > 0");
     let e = omega * omega;
@@ -46,6 +49,11 @@ pub fn phonon_transmission(sys: &PhononSystem, omega: f64) -> OmenResult<f64> {
 
 /// Landauer thermal conductance at temperature `t_kelvin` (W/K), with
 /// `n_omega` frequency points spanning the thermally active window.
+///
+/// # Errors
+///
+/// Propagates the first failing frequency point's
+/// [`phonon_transmission`] error.
 pub fn thermal_conductance(sys: &PhononSystem, t_kelvin: f64, n_omega: usize) -> OmenResult<f64> {
     assert!(t_kelvin > 0.0 && n_omega >= 8);
     let kt_ev = KB * t_kelvin;
@@ -60,16 +68,15 @@ pub fn thermal_conductance(sys: &PhononSystem, t_kelvin: f64, n_omega: usize) ->
     for k in 0..n_omega {
         let omega = omega_lo + k as f64 * domega;
         let x = HBAR_RADPS_TO_EV * omega / kt_ev;
-        // ∂n_B/∂T = (x/T)·eˣ/(eˣ−1)²; guard the overflow tails.
-        let dndt = if x > 500.0 {
-            0.0
-        } else {
-            let ex = x.exp();
-            (x / t_kelvin) * ex / ((ex - 1.0) * (ex - 1.0))
-        };
-        if dndt == 0.0 {
+        // ∂n_B/∂T = (x/T)·e⁻ˣ/(1−e⁻ˣ)², the overflow-free form of
+        // (x/T)·eˣ/(eˣ−1)². The Bose tail beyond x ≈ 500 weighs in below
+        // 1e-200 of the integrand — skip those transmission solves outright
+        // instead of computing a factor and testing it against float zero.
+        if x > 500.0 {
             continue;
         }
+        let em = (-x).exp();
+        let dndt = (x / t_kelvin) * em / ((1.0 - em) * (1.0 - em));
         let t = phonon_transmission(sys, omega)?;
         let weight = if k == 0 || k == n_omega - 1 { 0.5 } else { 1.0 };
         kappa += weight * HBAR_RADPS_TO_EV * omega * t * dndt * domega;

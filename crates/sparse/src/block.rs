@@ -126,10 +126,13 @@ impl BlockTridiag {
     }
 
     /// Extracts a block-tridiagonal structure from a CSR matrix given slab
-    /// boundaries (`offsets[i]..offsets[i+1]` is slab `i`). Returns
-    /// [`OmenError::InvalidPartition`] when the CSR has entries outside the
-    /// block-tridiagonal envelope — that means the slab partition is
-    /// invalid for nearest-neighbor coupling.
+    /// boundaries (`offsets[i]..offsets[i+1]` is slab `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPartition`] when the CSR has entries
+    /// outside the block-tridiagonal envelope — that means the slab
+    /// partition is invalid for nearest-neighbor coupling.
     pub fn from_csr(csr: &crate::csr::CsrC, offsets: &[usize]) -> OmenResult<Self> {
         let nb = offsets.len() - 1;
         assert!(nb > 0);

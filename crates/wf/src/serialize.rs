@@ -36,6 +36,11 @@ pub fn mat_to_bytes(m: &ZMat) -> Vec<u8> {
 }
 
 /// Inverse of [`mat_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`OmenError::Deserialize`](omen_num::OmenError) when the buffer
+/// is truncated or its header disagrees with the payload length.
 pub fn bytes_to_mat(b: &[u8]) -> OmenResult<ZMat> {
     const CTX: &str = "matrix payload";
     let nrows = read_u64(b, 0, CTX)? as usize;
@@ -68,6 +73,11 @@ pub fn mats_to_bytes(ms: &[&ZMat]) -> Vec<u8> {
 }
 
 /// Inverse of [`mats_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`OmenError::Deserialize`](omen_num::OmenError) when the bundle
+/// header or any contained matrix is malformed.
 pub fn bytes_to_mats(b: &[u8]) -> OmenResult<Vec<ZMat>> {
     const CTX: &str = "matrix bundle";
     let count = read_u64(b, 0, CTX)? as usize;
@@ -127,6 +137,11 @@ pub fn error_to_bytes(rank: usize, e: &OmenError) -> Vec<u8> {
 }
 
 /// Inverse of [`error_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`OmenError::Deserialize`] when the encoded error payload is
+/// truncated or has an unknown discriminant.
 pub fn bytes_to_error(b: &[u8]) -> OmenResult<OmenError> {
     const CTX: &str = "error payload";
     let rank = read_u64(b, 0, CTX)? as usize;

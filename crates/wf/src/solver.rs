@@ -13,7 +13,11 @@ use omen_sparse::BlockTridiag;
 
 /// Solves `A X = B` by block Thomas (forward elimination, back
 /// substitution). `b[i]` holds the RHS rows of slab `i` (all with the same
-/// column count). A singular pivot block surfaces as
+/// column count).
+///
+/// # Errors
+///
+/// A singular pivot block surfaces as
 /// [`omen_num::OmenError::SingularBlock`] carrying the slab index.
 pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
     let nb = a.num_blocks();
@@ -66,8 +70,12 @@ pub fn thomas_solve(a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
 /// the currently active index set, producing a half-size block-tridiagonal
 /// system among the survivors; back substitution then recovers the
 /// eliminated blocks level by level. Handles arbitrary (non-power-of-two)
-/// block counts and variable block sizes. A singular pivot block surfaces
-/// as [`omen_num::OmenError::SingularBlock`] carrying the original slab
+/// block counts and variable block sizes.
+///
+/// # Errors
+///
+/// A singular pivot block surfaces as
+/// [`omen_num::OmenError::SingularBlock`] carrying the original slab
 /// index.
 pub fn bcr_solve(a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
     let nb = a.num_blocks();

@@ -64,15 +64,15 @@ fn sync_status(comm: &Comm, phase: usize, local: Option<&OmenError>) -> OmenResu
         None => Vec::new(),
     };
     let _ = phase; // collectives carry their own ordered tag space
-    let verdict = match comm.gather(0, payload) {
+    let verdict = match comm.gather(0, payload)? {
         Some(parts) => {
             let first = parts
                 .into_iter()
                 .find(|p| !p.is_empty())
                 .unwrap_or_default();
-            comm.bcast(0, first)
+            comm.bcast(0, first)?
         }
-        None => comm.bcast(0, Vec::new()),
+        None => comm.bcast(0, Vec::new())?,
     };
     if verdict.is_empty() {
         Ok(())
@@ -84,6 +84,14 @@ fn sync_status(comm: &Comm, phase: usize, local: Option<&OmenError>) -> OmenResu
 /// Solves `A X = B` with rank-distributed block cyclic reduction. All
 /// members of `comm` must call with identical `a` and `b`; each returns the
 /// complete solution (one block per slab) or the same typed error.
+///
+/// # Errors
+///
+/// A singular pivot surfaces as the *same*
+/// [`omen_num::OmenError::SingularBlock`] on every rank (the per-level
+/// status exchange keeps the SPMD schedule aligned); communicator faults
+/// surface as [`omen_num::OmenError::ScheduleDivergence`] /
+/// [`omen_num::OmenError::RecvTimeout`].
 pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenResult<Vec<ZMat>> {
     let nb = a.num_blocks();
     assert_eq!(b.len(), nb);
@@ -195,7 +203,7 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
                 return Ok(f.clone());
             }
             let o = own(active[k]);
-            let data = comm.recv(o, tag(level, k, KIND_BUNDLE));
+            let data = comm.recv(o, tag(level, k, KIND_BUNDLE))?;
             let mats = bytes_to_mats(&data)?;
             if mats.len() != 3 {
                 return Err(OmenError::Deserialize {
@@ -330,7 +338,7 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
                             context: "back-substitution dependency not yet solved",
                         });
                     }
-                    x[dep] = Some(bytes_to_mat(&comm.recv(o, tag(lvl, dep, KIND_X)))?);
+                    x[dep] = Some(bytes_to_mat(&comm.recv(o, tag(lvl, dep, KIND_X))?)?);
                 }
             }
             let mut xi = e.d_inv_b.clone();
@@ -371,12 +379,12 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
         mine_payload.extend_from_slice(&(bb.len() as u64).to_le_bytes());
         mine_payload.extend_from_slice(&bb);
     }
-    let all = match comm.gather(0, mine_payload) {
+    let all = match comm.gather(0, mine_payload)? {
         Some(parts) => {
             let flat: Vec<u8> = parts.into_iter().flatten().collect();
-            comm.bcast(0, flat)
+            comm.bcast(0, flat)?
         }
-        None => comm.bcast(0, Vec::new()),
+        None => comm.bcast(0, Vec::new())?,
     };
     // Decode the concatenated per-rank payloads.
     const CTX: &str = "solution allgather";

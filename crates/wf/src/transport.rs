@@ -32,6 +32,12 @@ pub enum SolverKind {
 pub const MODE_TOL: f64 = 1e-9;
 
 /// Wave-function transport at one energy using a sequential solver.
+///
+/// # Errors
+///
+/// Returns the lead solve's or block solve's typed failure
+/// ([`omen_num::OmenError::LeadNotConverged`],
+/// [`omen_num::OmenError::SingularBlock`]), stamped with the energy.
 pub fn wf_transport_at_energy(
     e: f64,
     h: &BlockTridiag,
@@ -50,6 +56,13 @@ pub fn wf_transport_at_energy(
 
 /// Wave-function transport at one energy with the rank-parallel SplitSolve
 /// backend; all comm members call collectively and receive the same result.
+///
+/// # Errors
+///
+/// Same failure modes as [`wf_transport_at_energy`], plus the
+/// communicator faults of the [`crate::splitsolve`]-distributed
+/// elimination ([`omen_num::OmenError::ScheduleDivergence`],
+/// [`omen_num::OmenError::RecvTimeout`]) — identical on every rank.
 pub fn wf_transport_splitsolve(
     comm: &Comm,
     e: f64,
@@ -151,6 +164,11 @@ fn observables(
 
 /// Number of open channels of a lead at energy `e` (for mode-resolved
 /// analyses and the clean-wire conductance-step experiment).
+///
+/// # Errors
+///
+/// Propagates the contact self-energy solve's typed failure once its
+/// recovery policy is exhausted.
 pub fn open_channels(e: f64, h00: &ZMat, h01: &ZMat, side: Side) -> OmenResult<usize> {
     let se = ContactSelfEnergy::compute(e, DEFAULT_ETA, h00, h01, side)
         .map_err(|err| err.with_energy(e))?;

@@ -44,7 +44,7 @@ fn main() {
     };
     let t1 = std::time::Instant::now();
     let out = run_ranks(cfg.total(), |ctx| {
-        let comms = split_levels(ctx, &cfg);
+        let comms = split_levels(ctx, &cfg)?;
         parallel_transmission(&comms, &cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
     })
     .flattened();
