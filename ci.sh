@@ -15,6 +15,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p omen-parsim -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
+# Kernel bench smoke: tiny sizes, one sample — exercises the tiled GEMM
+# and blocked LU at 1/2/4 threads plus the BENCH_kernels.json emitter and
+# parser round-trip, writing to target/ so the committed baseline at the
+# repo root is never touched (see DESIGN.md §10).
+cargo bench -p omen-bench --bench kernels -- --smoke
+
 # Domain lints clippy cannot express: SPMD collective-schedule hygiene,
 # float equality in the solver crates, panic backstops, silent libraries,
 # `# Errors` docs on fallible public API (see DESIGN.md §9; escape hatch:

@@ -3,15 +3,23 @@
 //!
 //! Self-contained timing harness (`harness = false`): each kernel runs a
 //! warm-up pass, then is sampled repeatedly with `std::time::Instant`; the
-//! median and minimum per-iteration times are reported. Run with
-//! `cargo bench -p omen-bench`.
+//! median and minimum per-iteration times are reported, and the dense
+//! kernel measurements (GEMM/LU across sizes and thread counts) are merged
+//! into the repo-root `BENCH_kernels.json` baseline (schema:
+//! `omen_bench::kernel_json`). Run with `cargo bench -p omen-bench`.
+//!
+//! `--smoke` runs tiny sizes with a single sample and writes the JSON to
+//! `target/BENCH_kernels.smoke.json` instead, round-tripping it through
+//! the parser — the CI gate uses this to exercise the parallel kernels and
+//! the emitter on every run without touching the committed baseline.
 
+use omen_bench::kernel_json::{self, KernelRecord};
+use omen_bench::sample_secs;
 use omen_lattice::{Crystal, Device};
-use omen_linalg::{eigh, lu::Lu, matmul, ZMat};
+use omen_linalg::{eigh, flops, gemm_threaded, lu::Lu, threads, Op, ZMat};
 use omen_num::{c64, A_SI};
 use omen_tb::{DeviceHamiltonian, Material, TbParams};
-use std::hint::black_box;
-use std::time::Instant;
+use std::path::PathBuf;
 
 fn randmat(n: usize, seed: u64) -> ZMat {
     let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
@@ -20,27 +28,6 @@ fn randmat(n: usize, seed: u64) -> ZMat {
         ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     };
     ZMat::from_fn(n, n, |_, _| c64::new(next(), next()))
-}
-
-/// Times `f` over enough iterations to fill ~200 ms, reporting
-/// (median, min) seconds per iteration.
-fn sample<T>(mut f: impl FnMut() -> T) -> (f64, f64) {
-    // Warm-up + per-iteration cost estimate.
-    let t0 = Instant::now();
-    black_box(f());
-    let once = t0.elapsed().as_secs_f64().max(1e-9);
-    let iters = ((0.02 / once).ceil() as usize).clamp(1, 10_000);
-    let samples = 11usize;
-    let mut per_iter = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let t = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
-        }
-        per_iter.push(t.elapsed().as_secs_f64() / iters as f64);
-    }
-    per_iter.sort_by(f64::total_cmp);
-    (per_iter[samples / 2], per_iter[0])
 }
 
 fn fmt_time(s: f64) -> String {
@@ -61,31 +48,94 @@ fn report(name: &str, (median, min): (f64, f64)) {
     );
 }
 
-fn bench_gemm() {
-    for &n in &[32usize, 64, 128] {
-        let a = randmat(n, 1);
-        let b = randmat(n, 2);
-        report(&format!("zgemm/{n}"), sample(|| matmul(&a, &b)));
+/// Samples/target scaled down so the big sizes stay affordable.
+fn plan(n: usize, smoke: bool) -> (usize, f64) {
+    if smoke {
+        (1, 0.0)
+    } else if n >= 256 {
+        (3, 0.0)
+    } else {
+        (7, 0.02)
     }
 }
 
-fn bench_lu() {
-    for &n in &[32usize, 64, 128] {
+/// Thread counts measured for one size: the baseline trajectory pins 1, 2
+/// and 4 threads at the flagship size so speedup is read straight from the
+/// JSON, plus the machine's configured width when it differs.
+fn thread_counts(n: usize, flagship: usize) -> Vec<usize> {
+    let mut ts = vec![1usize];
+    if n >= flagship {
+        ts.extend([2, 4]);
+        let conf = threads::configured_threads();
+        if !ts.contains(&conf) {
+            ts.push(conf);
+        }
+        ts.sort_unstable();
+    }
+    ts
+}
+
+fn bench_gemm(sizes: &[usize], flagship: usize, smoke: bool, out: &mut Vec<KernelRecord>) {
+    for &n in sizes {
+        let a = randmat(n, 1);
+        let b = randmat(n, 2);
+        let mut c = ZMat::zeros(n, n);
+        let (samples, target) = plan(n, smoke);
+        for t in thread_counts(n, flagship) {
+            let (median, min) = sample_secs(samples, target, || {
+                gemm_threaded(c64::ONE, &a, Op::N, &b, Op::N, c64::ZERO, &mut c, t);
+            });
+            let gflops = flops::gemm_flops(n, n, n) as f64 / median / 1e9;
+            report(&format!("zgemm/{n}/t{t}"), (median, min));
+            out.push(KernelRecord {
+                kernel: "gemm".into(),
+                n,
+                threads: t,
+                median_s: median,
+                min_s: min,
+                gflops,
+            });
+        }
+    }
+}
+
+fn bench_lu(sizes: &[usize], flagship: usize, smoke: bool, out: &mut Vec<KernelRecord>) {
+    for &n in sizes {
         let mut a = randmat(n, 3);
         for i in 0..n {
             a[(i, i)] += c64::real(n as f64);
         }
-        report(
-            &format!("zgetrf+inverse/{n}"),
-            sample(|| Lu::factor(&a).unwrap().inverse()),
-        );
+        let (samples, target) = plan(n, smoke);
+        // The LU trailing update picks its width from the ambient policy,
+        // so pin it through OMEN_THREADS for the measurement.
+        let saved = std::env::var(threads::THREADS_ENV).ok();
+        for t in thread_counts(n, flagship) {
+            std::env::set_var(threads::THREADS_ENV, t.to_string());
+            let (median, min) = sample_secs(samples, target, || {
+                Lu::factor(&a).expect("bench matrix is diagonally dominant")
+            });
+            let gflops = flops::lu_flops(n) as f64 / median / 1e9;
+            report(&format!("zgetrf/{n}/t{t}"), (median, min));
+            out.push(KernelRecord {
+                kernel: "lu".into(),
+                n,
+                threads: t,
+                median_s: median,
+                min_s: min,
+                gflops,
+            });
+        }
+        match saved {
+            Some(v) => std::env::set_var(threads::THREADS_ENV, v),
+            None => std::env::remove_var(threads::THREADS_ENV),
+        }
     }
 }
 
 fn bench_eigh() {
     for &n in &[32usize, 64] {
         let a = randmat(n, 4).hermitian_part();
-        report(&format!("zheev/{n}"), sample(|| eigh(&a)));
+        report(&format!("zheev/{n}"), sample_secs(11, 0.02, || eigh(&a)));
     }
 }
 
@@ -100,11 +150,13 @@ fn bench_transport() {
 
     report(
         "transport_point/rgf",
-        sample(|| omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))),
+        sample_secs(11, 0.02, || {
+            omen_negf::transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+        }),
     );
     report(
         "transport_point/wf_thomas",
-        sample(|| {
+        sample_secs(11, 0.02, || {
             omen_wf::wf_transport_at_energy(
                 e,
                 &h,
@@ -116,7 +168,7 @@ fn bench_transport() {
     );
     report(
         "transport_point/wf_bcr",
-        sample(|| {
+        sample_secs(11, 0.02, || {
             omen_wf::wf_transport_at_energy(
                 e,
                 &h,
@@ -129,9 +181,47 @@ fn bench_transport() {
 }
 
 fn main() {
-    println!("omen-bench kernels (median/min of 11 samples)");
-    bench_gemm();
-    bench_lu();
-    bench_eigh();
-    bench_transport();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "omen-bench kernels ({}, {} host threads)",
+        if smoke {
+            "smoke: tiny sizes, 1 sample"
+        } else {
+            "median/min over samples"
+        },
+        threads::configured_threads()
+    );
+
+    let mut records = Vec::new();
+    if smoke {
+        // Tiny but structurally honest: 60 > the LU panel width, so the
+        // blocked path and its threaded trailing GEMM both run.
+        bench_gemm(&[24, 40], 40, true, &mut records);
+        bench_lu(&[24, 60], 60, true, &mut records);
+    } else {
+        bench_gemm(&[64, 128, 256, 512], 512, false, &mut records);
+        bench_lu(&[64, 128, 256, 512], 512, false, &mut records);
+        bench_eigh();
+        bench_transport();
+    }
+
+    let path: PathBuf = if smoke {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/BENCH_kernels.smoke.json")
+    } else {
+        kernel_json::default_path()
+    };
+    kernel_json::merge_records(&path, &records).expect("write benchmark baseline");
+    let back = kernel_json::read_records(&path);
+    assert!(
+        records.iter().all(|r| back
+            .iter()
+            .any(|b| (b.kernel.as_str(), b.n, b.threads) == (r.kernel.as_str(), r.n, r.threads))),
+        "baseline round-trip lost records"
+    );
+    println!(
+        "wrote {} kernel records -> {}",
+        records.len(),
+        path.display()
+    );
 }

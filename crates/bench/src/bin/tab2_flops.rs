@@ -10,17 +10,32 @@
 //! against the injected modes) where RGF performs repeated block inversions
 //! and multiplications; the advantage grows with block size since the mode
 //! count stays well below n.
+//!
+//! `--json` additionally times each engine's solve and merges
+//! `rgf_energy_point` / `wf_energy_point` throughput records (counted
+//! Gflop/s at the slab-block size) into the repo-root
+//! `BENCH_kernels.json` baseline; `--smoke` restricts the sweep to the
+//! smallest device so CI can exercise the emitter cheaply.
 
-use omen_bench::print_table;
+use omen_bench::kernel_json::{self, KernelRecord};
+use omen_bench::{print_table, timed};
 use omen_lattice::{Crystal, Device};
-use omen_linalg::{flop_count, reset_flops};
+use omen_linalg::{flop_count, reset_flops, threads};
 use omen_num::A_SI;
 use omen_tb::{DeviceHamiltonian, Material, TbParams};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let p = TbParams::of(Material::SingleBand { t_mev: 1000 });
     let mut rows = Vec::new();
-    for &(w, slabs) in &[(0.8f64, 8usize), (0.8, 16), (1.2, 8), (1.6, 8), (2.0, 8)] {
+    let mut records: Vec<KernelRecord> = Vec::new();
+    let configs: &[(f64, usize)] = if smoke {
+        &[(0.8, 8)]
+    } else {
+        &[(0.8, 8), (0.8, 16), (1.2, 8), (1.6, 8), (2.0, 8)]
+    };
+    for &(w, slabs) in configs {
         let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, slabs, w, w);
         let ham = DeviceHamiltonian::new(&dev, p, false);
         let pot = vec![0.0; dev.num_atoms()];
@@ -52,21 +67,44 @@ fn main() {
 
         reset_flops();
         let a = omen_negf::rgf::build_a_matrix(e, 2e-6, &h, &sl, &sr);
-        let r = omen_negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma).expect("RGF solve failed");
+        let (r, rgf_s) = timed(|| {
+            omen_negf::rgf::rgf_solve(&a, &sl.gamma, &sr.gamma).expect("RGF solve failed")
+        });
         let rgf_flops = flop_count();
 
         reset_flops();
-        let wf = omen_wf::wf_transport_at_energy(
-            e,
-            &h,
-            (&lead.0, &lead.1),
-            (&lead.0, &lead.1),
-            omen_wf::SolverKind::Thomas,
-        )
-        .expect("WF solve failed");
+        let (wf, wf_s) = timed(|| {
+            omen_wf::wf_transport_at_energy(
+                e,
+                &h,
+                (&lead.0, &lead.1),
+                (&lead.0, &lead.1),
+                omen_wf::SolverKind::Thomas,
+            )
+            .expect("WF solve failed")
+        });
         let wf_flops = flop_count().saturating_sub(sigma_flops);
 
         assert!((r.transmission - wf.transmission).abs() < 1e-4 * (1.0 + r.transmission));
+        if json {
+            let t = threads::configured_threads();
+            records.push(KernelRecord {
+                kernel: "rgf_energy_point".into(),
+                n: block,
+                threads: t,
+                median_s: rgf_s,
+                min_s: rgf_s,
+                gflops: rgf_flops as f64 / rgf_s / 1e9,
+            });
+            records.push(KernelRecord {
+                kernel: "wf_energy_point".into(),
+                n: block,
+                threads: t,
+                median_s: wf_s,
+                min_s: wf_s,
+                gflops: wf_flops as f64 / wf_s / 1e9,
+            });
+        }
         rows.push(vec![
             format!("{w:.1}×{w:.1}"),
             format!("{slabs}"),
@@ -94,4 +132,18 @@ fn main() {
         "\nexpected shape: RGF/WF ratio > 1 everywhere and growing with block size — \
          the wave-function algorithm wins, as the paper claims."
     );
+    if json {
+        let path = if smoke {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/BENCH_kernels.smoke.json")
+        } else {
+            kernel_json::default_path()
+        };
+        kernel_json::merge_records(&path, &records).expect("write benchmark baseline");
+        println!(
+            "wrote {} transport records -> {}",
+            records.len(),
+            path.display()
+        );
+    }
 }

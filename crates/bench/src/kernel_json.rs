@@ -1,0 +1,191 @@
+//! `BENCH_kernels.json` — the machine-readable kernel benchmark baseline.
+//!
+//! The bench harness used to print human tables only; this module gives it
+//! a trajectory file: every kernel benchmark run (`benches/kernels.rs`,
+//! `tab2_flops --json`) merges its records into one JSON document at the
+//! repository root, so successive PRs can compare throughput against the
+//! committed baseline instead of against folklore.
+//!
+//! ## Schema (`omen-bench-kernels-v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "omen-bench-kernels-v1",
+//!   "records": [
+//!     {"kernel": "gemm", "n": 512, "threads": 4,
+//!      "median_s": 1.234560e0, "min_s": 1.200000e0, "gflops": 0.870}
+//!   ]
+//! }
+//! ```
+//!
+//! One record per `(kernel, n, threads)` triple — `n` is the square matrix
+//! edge (or slab-block size for transport kernels), `median_s`/`min_s` are
+//! seconds per iteration over the sample set, `gflops` is real
+//! double-precision Gflop/s under the Gordon-Bell convention (counted, not
+//! assumed, for the transport records). Merging replaces records with the
+//! same key and keeps the rest, so partial reruns never lose history. The
+//! parser is hand-rolled for exactly this schema (the container bakes in
+//! no serde), and the writer emits one record per line for reviewable
+//! diffs.
+
+use std::path::{Path, PathBuf};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Kernel name (`gemm`, `lu`, `rgf_energy_point`, ...).
+    pub kernel: String,
+    /// Problem edge: square matrix size or slab-block size.
+    pub n: usize,
+    /// Kernel threads the measurement ran with.
+    pub threads: usize,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Minimum seconds per iteration.
+    pub min_s: f64,
+    /// Real double-precision Gflop/s (Gordon-Bell convention).
+    pub gflops: f64,
+}
+
+/// Identifier of the only document layout this module reads and writes.
+pub const SCHEMA: &str = "omen-bench-kernels-v1";
+
+/// Default baseline location: `BENCH_kernels.json` at the workspace root.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+}
+
+fn fmt_record(r: &KernelRecord) -> String {
+    format!(
+        "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"gflops\": {:.3}}}",
+        r.kernel, r.n, r.threads, r.median_s, r.min_s, r.gflops
+    )
+}
+
+/// Serializes `records` as a full document.
+pub fn to_json(records: &[KernelRecord]) -> String {
+    let body: Vec<String> = records.iter().map(fmt_record).collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+/// Extracts the raw text of `"key": <value>` from one record object.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn parse_record(obj: &str) -> Option<KernelRecord> {
+    let kernel = field(obj, "kernel")?.trim_matches('"').to_string();
+    Some(KernelRecord {
+        kernel,
+        n: field(obj, "n")?.parse().ok()?,
+        threads: field(obj, "threads")?.parse().ok()?,
+        median_s: field(obj, "median_s")?.parse().ok()?,
+        min_s: field(obj, "min_s")?.parse().ok()?,
+        gflops: field(obj, "gflops")?.parse().ok()?,
+    })
+}
+
+/// Parses a document produced by [`to_json`]. Returns `None` when the text
+/// is not an `omen-bench-kernels-v1` document; records that fail to parse
+/// individually are skipped.
+pub fn from_json(text: &str) -> Option<Vec<KernelRecord>> {
+    if !text.contains(SCHEMA) {
+        return None;
+    }
+    let arr_start = text.find("\"records\"")?;
+    let arr = &text[text[arr_start..].find('[')? + arr_start + 1..];
+    let arr = &arr[..arr.rfind(']')?];
+    let mut records = Vec::new();
+    let mut rest = arr;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        if let Some(r) = parse_record(&rest[open..open + close + 1]) {
+            records.push(r);
+        }
+        rest = &rest[open + close + 1..];
+    }
+    Some(records)
+}
+
+/// Reads the baseline at `path`; empty when absent or unreadable.
+pub fn read_records(path: &Path) -> Vec<KernelRecord> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| from_json(&t))
+        .unwrap_or_default()
+}
+
+/// Merges `fresh` into the baseline at `path`: records with a matching
+/// `(kernel, n, threads)` key are replaced, everything else is kept, and
+/// the result is written back sorted by that key.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be written.
+pub fn merge_records(path: &Path, fresh: &[KernelRecord]) -> std::io::Result<()> {
+    let mut all = read_records(path);
+    for r in fresh {
+        all.retain(|e| (e.kernel.as_str(), e.n, e.threads) != (r.kernel.as_str(), r.n, r.threads));
+        all.push(r.clone());
+    }
+    all.sort_by(|a, b| {
+        (a.kernel.as_str(), a.n, a.threads).cmp(&(b.kernel.as_str(), b.n, b.threads))
+    });
+    std::fs::write(path, to_json(&all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kernel: &str, n: usize, threads: usize, g: f64) -> KernelRecord {
+        KernelRecord {
+            kernel: kernel.into(),
+            n,
+            threads,
+            median_s: 0.5 * n as f64 * 1e-6,
+            min_s: 0.4 * n as f64 * 1e-6,
+            gflops: g,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![rec("gemm", 512, 4, 1.25), rec("lu", 128, 1, 0.333)];
+        let parsed = from_json(&to_json(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        assert!(from_json("{\"schema\": \"something-else\"}").is_none());
+        assert!(from_json("").is_none());
+    }
+
+    #[test]
+    fn merge_replaces_matching_keys_and_sorts() {
+        let dir = std::env::temp_dir().join("omen_bench_kernel_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        let _ = std::fs::remove_file(&path);
+        merge_records(&path, &[rec("lu", 64, 1, 1.0), rec("gemm", 512, 4, 2.0)]).unwrap();
+        merge_records(&path, &[rec("gemm", 512, 4, 3.0), rec("gemm", 512, 1, 1.5)]).unwrap();
+        let all = read_records(&path);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].kernel, "gemm");
+        assert_eq!((all[0].n, all[0].threads), (512, 1));
+        let updated = all.iter().find(|r| r.threads == 4).unwrap();
+        assert_eq!(updated.gflops, 3.0);
+        assert_eq!(all[2].kernel, "lu");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -25,10 +25,34 @@
 //! | `fig14_idvd` | output characteristic Id–V_DS (extension) |
 //! | `ablations` | SCF predictor / passivation / η / strain studies |
 //!
-//! Criterion microbenches for the dense/transport kernels live in
-//! `benches/`.
+//! Microbenches for the dense/transport kernels live in `benches/`; they
+//! and `tab2_flops --json` persist machine-readable throughput records to
+//! the repo-root `BENCH_kernels.json` baseline via [`kernel_json`].
+
+pub mod kernel_json;
 
 use std::time::Instant;
+
+/// Times `f` repeatedly, reporting `(median, min)` seconds per iteration
+/// over `samples` timed batches. One warm-up call sizes the batch so each
+/// sample covers roughly `target_s` seconds (at least one iteration).
+pub fn sample_secs<T>(samples: usize, target_s: f64, mut f: impl FnMut() -> T) -> (f64, f64) {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((target_s / once).ceil() as usize).clamp(1, 10_000);
+    let samples = samples.max(1);
+    let mut per_iter = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_iter.push(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    (per_iter[samples / 2], per_iter[0])
+}
 
 /// Prints a fixed-width table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {

@@ -1,14 +1,30 @@
-//! Blocked complex GEMM.
+//! Tiled, packed, multi-threaded complex GEMM.
 //!
 //! `gemm` computes `C ← α·op(A)·op(B) + β·C` where each operand op is
 //! none, transpose, or conjugate-transpose. The kernel materializes the
 //! transposed operands once (transport blocks are small enough that the
-//! copy is cheaper than strided access) and then runs a cache-blocked
-//! `i-k-j` loop on row-major data, which keeps the innermost loop a
-//! contiguous complex AXPY.
+//! copy is cheaper than strided access — this is also the packing of B:
+//! after materialization every B "panel" `B[kk..k_hi, :]` is a contiguous
+//! row band), then tiles the output rows into `MC`-high stripes. Per
+//! stripe and per `KC`-deep k-block the A tile is packed into a contiguous
+//! `MC×KC` panel buffer, and the innermost loop is a contiguous complex
+//! AXPY along a full C row.
+//!
+//! ## Parallelism and determinism
+//!
+//! Stripes are distributed over `std::thread::scope` workers, each owning
+//! a disjoint contiguous row range of C. Every output element `C[i,j]`
+//! accumulates its `k` products in ascending-`k` order (k-blocks in order,
+//! entries in order inside a block) regardless of how rows are split
+//! across threads, so the parallel result is **bit-identical** to the
+//! serial one for every thread count. The thread count comes from
+//! [`crate::threads`] (`OMEN_THREADS`, default: available parallelism,
+//! serial below [`crate::threads::PAR_MIN_WORK`]); `gemm_threaded` pins it
+//! explicitly.
 
 use crate::flops;
 use crate::matrix::ZMat;
+use crate::threads;
 use omen_num::c64;
 
 /// Operand transformation for [`gemm`].
@@ -39,13 +55,71 @@ impl Op {
     }
 }
 
-/// Cache block edge (elements); 64 complex values = 1 KiB per row strip.
-const BLOCK: usize = 64;
+/// Output stripe height (rows packed and processed per A panel).
+const MC: usize = 64;
 
-/// General matrix multiply-accumulate `C ← α·op(A)·op(B) + β·C`.
-///
-/// Panics on dimension mismatch. Reports `8·m·n·k` real flops.
-pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut ZMat) {
+/// Panel depth (k-extent of a packed A tile / B row band); 64 complex
+/// values = 1 KiB per packed row.
+const KC: usize = 64;
+
+/// Runs the stripe kernel over rows `row0..row0 + nrows` of C, whose
+/// storage is the disjoint slice `cdata` (row-major, width `n`). `a` and
+/// `b` are the effective (already materialized) operands.
+#[allow(clippy::too_many_arguments)]
+fn stripe_kernel(
+    cdata: &mut [c64],
+    row0: usize,
+    nrows: usize,
+    a: &ZMat,
+    b: &ZMat,
+    alpha: c64,
+    k: usize,
+    n: usize,
+) {
+    let mut apack = [c64::ZERO; MC * KC];
+    for s0 in (0..nrows).step_by(MC) {
+        let s_hi = (s0 + MC).min(nrows);
+        for kk in (0..k).step_by(KC) {
+            let k_hi = (kk + KC).min(k);
+            let kc = k_hi - kk;
+            // Pack the A tile contiguously: row fragments of A are strided
+            // `k` apart in memory; the packed panel keeps the whole tile in
+            // cache across the stripe's C rows.
+            for (ii, i) in (s0..s_hi).enumerate() {
+                apack[ii * kc..(ii + 1) * kc].copy_from_slice(&a.row(row0 + i)[kk..k_hi]);
+            }
+            for (ii, i) in (s0..s_hi).enumerate() {
+                let arow = &apack[ii * kc..(ii + 1) * kc];
+                let crow = &mut cdata[i * n..(i + 1) * n];
+                for (p, &aik) in arow.iter().enumerate() {
+                    if aik == c64::ZERO {
+                        continue;
+                    }
+                    let s = alpha * aik;
+                    let brow = b.row(kk + p);
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += s * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared core: beta scaling, operand materialization, stripe fan-out.
+/// Counts no flops — the public entry points (and the blocked LU, which
+/// accounts its trailing updates inside `lu_flops`) decide what to report.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_core(
+    alpha: c64,
+    a: &ZMat,
+    opa: Op,
+    b: &ZMat,
+    opb: Op,
+    beta: c64,
+    c: &mut ZMat,
+    threads: usize,
+) {
     let (m, ka) = opa.dims(a);
     let (kb, n) = opb.dims(b);
     assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
@@ -61,7 +135,8 @@ pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut
         return;
     }
 
-    // Materialize effective row-major operands.
+    // Materialize effective row-major operands (this is the packing of the
+    // transposed cases; `Op::N` operands are borrowed as-is).
     let ae;
     let a_eff: &ZMat = if opa == Op::N {
         a
@@ -77,26 +152,63 @@ pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut
         &be
     };
 
-    flops::add_flops(flops::gemm_flops(m, n, k));
-
-    // Blocked i-k-j: C[i, j..] += (alpha * A[i, k]) * B[k, j..]
-    for kk in (0..k).step_by(BLOCK) {
-        let k_hi = (kk + BLOCK).min(k);
-        for i in 0..m {
-            let arow = a_eff.row(i);
-            let crow = c.row_mut(i);
-            for (p, &aik) in arow.iter().enumerate().take(k_hi).skip(kk) {
-                if aik == c64::ZERO {
-                    continue;
-                }
-                let s = alpha * aik;
-                let brow = b_eff.row(p);
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += s * bv;
-                }
-            }
-        }
+    let t = threads.clamp(1, m);
+    if t == 1 {
+        stripe_kernel(c.data_mut(), 0, m, a_eff, b_eff, alpha, k, n);
+        return;
     }
+
+    // Contiguous row chunks, one per worker. The split is balanced to
+    // ±1 row; determinism does not depend on it (see module docs).
+    let base = m / t;
+    let rem = m % t;
+    std::thread::scope(|scope| {
+        let mut rest = c.data_mut();
+        let mut row0 = 0usize;
+        for ti in 0..t {
+            let rows = base + usize::from(ti < rem);
+            let (chunk, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let start = row0;
+            scope.spawn(move || stripe_kernel(chunk, start, rows, a_eff, b_eff, alpha, k, n));
+            row0 += rows;
+        }
+    });
+}
+
+/// General matrix multiply-accumulate `C ← α·op(A)·op(B) + β·C`, run with
+/// the automatic thread policy of [`crate::threads`] (`OMEN_THREADS`,
+/// default available parallelism, serial fallback for small problems).
+///
+/// Panics on dimension mismatch. Reports `8·m·n·k` real flops.
+pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut ZMat) {
+    let (m, k) = opa.dims(a);
+    let (_, n) = opb.dims(b);
+    let work = m as u64 * n as u64 * k as u64;
+    gemm_threaded(alpha, a, opa, b, opb, beta, c, threads::auto_threads(work));
+}
+
+/// [`gemm`] with an explicitly pinned thread count (`threads ≥ 1`; clamped
+/// to the row count). Output is bit-identical for every `threads` value —
+/// the conformance battery relies on this to compare serial and parallel
+/// runs exactly.
+///
+/// Panics on dimension mismatch. Reports `8·m·n·k` real flops.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_threaded(
+    alpha: c64,
+    a: &ZMat,
+    opa: Op,
+    b: &ZMat,
+    opb: Op,
+    beta: c64,
+    c: &mut ZMat,
+    threads: usize,
+) {
+    let (m, k) = opa.dims(a);
+    let (_, n) = opb.dims(b);
+    flops::add_flops(flops::gemm_flops(m, n, k));
+    gemm_core(alpha, a, opa, b, opb, beta, c, threads);
 }
 
 /// Convenience: `A · B`.
@@ -211,6 +323,31 @@ mod tests {
         let e = ZMat::eye(5);
         assert!((&matmul(&a, &e) - &a).max_abs() < 1e-14);
         assert!((&matmul(&e, &a) - &a).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Shapes chosen to cross the MC/KC tile boundaries and to leave
+        // ragged remainder tiles.
+        for (m, k, n) in [(1, 130, 3), (67, 97, 81), (130, 64, 65)] {
+            let a = randmat(m, k, 41);
+            let b = randmat(k, n, 42);
+            let c0 = randmat(m, n, 43);
+            let alpha = c64::new(0.7, -0.3);
+            let beta = c64::new(-1.0, 0.1);
+            let mut serial = c0.clone();
+            gemm_threaded(alpha, &a, Op::N, &b, Op::N, beta, &mut serial, 1);
+            for t in [2usize, 3, 8, 16] {
+                let mut par = c0.clone();
+                gemm_threaded(alpha, &a, Op::N, &b, Op::N, beta, &mut par, t);
+                for (x, y) in par.data().iter().zip(serial.data()) {
+                    assert!(
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                        "threads={t} not bit-identical for {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,14 @@
 //! transport needs:
 //!
 //! * [`ZMat`] — dense, row-major, double-precision complex matrices;
-//! * [`gemm`] — blocked general matrix multiply with `N`/`T`/`H` operand ops;
-//! * [`Lu`] — LU factorization with partial pivoting, multi-RHS solves and
-//!   explicit inverses (the workhorse of the recursive Green's function);
+//! * [`gemm`] — tiled, packed, multi-threaded general matrix multiply with
+//!   `N`/`T`/`H` operand ops; parallel output is bit-identical to serial
+//!   ([`gemm_threaded`] pins the thread count, [`threads`] holds the
+//!   `OMEN_THREADS` policy);
+//! * [`Lu`] — blocked right-looking LU factorization with partial
+//!   pivoting, multi-RHS solves and explicit inverses (the workhorse of
+//!   the recursive Green's function); its trailing-matrix update runs on
+//!   the tiled GEMM;
 //! * [`eigh`] — Hermitian eigensolver (Householder tridiagonalization +
 //!   implicit-shift QL on the real-symmetric embedding), used for
 //!   bandstructures and contact-injection modes;
@@ -23,12 +28,13 @@ pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod threads;
 pub mod vec_ops;
 
 pub use eig::{eigh, eigh_values, EighResult};
 pub use flops::{flop_count, reset_flops, FlopScope};
 pub use geig::eig_values_general;
-pub use gemm::{gemm, matmul, matmul_h_n, matmul_n_h, Op};
+pub use gemm::{gemm, gemm_threaded, matmul, matmul_h_n, matmul_n_h, Op};
 pub use lu::Lu;
 pub use matrix::ZMat;
 pub use qr::qr_decompose;

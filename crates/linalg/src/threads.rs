@@ -1,0 +1,75 @@
+//! Thread-count policy for the parallel dense kernels.
+//!
+//! The tiled GEMM (and through it the blocked LU trailing update) fan work
+//! out over `std::thread::scope` stripes. How many threads they use is
+//! decided here, in one place, with a three-level precedence:
+//!
+//! 1. an **explicit count** passed by the caller
+//!    ([`gemm_threaded`](crate::gemm::gemm_threaded)) always wins — the
+//!    conformance battery uses this to pin serial-vs-parallel equality at
+//!    fixed thread counts;
+//! 2. otherwise the **`OMEN_THREADS`** environment variable (a positive
+//!    integer) is honored, letting drivers and CI pick a width without
+//!    recompiling;
+//! 3. otherwise `std::thread::available_parallelism()` — the whole machine.
+//!
+//! Small problems never leave the calling thread: below
+//! [`PAR_MIN_WORK`] multiply-add operations the spawn cost exceeds the
+//! kernel cost, so the auto policy returns 1 and the kernel runs the
+//! identical stripe code serially. Because every output element accumulates
+//! its `k`-products in the same fixed order no matter how rows are split
+//! (see `crate::gemm`), the parallel result is bit-identical to the serial
+//! one — the fallback is a pure performance decision, never a numerical
+//! one.
+
+/// Smallest kernel (in complex multiply-adds, `m·n·k`) worth spawning
+/// threads for. 32³ ≈ 33 K MACs ≈ a few hundred microseconds of scalar
+/// work — comfortably above per-thread spawn/join cost.
+pub const PAR_MIN_WORK: u64 = 32 * 32 * 32;
+
+/// Environment variable overriding the kernel thread count.
+pub const THREADS_ENV: &str = "OMEN_THREADS";
+
+/// Configured kernel thread width: `OMEN_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism (1 when even
+/// that is unknown). Re-read on every call so tests and drivers can change
+/// the policy at runtime; callers on hot paths gate on work size first.
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Auto thread count for a kernel performing `work` complex multiply-adds:
+/// 1 below [`PAR_MIN_WORK`] (serial fallback), else
+/// [`configured_threads`].
+pub fn auto_threads(work: u64) -> usize {
+    if work < PAR_MIN_WORK {
+        1
+    } else {
+        configured_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_work_stays_serial() {
+        assert_eq!(auto_threads(0), 1);
+        assert_eq!(auto_threads(PAR_MIN_WORK - 1), 1);
+    }
+
+    #[test]
+    fn configured_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -14,7 +14,7 @@
 //! scaling the paper contrasts against its wave-function algorithm.
 
 use crate::sancho::ContactSelfEnergy;
-use omen_linalg::{lu, ZMat};
+use omen_linalg::{gemm, lu, Op, ZMat};
 use omen_num::{c64, OmenResult};
 use omen_sparse::BlockTridiag;
 
@@ -106,10 +106,18 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult
     for i in 0..nb {
         let mut m = a.diag[i].clone();
         if i > 0 {
-            // m -= A[i,i-1] gL[i-1] A[i-1,i]
+            // m -= A[i,i-1] gL[i-1] A[i-1,i], the second product fused
+            // into the accumulation (no temporary, one pass over m).
             let t = omen_linalg::matmul(&a.lower[i - 1], &g_left[i - 1]);
-            let c = omen_linalg::matmul(&t, &a.upper[i - 1]);
-            m -= &c;
+            gemm(
+                -c64::ONE,
+                &t,
+                Op::N,
+                &a.upper[i - 1],
+                Op::N,
+                c64::ONE,
+                &mut m,
+            );
         }
         let (f, r) = lu::factor_regularized(&m, REGULARIZATION_ETA).map_err(|s| s.at_block(i))?;
         retries += r;
@@ -122,8 +130,7 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult
         let mut m = a.diag[i].clone();
         if i + 1 < nb {
             let t = omen_linalg::matmul(&a.upper[i], &g_right[i + 1]);
-            let c = omen_linalg::matmul(&t, &a.lower[i]);
-            m -= &c;
+            gemm(-c64::ONE, &t, Op::N, &a.lower[i], Op::N, c64::ONE, &mut m);
         }
         let (f, r) = lu::factor_regularized(&m, REGULARIZATION_ETA).map_err(|s| s.at_block(i))?;
         retries += r;
@@ -134,13 +141,13 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult
     let mut g_diag: Vec<ZMat> = vec![ZMat::zeros(0, 0); nb];
     g_diag[nb - 1] = g_left[nb - 1].clone();
     for i in (0..nb - 1).rev() {
-        // G_ii = gL_i + gL_i A_{i,i+1} G_{i+1,i+1} A_{i+1,i} gL_i
+        // G_ii = gL_i + gL_i A_{i,i+1} G_{i+1,i+1} A_{i+1,i} gL_i, the
+        // final product fused into the accumulation onto gL_i.
         let t1 = omen_linalg::matmul(&g_left[i], &a.upper[i]);
         let t2 = omen_linalg::matmul(&t1, &g_diag[i + 1]);
         let t3 = omen_linalg::matmul(&t2, &a.lower[i]);
-        let corr = omen_linalg::matmul(&t3, &g_left[i]);
         let mut g = g_left[i].clone();
-        g += &corr;
+        gemm(c64::ONE, &t3, Op::N, &g_left[i], Op::N, c64::ONE, &mut g);
         g_diag[i] = g;
     }
 
@@ -149,8 +156,17 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult
     g_col_left.push(g_diag[0].clone());
     for i in 1..nb {
         let t = omen_linalg::matmul(&g_right[i], &a.lower[i - 1]);
-        let g = omen_linalg::matmul(&t, &g_col_left[i - 1]);
-        g_col_left.push(-&g);
+        let mut g = ZMat::zeros(t.nrows(), g_col_left[i - 1].ncols());
+        gemm(
+            -c64::ONE,
+            &t,
+            Op::N,
+            &g_col_left[i - 1],
+            Op::N,
+            c64::ZERO,
+            &mut g,
+        );
+        g_col_left.push(g);
     }
 
     // Last block column: G_{N-1,N-1} full; G_{i,N-1} = −gL_i A_{i,i+1} G_{i+1,N-1}.
@@ -158,8 +174,17 @@ pub fn rgf_solve(a: &BlockTridiag, gamma_l: &ZMat, gamma_r: &ZMat) -> OmenResult
     g_col_right[nb - 1] = g_diag[nb - 1].clone();
     for i in (0..nb - 1).rev() {
         let t = omen_linalg::matmul(&g_left[i], &a.upper[i]);
-        let g = omen_linalg::matmul(&t, &g_col_right[i + 1]);
-        g_col_right[i] = -&g;
+        let mut g = ZMat::zeros(t.nrows(), g_col_right[i + 1].ncols());
+        gemm(
+            -c64::ONE,
+            &t,
+            Op::N,
+            &g_col_right[i + 1],
+            Op::N,
+            c64::ZERO,
+            &mut g,
+        );
+        g_col_right[i] = g;
     }
 
     // Caroli transmission via G_{0,N-1}.

@@ -78,34 +78,89 @@ impl BlockTridiag {
                 .all(|(l, u)| (&l.adjoint() - u).max_abs() <= tol)
     }
 
+    /// Computes output segment `i` into `yi`:
+    /// `y_i = D_i x_i + U_i x_{i+1} + L_{i-1} x_{i-1}`, always accumulated
+    /// in that fixed order so the result is identical however segments are
+    /// scheduled across threads.
+    fn matvec_segment(&self, i: usize, offsets: &[usize], x: &[c64], yi: &mut [c64]) {
+        let nb = self.num_blocks();
+        let ni = self.block_size(i);
+        let xi = &x[offsets[i]..offsets[i] + ni];
+        yi.copy_from_slice(&self.diag[i].matvec(xi));
+        if i + 1 < nb {
+            let nj = self.block_size(i + 1);
+            let xj = &x[offsets[i + 1]..offsets[i + 1] + nj];
+            for (a, v) in yi.iter_mut().zip(self.upper[i].matvec(xj)) {
+                *a += v;
+            }
+        }
+        if i > 0 {
+            let np = self.block_size(i - 1);
+            let xp = &x[offsets[i - 1]..offsets[i - 1] + np];
+            for (a, v) in yi.iter_mut().zip(self.lower[i - 1].matvec(xp)) {
+                *a += v;
+            }
+        }
+    }
+
     /// Matrix–vector product over the flat ordering.
+    ///
+    /// Each output segment `y_i` depends only on `x_{i−1}, x_i, x_{i+1}`,
+    /// so segments are independent: large systems fan them out over
+    /// `std::thread::scope` using the kernel thread policy in
+    /// [`omen_linalg::threads`] (`OMEN_THREADS`, serial fallback below the
+    /// small-work threshold). The per-segment accumulation order is fixed,
+    /// so the parallel product is bit-identical to the serial one.
     pub fn matvec(&self, x: &[c64]) -> Vec<c64> {
         assert_eq!(x.len(), self.dim(), "matvec dimension mismatch");
         let nb = self.num_blocks();
         let mut y = vec![c64::ZERO; x.len()];
-        let mut off = 0usize;
         let offsets: Vec<usize> = (0..nb).map(|i| self.offset(i)).collect();
-        for i in 0..nb {
-            let ni = self.block_size(i);
-            let xi = &x[off..off + ni];
-            let yi = self.diag[i].matvec(xi);
-            for (k, v) in yi.into_iter().enumerate() {
-                y[off + k] += v;
+        // ~8·n_i² MACs per segment; thread when the whole product is big.
+        let work: u64 = (0..nb)
+            .map(|i| {
+                let ni = self.block_size(i) as u64;
+                3 * ni * ni
+            })
+            .sum();
+        let threads = omen_linalg::threads::auto_threads(work).clamp(1, nb);
+        if threads == 1 {
+            let mut segs: Vec<&mut [c64]> = Vec::with_capacity(nb);
+            let mut rest = y.as_mut_slice();
+            for i in 0..nb {
+                let (seg, tail) = rest.split_at_mut(self.block_size(i));
+                segs.push(seg);
+                rest = tail;
             }
-            if i + 1 < nb {
-                let nj = self.block_size(i + 1);
-                let xj = &x[offsets[i + 1]..offsets[i + 1] + nj];
-                let yu = self.upper[i].matvec(xj);
-                for (k, v) in yu.into_iter().enumerate() {
-                    y[off + k] += v;
-                }
-                let yl = self.lower[i].matvec(xi);
-                for (k, v) in yl.into_iter().enumerate() {
-                    y[offsets[i + 1] + k] += v;
-                }
+            for (i, seg) in segs.into_iter().enumerate() {
+                self.matvec_segment(i, &offsets, x, seg);
             }
-            off += ni;
+            return y;
         }
+        // Contiguous runs of segments per worker, balanced by block count.
+        let base = nb / threads;
+        let rem = nb % threads;
+        std::thread::scope(|scope| {
+            let mut rest = y.as_mut_slice();
+            let mut seg0 = 0usize;
+            for t in 0..threads {
+                let count = base + usize::from(t < rem);
+                let rows: usize = (seg0..seg0 + count).map(|i| self.block_size(i)).sum();
+                let (chunk, tail) = rest.split_at_mut(rows);
+                rest = tail;
+                let first = seg0;
+                let offsets = &offsets;
+                scope.spawn(move || {
+                    let mut local = chunk;
+                    for i in first..first + count {
+                        let (seg, tail) = local.split_at_mut(self.block_size(i));
+                        local = tail;
+                        self.matvec_segment(i, offsets, x, seg);
+                    }
+                });
+                seg0 += count;
+            }
+        });
         y
     }
 

@@ -26,8 +26,8 @@
 use crate::serialize::{
     bytes_to_error, bytes_to_mat, bytes_to_mats, error_to_bytes, mat_to_bytes, mats_to_bytes,
 };
-use omen_linalg::{lu::Lu, matmul, ZMat};
-use omen_num::{OmenError, OmenResult};
+use omen_linalg::{gemm, lu::Lu, matmul, Op, ZMat};
+use omen_num::{c64, OmenError, OmenResult};
 use omen_parsim::Comm;
 use omen_sparse::BlockTridiag;
 use std::collections::HashSet;
@@ -228,15 +228,16 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
             let mut ncl = None;
             let mut ncu = None;
             if mine {
+                // Schur-complement updates fused into the accumulation
+                // (`gemm` with α=−1, β=1): no temporaries, and the dense
+                // work runs on the tiled multi-threaded kernel.
                 if k + 1 < m {
                     if let Some(u) = cu[k].clone() {
                         let (dib, dil, diu) = get_bundle(k + 1, &local_fact, &mut received)?;
                         if let Some(dil) = &dil {
-                            let c = matmul(&u, dil);
-                            diag[g] -= &c;
+                            gemm(-c64::ONE, &u, Op::N, dil, Op::N, c64::ONE, &mut diag[g]);
                         }
-                        let cb = matmul(&u, &dib);
-                        rhs[g] -= &cb;
+                        gemm(-c64::ONE, &u, Op::N, &dib, Op::N, c64::ONE, &mut rhs[g]);
                         if k + 2 < m {
                             if let Some(diu) = &diu {
                                 ncu = Some(-&matmul(&u, diu));
@@ -248,11 +249,9 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
                     if let Some(l) = cl[k].clone() {
                         let (dib, dil, diu) = get_bundle(k - 1, &local_fact, &mut received)?;
                         if let Some(diu) = &diu {
-                            let c = matmul(&l, diu);
-                            diag[g] -= &c;
+                            gemm(-c64::ONE, &l, Op::N, diu, Op::N, c64::ONE, &mut diag[g]);
                         }
-                        let cb = matmul(&l, &dib);
-                        rhs[g] -= &cb;
+                        gemm(-c64::ONE, &l, Op::N, &dib, Op::N, c64::ONE, &mut rhs[g]);
                         if k >= 2 {
                             if let Some(dil) = &dil {
                                 ncl = Some(-&matmul(&l, dil));
@@ -344,14 +343,12 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
             let mut xi = e.d_inv_b.clone();
             if let (Some(left), Some(dil)) = (e.left, e.d_inv_l.as_ref()) {
                 if let Some(xl) = &x[left] {
-                    let c = matmul(dil, xl);
-                    xi -= &c;
+                    gemm(-c64::ONE, dil, Op::N, xl, Op::N, c64::ONE, &mut xi);
                 }
             }
             if let (Some(right), Some(diu)) = (e.right, e.d_inv_u.as_ref()) {
                 if let Some(xr) = &x[right] {
-                    let c = matmul(diu, xr);
-                    xi -= &c;
+                    gemm(-c64::ONE, diu, Op::N, xr, Op::N, c64::ONE, &mut xi);
                 }
             }
             x[e.index] = Some(xi);

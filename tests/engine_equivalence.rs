@@ -150,6 +150,56 @@ fn utb_with_transverse_momentum() {
 }
 
 #[test]
+fn silicon_wire_invariant_under_omen_threads() {
+    // The dense kernels promise bit-identical output for every thread
+    // count, so running a full device under OMEN_THREADS=4 must leave the
+    // transmission exactly unchanged — not just within tolerance — and
+    // every engine pair must still agree at the usual tolerances.
+    let p = TbParams::of(Material::SiSp3s);
+    let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 4, 0.8, 0.8);
+    let ham = DeviceHamiltonian::new(&dev, p, false);
+    let pot = vec![0.0; dev.num_atoms()];
+    let h = ham.assemble(&pot, 0.0);
+    let lead = ham.lead_blocks(0.0, 0.0);
+    let energies = linspace(1.8, 2.2, 3);
+
+    let env = omen::linalg::threads::THREADS_ENV;
+    let saved = std::env::var(env).ok();
+    std::env::set_var(env, "1");
+    let serial: Vec<f64> = energies
+        .iter()
+        .map(|&e| {
+            omen::negf::transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
+                .expect("serial RGF")
+                .transmission
+        })
+        .collect();
+
+    std::env::set_var(env, "4");
+    check_equivalence(
+        "Si wire, OMEN_THREADS=4",
+        &h,
+        (&lead.0, &lead.1),
+        (&lead.0, &lead.1),
+        &energies,
+        1e-4,
+    );
+    for (&e, &t1) in energies.iter().zip(&serial) {
+        let t4 = omen::negf::transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
+            .expect("threaded RGF")
+            .transmission;
+        assert!(
+            t4.to_bits() == t1.to_bits(),
+            "E={e}: transmission changed under OMEN_THREADS=4: {t4} vs {t1}"
+        );
+    }
+    match saved {
+        Some(v) => std::env::set_var(env, v),
+        None => std::env::remove_var(env),
+    }
+}
+
+#[test]
 fn spin_orbit_device() {
     let p = TbParams::of(Material::SiSp3s);
     let dev = Device::nanowire(Crystal::Zincblende { a: A_SI }, 3, 0.8, 0.8);
