@@ -12,7 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # grow new unwrap/expect/panic sites in non-test code (typed OmenError
 # instead). Test modules are exempt via allow-unwrap-in-tests /
 # allow-expect-in-tests in clippy.toml.
-cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p omen-parsim -- \
+cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p omen-parsim -p omen-sched -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
 # Kernel bench smoke: tiny sizes, one sample — exercises the tiled GEMM
@@ -20,6 +20,13 @@ cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p 
 # parser round-trip, writing to target/ so the committed baseline at the
 # repo root is never touched (see DESIGN.md §10).
 cargo bench -p omen-bench --bench kernels -- --smoke
+
+# Scheduler bench smoke: a skewed synthetic sweep swept both statically and
+# dynamically on threads-as-ranks — exercises the full coordinator/worker
+# protocol, asserts the dynamic imbalance is no worse than static, and
+# round-trips the BENCH_sched.json emitter, writing to target/ (see
+# DESIGN.md §11).
+cargo bench -p omen-bench --bench sched -- --smoke
 
 # Domain lints clippy cannot express: SPMD collective-schedule hygiene,
 # float equality in the solver crates, panic backstops, silent libraries,

@@ -1,0 +1,188 @@
+//! Scheduler load-balance benchmark — static round-robin assignment vs
+//! the dynamic pull-based scheduler on a synthetic workload with a known
+//! cost skew.
+//!
+//! The workload mimics the energy-sweep cost profile the scheduler was
+//! built for: a periodic comb of expensive units (resonances and subband
+//! onsets recur at near-regular energy spacing, and the lead decimation
+//! converges slowest there) riding on a cheap baseline. The comb period is
+//! commensurate with the round-robin stride — `2 · ranks` — so the static
+//! `assign` piles every spike onto rank 0, exactly the degenerate case a
+//! fixed cyclic split cannot avoid; the dynamic scheduler streams chunks
+//! to whichever worker is idle and never sees the alignment. Both sweeps run
+//! on `omen-parsim` threads-as-ranks with per-unit sleeps standing in for
+//! solve time, and the per-rank busy seconds are condensed into the
+//! max/mean load-imbalance ratio recorded in `BENCH_sched.json`.
+//!
+//! `--smoke` shrinks the sleeps and writes to
+//! `target/BENCH_sched.smoke.json` instead — the CI gate uses it to
+//! exercise the full protocol and the JSON emitter on every run without
+//! touching the committed baseline.
+
+use omen_bench::sched_json::{self, SchedRecord};
+use omen_core::parallel::assign;
+use omen_parsim::{run_ranks, Comm};
+use omen_sched::{dynamic_sweep, imbalance_ratio, CostModel, SchedOptions};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The skewed workload: every `stride`-th unit costs `spike`, the rest
+/// cost `base` — a resonance comb, in canonical unit order.
+struct Workload {
+    units: usize,
+    stride: usize,
+    base: Duration,
+    spike: Duration,
+}
+
+impl Workload {
+    fn cost(&self, id: usize) -> Duration {
+        if id.is_multiple_of(self.stride) {
+            self.spike
+        } else {
+            self.base
+        }
+    }
+
+    fn energies(&self) -> Vec<f64> {
+        (0..self.units).map(|i| i as f64).collect()
+    }
+}
+
+/// Static sweep: every rank solves its round-robin `assign` share, exactly
+/// like the static energy-group distribution in `omen_core::parallel`.
+/// Returns `(wall_s, imbalance)`.
+fn run_static(w: &Workload, ranks: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    let out = run_ranks(ranks, |ctx| {
+        let mine = assign(w.units, ctx.size(), ctx.rank());
+        let t = Instant::now();
+        for id in mine {
+            std::thread::sleep(w.cost(id));
+        }
+        t.elapsed().as_secs_f64()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let busy: Vec<f64> = out.results.into_iter().map(|r| r.unwrap()).collect();
+    (wall, imbalance_ratio(&busy))
+}
+
+/// Dynamic sweep over the same units with a flat cost prior (the scheduler
+/// gets no hint of the skew). Returns `(wall_s, imbalance, reissued)`.
+fn run_dynamic(w: &Workload, ranks: usize) -> (f64, f64, usize) {
+    let opts = SchedOptions {
+        chunk_max: 2,
+        ..SchedOptions::default()
+    };
+    let es = w.energies();
+    let t0 = Instant::now();
+    let out = run_ranks(ranks, |ctx| {
+        let world = Comm::world(ctx);
+        let mut model = CostModel::uniform(w.units);
+        dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+            std::thread::sleep(w.cost(id));
+            Ok(vec![id as f64])
+        })
+        .unwrap()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let outcome = out
+        .results
+        .into_iter()
+        .next()
+        .expect("at least one rank")
+        .unwrap();
+    assert!(outcome.report.is_clean(), "synthetic solve never fails");
+    assert_eq!(outcome.report.solved, w.units);
+    let reissued = outcome.stats.reissued_failed + outcome.stats.reissued_straggler;
+    (wall, outcome.stats.imbalance(), reissued)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (w, ranks) = if smoke {
+        (
+            Workload {
+                units: 18,
+                stride: 6,
+                base: Duration::from_millis(1),
+                spike: Duration::from_millis(10),
+            },
+            3,
+        )
+    } else {
+        (
+            Workload {
+                units: 64,
+                stride: 8,
+                base: Duration::from_millis(4),
+                spike: Duration::from_millis(40),
+            },
+            4,
+        )
+    };
+    println!(
+        "omen-bench sched ({}): {} units (spike every {}), {}/{} ms base/spike, {ranks} ranks",
+        if smoke { "smoke" } else { "full" },
+        w.units,
+        w.stride,
+        w.base.as_millis(),
+        w.spike.as_millis()
+    );
+
+    let (wall_s, imb_s) = run_static(&w, ranks);
+    let (wall_d, imb_d, reissued) = run_dynamic(&w, ranks);
+    println!("static   wall {wall_s:.3} s  imbalance {imb_s:.3}");
+    println!("dynamic  wall {wall_d:.3} s  imbalance {imb_d:.3}  reissued {reissued}");
+    assert!(
+        imb_d <= imb_s,
+        "dynamic scheduling must not be less balanced than static on the skewed workload"
+    );
+
+    let case = "resonance-comb";
+    let records = vec![
+        SchedRecord {
+            case: case.into(),
+            schedule: "static".into(),
+            ranks,
+            units: w.units,
+            wall_s,
+            imbalance: imb_s,
+            reissued: 0,
+        },
+        SchedRecord {
+            case: case.into(),
+            schedule: "dynamic".into(),
+            ranks,
+            units: w.units,
+            wall_s: wall_d,
+            imbalance: imb_d,
+            reissued,
+        },
+    ];
+
+    let path: PathBuf = if smoke {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_sched.smoke.json")
+    } else {
+        sched_json::default_path()
+    };
+    sched_json::merge_records(&path, &records).expect("write scheduler baseline");
+    let back = sched_json::read_records(&path);
+    assert!(
+        records.iter().all(|r| back.iter().any(|b| (
+            b.case.as_str(),
+            b.schedule.as_str(),
+            b.ranks
+        ) == (
+            r.case.as_str(),
+            r.schedule.as_str(),
+            r.ranks
+        ))),
+        "baseline round-trip lost records"
+    );
+    println!(
+        "wrote {} sched records -> {}",
+        records.len(),
+        path.display()
+    );
+}

@@ -15,7 +15,9 @@
 //! first and reserves spatial decomposition for memory-bound devices.
 
 use omen_bench::{print_table, timed};
-use omen_core::parallel::{frozen_system, parallel_transmission, split_levels, LevelConfig};
+use omen_core::parallel::{
+    frozen_system, parallel_transmission, split_levels, LevelConfig, Schedule,
+};
 use omen_core::{Engine, TransistorSpec};
 use omen_linalg::{flop_count, reset_flops};
 use omen_num::linspace;
@@ -85,7 +87,16 @@ fn main() {
         let ((res, stats), wall) = timed(|| {
             let out = run_ranks(cfg.total(), |ctx| {
                 let comms = split_levels(ctx, cfg)?;
-                parallel_transmission(&comms, cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
+                parallel_transmission(
+                    &comms,
+                    cfg,
+                    &h,
+                    (&h00, &h01),
+                    (&h00, &h01),
+                    &energies,
+                    Schedule::Static,
+                )
+                .map(|s| s.transmission)
             })
             .flattened();
             let stats = out.total_stats();

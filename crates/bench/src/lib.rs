@@ -30,6 +30,7 @@
 //! the repo-root `BENCH_kernels.json` baseline via [`kernel_json`].
 
 pub mod kernel_json;
+pub mod sched_json;
 
 use std::time::Instant;
 

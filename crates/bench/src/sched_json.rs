@@ -1,0 +1,207 @@
+//! `BENCH_sched.json` — the machine-readable scheduler benchmark baseline.
+//!
+//! Records load-balance quality of the energy-sweep scheduler on synthetic
+//! workloads with a known cost skew: the same unit set is swept once with
+//! the static round-robin assignment (`omen_core::parallel::assign`) and
+//! once with the dynamic pull-based scheduler (`omen_sched::dynamic_sweep`),
+//! and the per-rank busy times are condensed into a load-imbalance ratio
+//! (max/mean busy seconds — 1.0 is perfect). Successive PRs compare against
+//! the committed baseline instead of against folklore.
+//!
+//! ## Schema (`omen-bench-sched-v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "omen-bench-sched-v1",
+//!   "records": [
+//!     {"case": "resonance-comb", "schedule": "dynamic", "ranks": 4,
+//!      "units": 64, "wall_s": 2.0e-1, "imbalance": 1.08, "reissued": 0}
+//!   ]
+//! }
+//! ```
+//!
+//! One record per `(case, schedule, ranks)` triple. `imbalance` is the
+//! max/mean busy-time ratio over the ranks that actually solved units (the
+//! dynamic coordinator only brokers work and is excluded). Merging replaces
+//! records with the same key and keeps the rest; the parser is hand-rolled
+//! for exactly this schema (the container bakes in no serde), and the
+//! writer emits one record per line for reviewable diffs.
+
+use std::path::{Path, PathBuf};
+
+/// One scheduler measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedRecord {
+    /// Workload name (`resonance-comb`, ...).
+    pub case: String,
+    /// `static` or `dynamic`.
+    pub schedule: String,
+    /// Total ranks in the sweep group (dynamic: one of them coordinates).
+    pub ranks: usize,
+    /// Work units swept.
+    pub units: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_s: f64,
+    /// Max/mean busy-seconds ratio over the solving ranks.
+    pub imbalance: f64,
+    /// Units re-issued by the dynamic scheduler (0 for static).
+    pub reissued: usize,
+}
+
+/// Identifier of the only document layout this module reads and writes.
+pub const SCHEMA: &str = "omen-bench-sched-v1";
+
+/// Default baseline location: `BENCH_sched.json` at the workspace root.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sched.json")
+}
+
+fn fmt_record(r: &SchedRecord) -> String {
+    format!(
+        "    {{\"case\": \"{}\", \"schedule\": \"{}\", \"ranks\": {}, \"units\": {}, \"wall_s\": {:.4e}, \"imbalance\": {:.3}, \"reissued\": {}}}",
+        r.case, r.schedule, r.ranks, r.units, r.wall_s, r.imbalance, r.reissued
+    )
+}
+
+/// Serializes `records` as a full document.
+pub fn to_json(records: &[SchedRecord]) -> String {
+    let body: Vec<String> = records.iter().map(fmt_record).collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+/// Extracts the raw text of `"key": <value>` from one record object.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn parse_record(obj: &str) -> Option<SchedRecord> {
+    Some(SchedRecord {
+        case: field(obj, "case")?.trim_matches('"').to_string(),
+        schedule: field(obj, "schedule")?.trim_matches('"').to_string(),
+        ranks: field(obj, "ranks")?.parse().ok()?,
+        units: field(obj, "units")?.parse().ok()?,
+        wall_s: field(obj, "wall_s")?.parse().ok()?,
+        imbalance: field(obj, "imbalance")?.parse().ok()?,
+        reissued: field(obj, "reissued")?.parse().ok()?,
+    })
+}
+
+/// Parses a document produced by [`to_json`]. Returns `None` when the text
+/// is not an `omen-bench-sched-v1` document; records that fail to parse
+/// individually are skipped.
+pub fn from_json(text: &str) -> Option<Vec<SchedRecord>> {
+    if !text.contains(SCHEMA) {
+        return None;
+    }
+    let arr_start = text.find("\"records\"")?;
+    let arr = &text[text[arr_start..].find('[')? + arr_start + 1..];
+    let arr = &arr[..arr.rfind(']')?];
+    let mut records = Vec::new();
+    let mut rest = arr;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        if let Some(r) = parse_record(&rest[open..open + close + 1]) {
+            records.push(r);
+        }
+        rest = &rest[open + close + 1..];
+    }
+    Some(records)
+}
+
+/// Reads the baseline at `path`; empty when absent or unreadable.
+pub fn read_records(path: &Path) -> Vec<SchedRecord> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| from_json(&t))
+        .unwrap_or_default()
+}
+
+/// Merges `fresh` into the baseline at `path`: records with a matching
+/// `(case, schedule, ranks)` key are replaced, everything else is kept,
+/// and the result is written back sorted by that key.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be written.
+pub fn merge_records(path: &Path, fresh: &[SchedRecord]) -> std::io::Result<()> {
+    let mut all = read_records(path);
+    for r in fresh {
+        all.retain(|e| {
+            (e.case.as_str(), e.schedule.as_str(), e.ranks)
+                != (r.case.as_str(), r.schedule.as_str(), r.ranks)
+        });
+        all.push(r.clone());
+    }
+    all.sort_by(|a, b| {
+        (a.case.as_str(), a.schedule.as_str(), a.ranks).cmp(&(
+            b.case.as_str(),
+            b.schedule.as_str(),
+            b.ranks,
+        ))
+    });
+    std::fs::write(path, to_json(&all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(case: &str, schedule: &str, ranks: usize, imb: f64) -> SchedRecord {
+        SchedRecord {
+            case: case.into(),
+            schedule: schedule.into(),
+            ranks,
+            units: 64,
+            wall_s: 0.25,
+            imbalance: imb,
+            reissued: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            rec("edge", "static", 4, 2.59),
+            rec("edge", "dynamic", 4, 1.1),
+        ];
+        let parsed = from_json(&to_json(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        assert!(from_json("{\"schema\": \"something-else\"}").is_none());
+        assert!(from_json("").is_none());
+    }
+
+    #[test]
+    fn merge_replaces_matching_keys_and_sorts() {
+        let dir = std::env::temp_dir().join("omen_bench_sched_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        let _ = std::fs::remove_file(&path);
+        merge_records(&path, &[rec("edge", "static", 4, 2.0)]).unwrap();
+        merge_records(
+            &path,
+            &[
+                rec("edge", "static", 4, 2.5),
+                rec("edge", "dynamic", 4, 1.1),
+            ],
+        )
+        .unwrap();
+        let all = read_records(&path);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].schedule, "dynamic");
+        assert_eq!(all[1].imbalance, 2.5);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -7,8 +7,10 @@
 
 use crate::energy::{transport_window, EnergyWindow};
 use crate::spec::{Bias, NanoTransistor};
+use omen_linalg::ZMat;
 use omen_negf::transport::EnergyPointData;
 use omen_num::{fermi, trapezoid, OmenResult, SweepReport, I0_UA_PER_EV};
+use omen_sched::CostModel;
 use omen_sparse::BlockTridiag;
 
 /// Which transport engine evaluates each energy point.
@@ -50,20 +52,22 @@ impl BallisticResult {
     }
 }
 
-/// Solves one (bias, k-point) transport problem on a prepared Hamiltonian.
-///
-/// `v_atoms` is the electrostatic potential per atom (V); leads are pinned
-/// to the mean potential of the terminal slabs. The energy window is
-/// derived from the lead subbands around the contact Fermi levels
-/// (electron side above the device midgap, hole side below).
-pub fn ballistic_solve(
-    tr: &NanoTransistor,
-    v_atoms: &[f64],
-    bias: &Bias,
-    engine: Engine,
-    n_energy: usize,
-    ky: f64,
-) -> BallisticResult {
+/// Assembled device Hamiltonian, lead blocks and transport window for one
+/// `(bias, k)` transport problem — the shared setup of every ballistic
+/// solve variant.
+struct TransportSetup {
+    h: BlockTridiag,
+    h00_l: ZMat,
+    h01_l: ZMat,
+    h00_r: ZMat,
+    h01_r: ZMat,
+    window: EnergyWindow,
+}
+
+/// Assembles the device and lead operators at a potential and derives the
+/// transport energy window from the lead subbands around the contact Fermi
+/// levels (electron side above the device midgap, hole side below).
+fn prepare_transport(tr: &NanoTransistor, v_atoms: &[f64], bias: &Bias, ky: f64) -> TransportSetup {
     assert_eq!(v_atoms.len(), tr.device.num_atoms());
     let ham = tr.hamiltonian();
     // Electron potential energy is −qV.
@@ -90,14 +94,66 @@ pub fn ballistic_solve(
             mid_hi.max(mus[0].max(mus[1]) + span),
         ),
     );
+    TransportSetup {
+        h,
+        h00_l,
+        h01_l,
+        h00_r,
+        h01_r,
+        window,
+    }
+}
+
+/// Solves one (bias, k-point) transport problem on a prepared Hamiltonian.
+///
+/// `v_atoms` is the electrostatic potential per atom (V); leads are pinned
+/// to the mean potential of the terminal slabs. The energy window is
+/// derived from the lead subbands around the contact Fermi levels
+/// (electron side above the device midgap, hole side below).
+pub fn ballistic_solve(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_energy: usize,
+    ky: f64,
+) -> BallisticResult {
+    let s = prepare_transport(tr, v_atoms, bias, ky);
     let (energies, points, report) = solve_sweep(
-        &window.grid(n_energy),
-        &h,
-        (&h00_l, &h01_l),
-        (&h00_r, &h01_r),
+        &s.window.grid(n_energy),
+        &s.h,
+        (&s.h00_l, &s.h01_l),
+        (&s.h00_r, &s.h01_r),
         engine,
     );
-    integrate(tr, bias, v_atoms, &energies, points, &window, report)
+    integrate(tr, bias, v_atoms, &energies, points, &s.window, report)
+}
+
+/// [`ballistic_solve`] with the energy sweep ordered by a [`CostModel`]:
+/// expensive points (per the model's seed or its measurements from earlier
+/// SCF/I–V iterations) are solved first, and each point's measured solve
+/// time is folded back into the model. Results are merged in canonical
+/// energy order, so the output is bit-identical to the static variant —
+/// the model only changes *when* each point runs, never what it returns.
+pub fn ballistic_solve_scheduled(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_energy: usize,
+    ky: f64,
+    model: &mut CostModel,
+) -> BallisticResult {
+    let s = prepare_transport(tr, v_atoms, bias, ky);
+    let (energies, points, report) = solve_sweep_scheduled(
+        &s.window.grid(n_energy),
+        &s.h,
+        (&s.h00_l, &s.h01_l),
+        (&s.h00_r, &s.h01_r),
+        engine,
+        model,
+    );
+    integrate(tr, bias, v_atoms, &energies, points, &s.window, report)
 }
 
 /// Solves every energy of a grid with per-point failure isolation: a point
@@ -115,6 +171,52 @@ pub fn solve_sweep(
     let mut points = Vec::with_capacity(energies.len());
     for &e in energies {
         match solve_point(e, h, lead_l, lead_r, engine) {
+            Ok(p) => {
+                report.record_solved(p.retries);
+                kept.push(e);
+                points.push(p);
+            }
+            Err(err) => report.record_failed(e, err),
+        }
+    }
+    (kept, points, report)
+}
+
+/// [`solve_sweep`] visiting energies most-expensive-first per `model`
+/// (LPT order) and feeding measured solve seconds back into it, so that
+/// a model persisted across SCF/I–V iterations fronts the slow points of
+/// the *next* sweep. Outputs are merged back into ascending (canonical)
+/// energy order: the sweep is bit-identical to [`solve_sweep`], including
+/// the order of failed entries in the [`SweepReport`].
+pub fn solve_sweep_scheduled(
+    energies: &[f64],
+    h: &BlockTridiag,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+    engine: Engine,
+    model: &mut CostModel,
+) -> (Vec<f64>, Vec<EnergyPointData>, SweepReport) {
+    let n = energies.len();
+    if model.len() != n {
+        // Grid changed shape (fresh model, or adaptive/window resize):
+        // reseed with the band-edge prior the sweep-level scheduler uses.
+        *model = CostModel::band_edge(n.max(1), 2.0);
+    }
+    let mut slots: Vec<Option<OmenResult<EnergyPointData>>> = (0..n).map(|_| None).collect();
+    for id in model.descending_order(0..n) {
+        let t0 = std::time::Instant::now();
+        let r = solve_point(energies[id], h, lead_l, lead_r, engine);
+        model.observe(id, t0.elapsed().as_secs_f64());
+        slots[id] = Some(r);
+    }
+    // Canonical-order merge: identical accounting to the static sweep.
+    let mut report = SweepReport::default();
+    let mut kept = Vec::with_capacity(n);
+    let mut points = Vec::with_capacity(n);
+    for (slot, &e) in slots.into_iter().zip(energies) {
+        match slot.unwrap_or(Err(omen_num::OmenError::Deserialize {
+            context: "scheduled sweep left a slot unsolved",
+        })) {
             Ok(p) => {
                 report.record_solved(p.retries);
                 kept.push(e);
@@ -145,27 +247,14 @@ pub fn ballistic_solve_adaptive(
     ky: f64,
 ) -> BallisticResult {
     assert!(n_init >= 5 && max_points >= n_init);
-    let ham = tr.hamiltonian();
-    let pot: Vec<f64> = v_atoms.iter().map(|&v| -v).collect();
-    let h = ham.assemble(&pot, ky);
-    let v_src = tr.slab_mean_potential(v_atoms, 0);
-    let v_drn = tr.slab_mean_potential(v_atoms, tr.device.num_slabs - 1);
-    let (h00_l, h01_l) = ham.lead_blocks(-v_src, ky);
-    let (h00_r, h01_r) = ham.lead_blocks(-v_drn, ky);
-    let mus = [bias.mu_source, bias.mu_drain()];
-    let mid_lo = tr.e_midgap - v_atoms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let mid_hi = tr.e_midgap - v_atoms.iter().cloned().fold(f64::INFINITY, f64::min);
-    let span = 30.0 * tr.kt;
-    let window = transport_window(
-        &[(&h00_l, &h01_l), (&h00_r, &h01_r)],
-        &mus,
-        tr.kt,
-        12.0,
-        (
-            mid_lo.min(mus[0].min(mus[1]) - span),
-            mid_hi.max(mus[0].max(mus[1]) + span),
-        ),
-    );
+    let TransportSetup {
+        h,
+        h00_l,
+        h01_l,
+        h00_r,
+        h01_r,
+        window,
+    } = prepare_transport(tr, v_atoms, bias, ky);
 
     // Initial grid with failed energies dropped before the adaptive grid is
     // built, so refinement only ever works on solved intervals.
@@ -269,9 +358,54 @@ pub fn ballistic_solve_k(
     n_k: usize,
 ) -> BallisticResult {
     let grid = momentum_grid(tr, n_k);
+    accumulate_k(&grid, |_, ky| {
+        ballistic_solve(tr, v_atoms, bias, engine, n_energy, ky)
+    })
+}
+
+/// [`ballistic_solve_k`] with a persistent per-k [`CostModel`] driving the
+/// energy-sweep order (see [`ballistic_solve_scheduled`]). `models` is
+/// resized to the momentum grid when it does not match — pass the same
+/// vector across SCF outer iterations (or bias points on one grid) so the
+/// measured costs of iteration *i* schedule iteration *i + 1*. Observables
+/// are bit-identical to the static variant.
+pub fn ballistic_solve_k_scheduled(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_energy: usize,
+    n_k: usize,
+    models: &mut Vec<CostModel>,
+) -> BallisticResult {
+    let grid = momentum_grid(tr, n_k);
+    if models.len() != grid.len() {
+        *models = (0..grid.len())
+            .map(|_| CostModel::band_edge(n_energy.max(1), 2.0))
+            .collect();
+    }
+    let r = accumulate_k(&grid, |ik, ky| {
+        ballistic_solve_scheduled(tr, v_atoms, bias, engine, n_energy, ky, &mut models[ik])
+    });
+    crate::log::emit(&format!(
+        "sched serial sweep: {} k-points × {} energies, {} cost observations banked",
+        grid.len(),
+        n_energy,
+        models.iter().map(CostModel::observations).sum::<usize>(),
+    ));
+    r
+}
+
+/// Weighted accumulation of per-k solves over a momentum grid. `solve`
+/// receives the canonical k index and `k_y`; k-points are visited in
+/// canonical order so the accumulation is deterministic.
+fn accumulate_k(
+    grid: &[(f64, f64)],
+    mut solve: impl FnMut(usize, f64) -> BallisticResult,
+) -> BallisticResult {
     let mut acc: Option<BallisticResult> = None;
-    for &(ky, w) in &grid {
-        let r = ballistic_solve(tr, v_atoms, bias, engine, n_energy, ky);
+    for (ik, &(ky, w)) in grid.iter().enumerate() {
+        let r = solve(ik, ky);
         match &mut acc {
             None => {
                 let mut r0 = r;
@@ -652,6 +786,64 @@ mod tests {
         );
         assert!(report.recovered >= 1, "the recovery must be accounted");
         assert!(report.retried >= 1);
+    }
+
+    #[test]
+    fn scheduled_sweep_is_bit_identical_to_static() {
+        let tr = flat_device();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.2,
+            mu_source: -2.9,
+        };
+        let stat = ballistic_solve(&tr, &v, &bias, Engine::WfThomas, 25, 0.0);
+        let mut model = CostModel::band_edge(25, 2.0);
+        // Two sweeps on the same model: the second runs in measured-EWMA
+        // order instead of seed order and must still match bitwise.
+        for pass in 0..2 {
+            let sched =
+                ballistic_solve_scheduled(&tr, &v, &bias, Engine::WfThomas, 25, 0.0, &mut model);
+            assert_eq!(
+                sched.current_ua.to_bits(),
+                stat.current_ua.to_bits(),
+                "pass {pass}: current must be bit-identical"
+            );
+            assert_eq!(sched.energies, stat.energies);
+            for (a, b) in sched.transmission.iter().zip(&stat.transmission) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pass {pass}");
+            }
+            for (a, b) in sched.electron_density.iter().zip(&stat.electron_density) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pass {pass}");
+            }
+            assert_eq!(sched.report, stat.report);
+        }
+        assert_eq!(model.observations(), 50, "every point observed each pass");
+    }
+
+    #[test]
+    fn scheduled_k_average_matches_static_bitwise() {
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+        spec.geometry = crate::spec::Geometry::Utb { cells: 1, h: 1.0 };
+        spec.doping_sd = 0.0;
+        let tr = spec.build();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let bias = Bias {
+            v_gate: 0.0,
+            v_ds: 0.2,
+            mu_source: -3.2,
+        };
+        let stat = ballistic_solve_k(&tr, &v, &bias, Engine::WfThomas, 21, 2);
+        let mut models = Vec::new();
+        let sched =
+            ballistic_solve_k_scheduled(&tr, &v, &bias, Engine::WfThomas, 21, 2, &mut models);
+        assert_eq!(models.len(), 2, "one cost model per k-point");
+        assert_eq!(sched.current_ua.to_bits(), stat.current_ua.to_bits());
+        for (a, b) in sched.electron_density.iter().zip(&stat.electron_density) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(models.iter().all(|m| m.observations() == 21));
     }
 
     #[test]

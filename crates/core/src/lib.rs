@@ -31,11 +31,13 @@ pub mod scf;
 pub mod spec;
 
 pub use ballistic::{
-    ballistic_solve, ballistic_solve_adaptive, ballistic_solve_k, momentum_grid, BallisticResult,
-    Engine,
+    ballistic_solve, ballistic_solve_adaptive, ballistic_solve_k, ballistic_solve_k_scheduled,
+    ballistic_solve_scheduled, momentum_grid, BallisticResult, Engine,
 };
 pub use iv::{
     drain_sweep, frozen_field_sweep, gate_sweep, on_off_ratio, subthreshold_swing, IvPoint,
 };
+pub use omen_sched::{CostModel, SchedOptions, SchedStats};
+pub use parallel::Schedule;
 pub use scf::{self_consistent, ScfOptions, ScfResult};
 pub use spec::{Bias, Geometry, NanoTransistor, TransistorSpec};

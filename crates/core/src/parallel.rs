@@ -11,8 +11,9 @@
 use crate::ballistic::Engine;
 use crate::spec::NanoTransistor;
 use omen_linalg::ZMat;
-use omen_num::OmenResult;
+use omen_num::{FailedPoint, OmenError, OmenResult, SweepReport};
 use omen_parsim::{Comm, RankCtx};
+use omen_sched::{dynamic_sweep, proto, CostModel, SchedOptions, SchedStats};
 use omen_sparse::BlockTridiag;
 
 /// Rank counts per parallel level; the product must equal the world size.
@@ -92,21 +93,101 @@ pub fn assign(n_items: usize, n_groups: usize, group: usize) -> Vec<usize> {
     (0..n_items).filter(|i| i % n_groups == group).collect()
 }
 
+/// Which distribution strategy drives a distributed sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Schedule {
+    /// The fixed round-robin partition via [`assign`]: zero scheduling
+    /// traffic, but one slow point idles its whole group.
+    #[default]
+    Static,
+    /// Pull-based self-scheduling through `omen-sched`: a coordinator
+    /// hands out cost-ordered chunks on demand, re-issues failed or
+    /// straggling units, and merges results in canonical order — values
+    /// bit-identical to [`Schedule::Static`].
+    Dynamic(SchedOptions),
+}
+
+/// The full result of a distributed transmission sweep, identical on every
+/// participating rank.
+#[derive(Debug, Clone)]
+pub struct TransmissionSweep {
+    /// `T(E)` on the complete energy grid; abandoned points hold `0.0`
+    /// (their typed errors live in `report.failed`).
+    pub transmission: Vec<f64>,
+    /// Per-point solve/retry/failure accounting, failures in grid order.
+    pub report: SweepReport,
+    /// Scheduler diagnostics when the sweep ran dynamically.
+    pub sched: Option<SchedStats>,
+}
+
+/// Whether an error is a communicator/runtime fault that must propagate
+/// (the SPMD schedule can no longer be trusted), as opposed to a per-point
+/// solver failure that the sweep isolates.
+fn is_comm_fault(e: &OmenError) -> bool {
+    matches!(
+        e,
+        OmenError::RecvTimeout { .. }
+            | OmenError::ChannelClosed { .. }
+            | OmenError::ScheduleDivergence { .. }
+            | OmenError::RankFailed { .. }
+            | OmenError::Deserialize { .. }
+    )
+}
+
+/// Exchanges per-group failure lists over `comm` so every member returns
+/// the identical ledger: contributors' blobs gather at local rank 0, merge
+/// sorted by energy, and broadcast back. The collectives run
+/// unconditionally on every member — only the *payload* depends on
+/// `contribute` — so the SPMD schedule never diverges.
+fn exchange_failures(
+    comm: &Comm<'_>,
+    contribute: bool,
+    local: &[FailedPoint],
+    origin: usize,
+) -> OmenResult<Vec<FailedPoint>> {
+    let payload = if contribute {
+        proto::encode_failures(local, origin)
+    } else {
+        Vec::new()
+    };
+    let merged_blob = match comm.gather(0, payload)? {
+        Some(blobs) => {
+            let mut all = Vec::new();
+            for b in blobs.iter().filter(|b| !b.is_empty()) {
+                all.extend(proto::decode_failures(b)?);
+            }
+            all.sort_by(|a, b| a.energy.total_cmp(&b.energy));
+            proto::encode_failures(&all, origin)
+        }
+        None => Vec::new(),
+    };
+    proto::decode_failures(&comm.bcast(0, merged_blob)?)
+}
+
 /// Distributed transmission sweep over one bias point: the energy groups of
-/// this momentum group split the grid, each energy point is solved with
-/// SplitSolve across the spatial group, and the full `T(E)` vector is
-/// reduced over the momentum group. Every rank returns the complete result.
+/// this momentum group split the grid (statically via [`assign`] or
+/// dynamically via `omen-sched` per `schedule`), each energy point is
+/// solved with SplitSolve across the spatial group, and the full `T(E)`
+/// vector is reduced over the momentum group. Every rank returns the
+/// complete result.
 ///
-/// SplitSolve's per-level status exchange guarantees an `Err` surfaces as
-/// the *same* typed error on every rank of the spatial group, so the SPMD
-/// control flow (including the reductions below) never diverges.
+/// A point whose solve fails with a typed solver error is *isolated*: its
+/// transmission stays `0.0` and the failure is recorded in the returned
+/// report on every rank, instead of aborting the group. SplitSolve's
+/// per-level status exchange guarantees the error is identical on every
+/// rank of the spatial group, so the SPMD control flow (including the
+/// reductions below) never diverges.
+///
+/// [`Schedule::Dynamic`] requires `spatial == 1` (each worker must solve a
+/// point alone); other layouts log a note and fall back to the static
+/// schedule.
 ///
 /// # Errors
 ///
-/// Returns the energy point's typed solver failure (identical on every
-/// rank of the spatial group), or a communicator fault
+/// Returns a communicator fault
 /// ([`omen_num::OmenError::ScheduleDivergence`],
-/// [`omen_num::OmenError::RecvTimeout`]) from the collectives.
+/// [`omen_num::OmenError::RecvTimeout`], [`omen_num::OmenError::RankFailed`])
+/// from the collectives or the scheduler protocol.
 pub fn parallel_transmission(
     comms: &LevelComms<'_>,
     cfg: &LevelConfig,
@@ -114,24 +195,228 @@ pub fn parallel_transmission(
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
     energies: &[f64],
-) -> OmenResult<Vec<f64>> {
-    let mine = assign(energies.len(), cfg.energy, comms.energy_index);
-    let mut partial = vec![0.0; energies.len()];
+    schedule: Schedule,
+) -> OmenResult<TransmissionSweep> {
+    match schedule {
+        Schedule::Dynamic(opts) if cfg.spatial == 1 => {
+            dynamic_transmission(comms, h, lead_l, lead_r, energies, &opts)
+        }
+        Schedule::Dynamic(_) => {
+            crate::log::emit(&format!(
+                "sched: dynamic schedule requires spatial == 1 (got {}), \
+                 falling back to static",
+                cfg.spatial
+            ));
+            static_transmission(comms, cfg, h, lead_l, lead_r, energies)
+        }
+        Schedule::Static => static_transmission(comms, cfg, h, lead_l, lead_r, energies),
+    }
+}
+
+fn static_transmission(
+    comms: &LevelComms<'_>,
+    cfg: &LevelConfig,
+    h: &BlockTridiag,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+    energies: &[f64],
+) -> OmenResult<TransmissionSweep> {
+    let n = energies.len();
+    let mine = assign(n, cfg.energy, comms.energy_index);
+    let mut partial = vec![0.0; n];
+    let mut local = SweepReport::default();
     for &ie in &mine {
-        let d = omen_wf::transport::wf_transport_splitsolve(
+        match omen_wf::transport::wf_transport_splitsolve(
             &comms.spatial_group,
             energies[ie],
             h,
             lead_l,
             lead_r,
-        )?;
-        partial[ie] = d.transmission;
+        ) {
+            Ok(d) => {
+                local.record_solved(d.retries);
+                partial[ie] = d.transmission;
+            }
+            Err(e) if is_comm_fault(&e) => return Err(e),
+            Err(e) => local.record_failed(energies[ie], e),
+        }
     }
-    // Spatial group members hold identical partials; scale so the
-    // momentum-group reduction (which includes `spatial` copies of each
-    // energy group) sums to the true value.
-    let scaled: Vec<f64> = partial.iter().map(|t| t / cfg.spatial as f64).collect();
-    comms.momentum_group.allreduce_sum(&scaled)
+    // One reduction carries the transmission and the integer counters.
+    // Only the spatial root of each energy group contributes its values
+    // (the other spatial ranks add exact zeros), so the sum is exact —
+    // no 1/spatial scaling error — and with `energy == 1` the reduced
+    // vector is bit-identical to the serial sweep.
+    let sroot = comms.spatial_group.rank() == 0;
+    let mut v = if sroot { partial } else { vec![0.0; n] };
+    for c in [local.solved, local.retried, local.recovered] {
+        v.push(if sroot { c as f64 } else { 0.0 });
+    }
+    let red = comms.momentum_group.allreduce_sum(&v)?;
+    let failed = exchange_failures(
+        &comms.momentum_group,
+        sroot,
+        &local.failed,
+        comms
+            .momentum_group
+            .global_rank(comms.momentum_group.rank()),
+    )?;
+    let mut report = SweepReport {
+        solved: red[n].round() as usize,
+        retried: red[n + 1].round() as usize,
+        recovered: red[n + 2].round() as usize,
+        failed: Vec::new(),
+    };
+    for f in failed {
+        report.record_failed(f.energy, f.error);
+    }
+    Ok(TransmissionSweep {
+        transmission: red[..n].to_vec(),
+        report,
+        sched: None,
+    })
+}
+
+fn dynamic_transmission(
+    comms: &LevelComms<'_>,
+    h: &BlockTridiag,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+    energies: &[f64],
+    opts: &SchedOptions,
+) -> OmenResult<TransmissionSweep> {
+    let comm = &comms.momentum_group;
+    let mut model = CostModel::band_edge(energies.len().max(1), 2.0);
+    let outcome = dynamic_sweep(comm, energies, &mut model, opts, |id| {
+        let d = omen_wf::transport::wf_transport_splitsolve(
+            &comms.spatial_group,
+            energies[id],
+            h,
+            lead_l,
+            lead_r,
+        )?;
+        Ok(vec![d.transmission, d.retries as f64])
+    })?;
+    let n = energies.len();
+    let mut transmission = vec![0.0; n];
+    let mut report = SweepReport::default();
+    for (id, slot) in outcome.values.iter().enumerate() {
+        if let Some(p) = slot {
+            transmission[id] = p[0];
+            // Rebuild solver-retry accounting from the payload so the
+            // report matches the static schedule's (the scheduler's own
+            // report counts *re-issues*, not solver retries).
+            report.record_solved(p[1] as usize);
+        }
+    }
+    for f in &outcome.report.failed {
+        report.record_failed(f.energy, f.error.clone());
+    }
+    if comm.rank() == 0 {
+        crate::log::emit(&format!(
+            "sched dynamic sweep: {} units in {} chunks, reissued {}+{} \
+             (failed+straggler), {} stale msgs, imbalance {:.2}",
+            outcome.stats.units,
+            outcome.stats.chunks,
+            outcome.stats.reissued_failed,
+            outcome.stats.reissued_straggler,
+            outcome.stats.stale_msgs,
+            outcome.stats.imbalance(),
+        ));
+    }
+    Ok(TransmissionSweep {
+        transmission,
+        report,
+        sched: Some(outcome.stats),
+    })
+}
+
+/// Momentum-resolved distributed sweep: the momentum groups of this bias
+/// group split the `(k_y, weight)` list statically, each group runs a
+/// [`parallel_transmission`] energy sweep (static or dynamic per
+/// `schedule`) on the system `system_of(k_y)`, and the weighted k-average
+/// of `T(E)` is reduced over the bias group.
+///
+/// **Momentum-level fault isolation**: a k-point whose *entire* energy
+/// sweep failed contributes one recorded [`FailedPoint`] (stamped with
+/// `k_y` in the energy field) and is excluded from the bias-group
+/// reduction; partially failed k-points keep their per-energy entries.
+/// Neither case fails the bias group.
+///
+/// # Errors
+///
+/// Returns communicator faults from the collectives or the scheduler
+/// protocol; per-point and per-k solver failures are isolated into the
+/// report instead.
+pub fn parallel_transmission_k(
+    comms: &LevelComms<'_>,
+    cfg: &LevelConfig,
+    system_of: impl Fn(f64) -> (BlockTridiag, ZMat, ZMat),
+    kys: &[(f64, f64)],
+    energies: &[f64],
+    schedule: Schedule,
+) -> OmenResult<TransmissionSweep> {
+    let n = energies.len();
+    let mine = assign(kys.len(), cfg.momentum, comms.momentum_index);
+    let mut t_acc = vec![0.0; n];
+    let mut local = SweepReport::default();
+    let mut sched: Option<SchedStats> = None;
+    for &ik in &mine {
+        let (ky, w) = kys[ik];
+        let (h, h00, h01) = system_of(ky);
+        let sweep = parallel_transmission(
+            comms,
+            cfg,
+            &h,
+            (&h00, &h01),
+            (&h00, &h01),
+            energies,
+            schedule,
+        )?;
+        if let Some(s) = &sweep.sched {
+            match &mut sched {
+                Some(acc) => acc.absorb(s),
+                None => sched = Some(s.clone()),
+            }
+        }
+        if sweep.report.solved == 0 && !sweep.report.failed.is_empty() {
+            // The whole k-point is lost: one typed entry, zero contribution.
+            local.record_failed(ky, sweep.report.failed[0].error.clone());
+            continue;
+        }
+        for (t, s) in t_acc.iter_mut().zip(&sweep.transmission) {
+            *t += w * s;
+        }
+        local.merge(&sweep.report);
+    }
+    // Bias-group reduction: the local rank 0 of each momentum group
+    // contributes its group's weighted sum (everyone else adds exact
+    // zeros), so each k-point is counted exactly once.
+    let mroot = comms.momentum_group.rank() == 0;
+    let mut v = if mroot { t_acc } else { vec![0.0; n] };
+    for c in [local.solved, local.retried, local.recovered] {
+        v.push(if mroot { c as f64 } else { 0.0 });
+    }
+    let red = comms.bias_group.allreduce_sum(&v)?;
+    let failed = exchange_failures(
+        &comms.bias_group,
+        mroot,
+        &local.failed,
+        comms.bias_group.global_rank(comms.bias_group.rank()),
+    )?;
+    let mut report = SweepReport {
+        solved: red[n].round() as usize,
+        retried: red[n + 1].round() as usize,
+        recovered: red[n + 2].round() as usize,
+        failed: Vec::new(),
+    };
+    for f in failed {
+        report.record_failed(f.energy, f.error);
+    }
+    Ok(TransmissionSweep {
+        transmission: red[..n].to_vec(),
+        report,
+        sched,
+    })
 }
 
 /// Sequential reference used by the equivalence tests and benches.
@@ -213,6 +498,53 @@ mod tests {
     }
 
     #[test]
+    fn assign_covers_every_item_exactly_once() {
+        for &(n_items, n_groups) in &[
+            (0usize, 1usize),
+            (0, 4),
+            (1, 1),
+            (3, 4),
+            (4, 4),
+            (10, 3),
+            (17, 5),
+            (100, 7),
+        ] {
+            let groups: Vec<Vec<usize>> = (0..n_groups)
+                .map(|g| assign(n_items, n_groups, g))
+                .collect();
+            // Every item appears exactly once across the groups.
+            let mut seen = vec![0usize; n_items];
+            for g in &groups {
+                for &i in g {
+                    seen[i] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "({n_items}, {n_groups}): items must be covered exactly once"
+            );
+            // Group sizes differ by at most one.
+            let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+            let (lo, hi) = (
+                *sizes.iter().min().unwrap_or(&0),
+                *sizes.iter().max().unwrap_or(&0),
+            );
+            assert!(
+                hi - lo <= 1,
+                "({n_items}, {n_groups}): sizes {sizes:?} differ by more than 1"
+            );
+            // Indices stay sorted and in range.
+            for g in &groups {
+                assert!(g.windows(2).all(|w| w[0] < w[1]));
+                assert!(g.iter().all(|&i| i < n_items));
+            }
+        }
+        // Degenerate: more groups than items leaves the tail groups empty.
+        assert_eq!(assign(3, 4, 3), Vec::<usize>::new());
+        assert_eq!(assign(0, 3, 0), Vec::<usize>::new());
+    }
+
+    #[test]
     fn distributed_transmission_matches_sequential() {
         let mut spec =
             TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
@@ -233,13 +565,23 @@ mod tests {
         };
         let out = run_ranks(4, |ctx| {
             let comms = split_levels(ctx, &cfg)?;
-            parallel_transmission(&comms, &cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
+            parallel_transmission(
+                &comms,
+                &cfg,
+                &h,
+                (&h00, &h01),
+                (&h00, &h01),
+                &energies,
+                Schedule::Static,
+            )
         })
         .flattened();
         let stats = out.total_stats();
         let results = out.unwrap_all();
         for (rank, res) in results.iter().enumerate() {
-            for (i, (a, b)) in res.iter().zip(&reference).enumerate() {
+            assert!(res.report.is_clean(), "rank {rank}: {:?}", res.report);
+            assert!(res.sched.is_none());
+            for (i, (a, b)) in res.transmission.iter().zip(&reference).enumerate() {
                 assert!(
                     (a - b).abs() < 1e-8 * (1.0 + b.abs()),
                     "rank {rank} energy {i}: {a} vs {b}"
@@ -248,5 +590,199 @@ mod tests {
         }
         // The distributed run must actually communicate.
         assert!(stats.messages_sent > 0);
+    }
+
+    #[test]
+    fn dynamic_schedule_is_bit_identical_to_static() {
+        // The engine-equivalence device case: same system, same grid, once
+        // under the fixed round-robin partition and once self-scheduled.
+        // Both paths evaluate each point through the identical SplitSolve
+        // call (spatial == 1), and both reductions add each value to exact
+        // zeros, so the results must agree to the bit.
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+        spec.doping_sd = 0.0;
+        let tr = spec.build();
+        let v = vec![0.0; tr.device.num_atoms()];
+        let (h, h00, h01) = frozen_system(&tr, &v, 0.0);
+        let energies = linspace(-3.4, -2.6, 9);
+        let cfg = LevelConfig {
+            bias: 1,
+            momentum: 1,
+            energy: 4,
+            spatial: 1,
+        };
+        let run = |schedule: Schedule| {
+            run_ranks(4, |ctx| {
+                let comms = split_levels(ctx, &cfg)?;
+                parallel_transmission(
+                    &comms,
+                    &cfg,
+                    &h,
+                    (&h00, &h01),
+                    (&h00, &h01),
+                    &energies,
+                    schedule,
+                )
+            })
+            .flattened()
+            .unwrap_all()
+        };
+        let stat = run(Schedule::Static);
+        let dyns = run(Schedule::Dynamic(SchedOptions::default()));
+        for (rank, (s, d)) in stat.iter().zip(&dyns).enumerate() {
+            assert!(s.report.is_clean() && d.report.is_clean());
+            assert_eq!(s.report.solved, energies.len());
+            assert_eq!(d.report.solved, energies.len());
+            let stats = d.sched.as_ref().expect("dynamic run reports stats");
+            assert_eq!(stats.units, energies.len());
+            for (i, (a, b)) in s.transmission.iter().zip(&d.transmission).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "rank {rank} energy {i}: static {a} vs dynamic {b}"
+                );
+            }
+        }
+    }
+
+    /// A 1×1-block chain whose middle site is decoupled from *both*
+    /// neighbors and absorbs the iη broadening: its whole matrix row is
+    /// exactly zero at E = 0, so every direct solver — any elimination
+    /// order — hits a provably singular pivot at that one energy.
+    fn singular_at_zero_system() -> (BlockTridiag, ZMat, ZMat) {
+        use omen_negf::transport::DEFAULT_ETA;
+        use omen_num::c64;
+        let n = 5;
+        let z = || ZMat::zeros(1, 1);
+        let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+        let mut diag = vec![z(); n];
+        diag[2] = ZMat::from_vec(1, 1, vec![c64::new(0.0, DEFAULT_ETA)]);
+        let mut lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        let mut upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        for i in [1, 2] {
+            lower[i] = z();
+            upper[i] = z();
+        }
+        (BlockTridiag::new(diag, lower, upper), z(), t())
+    }
+
+    #[test]
+    fn failed_point_is_isolated_not_group_fatal() {
+        let (h, h00, h01) = singular_at_zero_system();
+        // −0.5, −0.25, 0, 0.25, 0.5: the middle point is provably singular.
+        let energies = linspace(-0.5, 0.5, 5);
+        let cfg = LevelConfig {
+            bias: 1,
+            momentum: 1,
+            energy: 3,
+            spatial: 1,
+        };
+        for schedule in [Schedule::Static, Schedule::Dynamic(SchedOptions::default())] {
+            let out = run_ranks(3, |ctx| {
+                let comms = split_levels(ctx, &cfg)?;
+                parallel_transmission(
+                    &comms,
+                    &cfg,
+                    &h,
+                    (&h00, &h01),
+                    (&h00, &h01),
+                    &energies,
+                    schedule,
+                )
+            })
+            .flattened();
+            let total = out.total_stats();
+            for res in out.unwrap_all() {
+                assert_eq!(res.report.solved, 4, "{schedule:?}");
+                assert_eq!(res.report.failed.len(), 1);
+                assert_eq!(res.report.failed[0].energy, 0.0);
+                assert!(matches!(
+                    res.report.failed[0].error,
+                    OmenError::SingularBlock { .. }
+                ));
+                assert_eq!(res.transmission[2], 0.0, "failed point zeroed");
+                // The severed chain carries no current, but its healthy
+                // points *solved*: values are present (exact zeros), not
+                // failure entries.
+                assert_eq!(res.report.attempted(), energies.len());
+            }
+            if let Schedule::Dynamic(opts) = schedule {
+                // The failing unit was re-issued the bounded count before
+                // being abandoned, and the re-issues reached CommStats.
+                assert_eq!(total.sched_reissues, opts.max_reissue as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_k_point_is_excluded_from_bias_reduction() {
+        // Two k-points: k = 0 is the provably singular chain evaluated at
+        // exactly its singular energy (the whole sweep fails), k = 1 is a
+        // healthy chain. The k-level reduction must isolate the dead
+        // k-point as one typed report entry and keep the healthy one.
+        let energies = vec![0.0];
+        let kys = [(0.0, 0.5), (1.0, 0.5)];
+        let healthy = |ky: f64| {
+            use omen_num::c64;
+            let n = 5;
+            let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+            let diag = vec![ZMat::zeros(1, 1); n];
+            let lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+            let upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+            let _ = ky;
+            (
+                BlockTridiag::new(diag, lower, upper),
+                ZMat::zeros(1, 1),
+                t(),
+            )
+        };
+        let cfg = LevelConfig {
+            bias: 1,
+            momentum: 2,
+            energy: 1,
+            spatial: 1,
+        };
+        let reference = {
+            let (h, h00, h01) = healthy(1.0);
+            sequential_transmission(&h, (&h00, &h01), (&h00, &h01), &energies, Engine::WfThomas)
+                .unwrap()
+        };
+        let out = run_ranks(2, |ctx| {
+            let comms = split_levels(ctx, &cfg)?;
+            parallel_transmission_k(
+                &comms,
+                &cfg,
+                |ky| {
+                    if ky == 0.0 {
+                        singular_at_zero_system()
+                    } else {
+                        healthy(ky)
+                    }
+                },
+                &kys,
+                &energies,
+                Schedule::Static,
+            )
+        })
+        .flattened();
+        for res in out.unwrap_all() {
+            // The healthy k-point solved; the dead one is a single typed
+            // entry stamped with its k value, not a group-wide failure.
+            assert_eq!(res.report.solved, 1);
+            assert_eq!(res.report.failed.len(), 1);
+            assert_eq!(res.report.failed[0].energy, 0.0, "stamped with k_y");
+            assert!(matches!(
+                res.report.failed[0].error,
+                OmenError::SingularBlock { .. }
+            ));
+            // Only the healthy k-point's weighted transmission contributes.
+            let want = 0.5 * reference[0];
+            assert!(
+                (res.transmission[0] - want).abs() < 1e-8 * (1.0 + want.abs()),
+                "{} vs {want}",
+                res.transmission[0]
+            );
+        }
     }
 }

@@ -9,8 +9,10 @@
 //! same device-simulation trick the original code relies on to converge
 //! I–V points in a handful of outer iterations.
 
-use crate::ballistic::{ballistic_solve_k, BallisticResult, Engine};
+use crate::ballistic::{ballistic_solve_k, ballistic_solve_k_scheduled, BallisticResult, Engine};
+use crate::parallel::Schedule;
 use crate::spec::{Bias, NanoTransistor};
+use omen_sched::CostModel;
 
 /// SCF control parameters.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +33,11 @@ pub struct ScfOptions {
     pub predictor: bool,
     /// Transverse k-points per transport solve (UTB devices; 1 elsewhere).
     pub n_k: usize,
+    /// Energy-sweep scheduling policy. [`Schedule::Dynamic`] orders each
+    /// sweep by a per-k cost model persisted across outer iterations, so
+    /// the measured costs of iteration *i* front-load iteration *i + 1*;
+    /// observables are bit-identical to [`Schedule::Static`].
+    pub schedule: Schedule,
 }
 
 impl Default for ScfOptions {
@@ -43,6 +50,7 @@ impl Default for ScfOptions {
             mixing: 0.8,
             predictor: true,
             n_k: 1,
+            schedule: Schedule::Static,
         }
     }
 }
@@ -96,13 +104,32 @@ pub fn self_consistent(
         }
     };
 
+    // Per-k cost models for the scheduled path: persisted across outer
+    // iterations so the measured sweep of iteration i orders iteration i+1.
+    let mut models: Vec<CostModel> = Vec::new();
+    let solve =
+        |tr: &NanoTransistor, v_atoms: &[f64], models: &mut Vec<CostModel>| match opts.schedule {
+            Schedule::Static => {
+                ballistic_solve_k(tr, v_atoms, bias, opts.engine, opts.n_energy, opts.n_k)
+            }
+            Schedule::Dynamic(_) => ballistic_solve_k_scheduled(
+                tr,
+                v_atoms,
+                bias,
+                opts.engine,
+                opts.n_energy,
+                opts.n_k,
+                models,
+            ),
+        };
+
     let mut last_transport: Option<BallisticResult> = None;
     let mut residual = f64::INFINITY;
     let mut iters = 0;
     for outer in 1..=opts.max_iter {
         iters = outer;
         let v_atoms = tr.poisson.grid.sample(&v_grid, &tr.atom_positions);
-        let result = ballistic_solve_k(tr, &v_atoms, bias, opts.engine, opts.n_energy, opts.n_k);
+        let result = solve(tr, &v_atoms, &mut models);
 
         // Deposit quantum carrier densities (per atom, in e) on the grid.
         let rho_n = tr
@@ -159,7 +186,7 @@ pub fn self_consistent(
     let transport = if residual < opts.tol_v {
         last_transport.expect("at least one transport solve")
     } else {
-        ballistic_solve_k(tr, &v_atoms, bias, opts.engine, opts.n_energy, opts.n_k)
+        solve(tr, &v_atoms, &mut models)
     };
     crate::log::emit(&format!(
         "scf V_G={:+.3} V_DS={:+.3}: {} in {iters} iters (residual {residual:.2e}), \
@@ -199,6 +226,37 @@ mod tests {
             mixing: 0.8,
             predictor: true,
             n_k: 1,
+            schedule: Schedule::Static,
+        }
+    }
+
+    #[test]
+    fn scf_schedule_does_not_change_the_answer() {
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 8);
+        spec.doping_sd = 2e-3;
+        let bias = Bias {
+            v_gate: 0.1,
+            v_ds: 0.1,
+            mu_source: -3.2,
+        };
+        let stat = self_consistent(&mut spec.clone().build(), &bias, &quick_opts(), None);
+        let opts = ScfOptions {
+            schedule: Schedule::Dynamic(omen_sched::SchedOptions::default()),
+            ..quick_opts()
+        };
+        let dynr = self_consistent(&mut spec.build(), &bias, &opts, None);
+        assert!(stat.converged && dynr.converged);
+        assert_eq!(dynr.iterations, stat.iterations);
+        assert_eq!(
+            dynr.transport.current_ua.to_bits(),
+            stat.transport.current_ua.to_bits(),
+            "scheduled SCF must be bit-identical: {} vs {}",
+            dynr.transport.current_ua,
+            stat.transport.current_ua
+        );
+        for (a, b) in dynr.v_grid.iter().zip(&stat.v_grid) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -28,6 +28,7 @@ pub struct Comm<'a> {
     my_index: usize,
     comm_id: u64,
     op_counter: RefCell<u64>,
+    epoch_counter: RefCell<u64>,
 }
 
 impl<'a> Comm<'a> {
@@ -41,6 +42,7 @@ impl<'a> Comm<'a> {
             my_index,
             comm_id: 1,
             op_counter: RefCell::new(0),
+            epoch_counter: RefCell::new(0),
         }
     }
 
@@ -57,6 +59,28 @@ impl<'a> Comm<'a> {
     /// Global rank of local member `i`.
     pub fn global_rank(&self, i: usize) -> usize {
         self.members[i]
+    }
+
+    /// Advances and returns this communicator's *epoch* counter — a
+    /// lockstep sequence number for sweep-scoped point-to-point protocols
+    /// (e.g. the `omen-sched` coordinator/worker rounds). Like the
+    /// collective op counter, it never travels on the wire by itself:
+    /// every member advancing it in the same SPMD order yields the same
+    /// value on every rank without communication, and protocols stamp
+    /// their messages with it so traffic from a superseded round is
+    /// recognized instead of corrupting the current one.
+    pub fn next_epoch(&self) -> u64 {
+        let mut c = self.epoch_counter.borrow_mut();
+        *c += 1;
+        *c
+    }
+
+    /// Folds dynamic-scheduler accounting into this rank's
+    /// [`crate::CommStats`]. Called once per sweep by the `omen-sched`
+    /// coordinator, so fleet-wide totals (`RunOutput::total_stats`) count
+    /// each re-issue exactly once.
+    pub fn record_sched(&self, reissues: u64, stale: u64) {
+        self.ctx.record_sched(reissues, stale);
     }
 
     fn next_op(&self) -> u64 {
@@ -82,6 +106,36 @@ impl<'a> Comm<'a> {
     pub fn recv(&self, from_local: usize, tag: u64) -> OmenResult<Vec<u8>> {
         let t = (1 << 62) | ((self.comm_id & 0x3FFF_FFFF) << 24) | (tag & 0xFF_FFFF);
         self.ctx.recv_internal(self.members[from_local], t)
+    }
+
+    /// Any-source receive on this communicator: the next message carrying
+    /// `tag` from *any* member, waiting at most `timeout`. Returns the
+    /// sender's *local* rank with the payload, or `None` when the poll
+    /// window elapsed. Buffered matches drain lowest-sender-first (see
+    /// [`RankCtx::try_recv_any`]).
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ChannelClosed`] when the runtime is tearing down;
+    /// [`OmenError::Deserialize`] when a matching message arrived from a
+    /// rank outside this communicator (a tag-namespace violation).
+    pub fn try_recv_any(
+        &self,
+        tag: u64,
+        timeout: std::time::Duration,
+    ) -> OmenResult<Option<(usize, Vec<u8>)>> {
+        let t = (1 << 62) | ((self.comm_id & 0x3FFF_FFFF) << 24) | (tag & 0xFF_FFFF);
+        match self.ctx.try_recv_any_internal(t, timeout)? {
+            None => Ok(None),
+            Some((global, data)) => {
+                let local = self.members.iter().position(|&g| g == global).ok_or(
+                    OmenError::Deserialize {
+                        context: "any-source sender not a member of this communicator",
+                    },
+                )?;
+                Ok(Some((local, data)))
+            }
+        }
     }
 
     /// Received-but-unconsumed messages in this rank's out-of-order buffer
@@ -220,6 +274,7 @@ impl<'a> Comm<'a> {
             my_index,
             comm_id,
             op_counter: RefCell::new(0),
+            epoch_counter: RefCell::new(0),
         })
     }
 }
@@ -294,6 +349,34 @@ mod tests {
             data[0] as usize
         });
         assert_eq!(out.unwrap_all(), vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn comm_try_recv_any_reports_local_ranks() {
+        use std::time::Duration;
+        // 4 ranks split into pairs; the pair leader collects one any-source
+        // message and must see the sender's *local* rank (1), not global.
+        let out = run_ranks(4, |ctx| {
+            let w = Comm::world(ctx);
+            let sub = w.split((ctx.rank() / 2) as u64, 0).unwrap();
+            if sub.rank() == 0 {
+                let (from, data) = sub
+                    .try_recv_any(3, Duration::from_secs(5))
+                    .unwrap()
+                    .expect("partner sends promptly");
+                assert_eq!(from, 1);
+                assert_eq!(data, vec![ctx.rank() as u8 + 1]);
+                assert!(sub
+                    .try_recv_any(3, Duration::from_millis(5))
+                    .unwrap()
+                    .is_none());
+                1
+            } else {
+                sub.send(0, 3, vec![ctx.rank() as u8]);
+                0
+            }
+        });
+        assert_eq!(out.unwrap_all().iter().sum::<i32>(), 2);
     }
 
     #[test]

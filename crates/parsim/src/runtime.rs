@@ -60,6 +60,12 @@ pub struct CommStats {
     pub barriers: u64,
     /// Collective operations (allreduce/bcast/gather) participated in.
     pub collectives: u64,
+    /// Dynamic-scheduler work-unit re-issues (failure retries plus
+    /// speculative straggler copies) coordinated by this rank.
+    pub sched_reissues: u64,
+    /// Dynamic-scheduler messages dropped or refused because they carried
+    /// a superseded sweep epoch.
+    pub sched_stale: u64,
 }
 
 impl CommStats {
@@ -70,6 +76,8 @@ impl CommStats {
             bytes_sent: self.bytes_sent + o.bytes_sent,
             barriers: self.barriers + o.barriers,
             collectives: self.collectives + o.collectives,
+            sched_reissues: self.sched_reissues + o.sched_reissues,
+            sched_stale: self.sched_stale + o.sched_stale,
         }
     }
 }
@@ -229,6 +237,14 @@ impl RankCtx {
         *self.stats.borrow()
     }
 
+    /// Folds dynamic-scheduler accounting (work-unit re-issues, stale-epoch
+    /// messages) into this rank's counters.
+    pub(crate) fn record_sched(&self, reissues: u64, stale: u64) {
+        let mut s = self.stats.borrow_mut();
+        s.sched_reissues += reissues;
+        s.sched_stale += stale;
+    }
+
     /// Number of received-but-unconsumed messages sitting in the
     /// out-of-order buffer. A correct SPMD protocol drains to zero at its
     /// synchronization points; a nonzero value after a solve indicates a
@@ -317,6 +333,77 @@ impl RankCtx {
             };
             if msg.from == from && msg.tag == tag {
                 return Ok(msg.data);
+            }
+            self.pending
+                .borrow_mut()
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.data);
+        }
+    }
+
+    /// Non-blocking-ish any-source receive: returns the next message
+    /// carrying `tag` from *any* rank, waiting at most `timeout` for one to
+    /// arrive. `Ok(None)` means the poll window elapsed with no match — the
+    /// caller keeps control instead of deadlocking, which is what lets a
+    /// work-scheduling coordinator interleave straggler detection with
+    /// message service. When several sources already have a matching
+    /// message buffered, the lowest source rank wins (deterministic drain
+    /// order). Non-matching arrivals are parked in the out-of-order buffer
+    /// exactly like [`Self::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::ChannelClosed`] when every sender to this rank dropped
+    /// while it was polling (the runtime is tearing down); the `from` field
+    /// carries this rank's own id since the source was unconstrained.
+    pub fn try_recv_any(
+        &self,
+        tag: u64,
+        timeout: Duration,
+    ) -> OmenResult<Option<(usize, Vec<u8>)>> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must stay below 2^63");
+        self.try_recv_any_internal(tag, timeout)
+    }
+
+    pub(crate) fn try_recv_any_internal(
+        &self,
+        tag: u64,
+        timeout: Duration,
+    ) -> OmenResult<Option<(usize, Vec<u8>)>> {
+        // Buffered matches first, lowest source rank first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            let source = pending
+                .iter()
+                .filter(|((_, t), q)| *t == tag && !q.is_empty())
+                .map(|((from, _), _)| *from)
+                .min();
+            if let Some(from) = source {
+                if let Some(q) = pending.get_mut(&(from, tag)) {
+                    if let Some(d) = q.pop_front() {
+                        return Ok(Some((from, d)));
+                    }
+                }
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let msg = match self.receiver.recv_timeout(remaining) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(OmenError::ChannelClosed {
+                        rank: self.rank,
+                        from: self.rank,
+                        tag,
+                        pending: self.pending_messages(),
+                    });
+                }
+            };
+            if msg.tag == tag {
+                return Ok(Some((msg.from, msg.data)));
             }
             self.pending
                 .borrow_mut()
@@ -827,6 +914,71 @@ mod tests {
             }
         });
         assert_eq!(out.unwrap_all(), vec![0, 1]);
+    }
+
+    #[test]
+    fn try_recv_any_matches_any_source_and_times_out() {
+        let out = run_ranks(3, |ctx| {
+            if ctx.rank() == 0 {
+                // Collect one tagged message from each peer, source unknown
+                // a priori; then confirm the poll window expires cleanly.
+                let mut froms = Vec::new();
+                for _ in 0..2 {
+                    let (from, data) = ctx
+                        .try_recv_any(5, Duration::from_secs(5))
+                        .unwrap()
+                        .expect("peers send promptly");
+                    assert_eq!(data, vec![from as u8]);
+                    froms.push(from);
+                }
+                froms.sort_unstable();
+                assert_eq!(froms, vec![1, 2]);
+                assert!(ctx
+                    .try_recv_any(5, Duration::from_millis(10))
+                    .unwrap()
+                    .is_none());
+                1
+            } else {
+                ctx.send(0, 5, vec![ctx.rank() as u8]);
+                0
+            }
+        });
+        assert_eq!(out.unwrap_all().iter().sum::<i32>(), 1);
+    }
+
+    #[test]
+    fn try_recv_any_drains_buffer_lowest_source_first() {
+        let out = run_ranks(3, |ctx| {
+            if ctx.rank() == 0 {
+                // Park both messages in the out-of-order buffer via a recv
+                // on an unrelated tag, then drain with any-source.
+                ctx.recv(1, 9).unwrap();
+                assert_eq!(ctx.pending_messages(), 2);
+                let (a, _) = ctx
+                    .try_recv_any(5, Duration::from_secs(1))
+                    .unwrap()
+                    .unwrap();
+                let (b, _) = ctx
+                    .try_recv_any(5, Duration::from_secs(1))
+                    .unwrap()
+                    .unwrap();
+                assert_eq!((a, b), (1, 2), "lowest source drains first");
+                1
+            } else if ctx.rank() == 2 {
+                // Send first, then release rank 1 — the causal chain makes
+                // the arrival order at rank 0 deterministic.
+                ctx.send(0, 5, vec![2]);
+                ctx.send(1, 8, vec![]);
+                0
+            } else {
+                ctx.recv(2, 8).unwrap();
+                ctx.send(0, 5, vec![1]);
+                // The unrelated unblocking message, last in rank 0's queue.
+                ctx.send(0, 9, vec![0]);
+                0
+            }
+        });
+        assert_eq!(out.unwrap_all().iter().sum::<i32>(), 1);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Per-unit cost model: a grid-position seed refined by an EWMA ledger of
+//! measured solve times.
+//!
+//! Per-energy-point cost varies wildly in practice — Sancho-Rubio iteration
+//! counts blow up near subband edges, adaptive refinement clusters points
+//! at resonances — so a static block distribution leaves whole groups idle
+//! behind one slow point. The scheduler instead ranks units by *predicted*
+//! cost: a relative seed derived from grid position, replaced by an
+//! exponentially weighted moving average of measured seconds once the unit
+//! (or its recurrence in a later SCF/I–V iteration) has actually been
+//! solved. Seeds are unitless; the model keeps a running calibration
+//! (mean measured seconds per unit of seed) so predictions in *seconds* —
+//! needed by straggler detection — only exist after real measurements.
+
+/// EWMA smoothing factor: weight of the newest measurement.
+const DEFAULT_ALPHA: f64 = 0.4;
+
+/// Per-unit cost predictions, indexed by canonical unit id.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Relative (unitless) prior cost per unit.
+    seed: Vec<f64>,
+    /// Measured EWMA seconds per unit, `NaN` until first observed.
+    ewma: Vec<f64>,
+    /// EWMA smoothing factor in `(0, 1]`.
+    alpha: f64,
+    /// Sum of first-observation seconds and of the matching seeds, for the
+    /// seed→seconds calibration.
+    cal_secs: f64,
+    cal_seed: f64,
+    /// Number of observations folded in (all units, all repeats).
+    observations: usize,
+}
+
+impl CostModel {
+    /// A flat prior: every unit predicted equally expensive.
+    pub fn uniform(n: usize) -> CostModel {
+        CostModel::from_seed(vec![1.0; n])
+    }
+
+    /// A prior from explicit per-unit relative weights (e.g. heavier near
+    /// a band edge where lead decimation iterates longer). Weights must be
+    /// positive and finite.
+    pub fn from_seed(seed: Vec<f64>) -> CostModel {
+        assert!(
+            seed.iter().all(|&s| s.is_finite() && s > 0.0),
+            "cost seeds must be positive and finite"
+        );
+        let n = seed.len();
+        CostModel {
+            seed,
+            ewma: vec![f64::NAN; n],
+            alpha: DEFAULT_ALPHA,
+            cal_secs: 0.0,
+            cal_seed: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// A band-edge-weighted prior over an energy sweep: units near the low
+    /// edge of the window (where subband onsets cluster and the Sancho-Rubio
+    /// decimation converges slowest) seeded up to `1 + skew` times the cost
+    /// of the high edge, linearly interpolated.
+    pub fn band_edge(n_energy: usize, skew: f64) -> CostModel {
+        assert!(skew >= 0.0 && skew.is_finite());
+        let denom = (n_energy.max(2) - 1) as f64;
+        CostModel::from_seed(
+            (0..n_energy)
+                .map(|i| 1.0 + skew * (1.0 - i as f64 / denom))
+                .collect(),
+        )
+    }
+
+    /// Number of units the model covers.
+    pub fn len(&self) -> usize {
+        self.seed.len()
+    }
+
+    /// Whether the model covers no units.
+    pub fn is_empty(&self) -> bool {
+        self.seed.is_empty()
+    }
+
+    /// Folds a measured solve time (seconds) for unit `id` into the ledger.
+    pub fn observe(&mut self, id: usize, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        let prev = self.ewma[id];
+        if prev.is_nan() {
+            self.ewma[id] = secs;
+            self.cal_secs += secs;
+            self.cal_seed += self.seed[id];
+        } else {
+            self.ewma[id] = self.alpha * secs + (1.0 - self.alpha) * prev;
+        }
+        self.observations += 1;
+    }
+
+    /// Relative predicted cost of unit `id`: the measured EWMA when one
+    /// exists, the seed otherwise. Only comparable *within* one model.
+    pub fn predict(&self, id: usize) -> f64 {
+        let e = self.ewma[id];
+        if e.is_nan() {
+            // Scale the seed onto the measured axis once calibrated so
+            // mixed (measured + unmeasured) comparisons stay meaningful.
+            match self.calibration() {
+                Some(c) => self.seed[id] * c,
+                None => self.seed[id],
+            }
+        } else {
+            e
+        }
+    }
+
+    /// Predicted *seconds* for unit `id`, available only once at least one
+    /// real measurement calibrated the model. Straggler detection keys off
+    /// this — with no calibration there is no basis to call anything slow.
+    pub fn predict_secs(&self, id: usize) -> Option<f64> {
+        let e = self.ewma[id];
+        if !e.is_nan() {
+            return Some(e);
+        }
+        self.calibration().map(|c| self.seed[id] * c)
+    }
+
+    /// Mean measured seconds per unit of seed (first observations only).
+    fn calibration(&self) -> Option<f64> {
+        if self.cal_seed > 0.0 && self.cal_secs > 0.0 {
+            Some(self.cal_secs / self.cal_seed)
+        } else {
+            None
+        }
+    }
+
+    /// Total observations folded in so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Unit ids sorted most-expensive-first (ties by ascending id): the
+    /// LPT-style hand-out order that keeps the longest tasks from landing
+    /// last on an otherwise-drained queue.
+    pub fn descending_order(&self, ids: impl Iterator<Item = usize>) -> Vec<usize> {
+        let mut order: Vec<usize> = ids.collect();
+        order.sort_by(|&a, &b| {
+            self.predict(b)
+                .partial_cmp(&self.predict(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_then_ewma() {
+        let mut m = CostModel::uniform(3);
+        assert_eq!(m.predict(0), 1.0);
+        assert!(m.predict_secs(0).is_none(), "uncalibrated model");
+        m.observe(1, 2.0);
+        assert_eq!(m.predict(1), 2.0);
+        // Calibration: 2.0 s per 1.0 seed → unmeasured units predict 2 s.
+        assert!((m.predict_secs(0).unwrap() - 2.0).abs() < 1e-12);
+        m.observe(1, 4.0);
+        // EWMA with alpha 0.4: 0.4·4 + 0.6·2 = 2.8.
+        assert!((m.predict(1) - 2.8).abs() < 1e-12);
+        assert_eq!(m.observations(), 2);
+    }
+
+    #[test]
+    fn band_edge_seed_is_monotone() {
+        let m = CostModel::band_edge(5, 1.0);
+        let p: Vec<f64> = (0..5).map(|i| m.predict(i)).collect();
+        assert!((p[0] - 2.0).abs() < 1e-12);
+        assert!((p[4] - 1.0).abs() < 1e-12);
+        assert!(p.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn descending_order_breaks_ties_by_id() {
+        let mut m = CostModel::uniform(4);
+        m.observe(2, 5.0);
+        m.observe(0, 1.0);
+        // Calibration is (5+1)/2 = 3 s/seed: unmeasured units 1 and 3
+        // predict 3 s (tie broken by id), between the two measured units.
+        let order = m.descending_order(0..4);
+        assert_eq!(order, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn bad_observations_are_ignored() {
+        let mut m = CostModel::uniform(2);
+        m.observe(0, f64::NAN);
+        m.observe(0, -1.0);
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.predict(0), 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # omen-sched — dynamic cost-model work scheduler
+//!
+//! The paper's production runs keep 222,720 cores busy because the
+//! (bias × momentum × energy) task bag is *self-scheduled*: per-point cost
+//! varies by orders of magnitude (Sancho–Rubio iteration counts explode
+//! near subband edges), so any static partition strands whole groups
+//! behind one slow point. This crate supplies that layer for the
+//! threads-as-ranks runtime of `omen-parsim`:
+//!
+//! * [`WorkUnit`] / [`UnitGrid`] — the canonical index space of a sweep;
+//!   the fixed bias-major/k/energy linear order every merge respects.
+//! * [`CostModel`] — per-unit predictions: a grid-position seed (e.g.
+//!   [`CostModel::band_edge`]) refined by an EWMA ledger of measured solve
+//!   seconds, with a seed→seconds calibration that gates straggler
+//!   detection.
+//! * [`dynamic_sweep`] — the pull-based coordinator/worker engine: chunked
+//!   hand-out over typed, fingerprinted messages ([`proto`]),
+//!   heartbeat-based liveness, bounded re-issue of failed or straggling
+//!   units, dead-worker isolation, and a deterministic canonical-order
+//!   merge distributed point-to-point so every member returns the same
+//!   [`SweepOutcome`] — bit-identical values to a static schedule of the
+//!   same pure solve.
+//! * [`local_sweep`] — the serial analogue used by the single-process
+//!   drivers: cost-descending execution, canonical merge, per-unit fault
+//!   isolation into a [`omen_num::SweepReport`].
+//!
+//! Failed units never abort a sweep: after `max_reissue` attempts they are
+//! recorded as typed entries in the outcome's report (`values[id] = None`)
+//! and the remaining units proceed — the same per-point fault-tolerance
+//! contract the static solver stack already honors.
+
+pub mod cost;
+pub mod dynamic;
+pub mod proto;
+pub mod unit;
+
+pub use cost::CostModel;
+pub use dynamic::{
+    dynamic_sweep, imbalance_ratio, local_sweep, LocalOutcome, SchedOptions, SchedStats,
+    SweepOutcome,
+};
+pub use unit::{UnitGrid, WorkUnit};

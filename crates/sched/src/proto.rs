@@ -1,0 +1,713 @@
+//! Wire protocol of the coordinator/worker scheduler.
+//!
+//! Every message travels over `omen-parsim` point-to-point sends on two
+//! typed tags — [`TAG_CTRL`] (worker → coordinator) and [`TAG_WORK`]
+//! (coordinator → worker) — and opens with a fingerprint header in the
+//! spirit of the collective fingerprints of `omen-parsim`: a magic byte, a
+//! protocol version and the message kind. A stray or stale payload decodes
+//! into a typed [`OmenError::Deserialize`] instead of corrupting the
+//! schedule.
+//!
+//! Layout is little-endian throughout, mirroring the collective wire
+//! format (DESIGN.md §9). Strings are `u32` length + UTF-8. Typed solver
+//! errors cross the wire through [`encode_error`]/[`decode_error`]: the
+//! per-point failure variants round-trip exactly, so a failed work unit
+//! lands in the coordinator's `SweepReport` with the *same* typed error a
+//! static sweep would have recorded locally.
+
+use omen_num::{FailedPoint, OmenError, OmenResult};
+
+/// Worker → coordinator tag (requests, heartbeats, results).
+pub const TAG_CTRL: u64 = 0x5C0;
+/// Coordinator → worker tag (assignments, termination).
+pub const TAG_WORK: u64 = 0x5C1;
+
+/// First header byte of every scheduler message.
+const MAGIC: u8 = 0xC5;
+/// Protocol version carried in the second header byte.
+const VERSION: u8 = 1;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_HEARTBEAT: u8 = 2;
+const KIND_RESULT: u8 = 3;
+const KIND_ASSIGN: u8 = 4;
+const KIND_FIN: u8 = 5;
+const KIND_STALE: u8 = 6;
+
+/// A message a worker sends the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerMsg {
+    /// Pull request for a chunk of work; carries the worker's cumulative
+    /// busy seconds (its side of the cost ledger).
+    Request {
+        /// Sweep epoch this worker is participating in.
+        epoch: u64,
+        /// Seconds this worker has spent solving units so far.
+        busy_s: f64,
+    },
+    /// Sent immediately before starting a unit: doubles as a liveness
+    /// signal and starts the coordinator's straggler countdown at the
+    /// moment work actually begins rather than at hand-out.
+    Heartbeat {
+        /// Sweep epoch this worker is participating in.
+        epoch: u64,
+        /// Canonical unit id being started.
+        unit: usize,
+    },
+    /// Outcome of one unit.
+    Result {
+        /// Sweep epoch the unit belongs to — a late copy from a superseded
+        /// sweep is dropped by the coordinator instead of being merged into
+        /// the wrong sweep's values.
+        epoch: u64,
+        /// Canonical unit id.
+        unit: usize,
+        /// Measured solve seconds (feeds the EWMA ledger).
+        elapsed_s: f64,
+        /// The solved payload, or the typed failure.
+        outcome: Result<Vec<f64>, OmenError>,
+    },
+}
+
+/// A message the coordinator sends a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordMsg {
+    /// A chunk of unit ids to solve; empty means "no work right now,
+    /// re-request after a short pause".
+    Assign {
+        /// Echo of the requester's sweep epoch.
+        epoch: u64,
+        /// Canonical unit ids, in hand-out order.
+        units: Vec<usize>,
+    },
+    /// Terminal message: the complete merged sweep, identical for every
+    /// worker regardless of who solved what.
+    Fin {
+        /// Sweep epoch being terminated.
+        epoch: u64,
+        /// Encoded [`crate::SweepOutcome`] (see [`encode_outcome`]).
+        payload: Vec<u8>,
+    },
+    /// The requester's sweep epoch was superseded (it was declared dead and
+    /// the sweep finished without it): the worker must abandon its sweep
+    /// with a typed error instead of waiting for work that will never come.
+    Stale {
+        /// The superseded epoch being refused.
+        epoch: u64,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian reader/writer
+// ---------------------------------------------------------------------------
+
+/// Cursor over a received payload; every accessor returns `None` on
+/// truncation so decoding stays panic-free.
+pub(crate) struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Reader<'a> {
+        Reader { b, at: 0 }
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        let v = *self.b.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let s = self.b.get(self.at..self.at + 8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(s);
+        self.at += 8;
+        Some(u64::from_le_bytes(raw))
+    }
+
+    pub(crate) fn usize(&mut self) -> Option<usize> {
+        self.u64().map(|v| v as usize)
+    }
+
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    pub(crate) fn f64s(&mut self, n: usize) -> Option<Vec<f64>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Some(out)
+    }
+
+    pub(crate) fn string(&mut self) -> Option<String> {
+        let len = self.usize()?;
+        let s = self.b.get(self.at..self.at + len)?;
+        self.at += len;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.at == self.b.len()
+    }
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn header(kind: u8) -> Vec<u8> {
+    vec![MAGIC, VERSION, kind]
+}
+
+fn open(b: &[u8]) -> OmenResult<(u8, Reader<'_>)> {
+    let mut r = Reader::new(b);
+    let (magic, version, kind) = match (r.u8(), r.u8(), r.u8()) {
+        (Some(m), Some(v), Some(k)) => (m, v, k),
+        _ => {
+            return Err(OmenError::Deserialize {
+                context: "sched message header (truncated)",
+            })
+        }
+    };
+    if magic != MAGIC || version != VERSION {
+        return Err(OmenError::Deserialize {
+            context: "sched message header (bad magic/version)",
+        });
+    }
+    Ok((kind, r))
+}
+
+// ---------------------------------------------------------------------------
+// Typed-error codec
+// ---------------------------------------------------------------------------
+
+const ERR_SINGULAR: u8 = 1;
+const ERR_LEAD: u8 = 2;
+const ERR_RANK_FAILED: u8 = 3;
+const ERR_DIVERGENCE: u8 = 4;
+const ERR_RECV_TIMEOUT: u8 = 5;
+const ERR_CHANNEL_CLOSED: u8 = 6;
+const ERR_OPAQUE: u8 = 7;
+
+/// Serializes a typed error for the result/report wire. The per-point
+/// solver failures and the communicator faults round-trip exactly; the
+/// remaining variants (whose `&'static str` fields cannot be
+/// reconstructed) degrade to [`OmenError::RankFailed`] carrying
+/// `origin_rank` and the original error's display text.
+pub fn encode_error(e: &OmenError, origin_rank: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    match e {
+        OmenError::SingularBlock {
+            block,
+            energy,
+            pivot,
+            magnitude,
+        } => {
+            out.push(ERR_SINGULAR);
+            put_u64(&mut out, *block as u64);
+            put_f64(&mut out, *energy);
+            put_u64(&mut out, *pivot as u64);
+            put_f64(&mut out, *magnitude);
+        }
+        OmenError::LeadNotConverged { energy, iters } => {
+            out.push(ERR_LEAD);
+            put_f64(&mut out, *energy);
+            put_u64(&mut out, *iters as u64);
+        }
+        OmenError::RankFailed { rank, detail } => {
+            out.push(ERR_RANK_FAILED);
+            put_u64(&mut out, *rank as u64);
+            put_string(&mut out, detail);
+        }
+        OmenError::ScheduleDivergence {
+            rank,
+            expected,
+            got,
+        } => {
+            out.push(ERR_DIVERGENCE);
+            put_u64(&mut out, *rank as u64);
+            put_string(&mut out, expected);
+            put_string(&mut out, got);
+        }
+        OmenError::RecvTimeout {
+            rank,
+            from,
+            tag,
+            waited_ms,
+            pending,
+        } => {
+            out.push(ERR_RECV_TIMEOUT);
+            for v in [
+                *rank as u64,
+                *from as u64,
+                *tag,
+                *waited_ms,
+                *pending as u64,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        OmenError::ChannelClosed {
+            rank,
+            from,
+            tag,
+            pending,
+        } => {
+            out.push(ERR_CHANNEL_CLOSED);
+            for v in [*rank as u64, *from as u64, *tag, *pending as u64] {
+                put_u64(&mut out, v);
+            }
+        }
+        other => {
+            out.push(ERR_OPAQUE);
+            put_u64(&mut out, origin_rank as u64);
+            put_string(&mut out, &other.to_string());
+        }
+    }
+    out
+}
+
+pub(crate) fn decode_error_from(r: &mut Reader<'_>) -> Option<OmenError> {
+    Some(match r.u8()? {
+        ERR_SINGULAR => OmenError::SingularBlock {
+            block: r.usize()?,
+            energy: r.f64()?,
+            pivot: r.usize()?,
+            magnitude: r.f64()?,
+        },
+        ERR_LEAD => OmenError::LeadNotConverged {
+            energy: r.f64()?,
+            iters: r.usize()?,
+        },
+        ERR_RANK_FAILED => OmenError::RankFailed {
+            rank: r.usize()?,
+            detail: r.string()?,
+        },
+        ERR_DIVERGENCE => OmenError::ScheduleDivergence {
+            rank: r.usize()?,
+            expected: r.string()?,
+            got: r.string()?,
+        },
+        ERR_RECV_TIMEOUT => OmenError::RecvTimeout {
+            rank: r.usize()?,
+            from: r.usize()?,
+            tag: r.u64()?,
+            waited_ms: r.u64()?,
+            pending: r.usize()?,
+        },
+        ERR_CHANNEL_CLOSED => OmenError::ChannelClosed {
+            rank: r.usize()?,
+            from: r.usize()?,
+            tag: r.u64()?,
+            pending: r.usize()?,
+        },
+        ERR_OPAQUE => OmenError::RankFailed {
+            rank: r.usize()?,
+            detail: r.string()?,
+        },
+        _ => return None,
+    })
+}
+
+/// Decodes an error blob produced by [`encode_error`].
+///
+/// # Errors
+///
+/// [`OmenError::Deserialize`] when the blob is truncated or carries an
+/// unknown error kind.
+pub fn decode_error(b: &[u8]) -> OmenResult<OmenError> {
+    decode_error_from(&mut Reader::new(b)).ok_or(OmenError::Deserialize {
+        context: "sched wire error blob",
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Failure-list codec (SweepReport exchange)
+// ---------------------------------------------------------------------------
+
+/// Serializes a list of abandoned sweep points so a static schedule can
+/// exchange its per-group fault ledger across a communicator (gather +
+/// broadcast) and every rank ends up with the identical merged
+/// `SweepReport`. Typed errors travel through [`encode_error`].
+pub fn encode_failures(failed: &[FailedPoint], origin_rank: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, failed.len() as u64);
+    for f in failed {
+        put_f64(&mut out, f.energy);
+        out.extend_from_slice(&encode_error(&f.error, origin_rank));
+    }
+    out
+}
+
+/// Decodes a failure list produced by [`encode_failures`].
+///
+/// # Errors
+///
+/// [`OmenError::Deserialize`] when the blob is truncated, carries an
+/// unknown error kind, or has trailing bytes.
+pub fn decode_failures(b: &[u8]) -> OmenResult<Vec<FailedPoint>> {
+    let bad = || OmenError::Deserialize {
+        context: "sched failure-list blob",
+    };
+    let mut r = Reader::new(b);
+    let n = r.usize().ok_or_else(bad)?;
+    let mut out = Vec::with_capacity(n.min(b.len()));
+    for _ in 0..n {
+        let energy = r.f64().ok_or_else(bad)?;
+        let error = decode_error_from(&mut r).ok_or_else(bad)?;
+        out.push(FailedPoint { energy, error });
+    }
+    if !r.done() {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------------
+
+/// Serializes a worker message. `origin_rank` stamps opaque error
+/// fallbacks with the failing worker's global rank.
+pub fn encode_worker(msg: &WorkerMsg, origin_rank: usize) -> Vec<u8> {
+    match msg {
+        WorkerMsg::Request { epoch, busy_s } => {
+            let mut out = header(KIND_REQUEST);
+            put_u64(&mut out, *epoch);
+            put_f64(&mut out, *busy_s);
+            out
+        }
+        WorkerMsg::Heartbeat { epoch, unit } => {
+            let mut out = header(KIND_HEARTBEAT);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *unit as u64);
+            out
+        }
+        WorkerMsg::Result {
+            epoch,
+            unit,
+            elapsed_s,
+            outcome,
+        } => {
+            let mut out = header(KIND_RESULT);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *unit as u64);
+            put_f64(&mut out, *elapsed_s);
+            match outcome {
+                Ok(values) => {
+                    out.push(1);
+                    put_u64(&mut out, values.len() as u64);
+                    for &v in values {
+                        put_f64(&mut out, v);
+                    }
+                }
+                Err(e) => {
+                    out.push(0);
+                    out.extend_from_slice(&encode_error(e, origin_rank));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Decodes a worker message.
+///
+/// # Errors
+///
+/// [`OmenError::Deserialize`] on truncation, trailing bytes, a bad header
+/// or an unknown kind.
+pub fn decode_worker(b: &[u8]) -> OmenResult<WorkerMsg> {
+    let (kind, mut r) = open(b)?;
+    let msg = match kind {
+        KIND_REQUEST => (|| {
+            Some(WorkerMsg::Request {
+                epoch: r.u64()?,
+                busy_s: r.f64()?,
+            })
+        })(),
+        KIND_HEARTBEAT => (|| {
+            Some(WorkerMsg::Heartbeat {
+                epoch: r.u64()?,
+                unit: r.usize()?,
+            })
+        })(),
+        KIND_RESULT => (|| {
+            let epoch = r.u64()?;
+            let unit = r.usize()?;
+            let elapsed_s = r.f64()?;
+            let outcome = match r.u8()? {
+                1 => {
+                    let n = r.usize()?;
+                    Ok(r.f64s(n)?)
+                }
+                0 => Err(decode_error_from(&mut r)?),
+                _ => return None,
+            };
+            Some(WorkerMsg::Result {
+                epoch,
+                unit,
+                elapsed_s,
+                outcome,
+            })
+        })(),
+        _ => None,
+    };
+    match msg {
+        Some(m) if r.done() => Ok(m),
+        _ => Err(OmenError::Deserialize {
+            context: "sched worker message",
+        }),
+    }
+}
+
+/// Serializes a coordinator message.
+pub fn encode_coord(msg: &CoordMsg) -> Vec<u8> {
+    match msg {
+        CoordMsg::Assign { epoch, units } => {
+            let mut out = header(KIND_ASSIGN);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, units.len() as u64);
+            for &u in units {
+                put_u64(&mut out, u as u64);
+            }
+            out
+        }
+        CoordMsg::Fin { epoch, payload } => {
+            let mut out = header(KIND_FIN);
+            put_u64(&mut out, *epoch);
+            out.extend_from_slice(payload);
+            out
+        }
+        CoordMsg::Stale { epoch } => {
+            let mut out = header(KIND_STALE);
+            put_u64(&mut out, *epoch);
+            out
+        }
+    }
+}
+
+/// Decodes a coordinator message.
+///
+/// # Errors
+///
+/// [`OmenError::Deserialize`] on truncation, a bad header or an unknown
+/// kind.
+pub fn decode_coord(b: &[u8]) -> OmenResult<CoordMsg> {
+    let (kind, mut r) = open(b)?;
+    match kind {
+        KIND_ASSIGN => {
+            let msg = (|| {
+                let epoch = r.u64()?;
+                let n = r.usize()?;
+                let mut units = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    units.push(r.usize()?);
+                }
+                Some(CoordMsg::Assign { epoch, units })
+            })();
+            match msg {
+                Some(m) if r.done() => Ok(m),
+                _ => Err(OmenError::Deserialize {
+                    context: "sched assign message",
+                }),
+            }
+        }
+        KIND_FIN => match r.u64() {
+            Some(epoch) => Ok(CoordMsg::Fin {
+                epoch,
+                payload: b[11..].to_vec(),
+            }),
+            None => Err(OmenError::Deserialize {
+                context: "sched fin message",
+            }),
+        },
+        KIND_STALE => match r.u64() {
+            Some(epoch) if r.done() => Ok(CoordMsg::Stale { epoch }),
+            _ => Err(OmenError::Deserialize {
+                context: "sched stale message",
+            }),
+        },
+        _ => Err(OmenError::Deserialize {
+            context: "sched coordinator message",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_messages_roundtrip() {
+        let msgs = [
+            WorkerMsg::Request {
+                epoch: 3,
+                busy_s: 1.25,
+            },
+            WorkerMsg::Heartbeat { epoch: 3, unit: 42 },
+            WorkerMsg::Result {
+                epoch: 3,
+                unit: 7,
+                elapsed_s: 0.125,
+                outcome: Ok(vec![1.0, -2.5, 0.0]),
+            },
+            WorkerMsg::Result {
+                epoch: 4,
+                unit: 9,
+                elapsed_s: 0.5,
+                outcome: Err(OmenError::LeadNotConverged {
+                    energy: 0.25,
+                    iters: 200,
+                }),
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(&decode_worker(&encode_worker(m, 3)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn coord_messages_roundtrip() {
+        let msgs = [
+            CoordMsg::Assign {
+                epoch: 1,
+                units: vec![],
+            },
+            CoordMsg::Assign {
+                epoch: 2,
+                units: vec![5, 1, 9],
+            },
+            CoordMsg::Fin {
+                epoch: 2,
+                payload: vec![1, 2, 3],
+            },
+            CoordMsg::Stale { epoch: 1 },
+        ];
+        for m in &msgs {
+            assert_eq!(&decode_coord(&encode_coord(m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn typed_errors_roundtrip_exactly() {
+        let errs = [
+            OmenError::SingularBlock {
+                block: 2,
+                energy: 0.0,
+                pivot: 1,
+                magnitude: 1e-16,
+            },
+            OmenError::LeadNotConverged {
+                energy: -3.1,
+                iters: 64,
+            },
+            OmenError::RankFailed {
+                rank: 4,
+                detail: "worker panicked".into(),
+            },
+            OmenError::ScheduleDivergence {
+                rank: 1,
+                expected: "bcast#2".into(),
+                got: "gather#2".into(),
+            },
+            OmenError::RecvTimeout {
+                rank: 0,
+                from: 3,
+                tag: 9,
+                waited_ms: 100,
+                pending: 2,
+            },
+            OmenError::ChannelClosed {
+                rank: 0,
+                from: 1,
+                tag: 7,
+                pending: 0,
+            },
+        ];
+        for e in &errs {
+            assert_eq!(&decode_error(&encode_error(e, 0)).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn failure_lists_roundtrip() {
+        let failed = vec![
+            FailedPoint {
+                energy: -0.25,
+                error: OmenError::SingularBlock {
+                    block: 2,
+                    energy: -0.25,
+                    pivot: 1,
+                    magnitude: 1e-17,
+                },
+            },
+            FailedPoint {
+                energy: 0.5,
+                error: OmenError::LeadNotConverged {
+                    energy: 0.5,
+                    iters: 200,
+                },
+            },
+        ];
+        let got = decode_failures(&encode_failures(&failed, 3)).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].energy, -0.25);
+        assert!(matches!(
+            got[0].error,
+            OmenError::SingularBlock { block: 2, .. }
+        ));
+        assert!(matches!(
+            got[1].error,
+            OmenError::LeadNotConverged { iters: 200, .. }
+        ));
+        assert!(decode_failures(&[]).is_err(), "empty blob is truncated");
+        assert_eq!(decode_failures(&encode_failures(&[], 0)).unwrap(), vec![]);
+        let mut trailing = encode_failures(&failed, 3);
+        trailing.push(0);
+        assert!(decode_failures(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn static_str_errors_degrade_to_rank_failed() {
+        let e = OmenError::Deserialize { context: "probe" };
+        match decode_error(&encode_error(&e, 11)).unwrap() {
+            OmenError::RankFailed { rank, detail } => {
+                assert_eq!(rank, 11);
+                assert!(detail.contains("probe"), "display text preserved: {detail}");
+            }
+            other => panic!("expected RankFailed fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_typed() {
+        assert!(decode_worker(&[]).is_err());
+        assert!(decode_worker(&[0xC5, 1, 99]).is_err());
+        assert!(decode_worker(&[0xAA, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(decode_coord(&[0xC5, 2, 4]).is_err(), "wrong version");
+        // Trailing bytes after a well-formed request are a framing error.
+        let mut ok = encode_worker(
+            &WorkerMsg::Request {
+                epoch: 0,
+                busy_s: 0.0,
+            },
+            0,
+        );
+        ok.push(0);
+        assert!(decode_worker(&ok).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! The work-unit model: one transport task per (bias, k, energy) index.
+//!
+//! The paper's multi-level decomposition treats every (bias, momentum,
+//! energy) triple as an independent unit of work; the scheduler shares that
+//! view. Units carry *indices* into the caller's grids, never physical
+//! values — the canonical linear order over those indices (bias-major,
+//! then k, then energy) is what makes dynamically scheduled results
+//! mergeable into a bit-identical replica of the static schedule's output.
+
+/// One schedulable transport task, identified by its grid indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkUnit {
+    /// Bias-point index.
+    pub bias: usize,
+    /// Transverse momentum (k-point) index.
+    pub k: usize,
+    /// Energy-point index.
+    pub energy: usize,
+}
+
+/// The index space a sweep schedules over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitGrid {
+    /// Number of bias points.
+    pub n_bias: usize,
+    /// Number of k-points per bias point.
+    pub n_k: usize,
+    /// Number of energy points per k-point.
+    pub n_energy: usize,
+}
+
+impl UnitGrid {
+    /// A single-bias, single-k energy sweep — the common case.
+    pub fn energies(n_energy: usize) -> UnitGrid {
+        UnitGrid {
+            n_bias: 1,
+            n_k: 1,
+            n_energy,
+        }
+    }
+
+    /// Total number of units.
+    pub fn len(&self) -> usize {
+        self.n_bias * self.n_k * self.n_energy
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical linear id of `u`: bias-major, then k, then energy.
+    pub fn id(&self, u: &WorkUnit) -> usize {
+        debug_assert!(u.bias < self.n_bias && u.k < self.n_k && u.energy < self.n_energy);
+        (u.bias * self.n_k + u.k) * self.n_energy + u.energy
+    }
+
+    /// Inverse of [`Self::id`].
+    pub fn unit(&self, id: usize) -> WorkUnit {
+        debug_assert!(id < self.len());
+        WorkUnit {
+            bias: id / (self.n_k * self.n_energy),
+            k: (id / self.n_energy) % self.n_k,
+            energy: id % self.n_energy,
+        }
+    }
+
+    /// Every unit in canonical order.
+    pub fn units(&self) -> Vec<WorkUnit> {
+        (0..self.len()).map(|id| self.unit(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_id_roundtrip() {
+        let g = UnitGrid {
+            n_bias: 3,
+            n_k: 4,
+            n_energy: 5,
+        };
+        assert_eq!(g.len(), 60);
+        for id in 0..g.len() {
+            let u = g.unit(id);
+            assert_eq!(g.id(&u), id);
+        }
+        // Energy is the fastest index.
+        assert_eq!(g.unit(1).energy, 1);
+        assert_eq!(g.unit(5).k, 1);
+        assert_eq!(g.unit(20).bias, 1);
+    }
+
+    #[test]
+    fn units_are_canonical_and_complete() {
+        let g = UnitGrid::energies(7);
+        let us = g.units();
+        assert_eq!(us.len(), 7);
+        for (i, u) in us.iter().enumerate() {
+            assert_eq!((u.bias, u.k, u.energy), (0, 0, i));
+        }
+        assert!(!g.is_empty());
+        assert!(UnitGrid::energies(0).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Scheduler determinism and fault-isolation battery.
+//!
+//! The contract under test: a dynamically scheduled sweep produces values
+//! *bit-identical* to the static/serial evaluation of the same pure solve,
+//! regardless of worker count, injected per-unit delays, stragglers or
+//! duplicated copies — and a persistently failing unit is re-issued a
+//! bounded number of times, then isolated as a typed entry in the
+//! outcome's `SweepReport` instead of failing the whole sweep.
+
+use omen_parsim::{run_ranks, run_ranks_with_timeout, Comm};
+use omen_sched::{dynamic_sweep, local_sweep, CostModel, SchedOptions, SweepOutcome};
+use std::time::Duration;
+
+const N_UNITS: usize = 24;
+
+fn energy(id: usize) -> f64 {
+    -1.0 + 2.0 * id as f64 / (N_UNITS - 1) as f64
+}
+
+fn energies() -> Vec<f64> {
+    (0..N_UNITS).map(energy).collect()
+}
+
+/// The pure per-unit solve: an arbitrary but deterministic payload whose
+/// bits must survive any scheduling order.
+fn payload(id: usize) -> Vec<f64> {
+    let e = energy(id);
+    vec![e.sin() * (id as f64).sqrt(), 1.0 / (1.0 + e * e), e.exp()]
+}
+
+fn opts_fast() -> SchedOptions {
+    SchedOptions {
+        chunk_max: 3,
+        max_reissue: 2,
+        poll_ms: 2,
+        straggler_factor: 50.0,
+        straggler_min_ms: 5_000,
+        dead_after_ms: 20_000,
+    }
+}
+
+/// Runs a dynamic sweep over `ranks` threads-as-ranks, with an optional
+/// per-(rank, unit) delay injected into the solve.
+fn run_dynamic(
+    ranks: usize,
+    opts: SchedOptions,
+    delay: impl Fn(usize, usize) -> Duration + Sync,
+) -> Vec<SweepOutcome> {
+    let es = energies();
+    let out = run_ranks(ranks, |ctx| {
+        let world = Comm::world(ctx);
+        let mut model = CostModel::band_edge(N_UNITS, 2.0);
+        dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+            std::thread::sleep(delay(ctx.rank(), id));
+            Ok(payload(id))
+        })
+        .unwrap()
+    });
+    out.results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[test]
+fn dynamic_matches_serial_bit_for_bit_across_worker_counts() {
+    // Serial reference (also exercises the single-member fast path).
+    let es = energies();
+    let mut model = CostModel::band_edge(N_UNITS, 2.0);
+    let serial = local_sweep(&es, &mut model, |id| Ok(payload(id)));
+    assert!(serial.report.is_clean());
+
+    // 2 ranks = coordinator + 1 worker; 5 ranks = 4 workers with skewed
+    // injected delays (worker- and unit-dependent, so arrival order is
+    // scrambled relative to hand-out order).
+    let one_worker = run_dynamic(2, opts_fast(), |_, _| Duration::ZERO);
+    let many = run_dynamic(5, opts_fast(), |rank, id| {
+        Duration::from_micros(((rank * 7919 + id * 131) % 23) as u64 * 200)
+    });
+
+    for outcome in one_worker.iter().chain(many.iter()) {
+        assert_eq!(outcome.report.solved, N_UNITS);
+        assert!(outcome.report.failed.is_empty());
+        for id in 0..N_UNITS {
+            let got = outcome.values[id].as_deref().unwrap();
+            let want = &serial.values[id].as_deref().unwrap();
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "unit {id} not bit-identical");
+            }
+        }
+    }
+
+    // Every member of one run returns the same merged outcome.
+    assert!(many.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn repeated_sweeps_on_one_comm_stay_isolated_by_epoch() {
+    // The core drivers reuse a single communicator for many sweeps (one per
+    // k-point, one per SCF iteration). Each dynamic_sweep call must claim a
+    // fresh epoch so straggling traffic from a finished sweep can never be
+    // merged into the next one. Run three back-to-back sweeps with skewed
+    // delays and a persistent cost model, checking every sweep bit-matches
+    // the serial reference.
+    const SWEEPS: usize = 3;
+    let es = energies();
+    let opts = opts_fast();
+    let out = run_ranks(4, |ctx| {
+        let world = Comm::world(ctx);
+        let mut model = CostModel::band_edge(N_UNITS, 2.0);
+        let mut sweeps = Vec::new();
+        for s in 0..SWEEPS {
+            let o = dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+                std::thread::sleep(Duration::from_micros(
+                    ((ctx.rank() * 541 + id * 89 + s * 17) % 13) as u64 * 150,
+                ));
+                Ok(payload(id))
+            })
+            .unwrap();
+            sweeps.push(o);
+        }
+        (sweeps, model.observations())
+    });
+    let serial = {
+        let mut model = CostModel::band_edge(N_UNITS, 2.0);
+        local_sweep(&es, &mut model, |id| Ok(payload(id)))
+    };
+    for r in out.results {
+        let (sweeps, observations) = r.unwrap();
+        assert_eq!(sweeps.len(), SWEEPS);
+        for o in &sweeps {
+            assert_eq!(o.report.solved, N_UNITS);
+            assert!(o.report.failed.is_empty());
+            for id in 0..N_UNITS {
+                let got = o.values[id].as_deref().unwrap();
+                let want = serial.values[id].as_deref().unwrap();
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        // The coordinator's ledger keeps warming across sweeps.
+        let coord_obs = sweeps.iter().map(|o| o.stats.units).sum::<usize>();
+        if observations > 0 {
+            assert!(observations >= coord_obs.min(N_UNITS));
+        }
+    }
+}
+
+#[test]
+fn failing_unit_is_reissued_bounded_then_isolated() {
+    const BAD: usize = 5;
+    let es = energies();
+    let opts = opts_fast();
+    let out = run_ranks(3, |ctx| {
+        let world = Comm::world(ctx);
+        let mut model = CostModel::uniform(N_UNITS);
+        dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+            if id == BAD {
+                Err(omen_num::OmenError::LeadNotConverged {
+                    energy: energy(id),
+                    iters: 123,
+                })
+            } else {
+                Ok(payload(id))
+            }
+        })
+        .unwrap()
+    });
+    for r in out.results {
+        let o = r.unwrap();
+        // The bad unit was attempted 1 + max_reissue times, then abandoned
+        // — and only it.
+        assert_eq!(o.stats.reissued_failed, opts.max_reissue);
+        assert_eq!(o.values[BAD], None);
+        assert_eq!(o.report.solved, N_UNITS - 1);
+        assert_eq!(o.report.failed.len(), 1);
+        let f = &o.report.failed[0];
+        assert_eq!(f.energy, energy(BAD));
+        assert!(
+            matches!(
+                f.error,
+                omen_num::OmenError::LeadNotConverged { iters: 123, .. }
+            ),
+            "typed error survives the wire: {:?}",
+            f.error
+        );
+        // Healthy units are unaffected.
+        for id in (0..N_UNITS).filter(|&i| i != BAD) {
+            assert!(o.values[id].is_some(), "unit {id} must still solve");
+        }
+    }
+}
+
+#[test]
+fn dead_worker_is_isolated_and_its_units_rescheduled() {
+    // Worker (global rank 2) wedges forever on its first unit; the
+    // coordinator must declare it dead, re-issue, and finish without it.
+    // The wedged rank itself dies on the runtime receive timeout.
+    let es = energies();
+    let opts = SchedOptions {
+        chunk_max: 2,
+        max_reissue: 2,
+        poll_ms: 2,
+        straggler_factor: 1_000.0,
+        straggler_min_ms: 60_000, // keep straggler logic out of this test
+        dead_after_ms: 150,
+    };
+    let wedge = Duration::from_secs(2);
+    let out = run_ranks_with_timeout(4, Duration::from_millis(400), |ctx| {
+        let world = Comm::world(ctx);
+        let mut model = CostModel::uniform(N_UNITS);
+        dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+            if ctx.rank() == 2 {
+                std::thread::sleep(wedge);
+            } else {
+                // Slow the healthy workers slightly so the wedged worker is
+                // guaranteed to have pulled a chunk before the queue drains.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(payload(id))
+        })
+        .unwrap()
+    });
+    let mut healthy = 0;
+    for (rank, r) in out.results.into_iter().enumerate() {
+        match r {
+            Ok(o) => {
+                healthy += 1;
+                assert_eq!(o.report.solved, N_UNITS, "rank {rank}: all units solve");
+                assert!(o.report.failed.is_empty());
+                assert_eq!(o.stats.workers_dead, 1);
+                assert!(o.stats.reissued_failed >= 1, "wedged units re-issued");
+                for id in 0..N_UNITS {
+                    let got = o.values[id].as_deref().unwrap();
+                    for (a, b) in got.iter().zip(payload(id).iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+            Err(e) => {
+                assert_eq!(rank, 2, "only the wedged worker may fail: {e}");
+            }
+        }
+    }
+    assert_eq!(healthy, 3);
+}
+
+#[test]
+fn straggler_copy_is_speculatively_reissued_first_result_wins() {
+    // Units are ~1 ms except unit 0, which wedges its first copy (and any
+    // re-issued copy) for 600 ms. With a tight straggler bound the
+    // coordinator speculatively re-issues unit 0 long before the first
+    // copy lands; late copies are duplicates. Nobody dies, values stay
+    // bit-identical.
+    let es = energies();
+    let opts = SchedOptions {
+        chunk_max: 1,
+        max_reissue: 2,
+        poll_ms: 2,
+        straggler_factor: 10.0,
+        straggler_min_ms: 60,
+        dead_after_ms: 30_000,
+    };
+    let out = run_ranks(4, |ctx| {
+        let world = Comm::world(ctx);
+        let mut model = CostModel::uniform(N_UNITS);
+        dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+            if id == 0 {
+                std::thread::sleep(Duration::from_millis(600));
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = ctx.rank();
+            Ok(payload(id))
+        })
+        .unwrap()
+    });
+    for r in out.results {
+        let o = r.unwrap();
+        assert_eq!(o.report.solved, N_UNITS);
+        assert!(o.report.failed.is_empty());
+        assert_eq!(o.stats.workers_dead, 0, "slow is not dead");
+        // LPT hand-out gives unit 0 to the first requester, so the wedge
+        // engages and must have triggered a speculative re-issue.
+        assert!(
+            o.stats.reissued_straggler + o.stats.duplicate_results >= 1,
+            "straggler path exercised: {:?}",
+            o.stats
+        );
+        for id in 0..N_UNITS {
+            let got = o.values[id].as_deref().unwrap();
+            for (a, b) in got.iter().zip(payload(id).iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 
 use omen::core::parallel::{
     frozen_system, parallel_transmission, sequential_transmission, split_levels, LevelConfig,
+    Schedule,
 };
 use omen::core::{Engine, TransistorSpec};
 use omen::linalg::{flop_count, reset_flops};
@@ -45,7 +46,16 @@ fn main() {
     let t1 = std::time::Instant::now();
     let out = run_ranks(cfg.total(), |ctx| {
         let comms = split_levels(ctx, &cfg)?;
-        parallel_transmission(&comms, &cfg, &h, (&h00, &h01), (&h00, &h01), &energies)
+        parallel_transmission(
+            &comms,
+            &cfg,
+            &h,
+            (&h00, &h01),
+            (&h00, &h01),
+            &energies,
+            Schedule::Static,
+        )
+        .map(|s| s.transmission)
     })
     .flattened();
     let par_time = t1.elapsed();

@@ -4,7 +4,7 @@
 //! distributed + self-consistent observables).
 
 use omen::core::iv::{frozen_field_sweep, gate_sweep, on_off_ratio};
-use omen::core::{Bias, Engine, ScfOptions, TransistorSpec};
+use omen::core::{Bias, Engine, ScfOptions, Schedule, TransistorSpec};
 use omen::lattice::{Crystal, Device};
 use omen::num::{linspace, A_SI};
 use omen::tb::{AlloyModel, DeviceHamiltonian, Material, TbParams};
@@ -18,6 +18,7 @@ fn quick_opts() -> ScfOptions {
         mixing: 0.8,
         predictor: true,
         n_k: 1,
+        schedule: Schedule::Static,
     }
 }
 
