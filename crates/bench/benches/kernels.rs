@@ -75,6 +75,12 @@ fn thread_counts(n: usize, flagship: usize) -> Vec<usize> {
     ts
 }
 
+/// True when this process dispatches the AVX2+FMA microkernel — stamped
+/// into every record so scalar and SIMD measurements stay separate rows.
+fn simd_flag() -> bool {
+    threads::simd_path() == threads::SimdPath::Avx2Fma
+}
+
 fn bench_gemm(sizes: &[usize], flagship: usize, smoke: bool, out: &mut Vec<KernelRecord>) {
     for &n in sizes {
         let a = randmat(n, 1);
@@ -91,6 +97,7 @@ fn bench_gemm(sizes: &[usize], flagship: usize, smoke: bool, out: &mut Vec<Kerne
                 kernel: "gemm".into(),
                 n,
                 threads: t,
+                simd: simd_flag(),
                 median_s: median,
                 min_s: min,
                 gflops,
@@ -120,6 +127,7 @@ fn bench_lu(sizes: &[usize], flagship: usize, smoke: bool, out: &mut Vec<KernelR
                 kernel: "lu".into(),
                 n,
                 threads: t,
+                simd: simd_flag(),
                 median_s: median,
                 min_s: min,
                 gflops,
@@ -182,14 +190,18 @@ fn bench_transport() {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // Resolve and announce the kernel dispatch before timing anything, so
+    // every printed number and JSON record is attributable to a path.
+    omen_core::log::emit_kernel_dispatch();
     println!(
-        "omen-bench kernels ({}, {} host threads)",
+        "omen-bench kernels ({}, {} host threads, {})",
         if smoke {
             "smoke: tiny sizes, 1 sample"
         } else {
             "median/min over samples"
         },
-        threads::configured_threads()
+        threads::configured_threads(),
+        threads::dispatch_summary()
     );
 
     let mut records = Vec::new();
@@ -214,9 +226,10 @@ fn main() {
     kernel_json::merge_records(&path, &records).expect("write benchmark baseline");
     let back = kernel_json::read_records(&path);
     assert!(
-        records.iter().all(|r| back
-            .iter()
-            .any(|b| (b.kernel.as_str(), b.n, b.threads) == (r.kernel.as_str(), r.n, r.threads))),
+        records.iter().all(|r| back.iter().any(|b| {
+            (b.kernel.as_str(), b.n, b.threads, b.simd)
+                == (r.kernel.as_str(), r.n, r.threads, r.simd)
+        })),
         "baseline round-trip lost records"
     );
     println!(

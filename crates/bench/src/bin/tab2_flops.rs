@@ -27,6 +27,8 @@ use omen_tb::{DeviceHamiltonian, Material, TbParams};
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let smoke = std::env::args().any(|a| a == "--smoke");
+    omen_core::log::emit_kernel_dispatch();
+    let simd = threads::simd_path() == threads::SimdPath::Avx2Fma;
     let p = TbParams::of(Material::SingleBand { t_mev: 1000 });
     let mut rows = Vec::new();
     let mut records: Vec<KernelRecord> = Vec::new();
@@ -92,6 +94,7 @@ fn main() {
                 kernel: "rgf_energy_point".into(),
                 n: block,
                 threads: t,
+                simd,
                 median_s: rgf_s,
                 min_s: rgf_s,
                 gflops: rgf_flops as f64 / rgf_s / 1e9,
@@ -100,6 +103,7 @@ fn main() {
                 kernel: "wf_energy_point".into(),
                 n: block,
                 threads: t,
+                simd,
                 median_s: wf_s,
                 min_s: wf_s,
                 gflops: wf_flops as f64 / wf_s / 1e9,

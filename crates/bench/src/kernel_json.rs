@@ -12,21 +12,25 @@
 //! {
 //!   "schema": "omen-bench-kernels-v1",
 //!   "records": [
-//!     {"kernel": "gemm", "n": 512, "threads": 4,
+//!     {"kernel": "gemm", "n": 512, "threads": 4, "simd": true,
 //!      "median_s": 1.234560e0, "min_s": 1.200000e0, "gflops": 0.870}
 //!   ]
 //! }
 //! ```
 //!
-//! One record per `(kernel, n, threads)` triple — `n` is the square matrix
-//! edge (or slab-block size for transport kernels), `median_s`/`min_s` are
-//! seconds per iteration over the sample set, `gflops` is real
-//! double-precision Gflop/s under the Gordon-Bell convention (counted, not
-//! assumed, for the transport records). Merging replaces records with the
-//! same key and keeps the rest, so partial reruns never lose history. The
-//! parser is hand-rolled for exactly this schema (the container bakes in
-//! no serde), and the writer emits one record per line for reviewable
-//! diffs.
+//! One record per `(kernel, n, threads, simd)` key — `n` is the square
+//! matrix edge (or slab-block size for transport kernels), `simd` says
+//! which microkernel dispatch path the process ran
+//! (`omen_linalg::threads::simd_path`: `true` = AVX2+FMA, `false` =
+//! scalar reference), `median_s`/`min_s` are seconds per iteration over
+//! the sample set, `gflops` is real double-precision Gflop/s under the
+//! Gordon-Bell convention (counted, not assumed, for the transport
+//! records). Records written before the `simd` field existed parse as
+//! `simd: false` — they were all measured on the scalar kernel. Merging
+//! replaces records with the same key and keeps the rest, so partial
+//! reruns (e.g. one per `OMEN_SIMD` leg) never lose history. The parser
+//! is hand-rolled for exactly this schema (the container bakes in no
+//! serde), and the writer emits one record per line for reviewable diffs.
 
 use std::path::{Path, PathBuf};
 
@@ -39,6 +43,9 @@ pub struct KernelRecord {
     pub n: usize,
     /// Kernel threads the measurement ran with.
     pub threads: usize,
+    /// True when the process dispatched the AVX2+FMA microkernel, false
+    /// for the scalar reference path (and for pre-`simd`-field records).
+    pub simd: bool,
     /// Median seconds per iteration.
     pub median_s: f64,
     /// Minimum seconds per iteration.
@@ -57,8 +64,8 @@ pub fn default_path() -> PathBuf {
 
 fn fmt_record(r: &KernelRecord) -> String {
     format!(
-        "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"gflops\": {:.3}}}",
-        r.kernel, r.n, r.threads, r.median_s, r.min_s, r.gflops
+        "    {{\"kernel\": \"{}\", \"n\": {}, \"threads\": {}, \"simd\": {}, \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"gflops\": {:.3}}}",
+        r.kernel, r.n, r.threads, r.simd, r.median_s, r.min_s, r.gflops
     )
 }
 
@@ -86,6 +93,8 @@ fn parse_record(obj: &str) -> Option<KernelRecord> {
         kernel,
         n: field(obj, "n")?.parse().ok()?,
         threads: field(obj, "threads")?.parse().ok()?,
+        // Absent in pre-SIMD baselines, which were all scalar measurements.
+        simd: field(obj, "simd").is_some_and(|v| v == "true"),
         median_s: field(obj, "median_s")?.parse().ok()?,
         min_s: field(obj, "min_s")?.parse().ok()?,
         gflops: field(obj, "gflops")?.parse().ok()?,
@@ -125,8 +134,9 @@ pub fn read_records(path: &Path) -> Vec<KernelRecord> {
 }
 
 /// Merges `fresh` into the baseline at `path`: records with a matching
-/// `(kernel, n, threads)` key are replaced, everything else is kept, and
-/// the result is written back sorted by that key.
+/// `(kernel, n, threads, simd)` key are replaced, everything else is
+/// kept, and the result is written back sorted by that key — so the
+/// scalar and SIMD legs of a benchmark run coexist as separate rows.
 ///
 /// # Errors
 ///
@@ -134,11 +144,19 @@ pub fn read_records(path: &Path) -> Vec<KernelRecord> {
 pub fn merge_records(path: &Path, fresh: &[KernelRecord]) -> std::io::Result<()> {
     let mut all = read_records(path);
     for r in fresh {
-        all.retain(|e| (e.kernel.as_str(), e.n, e.threads) != (r.kernel.as_str(), r.n, r.threads));
+        all.retain(|e| {
+            (e.kernel.as_str(), e.n, e.threads, e.simd)
+                != (r.kernel.as_str(), r.n, r.threads, r.simd)
+        });
         all.push(r.clone());
     }
     all.sort_by(|a, b| {
-        (a.kernel.as_str(), a.n, a.threads).cmp(&(b.kernel.as_str(), b.n, b.threads))
+        (a.kernel.as_str(), a.n, a.threads, a.simd).cmp(&(
+            b.kernel.as_str(),
+            b.n,
+            b.threads,
+            b.simd,
+        ))
     });
     std::fs::write(path, to_json(&all))
 }
@@ -152,6 +170,7 @@ mod tests {
             kernel: kernel.into(),
             n,
             threads,
+            simd: false,
             median_s: 0.5 * n as f64 * 1e-6,
             min_s: 0.4 * n as f64 * 1e-6,
             gflops: g,
@@ -163,6 +182,45 @@ mod tests {
         let records = vec![rec("gemm", 512, 4, 1.25), rec("lu", 128, 1, 0.333)];
         let parsed = from_json(&to_json(&records)).unwrap();
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn roundtrip_preserves_simd_flag() {
+        let mut a = rec("gemm", 512, 1, 9.0);
+        a.simd = true;
+        let b = rec("gemm", 512, 1, 7.5);
+        let parsed = from_json(&to_json(&[a.clone(), b.clone()])).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn pre_simd_records_parse_as_scalar() {
+        let legacy = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n    \
+             {{\"kernel\": \"gemm\", \"n\": 64, \"threads\": 1, \
+             \"median_s\": 1.0e-3, \"min_s\": 9.0e-4, \"gflops\": 2.0}}\n  ]\n}}\n"
+        );
+        let parsed = from_json(&legacy).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed[0].simd);
+    }
+
+    #[test]
+    fn merge_keeps_scalar_and_simd_rows_separate() {
+        let dir = std::env::temp_dir().join("omen_bench_kernel_json_simd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge_simd.json");
+        let _ = std::fs::remove_file(&path);
+        let scalar = rec("gemm", 512, 1, 7.5);
+        let mut simd = rec("gemm", 512, 1, 20.0);
+        simd.simd = true;
+        merge_records(&path, std::slice::from_ref(&scalar)).unwrap();
+        merge_records(&path, std::slice::from_ref(&simd)).unwrap();
+        let all = read_records(&path);
+        assert_eq!(all.len(), 2, "SIMD leg must not clobber the scalar row");
+        assert_eq!(all[0], scalar);
+        assert_eq!(all[1], simd);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub fn emit(line: &str) {
     }
 }
 
+/// Emits the resolved kernel dispatch
+/// ([`omen_linalg::threads::dispatch_summary`]) exactly once per process —
+/// drivers and bench mains call this before their first kernel so every
+/// benchmark record and progress log is attributable to a concrete SIMD
+/// path and thread policy. Silent unless `OMEN_LOG` is on; repeat calls
+/// are no-ops. Note this resolves the dispatch as a side effect, so an
+/// invalid `OMEN_SIMD` fails here, at startup, not mid-run.
+pub fn emit_kernel_dispatch() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| emit(&omen_linalg::threads::dispatch_summary()));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +60,11 @@ mod tests {
     #[test]
     fn emit_is_safe_either_way() {
         emit("test line (suppressed unless OMEN_LOG is set)");
+    }
+
+    #[test]
+    fn kernel_dispatch_emit_is_idempotent() {
+        emit_kernel_dispatch();
+        emit_kernel_dispatch();
     }
 }

@@ -81,6 +81,9 @@ pub fn self_consistent(
     opts: &ScfOptions,
     v_init: Option<&[f64]>,
 ) -> ScfResult {
+    // First log line of a run names the kernel dispatch (once per process),
+    // so every convergence trace is attributable to a SIMD path.
+    crate::log::emit_kernel_dispatch();
     tr.set_gate(bias.v_gate);
     let grid_len = tr.poisson.grid.len();
     let kt = tr.kt;

@@ -1,30 +1,44 @@
-//! Tiled, packed, multi-threaded complex GEMM.
+//! Tiled, packed, multi-threaded complex GEMM with a register-blocked
+//! microkernel.
 //!
 //! `gemm` computes `C ← α·op(A)·op(B) + β·C` where each operand op is
-//! none, transpose, or conjugate-transpose. The kernel materializes the
-//! transposed operands once (transport blocks are small enough that the
-//! copy is cheaper than strided access — this is also the packing of B:
-//! after materialization every B "panel" `B[kk..k_hi, :]` is a contiguous
-//! row band), then tiles the output rows into `MC`-high stripes. Per
-//! stripe and per `KC`-deep k-block the A tile is packed into a contiguous
-//! `MC×KC` panel buffer, and the innermost loop is a contiguous complex
-//! AXPY along a full C row.
+//! none, transpose, or conjugate-transpose. The kernel packs both operands
+//! into microkernel-friendly panels — op(B) once up front into `NR`-wide
+//! column panels per `KC`-deep k-block (the transpose/conjugate of
+//! `Op::T`/`Op::H` is folded into that single packing pass), and per
+//! `MC`-high output stripe the A tile into `MR`-interleaved row panels
+//! with α folded in — then walks `MR×NR` output blocks with an
+//! outer-product microkernel that keeps all `MR·NR` complex accumulators
+//! in registers across the k-loop.
+//!
+//! ## Dispatch
+//!
+//! The microkernel has two implementations behind the single dispatch
+//! point [`crate::threads::simd_path`] (`OMEN_SIMD`, resolved once per
+//! process): the portable scalar reference below and the `x86_64`
+//! AVX2+FMA variant in [`crate::simd`]. Both consume the same packed
+//! panels; zero padding at ragged edges lets one kernel shape serve every
+//! block, with the store loop masking the padded rows/columns.
 //!
 //! ## Parallelism and determinism
 //!
 //! Stripes are distributed over `std::thread::scope` workers, each owning
-//! a disjoint contiguous row range of C. Every output element `C[i,j]`
-//! accumulates its `k` products in ascending-`k` order (k-blocks in order,
-//! entries in order inside a block) regardless of how rows are split
-//! across threads, so the parallel result is **bit-identical** to the
-//! serial one for every thread count. The thread count comes from
-//! [`crate::threads`] (`OMEN_THREADS`, default: available parallelism,
-//! serial below [`crate::threads::PAR_MIN_WORK`]); `gemm_threaded` pins it
-//! explicitly.
+//! a disjoint contiguous row range of C **split at multiples of `MR`**, so
+//! a row's microkernel row-panel — and with it every rounding step of its
+//! k-accumulation (k-blocks ascending, entries ascending inside a block,
+//! one register accumulation per block) — is independent of the thread
+//! count. For a fixed dispatch path the parallel result is therefore
+//! **bit-identical** to the serial one. Across dispatch paths results
+//! agree only to rounding: FMA and split accumulators legitimately change
+//! the rounding sequence (DESIGN.md §10), so cross-path agreement is an
+//! oracle-tolerance contract, never bit equality. The thread count comes
+//! from [`crate::threads`] (`OMEN_THREADS`, default: available
+//! parallelism, serial below [`crate::threads::PAR_MIN_WORK`]);
+//! `gemm_threaded` pins it explicitly.
 
 use crate::flops;
 use crate::matrix::ZMat;
-use crate::threads;
+use crate::threads::{self, SimdPath};
 use omen_num::c64;
 
 /// Operand transformation for [`gemm`].
@@ -58,47 +72,177 @@ impl Op {
 /// Output stripe height (rows packed and processed per A panel).
 const MC: usize = 64;
 
-/// Panel depth (k-extent of a packed A tile / B row band); 64 complex
+/// Panel depth (k-extent of a packed A tile / B panel); 64 complex
 /// values = 1 KiB per packed row.
 const KC: usize = 64;
 
+/// Microkernel register-block height (C rows per A row-panel).
+pub(crate) const MR: usize = 4;
+
+/// Microkernel register-block width (C columns per B column-panel).
+pub(crate) const NR: usize = 4;
+
+/// Packs op(B) (effective shape `k×n`) into the microkernel layout: per
+/// `KC`-deep k-block in ascending-k order, `NR`-wide column panels, each
+/// holding `kc·NR` contiguous values `op(B)[kk+p, j0+jj]` at `p·NR + jj`,
+/// zero-padded to `NR` when `n` is ragged. The transpose/conjugate of
+/// `Op::T`/`Op::H` is folded into this single pass, replacing the old
+/// full-matrix materialization (one O(k·n) allocation and pass, not two).
+fn pack_b(b: &ZMat, opb: Op, k: usize, n: usize) -> Vec<c64> {
+    let padded_n = n.div_ceil(NR) * NR;
+    let mut out = vec![c64::ZERO; k * padded_n];
+    for kk in (0..k).step_by(KC) {
+        let k_hi = (kk + KC).min(k);
+        let kc = k_hi - kk;
+        let block = &mut out[kk * padded_n..k_hi * padded_n];
+        match opb {
+            Op::N => {
+                for p in 0..kc {
+                    let row = b.row(kk + p);
+                    for (jp, j0) in (0..n).step_by(NR).enumerate() {
+                        let nr = (n - j0).min(NR);
+                        block[jp * kc * NR + p * NR..][..nr].copy_from_slice(&row[j0..j0 + nr]);
+                    }
+                }
+            }
+            Op::T | Op::H => {
+                // op(B)[p, j] = stored B[j, p] (conjugated for H): per
+                // destination column j the source is one contiguous row of
+                // the stored matrix, so the fold costs no strided reads.
+                for (jp, j0) in (0..n).step_by(NR).enumerate() {
+                    let nr = (n - j0).min(NR);
+                    let panel = &mut block[jp * kc * NR..(jp + 1) * kc * NR];
+                    for jj in 0..nr {
+                        let src = &b.row(j0 + jj)[kk..k_hi];
+                        if opb == Op::T {
+                            for (p, &v) in src.iter().enumerate() {
+                                panel[p * NR + jj] = v;
+                            }
+                        } else {
+                            for (p, &v) in src.iter().enumerate() {
+                                panel[p * NR + jj] = v.conj();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Portable scalar `MR×NR` microkernel — the reference arithmetic order:
+/// `acc[ii·NR + jj] = Σ_p ap[p·MR + ii] · bp[p·NR + jj]` with `p`
+/// ascending and each product accumulated through one `c64` multiply-add.
+/// One column of the block per pass: `MR` live accumulators fit the
+/// baseline (SSE2) register file, where the full `MR·NR` set spills; the
+/// k-panels re-read on every pass stay in L1. Per output element the
+/// accumulation chain is its own, so loop nesting does not affect the
+/// result bit-wise.
+#[inline(always)]
+fn mk_scalar(kc: usize, ap: &[c64], bp: &[c64], acc: &mut [c64; MR * NR]) {
+    for jj in 0..NR {
+        let mut a0 = c64::ZERO;
+        let mut a1 = c64::ZERO;
+        let mut a2 = c64::ZERO;
+        let mut a3 = c64::ZERO;
+        for p in 0..kc {
+            let b = bp[p * NR + jj];
+            let av = &ap[p * MR..(p + 1) * MR];
+            a0 += av[0] * b;
+            a1 += av[1] * b;
+            a2 += av[2] * b;
+            a3 += av[3] * b;
+        }
+        acc[jj] = a0;
+        acc[NR + jj] = a1;
+        acc[2 * NR + jj] = a2;
+        acc[3 * NR + jj] = a3;
+    }
+}
+
+/// Runs the microkernel selected by `path` on one packed panel pair.
+#[inline(always)]
+fn run_microkernel(path: SimdPath, kc: usize, ap: &[c64], bp: &[c64], acc: &mut [c64; MR * NR]) {
+    match path {
+        SimdPath::Scalar => mk_scalar(kc, ap, bp, acc),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2Fma => {
+            // SAFETY: `Avx2Fma` is only ever selected by
+            // `threads::simd_path` after `is_x86_feature_detected!`
+            // confirmed avx2+fma, and the packed (padded) panels hold the
+            // full `kc·MR` / `kc·NR` values the kernel reads.
+            unsafe { crate::simd::mk4x4(kc, ap.as_ptr(), bp.as_ptr(), acc) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2Fma => mk_scalar(kc, ap, bp, acc),
+    }
+}
+
 /// Runs the stripe kernel over rows `row0..row0 + nrows` of C, whose
-/// storage is the disjoint slice `cdata` (row-major, width `n`). `a` and
-/// `b` are the effective (already materialized) operands.
+/// storage is the disjoint slice `cdata` (row-major, width `n`). `a` is
+/// the effective (already materialized) left operand; `bpack` is the
+/// packed op(B) built by [`pack_b`]. `row0` is always a multiple of `MR`
+/// (the thread split guarantees it), so row-panel membership — and with
+/// it every element's rounding sequence — is thread-count invariant.
 #[allow(clippy::too_many_arguments)]
 fn stripe_kernel(
     cdata: &mut [c64],
     row0: usize,
     nrows: usize,
     a: &ZMat,
-    b: &ZMat,
+    bpack: &[c64],
     alpha: c64,
     k: usize,
     n: usize,
+    path: SimdPath,
 ) {
+    let padded_n = n.div_ceil(NR) * NR;
     let mut apack = [c64::ZERO; MC * KC];
+    let mut acc = [c64::ZERO; MR * NR];
     for s0 in (0..nrows).step_by(MC) {
         let s_hi = (s0 + MC).min(nrows);
+        let mc = s_hi - s0;
+        let rpanels = mc.div_ceil(MR);
         for kk in (0..k).step_by(KC) {
             let k_hi = (kk + KC).min(k);
             let kc = k_hi - kk;
-            // Pack the A tile contiguously: row fragments of A are strided
-            // `k` apart in memory; the packed panel keeps the whole tile in
-            // cache across the stripe's C rows.
-            for (ii, i) in (s0..s_hi).enumerate() {
-                apack[ii * kc..(ii + 1) * kc].copy_from_slice(&a.row(row0 + i)[kk..k_hi]);
-            }
-            for (ii, i) in (s0..s_hi).enumerate() {
-                let arow = &apack[ii * kc..(ii + 1) * kc];
-                let crow = &mut cdata[i * n..(i + 1) * n];
-                for (p, &aik) in arow.iter().enumerate() {
-                    if aik == c64::ZERO {
-                        continue;
+            // Pack the A tile MR-interleaved with α folded in: panel rp
+            // stores α·A[row0+s0+rp·MR+ii, kk+p] at rp·kc·MR + p·MR + ii,
+            // zero-padded when the stripe's rows run out. Row fragments of
+            // A are strided `k` apart in memory; the packed panel keeps
+            // the whole tile in cache across the stripe's column panels.
+            for rp in 0..rpanels {
+                let base = rp * kc * MR;
+                for ii in 0..MR {
+                    let r = s0 + rp * MR + ii;
+                    if r < s_hi {
+                        for (p, &v) in a.row(row0 + r)[kk..k_hi].iter().enumerate() {
+                            apack[base + p * MR + ii] = alpha * v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            apack[base + p * MR + ii] = c64::ZERO;
+                        }
                     }
-                    let s = alpha * aik;
-                    let brow = b.row(kk + p);
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += s * bv;
+                }
+            }
+            let bblock = &bpack[kk * padded_n..k_hi * padded_n];
+            for rp in 0..rpanels {
+                let ap = &apack[rp * kc * MR..(rp + 1) * kc * MR];
+                let rbase = s0 + rp * MR;
+                let mr = (s_hi - rbase).min(MR);
+                for (jp, j0) in (0..n).step_by(NR).enumerate() {
+                    let nr = (n - j0).min(NR);
+                    let bp = &bblock[jp * kc * NR..(jp + 1) * kc * NR];
+                    run_microkernel(path, kc, ap, bp, &mut acc);
+                    // One store per k-block: the masked add keeps padded
+                    // rows/columns out of C without a separate edge kernel.
+                    for ii in 0..mr {
+                        let crow = &mut cdata[(rbase + ii) * n + j0..(rbase + ii) * n + j0 + nr];
+                        for (cv, &av) in crow.iter_mut().zip(&acc[ii * NR..ii * NR + nr]) {
+                            *cv += av;
+                        }
                     }
                 }
             }
@@ -106,7 +250,7 @@ fn stripe_kernel(
     }
 }
 
-/// Shared core: beta scaling, operand materialization, stripe fan-out.
+/// Shared core: beta scaling, operand packing, stripe fan-out.
 /// Counts no flops — the public entry points (and the blocked LU, which
 /// accounts its trailing updates inside `lu_flops`) decide what to report.
 #[allow(clippy::too_many_arguments)]
@@ -135,8 +279,10 @@ pub(crate) fn gemm_core(
         return;
     }
 
-    // Materialize effective row-major operands (this is the packing of the
-    // transposed cases; `Op::N` operands are borrowed as-is).
+    let path = threads::simd_path();
+
+    // Materialize the effective row-major left operand (`Op::N` is
+    // borrowed as-is); op(B) folds its transform into the packing instead.
     let ae;
     let a_eff: &ZMat = if opa == Op::N {
         a
@@ -144,33 +290,31 @@ pub(crate) fn gemm_core(
         ae = opa.apply(a);
         &ae
     };
-    let be;
-    let b_eff: &ZMat = if opb == Op::N {
-        b
-    } else {
-        be = opb.apply(b);
-        &be
-    };
+    let bpack = pack_b(b, opb, k, n);
 
-    let t = threads.clamp(1, m);
+    let blocks = m.div_ceil(MR);
+    let t = threads.clamp(1, blocks);
     if t == 1 {
-        stripe_kernel(c.data_mut(), 0, m, a_eff, b_eff, alpha, k, n);
+        stripe_kernel(c.data_mut(), 0, m, a_eff, &bpack, alpha, k, n, path);
         return;
     }
 
-    // Contiguous row chunks, one per worker. The split is balanced to
-    // ±1 row; determinism does not depend on it (see module docs).
-    let base = m / t;
-    let rem = m % t;
+    // Contiguous row chunks, one per worker, split at multiples of MR so
+    // every row keeps its microkernel row-panel regardless of the thread
+    // count (see module docs); balanced to ±MR rows.
+    let base = blocks / t;
+    let rem = blocks % t;
     std::thread::scope(|scope| {
         let mut rest = c.data_mut();
         let mut row0 = 0usize;
+        let bpack = &bpack;
         for ti in 0..t {
-            let rows = base + usize::from(ti < rem);
+            let nblocks = base + usize::from(ti < rem);
+            let rows = (nblocks * MR).min(m - row0);
             let (chunk, tail) = rest.split_at_mut(rows * n);
             rest = tail;
             let start = row0;
-            scope.spawn(move || stripe_kernel(chunk, start, rows, a_eff, b_eff, alpha, k, n));
+            scope.spawn(move || stripe_kernel(chunk, start, rows, a_eff, bpack, alpha, k, n, path));
             row0 += rows;
         }
     });
@@ -178,9 +322,11 @@ pub(crate) fn gemm_core(
 
 /// General matrix multiply-accumulate `C ← α·op(A)·op(B) + β·C`, run with
 /// the automatic thread policy of [`crate::threads`] (`OMEN_THREADS`,
-/// default available parallelism, serial fallback for small problems).
+/// default available parallelism, serial fallback for small problems) and
+/// the microkernel selected by [`crate::threads::simd_path`] (`OMEN_SIMD`).
 ///
-/// Panics on dimension mismatch. Reports `8·m·n·k` real flops.
+/// Panics on dimension mismatch or invalid `OMEN_THREADS`/`OMEN_SIMD`.
+/// Reports `8·m·n·k` real flops.
 pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut ZMat) {
     let (m, k) = opa.dims(a);
     let (_, n) = opb.dims(b);
@@ -189,11 +335,12 @@ pub fn gemm(alpha: c64, a: &ZMat, opa: Op, b: &ZMat, opb: Op, beta: c64, c: &mut
 }
 
 /// [`gemm`] with an explicitly pinned thread count (`threads ≥ 1`; clamped
-/// to the row count). Output is bit-identical for every `threads` value —
-/// the conformance battery relies on this to compare serial and parallel
-/// runs exactly.
+/// to the row-panel count). For a fixed dispatch path the output is
+/// bit-identical for every `threads` value — the conformance battery
+/// relies on this to compare serial and parallel runs exactly.
 ///
-/// Panics on dimension mismatch. Reports `8·m·n·k` real flops.
+/// Panics on dimension mismatch or invalid `OMEN_SIMD`. Reports `8·m·n·k`
+/// real flops.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_threaded(
     alpha: c64,
@@ -327,8 +474,8 @@ mod tests {
 
     #[test]
     fn parallel_is_bit_identical_to_serial() {
-        // Shapes chosen to cross the MC/KC tile boundaries and to leave
-        // ragged remainder tiles.
+        // Shapes chosen to cross the MC/KC tile boundaries, leave ragged
+        // remainder tiles, and leave ragged MR/NR microkernel edges.
         for (m, k, n) in [(1, 130, 3), (67, 97, 81), (130, 64, 65)] {
             let a = randmat(m, k, 41);
             let b = randmat(k, n, 42);

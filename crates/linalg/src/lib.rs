@@ -6,9 +6,11 @@
 //!
 //! * [`ZMat`] — dense, row-major, double-precision complex matrices;
 //! * [`gemm`] — tiled, packed, multi-threaded general matrix multiply with
-//!   `N`/`T`/`H` operand ops; parallel output is bit-identical to serial
-//!   ([`gemm_threaded`] pins the thread count, [`threads`] holds the
-//!   `OMEN_THREADS` policy);
+//!   `N`/`T`/`H` operand ops, running a register-blocked `MR×NR` complex
+//!   microkernel with scalar and `x86_64` AVX2+FMA implementations behind
+//!   one per-process dispatch point; for a fixed dispatch path, parallel
+//!   output is bit-identical to serial ([`gemm_threaded`] pins the thread
+//!   count, [`threads`] holds the `OMEN_THREADS`/`OMEN_SIMD` policies);
 //! * [`Lu`] — blocked right-looking LU factorization with partial
 //!   pivoting, multi-RHS solves and explicit inverses (the workhorse of
 //!   the recursive Green's function); its trailing-matrix update runs on
@@ -28,6 +30,7 @@ pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+mod simd;
 pub mod threads;
 pub mod vec_ops;
 

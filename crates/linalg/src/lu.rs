@@ -10,8 +10,16 @@
 //! the `U₁₂` block row, (3) trailing-matrix update
 //! `A₂₂ ← A₂₂ − L₂₁·U₁₂` through the tiled multi-threaded GEMM — which is
 //! where ~`1 − 1/NB` of the O(n³) work lands, at full kernel throughput.
-//! The panel and triangular-solve phases are serial and the GEMM is
-//! bit-identical across thread counts, so the whole factorization is too.
+//! The trailing update therefore inherits the register-blocked microkernel
+//! and its SIMD dispatch (`crate::gemm`, `OMEN_SIMD`) for free. Pivot
+//! selection is untouched by that dispatch: the panel factor and
+//! triangular solve below run their own scalar arithmetic, so the pivot
+//! sequence is identical on both microkernel paths (asserted against an
+//! independent oracle by the conformance battery), while the factor
+//! *values* downstream of a trailing update agree across paths only to
+//! rounding (DESIGN.md §10). The panel and triangular-solve phases are
+//! serial and the GEMM is bit-identical across thread counts for a fixed
+//! path, so the whole factorization is too.
 
 use crate::flops;
 use crate::gemm::{gemm_core, Op};

@@ -1,6 +1,18 @@
 //! BLAS-1 style operations on complex vectors.
+//!
+//! `axpy` and `dot` sit under the block-tridiagonal matvec and the QR
+//! orthogonalization, so they get the same per-process SIMD dispatch as
+//! the GEMM microkernel ([`crate::threads::simd_path`], `OMEN_SIMD`): a
+//! scalar reference loop and an AVX2+FMA variant in [`crate::simd`]. The
+//! SIMD `axpy` is lane-local (element order unchanged); the SIMD `dot`
+//! accumulates two interleaved partial sums, so like the GEMM microkernel
+//! it matches the scalar path only to rounding, never bit-for-bit — the
+//! per-path determinism contract of DESIGN.md §10 applies here too.
+//! `scal`/`nrm2` stay scalar: they are memory-bound and the autovectorizer
+//! already saturates them.
 
 use crate::flops::add_flops;
+use crate::threads::{self, SimdPath};
 use omen_num::c64;
 
 /// Conjugated inner product `⟨x, y⟩ = Σ x̄ᵢ yᵢ` (linear in the second slot,
@@ -8,7 +20,14 @@ use omen_num::c64;
 pub fn dot(x: &[c64], y: &[c64]) -> c64 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
     add_flops(8 * x.len() as u64);
-    x.iter().zip(y).map(|(&a, &b)| a.conj() * b).sum()
+    match threads::simd_path() {
+        SimdPath::Scalar => x.iter().zip(y).map(|(&a, &b)| a.conj() * b).sum(),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after feature detection.
+        SimdPath::Avx2Fma => unsafe { crate::simd::dot(x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2Fma => x.iter().zip(y).map(|(&a, &b)| a.conj() * b).sum(),
+    }
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -21,8 +40,21 @@ pub fn nrm2(x: &[c64]) -> f64 {
 pub fn axpy(alpha: c64, x: &[c64], y: &mut [c64]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
     add_flops(8 * x.len() as u64);
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    match threads::simd_path() {
+        SimdPath::Scalar => {
+            for (yi, &xi) in y.iter_mut().zip(x) {
+                *yi += alpha * xi;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after feature detection.
+        SimdPath::Avx2Fma => unsafe { crate::simd::axpy(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2Fma => {
+            for (yi, &xi) in y.iter_mut().zip(x) {
+                *yi += alpha * xi;
+            }
+        }
     }
 }
 
@@ -60,6 +92,27 @@ mod tests {
     }
 
     #[test]
+    fn dot_matches_scalar_reference_on_odd_lengths() {
+        // Whatever path is dispatched, the result must sit within the
+        // cross-path tolerance of the scalar reference, including the
+        // odd-length remainder element.
+        for n in [1usize, 2, 7, 33] {
+            let x: Vec<c64> = (0..n)
+                .map(|i| c64::new(0.3 * i as f64 - 1.0, 0.7 - 0.1 * i as f64))
+                .collect();
+            let y: Vec<c64> = (0..n)
+                .map(|i| c64::new(1.0 - 0.2 * i as f64, 0.05 * i as f64))
+                .collect();
+            let want: c64 = x.iter().zip(&y).map(|(&a, &b)| a.conj() * b).sum();
+            let got = dot(&x, &y);
+            assert!(
+                (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                "n={n}: {got:?} vs {want:?}"
+            );
+        }
+    }
+
+    #[test]
     fn nrm2_matches_dot() {
         let x = vec![c64::new(1.0, 2.0), c64::new(-3.0, 0.5)];
         assert!((nrm2(&x).powi(2) - dot(&x, &x).re).abs() < 1e-12);
@@ -74,6 +127,24 @@ mod tests {
         assert_eq!(y[1], c64::new(-2.0, 0.0));
         scal(c64::real(0.5), &mut y);
         assert_eq!(y[0], c64::new(1.0, 0.5));
+    }
+
+    #[test]
+    fn axpy_matches_scalar_reference_on_odd_lengths() {
+        let alpha = c64::new(-0.4, 0.9);
+        for n in [1usize, 2, 5, 18] {
+            let x: Vec<c64> = (0..n).map(|i| c64::new(i as f64, -0.5)).collect();
+            let y0: Vec<c64> = (0..n).map(|i| c64::new(0.1, i as f64 * 0.2)).collect();
+            let mut y = y0.clone();
+            axpy(alpha, &x, &mut y);
+            for i in 0..n {
+                let want = y0[i] + alpha * x[i];
+                assert!(
+                    (y[i] - want).abs() <= 1e-13 * (1.0 + want.abs()),
+                    "n={n} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

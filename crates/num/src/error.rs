@@ -99,6 +99,18 @@ pub enum OmenError {
         /// Which decoder rejected the payload.
         context: &'static str,
     },
+    /// An `OMEN_*` environment variable held a value the policy layer
+    /// cannot honor — unparsable, out of range, or requesting hardware the
+    /// machine does not have. Raised instead of silently defaulting, so a
+    /// typo'd `OMEN_THREADS=fuor` never ships an unattributable benchmark.
+    InvalidEnv {
+        /// Variable name (`OMEN_THREADS`, `OMEN_SIMD`).
+        var: &'static str,
+        /// The rejected raw value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
     /// A matrix entry falls outside the block-tridiagonal envelope of the
     /// given slab partition (non-nearest-neighbor coupling).
     InvalidPartition {
@@ -229,6 +241,13 @@ impl fmt::Display for OmenError {
             }
             OmenError::Deserialize { context } => {
                 write!(f, "malformed rank-message payload in {context}")
+            }
+            OmenError::InvalidEnv {
+                var,
+                value,
+                expected,
+            } => {
+                write!(f, "invalid {var}={value:?}: expected {expected}")
             }
             OmenError::InvalidPartition {
                 row,
@@ -401,6 +420,19 @@ mod tests {
             pending: 0,
         };
         assert!(c.to_string().contains("channel closed"));
+    }
+
+    #[test]
+    fn invalid_env_displays_var_and_value() {
+        let e = OmenError::InvalidEnv {
+            var: "OMEN_SIMD",
+            value: "maybe".into(),
+            expected: "0, 1, or unset",
+        };
+        let s = e.to_string();
+        assert!(s.contains("OMEN_SIMD"));
+        assert!(s.contains("maybe"));
+        assert!(s.contains("0, 1, or unset"));
     }
 
     #[test]

@@ -9,6 +9,19 @@
 //! must be **bit-identical** to their serial runs at every thread count —
 //! that is the contract the transport engines rely on when `OMEN_THREADS`
 //! varies between runs.
+//!
+//! ## Dispatch paths
+//!
+//! The microkernel dispatch (`OMEN_SIMD`, scalar vs AVX2+FMA) is resolved
+//! once per process, so one test binary exercises exactly one path; `ci.sh`
+//! runs this battery under **both** `OMEN_SIMD=0` and `OMEN_SIMD=1` (the
+//! SIMD leg self-skips without AVX2). Every oracle comparison here is
+//! dispatch-independent test code, so passing under both legs proves the
+//! cross-path tolerance contract, and the pivot-sequence assertions —
+//! exact equalities against the same oracle — prove LU pivot equality
+//! *across* paths by transitivity. Bit-identity across thread counts is
+//! asserted per path, never across paths: FMA and split accumulators
+//! legitimately change the rounding sequence (DESIGN.md §10).
 
 use omen::linalg::{gemm_threaded, lu::Lu, threads, Op, ZMat};
 use omen::num::c64;
@@ -197,6 +210,80 @@ fn gemm_parallel_bit_identical_across_ops_and_threads() {
     }
 }
 
+#[test]
+fn gemm_microkernel_edge_shapes() {
+    // m and n sweep every residue mod MR/NR = 4, k hits 1, the KC = 64
+    // panel depth and its neighbors: the microkernel's zero-padded edge
+    // blocks and single-iteration k-loops must agree with the oracle just
+    // like the full 4x4 interior blocks do.
+    let mut next = rng(0xED6E);
+    for &(m, n) in &[(1usize, 1usize), (2, 3), (3, 7), (5, 2), (6, 6), (7, 9)] {
+        for &k in &[1usize, 63, 64, 65] {
+            let a = randmat(m, k, 8100 + (m * n * k) as u64);
+            let b = randmat(k, n, 8200 + (m * n * k) as u64);
+            let c0 = randmat(m, n, 8300 + (m * n * k) as u64);
+            let alpha = c64::new(next(), next());
+            let beta = c64::new(next(), next());
+            let mut c = c0.clone();
+            gemm_threaded(alpha, &a, Op::N, &b, Op::N, beta, &mut c, 1);
+            let want = oracle_gemm(alpha, &a, Op::N, &b, Op::N, beta, &c0);
+            assert_close(&c, &want, &format!("edge {m}x{k}x{n}"));
+        }
+    }
+}
+
+#[test]
+fn gemm_cancellation_stays_within_termwise_tolerance() {
+    // Sign-alternating inputs whose products cancel almost exactly: the
+    // result is ~0 while the intermediate terms are O(1), so relative
+    // tolerance on the *result* is meaningless. Both dispatch paths must
+    // land within an absolute tolerance scaled by the term magnitudes —
+    // this is where a sloppy split-accumulator combine would show up.
+    let (m, k, n) = (9usize, 66usize, 10usize);
+    let mut next = rng(0xCA9CE1);
+    let a = ZMat::from_fn(m, k, |_, p| {
+        let sgn = if p % 2 == 0 { 1.0 } else { -1.0 };
+        c64::new(sgn * (1.0 + 1e-9 * next()), sgn * 0.5)
+    });
+    let b = ZMat::from_fn(k, n, |_, _| c64::new(1.0, -0.25));
+    let mut c = ZMat::zeros(m, n);
+    gemm_threaded(c64::ONE, &a, Op::N, &b, Op::N, c64::ZERO, &mut c, 1);
+    let want = oracle_gemm(
+        c64::ONE,
+        &a,
+        Op::N,
+        &b,
+        Op::N,
+        c64::ZERO,
+        &ZMat::zeros(m, n),
+    );
+    let term_scale: f64 = k as f64 * 1.5; // Σ|a·b| bound per element
+    for i in 0..m {
+        for j in 0..n {
+            let (g, w) = (c[(i, j)], want[(i, j)]);
+            assert!(
+                (g - w).abs() <= 1e-13 * term_scale,
+                "cancellation ({i},{j}): got {g:?} want {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dispatch_honors_omen_simd() {
+    // When a CI leg pins OMEN_SIMD, the per-process dispatch must actually
+    // be on that path — otherwise the two-leg scheme silently tests one
+    // path twice.
+    match std::env::var(threads::SIMD_ENV).ok().as_deref() {
+        Some("0") => assert_eq!(threads::simd_path(), threads::SimdPath::Scalar),
+        Some("1") => assert_eq!(threads::simd_path(), threads::SimdPath::Avx2Fma),
+        _ => assert!(matches!(
+            threads::simd_path(),
+            threads::SimdPath::Scalar | threads::SimdPath::Avx2Fma
+        )),
+    }
+}
+
 /// Textbook unblocked Doolittle with partial pivoting — the LU oracle.
 /// Returns the packed factors and the permutation in the same layout
 /// `Lu` exposes, or `None` on a numerically zero pivot column.
@@ -239,11 +326,14 @@ fn oracle_lu(a: &ZMat) -> Option<(ZMat, Vec<usize>)> {
 
 #[test]
 fn lu_matches_oracle_including_blocked_sizes() {
-    // 60 and 97 exceed the panel width, so the blocked right-looking path
-    // (panel + forward solve + tiled trailing GEMM) runs; 1/5/13 stay on
-    // the unblocked path. Pivot choices must match the oracle exactly —
-    // the blocked algorithm keeps full-column pivot searches.
-    for &n in &[1usize, 5, 13, 60, 97] {
+    // 60/97/130 exceed the panel width, so the blocked right-looking path
+    // (panel + forward solve + tiled trailing GEMM through the dispatched
+    // microkernel) runs; 1/5/13 stay on the unblocked path. Pivot choices
+    // must match the oracle exactly — panel arithmetic is untouched by the
+    // microkernel, and since the oracle is dispatch-independent, passing
+    // this under both OMEN_SIMD legs proves the pivot sequence is equal
+    // across dispatch paths too.
+    for &n in &[1usize, 5, 13, 60, 97, 130] {
         let a = randmat(n, n, 900 + n as u64);
         let f = Lu::factor(&a).expect("random complex matrix is regular");
         let (packed, perm) = oracle_lu(&a).expect("oracle agrees it is regular");
