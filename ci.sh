@@ -41,9 +41,19 @@ fi
 # DESIGN.md §11).
 cargo bench -p omen-bench --bench sched -- --smoke
 
+# Bench-regression gate (DESIGN.md §12): the committed BENCH_*.json
+# baselines must clear the guardbands declared in TOLERANCES.toml, and the
+# fresh smoke records written above must exist per dispatch leg and clear
+# the catastrophic floors. Run once per leg; on CPUs without AVX2+FMA the
+# SIMD leg self-skips with a printed NOTICE (exit 0), never a silent pass.
+OMEN_SIMD=0 cargo run --release -p omen-bench --bin bench-gate -- --smoke
+OMEN_SIMD=1 cargo run --release -p omen-bench --bin bench-gate -- --smoke
+
 # Domain lints clippy cannot express: SPMD collective-schedule hygiene,
 # float equality in the solver crates, panic backstops, silent libraries,
-# `# Errors` docs on fallible public API (see DESIGN.md §9; escape hatch:
+# `# Errors` docs on fallible public API, hard-coded tolerance literals in
+# test targets (the TOLERANCES.toml policy is the only source of numeric
+# bounds — see DESIGN.md §9 and §12; escape hatch:
 # `// analyze: allow(<rule>, <reason>)`).
 cargo run --release -p omen-analyze -- --deny-all
 

@@ -14,6 +14,7 @@
 //! | `panic-backstop` | `panic!` / `todo!` / `unimplemented!` / `.unwrap()` / `.expect()` in non-test solver-crate code — the error taxonomy (`OmenResult`) exists so rank failures stay recoverable |
 //! | `print-in-lib` | `println!` / `eprintln!` (and `print!` / `eprint!`) in library targets — libraries must stay silent; drivers log through the sanctioned env-gated sink |
 //! | `errors-doc` | `pub fn` returning `OmenResult` without a `# Errors` doc section |
+//! | `tolerance-literal` | hard-coded scientific-notation tolerances (`1e-12`) compared in test targets — numeric bounds belong in the repo-root `TOLERANCES.toml` policy (DESIGN.md §12) |
 //!
 //! ## Escape hatch
 //!
@@ -109,6 +110,11 @@ pub const RULES: &[RuleInfo] = &[
         name: "errors-doc",
         summary: "pub fn returning OmenResult without a `# Errors` doc section",
         scope: "lib targets, non-test code",
+    },
+    RuleInfo {
+        name: "tolerance-literal",
+        summary: "hard-coded tolerance literal compared in a test — use the TOLERANCES.toml policy",
+        scope: "test targets (tests/) of every crate",
     },
 ];
 
@@ -208,6 +214,9 @@ pub fn analyze_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> 
     }
     if class.kind == TargetKind::Lib {
         rule_errors_doc(&lexed.toks, &ctx, &mut findings);
+    }
+    if class.kind == TargetKind::Test {
+        rule_tolerance_literal(&lexed.toks, &ctx, &mut findings);
     }
     findings.sort_by_key(|f| f.line);
     findings
@@ -684,6 +693,43 @@ fn rule_errors_doc(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
             }
         }
         i = j + 2;
+    }
+}
+
+/// Flags scientific-notation float literals with a negative exponent
+/// (`1e-12`) on lines that also perform an ordered comparison — the
+/// signature of a hard-coded accuracy tolerance in a test. Bounds belong
+/// in the repo-root `TOLERANCES.toml` (read through
+/// `omen_num::tolerance::test_bound`), where every change carries a
+/// rationale; an inline literal is exactly the silent-drift channel the
+/// policy exists to close. Physics parameters in argument position
+/// (`eta = 2e-6` with no comparison on the line) and structural factors
+/// (`100.0 * tol`) do not trip.
+fn rule_tolerance_literal(toks: &[Tok], ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let mut cmp_lines: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for t in toks {
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), "<" | "<=" | ">" | ">=") {
+            cmp_lines.insert(t.line);
+        }
+    }
+    for t in toks {
+        if t.kind == TokKind::Float
+            && (t.text.contains("e-") || t.text.contains("E-"))
+            && cmp_lines.contains(&t.line)
+            && !ctx.allowed("tolerance-literal", t.line)
+        {
+            push(
+                findings,
+                "tolerance-literal",
+                t.line,
+                format!(
+                    "hard-coded tolerance `{}` in a test comparison: pull the bound from \
+                     TOLERANCES.toml via omen_num::tolerance::test_bound so every change \
+                     carries a rationale",
+                    t.text
+                ),
+            );
+        }
     }
 }
 

@@ -1,0 +1,31 @@
+// Lint fixture: test-target float usage that must NOT trip
+// tolerance-literal. Never compiled.
+
+#[test]
+fn bound_comes_from_the_policy() {
+    let tol = omen_num::tolerance::test_bound("gemm.vs_oracle", BoundKind::Relative).unwrap();
+    let err = compute();
+    assert!(err < tol);
+    // Structural factors on a policy bound are fine: no negative exponent.
+    assert!(err < 100.0 * tol);
+}
+
+#[test]
+fn physics_parameters_in_argument_position_are_fine() {
+    // eta is a model parameter, not a tolerance — no comparison here.
+    let t = transmission(0.5, 2e-6);
+    let tol = omen_num::tolerance::test_bound("physics.sum_rule", BoundKind::Relative).unwrap();
+    assert!(t.abs() < tol);
+}
+
+#[test]
+fn annotated_exact_guard_survives() {
+    let dt = grid_step();
+    assert!(dt < 1e-3); // analyze: allow(tolerance-literal, dt is a grid-step sanity check, not an accuracy bound)
+}
+
+#[test]
+fn positive_exponents_are_not_tolerances() {
+    let big = compute();
+    assert!(big < 1e6);
+}

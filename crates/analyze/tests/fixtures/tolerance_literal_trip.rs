@@ -1,0 +1,20 @@
+// Lint fixture: hard-coded tolerances in test comparisons that must trip
+// tolerance-literal. Never compiled.
+
+#[test]
+fn residual_is_small() {
+    let err = compute();
+    assert!(err < 1e-12, "residual {err}");
+}
+
+#[test]
+fn relative_error_bounded() {
+    let rel = compute();
+    assert!(rel <= 2.5e-9);
+}
+
+#[test]
+fn upper_case_exponent_also_trips() {
+    let gap = compute();
+    assert!(1E-7 > gap);
+}

@@ -194,6 +194,50 @@ fn errors_doc_clean_fixture() {
     );
 }
 
+// --- tolerance-literal -----------------------------------------------------
+
+#[test]
+fn tolerance_literal_trip_fixture() {
+    let f = run(
+        include_str!("fixtures/tolerance_literal_trip.rs"),
+        "omen",
+        TargetKind::Test,
+    );
+    let hits: Vec<&Finding> = f.iter().filter(|x| x.rule == "tolerance-literal").collect();
+    assert_eq!(hits.len(), 3, "findings: {f:?}");
+    for lit in ["1e-12", "2.5e-9", "1E-7"] {
+        assert!(
+            hits.iter().any(|x| x.message.contains(&format!("`{lit}`"))),
+            "missing {lit}: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn tolerance_literal_clean_fixture() {
+    let f = run(
+        include_str!("fixtures/tolerance_literal_clean.rs"),
+        "omen",
+        TargetKind::Test,
+    );
+    assert!(
+        f.iter().all(|x| x.rule != "tolerance-literal"),
+        "unexpected: {f:?}"
+    );
+}
+
+#[test]
+fn tolerance_literal_only_applies_to_test_targets() {
+    let src = include_str!("fixtures/tolerance_literal_trip.rs");
+    for kind in [TargetKind::Lib, TargetKind::Bin, TargetKind::Bench] {
+        let f = run(src, "num", kind);
+        assert!(
+            f.iter().all(|x| x.rule != "tolerance-literal"),
+            "{kind:?}: {f:?}"
+        );
+    }
+}
+
 // --- allow-annotation semantics -------------------------------------------
 
 #[test]
@@ -252,7 +296,8 @@ fn rule_table_is_complete() {
             "float-eq",
             "panic-backstop",
             "print-in-lib",
-            "errors-doc"
+            "errors-doc",
+            "tolerance-literal"
         ]
     );
 }

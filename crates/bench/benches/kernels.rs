@@ -224,7 +224,7 @@ fn main() {
         kernel_json::default_path()
     };
     kernel_json::merge_records(&path, &records).expect("write benchmark baseline");
-    let back = kernel_json::read_records(&path);
+    let back = kernel_json::read_records(&path).expect("re-read benchmark baseline");
     assert!(
         records.iter().all(|r| back.iter().any(|b| {
             (b.kernel.as_str(), b.n, b.threads, b.simd)

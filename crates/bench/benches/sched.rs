@@ -167,7 +167,7 @@ fn main() {
         sched_json::default_path()
     };
     sched_json::merge_records(&path, &records).expect("write scheduler baseline");
-    let back = sched_json::read_records(&path);
+    let back = sched_json::read_records(&path).expect("re-read scheduler baseline");
     assert!(
         records.iter().all(|r| back.iter().any(|b| (
             b.case.as_str(),

@@ -1,0 +1,434 @@
+//! Bench-regression gate — compares throughput baselines against the
+//! guardbands declared in the repo-root `TOLERANCES.toml`.
+//!
+//! Two checks, both release-blocking in `ci.sh` (via the `bench-gate`
+//! binary in `src/bin/bench_gate.rs`):
+//!
+//! 1. **Committed-baseline validation** (always): every record in the
+//!    committed `BENCH_kernels.json` must clear its `[[kernel_guardband]]`
+//!    floor — `reference_gflops · (1 − guardband)` — and every record in
+//!    `BENCH_sched.json` must stay under its `[[sched_guardband]]`
+//!    imbalance ceiling. This is deterministic (no timing involved): it
+//!    catches a re-benchmarked baseline that silently regressed past its
+//!    guardband at commit time, when the author can still annotate the
+//!    policy with a rationale instead of letting the drift land unremarked.
+//! 2. **Smoke validation** (`--smoke`): fresh `target/BENCH_*.smoke.json`
+//!    records from this very CI run must exist for the current dispatch
+//!    leg (both `gemm` and `lu`), clear the catastrophic
+//!    `[[kernel_smoke_floor]]` throughput floors, and stay under the
+//!    `[[sched_smoke_floor]]` imbalance ceilings. Smoke floors are set an
+//!    order of magnitude below any believable machine so they only trip on
+//!    a genuine perf catastrophe (e.g. a debug-mode kernel, a scheduler
+//!    serializing every unit), never on CI timing noise.
+//!
+//! Every failed check becomes one human-readable line in a [`GateReport`];
+//! the report never short-circuits, so a broken baseline surfaces all of
+//! its problems in one run. Records whose *data* is unreadable (missing
+//! files, schema mismatches) surface as typed
+//! [`OmenError::InvalidBaseline`](omen_num::OmenError) instead — those are
+//! harness bugs, not perf regressions, and exit with a different code.
+
+use crate::kernel_json::KernelRecord;
+use crate::sched_json::SchedRecord;
+use omen_num::tolerance::TolerancePolicy;
+
+/// Outcome of one gate pass: how many records were checked and one line
+/// per violated guardband. An empty `failures` list means the gate is
+/// green.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Number of baseline records inspected.
+    pub checked: usize,
+    /// One human-readable line per violated check, in record order.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every inspected record cleared its guardband.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Folds another report into this one (summing counts, appending
+    /// failures) so the binary can print one combined verdict.
+    pub fn merge(&mut self, other: GateReport) {
+        self.checked += other.checked;
+        self.failures.extend(other.failures);
+    }
+}
+
+/// Validates the committed kernel baseline: every record must have a
+/// `[[kernel_guardband]]` group for its `(kernel, simd)` leg and clear
+/// the group's floor `reference_gflops · (1 − guardband)`; timings must
+/// be finite and positive. An empty baseline is itself a failure — the
+/// gate exists to stop silent drift, and "no records" is the silentest
+/// drift of all.
+pub fn check_committed_kernels(policy: &TolerancePolicy, records: &[KernelRecord]) -> GateReport {
+    let mut report = GateReport::default();
+    if records.is_empty() {
+        report
+            .failures
+            .push("committed kernel baseline has no records (BENCH_kernels.json)".into());
+        return report;
+    }
+    for r in records {
+        report.checked += 1;
+        let tag = format!("{}/n{}/t{}/simd={}", r.kernel, r.n, r.threads, r.simd);
+        let finite_positive = |v: f64| v.is_finite() && v > 0.0;
+        if !(finite_positive(r.gflops) && finite_positive(r.median_s) && finite_positive(r.min_s)) {
+            report.failures.push(format!(
+                "kernel record {tag}: non-finite or non-positive measurement \
+                 (gflops {}, median_s {}, min_s {})",
+                r.gflops, r.median_s, r.min_s
+            ));
+            continue;
+        }
+        match policy.kernel_guardband(&r.kernel, r.simd) {
+            Err(e) => report.failures.push(format!("kernel record {tag}: {e}")),
+            Ok(g) => {
+                let floor = g.reference_gflops * (1.0 - g.guardband);
+                if r.gflops < floor {
+                    report.failures.push(format!(
+                        "kernel record {tag}: {:.3} Gflop/s is below the guardband floor \
+                         {floor:.3} (reference {:.3}, band {:.0}%) — re-baseline with a \
+                         rationale in TOLERANCES.toml or fix the regression",
+                        r.gflops,
+                        g.reference_gflops,
+                        g.guardband * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Validates the committed scheduler baseline: every record must have a
+/// `[[sched_guardband]]` entry for its `(case, schedule)` pair and stay
+/// under the entry's imbalance ceiling; wall time must be finite and
+/// positive.
+pub fn check_committed_sched(policy: &TolerancePolicy, records: &[SchedRecord]) -> GateReport {
+    let mut report = GateReport::default();
+    if records.is_empty() {
+        report
+            .failures
+            .push("committed scheduler baseline has no records (BENCH_sched.json)".into());
+        return report;
+    }
+    for r in records {
+        report.checked += 1;
+        let tag = format!("{}/{}/r{}", r.case, r.schedule, r.ranks);
+        if !(r.wall_s.is_finite() && r.wall_s > 0.0 && r.imbalance.is_finite()) {
+            report.failures.push(format!(
+                "sched record {tag}: non-finite or non-positive measurement \
+                 (wall_s {}, imbalance {})",
+                r.wall_s, r.imbalance
+            ));
+            continue;
+        }
+        match policy.sched_guardband(&r.case, &r.schedule) {
+            Err(e) => report.failures.push(format!("sched record {tag}: {e}")),
+            Ok(g) => {
+                if r.imbalance > g.max_imbalance {
+                    report.failures.push(format!(
+                        "sched record {tag}: imbalance {:.3} exceeds the guardband ceiling \
+                         {:.3} — re-baseline with a rationale in TOLERANCES.toml or fix the \
+                         regression",
+                        r.imbalance, g.max_imbalance
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Validates fresh `--smoke` kernel records for the current dispatch leg
+/// (`simd_leg` is the `simd` flag the running process stamps into
+/// records): both `gemm` and `lu` must be present for that leg — a
+/// missing kernel means the smoke bench silently skipped a code path —
+/// and every leg record must clear its catastrophic
+/// `[[kernel_smoke_floor]]`.
+pub fn check_smoke_kernels(
+    policy: &TolerancePolicy,
+    records: &[KernelRecord],
+    simd_leg: bool,
+) -> GateReport {
+    let mut report = GateReport::default();
+    let leg: Vec<&KernelRecord> = records.iter().filter(|r| r.simd == simd_leg).collect();
+    for required in ["gemm", "lu"] {
+        if !leg.iter().any(|r| r.kernel == required) {
+            report.failures.push(format!(
+                "no fresh {required} smoke record for the simd={simd_leg} leg — run \
+                 `cargo bench -p omen-bench --bench kernels -- --smoke` on this leg first"
+            ));
+        }
+    }
+    for r in leg {
+        report.checked += 1;
+        let tag = format!("{}/n{}/t{}/simd={}", r.kernel, r.n, r.threads, r.simd);
+        match policy.kernel_smoke_floor(&r.kernel) {
+            Err(e) => report.failures.push(format!("smoke record {tag}: {e}")),
+            Ok(f) => {
+                if !(r.gflops.is_finite() && r.gflops >= f.min_gflops) {
+                    report.failures.push(format!(
+                        "smoke record {tag}: {:.3} Gflop/s is below the catastrophic floor \
+                         {:.3} — the kernel path is broken, not merely slow",
+                        r.gflops, f.min_gflops
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Validates fresh `--smoke` scheduler records: at least one record per
+/// schedule (`static`, `dynamic`) must exist, and every record must stay
+/// under its `[[sched_smoke_floor]]` imbalance ceiling.
+pub fn check_smoke_sched(policy: &TolerancePolicy, records: &[SchedRecord]) -> GateReport {
+    let mut report = GateReport::default();
+    for required in ["static", "dynamic"] {
+        if !records.iter().any(|r| r.schedule == required) {
+            report.failures.push(format!(
+                "no fresh {required} smoke record — run \
+                 `cargo bench -p omen-bench --bench sched -- --smoke` first"
+            ));
+        }
+    }
+    for r in records {
+        report.checked += 1;
+        let tag = format!("{}/{}/r{}", r.case, r.schedule, r.ranks);
+        match policy.sched_smoke_floor(&r.case, &r.schedule) {
+            Err(e) => report.failures.push(format!("smoke record {tag}: {e}")),
+            Ok(f) => {
+                if !(r.imbalance.is_finite() && r.imbalance <= f.max_imbalance) {
+                    report.failures.push(format!(
+                        "smoke record {tag}: imbalance {:.3} exceeds the catastrophic \
+                         ceiling {:.3} — the scheduler is serializing work, not merely noisy",
+                        r.imbalance, f.max_imbalance
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kernel_json, sched_json};
+
+    /// A minimal but complete policy for the gate tests: one guardband per
+    /// leg with easy round numbers (gemm scalar floor = 10·(1−0.2) = 8).
+    fn test_policy() -> TolerancePolicy {
+        TolerancePolicy::parse(
+            "gate-test",
+            r#"
+schema = "omen-tolerances-v1"
+
+[[kernel_guardband]]
+kernel = "gemm"
+simd = false
+reference_gflops = 10.0
+guardband = 0.2
+rationale = "test floor 8.0"
+
+[[kernel_guardband]]
+kernel = "lu"
+simd = false
+reference_gflops = 5.0
+guardband = 0.2
+rationale = "test floor 4.0"
+
+[[sched_guardband]]
+case = "resonance-comb"
+schedule = "dynamic"
+max_imbalance = 1.5
+rationale = "test ceiling"
+
+[[kernel_smoke_floor]]
+kernel = "gemm"
+min_gflops = 0.05
+rationale = "catastrophic only"
+
+[[kernel_smoke_floor]]
+kernel = "lu"
+min_gflops = 0.05
+rationale = "catastrophic only"
+
+[[sched_smoke_floor]]
+case = "resonance-comb"
+schedule = "dynamic"
+max_imbalance = 1.9
+rationale = "catastrophic only"
+
+[[sched_smoke_floor]]
+case = "resonance-comb"
+schedule = "static"
+max_imbalance = 2.9
+rationale = "degenerate comb"
+"#,
+        )
+        .expect("test policy parses")
+    }
+
+    fn krec(kernel: &str, simd: bool, gflops: f64) -> KernelRecord {
+        KernelRecord {
+            kernel: kernel.into(),
+            n: 64,
+            threads: 1,
+            simd,
+            median_s: 1e-3,
+            min_s: 9e-4,
+            gflops,
+        }
+    }
+
+    fn srec(schedule: &str, imbalance: f64) -> SchedRecord {
+        SchedRecord {
+            case: "resonance-comb".into(),
+            schedule: schedule.into(),
+            ranks: 4,
+            units: 64,
+            wall_s: 0.5,
+            imbalance,
+            reissued: 0,
+        }
+    }
+
+    /// The acceptance criterion for the gate: a committed record
+    /// hand-degraded below its guardband floor must fail, and restoring
+    /// it must pass again.
+    #[test]
+    fn hand_degraded_committed_record_fails_and_reverted_passes() {
+        let policy = test_policy();
+        let healthy = vec![krec("gemm", false, 9.5), krec("lu", false, 4.5)];
+        assert!(check_committed_kernels(&policy, &healthy).is_clean());
+
+        let mut degraded = healthy.clone();
+        degraded[0].gflops = 7.9; // just below the 8.0 floor
+        let report = check_committed_kernels(&policy, &degraded);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("guardband floor 8.000"));
+        assert!(report.failures[0].contains("gemm/n64/t1/simd=false"));
+
+        degraded[0].gflops = healthy[0].gflops; // revert — green again
+        assert!(check_committed_kernels(&policy, &degraded).is_clean());
+    }
+
+    #[test]
+    fn committed_record_without_a_guardband_entry_fails() {
+        let policy = test_policy();
+        let report = check_committed_kernels(&policy, &[krec("gemm", true, 50.0)]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("no kernel_guardband"));
+    }
+
+    #[test]
+    fn non_finite_committed_measurements_fail() {
+        let policy = test_policy();
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let report = check_committed_kernels(&policy, &[krec("gemm", false, bad)]);
+            assert_eq!(report.failures.len(), 1, "gflops {bad} must fail");
+            assert!(report.failures[0].contains("non-finite or non-positive"));
+        }
+        let mut r = krec("gemm", false, 9.0);
+        r.median_s = f64::NAN;
+        assert!(!check_committed_kernels(&policy, &[r]).is_clean());
+    }
+
+    #[test]
+    fn empty_committed_baselines_fail() {
+        let policy = test_policy();
+        assert!(!check_committed_kernels(&policy, &[]).is_clean());
+        assert!(!check_committed_sched(&policy, &[]).is_clean());
+    }
+
+    #[test]
+    fn sched_imbalance_past_its_ceiling_fails() {
+        let policy = test_policy();
+        assert!(check_committed_sched(&policy, &[srec("dynamic", 1.4)]).is_clean());
+        let report = check_committed_sched(&policy, &[srec("dynamic", 1.6)]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("exceeds the guardband ceiling"));
+        // No guardband for the static schedule in the test policy.
+        assert!(!check_committed_sched(&policy, &[srec("static", 1.0)]).is_clean());
+    }
+
+    #[test]
+    fn smoke_requires_both_kernels_on_the_current_leg() {
+        let policy = test_policy();
+        let both = vec![krec("gemm", false, 0.2), krec("lu", false, 0.2)];
+        assert!(check_smoke_kernels(&policy, &both, false).is_clean());
+
+        // Only gemm present on the leg: the missing lu is named.
+        let gemm_only = vec![krec("gemm", false, 0.2)];
+        let report = check_smoke_kernels(&policy, &gemm_only, false);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("no fresh lu smoke record"));
+
+        // Records exist but for the *other* leg: both kernels are missing.
+        let report = check_smoke_kernels(&policy, &both, true);
+        assert_eq!(report.failures.len(), 2);
+    }
+
+    #[test]
+    fn smoke_floor_catches_catastrophic_kernel_regression() {
+        let policy = test_policy();
+        let slow = vec![krec("gemm", false, 0.01), krec("lu", false, 0.2)];
+        let report = check_smoke_kernels(&policy, &slow, false);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("catastrophic floor"));
+    }
+
+    #[test]
+    fn smoke_sched_requires_both_schedules_and_honors_ceilings() {
+        let policy = test_policy();
+        let both = vec![srec("dynamic", 1.2), srec("static", 2.5)];
+        assert!(check_smoke_sched(&policy, &both).is_clean());
+
+        let report = check_smoke_sched(&policy, &[srec("dynamic", 1.2)]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("no fresh static smoke record"));
+
+        let report = check_smoke_sched(&policy, &[srec("dynamic", 2.0), srec("static", 2.5)]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("catastrophic ceiling"));
+    }
+
+    /// The shipped policy must gate the shipped baselines: the committed
+    /// `BENCH_*.json` pass as-is, and degrading any one committed kernel
+    /// record below its guardband floor trips the gate (in memory — the
+    /// files are never touched).
+    #[test]
+    fn shipped_policy_gates_the_shipped_baselines() {
+        let policy = TolerancePolicy::load_default().expect("shipped TOLERANCES.toml loads");
+        let kernels =
+            kernel_json::read_records(&kernel_json::default_path()).expect("committed kernels");
+        let sched = sched_json::read_records(&sched_json::default_path()).expect("committed sched");
+        let kreport = check_committed_kernels(&policy, &kernels);
+        assert!(
+            kreport.is_clean(),
+            "shipped kernel baseline violates its own policy: {:?}",
+            kreport.failures
+        );
+        let sreport = check_committed_sched(&policy, &sched);
+        assert!(
+            sreport.is_clean(),
+            "shipped sched baseline violates its own policy: {:?}",
+            sreport.failures
+        );
+
+        let mut degraded = kernels.clone();
+        let g = policy
+            .kernel_guardband(&degraded[0].kernel, degraded[0].simd)
+            .expect("every committed record has a guardband");
+        degraded[0].gflops = g.reference_gflops * (1.0 - g.guardband) * 0.99;
+        assert!(
+            !check_committed_kernels(&policy, &degraded).is_clean(),
+            "degrading a committed record below its floor must trip the gate"
+        );
+    }
+}

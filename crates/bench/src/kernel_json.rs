@@ -32,6 +32,7 @@
 //! is hand-rolled for exactly this schema (the container bakes in no
 //! serde), and the writer emits one record per line for reviewable diffs.
 
+use omen_num::{OmenError, OmenResult};
 use std::path::{Path, PathBuf};
 
 /// One benchmark measurement.
@@ -87,62 +88,116 @@ fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
-fn parse_record(obj: &str) -> Option<KernelRecord> {
-    let kernel = field(obj, "kernel")?.trim_matches('"').to_string();
-    Some(KernelRecord {
-        kernel,
-        n: field(obj, "n")?.parse().ok()?,
-        threads: field(obj, "threads")?.parse().ok()?,
+fn req<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    field(obj, key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
+    let raw = req(obj, key)?;
+    raw.parse()
+        .map_err(|_| format!("unparsable field {key:?}: {raw:?}"))
+}
+
+fn parse_record(obj: &str) -> Result<KernelRecord, String> {
+    Ok(KernelRecord {
+        kernel: req(obj, "kernel")?.trim_matches('"').to_string(),
+        n: num(obj, "n")?,
+        threads: num(obj, "threads")?,
         // Absent in pre-SIMD baselines, which were all scalar measurements.
         simd: field(obj, "simd").is_some_and(|v| v == "true"),
-        median_s: field(obj, "median_s")?.parse().ok()?,
-        min_s: field(obj, "min_s")?.parse().ok()?,
-        gflops: field(obj, "gflops")?.parse().ok()?,
+        median_s: num(obj, "median_s")?,
+        min_s: num(obj, "min_s")?,
+        gflops: num(obj, "gflops")?,
     })
 }
 
-/// Parses a document produced by [`to_json`]. Returns `None` when the text
-/// is not an `omen-bench-kernels-v1` document; records that fail to parse
-/// individually are skipped.
-pub fn from_json(text: &str) -> Option<Vec<KernelRecord>> {
-    if !text.contains(SCHEMA) {
-        return None;
+fn berr(source: &str, detail: impl Into<String>) -> OmenError {
+    OmenError::InvalidBaseline {
+        path: source.to_string(),
+        detail: detail.into(),
     }
-    let arr_start = text.find("\"records\"")?;
-    let arr = &text[text[arr_start..].find('[')? + arr_start + 1..];
-    let arr = &arr[..arr.rfind(']')?];
-    let mut records = Vec::new();
-    let mut rest = arr;
-    while let Some(open) = rest.find('{') {
-        let Some(close) = rest[open..].find('}') else {
-            break;
-        };
-        if let Some(r) = parse_record(&rest[open..open + close + 1]) {
-            records.push(r);
-        }
-        rest = &rest[open + close + 1..];
-    }
-    Some(records)
 }
 
-/// Reads the baseline at `path`; empty when absent or unreadable.
-pub fn read_records(path: &Path) -> Vec<KernelRecord> {
-    std::fs::read_to_string(path)
-        .ok()
-        .and_then(|t| from_json(&t))
-        .unwrap_or_default()
+/// Parses a document produced by [`to_json`]. `source` names the document
+/// in error messages (a path, or a logical label in tests).
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the schema tag is missing
+/// or not `omen-bench-kernels-v1` (the error names the found schema), the
+/// records array is absent, or any record fails to parse (the error names
+/// the record index and field) — a corrupt baseline is never silently
+/// read as a smaller one.
+pub fn from_json(source: &str, text: &str) -> OmenResult<Vec<KernelRecord>> {
+    let schema = field(text, "schema")
+        .map(|s| s.trim_matches('"'))
+        .ok_or_else(|| berr(source, "missing schema tag"))?;
+    if schema != SCHEMA {
+        return Err(berr(
+            source,
+            format!("schema {schema:?} (expected {SCHEMA:?})"),
+        ));
+    }
+    let arr_start = text
+        .find("\"records\"")
+        .ok_or_else(|| berr(source, "missing records array"))?;
+    let open = text[arr_start..]
+        .find('[')
+        .ok_or_else(|| berr(source, "missing records array"))?;
+    let arr = &text[arr_start + open + 1..];
+    let arr = &arr[..arr
+        .rfind(']')
+        .ok_or_else(|| berr(source, "unterminated records array"))?];
+    let mut records = Vec::new();
+    let mut rest = arr;
+    while let Some(obj_open) = rest.find('{') {
+        let Some(close) = rest[obj_open..].find('}') else {
+            return Err(berr(
+                source,
+                format!("unterminated record object after index {}", records.len()),
+            ));
+        };
+        let obj = &rest[obj_open..obj_open + close + 1];
+        let r = parse_record(obj)
+            .map_err(|detail| berr(source, format!("record {}: {detail}", records.len())))?;
+        records.push(r);
+        rest = &rest[obj_open + close + 1..];
+    }
+    Ok(records)
+}
+
+/// Reads the baseline at `path`. A file that does not exist yet is an
+/// empty baseline (first run); anything else that fails is an error.
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the file exists but cannot
+/// be read, or fails any [`from_json`] validation.
+pub fn read_records(path: &Path) -> OmenResult<Vec<KernelRecord>> {
+    let source = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(berr(&source, format!("cannot read baseline: {e}"))),
+    };
+    from_json(&source, &text)
 }
 
 /// Merges `fresh` into the baseline at `path`: records with a matching
 /// `(kernel, n, threads, simd)` key are replaced, everything else is
 /// kept, and the result is written back sorted by that key — so the
 /// scalar and SIMD legs of a benchmark run coexist as separate rows.
+/// Replace-by-key plus the total sort make the merge idempotent: merging
+/// the same records twice, in any input order, yields byte-identical
+/// documents.
 ///
 /// # Errors
 ///
-/// Returns the underlying I/O error when the file cannot be written.
-pub fn merge_records(path: &Path, fresh: &[KernelRecord]) -> std::io::Result<()> {
-    let mut all = read_records(path);
+/// Returns [`OmenError::InvalidBaseline`] when the existing baseline is
+/// unreadable or fails validation (it is left untouched rather than
+/// clobbered), or when the merged document cannot be written.
+pub fn merge_records(path: &Path, fresh: &[KernelRecord]) -> OmenResult<()> {
+    let mut all = read_records(path)?;
     for r in fresh {
         all.retain(|e| {
             (e.kernel.as_str(), e.n, e.threads, e.simd)
@@ -158,7 +213,12 @@ pub fn merge_records(path: &Path, fresh: &[KernelRecord]) -> std::io::Result<()>
             b.simd,
         ))
     });
-    std::fs::write(path, to_json(&all))
+    std::fs::write(path, to_json(&all)).map_err(|e| {
+        berr(
+            &path.display().to_string(),
+            format!("cannot write baseline: {e}"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +240,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let records = vec![rec("gemm", 512, 4, 1.25), rec("lu", 128, 1, 0.333)];
-        let parsed = from_json(&to_json(&records)).unwrap();
+        let parsed = from_json("test", &to_json(&records)).unwrap();
         assert_eq!(parsed, records);
     }
 
@@ -189,7 +249,7 @@ mod tests {
         let mut a = rec("gemm", 512, 1, 9.0);
         a.simd = true;
         let b = rec("gemm", 512, 1, 7.5);
-        let parsed = from_json(&to_json(&[a.clone(), b.clone()])).unwrap();
+        let parsed = from_json("test", &to_json(&[a.clone(), b.clone()])).unwrap();
         assert_eq!(parsed, vec![a, b]);
     }
 
@@ -200,7 +260,7 @@ mod tests {
              {{\"kernel\": \"gemm\", \"n\": 64, \"threads\": 1, \
              \"median_s\": 1.0e-3, \"min_s\": 9.0e-4, \"gflops\": 2.0}}\n  ]\n}}\n"
         );
-        let parsed = from_json(&legacy).unwrap();
+        let parsed = from_json("test", &legacy).unwrap();
         assert_eq!(parsed.len(), 1);
         assert!(!parsed[0].simd);
     }
@@ -216,7 +276,7 @@ mod tests {
         simd.simd = true;
         merge_records(&path, std::slice::from_ref(&scalar)).unwrap();
         merge_records(&path, std::slice::from_ref(&simd)).unwrap();
-        let all = read_records(&path);
+        let all = read_records(&path).unwrap();
         assert_eq!(all.len(), 2, "SIMD leg must not clobber the scalar row");
         assert_eq!(all[0], scalar);
         assert_eq!(all[1], simd);
@@ -224,9 +284,82 @@ mod tests {
     }
 
     #[test]
-    fn wrong_schema_rejected() {
-        assert!(from_json("{\"schema\": \"something-else\"}").is_none());
-        assert!(from_json("").is_none());
+    fn wrong_schema_is_a_clear_error() {
+        match from_json("doc", "{\"schema\": \"omen-bench-kernels-v9\"}") {
+            Err(OmenError::InvalidBaseline { path, detail }) => {
+                assert_eq!(path, "doc");
+                assert!(detail.contains("omen-bench-kernels-v9"), "{detail}");
+                assert!(detail.contains(SCHEMA), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+        match from_json("doc", "") {
+            Err(OmenError::InvalidBaseline { detail, .. }) => {
+                assert!(detail.contains("missing schema"), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_errors_not_omissions() {
+        let doc = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n    \
+             {{\"kernel\": \"gemm\", \"n\": 64, \"threads\": 1, \"simd\": false, \
+             \"median_s\": 1.0e-3, \"min_s\": 9.0e-4, \"gflops\": 2.0}},\n    \
+             {{\"kernel\": \"lu\", \"n\": \"wat\", \"threads\": 1, \"simd\": false, \
+             \"median_s\": 1.0e-3, \"min_s\": 9.0e-4, \"gflops\": 2.0}}\n  ]\n}}\n"
+        );
+        match from_json("doc", &doc) {
+            Err(OmenError::InvalidBaseline { detail, .. }) => {
+                assert!(detail.contains("record 1"), "{detail}");
+                assert!(detail.contains("\"n\""), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_refuses_to_clobber_an_incompatible_baseline() {
+        let dir = std::env::temp_dir().join("omen_bench_kernel_json_clobber_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incompatible.json");
+        std::fs::write(
+            &path,
+            "{\"schema\": \"omen-bench-kernels-v9\", \"records\": []}",
+        )
+        .unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        let err = merge_records(&path, &[rec("gemm", 64, 1, 1.0)]).unwrap_err();
+        assert!(matches!(err, OmenError::InvalidBaseline { .. }), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            before,
+            "a failed merge must leave the existing file untouched"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_order_independent() {
+        let dir = std::env::temp_dir().join("omen_bench_kernel_json_idem_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idem.json");
+        let _ = std::fs::remove_file(&path);
+        let mut simd = rec("gemm", 128, 2, 12.0);
+        simd.simd = true;
+        let records = vec![rec("lu", 64, 1, 1.0), rec("gemm", 512, 4, 2.0), simd];
+        merge_records(&path, &records).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        // Re-running the same bench must not duplicate or reorder anything.
+        merge_records(&path, &records).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        // Nor may the input order matter.
+        let mut reversed = records.clone();
+        reversed.reverse();
+        merge_records(&path, &reversed).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -237,7 +370,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         merge_records(&path, &[rec("lu", 64, 1, 1.0), rec("gemm", 512, 4, 2.0)]).unwrap();
         merge_records(&path, &[rec("gemm", 512, 4, 3.0), rec("gemm", 512, 1, 1.5)]).unwrap();
-        let all = read_records(&path);
+        let all = read_records(&path).unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(all[0].kernel, "gemm");
         assert_eq!((all[0].n, all[0].threads), (512, 1));

@@ -29,6 +29,7 @@
 //! and `tab2_flops --json` persist machine-readable throughput records to
 //! the repo-root `BENCH_kernels.json` baseline via [`kernel_json`].
 
+pub mod gate;
 pub mod kernel_json;
 pub mod sched_json;
 

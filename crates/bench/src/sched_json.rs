@@ -27,6 +27,7 @@
 //! for exactly this schema (the container bakes in no serde), and the
 //! writer emits one record per line for reviewable diffs.
 
+use omen_num::{OmenError, OmenResult};
 use std::path::{Path, PathBuf};
 
 /// One scheduler measurement.
@@ -81,59 +82,113 @@ fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
-fn parse_record(obj: &str) -> Option<SchedRecord> {
-    Some(SchedRecord {
-        case: field(obj, "case")?.trim_matches('"').to_string(),
-        schedule: field(obj, "schedule")?.trim_matches('"').to_string(),
-        ranks: field(obj, "ranks")?.parse().ok()?,
-        units: field(obj, "units")?.parse().ok()?,
-        wall_s: field(obj, "wall_s")?.parse().ok()?,
-        imbalance: field(obj, "imbalance")?.parse().ok()?,
-        reissued: field(obj, "reissued")?.parse().ok()?,
+fn req<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    field(obj, key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
+    let raw = req(obj, key)?;
+    raw.parse()
+        .map_err(|_| format!("unparsable field {key:?}: {raw:?}"))
+}
+
+fn parse_record(obj: &str) -> Result<SchedRecord, String> {
+    Ok(SchedRecord {
+        case: req(obj, "case")?.trim_matches('"').to_string(),
+        schedule: req(obj, "schedule")?.trim_matches('"').to_string(),
+        ranks: num(obj, "ranks")?,
+        units: num(obj, "units")?,
+        wall_s: num(obj, "wall_s")?,
+        imbalance: num(obj, "imbalance")?,
+        reissued: num(obj, "reissued")?,
     })
 }
 
-/// Parses a document produced by [`to_json`]. Returns `None` when the text
-/// is not an `omen-bench-sched-v1` document; records that fail to parse
-/// individually are skipped.
-pub fn from_json(text: &str) -> Option<Vec<SchedRecord>> {
-    if !text.contains(SCHEMA) {
-        return None;
+fn berr(source: &str, detail: impl Into<String>) -> OmenError {
+    OmenError::InvalidBaseline {
+        path: source.to_string(),
+        detail: detail.into(),
     }
-    let arr_start = text.find("\"records\"")?;
-    let arr = &text[text[arr_start..].find('[')? + arr_start + 1..];
-    let arr = &arr[..arr.rfind(']')?];
-    let mut records = Vec::new();
-    let mut rest = arr;
-    while let Some(open) = rest.find('{') {
-        let Some(close) = rest[open..].find('}') else {
-            break;
-        };
-        if let Some(r) = parse_record(&rest[open..open + close + 1]) {
-            records.push(r);
-        }
-        rest = &rest[open + close + 1..];
-    }
-    Some(records)
 }
 
-/// Reads the baseline at `path`; empty when absent or unreadable.
-pub fn read_records(path: &Path) -> Vec<SchedRecord> {
-    std::fs::read_to_string(path)
-        .ok()
-        .and_then(|t| from_json(&t))
-        .unwrap_or_default()
+/// Parses a document produced by [`to_json`]. `source` names the document
+/// in error messages (a path, or a logical label in tests).
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the schema tag is missing
+/// or not `omen-bench-sched-v1` (the error names the found schema), the
+/// records array is absent, or any record fails to parse (the error names
+/// the record index and field) — a corrupt baseline is never silently
+/// read as a smaller one.
+pub fn from_json(source: &str, text: &str) -> OmenResult<Vec<SchedRecord>> {
+    let schema = field(text, "schema")
+        .map(|s| s.trim_matches('"'))
+        .ok_or_else(|| berr(source, "missing schema tag"))?;
+    if schema != SCHEMA {
+        return Err(berr(
+            source,
+            format!("schema {schema:?} (expected {SCHEMA:?})"),
+        ));
+    }
+    let arr_start = text
+        .find("\"records\"")
+        .ok_or_else(|| berr(source, "missing records array"))?;
+    let open = text[arr_start..]
+        .find('[')
+        .ok_or_else(|| berr(source, "missing records array"))?;
+    let arr = &text[arr_start + open + 1..];
+    let arr = &arr[..arr
+        .rfind(']')
+        .ok_or_else(|| berr(source, "unterminated records array"))?];
+    let mut records = Vec::new();
+    let mut rest = arr;
+    while let Some(obj_open) = rest.find('{') {
+        let Some(close) = rest[obj_open..].find('}') else {
+            return Err(berr(
+                source,
+                format!("unterminated record object after index {}", records.len()),
+            ));
+        };
+        let obj = &rest[obj_open..obj_open + close + 1];
+        let r = parse_record(obj)
+            .map_err(|detail| berr(source, format!("record {}: {detail}", records.len())))?;
+        records.push(r);
+        rest = &rest[obj_open + close + 1..];
+    }
+    Ok(records)
+}
+
+/// Reads the baseline at `path`. A file that does not exist yet is an
+/// empty baseline (first run); anything else that fails is an error.
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the file exists but cannot
+/// be read, or fails any [`from_json`] validation.
+pub fn read_records(path: &Path) -> OmenResult<Vec<SchedRecord>> {
+    let source = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(berr(&source, format!("cannot read baseline: {e}"))),
+    };
+    from_json(&source, &text)
 }
 
 /// Merges `fresh` into the baseline at `path`: records with a matching
 /// `(case, schedule, ranks)` key are replaced, everything else is kept,
-/// and the result is written back sorted by that key.
+/// and the result is written back sorted by that key. Replace-by-key plus
+/// the total sort make the merge idempotent: merging the same records
+/// twice, in any input order, yields byte-identical documents.
 ///
 /// # Errors
 ///
-/// Returns the underlying I/O error when the file cannot be written.
-pub fn merge_records(path: &Path, fresh: &[SchedRecord]) -> std::io::Result<()> {
-    let mut all = read_records(path);
+/// Returns [`OmenError::InvalidBaseline`] when the existing baseline is
+/// unreadable or fails validation (it is left untouched rather than
+/// clobbered), or when the merged document cannot be written.
+pub fn merge_records(path: &Path, fresh: &[SchedRecord]) -> OmenResult<()> {
+    let mut all = read_records(path)?;
     for r in fresh {
         all.retain(|e| {
             (e.case.as_str(), e.schedule.as_str(), e.ranks)
@@ -148,7 +203,12 @@ pub fn merge_records(path: &Path, fresh: &[SchedRecord]) -> std::io::Result<()> 
             b.ranks,
         ))
     });
-    std::fs::write(path, to_json(&all))
+    std::fs::write(path, to_json(&all)).map_err(|e| {
+        berr(
+            &path.display().to_string(),
+            format!("cannot write baseline: {e}"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -173,14 +233,84 @@ mod tests {
             rec("edge", "static", 4, 2.59),
             rec("edge", "dynamic", 4, 1.1),
         ];
-        let parsed = from_json(&to_json(&records)).unwrap();
+        let parsed = from_json("test", &to_json(&records)).unwrap();
         assert_eq!(parsed, records);
     }
 
     #[test]
-    fn wrong_schema_rejected() {
-        assert!(from_json("{\"schema\": \"something-else\"}").is_none());
-        assert!(from_json("").is_none());
+    fn wrong_schema_is_a_clear_error() {
+        match from_json("doc", "{\"schema\": \"omen-bench-sched-v9\"}") {
+            Err(OmenError::InvalidBaseline { path, detail }) => {
+                assert_eq!(path, "doc");
+                assert!(detail.contains("omen-bench-sched-v9"), "{detail}");
+                assert!(detail.contains(SCHEMA), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+        assert!(matches!(
+            from_json("doc", ""),
+            Err(OmenError::InvalidBaseline { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_records_are_errors_not_omissions() {
+        let doc = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n    \
+             {{\"case\": \"edge\", \"schedule\": \"static\", \"ranks\": 4, \
+             \"units\": 64, \"wall_s\": 2.0e-1, \"imbalance\": \"broken\", \
+             \"reissued\": 0}}\n  ]\n}}\n"
+        );
+        match from_json("doc", &doc) {
+            Err(OmenError::InvalidBaseline { detail, .. }) => {
+                assert!(detail.contains("record 0"), "{detail}");
+                assert!(detail.contains("\"imbalance\""), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_order_independent() {
+        let dir = std::env::temp_dir().join("omen_bench_sched_json_idem_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idem.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            rec("edge", "static", 4, 2.5),
+            rec("edge", "dynamic", 4, 1.1),
+            rec("edge", "dynamic", 3, 1.2),
+        ];
+        merge_records(&path, &records).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        merge_records(&path, &records).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let mut reversed = records.clone();
+        reversed.reverse();
+        merge_records(&path, &reversed).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_refuses_to_clobber_an_incompatible_baseline() {
+        let dir = std::env::temp_dir().join("omen_bench_sched_json_clobber_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incompatible.json");
+        std::fs::write(
+            &path,
+            "{\"schema\": \"omen-bench-sched-v9\", \"records\": []}",
+        )
+        .unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        let err = merge_records(&path, &[rec("edge", "static", 4, 2.0)]).unwrap_err();
+        assert!(matches!(err, OmenError::InvalidBaseline { .. }), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            before,
+            "a failed merge must leave the existing file untouched"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -198,7 +328,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let all = read_records(&path);
+        let all = read_records(&path).unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].schedule, "dynamic");
         assert_eq!(all[1].imbalance, 2.5);

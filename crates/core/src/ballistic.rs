@@ -206,7 +206,10 @@ pub fn solve_sweep_scheduled(
     for id in model.descending_order(0..n) {
         let t0 = std::time::Instant::now();
         let r = solve_point(energies[id], h, lead_l, lead_r, engine);
-        model.observe(id, t0.elapsed().as_secs_f64());
+        // Instant-derived seconds are always finite, so the ledger cannot
+        // reject them; a (hypothetical) rejection would only cost
+        // prediction quality, never correctness.
+        let _ = model.observe(id, t0.elapsed().as_secs_f64());
         slots[id] = Some(r);
     }
     // Canonical-order merge: identical accounting to the static sweep.

@@ -10,9 +10,11 @@
 
 use std::sync::OnceLock;
 
-/// Interprets the raw `OMEN_LOG` value: set, non-empty, and not `"0"`.
+/// Interprets the raw `OMEN_LOG` value: set, non-blank, and not `"0"`
+/// after trimming — ` 0 ` from a quoted shell variable must mean the same
+/// as `0`, and a whitespace-only value is as good as unset.
 fn parse_enabled(val: Option<&str>) -> bool {
-    match val {
+    match val.map(str::trim) {
         Some(v) => !v.is_empty() && v != "0",
         None => false,
     }
@@ -50,11 +52,23 @@ mod tests {
 
     #[test]
     fn env_value_parsing() {
-        assert!(!parse_enabled(None));
-        assert!(!parse_enabled(Some("")));
-        assert!(!parse_enabled(Some("0")));
-        assert!(parse_enabled(Some("1")));
-        assert!(parse_enabled(Some("verbose")));
+        // (raw OMEN_LOG value, logging enabled) — whitespace trims away, so
+        // a quoted " 0 " disables exactly like a bare 0 and a blank value
+        // is as good as unset.
+        let cases: &[(Option<&str>, bool)] = &[
+            (None, false),
+            (Some(""), false),
+            (Some("   "), false),
+            (Some("0"), false),
+            (Some(" 0 "), false),
+            (Some("1"), true),
+            (Some(" 1 "), true),
+            (Some("01"), true),
+            (Some("verbose"), true),
+        ];
+        for &(raw, want) in cases {
+            assert_eq!(parse_enabled(raw), want, "OMEN_LOG={raw:?}");
+        }
     }
 
     #[test]

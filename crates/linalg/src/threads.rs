@@ -257,28 +257,77 @@ mod tests {
 
     #[test]
     fn threads_parse_accepts_positive_rejects_garbage() {
-        assert_eq!(parse_threads(None).unwrap(), None);
-        assert_eq!(parse_threads(Some(" 4 ")).unwrap(), Some(4));
-        for bad in ["0", "-2", "four", "", "1.5"] {
-            match parse_threads(Some(bad)) {
-                Err(OmenError::InvalidEnv { var, value, .. }) => {
-                    assert_eq!(var, THREADS_ENV);
-                    assert_eq!(value, bad);
+        // (raw OMEN_THREADS value, parsed count) — whitespace trims away
+        // and a leading zero is still the same strict integer.
+        let good: &[(Option<&str>, Option<usize>)] = &[
+            (None, None),
+            (Some("1"), Some(1)),
+            (Some(" 4 "), Some(4)),
+            (Some("01"), Some(1)),
+            (Some("128"), Some(128)),
+        ];
+        for &(raw, want) in good {
+            assert_eq!(parse_threads(raw).unwrap(), want, "OMEN_THREADS={raw:?}");
+        }
+        // Empty, whitespace-only, zero, negative, fractional, textual and
+        // overflowing counts all surface the exact typed error — never a
+        // silent default.
+        let bad = [
+            "",
+            "   ",
+            "0",
+            " 0 ",
+            "-2",
+            "1.5",
+            "four",
+            "18446744073709551616",
+        ];
+        for raw in bad {
+            match parse_threads(Some(raw)) {
+                Err(OmenError::InvalidEnv {
+                    var,
+                    value,
+                    expected,
+                }) => {
+                    assert_eq!(var, THREADS_ENV, "{raw:?}");
+                    assert_eq!(value, raw, "{raw:?}");
+                    assert_eq!(expected, "a positive integer thread count, or unset");
                 }
-                other => panic!("{bad:?} must be rejected, got {other:?}"),
+                other => panic!("{raw:?} must be rejected, got {other:?}"),
             }
         }
     }
 
     #[test]
     fn simd_parse_accepts_binary_rejects_garbage() {
-        assert_eq!(parse_simd(None).unwrap(), None);
-        assert_eq!(parse_simd(Some("0")).unwrap(), Some(false));
-        assert_eq!(parse_simd(Some(" 1 ")).unwrap(), Some(true));
-        for bad in ["2", "true", "avx2", ""] {
-            match parse_simd(Some(bad)) {
-                Err(OmenError::InvalidEnv { var, .. }) => assert_eq!(var, SIMD_ENV),
-                other => panic!("{bad:?} must be rejected, got {other:?}"),
+        let good: &[(Option<&str>, Option<bool>)] = &[
+            (None, None),
+            (Some("0"), Some(false)),
+            (Some(" 0 "), Some(false)),
+            (Some("1"), Some(true)),
+            (Some(" 1 "), Some(true)),
+        ];
+        for &(raw, want) in good {
+            assert_eq!(parse_simd(raw).unwrap(), want, "OMEN_SIMD={raw:?}");
+        }
+        // `01` is not `0` or `1`: a typo'd leg selector must fail loudly,
+        // not pick a leg. Likewise empty/whitespace/boolean-ish spellings.
+        let bad = ["", "   ", "01", "2", "-1", "true", "yes", "avx2"];
+        for raw in bad {
+            match parse_simd(Some(raw)) {
+                Err(OmenError::InvalidEnv {
+                    var,
+                    value,
+                    expected,
+                }) => {
+                    assert_eq!(var, SIMD_ENV, "{raw:?}");
+                    assert_eq!(value, raw.trim(), "{raw:?}");
+                    assert_eq!(
+                        expected,
+                        "0 (force scalar), 1 (force SIMD), or unset (auto)"
+                    );
+                }
+                other => panic!("{raw:?} must be rejected, got {other:?}"),
             }
         }
     }

@@ -111,6 +111,41 @@ pub enum OmenError {
         /// What would have been accepted.
         expected: &'static str,
     },
+    /// The machine-readable tolerance/guardband policy (`TOLERANCES.toml`)
+    /// is missing, malformed, or does not cover what a consumer asked for.
+    /// Raised instead of falling back to an ad-hoc bound, so a typo'd or
+    /// deleted policy entry fails loudly rather than silently loosening a
+    /// conformance gate.
+    InvalidPolicy {
+        /// File (or logical source) of the policy text.
+        source: String,
+        /// 1-based line of the offending entry, 0 for whole-document
+        /// problems (missing file, missing schema, lookup misses).
+        line: usize,
+        /// What is wrong.
+        detail: String,
+    },
+    /// A committed benchmark baseline (`BENCH_*.json`) could not be
+    /// decoded: wrong schema version, malformed record, or unreadable
+    /// file. Raised instead of silently dropping records so a stale or
+    /// corrupt baseline never masquerades as an empty one.
+    InvalidBaseline {
+        /// Path of the baseline file.
+        path: String,
+        /// What is wrong (includes the found-vs-expected schema when the
+        /// version does not match).
+        detail: String,
+    },
+    /// A non-finite or negative duration reached the scheduler's cost
+    /// model (e.g. a corrupt wire-encoded timing). Rejected instead of
+    /// folded into the EWMA, where a single NaN would poison every later
+    /// LPT hand-out decision.
+    NonFiniteCost {
+        /// Work-unit index whose observation was rejected.
+        unit: usize,
+        /// The rejected seconds value.
+        value: f64,
+    },
     /// A matrix entry falls outside the block-tridiagonal envelope of the
     /// given slab partition (non-nearest-neighbor coupling).
     InvalidPartition {
@@ -248,6 +283,27 @@ impl fmt::Display for OmenError {
                 expected,
             } => {
                 write!(f, "invalid {var}={value:?}: expected {expected}")
+            }
+            OmenError::InvalidPolicy {
+                source,
+                line,
+                detail,
+            } => {
+                if *line == 0 {
+                    write!(f, "invalid tolerance policy {source}: {detail}")
+                } else {
+                    write!(f, "invalid tolerance policy {source}:{line}: {detail}")
+                }
+            }
+            OmenError::InvalidBaseline { path, detail } => {
+                write!(f, "invalid bench baseline {path}: {detail}")
+            }
+            OmenError::NonFiniteCost { unit, value } => {
+                write!(
+                    f,
+                    "rejected cost observation for unit {unit}: {value} is not a \
+                     finite non-negative duration"
+                )
             }
             OmenError::InvalidPartition {
                 row,
@@ -433,6 +489,40 @@ mod tests {
         assert!(s.contains("OMEN_SIMD"));
         assert!(s.contains("maybe"));
         assert!(s.contains("0, 1, or unset"));
+    }
+
+    #[test]
+    fn policy_and_baseline_errors_display() {
+        let p = OmenError::InvalidPolicy {
+            source: "TOLERANCES.toml".into(),
+            line: 12,
+            detail: "missing rationale".into(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("TOLERANCES.toml:12"));
+        assert!(s.contains("missing rationale"));
+        let p0 = OmenError::InvalidPolicy {
+            source: "TOLERANCES.toml".into(),
+            line: 0,
+            detail: "no entry for op \"gemm\"".into(),
+        };
+        let s = p0.to_string();
+        assert!(s.contains("TOLERANCES.toml: no entry"));
+        assert!(!s.contains(":0:"));
+        let b = OmenError::InvalidBaseline {
+            path: "BENCH_kernels.json".into(),
+            detail: "schema \"v9\" (expected \"omen-bench-kernels-v1\")".into(),
+        };
+        let s = b.to_string();
+        assert!(s.contains("BENCH_kernels.json"));
+        assert!(s.contains("expected"));
+        let c = OmenError::NonFiniteCost {
+            unit: 7,
+            value: f64::NAN,
+        };
+        let s = c.to_string();
+        assert!(s.contains("unit 7"));
+        assert!(s.contains("NaN"));
     }
 
     #[test]

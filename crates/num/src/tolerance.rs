@@ -1,0 +1,1047 @@
+//! Machine-readable numeric tolerance policy and perf guardbands.
+//!
+//! Every numeric bound the conformance batteries use — and every
+//! throughput guardband the bench gate enforces — lives in one committed
+//! artifact, `TOLERANCES.toml` at the repo root, parsed here into a typed
+//! [`TolerancePolicy`]. Tests pull bounds through [`test_bound`] instead of
+//! hard-coding `1e-12` literals (the `tolerance-literal` lint in
+//! `omen-analyze` rejects inline bounds in test files), so loosening a
+//! tolerance is always a reviewable one-line diff with a rationale string
+//! next to it, never a silent edit buried in an assert.
+//!
+//! The parser is a dependency-free TOML subset: top-level `key = "value"`
+//! pairs, `[[section]]` array-of-tables headers, and `key = value` entries
+//! whose values are strings, floats, or booleans. That covers the whole
+//! policy schema; anything else is a loud [`OmenError::InvalidPolicy`].
+//!
+//! Validation is strict by design — unknown op names, missing rationales,
+//! non-finite bounds, duplicate entries, and lookups that miss all raise a
+//! typed error rather than falling back to a default bound.
+
+use crate::error::{OmenError, OmenResult};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Schema tag the policy document must carry.
+pub const POLICY_SCHEMA: &str = "omen-tolerances-v1";
+
+/// Default policy location relative to this crate's manifest
+/// (`crates/num`), i.e. the repo root. Compile-time constant, so lookups
+/// work from any working directory.
+pub const DEFAULT_POLICY_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TOLERANCES.toml");
+
+/// Closed set of operation names the conformance batteries consume. A
+/// `[[tolerance]]` entry whose `op` is not listed here is a typo and is
+/// rejected at load time.
+pub const KNOWN_OPS: &[&str] = &[
+    // tests/kernel_conformance.rs
+    "gemm.vs_oracle",
+    "gemm.cancellation",
+    "lu.vs_oracle",
+    "lu.reconstruction",
+    "lu.pivot_floor",
+    // tests/linalg_properties.rs
+    "lu.solve_residual",
+    "lu.det_multiplicative",
+    "eigh.reconstruction",
+    "eigh.value_order",
+    "qr.reconstruction",
+    "qr.orthonormal",
+    "geig.trace",
+    "gemm.associativity",
+    "gemm.adjoint",
+    "sparse.matvec",
+    "sparse.assembly_order",
+    // tests/engine_equivalence.rs
+    "engine.chain",
+    "engine.si_wire",
+    "engine.agnr",
+    "engine.utb",
+    "engine.spin_orbit",
+    "engine.thomas_vs_bcr",
+    // tests/physics_invariants.rs
+    "physics.unitarity_slack",
+    "physics.reciprocity",
+    "physics.sum_rule",
+    "physics.hermiticity",
+    "physics.wf_vs_rgf",
+    "physics.splitsolve_vs_thomas",
+    "fermi.seam",
+    "fermi.complement",
+    // tests/end_to_end.rs
+    "e2e.rgf_vs_wf",
+];
+
+/// Which dispatch path a tolerance entry covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchLeg {
+    /// Scalar reference kernels (`OMEN_SIMD=0`).
+    Scalar,
+    /// AVX2+FMA vectorized kernels (`OMEN_SIMD=1`).
+    Avx2Fma,
+    /// Bound holds on every path (leg-independent).
+    Any,
+    /// Bound governs a comparison whose two sides may run on different
+    /// paths (e.g. kernel-vs-oracle), i.e. the cross-path contract.
+    Cross,
+}
+
+impl DispatchLeg {
+    fn parse(s: &str) -> Option<DispatchLeg> {
+        match s {
+            "scalar" => Some(DispatchLeg::Scalar),
+            "avx2fma" => Some(DispatchLeg::Avx2Fma),
+            "any" => Some(DispatchLeg::Any),
+            "cross" => Some(DispatchLeg::Cross),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling used in `TOLERANCES.toml`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatchLeg::Scalar => "scalar",
+            DispatchLeg::Avx2Fma => "avx2fma",
+            DispatchLeg::Any => "any",
+            DispatchLeg::Cross => "cross",
+        }
+    }
+}
+
+/// How a bound value is applied by its consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// `|a - b| <= bound * scale` with a consumer-chosen relative scale.
+    Relative,
+    /// `|a - b| <= bound` (or a plain magnitude threshold).
+    Absolute,
+    /// Per-term bound against the accumulated magnitude of the summands
+    /// (guards catastrophic-cancellation contracts).
+    Termwise,
+    /// Maximum distance in units in the last place (bound is an integer
+    /// ulp count).
+    Ulp,
+}
+
+impl BoundKind {
+    fn parse(s: &str) -> Option<BoundKind> {
+        match s {
+            "relative" => Some(BoundKind::Relative),
+            "absolute" => Some(BoundKind::Absolute),
+            "termwise" => Some(BoundKind::Termwise),
+            "ulp" => Some(BoundKind::Ulp),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling used in `TOLERANCES.toml`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundKind::Relative => "relative",
+            BoundKind::Absolute => "absolute",
+            BoundKind::Termwise => "termwise",
+            BoundKind::Ulp => "ulp",
+        }
+    }
+}
+
+/// One `[[tolerance]]` entry: the bound for `op` on `path`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToleranceEntry {
+    /// Operation name (member of [`KNOWN_OPS`]).
+    pub op: String,
+    /// Dispatch leg the bound covers.
+    pub path: DispatchLeg,
+    /// How the bound is applied.
+    pub kind: BoundKind,
+    /// The bound value (finite, positive; integer ≥ 1 for ulp kinds).
+    pub bound: f64,
+    /// Why this bound is what it is (never empty).
+    pub rationale: String,
+    /// Source line of the entry header (for error reporting).
+    pub line: usize,
+}
+
+/// One `[[kernel_guardband]]` entry: the committed-baseline floor for a
+/// `(kernel, simd)` group in `BENCH_kernels.json`. A committed record whose
+/// throughput falls below `reference_gflops * (1 - guardband)` fails the
+/// bench gate until the entry is re-baselined with a new rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelGuardband {
+    /// Kernel name as recorded in the baseline (`gemm`, `lu`, ...).
+    pub kernel: String,
+    /// Which dispatch leg the group covers.
+    pub simd: bool,
+    /// Slowest committed throughput in the group at baseline time.
+    pub reference_gflops: f64,
+    /// Allowed fractional drop below the reference (in `(0, 1)`).
+    pub guardband: f64,
+    /// Why this reference/band is what it is (never empty).
+    pub rationale: String,
+}
+
+/// One `[[sched_guardband]]` entry: imbalance ceiling for a committed
+/// `(case, schedule)` record in `BENCH_sched.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedGuardband {
+    /// Workload case name.
+    pub case: String,
+    /// Schedule name (`static`, `dynamic`).
+    pub schedule: String,
+    /// Maximum allowed max/mean busy-time imbalance.
+    pub max_imbalance: f64,
+    /// Why this ceiling is what it is (never empty).
+    pub rationale: String,
+}
+
+/// One `[[kernel_smoke_floor]]` entry: the catastrophic-regression floor a
+/// fresh `--smoke` kernel record must clear on CI hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSmokeFloor {
+    /// Kernel name.
+    pub kernel: String,
+    /// Minimum believable throughput for a fresh smoke record.
+    pub min_gflops: f64,
+    /// Why the floor is set where it is (never empty).
+    pub rationale: String,
+}
+
+/// One `[[sched_smoke_floor]]` entry: imbalance ceiling for a fresh
+/// `--smoke` scheduler record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedSmokeFloor {
+    /// Workload case name.
+    pub case: String,
+    /// Schedule name.
+    pub schedule: String,
+    /// Maximum believable imbalance for a fresh smoke record.
+    pub max_imbalance: f64,
+    /// Why the ceiling is set where it is (never empty).
+    pub rationale: String,
+}
+
+/// The parsed, validated policy document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TolerancePolicy {
+    source: String,
+    entries: Vec<ToleranceEntry>,
+    /// Committed-baseline kernel guardbands.
+    pub kernel_guardbands: Vec<KernelGuardband>,
+    /// Committed-baseline scheduler guardbands.
+    pub sched_guardbands: Vec<SchedGuardband>,
+    /// Fresh-smoke kernel floors.
+    pub kernel_smoke_floors: Vec<KernelSmokeFloor>,
+    /// Fresh-smoke scheduler floors.
+    pub sched_smoke_floors: Vec<SchedSmokeFloor>,
+}
+
+/// Raw scalar value on the right of a `key = value` line.
+enum Raw {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl Raw {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Raw::Str(_) => "string",
+            Raw::Num(_) => "number",
+            Raw::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// One raw `[[section]]` block before typed validation.
+struct RawEntry {
+    section: String,
+    line: usize,
+    keys: Vec<(String, Raw, usize)>,
+}
+
+fn perr(source: &str, line: usize, detail: impl Into<String>) -> OmenError {
+    OmenError::InvalidPolicy {
+        source: source.to_string(),
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn parse_value(source: &str, line: usize, raw: &str) -> OmenResult<Raw> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return Err(perr(source, line, "unterminated string value"));
+        };
+        let tail = rest[end + 1..].trim();
+        if !tail.is_empty() && !tail.starts_with('#') {
+            return Err(perr(
+                source,
+                line,
+                format!("trailing garbage after string value: {tail:?}"),
+            ));
+        }
+        return Ok(Raw::Str(rest[..end].to_string()));
+    }
+    // Strip a trailing comment from non-string values.
+    let bare = raw.split('#').next().unwrap_or("").trim();
+    match bare {
+        "true" => Ok(Raw::Bool(true)),
+        "false" => Ok(Raw::Bool(false)),
+        _ => bare.parse::<f64>().map(Raw::Num).map_err(|_| {
+            perr(
+                source,
+                line,
+                format!("unparsable value {bare:?} (expected string, number, or bool)"),
+            )
+        }),
+    }
+}
+
+/// Typed key extraction from a raw entry.
+struct Keys<'a> {
+    source: &'a str,
+    entry: &'a RawEntry,
+    used: Vec<bool>,
+}
+
+impl<'a> Keys<'a> {
+    fn new(source: &'a str, entry: &'a RawEntry) -> Keys<'a> {
+        Keys {
+            source,
+            entry,
+            used: vec![false; entry.keys.len()],
+        }
+    }
+
+    fn find(&mut self, key: &str) -> OmenResult<(&'a Raw, usize)> {
+        for (i, (k, v, line)) in self.entry.keys.iter().enumerate() {
+            if k == key {
+                self.used[i] = true;
+                return Ok((v, *line));
+            }
+        }
+        Err(perr(
+            self.source,
+            self.entry.line,
+            format!("[[{}]] entry is missing key {key:?}", self.entry.section),
+        ))
+    }
+
+    fn str(&mut self, key: &str) -> OmenResult<String> {
+        match self.find(key)? {
+            (Raw::Str(s), _) => Ok(s.clone()),
+            (other, line) => Err(perr(
+                self.source,
+                line,
+                format!("key {key:?} must be a string, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn num(&mut self, key: &str) -> OmenResult<(f64, usize)> {
+        match self.find(key)? {
+            (Raw::Num(v), line) => Ok((*v, line)),
+            (other, line) => Err(perr(
+                self.source,
+                line,
+                format!("key {key:?} must be a number, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn bool(&mut self, key: &str) -> OmenResult<bool> {
+        match self.find(key)? {
+            (Raw::Bool(v), _) => Ok(*v),
+            (other, line) => Err(perr(
+                self.source,
+                line,
+                format!("key {key:?} must be a boolean, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// Non-empty rationale string — every policy entry must carry one.
+    fn rationale(&mut self) -> OmenResult<String> {
+        let r = self.str("rationale")?;
+        if r.trim().is_empty() {
+            return Err(perr(
+                self.source,
+                self.entry.line,
+                format!("[[{}]] entry has an empty rationale", self.entry.section),
+            ));
+        }
+        Ok(r)
+    }
+
+    /// Rejects keys the schema does not define (typo guard).
+    fn finish(self) -> OmenResult<()> {
+        for (i, (k, _, line)) in self.entry.keys.iter().enumerate() {
+            if !self.used[i] {
+                return Err(perr(
+                    self.source,
+                    *line,
+                    format!("unknown key {k:?} in [[{}]] entry", self.entry.section),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn finite_positive(source: &str, line: usize, key: &str, v: f64) -> OmenResult<f64> {
+    if !v.is_finite() || v <= 0.0 {
+        return Err(perr(
+            source,
+            line,
+            format!("{key} = {v} must be finite and positive"),
+        ));
+    }
+    Ok(v)
+}
+
+impl TolerancePolicy {
+    /// Parses and validates a policy document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] on syntax errors, a missing or
+    /// wrong `schema` tag, unknown sections/keys/ops, non-finite or
+    /// non-positive bounds, empty rationales, and duplicate entries.
+    pub fn parse(source: &str, text: &str) -> OmenResult<TolerancePolicy> {
+        let mut schema: Option<String> = None;
+        let mut raws: Vec<RawEntry> = Vec::new();
+        for (idx, full) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = full.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[") {
+                let Some(name) = header.strip_suffix("]]") else {
+                    return Err(perr(source, line_no, format!("malformed header {line:?}")));
+                };
+                raws.push(RawEntry {
+                    section: name.trim().to_string(),
+                    line: line_no,
+                    keys: Vec::new(),
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(perr(
+                    source,
+                    line_no,
+                    format!("plain [table] headers are not part of the schema: {line:?}"),
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(perr(
+                    source,
+                    line_no,
+                    format!("expected key = value: {line:?}"),
+                ));
+            };
+            let key = key.trim().to_string();
+            let value = parse_value(source, line_no, value)?;
+            match raws.last_mut() {
+                Some(entry) => {
+                    if entry.keys.iter().any(|(k, _, _)| *k == key) {
+                        return Err(perr(
+                            source,
+                            line_no,
+                            format!("duplicate key {key:?} in [[{}]] entry", entry.section),
+                        ));
+                    }
+                    entry.keys.push((key, value, line_no));
+                }
+                None => {
+                    if key == "schema" {
+                        match value {
+                            Raw::Str(s) => schema = Some(s),
+                            other => {
+                                return Err(perr(
+                                    source,
+                                    line_no,
+                                    format!("schema must be a string, got {}", other.type_name()),
+                                ))
+                            }
+                        }
+                    } else {
+                        return Err(perr(
+                            source,
+                            line_no,
+                            format!("unexpected top-level key {key:?} (only \"schema\")"),
+                        ));
+                    }
+                }
+            }
+        }
+        match schema.as_deref() {
+            Some(POLICY_SCHEMA) => {}
+            Some(other) => {
+                return Err(perr(
+                    source,
+                    0,
+                    format!("schema {other:?} (expected {POLICY_SCHEMA:?})"),
+                ))
+            }
+            None => {
+                return Err(perr(
+                    source,
+                    0,
+                    format!("missing schema tag (expected schema = {POLICY_SCHEMA:?})"),
+                ))
+            }
+        }
+
+        let mut policy = TolerancePolicy {
+            source: source.to_string(),
+            entries: Vec::new(),
+            kernel_guardbands: Vec::new(),
+            sched_guardbands: Vec::new(),
+            kernel_smoke_floors: Vec::new(),
+            sched_smoke_floors: Vec::new(),
+        };
+        for raw in &raws {
+            let mut keys = Keys::new(source, raw);
+            match raw.section.as_str() {
+                "tolerance" => {
+                    let op = keys.str("op")?;
+                    if !KNOWN_OPS.contains(&op.as_str()) {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("unknown op {op:?} (not in the KNOWN_OPS registry)"),
+                        ));
+                    }
+                    let path_s = keys.str("path")?;
+                    let Some(path) = DispatchLeg::parse(&path_s) else {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("unknown path {path_s:?} (expected scalar|avx2fma|any|cross)"),
+                        ));
+                    };
+                    let kind_s = keys.str("kind")?;
+                    let Some(kind) = BoundKind::parse(&kind_s) else {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!(
+                                "unknown kind {kind_s:?} (expected relative|absolute|termwise|ulp)"
+                            ),
+                        ));
+                    };
+                    let (bound, bline) = keys.num("bound")?;
+                    let bound = finite_positive(source, bline, "bound", bound)?;
+                    if kind == BoundKind::Ulp
+                        && (bound < 1.0 || (bound - bound.round()).abs() > 0.0)
+                    {
+                        return Err(perr(
+                            source,
+                            bline,
+                            format!("ulp bound {bound} must be an integer >= 1"),
+                        ));
+                    }
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy.entries.iter().any(|e| e.op == op && e.path == path) {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate tolerance for op {op:?} path {:?}", path.as_str()),
+                        ));
+                    }
+                    policy.entries.push(ToleranceEntry {
+                        op,
+                        path,
+                        kind,
+                        bound,
+                        rationale,
+                        line: raw.line,
+                    });
+                }
+                "kernel_guardband" => {
+                    let kernel = keys.str("kernel")?;
+                    let simd = keys.bool("simd")?;
+                    let (reference_gflops, rline) = keys.num("reference_gflops")?;
+                    let reference_gflops =
+                        finite_positive(source, rline, "reference_gflops", reference_gflops)?;
+                    let (guardband, gline) = keys.num("guardband")?;
+                    let guardband = finite_positive(source, gline, "guardband", guardband)?;
+                    if guardband >= 1.0 {
+                        return Err(perr(
+                            source,
+                            gline,
+                            format!("guardband {guardband} must be < 1 (a fractional drop)"),
+                        ));
+                    }
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy
+                        .kernel_guardbands
+                        .iter()
+                        .any(|g| g.kernel == kernel && g.simd == simd)
+                    {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate kernel_guardband for ({kernel:?}, simd={simd})"),
+                        ));
+                    }
+                    policy.kernel_guardbands.push(KernelGuardband {
+                        kernel,
+                        simd,
+                        reference_gflops,
+                        guardband,
+                        rationale,
+                    });
+                }
+                "sched_guardband" => {
+                    let case = keys.str("case")?;
+                    let schedule = keys.str("schedule")?;
+                    let (max_imbalance, iline) = keys.num("max_imbalance")?;
+                    let max_imbalance =
+                        finite_positive(source, iline, "max_imbalance", max_imbalance)?;
+                    if max_imbalance < 1.0 {
+                        return Err(perr(
+                            source,
+                            iline,
+                            format!("max_imbalance {max_imbalance} must be >= 1 (max/mean ratio)"),
+                        ));
+                    }
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy
+                        .sched_guardbands
+                        .iter()
+                        .any(|g| g.case == case && g.schedule == schedule)
+                    {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate sched_guardband for ({case:?}, {schedule:?})"),
+                        ));
+                    }
+                    policy.sched_guardbands.push(SchedGuardband {
+                        case,
+                        schedule,
+                        max_imbalance,
+                        rationale,
+                    });
+                }
+                "kernel_smoke_floor" => {
+                    let kernel = keys.str("kernel")?;
+                    let (min_gflops, mline) = keys.num("min_gflops")?;
+                    let min_gflops = finite_positive(source, mline, "min_gflops", min_gflops)?;
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy
+                        .kernel_smoke_floors
+                        .iter()
+                        .any(|g| g.kernel == kernel)
+                    {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate kernel_smoke_floor for {kernel:?}"),
+                        ));
+                    }
+                    policy.kernel_smoke_floors.push(KernelSmokeFloor {
+                        kernel,
+                        min_gflops,
+                        rationale,
+                    });
+                }
+                "sched_smoke_floor" => {
+                    let case = keys.str("case")?;
+                    let schedule = keys.str("schedule")?;
+                    let (max_imbalance, iline) = keys.num("max_imbalance")?;
+                    let max_imbalance =
+                        finite_positive(source, iline, "max_imbalance", max_imbalance)?;
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy
+                        .sched_smoke_floors
+                        .iter()
+                        .any(|g| g.case == case && g.schedule == schedule)
+                    {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate sched_smoke_floor for ({case:?}, {schedule:?})"),
+                        ));
+                    }
+                    policy.sched_smoke_floors.push(SchedSmokeFloor {
+                        case,
+                        schedule,
+                        max_imbalance,
+                        rationale,
+                    });
+                }
+                other => {
+                    return Err(perr(
+                        source,
+                        raw.line,
+                        format!("unknown section [[{other}]]"),
+                    ));
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Loads and validates the policy at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the file cannot be read or
+    /// fails any [`TolerancePolicy::parse`] validation.
+    pub fn load(path: &Path) -> OmenResult<TolerancePolicy> {
+        let source = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| perr(&source, 0, format!("cannot read policy file: {e}")))?;
+        TolerancePolicy::parse(&source, &text)
+    }
+
+    /// Loads the repo-root `TOLERANCES.toml`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`TolerancePolicy::load`].
+    pub fn load_default() -> OmenResult<TolerancePolicy> {
+        TolerancePolicy::load(Path::new(DEFAULT_POLICY_PATH))
+    }
+
+    /// All validated `[[tolerance]]` entries, in document order.
+    pub fn entries(&self) -> &[ToleranceEntry] {
+        &self.entries
+    }
+
+    /// Resolves the bound for `op` on `leg`: an entry declared for exactly
+    /// `leg` wins, otherwise a leg-independent (`path = "any"`) entry.
+    /// The entry's declared kind must match `kind` — asking for a relative
+    /// bound where the policy declares an absolute one is a consumer bug,
+    /// not a fallback case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when no entry covers
+    /// `(op, leg)` or the covering entry's kind differs from `kind`.
+    pub fn bound(&self, op: &str, leg: DispatchLeg, kind: BoundKind) -> OmenResult<f64> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.op == op && e.path == leg)
+            .or_else(|| {
+                self.entries
+                    .iter()
+                    .find(|e| e.op == op && e.path == DispatchLeg::Any)
+            })
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!("no tolerance entry for op {op:?} on leg {:?}", leg.as_str()),
+                )
+            })?;
+        if entry.kind != kind {
+            return Err(perr(
+                &self.source,
+                entry.line,
+                format!(
+                    "op {op:?} declares a {} bound, consumer requested {}",
+                    entry.kind.as_str(),
+                    kind.as_str()
+                ),
+            ));
+        }
+        Ok(entry.bound)
+    }
+
+    /// The committed-baseline guardband for a `(kernel, simd)` group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the group has no entry.
+    pub fn kernel_guardband(&self, kernel: &str, simd: bool) -> OmenResult<&KernelGuardband> {
+        self.kernel_guardbands
+            .iter()
+            .find(|g| g.kernel == kernel && g.simd == simd)
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!(
+                        "no kernel_guardband for ({kernel:?}, simd={simd}) — every committed \
+                         bench record needs one"
+                    ),
+                )
+            })
+    }
+
+    /// The committed-baseline imbalance ceiling for `(case, schedule)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the pair has no entry.
+    pub fn sched_guardband(&self, case: &str, schedule: &str) -> OmenResult<&SchedGuardband> {
+        self.sched_guardbands
+            .iter()
+            .find(|g| g.case == case && g.schedule == schedule)
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!(
+                        "no sched_guardband for ({case:?}, {schedule:?}) — every committed \
+                         bench record needs one"
+                    ),
+                )
+            })
+    }
+
+    /// The fresh-smoke floor for `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the kernel has no entry.
+    pub fn kernel_smoke_floor(&self, kernel: &str) -> OmenResult<&KernelSmokeFloor> {
+        self.kernel_smoke_floors
+            .iter()
+            .find(|g| g.kernel == kernel)
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!("no kernel_smoke_floor for {kernel:?}"),
+                )
+            })
+    }
+
+    /// The fresh-smoke imbalance ceiling for `(case, schedule)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the pair has no entry.
+    pub fn sched_smoke_floor(&self, case: &str, schedule: &str) -> OmenResult<&SchedSmokeFloor> {
+        self.sched_smoke_floors
+            .iter()
+            .find(|g| g.case == case && g.schedule == schedule)
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!("no sched_smoke_floor for ({case:?}, {schedule:?})"),
+                )
+            })
+    }
+}
+
+/// The process-wide policy, loaded once from [`DEFAULT_POLICY_PATH`].
+///
+/// # Errors
+///
+/// Returns the (cached) [`OmenError::InvalidPolicy`] when the repo-root
+/// `TOLERANCES.toml` is missing or invalid.
+pub fn policy() -> OmenResult<&'static TolerancePolicy> {
+    static POLICY: OnceLock<OmenResult<TolerancePolicy>> = OnceLock::new();
+    POLICY
+        .get_or_init(TolerancePolicy::load_default)
+        .as_ref()
+        .map_err(Clone::clone)
+}
+
+/// Bound lookup for the integration batteries: resolves `op` on the
+/// cross-path leg (the batteries compare quantities that may have been
+/// produced on different dispatch paths), falling back to a
+/// leg-independent entry.
+///
+/// # Errors
+///
+/// Same failure modes as [`policy`] and [`TolerancePolicy::bound`].
+pub fn test_bound(op: &str, kind: BoundKind) -> OmenResult<f64> {
+    policy()?.bound(op, DispatchLeg::Cross, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(body: &str) -> String {
+        format!("schema = \"{POLICY_SCHEMA}\"\n{body}")
+    }
+
+    fn entry(op: &str, path: &str, kind: &str, bound: &str) -> String {
+        format!(
+            "[[tolerance]]\nop = \"{op}\"\npath = \"{path}\"\nkind = \"{kind}\"\n\
+             bound = {bound}\nrationale = \"unit test\"\n"
+        )
+    }
+
+    fn expect_policy_err(text: &str, needle: &str) {
+        match TolerancePolicy::parse("test", text) {
+            Err(OmenError::InvalidPolicy { detail, .. }) => assert!(
+                detail.contains(needle),
+                "detail {detail:?} does not mention {needle:?}"
+            ),
+            other => panic!("expected InvalidPolicy({needle:?}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_document() {
+        let text = doc(&entry("gemm.vs_oracle", "cross", "relative", "1e-12"));
+        let p = TolerancePolicy::parse("test", &text).unwrap();
+        assert_eq!(p.entries().len(), 1);
+        let b = p
+            .bound("gemm.vs_oracle", DispatchLeg::Cross, BoundKind::Relative)
+            .unwrap();
+        assert!((b - 1e-12).abs() < f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn any_leg_is_a_fallback_not_an_override() {
+        let text = doc(&format!(
+            "{}{}",
+            entry("gemm.vs_oracle", "any", "relative", "1e-10"),
+            entry("gemm.vs_oracle", "cross", "relative", "1e-12"),
+        ));
+        let p = TolerancePolicy::parse("test", &text).unwrap();
+        let cross = p
+            .bound("gemm.vs_oracle", DispatchLeg::Cross, BoundKind::Relative)
+            .unwrap();
+        let scalar = p
+            .bound("gemm.vs_oracle", DispatchLeg::Scalar, BoundKind::Relative)
+            .unwrap();
+        assert!(cross < scalar, "exact leg must win over the any fallback");
+    }
+
+    #[test]
+    fn rejects_unknown_op_kind_path_and_sections() {
+        expect_policy_err(
+            &doc(&entry("gemm.warp_drive", "any", "relative", "1e-12")),
+            "unknown op",
+        );
+        expect_policy_err(
+            &doc(&entry("gemm.vs_oracle", "gpu", "relative", "1e-12")),
+            "unknown path",
+        );
+        expect_policy_err(
+            &doc(&entry("gemm.vs_oracle", "any", "fuzzy", "1e-12")),
+            "unknown kind",
+        );
+        expect_policy_err(&doc("[[quantum_guardband]]\nx = 1\n"), "unknown section");
+    }
+
+    #[test]
+    fn rejects_bad_bounds_and_missing_rationale() {
+        expect_policy_err(
+            &doc(&entry("gemm.vs_oracle", "any", "relative", "nan")),
+            "finite and positive",
+        );
+        expect_policy_err(
+            &doc(&entry("gemm.vs_oracle", "any", "relative", "-1e-9")),
+            "finite and positive",
+        );
+        expect_policy_err(
+            &doc(&entry("fermi.seam", "any", "ulp", "1.5")),
+            "integer >= 1",
+        );
+        let no_rationale = doc("[[tolerance]]\nop = \"gemm.vs_oracle\"\npath = \"any\"\n\
+             kind = \"relative\"\nbound = 1e-12\nrationale = \"  \"\n");
+        expect_policy_err(&no_rationale, "empty rationale");
+        let missing = doc("[[tolerance]]\nop = \"gemm.vs_oracle\"\npath = \"any\"\n\
+             kind = \"relative\"\nbound = 1e-12\n");
+        expect_policy_err(&missing, "missing key \"rationale\"");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknown_keys() {
+        let dup = doc(&format!(
+            "{}{}",
+            entry("gemm.vs_oracle", "any", "relative", "1e-12"),
+            entry("gemm.vs_oracle", "any", "relative", "1e-10"),
+        ));
+        expect_policy_err(&dup, "duplicate tolerance");
+        let extra = doc(
+            "[[tolerance]]\nop = \"gemm.vs_oracle\"\npath = \"any\"\nkind = \"relative\"\n\
+             bound = 1e-12\nrationale = \"ok\"\nflavor = \"grape\"\n",
+        );
+        expect_policy_err(&extra, "unknown key \"flavor\"");
+    }
+
+    #[test]
+    fn rejects_wrong_or_missing_schema() {
+        expect_policy_err("schema = \"omen-tolerances-v9\"\n", "expected");
+        expect_policy_err(
+            &entry("gemm.vs_oracle", "any", "relative", "1e-12"),
+            "missing schema",
+        );
+    }
+
+    #[test]
+    fn lookup_misses_are_typed_errors() {
+        let p = TolerancePolicy::parse(
+            "test",
+            &doc(&entry("gemm.vs_oracle", "any", "relative", "1e-12")),
+        )
+        .unwrap();
+        assert!(matches!(
+            p.bound("physics.sum_rule", DispatchLeg::Any, BoundKind::Relative),
+            Err(OmenError::InvalidPolicy { .. })
+        ));
+        assert!(matches!(
+            p.bound("gemm.vs_oracle", DispatchLeg::Any, BoundKind::Ulp),
+            Err(OmenError::InvalidPolicy { .. })
+        ));
+        assert!(matches!(
+            p.kernel_guardband("gemm", false),
+            Err(OmenError::InvalidPolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_guardbands_and_floors() {
+        let text = doc("[[kernel_guardband]]\nkernel = \"gemm\"\nsimd = false\n\
+             reference_gflops = 7.5\nguardband = 0.35\nrationale = \"baseline floor\"\n\
+             [[sched_guardband]]\ncase = \"comb\"\nschedule = \"dynamic\"\n\
+             max_imbalance = 1.3\nrationale = \"ceiling\"\n\
+             [[kernel_smoke_floor]]\nkernel = \"gemm\"\nmin_gflops = 0.05\n\
+             rationale = \"catastrophic only\"\n\
+             [[sched_smoke_floor]]\ncase = \"comb\"\nschedule = \"dynamic\"\n\
+             max_imbalance = 1.9\nrationale = \"two workers\"\n");
+        let p = TolerancePolicy::parse("test", &text).unwrap();
+        let g = p.kernel_guardband("gemm", false).unwrap();
+        assert!(g.reference_gflops > 7.0 && g.guardband < 1.0);
+        assert!(p.kernel_guardband("gemm", true).is_err());
+        assert!(p.sched_guardband("comb", "dynamic").is_ok());
+        assert!(p.kernel_smoke_floor("gemm").is_ok());
+        assert!(p.sched_smoke_floor("comb", "dynamic").is_ok());
+        let bad_band = doc("[[kernel_guardband]]\nkernel = \"gemm\"\nsimd = false\n\
+             reference_gflops = 7.5\nguardband = 1.5\nrationale = \"x\"\n");
+        expect_policy_err(&bad_band, "must be < 1");
+    }
+
+    #[test]
+    fn default_policy_loads_and_covers_every_known_op() {
+        let p = policy().expect("repo-root TOLERANCES.toml must be valid");
+        for op in KNOWN_OPS {
+            // Every registered op must resolve on the cross leg for *some*
+            // kind; probe all four and require at least one hit.
+            let hit = [
+                BoundKind::Relative,
+                BoundKind::Absolute,
+                BoundKind::Termwise,
+                BoundKind::Ulp,
+            ]
+            .iter()
+            .any(|&k| p.bound(op, DispatchLeg::Cross, k).is_ok());
+            assert!(hit, "op {op:?} has no usable policy entry");
+        }
+        for e in p.entries() {
+            assert!(!e.rationale.trim().is_empty(), "op {:?}", e.op);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! (mean measured seconds per unit of seed) so predictions in *seconds* —
 //! needed by straggler detection — only exist after real measurements.
 
+use omen_num::{OmenError, OmenResult};
+
 /// EWMA smoothing factor: weight of the newest measurement.
 const DEFAULT_ALPHA: f64 = 0.4;
 
@@ -82,9 +84,24 @@ impl CostModel {
     }
 
     /// Folds a measured solve time (seconds) for unit `id` into the ledger.
-    pub fn observe(&mut self, id: usize, secs: f64) {
+    ///
+    /// Non-finite or negative durations are rejected with a typed error and
+    /// leave the ledger untouched: one NaN folded into an EWMA would
+    /// otherwise propagate through `predict` into every later LPT hand-out
+    /// comparison. Callers fed by wall clocks can discard the error (an
+    /// `Instant`-derived duration is always finite); callers fed by
+    /// wire-decoded timings must treat it as a corrupt message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::NonFiniteCost`] when `secs` is NaN, infinite,
+    /// or negative.
+    pub fn observe(&mut self, id: usize, secs: f64) -> OmenResult<()> {
         if !secs.is_finite() || secs < 0.0 {
-            return;
+            return Err(OmenError::NonFiniteCost {
+                unit: id,
+                value: secs,
+            });
         }
         let prev = self.ewma[id];
         if prev.is_nan() {
@@ -95,6 +112,7 @@ impl CostModel {
             self.ewma[id] = self.alpha * secs + (1.0 - self.alpha) * prev;
         }
         self.observations += 1;
+        Ok(())
     }
 
     /// Relative predicted cost of unit `id`: the measured EWMA when one
@@ -141,15 +159,26 @@ impl CostModel {
     /// Unit ids sorted most-expensive-first (ties by ascending id): the
     /// LPT-style hand-out order that keeps the longest tasks from landing
     /// last on an otherwise-drained queue.
+    ///
+    /// Uses `f64::total_cmp`, which is a total order: the comparator stays
+    /// transitive for every input, so the sort is deterministic even if a
+    /// prediction were somehow non-finite. (The old
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator was intransitive in
+    /// the presence of NaN — `sort_by` with it could scramble the whole
+    /// hand-out order, not just the NaN's position.)
     pub fn descending_order(&self, ids: impl Iterator<Item = usize>) -> Vec<usize> {
         let mut order: Vec<usize> = ids.collect();
-        order.sort_by(|&a, &b| {
-            self.predict(b)
-                .partial_cmp(&self.predict(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| self.predict(b).total_cmp(&self.predict(a)).then(a.cmp(&b)));
         order
+    }
+
+    /// Test-only backdoor: plants a raw EWMA value (even a non-finite one)
+    /// to let regression tests prove ordering stays total without going
+    /// through the `observe` validation that now makes this impossible in
+    /// production.
+    #[cfg(test)]
+    fn inject_ewma(&mut self, id: usize, value: f64) {
+        self.ewma[id] = value;
     }
 }
 
@@ -162,11 +191,11 @@ mod tests {
         let mut m = CostModel::uniform(3);
         assert_eq!(m.predict(0), 1.0);
         assert!(m.predict_secs(0).is_none(), "uncalibrated model");
-        m.observe(1, 2.0);
+        m.observe(1, 2.0).unwrap();
         assert_eq!(m.predict(1), 2.0);
         // Calibration: 2.0 s per 1.0 seed → unmeasured units predict 2 s.
         assert!((m.predict_secs(0).unwrap() - 2.0).abs() < 1e-12);
-        m.observe(1, 4.0);
+        m.observe(1, 4.0).unwrap();
         // EWMA with alpha 0.4: 0.4·4 + 0.6·2 = 2.8.
         assert!((m.predict(1) - 2.8).abs() < 1e-12);
         assert_eq!(m.observations(), 2);
@@ -184,8 +213,8 @@ mod tests {
     #[test]
     fn descending_order_breaks_ties_by_id() {
         let mut m = CostModel::uniform(4);
-        m.observe(2, 5.0);
-        m.observe(0, 1.0);
+        m.observe(2, 5.0).unwrap();
+        m.observe(0, 1.0).unwrap();
         // Calibration is (5+1)/2 = 3 s/seed: unmeasured units 1 and 3
         // predict 3 s (tie broken by id), between the two measured units.
         let order = m.descending_order(0..4);
@@ -193,11 +222,47 @@ mod tests {
     }
 
     #[test]
-    fn bad_observations_are_ignored() {
+    fn bad_observations_are_rejected_with_typed_error() {
         let mut m = CostModel::uniform(2);
-        m.observe(0, f64::NAN);
-        m.observe(0, -1.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            match m.observe(0, bad) {
+                Err(OmenError::NonFiniteCost { unit, value }) => {
+                    assert_eq!(unit, 0);
+                    assert_eq!(value.to_bits(), bad.to_bits());
+                }
+                other => panic!("observe({bad}) returned {other:?}"),
+            }
+        }
+        // The ledger is untouched: no observations, prediction still seed.
         assert_eq!(m.observations(), 0);
         assert_eq!(m.predict(0), 1.0);
+        assert!(m.predict_secs(0).is_none(), "rejects must not calibrate");
+    }
+
+    #[test]
+    fn descending_order_is_total_even_with_poisoned_predictions() {
+        // Regression for the partial_cmp(..).unwrap_or(Equal) comparator:
+        // that comparator is intransitive when any prediction is NaN, and
+        // an intransitive comparator lets sort_by scramble the *finite*
+        // entries too. total_cmp keeps the order deterministic no matter
+        // what lands in the ledger.
+        let mut m = CostModel::uniform(6);
+        m.observe(0, 3.0).unwrap();
+        m.observe(5, 1.0).unwrap();
+        m.inject_ewma(2, f64::INFINITY);
+        m.inject_ewma(4, f64::NEG_INFINITY);
+        let order = m.descending_order(0..6);
+        // inf first, then measured 3.0, then the calibrated seeds
+        // (ties by id), then 1.0, then -inf.
+        assert_eq!(order, vec![2, 0, 1, 3, 5, 4]);
+        // Determinism: repeated sorts of any rotation agree.
+        let again = m.descending_order([3, 5, 0, 4, 1, 2].into_iter());
+        assert_eq!(again, order);
+        // A NaN planted in the raw ledger is treated as "unobserved" by
+        // predict (seed fallback), never reaching the comparator — and the
+        // sort stays well-defined regardless.
+        m.inject_ewma(1, f64::NAN);
+        let with_nan = m.descending_order(0..6);
+        assert_eq!(with_nan, order);
     }
 }

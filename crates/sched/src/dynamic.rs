@@ -192,7 +192,11 @@ pub fn local_sweep<T>(
         busy_s += secs;
         match out {
             Ok(v) => {
-                model.observe(id, secs);
+                // Instant-derived seconds are always finite and
+                // non-negative, so the ledger cannot reject them; if it
+                // ever did, dropping the observation only costs prediction
+                // quality, never correctness.
+                let _ = model.observe(id, secs);
                 values[id] = Some(v);
             }
             Err(e) => errors[id] = Some(e),
@@ -379,16 +383,24 @@ fn coordinate(
                                 context: "sched result for out-of-range unit",
                             });
                         }
-                        workers[from - 1].busy_s += elapsed_s;
+                        // `elapsed_s` arrived off the wire and can be
+                        // corrupt: keep non-finite/negative timings out of
+                        // the busy ledger (they would poison the imbalance
+                        // stats) and let the cost model's typed rejection
+                        // drop them from the EWMA. The unit's *result* is
+                        // still valid either way.
+                        if elapsed_s.is_finite() && elapsed_s >= 0.0 {
+                            workers[from - 1].busy_s += elapsed_s;
+                        }
                         let st = &mut state[unit];
                         st.inflight = st.inflight.saturating_sub(1);
                         if st.resolved {
                             stats.duplicate_results += 1;
-                            model.observe(unit, elapsed_s);
+                            let _ = model.observe(unit, elapsed_s);
                         } else {
                             match outcome {
                                 Ok(v) => {
-                                    model.observe(unit, elapsed_s);
+                                    let _ = model.observe(unit, elapsed_s);
                                     values[unit] = Some(v);
                                     st.resolved = true;
                                     st.queued = false;
@@ -486,8 +498,10 @@ fn coordinate(
                     } => {
                         // Straggler copy racing termination: keep the
                         // ledger warm for the next sweep, nothing else.
+                        // The wire-decoded timing may be corrupt; a
+                        // rejected observation is simply dropped.
                         if unit < n {
-                            model.observe(unit, elapsed_s);
+                            let _ = model.observe(unit, elapsed_s);
                         }
                     }
                     WorkerMsg::Heartbeat { .. } => {}

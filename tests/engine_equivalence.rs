@@ -4,9 +4,17 @@
 
 use omen::lattice::{Crystal, Device};
 use omen::linalg::ZMat;
-use omen::num::{c64, linspace, A_SI};
+use omen::num::tolerance::test_bound;
+use omen::num::{c64, linspace, BoundKind, A_SI};
 use omen::sparse::BlockTridiag;
 use omen::tb::{DeviceHamiltonian, Material, TbParams};
+
+/// Per-device-family engine agreement bound from `TOLERANCES.toml`
+/// (DESIGN.md §12) — the devices differ in conditioning, so each family
+/// declares its own relative bound.
+fn tol(op: &str) -> f64 {
+    test_bound(op, BoundKind::Relative).expect("TOLERANCES.toml covers every engine op")
+}
 
 fn check_equivalence(
     name: &str,
@@ -16,6 +24,8 @@ fn check_equivalence(
     energies: &[f64],
     tol: f64,
 ) {
+    let backend_tol = test_bound("engine.thomas_vs_bcr", BoundKind::Relative)
+        .expect("TOLERANCES.toml covers the WF backend comparison");
     for &e in energies {
         let rgf = omen::negf::transport_at_energy(e, h, lead_l, lead_r)
             .unwrap_or_else(|err| panic!("{name} E={e}: RGF failed: {err}"));
@@ -32,7 +42,7 @@ fn check_equivalence(
             wf.transmission
         );
         assert!(
-            (wf.transmission - bcr.transmission).abs() < 1e-8 * scale,
+            (wf.transmission - bcr.transmission).abs() < backend_tol * scale,
             "{name} E={e}: Thomas vs BCR backend"
         );
         // Spectral densities agree orbital-by-orbital.
@@ -80,7 +90,7 @@ fn chain_with_disorder() {
         (&h00, &h01),
         (&h00, &h01),
         &linspace(-1.7, 1.7, 15),
-        1e-6,
+        tol("engine.chain"),
     );
 }
 
@@ -103,7 +113,7 @@ fn silicon_wire_with_potential_step() {
         (&ll.0, &ll.1),
         (&lr.0, &lr.1),
         &linspace(1.7, 2.3, 5),
-        1e-4,
+        tol("engine.si_wire"),
     );
 }
 
@@ -125,7 +135,7 @@ fn graphene_ribbon() {
         (&lead.0, &lead.1),
         (&lead.0, &lead.1),
         &linspace(0.7, 1.5, 5),
-        1e-5,
+        tol("engine.agnr"),
     );
 }
 
@@ -144,7 +154,7 @@ fn utb_with_transverse_momentum() {
             (&lead.0, &lead.1),
             (&lead.0, &lead.1),
             &linspace(-3.3, -2.7, 4),
-            1e-5,
+            tol("engine.utb"),
         );
     }
 }
@@ -182,7 +192,7 @@ fn silicon_wire_invariant_under_omen_threads() {
         (&lead.0, &lead.1),
         (&lead.0, &lead.1),
         &energies,
-        1e-4,
+        tol("engine.si_wire"),
     );
     for (&e, &t1) in energies.iter().zip(&serial) {
         let t4 = omen::negf::transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
@@ -213,6 +223,6 @@ fn spin_orbit_device() {
         (&lead.0, &lead.1),
         (&lead.0, &lead.1),
         &[1.9, 2.2],
-        1e-4,
+        tol("engine.spin_orbit"),
     );
 }

@@ -8,7 +8,15 @@
 
 use omen::linalg::{eigh, lu::Lu, matmul, matmul_h_n, qr_decompose, ZMat};
 use omen::num::c64;
+use omen::num::tolerance::test_bound;
+use omen::num::BoundKind;
 use omen::sparse::{BlockTridiag, Coo};
+
+/// Fetches one bound from the repo-root `TOLERANCES.toml` policy; every
+/// numeric tolerance in this battery resolves through it (DESIGN.md §12).
+fn tol(op: &str, kind: BoundKind) -> f64 {
+    test_bound(op, kind).expect("TOLERANCES.toml covers every linalg property op")
+}
 
 /// Deterministic uniform generator on [-1, 1).
 struct Rng(u64);
@@ -44,6 +52,7 @@ impl Rng {
 
 #[test]
 fn lu_solves_and_roundtrips() {
+    let bound = tol("lu.solve_residual", BoundKind::Absolute);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x1000 + case);
         let a = rng.dominant(7);
@@ -51,16 +60,17 @@ fn lu_solves_and_roundtrips() {
         let f = Lu::factor(&a).unwrap();
         let x = f.solve_mat(&b);
         let r = &matmul(&a, &x) - &b;
-        assert!(r.max_abs() < 1e-9, "case {case}: residual {}", r.max_abs());
+        assert!(r.max_abs() < bound, "case {case}: residual {}", r.max_abs());
         // Inverse really inverts.
         let inv = f.inverse();
         let e = &matmul(&a, &inv) - &ZMat::eye(7);
-        assert!(e.max_abs() < 1e-9, "case {case}");
+        assert!(e.max_abs() < bound, "case {case}");
     }
 }
 
 #[test]
 fn determinant_is_multiplicative() {
+    let bound = tol("lu.det_multiplicative", BoundKind::Relative);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x2000 + case);
         let a = rng.dominant(5);
@@ -69,7 +79,7 @@ fn determinant_is_multiplicative() {
         let db = Lu::factor(&b).unwrap().det();
         let dab = Lu::factor(&matmul(&a, &b)).unwrap().det();
         assert!(
-            (da * db - dab).abs() < 1e-6 * (1.0 + dab.abs()),
+            (da * db - dab).abs() < bound * (1.0 + dab.abs()),
             "case {case}: det(AB) = det A det B violated: {} vs {}",
             da * db,
             dab
@@ -79,6 +89,8 @@ fn determinant_is_multiplicative() {
 
 #[test]
 fn eigh_reconstructs() {
+    let rec_bound = tol("eigh.reconstruction", BoundKind::Absolute);
+    let order_slack = tol("eigh.value_order", BoundKind::Absolute);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x3000 + case);
         let h = rng.zmat(6, 6).hermitian_part();
@@ -88,13 +100,13 @@ fn eigh_reconstructs() {
         let vl = matmul(&r.vectors, &lam);
         let rec = omen::linalg::matmul_n_h(&vl, &r.vectors);
         assert!(
-            (&rec - &h).max_abs() < 1e-8,
+            (&rec - &h).max_abs() < rec_bound,
             "case {case}: VΛV† ≠ H: {}",
             (&rec - &h).max_abs()
         );
         // Eigenvalues real and sorted.
         assert!(
-            r.values.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            r.values.windows(2).all(|w| w[0] <= w[1] + order_slack),
             "case {case}"
         );
     }
@@ -102,12 +114,14 @@ fn eigh_reconstructs() {
 
 #[test]
 fn qr_orthonormal_and_reconstructs() {
+    let rec_bound = tol("qr.reconstruction", BoundKind::Absolute);
+    let orth_bound = tol("qr.orthonormal", BoundKind::Absolute);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x4000 + case);
         let a = rng.zmat(8, 4);
         let (q, r) = qr_decompose(&a);
         let qa = &matmul(&q, &r) - &a;
-        assert!(qa.max_abs() < 1e-9, "case {case}");
+        assert!(qa.max_abs() < rec_bound, "case {case}");
         let qhq = matmul_h_n(&q, &q);
         // Columns are orthonormal or exactly zero (rank deficiency).
         for i in 0..4 {
@@ -119,7 +133,7 @@ fn qr_orthonormal_and_reconstructs() {
                     0.0
                 };
                 assert!(
-                    (v - c64::real(expect)).abs() < 1e-9 || (i == j && v.abs() < 1e-9),
+                    (v - c64::real(expect)).abs() < orth_bound || (i == j && v.abs() < orth_bound),
                     "case {case}: Q†Q[{i},{j}] = {v:?}"
                 );
             }
@@ -129,13 +143,14 @@ fn qr_orthonormal_and_reconstructs() {
 
 #[test]
 fn general_eig_preserves_trace() {
+    let bound = tol("geig.trace", BoundKind::Relative);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x5000 + case);
         let a = rng.zmat(6, 6);
         let eigs = omen::linalg::eig_values_general(&a);
         let sum: c64 = eigs.iter().copied().sum();
         assert!(
-            (sum - a.trace()).abs() < 1e-7 * (1.0 + a.trace().abs()),
+            (sum - a.trace()).abs() < bound * (1.0 + a.trace().abs()),
             "case {case}: Σλ = {sum:?} vs tr = {:?}",
             a.trace()
         );
@@ -144,6 +159,7 @@ fn general_eig_preserves_trace() {
 
 #[test]
 fn gemm_is_associative() {
+    let bound = tol("gemm.associativity", BoundKind::Absolute);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x6000 + case);
         let a = rng.zmat(4, 5);
@@ -151,12 +167,13 @@ fn gemm_is_associative() {
         let c = rng.zmat(3, 6);
         let left = matmul(&matmul(&a, &b), &c);
         let right = matmul(&a, &matmul(&b, &c));
-        assert!((&left - &right).max_abs() < 1e-11, "case {case}");
+        assert!((&left - &right).max_abs() < bound, "case {case}");
     }
 }
 
 #[test]
 fn adjoint_of_product() {
+    let bound = tol("gemm.adjoint", BoundKind::Absolute);
     for case in 0..32u64 {
         let mut rng = Rng::new(0x7000 + case);
         let a = rng.zmat(4, 5);
@@ -164,12 +181,13 @@ fn adjoint_of_product() {
         // (AB)† = B†A†
         let lhs = matmul(&a, &b).adjoint();
         let rhs = matmul(&b.adjoint(), &a.adjoint());
-        assert!((&lhs - &rhs).max_abs() < 1e-12, "case {case}");
+        assert!((&lhs - &rhs).max_abs() < bound, "case {case}");
     }
 }
 
 #[test]
 fn block_tridiag_matvec_matches_dense() {
+    let bound = tol("sparse.matvec", BoundKind::Absolute);
     for case in 0..16u64 {
         let mut rng = Rng::new(0x8000 + case);
         let nb = rng.range(2, 6);
@@ -184,13 +202,14 @@ fn block_tridiag_matvec_matches_dense() {
         let y1 = bt.matvec(&x);
         let y2 = bt.to_dense().matvec(&x);
         for (a, b) in y1.iter().zip(&y2) {
-            assert!((*a - *b).abs() < 1e-11, "case {case}: nb={nb} bs={bs}");
+            assert!((*a - *b).abs() < bound, "case {case}: nb={nb} bs={bs}");
         }
     }
 }
 
 #[test]
 fn coo_accumulation_order_invariant() {
+    let bound = tol("sparse.assembly_order", BoundKind::Absolute);
     for case in 0..16u64 {
         let mut rng = Rng::new(0x9000 + case);
         let count = rng.range(1, 40);
@@ -208,7 +227,7 @@ fn coo_accumulation_order_invariant() {
         let a = fwd.to_csr().to_dense();
         let b = rev.to_csr().to_dense();
         assert!(
-            (&a - &b).max_abs() < 1e-12,
+            (&a - &b).max_abs() < bound,
             "case {case}: assembly must be order independent"
         );
     }
