@@ -1,0 +1,476 @@
+//! Machine-readable output and the finding ratchet.
+//!
+//! `--json` emits the full finding set (`omen-analyze-findings-v1`);
+//! `--write-baseline` condenses it to per-`(rule, path)` counts
+//! (`omen-analyze-baseline-v1`), which CI compares against with
+//! `--baseline`: a count above the baseline is a **new finding** (fix it
+//! or annotate it), a count below is a **stale suppression** (shrink the
+//! baseline) — both fail the gate, so the committed number can only go
+//! down. The JSON reader is a minimal hand-rolled parser: the crate stays
+//! dependency-free.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag of the findings report.
+pub const FINDINGS_SCHEMA: &str = "omen-analyze-findings-v1";
+/// Schema tag of the committed baseline.
+pub const BASELINE_SCHEMA: &str = "omen-analyze-baseline-v1";
+
+/// One `(rule, path)` bucket of the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Accepted finding count for that rule in that file.
+    pub count: usize,
+}
+
+/// One ratchet violation.
+#[derive(Debug, Clone)]
+pub struct RatchetViolation {
+    /// `(rule, path)` bucket.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Findings the analyzer produced now.
+    pub actual: usize,
+    /// Findings the baseline accepts.
+    pub accepted: usize,
+    /// True when the baseline entry no longer fires (stale suppression);
+    /// false when new findings appeared.
+    pub stale: bool,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes the full finding set as `omen-analyze-findings-v1`.
+pub fn findings_json(findings: &[Finding], files: usize, wall_ms: u128) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{FINDINGS_SCHEMA}\",");
+    let _ = writeln!(out, "  \"files\": {files},");
+    let _ = writeln!(out, "  \"wall_ms\": {wall_ms},");
+    out.push_str("  \"counts\": {");
+    let mut first = true;
+    for (rule, n) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{rule}\": {n}");
+    }
+    out.push_str(if counts.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": \"");
+        escape_into(&mut out, f.rule);
+        out.push_str("\", \"path\": \"");
+        escape_into(&mut out, &f.path);
+        let _ = write!(out, "\", \"line\": {}, \"message\": \"", f.line);
+        escape_into(&mut out, &f.message);
+        out.push_str("\"}");
+    }
+    out.push_str(if findings.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// Condenses findings into sorted `(rule, path)` baseline entries.
+pub fn to_entries(findings: &[Finding]) -> Vec<BaselineEntry> {
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry((f.rule, f.path.as_str())).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|((rule, path), count)| BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            count,
+        })
+        .collect()
+}
+
+/// Serializes findings as a fresh `omen-analyze-baseline-v1` document.
+pub fn baseline_json(findings: &[Finding]) -> String {
+    let entries = to_entries(findings);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{BASELINE_SCHEMA}\",");
+    out.push_str("  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": \"");
+        escape_into(&mut out, &e.rule);
+        out.push_str("\", \"path\": \"");
+        escape_into(&mut out, &e.path);
+        let _ = write!(out, "\", \"count\": {}}}", e.count);
+    }
+    out.push_str(if entries.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Compares the current findings against a baseline. Empty result means
+/// the gate is green.
+pub fn ratchet(findings: &[Finding], baseline: &[BaselineEntry]) -> Vec<RatchetViolation> {
+    let actual = to_entries(findings);
+    let mut merged: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for e in &actual {
+        merged
+            .entry((e.rule.clone(), e.path.clone()))
+            .or_insert((0, 0))
+            .0 = e.count;
+    }
+    for e in baseline {
+        merged
+            .entry((e.rule.clone(), e.path.clone()))
+            .or_insert((0, 0))
+            .1 = e.count;
+    }
+    merged
+        .into_iter()
+        .filter(|&(_, (a, b))| a != b)
+        .map(|((rule, path), (actual, accepted))| RatchetViolation {
+            rule,
+            path,
+            actual,
+            accepted,
+            stale: actual < accepted,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (baseline documents only)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn ws(&mut self) {
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of baseline JSON",
+                b as char, self.i
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.s.get(self.i) {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'{') => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.s.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.expect_byte(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.ws();
+                    match self.s.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.s.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.s.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b't') if self.s[self.i..].starts_with(b"true") => {
+                self.i += 4;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') if self.s[self.i..].starts_with(b"false") => {
+                self.i += 5;
+                Ok(Json::Bool(false))
+            }
+            Some(b'n') if self.s[self.i..].starts_with(b"null") => {
+                self.i += 4;
+                Ok(Json::Null)
+            }
+            Some(_) => {
+                let start = self.i;
+                while self.s.get(self.i).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.i += 1;
+                }
+                let text = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| "non-utf8 number".to_string())?;
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("bad number `{text}` at byte {start}"))
+            }
+            None => Err("unexpected end of baseline JSON".to_string()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.ws();
+        if self.s.get(self.i) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", self.i));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.s.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.i += 4;
+                                }
+                                None => return Err("bad \\u escape".to_string()),
+                            }
+                        }
+                        _ => return Err("bad escape in baseline JSON".to_string()),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.s.get(self.i).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.i += 1;
+                    }
+                    match std::str::from_utf8(&self.s[start..self.i]) {
+                        Ok(frag) => out.push_str(frag),
+                        Err(_) => return Err("non-utf8 string".to_string()),
+                    }
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+}
+
+/// Parses a committed `omen-analyze-baseline-v1` document.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem, a schema mismatch,
+/// or a malformed entry — CI treats any of these as a configuration error,
+/// not a clean gate.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut r = Reader {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    let doc = r.value()?;
+    let Json::Obj(fields) = doc else {
+        return Err("baseline root must be an object".to_string());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match get("schema") {
+        Some(Json::Str(s)) if s == BASELINE_SCHEMA => {}
+        Some(Json::Str(s)) => return Err(format!("unknown baseline schema `{s}`")),
+        _ => return Err("baseline missing \"schema\"".to_string()),
+    }
+    let Some(Json::Arr(items)) = get("entries") else {
+        return Err("baseline missing \"entries\" array".to_string());
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Json::Obj(f) = item else {
+            return Err(format!("entry {i} is not an object"));
+        };
+        let get = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let (Some(Json::Str(rule)), Some(Json::Str(path)), Some(Json::Num(count))) =
+            (get("rule"), get("path"), get("count"))
+        else {
+            return Err(format!(
+                "entry {i} needs string rule/path and numeric count"
+            ));
+        };
+        if *count < 0.0 || count.fract() != 0.0 {
+            return Err(format!("entry {i} count must be a non-negative integer"));
+        }
+        entries.push(BaselineEntry {
+            rule: rule.clone(),
+            path: path.clone(),
+            count: *count as usize,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m \"q\"\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_parser() {
+        let findings = vec![
+            f("float-eq", "crates/a.rs", 3),
+            f("float-eq", "crates/a.rs", 9),
+            f("tag-conflict", "crates/b.rs", 1),
+        ];
+        let text = baseline_json(&findings);
+        let entries = parse_baseline(&text).unwrap();
+        assert_eq!(entries, to_entries(&findings));
+        assert!(ratchet(&findings, &entries).is_empty());
+    }
+
+    #[test]
+    fn ratchet_flags_new_and_stale() {
+        let baseline = parse_baseline(&baseline_json(&[f("float-eq", "a.rs", 1)])).unwrap();
+        // New finding in another file.
+        let v = ratchet(
+            &[f("float-eq", "a.rs", 1), f("float-eq", "b.rs", 2)],
+            &baseline,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(!v[0].stale && v[0].path == "b.rs");
+        // Baseline entry stopped firing.
+        let v = ratchet(&[], &baseline);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].stale);
+    }
+
+    #[test]
+    fn malformed_baselines_are_config_errors() {
+        for bad in [
+            "",
+            "[]",
+            "{\"schema\": \"other\", \"entries\": []}",
+            "{\"entries\": []}",
+            "{\"schema\": \"omen-analyze-baseline-v1\"}",
+            "{\"schema\": \"omen-analyze-baseline-v1\", \"entries\": [{\"rule\": \"r\"}]}",
+            "{\"schema\": \"omen-analyze-baseline-v1\", \"entries\": [{\"rule\": \"r\", \
+             \"path\": \"p\", \"count\": 1.5}]}",
+        ] {
+            assert!(parse_baseline(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn findings_json_escapes_and_counts() {
+        let text = findings_json(&[f("float-eq", "a.rs", 3)], 7, 12);
+        assert!(text.contains("\"schema\": \"omen-analyze-findings-v1\""));
+        assert!(text.contains("\"files\": 7"));
+        assert!(text.contains("\"float-eq\": 1"));
+        assert!(text.contains("m \\\"q\\\"\\n"));
+    }
+}

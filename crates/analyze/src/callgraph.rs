@@ -1,0 +1,224 @@
+//! Pass 2a: the workspace call graph over the [`crate::parse`] item models.
+//!
+//! Call edges are resolved by callee *name* with a locality preference —
+//! same file, then same crate, then anywhere in the workspace. Free-function
+//! chains (the shape the SPMD drivers actually use) resolve exactly; method
+//! calls with common names can over-approximate, which is the conservative
+//! direction for a verifier: a spurious edge can only make a summary *more*
+//! pessimistic, never hide a collective. Closures resolve by their unique
+//! per-file `<closure:LINE:N>` names and never leave their file.
+
+use crate::parse::{EventKind, FileModel};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One resolved call edge out of a function.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Index of the `Call` event in the caller's event stream.
+    pub event: usize,
+    /// Candidate callees in resolution-preference order (global fn ids).
+    /// Several entries mean the name was ambiguous at the chosen locality;
+    /// the first is the primary candidate.
+    pub callees: Vec<usize>,
+}
+
+/// The workspace call graph. Functions are addressed by a global id:
+/// an index into [`CallGraph::fns`], which maps back to
+/// `(file index, fn index)` in the model slice the graph was built from.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Global fn id → `(file idx, fn idx)`.
+    pub fns: Vec<(usize, usize)>,
+    /// Per caller (by global id): resolved outgoing edges, in event order.
+    pub calls: Vec<Vec<CallEdge>>,
+    /// Per callee (by global id): the set of direct callers.
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for a parsed workspace.
+    pub fn build(models: &[FileModel]) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (fi, m) in models.iter().enumerate() {
+            for (ki, f) in m.fns.iter().enumerate() {
+                let gid = fns.len();
+                fns.push((fi, ki));
+                by_name.entry(f.name.as_str()).or_default().push(gid);
+            }
+        }
+        let mut calls = vec![Vec::new(); fns.len()];
+        let mut callers = vec![Vec::new(); fns.len()];
+        for (gid, &(fi, ki)) in fns.iter().enumerate() {
+            let f = &models[fi].fns[ki];
+            for (ei, ev) in f.events.iter().enumerate() {
+                let EventKind::Call { callee, method } = &ev.kind else {
+                    continue;
+                };
+                let Some(cands) = by_name.get(callee.as_str()) else {
+                    continue;
+                };
+                let resolved = resolve(
+                    cands,
+                    fi,
+                    &models[fi].class.crate_name,
+                    *method,
+                    models,
+                    &fns,
+                );
+                if resolved.is_empty() {
+                    continue;
+                }
+                for &c in &resolved {
+                    if !callers[c].contains(&gid) {
+                        callers[c].push(gid);
+                    }
+                }
+                calls[gid].push(CallEdge {
+                    event: ei,
+                    callees: resolved,
+                });
+            }
+        }
+        CallGraph {
+            fns,
+            calls,
+            callers,
+        }
+    }
+
+    /// Global ids of every function that can *reach* any of `targets`
+    /// through call edges (targets included) — reverse BFS over `callers`.
+    pub fn reaching(&self, targets: &[usize]) -> HashSet<usize> {
+        let mut seen: HashSet<usize> = targets.iter().copied().collect();
+        let mut queue: VecDeque<usize> = targets.iter().copied().collect();
+        while let Some(g) = queue.pop_front() {
+            for &c in &self.callers[g] {
+                if seen.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Locality-preferring name resolution: all same-file candidates if any,
+/// else all same-crate, else — for *free-function* calls only — the whole
+/// workspace. Method calls stop at the crate boundary: a method name like
+/// `record` or `push` says nothing about the receiver's type, and a
+/// cross-crate guess would wire std-container calls into unrelated
+/// protocol code. Closure names are file-scoped by construction and only
+/// ever match same-file.
+fn resolve(
+    cands: &[usize],
+    file: usize,
+    crate_name: &str,
+    method: bool,
+    models: &[FileModel],
+    fns: &[(usize, usize)],
+) -> Vec<usize> {
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&g| fns[g].0 == file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    // A closure name that did not resolve in its own file must not leak.
+    if cands
+        .iter()
+        .all(|&g| models[fns[g].0].fns[fns[g].1].is_closure)
+    {
+        return Vec::new();
+    }
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&g| {
+            let (fi, ki) = fns[g];
+            !models[fi].fns[ki].is_closure && models[fi].class.crate_name == crate_name
+        })
+        .collect();
+    if !same_crate.is_empty() || method {
+        return same_crate;
+    }
+    cands
+        .iter()
+        .copied()
+        .filter(|&g| {
+            let (fi, ki) = fns[g];
+            !models[fi].fns[ki].is_closure
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::{FileClass, TargetKind};
+
+    fn model(path: &str, crate_name: &str, src: &str) -> FileModel {
+        parse_file(
+            path,
+            src,
+            &FileClass {
+                crate_name: crate_name.to_string(),
+                kind: TargetKind::Lib,
+            },
+        )
+    }
+
+    #[test]
+    fn same_file_beats_same_crate() {
+        let a = model(
+            "crates/x/src/a.rs",
+            "x",
+            "fn helper() {}\nfn top() { helper(); }\n",
+        );
+        let b = model("crates/x/src/b.rs", "x", "fn helper() {}\n");
+        let g = CallGraph::build(&[a, b]);
+        let top = g
+            .fns
+            .iter()
+            .position(|&(fi, ki)| fi == 0 && ki == 1)
+            .unwrap();
+        assert_eq!(g.calls[top].len(), 1);
+        let callee = g.calls[top][0].callees[0];
+        assert_eq!(g.fns[callee], (0, 0), "must bind the same-file helper");
+    }
+
+    #[test]
+    fn cross_crate_fallback_and_reaching() {
+        let a = model("crates/x/src/a.rs", "x", "fn top() { deep(); }\n");
+        let b = model("crates/y/src/b.rs", "y", "fn deep() {}\n");
+        let g = CallGraph::build(&[a, b]);
+        let top = g.fns.iter().position(|&(fi, _)| fi == 0).unwrap();
+        let deep = g.fns.iter().position(|&(fi, _)| fi == 1).unwrap();
+        assert_eq!(g.calls[top][0].callees, vec![deep]);
+        let r = g.reaching(&[deep]);
+        assert!(r.contains(&top) && r.contains(&deep));
+    }
+
+    #[test]
+    fn closure_names_stay_file_local() {
+        let a = model(
+            "crates/x/src/a.rs",
+            "x",
+            "fn top(v: &[u64]) -> u64 { v.iter().map(|x| x + 1).sum() }\n",
+        );
+        let g = CallGraph::build(&[a]);
+        let top = g
+            .fns
+            .iter()
+            .position(|&(fi, ki)| fi == 0 && ki == 0)
+            .unwrap();
+        assert_eq!(
+            g.calls[top].len(),
+            1,
+            "the closure is the only resolvable call"
+        );
+    }
+}

@@ -275,8 +275,23 @@ fn try_lex_prefixed_literal(s: &mut Scanner) -> Option<TokKind> {
             if s.peek(k) == Some('"') {
                 lex_raw_string(s);
                 Some(TokKind::Str)
+            } else if k == 2 && s.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#match`: one Ident token (text keeps the
+                // `r#` so it can never collide with the bare keyword) —
+                // splitting it would inject a phantom `fn`/`match`/`if`
+                // keyword into the stream and corrupt item parsing.
+                s.bump(); // 'r'
+                s.bump(); // '#'
+                while let Some(ch) = s.peek(0) {
+                    if is_ident_continue(ch) {
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Some(TokKind::Ident)
             } else {
-                None // raw identifier — degrades to ident `r` + punct `#` + ident
+                None
             }
         }
         (Some('b'), Some('"')) => {
@@ -538,5 +553,116 @@ let c = 'x'; let esc = '\n'; let lt: &'static str = s; // trailing
         let lexed = lex("a /* outer /* inner */ still */ b");
         assert_eq!(lexed.toks.len(), 2);
         assert_eq!(lexed.comments.len(), 1);
+    }
+
+    /// One row per lexer edge case the parser layer leans on: the source,
+    /// the expected `(kind, text)` stream. Brace/quote content inside
+    /// string/char literals must never leak into the punct stream, or the
+    /// parser's brace matching (and with it every span computation)
+    /// silently corrupts.
+    #[test]
+    fn edge_case_table() {
+        use TokKind::*;
+        let cases: &[(&str, &[(TokKind, &str)])] = &[
+            // -- raw strings ------------------------------------------------
+            (r###"r"plain""###, &[(Str, r###"r"plain""###)]),
+            (
+                r###"r#"has "quote""#"###,
+                &[(Str, r###"r#"has "quote""#"###)],
+            ),
+            (
+                r####"r##"inner "# close"##"####,
+                &[(Str, r####"r##"inner "# close"##"####)],
+            ),
+            // A raw string ending in a backslash (the case plain-string
+            // escape logic would overrun).
+            (
+                r###"r"tail\" x"###,
+                &[(Str, r###"r"tail\""###), (Ident, "x")],
+            ),
+            // Raw string containing braces: still one token.
+            (r###"r"{ }" y"###, &[(Str, r###"r"{ }""###), (Ident, "y")]),
+            // Byte / raw-byte strings.
+            (r###"b"bytes""###, &[(Str, r###"b"bytes""###)]),
+            (r####"br#"raw "b""#"####, &[(Str, r####"br#"raw "b""#"####)]),
+            // Raw identifiers are a single Ident (never a phantom keyword).
+            ("r#match x", &[(Ident, "r#match"), (Ident, "x")]),
+            ("r#fn()", &[(Ident, "r#fn"), (Punct, "("), (Punct, ")")]),
+            // -- char / byte literals with braces and quotes ----------------
+            ("'{'", &[(Char, "'{'")]),
+            ("'}'", &[(Char, "'}'")]),
+            ("'\"'", &[(Char, "'\"'")]),
+            (r"'\''", &[(Char, r"'\''")]),
+            (r"'\\'", &[(Char, r"'\\'")]),
+            (r"'\u{7D}'", &[(Char, r"'\u{7D}'")]),
+            ("b'{'", &[(Char, "b'{'")]),
+            ("b'\"'", &[(Char, "b'\"'")]),
+            (r"b'\''", &[(Char, r"b'\''")]),
+            // Char in a match arm keeps the arrow separate.
+            ("'}' =>", &[(Char, "'}'"), (Punct, "=>")]),
+            // -- lifetimes stay distinct from chars -------------------------
+            ("&'a T", &[(Punct, "&"), (Lifetime, "'a"), (Ident, "T")]),
+            ("'static", &[(Lifetime, "'static")]),
+            ("'_,", &[(Lifetime, "'_"), (Punct, ",")]),
+            // -- plain strings with escapes and braces ----------------------
+            (r#""a\"b" z"#, &[(Str, r#""a\"b""#), (Ident, "z")]),
+            (r#""{}" w"#, &[(Str, r#""{}""#), (Ident, "w")]),
+            (r#""\\" v"#, &[(Str, r#""\\""#), (Ident, "v")]),
+        ];
+        for (src, want) in cases {
+            let got: Vec<(TokKind, String)> = kinds(src);
+            let want: Vec<(TokKind, String)> =
+                want.iter().map(|&(k, s)| (k, s.to_string())).collect();
+            assert_eq!(got, want, "lexing {src:?}");
+        }
+    }
+
+    /// Nested block comments: one comment token per table row, with the
+    /// remaining code stream intact.
+    #[test]
+    fn block_comment_table() {
+        let cases: &[(&str, usize, &[&str])] = &[
+            ("/* a */ x", 1, &["x"]),
+            ("/* a /* b */ c */ x", 1, &["x"]),
+            ("/* a /* b /* c */ */ */ x", 1, &["x"]),
+            // `/*/` opens but does not close (matches rustc).
+            ("/* /*/ */ */ x", 1, &["x"]),
+            // Unterminated comment swallows to EOF without panicking.
+            ("x /* open", 1, &["x"]),
+            // Quotes inside block comments are not string openers.
+            ("/* \"unclosed */ x", 1, &["x"]),
+        ];
+        for (src, n_comments, code) in cases {
+            let lexed = lex(src);
+            assert_eq!(lexed.comments.len(), *n_comments, "comments in {src:?}");
+            let idents: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+            assert_eq!(&idents, code, "code stream of {src:?}");
+        }
+    }
+
+    /// Brace matching must survive braces hidden inside every literal form —
+    /// this is the invariant the parse layer's span logic builds on.
+    #[test]
+    fn brace_balance_survives_literal_braces() {
+        let src = r####"
+fn f() {
+    let a = '{';
+    let b = "}}{";
+    let c = r#"{"#;
+    let d = b'{';
+    if x { g('}'); }
+}
+"####;
+        let lexed = lex(src);
+        let mut depth = 0i64;
+        for t in &lexed.toks {
+            if t.kind == TokKind::Punct && t.text == "{" {
+                depth += 1;
+            } else if t.kind == TokKind::Punct && t.text == "}" {
+                depth -= 1;
+            }
+            assert!(depth >= 0, "negative depth at {:?}", t);
+        }
+        assert_eq!(depth, 0, "unbalanced braces");
     }
 }

@@ -2,14 +2,26 @@
 //!
 //! Clippy knows Rust; it does not know SPMD programming or quantum-transport
 //! numerics. This crate encodes the workspace-specific invariants as a small
-//! rule engine over a hand-rolled tokenizer ([`lexer`]) — zero dependencies,
-//! so the CI gate costs one crate compile and no proc-macro stack.
+//! rule engine — zero dependencies, so the CI gate costs one crate compile
+//! and no proc-macro stack. It runs in two passes:
+//!
+//! 1. **Syntactic** ([`parse`]): each file is lexed ([`lexer`]) and parsed
+//!    into a lightweight item model — fn items, call expressions, protocol
+//!    primitives, a control-flow skeleton of branches/`?`/early-`return`,
+//!    and `rank()`-conditioned regions. The six lexical rules run here.
+//! 2. **Dataflow** ([`callgraph`], [`effects`]): a workspace call graph is
+//!    built and per-function *collective effect summaries* are propagated
+//!    bottom-up to a fixpoint. The three interprocedural rules run on the
+//!    summaries.
 //!
 //! ## Rules
 //!
 //! | rule | what it catches |
 //! |------|-----------------|
 //! | `spmd-divergence` | collectives (`allreduce_sum`, `bcast`, `gather`, `barrier`, `split`) lexically inside `rank()`-conditioned branches — the classic deadlock/divergence seed in SPMD code |
+//! | `spmd-divergence-interproc` | a collective *transitively reachable through calls* from inside a rank()-conditioned branch — closes the helper-one-call-deep gap the lexical rule cannot see |
+//! | `protocol-early-exit` | `?` / `return` between a send and its matching recv, or between epoch-open and epoch-close — the typed-error-era deadlock seed: the peer blocks until timeout |
+//! | `tag-conflict` | two concurrently-live call paths using the same reserved parsim tag in the same direction — concurrent rounds on one tag can cross-match messages |
 //! | `float-eq` | `==` / `!=` against a float literal in the solver crates — exact float comparison is almost always a tolerance bug |
 //! | `panic-backstop` | `panic!` / `todo!` / `unimplemented!` / `.unwrap()` / `.expect()` in non-test solver-crate code — the error taxonomy (`OmenResult`) exists so rank failures stay recoverable |
 //! | `print-in-lib` | `println!` / `eprintln!` (and `print!` / `eprint!`) in library targets — libraries must stay silent; drivers log through the sanctioned env-gated sink |
@@ -28,10 +40,22 @@
 //! covers the next code line — and, when that line opens a brace block
 //! (`fn … {`, `if … {`), the whole block. Attribute lines (`#[…]`) between
 //! the annotation and the code it governs are skipped.
+//!
+//! ## Ratchet
+//!
+//! CI compares the full finding set against the committed
+//! `ANALYZE_BASELINE.json` (see [`baseline`]): a finding not in the
+//! baseline fails the gate, and a baseline entry that no longer fires
+//! fails it too (stale suppression) — the count can only go down.
 
+pub mod baseline;
+pub mod callgraph;
+pub mod effects;
 pub mod lexer;
+pub mod parse;
 
 use lexer::{lex, Comment, Lexed, Tok, TokKind};
+use parse::{is_ident, is_punct};
 use std::collections::HashMap;
 use std::path::{Component, Path, PathBuf};
 
@@ -92,6 +116,21 @@ pub const RULES: &[RuleInfo] = &[
         scope: "all crates, all targets (tests included)",
     },
     RuleInfo {
+        name: "spmd-divergence-interproc",
+        summary: "collective transitively reachable through calls from a rank()-conditioned branch",
+        scope: "all crates, all targets (tests included); needs the workspace pass",
+    },
+    RuleInfo {
+        name: "protocol-early-exit",
+        summary: "?/return between a send and its matching recv, or between epoch open/close",
+        scope: "lib/bin non-test code; needs the workspace pass",
+    },
+    RuleInfo {
+        name: "tag-conflict",
+        summary: "two concurrently-live call paths using the same reserved tag in one direction",
+        scope: "lib/bin non-test code; needs the workspace pass",
+    },
+    RuleInfo {
         name: "float-eq",
         summary: "== / != comparison against a float literal",
         scope: "solver crates (num linalg sparse wf negf poisson phonon core), non-test code",
@@ -99,7 +138,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "panic-backstop",
         summary: "panic!/todo!/unimplemented!/.unwrap()/.expect() outside tests",
-        scope: "fault-isolated crates (linalg sparse wf negf parsim), lib/bin non-test code",
+        scope:
+            "fault-isolated crates (linalg sparse wf negf parsim analyze), lib/bin non-test code",
     },
     RuleInfo {
         name: "print-in-lib",
@@ -124,8 +164,10 @@ const FLOAT_EQ_CRATES: &[&str] = &[
 ];
 
 /// Crates whose non-test code must stay panic-free (mirrors the clippy
-/// `unwrap_used`/`expect_used`/`panic` CI gate).
-const PANIC_CRATES: &[&str] = &["linalg", "sparse", "wf", "negf", "parsim"];
+/// `unwrap_used`/`expect_used`/`panic` CI gate). The analyzer holds itself
+/// to the same bar: a lint gate that can panic is a lint gate that can be
+/// knocked out by the code it lints.
+const PANIC_CRATES: &[&str] = &["linalg", "sparse", "wf", "negf", "parsim", "analyze"];
 
 /// Collective operations whose call schedule must be rank-uniform.
 const COLLECTIVES: &[&str] = &["allreduce_sum", "bcast", "gather", "barrier", "split"];
@@ -192,8 +234,10 @@ pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Analyzes one source file under the given classification and returns the
-/// surviving findings (allow-annotated ones are already filtered out).
+/// Analyzes one source file under the given classification with the
+/// *lexical* rules only; the interprocedural rules need the whole
+/// workspace — use [`analyze_sources`]. Allow-annotated findings are
+/// already filtered out.
 pub fn analyze_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
     let lexed = lex(src);
     let ctx = FileCtx::build(&lexed);
@@ -228,8 +272,29 @@ pub fn analyze_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> 
         .collect()
 }
 
+/// The full two-pass analysis over a set of files treated as one
+/// workspace: the lexical rules per file, then the call graph + effect
+/// summaries and the interprocedural rules across all of them. Findings
+/// are sorted by `(path, line, rule)`.
+pub fn analyze_sources(files: &[(String, String, FileClass)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut models = Vec::with_capacity(files.len());
+    for (path, src, class) in files {
+        findings.extend(analyze_source(path, src, class));
+        models.push(parse::parse_file(path, src, class));
+    }
+    let graph = callgraph::CallGraph::build(&models);
+    let sums = effects::compute_summaries(&models, &graph);
+    effects::rule_spmd_divergence_interproc(&models, &graph, &sums, &mut findings);
+    effects::rule_protocol_early_exit(&models, &graph, &sums, &mut findings);
+    effects::rule_tag_conflict(&models, &graph, &sums, &mut findings);
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings
+}
+
 // ---------------------------------------------------------------------------
-// Shared per-file context
+// Shared per-file context (lexical rules)
 // ---------------------------------------------------------------------------
 
 struct FileCtx<'a> {
@@ -251,7 +316,7 @@ struct FileCtx<'a> {
 impl<'a> FileCtx<'a> {
     fn build(lexed: &'a Lexed) -> Self {
         let toks = &lexed.toks[..];
-        let brace_match = match_braces(toks);
+        let brace_match = parse::match_braces(toks);
         let mut line_first_tok = HashMap::new();
         for (i, t) in toks.iter().enumerate() {
             line_first_tok.entry(t.line).or_insert(i);
@@ -260,9 +325,10 @@ impl<'a> FileCtx<'a> {
         for c in &lexed.comments {
             line_comment.insert(c.line, c);
         }
-        let test_spans = find_test_spans(toks, &brace_match);
-        let rank_spans = find_rank_spans(toks, &brace_match);
-        let allows = find_allows(toks, &lexed.comments, &line_first_tok, &brace_match);
+        let test_spans = parse::find_test_spans(toks, &brace_match);
+        let tainted = parse::rank_tainted_idents(toks);
+        let rank_spans = parse::find_rank_spans(toks, &brace_match, &tainted);
+        let allows = parse::find_allows(toks, &lexed.comments, &line_first_tok, &brace_match);
         FileCtx {
             toks,
             test_spans,
@@ -287,224 +353,6 @@ impl<'a> FileCtx<'a> {
         self.rank_spans
             .iter()
             .any(|&(open, close)| open < tok_idx && tok_idx < close)
-    }
-}
-
-fn is_punct(t: &Tok, s: &str) -> bool {
-    t.kind == TokKind::Punct && t.text == s
-}
-
-fn is_ident(t: &Tok, s: &str) -> bool {
-    t.kind == TokKind::Ident && t.text == s
-}
-
-fn match_braces(toks: &[Tok]) -> HashMap<usize, usize> {
-    let mut stack = Vec::new();
-    let mut map = HashMap::new();
-    for (i, t) in toks.iter().enumerate() {
-        if is_punct(t, "{") {
-            stack.push(i);
-        } else if is_punct(t, "}") {
-            if let Some(open) = stack.pop() {
-                map.insert(open, i);
-            }
-        }
-    }
-    map
-}
-
-/// Finds the line spans of `#[cfg(test)]` items and `#[test]` functions:
-/// from the attribute, the next top-level `{` opens the span (a `;` first
-/// means the attribute decorated a braceless item — no span).
-fn find_test_spans(toks: &[Tok], braces: &HashMap<usize, usize>) -> Vec<(u32, u32)> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i + 2 < toks.len() {
-        let is_attr_start = is_punct(&toks[i], "#") && is_punct(&toks[i + 1], "[");
-        if !is_attr_start {
-            i += 1;
-            continue;
-        }
-        let body = &toks[i + 2..];
-        let is_test_attr =
-            (body.len() >= 2 && is_ident(&body[0], "test") && is_punct(&body[1], "]"))
-                || (body.len() >= 5
-                    && is_ident(&body[0], "cfg")
-                    && is_punct(&body[1], "(")
-                    && is_ident(&body[2], "test")
-                    && is_punct(&body[3], ")")
-                    && is_punct(&body[4], "]"));
-        if !is_test_attr {
-            i += 1;
-            continue;
-        }
-        // Scan past the attribute to the decorated item's body.
-        let mut j = i + 2;
-        let mut depth = 0i32;
-        while j < toks.len() {
-            let t = &toks[j];
-            if is_punct(t, "(") || is_punct(t, "[") {
-                depth += 1;
-            } else if is_punct(t, ")") || is_punct(t, "]") {
-                depth -= 1;
-            } else if depth <= 0 && is_punct(t, ";") {
-                break;
-            } else if depth <= 0 && is_punct(t, "{") {
-                if let Some(&close) = braces.get(&j) {
-                    spans.push((toks[j].line, toks[close].line));
-                }
-                break;
-            }
-            j += 1;
-        }
-        i += 1;
-    }
-    spans
-}
-
-/// Marks the body blocks of `if` / `while` / `match` whose condition or
-/// scrutinee calls `rank()`, plus every `else` / `else if` block chained to
-/// such an `if` (the whole chain executes divergently across ranks).
-fn find_rank_spans(toks: &[Tok], braces: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        let t = &toks[i];
-        if !(is_ident(t, "if") || is_ident(t, "while") || is_ident(t, "match")) {
-            i += 1;
-            continue;
-        }
-        let Some((open, has_rank)) = scan_condition(toks, i + 1) else {
-            i += 1;
-            continue;
-        };
-        if !has_rank {
-            i += 1;
-            continue;
-        }
-        let Some(&close) = braces.get(&open) else {
-            i += 1;
-            continue;
-        };
-        spans.push((open, close));
-        // Chain the else arms.
-        let mut k = close + 1;
-        while k + 1 < toks.len() && is_ident(&toks[k], "else") {
-            if is_punct(&toks[k + 1], "{") {
-                if let Some(&c2) = braces.get(&(k + 1)) {
-                    spans.push((k + 1, c2));
-                    k = c2 + 1;
-                    continue;
-                }
-                break;
-            } else if is_ident(&toks[k + 1], "if") || is_ident(&toks[k + 1], "match") {
-                if let Some((o2, _)) = scan_condition(toks, k + 2) {
-                    if let Some(&c2) = braces.get(&o2) {
-                        spans.push((o2, c2));
-                        k = c2 + 1;
-                        continue;
-                    }
-                }
-                break;
-            }
-            break;
-        }
-        i += 1; // keep scanning inside the body for nested conditions
-    }
-    spans
-}
-
-/// From `start`, scans a condition/scrutinee to its body's `{` at delimiter
-/// depth 0. Returns `(open_brace_idx, condition_mentions_rank_call)`, or
-/// `None` when a `;` ends the statement first (macro fragments etc.).
-fn scan_condition(toks: &[Tok], start: usize) -> Option<(usize, bool)> {
-    let mut depth = 0i32;
-    let mut has_rank = false;
-    let mut j = start;
-    while j < toks.len() {
-        let t = &toks[j];
-        if is_punct(t, "(") || is_punct(t, "[") {
-            depth += 1;
-        } else if is_punct(t, ")") || is_punct(t, "]") {
-            depth -= 1;
-        } else if depth <= 0 && is_punct(t, ";") {
-            return None;
-        } else if depth <= 0 && is_punct(t, "{") {
-            return Some((j, has_rank));
-        } else if is_ident(t, "rank") && j + 1 < toks.len() && is_punct(&toks[j + 1], "(") {
-            has_rank = true;
-        }
-        j += 1;
-    }
-    None
-}
-
-/// Parses `analyze: allow(<rule>, <reason>)` annotations out of the comment
-/// stream and computes the line ranges each one covers.
-fn find_allows(
-    toks: &[Tok],
-    comments: &[Comment],
-    line_first_tok: &HashMap<u32, usize>,
-    braces: &HashMap<usize, usize>,
-) -> HashMap<String, Vec<(u32, u32)>> {
-    let mut out: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
-    let code_lines: Vec<u32> = {
-        let mut v: Vec<u32> = line_first_tok.keys().copied().collect();
-        v.sort_unstable();
-        v
-    };
-    for c in comments {
-        let Some(rule) = parse_allow(&c.text) else {
-            continue;
-        };
-        let span = if c.own_line {
-            // Covers the next code line (skipping attribute lines); if that
-            // line opens a brace block, the whole block.
-            let mut covered = None;
-            let mut from = c.line;
-            while let Some(&next) = code_lines.iter().find(|&&l| l > from) {
-                let first = line_first_tok[&next];
-                if is_punct(&toks[first], "#") {
-                    from = next; // attribute — the allow rides through it
-                    continue;
-                }
-                // First open brace on that line extends coverage to its close.
-                let mut end = next;
-                let mut k = first;
-                while k < toks.len() && toks[k].line == next {
-                    if is_punct(&toks[k], "{") {
-                        if let Some(&close) = braces.get(&k) {
-                            end = toks[close].line;
-                        }
-                        break;
-                    }
-                    k += 1;
-                }
-                covered = Some((next, end));
-                break;
-            }
-            covered
-        } else {
-            Some((c.line, c.line))
-        };
-        if let Some(span) = span {
-            out.entry(rule).or_default().push(span);
-        }
-    }
-    out
-}
-
-/// Extracts the rule name from an `analyze: allow(rule, reason)` comment.
-fn parse_allow(comment: &str) -> Option<String> {
-    let idx = comment.find("analyze: allow(")?;
-    let rest = &comment[idx + "analyze: allow(".len()..];
-    let end = rest.rfind(')')?;
-    let inner = &rest[..end];
-    let rule = inner.split(',').next().unwrap_or("").trim();
-    if rule.is_empty() {
-        None
-    } else {
-        Some(rule.to_string())
     }
 }
 

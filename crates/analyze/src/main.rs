@@ -1,19 +1,33 @@
 //! omen-analyze CLI — runs the domain lints over the workspace.
 //!
 //! ```sh
-//! cargo run --release -p omen-analyze              # warn mode
+//! cargo run --release -p omen-analyze                # warn mode
 //! cargo run --release -p omen-analyze -- --deny-all  # CI gate: exit 1 on findings
 //! cargo run --release -p omen-analyze -- --list-rules
 //! cargo run --release -p omen-analyze -- --rule float-eq crates/linalg
+//! cargo run --release -p omen-analyze -- --json                      # machine output
+//! cargo run --release -p omen-analyze -- --baseline ANALYZE_BASELINE.json --deny-all
+//! cargo run --release -p omen-analyze -- --write-baseline ANALYZE_BASELINE.json
 //! ```
+//!
+//! Exit codes: 0 clean (or findings in warn mode), 1 findings under
+//! `--deny-all` or any ratchet violation under `--baseline`, 2 usage or
+//! I/O error (including a malformed baseline).
 
-use omen_analyze::{analyze_source, classify, walk_workspace, Finding, RULES};
+use omen_analyze::{
+    analyze_sources, baseline, classify, walk_workspace, FileClass, Finding, RULES,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     deny_all: bool,
     list_rules: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    budget_ms: Option<u128>,
     rules: Vec<String>,
     paths: Vec<PathBuf>,
 }
@@ -22,6 +36,10 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         deny_all: false,
         list_rules: false,
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        budget_ms: None,
         rules: Vec::new(),
         paths: Vec::new(),
     };
@@ -30,6 +48,22 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--deny-all" => args.deny_all = true,
             "--list-rules" => args.list_rules = true,
+            "--json" => args.json = true,
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a file path")?;
+                args.baseline = Some(PathBuf::from(p));
+            }
+            "--write-baseline" => {
+                let p = it.next().ok_or("--write-baseline requires a file path")?;
+                args.write_baseline = Some(PathBuf::from(p));
+            }
+            "--budget-ms" => {
+                let n = it.next().ok_or("--budget-ms requires a number")?;
+                let n: u128 = n
+                    .parse()
+                    .map_err(|_| format!("--budget-ms: `{n}` is not a number"))?;
+                args.budget_ms = Some(n);
+            }
             "--rule" => {
                 let name = it.next().ok_or("--rule requires a rule name")?;
                 if !RULES.iter().any(|r| r.name == name) {
@@ -39,7 +73,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: omen-analyze [--deny-all] [--list-rules] [--rule NAME]... [PATH]..."
+                    "usage: omen-analyze [--deny-all] [--list-rules] [--json] \
+                     [--baseline FILE] [--write-baseline FILE] [--budget-ms N] \
+                     [--rule NAME]... [PATH]..."
                 );
                 std::process::exit(0);
             }
@@ -77,10 +113,10 @@ fn main() -> ExitCode {
     };
 
     if args.list_rules {
-        println!("{:<16} {:<72} scope", "rule", "summary");
-        println!("{} {} {}", "-".repeat(16), "-".repeat(72), "-".repeat(40));
+        println!("{:<26} {:<88} scope", "rule", "summary");
+        println!("{} {} {}", "-".repeat(26), "-".repeat(88), "-".repeat(40));
         for r in RULES {
-            println!("{:<16} {:<72} {}", r.name, r.summary, r.scope);
+            println!("{:<26} {:<88} {}", r.name, r.summary, r.scope);
         }
         println!("\nescape hatch: // analyze: allow(<rule>, <reason>)");
         return ExitCode::SUCCESS;
@@ -127,8 +163,8 @@ fn main() -> ExitCode {
     files.sort();
     files.dedup();
 
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut scanned = 0usize;
+    let started = Instant::now();
+    let mut sources: Vec<(String, String, FileClass)> = Vec::with_capacity(files.len());
     for f in &files {
         let src = match std::fs::read_to_string(f) {
             Ok(s) => s,
@@ -137,30 +173,108 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        scanned += 1;
         let rel = f.strip_prefix(&root).unwrap_or(f);
         let class = classify(rel);
-        let label = rel.display().to_string();
-        findings.extend(
-            analyze_source(&label, &src, &class)
-                .into_iter()
-                .filter(|fd| args.rules.is_empty() || args.rules.iter().any(|r| r == fd.rule)),
+        sources.push((rel.display().to_string(), src, class));
+    }
+    let scanned = sources.len();
+    let findings: Vec<Finding> = analyze_sources(&sources)
+        .into_iter()
+        .filter(|fd| args.rules.is_empty() || args.rules.iter().any(|r| r == fd.rule))
+        .collect();
+    let wall_ms = started.elapsed().as_millis();
+
+    if let Some(path) = &args.write_baseline {
+        let text = baseline::baseline_json(&findings);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("omen-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "omen-analyze: wrote baseline ({} finding(s)) to {}",
+            findings.len(),
+            path.display()
         );
     }
 
-    for fd in &findings {
-        println!("{}:{}: [{}] {}", fd.path, fd.line, fd.rule, fd.message);
-    }
-    let verdict = if findings.is_empty() {
-        "clean"
+    if args.json {
+        print!("{}", baseline::findings_json(&findings, scanned, wall_ms));
     } else {
-        "dirty"
-    };
-    println!(
-        "omen-analyze: {} finding(s) in {scanned} file(s) — {verdict}",
-        findings.len()
-    );
-    if args.deny_all && !findings.is_empty() {
+        for fd in &findings {
+            println!("{}:{}: [{}] {}", fd.path, fd.line, fd.rule, fd.message);
+        }
+        // Per-rule counts, findings first, then silent rules — CI surfaces
+        // this as the analyzer scoreboard.
+        let mut counts: Vec<(usize, &str)> = RULES
+            .iter()
+            .map(|r| (findings.iter().filter(|f| f.rule == r.name).count(), r.name))
+            .collect();
+        counts.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+        let line = counts
+            .iter()
+            .map(|(n, name)| format!("{name}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("omen-analyze: per-rule {line}");
+        let verdict = if findings.is_empty() {
+            "clean"
+        } else {
+            "dirty"
+        };
+        println!(
+            "omen-analyze: {} finding(s) in {scanned} file(s) in {wall_ms} ms — {verdict}",
+            findings.len()
+        );
+    }
+
+    if let Some(budget) = args.budget_ms {
+        if wall_ms > budget {
+            // Soft budget: a notice, never a failure — the analyzer must
+            // not become the slow gate, but speed is not correctness.
+            eprintln!(
+                "omen-analyze: NOTICE analyzer took {wall_ms} ms (soft budget {budget} ms) — \
+                 consider trimming the rule set or the walk"
+            );
+        }
+    }
+
+    let mut failed = false;
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("omen-analyze: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match baseline::parse_baseline(&text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("omen-analyze: baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let violations = baseline::ratchet(&findings, &entries);
+        for v in &violations {
+            if v.stale {
+                eprintln!(
+                    "omen-analyze: STALE baseline entry [{}] {} accepts {} but only {} fire — \
+                     shrink the baseline (the ratchet only goes down)",
+                    v.rule, v.path, v.accepted, v.actual
+                );
+            } else {
+                eprintln!(
+                    "omen-analyze: NEW finding(s) [{}] {}: {} > baseline {} — fix them or \
+                     annotate with a reasoned allow",
+                    v.rule, v.path, v.actual, v.accepted
+                );
+            }
+        }
+        failed |= !violations.is_empty();
+    } else if args.deny_all && !findings.is_empty() {
+        failed = true;
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

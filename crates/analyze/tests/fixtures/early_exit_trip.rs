@@ -1,0 +1,22 @@
+//! Trip fixture for `protocol-early-exit`: a fallible `?` sits strictly
+//! between the epoch-open and epoch-close markers, so an error on one rank
+//! abandons the epoch while its peers still wait inside it.
+
+pub struct Comm;
+
+impl Comm {
+    pub fn next_epoch(&self) {}
+    pub fn epoch_close(&self) {}
+}
+
+fn load_blocks() -> Result<Vec<f64>, String> {
+    Ok(Vec::new())
+}
+
+pub fn run_epoch(comm: &Comm) -> Result<(), String> {
+    comm.next_epoch();
+    let blocks = load_blocks()?;
+    let _ = blocks;
+    comm.epoch_close();
+    Ok(())
+}

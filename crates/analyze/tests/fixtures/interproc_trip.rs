@@ -1,0 +1,29 @@
+//! Trip fixture for `spmd-divergence-interproc`: the collective is hidden
+//! behind a helper, so the lexical `spmd-divergence` rule cannot see it —
+//! only the call-graph pass connects the rank branch to the `bcast` inside
+//! `sync_halo`.
+
+pub struct Comm;
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        0
+    }
+    pub fn bcast(&self, root: usize, buf: Vec<u8>) -> Vec<u8> {
+        let _ = root;
+        buf
+    }
+}
+
+fn sync_halo(comm: &Comm, buf: Vec<u8>) -> Vec<u8> {
+    comm.bcast(0, buf)
+}
+
+pub fn step(comm: &Comm) {
+    let me = comm.rank();
+    if me == 0 {
+        // No literal collective name on any line inside this branch: the
+        // lexical rule stays silent, the interprocedural rule must fire.
+        let _ = sync_halo(comm, Vec::new());
+    }
+}

@@ -1,0 +1,27 @@
+//! Clean twin of `tag_conflict_trip.rs`: the two phases keep disjoint tag
+//! spaces (`TAG_HALO_L` vs `TAG_HALO_R`), so a straggler from one phase can
+//! never match the other's matcher. No tag-conflict finding may fire.
+
+pub const TAG_HALO_L: u16 = 7;
+pub const TAG_HALO_R: u16 = 8;
+
+pub struct Comm;
+
+impl Comm {
+    pub fn send(&self, peer: usize, tag: u16, buf: Vec<u8>) {
+        let _ = (peer, tag, buf);
+    }
+}
+
+pub fn exchange_left(comm: &Comm) {
+    comm.send(0, TAG_HALO_L, Vec::new());
+}
+
+pub fn exchange_right(comm: &Comm) {
+    comm.send(1, TAG_HALO_R, Vec::new());
+}
+
+pub fn sweep(comm: &Comm) {
+    exchange_left(comm);
+    exchange_right(comm);
+}

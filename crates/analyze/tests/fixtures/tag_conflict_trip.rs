@@ -1,0 +1,27 @@
+//! Trip fixture for `tag-conflict`: two protocol phases that never call each
+//! other both send under `TAG_HALO`, and a shared driver runs them in the
+//! same schedule. A delayed message from phase one can be consumed by phase
+//! two's matcher, so the shared tag is a wire-protocol conflict.
+
+pub const TAG_HALO: u16 = 7;
+
+pub struct Comm;
+
+impl Comm {
+    pub fn send(&self, peer: usize, tag: u16, buf: Vec<u8>) {
+        let _ = (peer, tag, buf);
+    }
+}
+
+pub fn exchange_left(comm: &Comm) {
+    comm.send(0, TAG_HALO, Vec::new());
+}
+
+pub fn exchange_right(comm: &Comm) {
+    comm.send(1, TAG_HALO, Vec::new());
+}
+
+pub fn sweep(comm: &Comm) {
+    exchange_left(comm);
+    exchange_right(comm);
+}

@@ -293,6 +293,9 @@ fn rule_table_is_complete() {
         names,
         [
             "spmd-divergence",
+            "spmd-divergence-interproc",
+            "protocol-early-exit",
+            "tag-conflict",
             "float-eq",
             "panic-backstop",
             "print-in-lib",

@@ -239,8 +239,10 @@ impl<'a> Comm<'a> {
         let gathered = match self.gather(0, mine)? {
             Some(g) => {
                 let flat: Vec<u8> = g.into_iter().flatten().collect();
+                // analyze: allow(spmd-divergence, two-phase allgather: the arms split on the gather root verdict but BOTH issue this bcast, so the schedule stays rank-uniform)
                 self.bcast(0, flat)?
             }
+            // analyze: allow(spmd-divergence, non-root arm of the same two-phase allgather; every rank issues exactly one bcast)
             None => self.bcast(0, Vec::new())?,
         };
         let vals = decode_f64s(&gathered);

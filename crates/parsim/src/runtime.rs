@@ -481,6 +481,7 @@ impl RankCtx {
                         self.send_internal(other, tag, verdict.clone());
                     }
                 }
+                // analyze: allow(protocol-early-exit, divergence verdict path: every peer was just sent DOWN_DIVERGED above, so no rank is left blocking — all members surface the same typed ScheduleDivergence)
                 return Err(OmenError::ScheduleDivergence {
                     rank: peer,
                     expected: my_fp.describe(),

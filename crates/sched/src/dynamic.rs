@@ -379,6 +379,7 @@ fn coordinate(
                         ..
                     } => {
                         if unit >= n {
+                            // analyze: allow(protocol-early-exit, coordinator fault path: workers block at most one heartbeat interval and surface a typed RecvTimeout — a corrupt wire result must not be merged)
                             return Err(OmenError::Deserialize {
                                 context: "sched result for out-of-range unit",
                             });

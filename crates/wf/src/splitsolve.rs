@@ -70,8 +70,10 @@ fn sync_status(comm: &Comm, phase: usize, local: Option<&OmenError>) -> OmenResu
                 .into_iter()
                 .find(|p| !p.is_empty())
                 .unwrap_or_default();
+            // analyze: allow(spmd-divergence, arms split on the gather root verdict but BOTH issue this bcast, so the health-barrier schedule stays rank-uniform)
             comm.bcast(0, first)?
         }
+        // analyze: allow(spmd-divergence, non-root arm of the same two-phase health barrier; every rank issues exactly one bcast)
         None => comm.bcast(0, Vec::new())?,
     };
     if verdict.is_empty() {
@@ -333,6 +335,7 @@ pub fn splitsolve_parallel(comm: &Comm, a: &BlockTridiag, b: &[ZMat]) -> OmenRes
                 if x[dep].is_none() {
                     let o = own(dep);
                     if o == me {
+                        // analyze: allow(protocol-early-exit, internal-invariant breach: peers waiting on this rank's x-block hit their recv timeout and fail typed; the per-level health barrier then propagates one verdict to all ranks)
                         return Err(OmenError::Deserialize {
                             context: "back-substitution dependency not yet solved",
                         });
