@@ -17,7 +17,8 @@ cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p 
 
 # Kernel dispatch legs: the microkernel path (scalar vs AVX2+FMA) is
 # resolved once per process from OMEN_SIMD, so the linalg suite, the
-# conformance battery, and the kernel bench smoke each run once per leg —
+# conformance battery, the selected-inversion oracle/equivalence battery,
+# and the kernel bench smoke each run once per leg —
 # tiny sizes, one sample, exercising the tiled GEMM and blocked LU at
 # 1/2/4 threads plus the BENCH_kernels.json emitter and parser
 # round-trip, writing to target/ so the committed baseline at the repo
@@ -25,10 +26,12 @@ cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p 
 # the reference path from rotting on machines that auto-dispatch SIMD.
 OMEN_SIMD=0 cargo test -q --release -p omen-linalg
 OMEN_SIMD=0 cargo test -q --release --test kernel_conformance
+OMEN_SIMD=0 cargo test -q --release --test selinv_properties --test engine_equivalence
 OMEN_SIMD=0 cargo bench -p omen-bench --bench kernels -- --smoke
 if grep -q avx2 /proc/cpuinfo 2>/dev/null && grep -q fma /proc/cpuinfo 2>/dev/null; then
     OMEN_SIMD=1 cargo test -q --release -p omen-linalg
     OMEN_SIMD=1 cargo test -q --release --test kernel_conformance
+    OMEN_SIMD=1 cargo test -q --release --test selinv_properties --test engine_equivalence
     OMEN_SIMD=1 cargo bench -p omen-bench --bench kernels -- --smoke
 else
     echo "ci: NOTICE — CPU lacks AVX2+FMA, skipping the OMEN_SIMD=1 leg (scalar leg still ran)"

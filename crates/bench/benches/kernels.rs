@@ -140,6 +140,51 @@ fn bench_lu(sizes: &[usize], flagship: usize, smoke: bool, out: &mut Vec<KernelR
     }
 }
 
+/// Tree-parallel selected inversion on a synthetic block-tridiagonal
+/// system. The flop count is taken from the instrumented kernels (one
+/// counted solve), so the reported Gflop/s stays honest as the algorithm
+/// evolves.
+fn bench_selinv(smoke: bool, out: &mut Vec<KernelRecord>) {
+    let (nb, bs, samples, target) = if smoke {
+        (12, 8, 1, 0.0)
+    } else {
+        (24, 24, 7, 0.02)
+    };
+    let diag: Vec<ZMat> = (0..nb)
+        .map(|i| {
+            let mut m = randmat(bs, 5 + i as u64);
+            for k in 0..bs {
+                m[(k, k)] += c64::real(bs as f64 + 4.0);
+            }
+            m
+        })
+        .collect();
+    let lower: Vec<ZMat> = (0..nb - 1).map(|i| randmat(bs, 100 + i as u64)).collect();
+    let upper: Vec<ZMat> = (0..nb - 1).map(|i| randmat(bs, 200 + i as u64)).collect();
+    let a = omen_sparse::BlockTridiag::new(diag, lower, upper);
+    let gl = randmat(bs, 300).hermitian_part();
+    let gr = randmat(bs, 301).hermitian_part();
+
+    flops::reset_flops();
+    omen_negf::selinv_solve(&a, &gl, &gr).expect("dominant bench system is regular");
+    let work = flops::reset_flops();
+
+    let (median, min) = sample_secs(samples, target, || {
+        omen_negf::selinv_solve(&a, &gl, &gr).expect("dominant bench system is regular")
+    });
+    let gflops = work as f64 / median / 1e9;
+    report(&format!("selinv/{nb}x{bs}"), (median, min));
+    out.push(KernelRecord {
+        kernel: "selinv".into(),
+        n: nb * bs,
+        threads: 1,
+        simd: simd_flag(),
+        median_s: median,
+        min_s: min,
+        gflops,
+    });
+}
+
 fn bench_eigh() {
     for &n in &[32usize, 64] {
         let a = randmat(n, 4).hermitian_part();
@@ -210,9 +255,11 @@ fn main() {
         // blocked path and its threaded trailing GEMM both run.
         bench_gemm(&[24, 40], 40, true, &mut records);
         bench_lu(&[24, 60], 60, true, &mut records);
+        bench_selinv(true, &mut records);
     } else {
         bench_gemm(&[64, 128, 256, 512], 512, false, &mut records);
         bench_lu(&[64, 128, 256, 512], 512, false, &mut records);
+        bench_selinv(false, &mut records);
         bench_eigh();
         bench_transport();
     }

@@ -145,8 +145,8 @@ pub fn check_committed_sched(policy: &TolerancePolicy, records: &[SchedRecord]) 
 
 /// Validates fresh `--smoke` kernel records for the current dispatch leg
 /// (`simd_leg` is the `simd` flag the running process stamps into
-/// records): both `gemm` and `lu` must be present for that leg — a
-/// missing kernel means the smoke bench silently skipped a code path —
+/// records): `gemm`, `lu` and `selinv` must all be present for that leg —
+/// a missing kernel means the smoke bench silently skipped a code path —
 /// and every leg record must clear its catastrophic
 /// `[[kernel_smoke_floor]]`.
 pub fn check_smoke_kernels(
@@ -156,7 +156,7 @@ pub fn check_smoke_kernels(
 ) -> GateReport {
     let mut report = GateReport::default();
     let leg: Vec<&KernelRecord> = records.iter().filter(|r| r.simd == simd_leg).collect();
-    for required in ["gemm", "lu"] {
+    for required in ["gemm", "lu", "selinv"] {
         if !leg.iter().any(|r| r.kernel == required) {
             report.failures.push(format!(
                 "no fresh {required} smoke record for the simd={simd_leg} leg — run \
@@ -255,6 +255,11 @@ rationale = "catastrophic only"
 
 [[kernel_smoke_floor]]
 kernel = "lu"
+min_gflops = 0.05
+rationale = "catastrophic only"
+
+[[kernel_smoke_floor]]
+kernel = "selinv"
 min_gflops = 0.05
 rationale = "catastrophic only"
 
@@ -358,26 +363,34 @@ rationale = "degenerate comb"
     }
 
     #[test]
-    fn smoke_requires_both_kernels_on_the_current_leg() {
+    fn smoke_requires_every_kernel_on_the_current_leg() {
         let policy = test_policy();
-        let both = vec![krec("gemm", false, 0.2), krec("lu", false, 0.2)];
-        assert!(check_smoke_kernels(&policy, &both, false).is_clean());
+        let all = vec![
+            krec("gemm", false, 0.2),
+            krec("lu", false, 0.2),
+            krec("selinv", false, 0.2),
+        ];
+        assert!(check_smoke_kernels(&policy, &all, false).is_clean());
 
-        // Only gemm present on the leg: the missing lu is named.
-        let gemm_only = vec![krec("gemm", false, 0.2)];
-        let report = check_smoke_kernels(&policy, &gemm_only, false);
+        // lu missing on the leg: the missing kernel is named.
+        let no_lu = vec![krec("gemm", false, 0.2), krec("selinv", false, 0.2)];
+        let report = check_smoke_kernels(&policy, &no_lu, false);
         assert_eq!(report.failures.len(), 1);
         assert!(report.failures[0].contains("no fresh lu smoke record"));
 
-        // Records exist but for the *other* leg: both kernels are missing.
-        let report = check_smoke_kernels(&policy, &both, true);
-        assert_eq!(report.failures.len(), 2);
+        // Records exist but for the *other* leg: all three kernels are missing.
+        let report = check_smoke_kernels(&policy, &all, true);
+        assert_eq!(report.failures.len(), 3);
     }
 
     #[test]
     fn smoke_floor_catches_catastrophic_kernel_regression() {
         let policy = test_policy();
-        let slow = vec![krec("gemm", false, 0.01), krec("lu", false, 0.2)];
+        let slow = vec![
+            krec("gemm", false, 0.01),
+            krec("lu", false, 0.2),
+            krec("selinv", false, 0.2),
+        ];
         let report = check_smoke_kernels(&policy, &slow, false);
         assert_eq!(report.failures.len(), 1);
         assert!(report.failures[0].contains("catastrophic floor"));

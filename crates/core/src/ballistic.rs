@@ -22,6 +22,9 @@ pub enum Engine {
     WfThomas,
     /// Wave-function with sequential block cyclic reduction.
     WfBcr,
+    /// Tree-structured selected inversion (same result surface as RGF,
+    /// `O(log N)` critical path).
+    SelInv,
 }
 
 /// Output of one ballistic bias-point solve.
@@ -474,6 +477,7 @@ pub fn solve_point(
         Engine::WfBcr => {
             omen_wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen_wf::SolverKind::Bcr)
         }
+        Engine::SelInv => omen_negf::selinv_transport_at_energy(e, h, lead_l, lead_r),
     }
 }
 
@@ -789,6 +793,74 @@ mod tests {
         );
         assert!(report.recovered >= 1, "the recovery must be accounted");
         assert!(report.retried >= 1);
+
+        // Selected inversion eliminates in tree order, not chain order: its
+        // Schur pivot for block 2 keeps the surviving *right* coupling, so
+        // this left-only-decoupled system is regular on the SelInv path —
+        // the whole sweep solves with no recovery at all. Pivot locations
+        // are an elimination-order property, not a physics property.
+        let (kept, _, report) =
+            solve_sweep(&energies, &h, (&h00, &h01), (&h00, &h01), Engine::SelInv);
+        assert_eq!(kept.len(), 5);
+        assert!(report.failed.is_empty());
+        assert_eq!(report.recovered, 0, "no pivot recovery needed");
+    }
+
+    #[test]
+    fn sweep_isolation_is_engine_uniform_on_fully_decoupled_block() {
+        use omen_linalg::ZMat;
+        use omen_negf::transport::DEFAULT_ETA;
+        use omen_num::{c64, OmenError};
+        // Decouple block 2 from BOTH neighbors: its Schur pivot degenerates
+        // to the bare on-site term under *any* elimination order, so RGF
+        // (chain order) and SelInv (tree order) face the identical singular
+        // pivot at E = 0 and must produce the same SweepReport isolation.
+        let n = 5;
+        let z = || ZMat::zeros(1, 1);
+        let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+        let mut diag = vec![z(); n];
+        diag[2] = ZMat::from_vec(1, 1, vec![c64::new(0.0, DEFAULT_ETA)]);
+        let mut lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        let mut upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        for i in [1usize, 2] {
+            lower[i] = z();
+            upper[i] = z();
+        }
+        let h = BlockTridiag::new(diag, lower, upper);
+        let (h00, h01) = (z(), t());
+        let energies = omen_num::linspace(-0.5, 0.5, 5);
+
+        // The direct WF solver has no pivot recovery: the singular point is
+        // isolated with the typed error naming the decoupled block.
+        let (kept, _, report) =
+            solve_sweep(&energies, &h, (&h00, &h01), (&h00, &h01), Engine::WfThomas);
+        assert_eq!(kept.len(), 4);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].energy, 0.0);
+        match &report.failed[0].error {
+            OmenError::SingularBlock { block, .. } => assert_eq!(*block, 2),
+            e => panic!("expected SingularBlock, got {e:?}"),
+        }
+
+        // Both Green's-function engines regularize the identical pivot:
+        // same kept grid, same empty failure list, same recovery accounting.
+        let (kept_rgf, _, rep_rgf) =
+            solve_sweep(&energies, &h, (&h00, &h01), (&h00, &h01), Engine::Rgf);
+        let (kept_si, _, rep_si) =
+            solve_sweep(&energies, &h, (&h00, &h01), (&h00, &h01), Engine::SelInv);
+        assert_eq!(kept_rgf.len(), 5);
+        assert_eq!(kept_si, kept_rgf);
+        assert!(rep_rgf.failed.is_empty() && rep_si.failed.is_empty());
+        assert!(rep_rgf.recovered >= 1, "RGF recovery must be accounted");
+        assert_eq!(
+            rep_si.recovered, rep_rgf.recovered,
+            "identical pivot, identical set of recovered points"
+        );
+        // Raw retry tallies differ structurally: RGF factors the singular
+        // block in both its forward and backward sweeps (two
+        // regularizations), the tree factors its Schur pivot exactly once.
+        assert_eq!(rep_rgf.retried, 2 * rep_si.retried);
+        assert!(rep_si.retried >= 1);
     }
 
     #[test]

@@ -326,6 +326,16 @@ pub const MAX_REGULARIZE_RETRIES: usize = 3;
 /// so callers can account recoveries in their sweep reports.
 pub fn factor_regularized(a: &ZMat, eta: f64) -> Result<(Lu, usize), Singular> {
     debug_assert!(eta > 0.0, "regularization shift must be positive");
+    // A non-finite entry defeats both the factorization (NaN magnitude
+    // comparisons silently accept any pivot) and the shift recovery (the
+    // shift keeps the NaN): fail typed up front instead of propagating
+    // NaN through the solve.
+    if let Some(at) = (0..a.nrows()).find(|&i| (0..a.ncols()).any(|j| !a[(i, j)].is_finite())) {
+        return Err(Singular {
+            at,
+            pivot: f64::NAN,
+        });
+    }
     match Lu::factor(a) {
         Ok(f) => Ok((f, 0)),
         Err(first) => {

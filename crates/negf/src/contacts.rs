@@ -1,0 +1,188 @@
+//! Distributed Sancho–Rubio contact decimation.
+//!
+//! In every rank-parallel per-point solve the two lead self-energies used
+//! to be decimated redundantly on every rank — pure wasted flops at scale
+//! (the ROADMAP's standing item). Here the first rank of the communicator
+//! decimates the left lead, the last rank the right lead, and two
+//! broadcasts ship the results (or the typed failure) to everyone:
+//! per (E, k) point each lead is decimated exactly once.
+//!
+//! The broadcast payloads double as the health barrier: a failed lead
+//! solve is encoded with [`crate::serialize::error_to_bytes`] and decoded
+//! into the *same* typed error on every rank, so the SPMD schedule never
+//! diverges on a lead failure.
+
+use crate::sancho::{ContactSelfEnergy, Side};
+use crate::serialize::{bytes_to_error, bytes_to_mats, error_to_bytes, mats_to_bytes};
+use omen_linalg::ZMat;
+use omen_num::{OmenError, OmenResult};
+use omen_parsim::Comm;
+
+const CONTACT_OK: u8 = 0;
+const CONTACT_ERR: u8 = 1;
+
+fn encode_contact(rank: usize, r: &OmenResult<ContactSelfEnergy>) -> Vec<u8> {
+    let mut v = Vec::new();
+    match r {
+        Ok(se) => {
+            v.push(CONTACT_OK);
+            v.extend_from_slice(&(se.retries as u64).to_le_bytes());
+            v.extend_from_slice(&mats_to_bytes(&[&se.sigma, &se.gamma]));
+        }
+        Err(e) => {
+            v.push(CONTACT_ERR);
+            v.extend_from_slice(&error_to_bytes(rank, e));
+        }
+    }
+    v
+}
+
+fn decode_contact(b: &[u8], side: Side) -> OmenResult<ContactSelfEnergy> {
+    const CTX: &str = "contact payload";
+    match b.first() {
+        Some(&CONTACT_OK) => {
+            let retries = b
+                .get(1..9)
+                .map(|s| {
+                    let mut raw = [0u8; 8];
+                    raw.copy_from_slice(s);
+                    u64::from_le_bytes(raw) as usize
+                })
+                .ok_or(OmenError::Deserialize { context: CTX })?;
+            let mats = bytes_to_mats(&b[9..])?;
+            if mats.len() != 2 {
+                return Err(OmenError::Deserialize { context: CTX });
+            }
+            let mut it = mats.into_iter();
+            let sigma = it.next().ok_or(OmenError::Deserialize { context: CTX })?;
+            let gamma = it.next().ok_or(OmenError::Deserialize { context: CTX })?;
+            Ok(ContactSelfEnergy {
+                side,
+                sigma,
+                gamma,
+                retries,
+            })
+        }
+        Some(&CONTACT_ERR) => Err(bytes_to_error(&b[1..])?),
+        _ => Err(OmenError::Deserialize { context: CTX }),
+    }
+}
+
+/// Computes both contact self-energies exactly once across the
+/// communicator: rank 0 decimates the left lead, rank `size−1` the right
+/// lead, and two broadcasts deliver `(Σ_L, Σ_R)` (with their Γ and retry
+/// counts) to every rank. On a single-rank communicator both leads are
+/// computed locally with no collective traffic.
+///
+/// All members must call collectively with identical arguments; every
+/// rank returns the same value (bit-identical blocks — the broadcast
+/// round-trips `f64` bits exactly).
+///
+/// # Errors
+///
+/// A failed lead solve returns the decimating rank's typed
+/// [`OmenError::LeadNotConverged`] / [`OmenError::SingularBlock`]
+/// (stamped with `e`) identically on every rank; communicator faults
+/// surface as [`OmenError::RecvTimeout`] / [`OmenError::ChannelClosed`] /
+/// [`OmenError::ScheduleDivergence`].
+pub fn distributed_contacts(
+    comm: &Comm,
+    e: f64,
+    eta: f64,
+    lead_l: (&ZMat, &ZMat),
+    lead_r: (&ZMat, &ZMat),
+) -> OmenResult<(ContactSelfEnergy, ContactSelfEnergy)> {
+    let stamp = |err: OmenError| err.with_energy(e);
+    if comm.size() == 1 {
+        let sl =
+            ContactSelfEnergy::compute(e, eta, lead_l.0, lead_l.1, Side::Left).map_err(stamp)?;
+        let sr =
+            ContactSelfEnergy::compute(e, eta, lead_r.0, lead_r.1, Side::Right).map_err(stamp)?;
+        return Ok((sl, sr));
+    }
+    let me = comm.rank();
+    let last = comm.size() - 1;
+    // Decimate before any traffic: each root rank computes its lead, the
+    // others contribute empty payloads the broadcast ignores.
+    let left_payload = if me == 0 {
+        let r = ContactSelfEnergy::compute(e, eta, lead_l.0, lead_l.1, Side::Left);
+        encode_contact(me, &r)
+    } else {
+        Vec::new()
+    };
+    let right_payload = if me == last {
+        let r = ContactSelfEnergy::compute(e, eta, lead_r.0, lead_r.1, Side::Right);
+        encode_contact(me, &r)
+    } else {
+        Vec::new()
+    };
+    // Both broadcasts run unconditionally on every rank, in the same
+    // order, so the collective schedule is rank-uniform even when a lead
+    // solve failed — the failure rides inside the payload.
+    let left_bytes = comm.bcast(0, left_payload)?;
+    let right_bytes = comm.bcast(last, right_payload)?;
+    let sl = decode_contact(&left_bytes, Side::Left).map_err(stamp)?;
+    let sr = decode_contact(&right_bytes, Side::Right).map_err(stamp)?;
+    Ok((sl, sr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_num::c64;
+    use omen_parsim::{run_ranks, Comm};
+
+    fn lead() -> (ZMat, ZMat) {
+        (
+            ZMat::from_diag(&[c64::real(0.0)]),
+            ZMat::from_diag(&[c64::real(-1.0)]),
+        )
+    }
+
+    #[test]
+    fn matches_local_computation_on_every_rank() {
+        let (h00, h01) = lead();
+        let e = 0.4;
+        let sl_ref = ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Left).unwrap();
+        let sr_ref = ContactSelfEnergy::compute(e, 1e-6, &h00, &h01, Side::Right).unwrap();
+        for nranks in [1usize, 2, 4] {
+            let out = run_ranks(nranks, |ctx| {
+                let comm = Comm::world(ctx);
+                distributed_contacts(&comm, e, 1e-6, (&h00, &h01), (&h00, &h01))
+            })
+            .flattened();
+            for (sl, sr) in out.unwrap_all() {
+                assert_eq!(sl.sigma, sl_ref.sigma, "nranks={nranks}");
+                assert_eq!(sl.gamma, sl_ref.gamma);
+                assert_eq!(sl.retries, sl_ref.retries);
+                assert_eq!(sr.sigma, sr_ref.sigma);
+                assert_eq!(sr.gamma, sr_ref.gamma);
+                assert_eq!(sr.retries, sr_ref.retries);
+            }
+        }
+    }
+
+    #[test]
+    fn lead_failure_is_typed_and_identical_on_every_rank() {
+        // A NaN-poisoned lead block cannot converge: every rank must see
+        // the same typed error, none may hang or panic.
+        let h00 = ZMat::from_diag(&[c64::new(f64::NAN, 0.0)]);
+        let h01 = ZMat::from_diag(&[c64::real(-1.0)]);
+        let (g00, g01) = lead();
+        let out = run_ranks(3, |ctx| {
+            let comm = Comm::world(ctx);
+            distributed_contacts(&comm, 0.2, 1e-6, (&h00, &h01), (&g00, &g01))
+        })
+        .flattened();
+        for r in out.results {
+            match r {
+                Err(
+                    OmenError::LeadNotConverged { .. }
+                    | OmenError::SingularBlock { .. }
+                    | OmenError::RankFailed { .. },
+                ) => {}
+                other => panic!("expected a typed lead failure, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,24 +1,41 @@
-//! # omen-negf — ballistic non-equilibrium Green's function engine
+//! # omen-negf — ballistic non-equilibrium Green's function engines
 //!
-//! The reference transport engine of the simulator: recursive Green's
-//! functions (RGF) over the block-tridiagonal device Hamiltonian with
-//! semi-infinite contact self-energies.
+//! The Green's-function transport engines of the simulator: recursive
+//! Green's functions (RGF) and tree-parallel selected inversion over the
+//! block-tridiagonal device Hamiltonian with semi-infinite contact
+//! self-energies.
 //!
 //! * [`sancho`] — Sancho–Rubio decimation for lead surface Green's
 //!   functions and the contact self-energies/broadenings `Σ`, `Γ`;
+//! * [`contacts`] — distributed contact decimation: each lead computed
+//!   once per communicator and broadcast, never redundantly per rank;
 //! * [`rgf`] — the forward/backward recursive Green's function returning
 //!   diagonal blocks (density/LDOS), first/last block columns (contact
 //!   spectral functions) and the Caroli transmission;
+//! * [`selinv`] — tree-structured selected inversion recovering exactly
+//!   the same result surface with an `O(log N)` critical path, serial and
+//!   rank-parallel drivers, bit-identical across worker counts;
 //! * [`transport`] — one-call per-energy transport solve plus a dense-matrix
-//!   reference implementation used for cross-validation.
+//!   reference implementation used for cross-validation;
+//! * [`serialize`] — the rank-message wire format shared with the
+//!   wave-function SplitSolve engine.
 //!
-//! Everything here is per-(energy, momentum) point: the embarrassing
-//! parallelism over those axes is orchestrated by `omen-core`.
+//! The RGF and selected-inversion paths are per-(energy, momentum) point:
+//! the embarrassing parallelism over those axes is orchestrated by
+//! `omen-core`.
 
+pub mod contacts;
 pub mod rgf;
 pub mod sancho;
+pub mod selinv;
+pub mod serialize;
 pub mod transport;
 
+pub use contacts::distributed_contacts;
 pub use rgf::{rgf_solve, RgfResult};
 pub use sancho::{surface_green_function, ContactSelfEnergy, Side};
+pub use selinv::{
+    selinv_solve, selinv_solve_parallel, selinv_transport_at_energy, selinv_transport_parallel,
+    TreeShape,
+};
 pub use transport::{transmission_dense_reference, transport_at_energy, EnergyPointData};

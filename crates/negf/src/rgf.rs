@@ -25,6 +25,7 @@ use omen_sparse::BlockTridiag;
 pub const REGULARIZATION_ETA: f64 = 1e-6;
 
 /// Output of one RGF solve at a single (energy, momentum) point.
+#[derive(Debug, Clone)]
 pub struct RgfResult {
     /// Retarded diagonal blocks `G_{i,i}`.
     pub g_diag: Vec<ZMat>,

@@ -98,7 +98,21 @@ fn decimate(
             let mut a = ZMat::from_diag(&vec![ec; n]);
             a -= &eps_s;
             return match lu::Lu::factor(&a) {
-                Ok(f) => Ok((f.inverse(), it + 1)),
+                // A NaN-poisoned lead slips through the contraction test
+                // (`max_abs` folds with `f64::max`, which drops NaN), so
+                // gate the exit on a finite surface GF: non-finite means
+                // the decimation never actually converged.
+                Ok(f) => {
+                    let g = f.inverse();
+                    if g.norm_fro().is_finite() {
+                        Ok((g, it + 1))
+                    } else {
+                        Err(OmenError::LeadNotConverged {
+                            energy: e,
+                            iters: it + 1,
+                        })
+                    }
+                }
                 Err(s) => Err(s.at_block(0).with_energy(e)),
             };
         }
@@ -212,7 +226,7 @@ pub fn surface_green_function_recovering(
 }
 
 /// A contact self-energy `Σ` with its broadening `Γ = i(Σ − Σ†)`.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct ContactSelfEnergy {
     /// Which side this contact sits on.
     pub side: Side,

@@ -59,6 +59,13 @@ pub const KNOWN_OPS: &[&str] = &[
     "engine.utb",
     "engine.spin_orbit",
     "engine.thomas_vs_bcr",
+    "engine.selinv_chain",
+    "engine.selinv_si_wire",
+    "engine.selinv_agnr",
+    "engine.selinv_utb",
+    "engine.selinv_spin_orbit",
+    // tests/selinv_properties.rs
+    "selinv.vs_dense",
     // tests/physics_invariants.rs
     "physics.unitarity_slack",
     "physics.reciprocity",
@@ -66,6 +73,9 @@ pub const KNOWN_OPS: &[&str] = &[
     "physics.hermiticity",
     "physics.wf_vs_rgf",
     "physics.splitsolve_vs_thomas",
+    "physics.selinv_reciprocity",
+    "physics.selinv_current",
+    "physics.selinv_zero_bias",
     "fermi.seam",
     "fermi.complement",
     // tests/end_to_end.rs

@@ -45,7 +45,11 @@ pub fn wf_transport_at_energy(
     lead_r: (&ZMat, &ZMat),
     solver: SolverKind,
 ) -> OmenResult<EnergyPointData> {
-    let (sl, sr, a, b, ml) = setup(e, h, lead_l, lead_r)?;
+    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left)
+        .map_err(|err| err.with_energy(e))?;
+    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right)
+        .map_err(|err| err.with_energy(e))?;
+    let (a, b, ml) = assemble(e, h, &sl, &sr);
     let psi = match solver {
         SolverKind::Thomas => thomas_solve(&a, &b),
         SolverKind::Bcr => bcr_solve(&a, &b),
@@ -56,6 +60,9 @@ pub fn wf_transport_at_energy(
 
 /// Wave-function transport at one energy with the rank-parallel SplitSolve
 /// backend; all comm members call collectively and receive the same result.
+/// The contact self-energies are decimated once across the communicator
+/// ([`omen_negf::contacts::distributed_contacts`]) instead of redundantly
+/// on every rank.
 ///
 /// # Errors
 ///
@@ -70,31 +77,22 @@ pub fn wf_transport_splitsolve(
     lead_l: (&ZMat, &ZMat),
     lead_r: (&ZMat, &ZMat),
 ) -> OmenResult<EnergyPointData> {
-    let (sl, sr, a, b, ml) = setup(e, h, lead_l, lead_r)?;
+    let (sl, sr) = omen_negf::contacts::distributed_contacts(comm, e, DEFAULT_ETA, lead_l, lead_r)?;
+    let (a, b, ml) = assemble(e, h, &sl, &sr);
     let psi = splitsolve_parallel(comm, &a, &b).map_err(|err| err.with_energy(e))?;
     Ok(observables(e, h, &sl, &sr, &psi, ml))
 }
 
 /// Assembles `A` and the injected right-hand side `B = [W_L at slab 0 |
-/// W_R at slab N−1]`; returns the self-energies and the left-mode count.
-fn setup(
+/// W_R at slab N−1]` from precomputed self-energies; returns the
+/// left-mode count alongside.
+fn assemble(
     e: f64,
     h: &BlockTridiag,
-    lead_l: (&ZMat, &ZMat),
-    lead_r: (&ZMat, &ZMat),
-) -> OmenResult<(
-    ContactSelfEnergy,
-    ContactSelfEnergy,
-    BlockTridiag,
-    Vec<ZMat>,
-    usize,
-)> {
-    let sl = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_l.0, lead_l.1, Side::Left)
-        .map_err(|err| err.with_energy(e))?;
-    let sr = ContactSelfEnergy::compute(e, DEFAULT_ETA, lead_r.0, lead_r.1, Side::Right)
-        .map_err(|err| err.with_energy(e))?;
-    let a = build_a_matrix(e, DEFAULT_ETA, h, &sl, &sr);
-
+    sl: &ContactSelfEnergy,
+    sr: &ContactSelfEnergy,
+) -> (BlockTridiag, Vec<ZMat>, usize) {
+    let a = build_a_matrix(e, DEFAULT_ETA, h, sl, sr);
     let wl = injection_bundle(&sl.gamma, MODE_TOL);
     let wr = injection_bundle(&sr.gamma, MODE_TOL);
     let (ml, mr) = (wl.w.ncols(), wr.w.ncols());
@@ -105,7 +103,7 @@ fn setup(
         .collect();
     b[0].set_block(0, 0, &wl.w);
     b[nb - 1].set_block(0, ml, &wr.w);
-    Ok((sl, sr, a, b, ml))
+    (a, b, ml)
 }
 
 /// Evaluates transmission, LDOS and spectral diagonals from the scattering

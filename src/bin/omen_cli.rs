@@ -42,7 +42,7 @@ slabs      = 8                  # device length in principal layers
 doping_sd  = 2e-3               # source/drain doping, e/nm^3
 pin        = false              # true → p-i-n junction (TFET)
 mode       = scf                # scf | frozen
-engine     = wf                 # wf | rgf
+engine     = wf                 # wf | rgf | selinv
 n_energy   = 31                 # energy points per transport solve
 n_k        = 1                  # transverse k-points (utb only)
 vds        = 0.2                # drain bias (V)
@@ -105,6 +105,7 @@ fn run(spec_text: &str) -> Result<(), String> {
     let engine = match get("engine").as_str() {
         "wf" => Engine::WfThomas,
         "rgf" => Engine::Rgf,
+        "selinv" => Engine::SelInv,
         e => return Err(format!("unknown engine `{e}`")),
     };
     let n_energy = getu("n_energy")?;

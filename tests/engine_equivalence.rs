@@ -1,6 +1,7 @@
-//! Cross-crate integration: the two transport engines (and the dense
-//! reference) must produce identical observables on every device family
-//! the simulator supports.
+//! Cross-crate integration: the three transport engines — RGF, the
+//! wave-function solvers, and tree-parallel selected inversion — must
+//! produce identical observables on every device family the simulator
+//! supports.
 
 use omen::lattice::{Crystal, Device};
 use omen::linalg::ZMat;
@@ -23,6 +24,7 @@ fn check_equivalence(
     lead_r: (&ZMat, &ZMat),
     energies: &[f64],
     tol: f64,
+    selinv_tol: f64,
 ) {
     let backend_tol = test_bound("engine.thomas_vs_bcr", BoundKind::Relative)
         .expect("TOLERANCES.toml covers the WF backend comparison");
@@ -34,6 +36,8 @@ fn check_equivalence(
                 .unwrap_or_else(|err| panic!("{name} E={e}: WF Thomas failed: {err}"));
         let bcr = omen::wf::wf_transport_at_energy(e, h, lead_l, lead_r, omen::wf::SolverKind::Bcr)
             .unwrap_or_else(|err| panic!("{name} E={e}: WF BCR failed: {err}"));
+        let si = omen::negf::selinv_transport_at_energy(e, h, lead_l, lead_r)
+            .unwrap_or_else(|err| panic!("{name} E={e}: SelInv failed: {err}"));
         let scale = 1.0 + rgf.transmission.abs();
         assert!(
             (rgf.transmission - wf.transmission).abs() < tol * scale,
@@ -45,23 +49,40 @@ fn check_equivalence(
             (wf.transmission - bcr.transmission).abs() < backend_tol * scale,
             "{name} E={e}: Thomas vs BCR backend"
         );
-        // Spectral densities agree orbital-by-orbital.
-        for (i, (a, b)) in wf
+        assert!(
+            (rgf.transmission - si.transmission).abs() < selinv_tol * scale,
+            "{name} E={e}: RGF {} vs SelInv {}",
+            rgf.transmission,
+            si.transmission
+        );
+        // Spectral densities agree orbital-by-orbital: WF within the
+        // cross-formulation budget, SelInv within its elimination-order
+        // budget (both engines share the same NEGF observable packaging).
+        for (i, ((a, b), c)) in wf
             .spectral_left_diag
             .iter()
             .zip(&rgf.spectral_left_diag)
+            .zip(&si.spectral_left_diag)
             .enumerate()
         {
             assert!(
                 (a - b).abs() < 100.0 * tol * (1.0 + b.abs()),
                 "{name} E={e} A_L[{i}]: {a} vs {b}"
             );
+            assert!(
+                (c - b).abs() < 100.0 * selinv_tol * (1.0 + b.abs()),
+                "{name} E={e} SelInv A_L[{i}]: {c} vs {b}"
+            );
         }
         // LDOS agrees.
-        for (a, b) in wf.ldos.iter().zip(&rgf.ldos) {
+        for ((a, b), c) in wf.ldos.iter().zip(&rgf.ldos).zip(&si.ldos) {
             assert!(
                 (a - b).abs() < 100.0 * tol * (1.0 + b.abs()),
                 "{name} E={e} LDOS"
+            );
+            assert!(
+                (c - b).abs() < 100.0 * selinv_tol * (1.0 + b.abs()),
+                "{name} E={e} SelInv LDOS"
             );
         }
     }
@@ -91,6 +112,7 @@ fn chain_with_disorder() {
         (&h00, &h01),
         &linspace(-1.7, 1.7, 15),
         tol("engine.chain"),
+        tol("engine.selinv_chain"),
     );
 }
 
@@ -114,6 +136,7 @@ fn silicon_wire_with_potential_step() {
         (&lr.0, &lr.1),
         &linspace(1.7, 2.3, 5),
         tol("engine.si_wire"),
+        tol("engine.selinv_si_wire"),
     );
 }
 
@@ -136,6 +159,7 @@ fn graphene_ribbon() {
         (&lead.0, &lead.1),
         &linspace(0.7, 1.5, 5),
         tol("engine.agnr"),
+        tol("engine.selinv_agnr"),
     );
 }
 
@@ -155,6 +179,7 @@ fn utb_with_transverse_momentum() {
             (&lead.0, &lead.1),
             &linspace(-3.3, -2.7, 4),
             tol("engine.utb"),
+            tol("engine.selinv_utb"),
         );
     }
 }
@@ -184,6 +209,14 @@ fn silicon_wire_invariant_under_omen_threads() {
                 .transmission
         })
         .collect();
+    let serial_si: Vec<f64> = energies
+        .iter()
+        .map(|&e| {
+            omen::negf::selinv_transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
+                .expect("serial SelInv")
+                .transmission
+        })
+        .collect();
 
     std::env::set_var(env, "4");
     check_equivalence(
@@ -193,14 +226,23 @@ fn silicon_wire_invariant_under_omen_threads() {
         (&lead.0, &lead.1),
         &energies,
         tol("engine.si_wire"),
+        tol("engine.selinv_si_wire"),
     );
-    for (&e, &t1) in energies.iter().zip(&serial) {
+    for ((&e, &t1), &s1) in energies.iter().zip(&serial).zip(&serial_si) {
         let t4 = omen::negf::transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
             .expect("threaded RGF")
             .transmission;
         assert!(
             t4.to_bits() == t1.to_bits(),
             "E={e}: transmission changed under OMEN_THREADS=4: {t4} vs {t1}"
+        );
+        let s4 =
+            omen::negf::selinv_transport_at_energy(e, &h, (&lead.0, &lead.1), (&lead.0, &lead.1))
+                .expect("threaded SelInv")
+                .transmission;
+        assert!(
+            s4.to_bits() == s1.to_bits(),
+            "E={e}: SelInv transmission changed under OMEN_THREADS=4: {s4} vs {s1}"
         );
     }
     match saved {
@@ -224,5 +266,6 @@ fn spin_orbit_device() {
         (&lead.0, &lead.1),
         &[1.9, 2.2],
         tol("engine.spin_orbit"),
+        tol("engine.selinv_spin_orbit"),
     );
 }

@@ -189,6 +189,112 @@ fn wf_rgf_agree_on_random_chains() {
 }
 
 #[test]
+fn selinv_reciprocity() {
+    // Same law as `reciprocity`, exercised through the selected-inversion
+    // engine: the tree elimination order must not break T(L→R) = T(R→L).
+    let bound = tol("physics.selinv_reciprocity", BoundKind::Relative);
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x77 + case);
+        let onsite: Vec<f64> = (0..7).map(|_| rng.uniform(-0.8, 0.8)).collect();
+        let e = rng.uniform(-1.5, 1.5);
+        let (h, h00, h01) = chain(7, &onsite);
+        let rev: Vec<f64> = onsite.iter().rev().cloned().collect();
+        let (hr, _, _) = chain(7, &rev);
+        let tf = omen::negf::selinv_transport_at_energy(e, &h, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
+        let tb = omen::negf::selinv_transport_at_energy(e, &hr, (&h00, &h01), (&h00, &h01))
+            .unwrap()
+            .transmission;
+        assert!(
+            (tf - tb).abs() < bound * (1.0 + tf),
+            "case {case}: SelInv T forward {tf} vs reversed {tb}"
+        );
+    }
+}
+
+#[test]
+fn selinv_current_conservation() {
+    // Caroli evaluated from the two contact columns of the same selected
+    // inverse must agree: Tr[Γ_L G_{0,N−1} Γ_R G_{0,N−1}†] (right column)
+    // equals Tr[Γ_R G_{N−1,0} Γ_L G_{N−1,0}†] (left column). Physically
+    // this is current conservation — what flows in from the left leaves to
+    // the right — and it exercises both columns the downward pass carries.
+    let bound = tol("physics.selinv_current", BoundKind::Relative);
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x88 + case);
+        let nb = 5 + (case as usize % 4);
+        let onsite: Vec<f64> = (0..nb).map(|_| rng.uniform(-0.7, 0.7)).collect();
+        let e = rng.uniform(-1.5, 1.5);
+        let (h, h00, h01) = chain(nb, &onsite);
+        let sl = omen::negf::sancho::ContactSelfEnergy::compute(
+            e,
+            2e-6,
+            &h00,
+            &h01,
+            omen::negf::sancho::Side::Left,
+        )
+        .unwrap();
+        let sr = omen::negf::sancho::ContactSelfEnergy::compute(
+            e,
+            2e-6,
+            &h00,
+            &h01,
+            omen::negf::sancho::Side::Right,
+        )
+        .unwrap();
+        let a = omen::negf::rgf::build_a_matrix(e, 2e-6, &h, &sl, &sr);
+        let r = omen::negf::selinv::selinv_solve(&a, &sl.gamma, &sr.gamma).unwrap();
+        let g0n = &r.g_col_right[0];
+        let t_fwd = omen::linalg::matmul_n_h(
+            &omen::linalg::matmul(&omen::linalg::matmul(&sl.gamma, g0n), &sr.gamma),
+            g0n,
+        )
+        .trace()
+        .re;
+        let gn0 = &r.g_col_left[nb - 1];
+        let t_bwd = omen::linalg::matmul_n_h(
+            &omen::linalg::matmul(&omen::linalg::matmul(&sr.gamma, gn0), &sl.gamma),
+            gn0,
+        )
+        .trace()
+        .re;
+        assert!(
+            (t_fwd - t_bwd).abs() < bound * (1.0 + t_fwd.abs()),
+            "case {case}: left-column current {t_bwd} vs right-column {t_fwd} at E={e}"
+        );
+    }
+}
+
+#[test]
+fn selinv_zero_bias_carries_no_current() {
+    // At V_ds = 0 the source and drain Fermi factors coincide, so the
+    // integrated current through the SelInv engine must vanish to
+    // quadrature rounding.
+    let bound = tol("physics.selinv_zero_bias", BoundKind::Absolute);
+    let mut spec =
+        omen::core::TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 6);
+    spec.doping_sd = 0.0;
+    let tr = spec.build();
+    let v = vec![0.0; tr.device.num_atoms()];
+    let bias = omen::core::Bias {
+        v_gate: 0.0,
+        v_ds: 0.0,
+        mu_source: -3.1,
+    };
+    let r = omen::core::ballistic_solve(&tr, &v, &bias, omen::core::Engine::SelInv, 25, 0.0);
+    assert!(
+        r.report.failed.is_empty(),
+        "zero-bias sweep must solve cleanly"
+    );
+    assert!(
+        r.current_ua.abs() < bound,
+        "zero-bias current {} exceeds the rounding budget",
+        r.current_ua
+    );
+}
+
+#[test]
 fn splitsolve_matches_thomas_on_random_systems() {
     let bound = tol("physics.splitsolve_vs_thomas", BoundKind::Absolute);
     for case in 0..8u64 {

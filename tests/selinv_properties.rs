@@ -1,0 +1,261 @@
+//! Oracle battery for the tree-parallel selected inversion engine.
+//!
+//! Three property families, all with bounds drawn from `TOLERANCES.toml`:
+//!
+//! 1. **Dense oracle** — on random well-conditioned block-tridiagonal
+//!    systems the tree-selected inverse must reproduce the corresponding
+//!    blocks of the dense full inverse (`selinv.vs_dense`), across a grid
+//!    of block counts (including the degenerate single-block tree) and
+//!    block sizes.
+//! 2. **Determinism** — the parallel driver is *bit*-identical to the
+//!    serial solve for every worker count and for both task-schedule
+//!    shapes ([`TreeShape::Balanced`] vs the adversarial
+//!    [`TreeShape::Path`]): the elimination DAG is canonical, the
+//!    schedule is not allowed to leak into the numbers.
+//! 3. **Fault paths** — a provably singular pivot recovers identically on
+//!    every rank (with the recovery accounted), an unrecoverable NaN
+//!    block fails with the same typed error on every rank, and a dead
+//!    worker mid-tree surfaces as a typed communicator fault instead of a
+//!    hang.
+
+use omen::linalg::{lu, ZMat};
+use omen::negf::selinv::{selinv_solve, selinv_solve_parallel, TreeShape};
+use omen::num::tolerance::test_bound;
+use omen::num::{c64, BoundKind, OmenError};
+use omen::parsim::{run_ranks, run_ranks_with_timeout, Comm};
+use omen::sparse::BlockTridiag;
+use std::time::Duration;
+
+/// Deterministic xorshift-ish stream for reproducible random systems.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        ((self.0 >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+    fn c(&mut self) -> c64 {
+        c64::new(self.next(), self.next())
+    }
+}
+
+/// Random diagonally dominant block-tridiagonal system: off-diagonal
+/// entries O(1), diagonal blocks shifted by ±(bs + 4) so every Schur
+/// pivot stays O(1)-conditioned under any elimination order.
+fn random_system(nb: usize, bs: usize, seed: u64) -> BlockTridiag {
+    let mut r = Rng(seed);
+    let dom = c64::new(bs as f64 + 4.0, 1.0);
+    let diag: Vec<ZMat> = (0..nb)
+        .map(|_| {
+            let mut m = ZMat::from_fn(bs, bs, |_, _| r.c());
+            for i in 0..bs {
+                m[(i, i)] += dom;
+            }
+            m
+        })
+        .collect();
+    let lower: Vec<ZMat> = (0..nb.saturating_sub(1))
+        .map(|_| ZMat::from_fn(bs, bs, |_, _| r.c()))
+        .collect();
+    let upper: Vec<ZMat> = (0..nb.saturating_sub(1))
+        .map(|_| ZMat::from_fn(bs, bs, |_, _| r.c()))
+        .collect();
+    BlockTridiag::new(diag, lower, upper)
+}
+
+/// Hermitian PSD stand-ins for the contact broadenings, so the Caroli
+/// trace exercised by the solver is well-defined.
+fn gammas(bs: usize, seed: u64) -> (ZMat, ZMat) {
+    let mut r = Rng(seed);
+    let mut make = || {
+        let w = ZMat::from_fn(bs, bs, |_, _| r.c());
+        // Γ = W W† is Hermitian PSD by construction.
+        omen::linalg::matmul_n_h(&w, &w)
+    };
+    (make(), make())
+}
+
+#[test]
+fn matches_dense_full_inverse_oracle() {
+    let tol = test_bound("selinv.vs_dense", BoundKind::Relative)
+        .expect("TOLERANCES.toml covers selinv.vs_dense");
+    for (nb, bs) in [
+        (1usize, 3usize),
+        (2, 2),
+        (3, 1),
+        (5, 3),
+        (8, 2),
+        (11, 1),
+        (6, 4),
+    ] {
+        let a = random_system(nb, bs, 0xA5EED ^ ((nb * 31 + bs) as u64));
+        let (gl, gr) = gammas(bs, 0xBEEF ^ (nb as u64));
+        let r = selinv_solve(&a, &gl, &gr)
+            .unwrap_or_else(|e| panic!("nb={nb} bs={bs}: selinv failed: {e}"));
+        let dense = lu::inverse(&a.to_dense()).expect("dominant system is invertible");
+        let n = a.dim();
+        let scale = dense.max_abs();
+        for i in 0..nb {
+            let off = a.offset(i);
+            let di = dense.block(off, off, bs, bs);
+            assert!(
+                (&r.g_diag[i] - &di).max_abs() < tol * scale,
+                "nb={nb} bs={bs} diag block {i}"
+            );
+            let c0 = dense.block(off, 0, bs, bs);
+            assert!(
+                (&r.g_col_left[i] - &c0).max_abs() < tol * scale,
+                "nb={nb} bs={bs} left column block {i}"
+            );
+            let cn = dense.block(off, n - bs, bs, bs);
+            assert!(
+                (&r.g_col_right[i] - &cn).max_abs() < tol * scale,
+                "nb={nb} bs={bs} right column block {i}"
+            );
+        }
+    }
+}
+
+/// The parallel tree must reproduce the serial solve bit-for-bit at every
+/// worker count and under both task schedules: the shape and the rank
+/// count choose who computes what, never what is computed.
+#[test]
+fn parallel_is_bit_identical_across_workers_and_shapes() {
+    for (nb, bs) in [(7usize, 2usize), (12, 1), (5, 3)] {
+        let a = random_system(nb, bs, 0xD15C ^ (nb as u64));
+        let (gl, gr) = gammas(bs, 0xCAFE ^ (bs as u64));
+        let serial = selinv_solve(&a, &gl, &gr).expect("serial selinv");
+        for shape in [TreeShape::Balanced, TreeShape::Path] {
+            for nranks in [1usize, 2, 4] {
+                let out = run_ranks(nranks, |ctx| {
+                    let comm = Comm::world(ctx);
+                    selinv_solve_parallel(&comm, &a, &gl, &gr, shape)
+                })
+                .flattened();
+                for r in out.unwrap_all() {
+                    assert_eq!(
+                        r.transmission.to_bits(),
+                        serial.transmission.to_bits(),
+                        "nb={nb} bs={bs} {shape:?} nranks={nranks}: transmission bits"
+                    );
+                    for i in 0..nb {
+                        assert_eq!(r.g_diag[i], serial.g_diag[i], "diag block {i}");
+                        assert_eq!(r.g_col_left[i], serial.g_col_left[i]);
+                        assert_eq!(r.g_col_right[i], serial.g_col_right[i]);
+                    }
+                    assert_eq!(r.retries, serial.retries);
+                }
+            }
+        }
+    }
+}
+
+/// A both-sides-decoupled middle block makes its Schur pivot exactly the
+/// bare on-site term under *any* elimination order: the tree must
+/// regularize it (accounted in `retries`) and still return bit-identical
+/// results on every rank and schedule.
+#[test]
+fn singular_pivot_recovers_identically_on_every_rank() {
+    let n = 5;
+    let z = || ZMat::zeros(1, 1);
+    let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+    let mut diag: Vec<ZMat> = (0..n).map(|_| ZMat::from_diag(&[c64::real(2.0)])).collect();
+    diag[2] = z();
+    let mut lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+    let mut upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+    for i in [1usize, 2] {
+        lower[i] = z();
+        upper[i] = z();
+    }
+    let a = BlockTridiag::new(diag, lower, upper);
+    let (gl, gr) = gammas(1, 0x51);
+
+    let serial = selinv_solve(&a, &gl, &gr).expect("regularization must recover the zero pivot");
+    assert!(serial.retries >= 1, "the recovery must be accounted");
+
+    for shape in [TreeShape::Balanced, TreeShape::Path] {
+        let out = run_ranks(3, |ctx| {
+            let comm = Comm::world(ctx);
+            selinv_solve_parallel(&comm, &a, &gl, &gr, shape)
+        })
+        .flattened();
+        for r in out.unwrap_all() {
+            assert_eq!(r.retries, serial.retries, "{shape:?}");
+            assert_eq!(r.transmission.to_bits(), serial.transmission.to_bits());
+            for i in 0..n {
+                assert_eq!(r.g_diag[i], serial.g_diag[i]);
+            }
+        }
+    }
+}
+
+/// A NaN-poisoned block defeats the shift-based regularization (the shift
+/// keeps the NaN): the solve must fail with the same typed
+/// `SingularBlock` naming the poisoned separator on *every* rank — never
+/// a hang, never a rank-dependent verdict.
+#[test]
+fn nan_block_fails_typed_on_every_rank() {
+    let n = 5;
+    let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+    let mut diag: Vec<ZMat> = (0..n).map(|_| ZMat::from_diag(&[c64::real(2.0)])).collect();
+    diag[2] = ZMat::from_diag(&[c64::new(f64::NAN, 0.0)]);
+    let lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+    let upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+    let a = BlockTridiag::new(diag, lower, upper);
+    let (gl, gr) = gammas(1, 0x52);
+
+    match selinv_solve(&a, &gl, &gr) {
+        Err(OmenError::SingularBlock { block, .. }) => assert_eq!(block, 2),
+        other => panic!("expected SingularBlock at the poisoned separator, got {other:?}"),
+    }
+
+    for shape in [TreeShape::Balanced, TreeShape::Path] {
+        let out = run_ranks(3, |ctx| {
+            let comm = Comm::world(ctx);
+            selinv_solve_parallel(&comm, &a, &gl, &gr, shape)
+        })
+        .flattened();
+        for r in out.results {
+            match r {
+                Err(OmenError::SingularBlock { block, .. }) => assert_eq!(block, 2, "{shape:?}"),
+                other => panic!("{shape:?}: expected typed SingularBlock, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// A worker that dies mid-tree (simulated by sleeping past the recv
+/// timeout) must surface as a typed communicator fault on the healthy
+/// ranks, not a deadlock.
+#[test]
+fn dead_worker_mid_tree_fails_typed_not_hung() {
+    let a = random_system(9, 1, 0x0DD);
+    let (gl, gr) = gammas(1, 0x53);
+    let out = run_ranks_with_timeout(3, Duration::from_millis(400), |ctx| {
+        if ctx.rank() == 1 {
+            // Rank 1 goes dark before touching the collective schedule.
+            std::thread::sleep(Duration::from_secs(2));
+            return Err(OmenError::RankFailed {
+                rank: 1,
+                detail: "simulated dead worker".into(),
+            });
+        }
+        let comm = Comm::world(ctx);
+        selinv_solve_parallel(&comm, &a, &gl, &gr, TreeShape::Balanced)
+    })
+    .flattened();
+    let mut typed_faults = 0;
+    for r in out.results {
+        match r {
+            Err(
+                OmenError::RecvTimeout { .. }
+                | OmenError::ChannelClosed { .. }
+                | OmenError::ScheduleDivergence { .. }
+                | OmenError::RankFailed { .. },
+            ) => typed_faults += 1,
+            Ok(_) => panic!("no rank may claim success with a dead worker in the tree"),
+            other => panic!("expected a typed communicator fault, got {other:?}"),
+        }
+    }
+    assert_eq!(typed_faults, 3, "every rank reports a typed fault");
+}
