@@ -8,11 +8,11 @@ cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Panic-free solver stack: the linalg/sparse/wf/negf/parsim crates must not
-# grow new unwrap/expect/panic sites in non-test code (typed OmenError
-# instead). Test modules are exempt via allow-unwrap-in-tests /
+# Panic-free solver stack: the linalg/sparse/wf/negf/parsim/serve crates
+# must not grow new unwrap/expect/panic sites in non-test code (typed
+# OmenError instead). Test modules are exempt via allow-unwrap-in-tests /
 # allow-expect-in-tests in clippy.toml.
-cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p omen-parsim -p omen-sched -p omen-analyze -- \
+cargo clippy --no-deps -p omen-linalg -p omen-sparse -p omen-wf -p omen-negf -p omen-parsim -p omen-sched -p omen-analyze -p omen-serve -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
 # Kernel dispatch legs: the microkernel path (scalar vs AVX2+FMA) is
@@ -43,6 +43,14 @@ fi
 # round-trips the BENCH_sched.json emitter, writing to target/ (see
 # DESIGN.md §11).
 cargo bench -p omen-bench --bench sched -- --smoke
+
+# Service bench smoke: a loopback omen-serve daemon under 4 concurrent
+# clients with an instant executor — exercises framing, admission, the
+# dedupe/cache machinery, and the BENCH_serve.json emitter, writing to
+# target/ (see DESIGN.md §14). The unique-jobs and dedupe-storm cases
+# must clear the catastrophic serve_smoke_floor throughputs (a per-frame
+# Nagle stall is the failure mode the floor is tuned to catch).
+cargo bench -p omen-bench --bench serve -- --smoke
 
 # Bench-regression gate (DESIGN.md §12): the committed BENCH_*.json
 # baselines must clear the guardbands declared in TOLERANCES.toml, and the

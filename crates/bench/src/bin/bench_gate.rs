@@ -1,7 +1,8 @@
 //! `bench-gate` — release-blocking perf-regression gate (DESIGN.md §12).
 //!
 //! Default mode validates the **committed** `BENCH_kernels.json` /
-//! `BENCH_sched.json` baselines against the guardbands in the repo-root
+//! `BENCH_sched.json` / `BENCH_serve.json` baselines against the
+//! guardbands in the repo-root
 //! `TOLERANCES.toml`. `--smoke` additionally checks the **fresh**
 //! `target/BENCH_*.smoke.json` records written by
 //! `cargo bench -p omen-bench -- --smoke` earlier in the same CI run:
@@ -14,7 +15,7 @@
 //! bugs, not perf regressions.
 
 use omen_bench::gate::{self, GateReport};
-use omen_bench::{kernel_json, sched_json};
+use omen_bench::{kernel_json, sched_json, serve_json};
 use omen_linalg::threads;
 use omen_num::tolerance::TolerancePolicy;
 use omen_num::OmenResult;
@@ -39,12 +40,16 @@ fn run(policy: &TolerancePolicy, smoke: bool, simd_leg: bool) -> OmenResult<Gate
     report.merge(gate::check_committed_kernels(policy, &kernels));
     let sched = sched_json::read_records(&sched_json::default_path())?;
     report.merge(gate::check_committed_sched(policy, &sched));
+    let serve = serve_json::read_records(&serve_json::default_path())?;
+    report.merge(gate::check_committed_serve(policy, &serve));
 
     if smoke {
         let fresh_k = kernel_json::read_records(&smoke_path("BENCH_kernels.smoke.json"))?;
         report.merge(gate::check_smoke_kernels(policy, &fresh_k, simd_leg));
         let fresh_s = sched_json::read_records(&smoke_path("BENCH_sched.smoke.json"))?;
         report.merge(gate::check_smoke_sched(policy, &fresh_s));
+        let fresh_v = serve_json::read_records(&smoke_path("BENCH_serve.smoke.json"))?;
+        report.merge(gate::check_smoke_serve(policy, &fresh_v));
     }
     Ok(report)
 }

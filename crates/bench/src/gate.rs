@@ -6,17 +6,20 @@
 //!
 //! 1. **Committed-baseline validation** (always): every record in the
 //!    committed `BENCH_kernels.json` must clear its `[[kernel_guardband]]`
-//!    floor — `reference_gflops · (1 − guardband)` — and every record in
+//!    floor — `reference_gflops · (1 − guardband)` — every record in
 //!    `BENCH_sched.json` must stay under its `[[sched_guardband]]`
-//!    imbalance ceiling. This is deterministic (no timing involved): it
+//!    imbalance ceiling, and every record in `BENCH_serve.json` must
+//!    clear its `[[serve_guardband]]` throughput floor and minimum
+//!    dedupe hit rate. This is deterministic (no timing involved): it
 //!    catches a re-benchmarked baseline that silently regressed past its
 //!    guardband at commit time, when the author can still annotate the
 //!    policy with a rationale instead of letting the drift land unremarked.
 //! 2. **Smoke validation** (`--smoke`): fresh `target/BENCH_*.smoke.json`
 //!    records from this very CI run must exist for the current dispatch
 //!    leg (both `gemm` and `lu`), clear the catastrophic
-//!    `[[kernel_smoke_floor]]` throughput floors, and stay under the
-//!    `[[sched_smoke_floor]]` imbalance ceilings. Smoke floors are set an
+//!    `[[kernel_smoke_floor]]` throughput floors, stay under the
+//!    `[[sched_smoke_floor]]` imbalance ceilings, and clear the
+//!    `[[serve_smoke_floor]]` service throughputs. Smoke floors are set an
 //!    order of magnitude below any believable machine so they only trip on
 //!    a genuine perf catastrophe (e.g. a debug-mode kernel, a scheduler
 //!    serializing every unit), never on CI timing noise.
@@ -30,6 +33,7 @@
 
 use crate::kernel_json::KernelRecord;
 use crate::sched_json::SchedRecord;
+use crate::serve_json::ServeRecord;
 use omen_num::tolerance::TolerancePolicy;
 
 /// Outcome of one gate pass: how many records were checked and one line
@@ -215,10 +219,100 @@ pub fn check_smoke_sched(policy: &TolerancePolicy, records: &[SchedRecord]) -> G
     report
 }
 
+/// Validates the committed service baseline: every record in
+/// `BENCH_serve.json` must have a `[[serve_guardband]]` entry for its
+/// `(case, clients)` pair, clear the throughput floor
+/// `reference_jobs_per_s · (1 − guardband)`, and meet the entry's
+/// minimum dedupe hit rate; latencies must be finite and positive.
+pub fn check_committed_serve(policy: &TolerancePolicy, records: &[ServeRecord]) -> GateReport {
+    let mut report = GateReport::default();
+    if records.is_empty() {
+        report
+            .failures
+            .push("committed service baseline has no records (BENCH_serve.json)".into());
+        return report;
+    }
+    for r in records {
+        report.checked += 1;
+        let tag = format!("{}/c{}", r.case, r.clients);
+        let finite_positive = |v: f64| v.is_finite() && v > 0.0;
+        if !(finite_positive(r.jobs_per_s)
+            && finite_positive(r.p50_ms)
+            && finite_positive(r.p99_ms)
+            && r.dedupe_hit_rate.is_finite()
+            && (0.0..=1.0).contains(&r.dedupe_hit_rate))
+        {
+            report.failures.push(format!(
+                "serve record {tag}: non-finite or out-of-range measurement \
+                 (jobs_per_s {}, p50_ms {}, p99_ms {}, dedupe_hit_rate {})",
+                r.jobs_per_s, r.p50_ms, r.p99_ms, r.dedupe_hit_rate
+            ));
+            continue;
+        }
+        match policy.serve_guardband(&r.case, r.clients) {
+            Err(e) => report.failures.push(format!("serve record {tag}: {e}")),
+            Ok(g) => {
+                let floor = g.reference_jobs_per_s * (1.0 - g.guardband);
+                if r.jobs_per_s < floor {
+                    report.failures.push(format!(
+                        "serve record {tag}: {:.3} jobs/s is below the guardband floor \
+                         {floor:.3} (reference {:.3}, band {:.0}%) — re-baseline with a \
+                         rationale in TOLERANCES.toml or fix the regression",
+                        r.jobs_per_s,
+                        g.reference_jobs_per_s,
+                        g.guardband * 100.0
+                    ));
+                }
+                if r.dedupe_hit_rate < g.min_dedupe_hit_rate {
+                    report.failures.push(format!(
+                        "serve record {tag}: dedupe hit rate {:.3} is below the policy \
+                         minimum {:.3} — the dedupe/cache machinery stopped sharing work",
+                        r.dedupe_hit_rate, g.min_dedupe_hit_rate
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Validates fresh `--smoke` service records: both canonical cases
+/// (`unique-jobs`, `dedupe-storm`) must be present — a missing case means
+/// the smoke bench silently skipped a service path — and every record
+/// must clear its catastrophic `[[serve_smoke_floor]]` throughput floor.
+pub fn check_smoke_serve(policy: &TolerancePolicy, records: &[ServeRecord]) -> GateReport {
+    let mut report = GateReport::default();
+    for required in ["unique-jobs", "dedupe-storm"] {
+        if !records.iter().any(|r| r.case == required) {
+            report.failures.push(format!(
+                "no fresh {required} smoke record — run \
+                 `cargo bench -p omen-bench --bench serve -- --smoke` first"
+            ));
+        }
+    }
+    for r in records {
+        report.checked += 1;
+        let tag = format!("{}/c{}", r.case, r.clients);
+        match policy.serve_smoke_floor(&r.case) {
+            Err(e) => report.failures.push(format!("smoke record {tag}: {e}")),
+            Ok(f) => {
+                if !(r.jobs_per_s.is_finite() && r.jobs_per_s >= f.min_jobs_per_s) {
+                    report.failures.push(format!(
+                        "smoke record {tag}: {:.3} jobs/s is below the catastrophic floor \
+                         {:.3} — the service path is broken, not merely slow",
+                        r.jobs_per_s, f.min_jobs_per_s
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{kernel_json, sched_json};
+    use crate::{kernel_json, sched_json, serve_json};
 
     /// A minimal but complete policy for the gate tests: one guardband per
     /// leg with easy round numbers (gemm scalar floor = 10·(1−0.2) = 8).
@@ -274,6 +368,32 @@ case = "resonance-comb"
 schedule = "static"
 max_imbalance = 2.9
 rationale = "degenerate comb"
+
+[[serve_guardband]]
+case = "unique-jobs"
+clients = 4
+reference_jobs_per_s = 1000.0
+guardband = 0.5
+min_dedupe_hit_rate = 0.0
+rationale = "test floor 500.0"
+
+[[serve_guardband]]
+case = "dedupe-storm"
+clients = 4
+reference_jobs_per_s = 2000.0
+guardband = 0.5
+min_dedupe_hit_rate = 0.5
+rationale = "test floor 1000.0, storm must share work"
+
+[[serve_smoke_floor]]
+case = "unique-jobs"
+min_jobs_per_s = 10.0
+rationale = "catastrophic only"
+
+[[serve_smoke_floor]]
+case = "dedupe-storm"
+min_jobs_per_s = 10.0
+rationale = "catastrophic only"
 "#,
         )
         .expect("test policy parses")
@@ -411,6 +531,80 @@ rationale = "degenerate comb"
         assert!(report.failures[0].contains("catastrophic ceiling"));
     }
 
+    fn vrec(case: &str, jobs_per_s: f64, dedupe_hit_rate: f64) -> ServeRecord {
+        ServeRecord {
+            case: case.into(),
+            clients: 4,
+            jobs: 256,
+            jobs_per_s,
+            p50_ms: 0.2,
+            p99_ms: 1.5,
+            dedupe_hit_rate,
+        }
+    }
+
+    #[test]
+    fn serve_throughput_below_its_floor_fails_and_reverted_passes() {
+        let policy = test_policy();
+        let healthy = vec![
+            vrec("unique-jobs", 900.0, 0.0),
+            vrec("dedupe-storm", 1800.0, 0.9),
+        ];
+        assert!(check_committed_serve(&policy, &healthy).is_clean());
+
+        let mut degraded = healthy.clone();
+        degraded[0].jobs_per_s = 499.0; // just below the 500.0 floor
+        let report = check_committed_serve(&policy, &degraded);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("guardband floor 500.000"));
+        assert!(report.failures[0].contains("unique-jobs/c4"));
+
+        degraded[0].jobs_per_s = healthy[0].jobs_per_s; // revert — green again
+        assert!(check_committed_serve(&policy, &degraded).is_clean());
+    }
+
+    #[test]
+    fn serve_dedupe_collapse_and_missing_guardband_fail() {
+        let policy = test_policy();
+        // The storm stopped deduping: throughput fine, hit rate floored.
+        let report = check_committed_serve(&policy, &[vrec("dedupe-storm", 1800.0, 0.1)]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("dedupe hit rate"));
+        // No guardband entry for an 8-client record in the test policy.
+        let mut r = vrec("unique-jobs", 900.0, 0.0);
+        r.clients = 8;
+        let report = check_committed_serve(&policy, &[r]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("no serve_guardband"));
+        // Empty committed baseline fails outright.
+        assert!(!check_committed_serve(&policy, &[]).is_clean());
+        // Non-finite measurements fail before any guardband lookup.
+        assert!(!check_committed_serve(&policy, &[vrec("unique-jobs", f64::NAN, 0.0)]).is_clean());
+        assert!(!check_committed_serve(&policy, &[vrec("unique-jobs", 900.0, 1.5)]).is_clean());
+    }
+
+    #[test]
+    fn smoke_serve_requires_both_cases_and_honors_floors() {
+        let policy = test_policy();
+        let both = vec![
+            vrec("unique-jobs", 50.0, 0.0),
+            vrec("dedupe-storm", 80.0, 0.9),
+        ];
+        assert!(check_smoke_serve(&policy, &both).is_clean());
+
+        let report = check_smoke_serve(&policy, &[vrec("unique-jobs", 50.0, 0.0)]);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("no fresh dedupe-storm smoke record"));
+
+        let slow = vec![
+            vrec("unique-jobs", 1.0, 0.0),
+            vrec("dedupe-storm", 80.0, 0.9),
+        ];
+        let report = check_smoke_serve(&policy, &slow);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("catastrophic floor"));
+    }
+
     /// The shipped policy must gate the shipped baselines: the committed
     /// `BENCH_*.json` pass as-is, and degrading any one committed kernel
     /// record below its guardband floor trips the gate (in memory — the
@@ -432,6 +626,13 @@ rationale = "degenerate comb"
             sreport.is_clean(),
             "shipped sched baseline violates its own policy: {:?}",
             sreport.failures
+        );
+        let serve = serve_json::read_records(&serve_json::default_path()).expect("committed serve");
+        let vreport = check_committed_serve(&policy, &serve);
+        assert!(
+            vreport.is_clean(),
+            "shipped serve baseline violates its own policy: {:?}",
+            vreport.failures
         );
 
         let mut degraded = kernels.clone();

@@ -32,6 +32,7 @@
 pub mod gate;
 pub mod kernel_json;
 pub mod sched_json;
+pub mod serve_json;
 
 use std::time::Instant;
 

@@ -1,0 +1,325 @@
+//! `BENCH_serve.json` — the machine-readable service benchmark baseline.
+//!
+//! Records throughput and tail latency of the `omen-serve` daemon under
+//! N concurrent clients hammering a loopback server with a synthetic
+//! (instant) executor, so the numbers measure the service machinery —
+//! framing, admission, dedupe, cache, fan-out — not the solver. Two
+//! canonical cases: `unique-jobs` (every submission is a distinct
+//! request; dedupe hit rate ~0) and `dedupe-storm` (all clients submit
+//! the same request; everything after the first solve joins or hits the
+//! cache). Successive PRs compare against the committed baseline
+//! instead of against folklore.
+//!
+//! ## Schema (`omen-bench-serve-v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "omen-bench-serve-v1",
+//!   "records": [
+//!     {"case": "dedupe-storm", "clients": 4, "jobs": 256,
+//!      "jobs_per_s": 1.2e4, "p50_ms": 0.21, "p99_ms": 1.05,
+//!      "dedupe_hit_rate": 0.996}
+//!   ]
+//! }
+//! ```
+//!
+//! One record per `(case, clients)` pair. `dedupe_hit_rate` is the
+//! fraction of accepted jobs served without starting a fresh solve
+//! (joined in flight or replayed from cache). Merging replaces records
+//! with the same key and keeps the rest; the parser is hand-rolled for
+//! exactly this schema (the container bakes in no serde), and the
+//! writer emits one record per line for reviewable diffs.
+
+use omen_num::{OmenError, OmenResult};
+use std::path::{Path, PathBuf};
+
+/// One service measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecord {
+    /// Workload name (`unique-jobs`, `dedupe-storm`).
+    pub case: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs submitted across all clients.
+    pub jobs: usize,
+    /// Completed jobs per second (all clients together).
+    pub jobs_per_s: f64,
+    /// Median submit→done latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile submit→done latency (ms).
+    pub p99_ms: f64,
+    /// Fraction of jobs served without a fresh solve.
+    pub dedupe_hit_rate: f64,
+}
+
+/// Identifier of the only document layout this module reads and writes.
+pub const SCHEMA: &str = "omen-bench-serve-v1";
+
+/// Default baseline location: `BENCH_serve.json` at the workspace root.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+fn fmt_record(r: &ServeRecord) -> String {
+    format!(
+        "    {{\"case\": \"{}\", \"clients\": {}, \"jobs\": {}, \"jobs_per_s\": {:.4e}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"dedupe_hit_rate\": {:.4}}}",
+        r.case, r.clients, r.jobs, r.jobs_per_s, r.p50_ms, r.p99_ms, r.dedupe_hit_rate
+    )
+}
+
+/// Serializes `records` as a full document.
+pub fn to_json(records: &[ServeRecord]) -> String {
+    let body: Vec<String> = records.iter().map(fmt_record).collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+/// Extracts the raw text of `"key": <value>` from one record object.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn req<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    field(obj, key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num<T: std::str::FromStr>(obj: &str, key: &str) -> Result<T, String> {
+    let raw = req(obj, key)?;
+    raw.parse()
+        .map_err(|_| format!("unparsable field {key:?}: {raw:?}"))
+}
+
+fn parse_record(obj: &str) -> Result<ServeRecord, String> {
+    Ok(ServeRecord {
+        case: req(obj, "case")?.trim_matches('"').to_string(),
+        clients: num(obj, "clients")?,
+        jobs: num(obj, "jobs")?,
+        jobs_per_s: num(obj, "jobs_per_s")?,
+        p50_ms: num(obj, "p50_ms")?,
+        p99_ms: num(obj, "p99_ms")?,
+        dedupe_hit_rate: num(obj, "dedupe_hit_rate")?,
+    })
+}
+
+fn berr(source: &str, detail: impl Into<String>) -> OmenError {
+    OmenError::InvalidBaseline {
+        path: source.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Parses a document produced by [`to_json`]. `source` names the document
+/// in error messages (a path, or a logical label in tests).
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the schema tag is missing
+/// or not `omen-bench-serve-v1` (the error names the found schema), the
+/// records array is absent, or any record fails to parse (the error names
+/// the record index and field) — a corrupt baseline is never silently
+/// read as a smaller one.
+pub fn from_json(source: &str, text: &str) -> OmenResult<Vec<ServeRecord>> {
+    let schema = field(text, "schema")
+        .map(|s| s.trim_matches('"'))
+        .ok_or_else(|| berr(source, "missing schema tag"))?;
+    if schema != SCHEMA {
+        return Err(berr(
+            source,
+            format!("schema {schema:?} (expected {SCHEMA:?})"),
+        ));
+    }
+    let arr_start = text
+        .find("\"records\"")
+        .ok_or_else(|| berr(source, "missing records array"))?;
+    let open = text[arr_start..]
+        .find('[')
+        .ok_or_else(|| berr(source, "missing records array"))?;
+    let arr = &text[arr_start + open + 1..];
+    let arr = &arr[..arr
+        .rfind(']')
+        .ok_or_else(|| berr(source, "unterminated records array"))?];
+    let mut records = Vec::new();
+    let mut rest = arr;
+    while let Some(obj_open) = rest.find('{') {
+        let Some(close) = rest[obj_open..].find('}') else {
+            return Err(berr(
+                source,
+                format!("unterminated record object after index {}", records.len()),
+            ));
+        };
+        let obj = &rest[obj_open..obj_open + close + 1];
+        let r = parse_record(obj)
+            .map_err(|detail| berr(source, format!("record {}: {detail}", records.len())))?;
+        records.push(r);
+        rest = &rest[obj_open + close + 1..];
+    }
+    Ok(records)
+}
+
+/// Reads the baseline at `path`. A file that does not exist yet is an
+/// empty baseline (first run); anything else that fails is an error.
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the file exists but cannot
+/// be read, or fails any [`from_json`] validation.
+pub fn read_records(path: &Path) -> OmenResult<Vec<ServeRecord>> {
+    let source = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(berr(&source, format!("cannot read baseline: {e}"))),
+    };
+    from_json(&source, &text)
+}
+
+/// Merges `fresh` into the baseline at `path`: records with a matching
+/// `(case, clients)` key are replaced, everything else is kept, and the
+/// result is written back sorted by that key. Replace-by-key plus the
+/// total sort make the merge idempotent: merging the same records twice,
+/// in any input order, yields byte-identical documents.
+///
+/// # Errors
+///
+/// Returns [`OmenError::InvalidBaseline`] when the existing baseline is
+/// unreadable or fails validation (it is left untouched rather than
+/// clobbered), or when the merged document cannot be written.
+pub fn merge_records(path: &Path, fresh: &[ServeRecord]) -> OmenResult<()> {
+    let mut all = read_records(path)?;
+    for r in fresh {
+        all.retain(|e| (e.case.as_str(), e.clients) != (r.case.as_str(), r.clients));
+        all.push(r.clone());
+    }
+    all.sort_by(|a, b| (a.case.as_str(), a.clients).cmp(&(b.case.as_str(), b.clients)));
+    std::fs::write(path, to_json(&all)).map_err(|e| {
+        berr(
+            &path.display().to_string(),
+            format!("cannot write baseline: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(case: &str, clients: usize, jps: f64) -> ServeRecord {
+        ServeRecord {
+            case: case.into(),
+            clients,
+            jobs: 256,
+            jobs_per_s: jps,
+            p50_ms: 0.2,
+            p99_ms: 1.5,
+            dedupe_hit_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![rec("unique-jobs", 4, 9.5e3), rec("dedupe-storm", 4, 2.1e4)];
+        let parsed = from_json("test", &to_json(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn wrong_schema_is_a_clear_error() {
+        match from_json("doc", "{\"schema\": \"omen-bench-serve-v9\"}") {
+            Err(OmenError::InvalidBaseline { path, detail }) => {
+                assert_eq!(path, "doc");
+                assert!(detail.contains("omen-bench-serve-v9"), "{detail}");
+                assert!(detail.contains(SCHEMA), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+        assert!(matches!(
+            from_json("doc", ""),
+            Err(OmenError::InvalidBaseline { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_records_are_errors_not_omissions() {
+        let doc = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"records\": [\n    \
+             {{\"case\": \"unique-jobs\", \"clients\": 4, \"jobs\": 256, \
+             \"jobs_per_s\": \"broken\", \"p50_ms\": 0.2, \"p99_ms\": 1.5, \
+             \"dedupe_hit_rate\": 0.0}}\n  ]\n}}\n"
+        );
+        match from_json("doc", &doc) {
+            Err(OmenError::InvalidBaseline { detail, .. }) => {
+                assert!(detail.contains("record 0"), "{detail}");
+                assert!(detail.contains("\"jobs_per_s\""), "{detail}");
+            }
+            other => panic!("expected InvalidBaseline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_order_independent() {
+        let dir = std::env::temp_dir().join("omen_bench_serve_json_idem_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idem.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            rec("unique-jobs", 4, 9.5e3),
+            rec("dedupe-storm", 4, 2.1e4),
+            rec("dedupe-storm", 8, 3.0e4),
+        ];
+        merge_records(&path, &records).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        merge_records(&path, &records).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let mut reversed = records.clone();
+        reversed.reverse();
+        merge_records(&path, &reversed).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_refuses_to_clobber_an_incompatible_baseline() {
+        let dir = std::env::temp_dir().join("omen_bench_serve_json_clobber_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incompatible.json");
+        std::fs::write(
+            &path,
+            "{\"schema\": \"omen-bench-serve-v9\", \"records\": []}",
+        )
+        .unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        let err = merge_records(&path, &[rec("unique-jobs", 4, 1.0e4)]).unwrap_err();
+        assert!(matches!(err, OmenError::InvalidBaseline { .. }), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            before,
+            "a failed merge must leave the existing file untouched"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_replaces_matching_keys_and_sorts() {
+        let dir = std::env::temp_dir().join("omen_bench_serve_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        let _ = std::fs::remove_file(&path);
+        merge_records(&path, &[rec("unique-jobs", 4, 1.0e4)]).unwrap();
+        merge_records(
+            &path,
+            &[rec("unique-jobs", 4, 1.5e4), rec("dedupe-storm", 4, 2.0e4)],
+        )
+        .unwrap();
+        let all = read_records(&path).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].case, "dedupe-storm");
+        assert_eq!(all[1].jobs_per_s, 1.5e4);
+        let _ = std::fs::remove_file(&path);
+    }
+}

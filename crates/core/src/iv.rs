@@ -1,8 +1,10 @@
 //! Voltage sweeps and figure-of-merit extraction.
 
 use crate::ballistic::Engine;
+use crate::log::SweepSeq;
 use crate::scf::{self_consistent, ScfOptions};
 use crate::spec::{Bias, NanoTransistor};
+use omen_num::SweepReport;
 
 /// One point of an I–V characteristic.
 #[derive(Debug, Clone, Copy)]
@@ -19,6 +21,48 @@ pub struct IvPoint {
     pub converged: bool,
 }
 
+/// One per-point progress observation streamed out of a sweep driver —
+/// the same data the `OMEN_LOG` progress line of that point carries, in
+/// typed form, so a service front-end (`omen-serve`) can forward it as a
+/// progress frame that is cross-checkable against the log.
+#[derive(Debug)]
+pub struct PointProgress<'a> {
+    /// Monotonic per-sweep sequence number (gapless from 0; failed points
+    /// draw a number like any other — see [`SweepSeq`]).
+    pub seq: u64,
+    /// Canonical index of the bias point in the requested grid.
+    pub index: usize,
+    /// Total bias points in the sweep.
+    pub total: usize,
+    /// The solved point.
+    pub point: &'a IvPoint,
+    /// Energy-sweep fault ledger of this bias point (failed energy points
+    /// surface here, not as a missing sequence number).
+    pub report: &'a SweepReport,
+}
+
+/// Formats the `OMEN_LOG` progress line of one swept bias point. Shared by
+/// the gate/drain/frozen drivers so every line carries the sequence number
+/// in the same `seq=<n>/<total>` shape the streamed progress frames use.
+fn point_line(kind: &str, prog: &PointProgress<'_>) -> String {
+    format!(
+        "iv {kind} point seq={}/{} V_G={:+.3} V_DS={:+.3}: I={:.4e} µA \
+         ({} SCF iters, {}), energies: {}",
+        prog.seq,
+        prog.total,
+        prog.point.v_gate,
+        prog.point.v_ds,
+        prog.point.current_ua,
+        prog.point.scf_iterations,
+        if prog.point.converged {
+            "converged"
+        } else {
+            "stalled"
+        },
+        prog.report,
+    )
+}
+
 /// Sweeps the gate at fixed `v_ds`, warm-starting each point from the
 /// previous one (the standard way a full Id–Vg is produced).
 pub fn gate_sweep(
@@ -28,30 +72,48 @@ pub fn gate_sweep(
     mu_source: f64,
     opts: &ScfOptions,
 ) -> Vec<IvPoint> {
+    gate_sweep_observed(tr, v_gates, v_ds, mu_source, opts, &mut |_| {})
+}
+
+/// [`gate_sweep`] with a per-point observer: after each bias point the
+/// observer receives the [`PointProgress`] the driver also logs. The
+/// observer runs on the solving thread, so it should hand the data off
+/// (e.g. into a channel) rather than compute.
+pub fn gate_sweep_observed(
+    tr: &mut NanoTransistor,
+    v_gates: &[f64],
+    v_ds: f64,
+    mu_source: f64,
+    opts: &ScfOptions,
+    observer: &mut dyn FnMut(PointProgress<'_>),
+) -> Vec<IvPoint> {
     let mut out = Vec::with_capacity(v_gates.len());
     let mut warm: Option<Vec<f64>> = None;
-    for &vg in v_gates {
+    let mut seq = SweepSeq::new();
+    for (index, &vg) in v_gates.iter().enumerate() {
         let bias = Bias {
             v_gate: vg,
             v_ds,
             mu_source,
         };
         let r = self_consistent(tr, &bias, opts, warm.as_deref());
-        crate::log::emit(&format!(
-            "iv gate point V_G={vg:+.3} V_DS={v_ds:+.3}: I={:.4e} µA \
-             ({} SCF iters, {}), energies: {}",
-            r.transport.current_ua,
-            r.iterations,
-            if r.converged { "converged" } else { "stalled" },
-            r.transport.report,
-        ));
-        out.push(IvPoint {
+        let point = IvPoint {
             v_gate: vg,
             v_ds,
             current_ua: r.transport.current_ua,
             scf_iterations: r.iterations,
             converged: r.converged,
-        });
+        };
+        let prog = PointProgress {
+            seq: seq.draw(),
+            index,
+            total: v_gates.len(),
+            point: &point,
+            report: &r.transport.report,
+        };
+        crate::log::emit(&point_line("gate", &prog));
+        observer(prog);
+        out.push(point);
         warm = Some(r.v_grid);
     }
     out
@@ -67,28 +129,32 @@ pub fn drain_sweep(
 ) -> Vec<IvPoint> {
     let mut out = Vec::with_capacity(v_dss.len());
     let mut warm: Option<Vec<f64>> = None;
-    for &vds in v_dss {
+    let mut seq = SweepSeq::new();
+    for (index, &vds) in v_dss.iter().enumerate() {
         let bias = Bias {
             v_gate,
             v_ds: vds,
             mu_source,
         };
         let r = self_consistent(tr, &bias, opts, warm.as_deref());
-        crate::log::emit(&format!(
-            "iv drain point V_G={v_gate:+.3} V_DS={vds:+.3}: I={:.4e} µA \
-             ({} SCF iters, {}), energies: {}",
-            r.transport.current_ua,
-            r.iterations,
-            if r.converged { "converged" } else { "stalled" },
-            r.transport.report,
-        ));
-        out.push(IvPoint {
+        let point = IvPoint {
             v_gate,
             v_ds: vds,
             current_ua: r.transport.current_ua,
             scf_iterations: r.iterations,
             converged: r.converged,
-        });
+        };
+        crate::log::emit(&point_line(
+            "drain",
+            &PointProgress {
+                seq: seq.draw(),
+                index,
+                total: v_dss.len(),
+                point: &point,
+                report: &r.transport.report,
+            },
+        ));
+        out.push(point);
         warm = Some(r.v_grid);
     }
     out
@@ -142,38 +208,65 @@ pub fn frozen_field_sweep(
     engine: Engine,
     n_energy: usize,
 ) -> Vec<IvPoint> {
+    frozen_field_sweep_observed(tr, v_gates, v_ds, mu_source, engine, n_energy, &mut |_| {})
+}
+
+/// [`frozen_field_sweep`] with a per-point observer (see
+/// [`gate_sweep_observed`] for the contract). This is the driver the
+/// `omen-serve` daemon runs for `mode = frozen` jobs: each bias point is
+/// logged with its sequence number and handed to the observer for
+/// progress streaming.
+pub fn frozen_field_sweep_observed(
+    tr: &NanoTransistor,
+    v_gates: &[f64],
+    v_ds: f64,
+    mu_source: f64,
+    engine: Engine,
+    n_energy: usize,
+    observer: &mut dyn FnMut(PointProgress<'_>),
+) -> Vec<IvPoint> {
     let lg_lo = tr.spec.source_slabs;
     let lg_hi = tr.spec.num_slabs - tr.spec.drain_slabs;
-    v_gates
-        .iter()
-        .map(|&vg| {
-            let v_atoms: Vec<f64> = tr
-                .device
-                .atoms
-                .iter()
-                .map(|a| {
-                    if a.slab >= lg_lo && a.slab < lg_hi {
-                        vg
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            let bias = Bias {
-                v_gate: vg,
-                v_ds,
-                mu_source,
-            };
-            let r = crate::ballistic::ballistic_solve(tr, &v_atoms, &bias, engine, n_energy, 0.0);
-            IvPoint {
-                v_gate: vg,
-                v_ds,
-                current_ua: r.current_ua,
-                scf_iterations: 0,
-                converged: true,
-            }
-        })
-        .collect()
+    let mut seq = SweepSeq::new();
+    let mut out = Vec::with_capacity(v_gates.len());
+    for (index, &vg) in v_gates.iter().enumerate() {
+        let v_atoms: Vec<f64> = tr
+            .device
+            .atoms
+            .iter()
+            .map(|a| {
+                if a.slab >= lg_lo && a.slab < lg_hi {
+                    vg
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let bias = Bias {
+            v_gate: vg,
+            v_ds,
+            mu_source,
+        };
+        let r = crate::ballistic::ballistic_solve(tr, &v_atoms, &bias, engine, n_energy, 0.0);
+        let point = IvPoint {
+            v_gate: vg,
+            v_ds,
+            current_ua: r.current_ua,
+            scf_iterations: 0,
+            converged: true,
+        };
+        let prog = PointProgress {
+            seq: seq.draw(),
+            index,
+            total: v_gates.len(),
+            point: &point,
+            report: &r.report,
+        };
+        crate::log::emit(&point_line("frozen", &prog));
+        observer(prog);
+        out.push(point);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -202,6 +295,44 @@ mod tests {
         );
         // Current grows from the off end to the on end.
         assert!(pts.last().unwrap().current_ua > pts[0].current_ua);
+    }
+
+    #[test]
+    fn frozen_sweep_observer_sequence_is_gapless() {
+        let mut spec =
+            TransistorSpec::si_nanowire_nmos(Material::SingleBand { t_mev: 1000 }, 1.0, 8);
+        spec.doping_sd = 0.0;
+        let tr = spec.build();
+        let vgs = linspace(-0.1, 0.1, 5);
+        let mut seen: Vec<(u64, usize, usize)> = Vec::new();
+        let mut attempted = 0usize;
+        let mut failed = 0usize;
+        let pts = frozen_field_sweep_observed(
+            &tr,
+            &vgs,
+            0.15,
+            -3.45,
+            Engine::WfThomas,
+            21,
+            &mut |prog| {
+                seen.push((prog.seq, prog.index, prog.total));
+                attempted += prog.report.attempted();
+                failed += prog.report.failed.len();
+            },
+        );
+        assert_eq!(pts.len(), vgs.len());
+        // Sequence numbers are gapless from 0 and track the point index;
+        // every observation reports the full sweep size.
+        for (i, &(seq, index, total)) in seen.iter().enumerate() {
+            assert_eq!(seq, i as u64);
+            assert_eq!(index, i);
+            assert_eq!(total, vgs.len());
+        }
+        assert_eq!(seen.len(), vgs.len());
+        // A clean sweep attempts every energy point and fails none, so a
+        // failed point would show in the ledger, not as a missing seq.
+        assert!(attempted >= vgs.len() * 21);
+        assert_eq!(failed, 0);
     }
 
     #[test]

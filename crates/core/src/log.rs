@@ -34,6 +34,37 @@ pub fn emit(line: &str) {
     }
 }
 
+/// Monotonic per-sweep sequence counter for per-point progress reporting.
+///
+/// Every attempted point of one sweep draws the next number — solved,
+/// recovered, and failed points alike — so the `OMEN_LOG` progress lines
+/// and the `omen-serve` streamed progress frames of the same sweep carry
+/// identical, gapless sequence numbers and can be cross-checked line by
+/// frame. A fresh counter is created per sweep; it is not process-global.
+#[derive(Debug, Default)]
+pub struct SweepSeq {
+    next: u64,
+}
+
+impl SweepSeq {
+    /// A counter starting at sequence number 0.
+    pub fn new() -> SweepSeq {
+        SweepSeq::default()
+    }
+
+    /// Draws the next sequence number (0, 1, 2, … — never skips).
+    pub fn draw(&mut self) -> u64 {
+        let n = self.next;
+        self.next += 1;
+        n
+    }
+
+    /// How many sequence numbers have been drawn so far.
+    pub fn issued(&self) -> u64 {
+        self.next
+    }
+}
+
 /// Emits the resolved kernel dispatch
 /// ([`omen_linalg::threads::dispatch_summary`]) exactly once per process —
 /// drivers and bench mains call this before their first kernel so every
@@ -80,5 +111,15 @@ mod tests {
     fn kernel_dispatch_emit_is_idempotent() {
         emit_kernel_dispatch();
         emit_kernel_dispatch();
+    }
+
+    #[test]
+    fn sweep_seq_is_gapless_and_starts_at_zero() {
+        let mut seq = SweepSeq::new();
+        let drawn: Vec<u64> = (0..5).map(|_| seq.draw()).collect();
+        assert_eq!(drawn, vec![0, 1, 2, 3, 4]);
+        assert_eq!(seq.issued(), 5);
+        // A fresh counter restarts — the sequence is per-sweep, not global.
+        assert_eq!(SweepSeq::new().draw(), 0);
     }
 }

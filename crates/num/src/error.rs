@@ -146,6 +146,27 @@ pub enum OmenError {
         /// The rejected seconds value.
         value: f64,
     },
+    /// A wire-protocol frame or payload violated the `omen-serve` framing
+    /// contract: truncated header, bad magic, unsupported version, a
+    /// length prefix past the frame-size cap, an unknown frame kind, or a
+    /// connection that died mid-frame. Raised instead of a panic or a hang
+    /// so one garbage client never takes the daemon down.
+    Protocol {
+        /// Which decoder/validator rejected the bytes.
+        context: &'static str,
+        /// What was wrong (includes the offending values).
+        detail: String,
+    },
+    /// The service job queue is at capacity: the request was rejected
+    /// up-front with the observed depth instead of being dropped silently
+    /// or buffered without bound. Clients are expected to retry with
+    /// backoff.
+    Busy {
+        /// Jobs queued (not yet running) when the request arrived.
+        queue_depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
     /// A matrix entry falls outside the block-tridiagonal envelope of the
     /// given slab partition (non-nearest-neighbor coupling).
     InvalidPartition {
@@ -303,6 +324,18 @@ impl fmt::Display for OmenError {
                     f,
                     "rejected cost observation for unit {unit}: {value} is not a \
                      finite non-negative duration"
+                )
+            }
+            OmenError::Protocol { context, detail } => {
+                write!(f, "protocol violation in {context}: {detail}")
+            }
+            OmenError::Busy {
+                queue_depth,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "service busy: job queue at {queue_depth}/{capacity} — retry with backoff"
                 )
             }
             OmenError::InvalidPartition {
@@ -523,6 +556,24 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("unit 7"));
         assert!(s.contains("NaN"));
+    }
+
+    #[test]
+    fn protocol_and_busy_errors_display() {
+        let p = OmenError::Protocol {
+            context: "frame header",
+            detail: "bad magic 0xdeadbeef (expected \"OMSV\")".into(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("frame header"));
+        assert!(s.contains("0xdeadbeef"));
+        let b = OmenError::Busy {
+            queue_depth: 64,
+            capacity: 64,
+        };
+        let s = b.to_string();
+        assert!(s.contains("64/64"));
+        assert!(s.contains("retry"));
     }
 
     #[test]

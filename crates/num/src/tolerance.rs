@@ -230,6 +230,36 @@ pub struct SchedSmokeFloor {
     pub rationale: String,
 }
 
+/// One `[[serve_guardband]]` entry: throughput/dedupe floor for a
+/// committed `(case, clients)` record in `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeGuardband {
+    /// Service workload case name (`unique-jobs`, `dedupe-storm`).
+    pub case: String,
+    /// Concurrent client count the record was taken at.
+    pub clients: usize,
+    /// Committed end-to-end throughput at baseline time (jobs/s).
+    pub reference_jobs_per_s: f64,
+    /// Allowed fractional drop below the reference (in `(0, 1)`).
+    pub guardband: f64,
+    /// Minimum believable dedupe hit rate for the case (in `[0, 1]`).
+    pub min_dedupe_hit_rate: f64,
+    /// Why this reference/band is what it is (never empty).
+    pub rationale: String,
+}
+
+/// One `[[serve_smoke_floor]]` entry: the catastrophic-regression floor a
+/// fresh `--smoke` service record must clear on CI hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSmokeFloor {
+    /// Service workload case name.
+    pub case: String,
+    /// Minimum believable throughput for a fresh smoke record (jobs/s).
+    pub min_jobs_per_s: f64,
+    /// Why the floor is set where it is (never empty).
+    pub rationale: String,
+}
+
 /// The parsed, validated policy document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TolerancePolicy {
@@ -243,6 +273,10 @@ pub struct TolerancePolicy {
     pub kernel_smoke_floors: Vec<KernelSmokeFloor>,
     /// Fresh-smoke scheduler floors.
     pub sched_smoke_floors: Vec<SchedSmokeFloor>,
+    /// Committed-baseline service guardbands.
+    pub serve_guardbands: Vec<ServeGuardband>,
+    /// Fresh-smoke service floors.
+    pub serve_smoke_floors: Vec<ServeSmokeFloor>,
 }
 
 /// Raw scalar value on the right of a `key = value` line.
@@ -399,6 +433,20 @@ impl<'a> Keys<'a> {
     }
 }
 
+/// A client count arrives as a policy number; it must be an exact
+/// positive integer to key a `(case, clients)` group.
+fn parse_client_count(source: &str, line: usize, v: f64) -> OmenResult<usize> {
+    // analyze: allow(float-eq, exact integrality guard — a client count of 2.5 must be rejected, not rounded)
+    if !v.is_finite() || v < 1.0 || v.fract() != 0.0 || v > 1e6 {
+        return Err(perr(
+            source,
+            line,
+            format!("clients = {v} must be a positive integer"),
+        ));
+    }
+    Ok(v as usize)
+}
+
 fn finite_positive(source: &str, line: usize, key: &str, v: f64) -> OmenResult<f64> {
     if !v.is_finite() || v <= 0.0 {
         return Err(perr(
@@ -512,6 +560,8 @@ impl TolerancePolicy {
             sched_guardbands: Vec::new(),
             kernel_smoke_floors: Vec::new(),
             sched_smoke_floors: Vec::new(),
+            serve_guardbands: Vec::new(),
+            serve_smoke_floors: Vec::new(),
         };
         for raw in &raws {
             let mut keys = Keys::new(source, raw);
@@ -690,6 +740,80 @@ impl TolerancePolicy {
                         rationale,
                     });
                 }
+                "serve_guardband" => {
+                    let case = keys.str("case")?;
+                    let (clients_f, cline) = keys.num("clients")?;
+                    let clients = parse_client_count(source, cline, clients_f)?;
+                    let (reference_jobs_per_s, rline) = keys.num("reference_jobs_per_s")?;
+                    let reference_jobs_per_s = finite_positive(
+                        source,
+                        rline,
+                        "reference_jobs_per_s",
+                        reference_jobs_per_s,
+                    )?;
+                    let (guardband, gline) = keys.num("guardband")?;
+                    let guardband = finite_positive(source, gline, "guardband", guardband)?;
+                    if guardband >= 1.0 {
+                        return Err(perr(
+                            source,
+                            gline,
+                            format!("guardband {guardband} must be < 1 (a fractional drop)"),
+                        ));
+                    }
+                    let (min_dedupe_hit_rate, dline) = keys.num("min_dedupe_hit_rate")?;
+                    // Zero is meaningful here (unique-job workloads never
+                    // dedupe), so the positivity helper does not apply.
+                    if !min_dedupe_hit_rate.is_finite()
+                        || !(0.0..=1.0).contains(&min_dedupe_hit_rate)
+                    {
+                        return Err(perr(
+                            source,
+                            dline,
+                            format!("min_dedupe_hit_rate {min_dedupe_hit_rate} must be in [0, 1]"),
+                        ));
+                    }
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy
+                        .serve_guardbands
+                        .iter()
+                        .any(|g| g.case == case && g.clients == clients)
+                    {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate serve_guardband for ({case:?}, clients={clients})"),
+                        ));
+                    }
+                    policy.serve_guardbands.push(ServeGuardband {
+                        case,
+                        clients,
+                        reference_jobs_per_s,
+                        guardband,
+                        min_dedupe_hit_rate,
+                        rationale,
+                    });
+                }
+                "serve_smoke_floor" => {
+                    let case = keys.str("case")?;
+                    let (min_jobs_per_s, mline) = keys.num("min_jobs_per_s")?;
+                    let min_jobs_per_s =
+                        finite_positive(source, mline, "min_jobs_per_s", min_jobs_per_s)?;
+                    let rationale = keys.rationale()?;
+                    keys.finish()?;
+                    if policy.serve_smoke_floors.iter().any(|g| g.case == case) {
+                        return Err(perr(
+                            source,
+                            raw.line,
+                            format!("duplicate serve_smoke_floor for {case:?}"),
+                        ));
+                    }
+                    policy.serve_smoke_floors.push(ServeSmokeFloor {
+                        case,
+                        min_jobs_per_s,
+                        rationale,
+                    });
+                }
                 other => {
                     return Err(perr(
                         source,
@@ -844,6 +968,45 @@ impl TolerancePolicy {
                     &self.source,
                     0,
                     format!("no sched_smoke_floor for ({case:?}, {schedule:?})"),
+                )
+            })
+    }
+
+    /// The committed-baseline service guardband for `(case, clients)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the pair has no entry.
+    pub fn serve_guardband(&self, case: &str, clients: usize) -> OmenResult<&ServeGuardband> {
+        self.serve_guardbands
+            .iter()
+            .find(|g| g.case == case && g.clients == clients)
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!(
+                        "no serve_guardband for ({case:?}, clients={clients}) — every committed \
+                         bench record needs one"
+                    ),
+                )
+            })
+    }
+
+    /// The fresh-smoke throughput floor for a service `case`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmenError::InvalidPolicy`] when the case has no entry.
+    pub fn serve_smoke_floor(&self, case: &str) -> OmenResult<&ServeSmokeFloor> {
+        self.serve_smoke_floors
+            .iter()
+            .find(|g| g.case == case)
+            .ok_or_else(|| {
+                perr(
+                    &self.source,
+                    0,
+                    format!("no serve_smoke_floor for {case:?}"),
                 )
             })
     }
@@ -1032,6 +1195,52 @@ mod tests {
         let bad_band = doc("[[kernel_guardband]]\nkernel = \"gemm\"\nsimd = false\n\
              reference_gflops = 7.5\nguardband = 1.5\nrationale = \"x\"\n");
         expect_policy_err(&bad_band, "must be < 1");
+    }
+
+    #[test]
+    fn parses_serve_guardbands_and_floors() {
+        let text = doc("[[serve_guardband]]\ncase = \"unique-jobs\"\nclients = 4\n\
+             reference_jobs_per_s = 250.0\nguardband = 0.5\nmin_dedupe_hit_rate = 0.0\n\
+             rationale = \"baseline floor\"\n\
+             [[serve_guardband]]\ncase = \"dedupe-storm\"\nclients = 4\n\
+             reference_jobs_per_s = 900.0\nguardband = 0.5\nmin_dedupe_hit_rate = 0.5\n\
+             rationale = \"storm must actually dedupe\"\n\
+             [[serve_smoke_floor]]\ncase = \"unique-jobs\"\nmin_jobs_per_s = 5.0\n\
+             rationale = \"catastrophic only\"\n");
+        let p = TolerancePolicy::parse("test", &text).unwrap();
+        let g = p.serve_guardband("unique-jobs", 4).unwrap();
+        assert!(g.reference_jobs_per_s > 0.0 && g.guardband < 1.0);
+        assert!(g.min_dedupe_hit_rate.abs() < f64::MIN_POSITIVE);
+        assert!(
+            p.serve_guardband("dedupe-storm", 4)
+                .unwrap()
+                .min_dedupe_hit_rate
+                > 0.4
+        );
+        assert!(
+            p.serve_guardband("unique-jobs", 8).is_err(),
+            "clients key distinct"
+        );
+        assert!(p.serve_smoke_floor("unique-jobs").is_ok());
+        assert!(p.serve_smoke_floor("dedupe-storm").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_serve_entries() {
+        let fractional_clients = doc("[[serve_guardband]]\ncase = \"u\"\nclients = 2.5\n\
+             reference_jobs_per_s = 1.0\nguardband = 0.5\nmin_dedupe_hit_rate = 0.0\n\
+             rationale = \"x\"\n");
+        expect_policy_err(&fractional_clients, "positive integer");
+        let bad_rate = doc("[[serve_guardband]]\ncase = \"u\"\nclients = 4\n\
+             reference_jobs_per_s = 1.0\nguardband = 0.5\nmin_dedupe_hit_rate = 1.5\n\
+             rationale = \"x\"\n");
+        expect_policy_err(&bad_rate, "must be in [0, 1]");
+        let dup = doc(
+            "[[serve_smoke_floor]]\ncase = \"u\"\nmin_jobs_per_s = 1.0\n\
+             rationale = \"x\"\n[[serve_smoke_floor]]\ncase = \"u\"\nmin_jobs_per_s = 2.0\n\
+             rationale = \"x\"\n",
+        );
+        expect_policy_err(&dup, "duplicate serve_smoke_floor");
     }
 
     #[test]

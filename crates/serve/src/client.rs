@@ -1,0 +1,184 @@
+//! Blocking client for the serve protocol, used by the `serve_client`
+//! CLI, the integration tests, and the service benchmark.
+
+use crate::protocol::{
+    decode_result, read_frame, Disposition, Frame, Progress, StatsSnapshot, SweepResult,
+};
+use omen_num::{OmenError, OmenResult};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn cerr(context: &'static str, detail: String) -> OmenError {
+    OmenError::Protocol { context, detail }
+}
+
+/// The terminal outcome of one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// How the submission was admitted.
+    pub disposition: Disposition,
+    /// Content address the server computed for the request.
+    pub cache_key: u128,
+    /// Progress frames received, in order.
+    pub progress: Vec<Progress>,
+    /// Whether the final payload came from the cache.
+    pub cache_hit: bool,
+    /// Raw result payload (bit-identical across cache hits).
+    pub payload: Vec<u8>,
+}
+
+impl JobOutcome {
+    /// Decodes the payload into a typed [`SweepResult`].
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::Protocol`] when the payload is malformed.
+    pub fn result(&self) -> OmenResult<SweepResult> {
+        decode_result(&self.payload)
+    }
+}
+
+/// One blocking connection to a serve daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::Protocol`] when the connection cannot be made.
+    pub fn connect(addr: &str) -> OmenResult<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| cerr("connect", format!("cannot connect to {addr}: {e}")))?;
+        // Frames are small and latency-bound: Nagle + delayed ACK would
+        // add ~40 ms to every submit/response round trip.
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    fn send(&mut self, frame: &Frame) -> OmenResult<()> {
+        self.stream
+            .write_all(&frame.encode())
+            .map_err(|e| cerr("send", format!("write failed: {e}")))
+    }
+
+    fn recv(&mut self) -> OmenResult<Frame> {
+        match read_frame(&mut self.stream)? {
+            Some(f) => Ok(f),
+            None => Err(cerr(
+                "recv",
+                "server closed the connection mid-conversation".to_string(),
+            )),
+        }
+    }
+
+    /// Round-trips a `Ping`.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::Protocol`] on transport failure or a non-`Pong`
+    /// reply.
+    pub fn ping(&mut self) -> OmenResult<()> {
+        self.send(&Frame::Ping)?;
+        match self.recv()? {
+            Frame::Pong => Ok(()),
+            other => Err(cerr("recv", format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's load/health counters.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::Protocol`] on transport failure or an unexpected
+    /// reply.
+    pub fn stats(&mut self) -> OmenResult<StatsSnapshot> {
+        self.send(&Frame::Stats)?;
+        match self.recv()? {
+            Frame::StatsReply(s) => Ok(s),
+            other => Err(cerr("recv", format!("expected StatsReply, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::Protocol`] on transport failure or an unexpected
+    /// reply.
+    pub fn shutdown(&mut self) -> OmenResult<()> {
+        self.send(&Frame::Shutdown)?;
+        match self.recv()? {
+            Frame::ShutdownAck => Ok(()),
+            other => Err(cerr("recv", format!("expected ShutdownAck, got {other:?}"))),
+        }
+    }
+
+    /// Submits a request and streams it to completion, invoking
+    /// `on_progress` per progress frame.
+    ///
+    /// # Errors
+    ///
+    /// [`OmenError::Protocol`] on transport failure or a server
+    /// `Reject`; [`OmenError::Busy`] when the server queue is full;
+    /// [`OmenError::RankFailed`] (rendered by the server) surfaces as
+    /// [`OmenError::Protocol`] with the server's failure text.
+    pub fn submit(
+        &mut self,
+        request_text: &str,
+        on_progress: &mut dyn FnMut(&Progress),
+    ) -> OmenResult<JobOutcome> {
+        self.send(&Frame::Submit(request_text.to_string()))?;
+        let (disposition, cache_key) = match self.recv()? {
+            Frame::Accepted {
+                cache_key,
+                disposition,
+                ..
+            } => (disposition, cache_key),
+            Frame::Busy {
+                queue_depth,
+                capacity,
+            } => {
+                return Err(OmenError::Busy {
+                    queue_depth: queue_depth as usize,
+                    capacity: capacity as usize,
+                })
+            }
+            Frame::Reject(msg) => return Err(cerr("submit", format!("rejected: {msg}"))),
+            other => return Err(cerr("submit", format!("unexpected reply {other:?}"))),
+        };
+        let mut progress = Vec::new();
+        loop {
+            match self.recv()? {
+                Frame::Progress(p) => {
+                    on_progress(&p);
+                    progress.push(p);
+                }
+                Frame::Done { cache_hit, payload } => {
+                    return Ok(JobOutcome {
+                        disposition,
+                        cache_key,
+                        progress,
+                        cache_hit,
+                        payload,
+                    })
+                }
+                Frame::JobFailed(detail) => {
+                    return Err(cerr("job", format!("job failed: {detail}")))
+                }
+                other => return Err(cerr("stream", format!("unexpected frame {other:?}"))),
+            }
+        }
+    }
+
+    /// [`Client::submit`] without progress reporting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::submit`].
+    pub fn submit_and_wait(&mut self, request_text: &str) -> OmenResult<JobOutcome> {
+        self.submit(request_text, &mut |_| {})
+    }
+}

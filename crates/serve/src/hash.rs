@@ -1,0 +1,116 @@
+//! Content-addressing hash for canonical sweep requests.
+//!
+//! The result cache and the in-flight dedupe table key on a 128-bit
+//! FNV-1a digest of the request's canonical encoding. FNV-1a is not
+//! cryptographic — the cache is a performance layer inside one trusted
+//! daemon, not an integrity boundary — but at 128 bits accidental
+//! collisions between distinct device specs are out of reach, the
+//! function is a dozen lines of dependency-free `u128` arithmetic, and
+//! the digest is stable across platforms and releases (no
+//! `DefaultHasher` seed drift), so cache keys can be logged, compared
+//! across runs, and embedded in the wire protocol.
+
+/// FNV-1a 128-bit offset basis.
+const OFFSET_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime (2^88 + 2^8 + 0x3b).
+const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Incremental FNV-1a 128-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Fnv128 {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A hasher initialized to the FNV offset basis.
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs a length-delimited string: the byte length is hashed
+    /// first so `("ab", "c")` and `("a", "bc")` cannot collide by
+    /// concatenation.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Renders a digest as 32 lowercase hex digits (the wire/log form).
+pub fn hex128(digest: u128) -> String {
+    format!("{digest:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(fnv128(b""), OFFSET_BASIS);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_incremental() {
+        let whole = fnv128(b"omen serve cache key");
+        let mut split = Fnv128::new();
+        split.write(b"omen serve ");
+        split.write(b"cache key");
+        assert_eq!(whole, split.finish());
+        assert_eq!(whole, fnv128(b"omen serve cache key"));
+    }
+
+    #[test]
+    fn single_byte_change_changes_digest() {
+        assert_ne!(fnv128(b"vds = 0.2"), fnv128(b"vds = 0.3"));
+        assert_ne!(fnv128(b"a"), fnv128(b"b"));
+        assert_ne!(fnv128(b""), fnv128(b"\0"));
+    }
+
+    #[test]
+    fn length_delimited_strings_do_not_collide_by_concatenation() {
+        let mut a = Fnv128::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv128::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_form_is_32_digits_zero_padded() {
+        assert_eq!(hex128(0), "0".repeat(32));
+        let h = hex128(fnv128(b"x"));
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

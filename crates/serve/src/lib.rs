@@ -1,0 +1,41 @@
+//! # omen-serve — device simulation as a service
+//!
+//! Runs the OMEN solver stack as a long-lived daemon: clients submit
+//! device + bias-sweep jobs over a hand-rolled, length-prefix-framed,
+//! versioned TCP protocol (no external dependencies — house style),
+//! stream typed per-point progress, and receive a serialized sweep
+//! result. The server canonicalizes every request, dedupes identical
+//! in-flight jobs, serves repeats bit-identically from a
+//! content-addressed cache, and multiplexes all clients onto one shared
+//! worker pool with per-connection fair share and a bounded queue
+//! (typed `Busy` on overflow — never a silent drop).
+//!
+//! Layers:
+//!
+//! - [`protocol`] — frame grammar, codec, result serialization.
+//! - [`request`] — `key = value` request parsing, validation,
+//!   canonicalization, and the 128-bit content address.
+//! - [`server`] — admission, queueing, dedupe, cache, worker pool,
+//!   graceful drain.
+//! - [`client`] — a blocking client for CLIs, tests, and benches.
+//! - [`hash`] — the dependency-free FNV-1a 128 digest.
+//!
+//! Wire format, cache-key definition, fair-share policy, and shutdown
+//! semantics are specified in DESIGN.md §14.
+
+pub mod client;
+pub mod hash;
+pub mod protocol;
+pub mod request;
+pub mod server;
+
+pub use client::{Client, JobOutcome};
+pub use protocol::{Disposition, Frame, Progress, StatsSnapshot, SweepResult};
+pub use request::{Mode, SweepRequest};
+pub use server::{solver_executor, Executor, Server, ServerConfig};
+
+/// Emits one `OMEN_LOG`-gated progress line through the sanctioned
+/// core sink (libraries stay silent unless `OMEN_LOG` is on).
+pub(crate) fn log_line(line: &str) {
+    omen_core::log::emit(line);
+}

@@ -1,0 +1,384 @@
+//! Server state-machine battery over real localhost TCP: admission,
+//! dedupe, cache, backpressure, fault injection, disconnect survival,
+//! graceful drain. Solves are synthetic (injected executors) so the
+//! battery runs in milliseconds; the end-to-end test with the real
+//! solver lives in the workspace-root `tests/serve_service.rs`.
+
+use omen_num::OmenError;
+use omen_serve::protocol::{read_frame, Frame, Progress};
+use omen_serve::{Client, Disposition, Executor, Server, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A reusable open/closed latch for holding synthetic solves in flight.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+    fn open(&self) {
+        *self.open.lock().expect("gate lock") = true;
+        self.cv.notify_all();
+    }
+    fn wait(&self) {
+        let mut open = self.open.lock().expect("gate lock");
+        while !*open {
+            open = self.cv.wait(open).expect("gate wait");
+        }
+    }
+}
+
+/// Synthetic executor: counts solves, optionally blocks on a gate, and
+/// returns a payload derived from the request (so different requests
+/// have different payloads).
+fn counting_executor(solves: Arc<AtomicUsize>, gate: Option<Arc<Gate>>) -> Executor {
+    Arc::new(move |req, on_progress| {
+        solves.fetch_add(1, Ordering::SeqCst);
+        on_progress(Progress {
+            seq: 0,
+            index: 0,
+            total: 1,
+            v_gate: req.vg_start,
+            v_ds: req.vds,
+            current_ua: 1.0,
+            scf_iters: 1,
+            converged: true,
+            solved: 1,
+            retried: 0,
+            recovered: 0,
+            failed: 0,
+        });
+        if let Some(g) = &gate {
+            g.wait();
+        }
+        Ok(req.canonical_text().into_bytes())
+    })
+}
+
+fn spawn(cfg: ServerConfig, executor: Executor) -> Server {
+    Server::start_with_executor("127.0.0.1:0", cfg, executor).expect("server starts")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.addr().to_string()).expect("client connects")
+}
+
+/// Polls the server stats until `pred` holds (bounded wait).
+fn wait_for(server: &Server, pred: impl Fn(&omen_serve::StatsSnapshot) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if pred(&server.stats()) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "stats condition never held");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn ping_stats_and_typed_reject_over_tcp() {
+    let server = spawn(
+        ServerConfig::default(),
+        counting_executor(Arc::new(AtomicUsize::new(0)), None),
+    );
+    let mut c = connect(&server);
+    c.ping().expect("pong");
+    let s = c.stats().expect("stats");
+    assert_eq!(s.jobs_accepted, 0);
+    // A malformed request is refused with the parse detail.
+    let err = c
+        .submit_and_wait("materiall = si_sp3s\n")
+        .expect_err("rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown key"), "{msg}");
+    // The connection survives a reject: the next submit works.
+    let out = c.submit_and_wait("vg_points = 1\n").expect("job runs");
+    assert_eq!(out.disposition, Disposition::Fresh);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn identical_concurrent_submissions_share_one_solve() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let gate = Gate::new();
+    let server = spawn(
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+        counting_executor(Arc::clone(&solves), Some(Arc::clone(&gate))),
+    );
+    let req = "vg_points = 3\nvds = 0.25\n";
+
+    // Client A submits and the job starts solving (held by the gate).
+    let addr = server.addr().to_string();
+    let req_a = req.to_string();
+    let a = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.submit_and_wait(&req_a).expect("job completes")
+    });
+    wait_for(&server, |s| s.running == 1);
+
+    // Client B submits the identical request: admitted as Joined, no
+    // second solve.
+    let addr = server.addr().to_string();
+    let req_b = req.to_string();
+    let b = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.submit_and_wait(&req_b).expect("job completes")
+    });
+    wait_for(&server, |s| s.dedupe_joins == 1);
+    gate.open();
+
+    let out_a = a.join().expect("thread a");
+    let out_b = b.join().expect("thread b");
+    assert_eq!(solves.load(Ordering::SeqCst), 1, "exactly one solve");
+    assert_eq!(out_a.cache_key, out_b.cache_key);
+    assert_eq!(out_a.payload, out_b.payload, "joined payload bit-identical");
+    assert!(matches!(
+        out_b.disposition,
+        Disposition::Joined | Disposition::Cached
+    ));
+
+    // A repeat of the same request is now a cache hit, bit-identical.
+    let mut c = connect(&server);
+    let out_c = c.submit_and_wait(req).expect("cache hit");
+    assert_eq!(out_c.disposition, Disposition::Cached);
+    assert!(out_c.cache_hit);
+    assert_eq!(out_c.payload, out_a.payload, "cached payload bit-identical");
+    assert_eq!(
+        solves.load(Ordering::SeqCst),
+        1,
+        "cache hit does not re-solve"
+    );
+
+    let s = server.stats();
+    assert_eq!(s.solves_started, 1);
+    assert_eq!(s.dedupe_joins, 1);
+    assert_eq!(s.cache_hits, 1);
+    assert_eq!(s.jobs_accepted, 3);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn bounded_queue_yields_typed_busy() {
+    let gate = Gate::new();
+    let server = spawn(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+        },
+        counting_executor(Arc::new(AtomicUsize::new(0)), Some(Arc::clone(&gate))),
+    );
+    // Job 1 occupies the single worker.
+    let addr = server.addr().to_string();
+    let t1 = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.submit_and_wait("vg_points = 1\n").expect("job 1")
+    });
+    wait_for(&server, |s| s.running == 1);
+    // Job 2 (distinct) fills the queue.
+    let addr = server.addr().to_string();
+    let t2 = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.submit_and_wait("vg_points = 2\n").expect("job 2")
+    });
+    wait_for(&server, |s| s.queued == 1);
+    // Job 3 (distinct again) overflows: typed Busy, not a hang or drop.
+    let mut c = connect(&server);
+    match c.submit_and_wait("vg_points = 3\n") {
+        Err(OmenError::Busy {
+            queue_depth,
+            capacity,
+        }) => {
+            assert_eq!(queue_depth, 1);
+            assert_eq!(capacity, 1);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(server.stats().busy_rejections, 1);
+    gate.open();
+    t1.join().expect("t1");
+    t2.join().expect("t2");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn worker_panic_is_caught_typed_and_server_keeps_serving() {
+    // The executor panics on a sentinel request — simulating a solve
+    // that kills its sched worker mid-job.
+    let executor: Executor = Arc::new(|req, _on_progress| {
+        assert!(req.slabs != 13, "synthetic mid-job worker death");
+        Ok(vec![1, 2, 3])
+    });
+    let server = spawn(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+        },
+        executor,
+    );
+    let mut c = connect(&server);
+    let err = c
+        .submit_and_wait("slabs = 13\n")
+        .expect_err("job fails typed");
+    let msg = err.to_string();
+    assert!(msg.contains("panicked"), "typed panic surface: {msg}");
+    assert!(
+        msg.contains("rank"),
+        "worker identified as failed rank: {msg}"
+    );
+    // Same worker thread, same connection: still serving.
+    let out = c.submit_and_wait("slabs = 6\n").expect("next job succeeds");
+    assert_eq!(out.payload, vec![1, 2, 3]);
+    let s = server.stats();
+    assert_eq!(s.running, 0);
+    assert_eq!(s.queued, 0);
+    // The failed job is not cached: resubmitting re-solves (and fails
+    // again) rather than replaying a bogus result.
+    let err2 = c.submit_and_wait("slabs = 13\n").expect_err("fails again");
+    assert!(err2.to_string().contains("panicked"), "{err2}");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn client_disconnect_mid_stream_job_completes_and_caches() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let gate = Gate::new();
+    let server = spawn(
+        ServerConfig::default(),
+        counting_executor(Arc::clone(&solves), Some(Arc::clone(&gate))),
+    );
+    let req = "vg_points = 5\n";
+
+    // Raw connection: submit, read Accepted + first Progress, hang up.
+    {
+        let mut raw = TcpStream::connect(server.addr()).expect("connect");
+        raw.write_all(&Frame::Submit(req.to_string()).encode())
+            .expect("submit");
+        match read_frame(&mut raw).expect("accepted").expect("frame") {
+            Frame::Accepted { disposition, .. } => assert_eq!(disposition, Disposition::Fresh),
+            other => panic!("expected Accepted, got {other:?}"),
+        }
+        match read_frame(&mut raw).expect("progress").expect("frame") {
+            Frame::Progress(p) => assert_eq!(p.seq, 0),
+            other => panic!("expected Progress, got {other:?}"),
+        }
+        // Drop: disconnect mid-stream while the solve is gate-held.
+    }
+    gate.open();
+    wait_for(&server, |s| s.running == 0 && s.queued == 0);
+
+    // The orphaned job finished and cached: a new client gets a hit.
+    let mut c = connect(&server);
+    let out = c.submit_and_wait(req).expect("cache hit");
+    assert_eq!(out.disposition, Disposition::Cached);
+    assert!(out.cache_hit);
+    assert_eq!(
+        solves.load(Ordering::SeqCst),
+        1,
+        "disconnect wasted no compute"
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn failed_points_surface_in_streamed_frames() {
+    // Synthetic sweep of 3 points where the middle one fails: the
+    // ledger counts ride the progress frames, and sequence numbers stay
+    // gapless across the failure.
+    let executor: Executor = Arc::new(|req, on_progress| {
+        let mut failed = 0u64;
+        let mut solved = 0u64;
+        for i in 0..3u64 {
+            if i == 1 {
+                failed += 1;
+            } else {
+                solved += 1;
+            }
+            on_progress(Progress {
+                seq: i,
+                index: i,
+                total: 3,
+                v_gate: req.vg_start,
+                v_ds: req.vds,
+                current_ua: 0.0,
+                scf_iters: 0,
+                converged: i != 1,
+                solved,
+                retried: 0,
+                recovered: 0,
+                failed,
+            });
+        }
+        Ok(vec![0])
+    });
+    let server = spawn(ServerConfig::default(), executor);
+    let mut c = connect(&server);
+    let out = c.submit_and_wait("vg_points = 3\n").expect("job completes");
+    let seqs: Vec<u64> = out.progress.iter().map(|p| p.seq).collect();
+    assert_eq!(
+        seqs,
+        vec![0, 1, 2],
+        "gapless sequence despite a failed point"
+    );
+    assert_eq!(out.progress[0].failed, 0);
+    assert_eq!(out.progress[1].failed, 1, "failure visible in its frame");
+    assert_eq!(out.progress[2].failed, 1, "ledger is cumulative");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn garbage_bytes_get_a_typed_reject_and_close() {
+    let server = spawn(
+        ServerConfig::default(),
+        counting_executor(Arc::new(AtomicUsize::new(0)), None),
+    );
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write garbage");
+    match read_frame(&mut raw).expect("reply decodes").expect("frame") {
+        Frame::Reject(msg) => assert!(msg.contains("bad magic"), "{msg}"),
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    // Server hung up after the reject: clean FIN, or RST when our
+    // trailing garbage was still unread in its receive buffer.
+    match read_frame(&mut raw) {
+        Ok(None) | Err(OmenError::Protocol { .. }) => {}
+        other => panic!("expected a closed connection, got {other:?}"),
+    }
+    // And it still serves others.
+    let mut c = connect(&server);
+    c.ping().expect("pong after garbage client");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_frame_drains_gracefully_and_refuses_new_work() {
+    let solves = Arc::new(AtomicUsize::new(0));
+    let server = spawn(
+        ServerConfig::default(),
+        counting_executor(Arc::clone(&solves), None),
+    );
+    let mut c = connect(&server);
+    c.submit_and_wait("vg_points = 2\n")
+        .expect("job before drain");
+    let mut c2 = connect(&server);
+    c2.shutdown().expect("shutdown acked");
+    // New submissions are refused while draining.
+    let mut c3 = connect(&server);
+    let err = c3.submit_and_wait("vg_points = 4\n").expect_err("draining");
+    assert!(err.to_string().contains("draining"), "{err}");
+    server.join();
+    assert_eq!(solves.load(Ordering::SeqCst), 1);
+}

@@ -1,0 +1,100 @@
+//! serve — run OMEN as a long-lived simulation service.
+//!
+//! ```sh
+//! cargo run --release --bin serve -- --addr 127.0.0.1:7171 --workers 4
+//! ```
+//!
+//! The daemon accepts device + bias-sweep jobs over the framed TCP
+//! protocol (DESIGN.md §14), dedupes identical in-flight jobs, serves
+//! repeats from the content-addressed result cache, and streams typed
+//! per-point progress. It runs until a client sends `Shutdown`
+//! (`serve_client <addr> shutdown`), then drains in-flight work and
+//! exits. Set `OMEN_LOG=1` for per-job progress on stderr.
+
+use omen::serve::{Server, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: expected an integer".to_string())?;
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: expected an integer".to_string())?;
+            }
+            f => return Err(format!("unknown flag `{f}`")),
+        }
+    }
+    Ok((addr, cfg))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, cfg) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--queue N]");
+            std::process::exit(2);
+        }
+    };
+    omen::core::log::emit_kernel_dispatch();
+    let server = match Server::start(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serve: listening on {} ({} workers, queue capacity {}); stop with `serve_client {} shutdown`",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        server.addr(),
+    );
+    // Blocks until a client-initiated drain completes.
+    server.join();
+    println!("serve: drained, exiting");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_and_reject_unknown_flags() {
+        let (addr, cfg) = parse_args(&strs(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "7",
+            "--queue",
+            "3",
+        ]))
+        .expect("parses");
+        assert_eq!(addr, "0.0.0.0:9000");
+        assert_eq!(cfg.workers, 7);
+        assert_eq!(cfg.queue_capacity, 3);
+        assert!(parse_args(&strs(&["--bogus"])).is_err());
+        assert!(parse_args(&strs(&["--workers"])).is_err());
+        assert!(parse_args(&strs(&["--workers", "many"])).is_err());
+    }
+}

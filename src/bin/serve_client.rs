@@ -1,0 +1,108 @@
+//! serve_client — talk to a running `serve` daemon.
+//!
+//! ```sh
+//! serve_client 127.0.0.1:7171 ping
+//! serve_client 127.0.0.1:7171 submit my_device.omen
+//! serve_client 127.0.0.1:7171 submit-default
+//! serve_client 127.0.0.1:7171 stats
+//! serve_client 127.0.0.1:7171 shutdown
+//! ```
+//!
+//! `submit` streams per-point progress as it arrives and prints the
+//! final I–V table; the request file uses the same `key = value` spec
+//! format as `omen_cli` (`serve_client --print-default` for every key).
+
+use omen::serve::{Client, SweepRequest};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_client <addr> ping|stats|shutdown|submit <spec-file>|submit-default\n\
+         \x20      serve_client --print-default"
+    );
+    std::process::exit(2);
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
+fn submit(addr: &str, text: &str) {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let outcome = client
+        .submit(text, &mut |p| {
+            eprintln!(
+                "point seq={}/{} V_G={:+.3} I={:.4e} µA ({}, {} solved / {} failed so far)",
+                p.seq,
+                p.total,
+                p.v_gate,
+                p.current_ua,
+                if p.converged { "converged" } else { "stalled" },
+                p.solved,
+                p.failed,
+            );
+        })
+        .unwrap_or_else(|e| fail(e));
+    let result = outcome.result().unwrap_or_else(|e| fail(e));
+    println!(
+        "# job {:?} key {:032x} cache_hit={}",
+        outcome.disposition, outcome.cache_key, outcome.cache_hit
+    );
+    println!("# V_G(V)      I_D(µA)        SCF_iters  converged");
+    for (v_gate, _v_ds, current_ua, iters, converged) in &result.points {
+        println!("{v_gate:+.4}    {current_ua:14.6e}   {iters:3}       {converged}");
+    }
+    println!(
+        "# energies: {} solved, {} retried, {} recovered, {} failed",
+        result.solved, result.retried, result.recovered, result.failed
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--print-default") {
+        print!("{}", SweepRequest::default_text());
+        return;
+    }
+    let (addr, cmd) = match (args.first(), args.get(1)) {
+        (Some(a), Some(c)) => (a.as_str(), c.as_str()),
+        _ => usage(),
+    };
+    match cmd {
+        "ping" => {
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            c.ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        "stats" => {
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            let s = c.stats().unwrap_or_else(|e| fail(e));
+            println!(
+                "jobs_accepted={} busy_rejections={} solves_started={} cache_hits={} \
+                 dedupe_joins={} queued={} running={}",
+                s.jobs_accepted,
+                s.busy_rejections,
+                s.solves_started,
+                s.cache_hits,
+                s.dedupe_joins,
+                s.queued,
+                s.running,
+            );
+        }
+        "shutdown" => {
+            let mut c = Client::connect(addr).unwrap_or_else(|e| fail(e));
+            c.shutdown().unwrap_or_else(|e| fail(e));
+            println!("drain started");
+        }
+        "submit" => match args.get(2) {
+            Some(path) => {
+                let text =
+                    std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+                submit(addr, &text);
+            }
+            None => usage(),
+        },
+        "submit-default" => submit(addr, ""),
+        _ => usage(),
+    }
+}

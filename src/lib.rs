@@ -15,6 +15,7 @@ pub use omen_num as num;
 pub use omen_parsim as parsim;
 pub use omen_phonon as phonon;
 pub use omen_poisson as poisson;
+pub use omen_serve as serve;
 pub use omen_sparse as sparse;
 pub use omen_tb as tb;
 pub use omen_wf as wf;

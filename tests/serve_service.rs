@@ -1,0 +1,120 @@
+//! End-to-end service test: a real `omen-serve` daemon running the real
+//! solver stack, exercised by concurrent TCP clients.
+//!
+//! Proves the ISSUE-9 acceptance criteria in one scenario:
+//! - 4 concurrent clients submit overlapping sweeps;
+//! - two identical concurrent requests trigger exactly one solve
+//!   (witnessed by the `solves_started` counter);
+//! - a repeated request is a cache hit with a bit-identical payload;
+//! - streamed per-point progress totals match the final `SweepReport`
+//!   embedded in the result, and sequence numbers are gapless.
+
+use omen::serve::{Client, Disposition, Server, ServerConfig};
+
+/// A small frozen-field device that solves in well under a second.
+fn request(vg_points: usize) -> String {
+    format!(
+        "material = single_band_1000\nmode = frozen\nslabs = 6\nn_energy = 15\n\
+         vg_points = {vg_points}\nvg_start = -0.1\nvg_stop = 0.1\nmu_source = -3.45\n\
+         doping_sd = 0.0\nvds = 0.15\n"
+    )
+}
+
+fn submit_on(addr: String, text: String) -> std::thread::JoinHandle<omen::serve::JobOutcome> {
+    std::thread::spawn(move || {
+        let mut client = Client::connect(&addr).expect("client connects");
+        client.submit_and_wait(&text).expect("job completes")
+    })
+}
+
+#[test]
+fn service_end_to_end_with_real_solver() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr().to_string();
+
+    // Four concurrent clients: A and B identical, C and D distinct.
+    let a = submit_on(addr.clone(), request(3));
+    let b = submit_on(addr.clone(), request(3));
+    let c = submit_on(addr.clone(), request(4));
+    let d = submit_on(addr.clone(), request(5));
+    let out_a = a.join().expect("client a");
+    let out_b = b.join().expect("client b");
+    let out_c = c.join().expect("client c");
+    let out_d = d.join().expect("client d");
+
+    // Identical concurrent requests shared one solve: joined in flight
+    // or replayed from cache, never re-solved.
+    assert_eq!(out_a.cache_key, out_b.cache_key);
+    assert_eq!(
+        out_a.payload, out_b.payload,
+        "shared job payload bit-identical"
+    );
+    assert_ne!(out_c.cache_key, out_d.cache_key);
+    let stats = server.stats();
+    assert_eq!(
+        stats.solves_started, 3,
+        "three distinct jobs, three solves — the identical pair shared one"
+    );
+    assert_eq!(stats.jobs_accepted, 4);
+    assert!(
+        matches!(out_b.disposition, Disposition::Joined | Disposition::Cached)
+            || matches!(out_a.disposition, Disposition::Joined | Disposition::Cached),
+        "one of the identical pair joined or hit cache: a={:?} b={:?}",
+        out_a.disposition,
+        out_b.disposition,
+    );
+
+    // A repeat is a cache hit with a bit-identical payload.
+    let mut client = Client::connect(&addr).expect("client connects");
+    let replay = client.submit_and_wait(&request(3)).expect("cache hit");
+    assert_eq!(replay.disposition, Disposition::Cached);
+    assert!(replay.cache_hit);
+    assert_eq!(
+        replay.payload, out_a.payload,
+        "cached payload bit-identical"
+    );
+    assert_eq!(
+        server.stats().solves_started,
+        3,
+        "cache hit did not re-solve"
+    );
+
+    // Progress streaming: one frame per bias point, gapless sequence
+    // numbers, and cumulative totals agreeing with the final report.
+    let fresh = request(7);
+    let outcome = client.submit_and_wait(&fresh).expect("fresh job");
+    assert_eq!(outcome.disposition, Disposition::Fresh);
+    assert_eq!(outcome.progress.len(), 7, "one progress frame per point");
+    for (i, p) in outcome.progress.iter().enumerate() {
+        assert_eq!(p.seq, i as u64, "gapless sequence");
+        assert_eq!(p.index, i as u64);
+        assert_eq!(p.total, 7);
+    }
+    let result = outcome.result().expect("payload decodes");
+    assert_eq!(result.points.len(), 7);
+    let last = outcome.progress.last().expect("at least one frame");
+    assert_eq!(
+        last.solved, result.solved,
+        "streamed totals match final report"
+    );
+    assert_eq!(last.retried, result.retried);
+    assert_eq!(last.recovered, result.recovered);
+    assert_eq!(last.failed, result.failed);
+    // The sweep attempted every energy point of every bias point.
+    assert_eq!(result.solved + result.failed, 7 * 15);
+
+    // The streamed points and the result payload agree bit for bit.
+    for (p, frame) in result.points.iter().zip(outcome.progress.iter()) {
+        assert_eq!(p.0.to_bits(), frame.v_gate.to_bits());
+        assert_eq!(p.2.to_bits(), frame.current_ua.to_bits());
+    }
+
+    server.shutdown_and_join();
+}
