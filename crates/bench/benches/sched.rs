@@ -14,6 +14,18 @@
 //! solve time, and the per-rank busy seconds are condensed into the
 //! max/mean load-imbalance ratio recorded in `BENCH_sched.json`.
 //!
+//! A second case, `iv-multibias`, measures the whole-curve dataflow the
+//! I–V driver uses: several bias points, each a unified `k × E` unit grid.
+//! The static leg reproduces the nested momentum × energy split (each
+//! momentum group owns one k point and round-robins its energies), so a
+//! k point with a resonance comb pins its whole group while the flat
+//! k point's group drains early — an imbalance no per-group balancer can
+//! fix. The dynamic leg runs one `dynamic_sweep` over the unified grid
+//! per bias point, warm-starting its cost models across bias points
+//! through a [`ModelBank`] exactly like
+//! `omen_core::parallel::parallel_transmission_k_banked`: from the second
+//! bias point onward the first hand-out is LPT over measured costs.
+//!
 //! `--smoke` shrinks the sleeps and writes to
 //! `target/BENCH_sched.smoke.json` instead — the CI gate uses it to
 //! exercise the full protocol and the JSON emitter on every run without
@@ -22,7 +34,7 @@
 use omen_bench::sched_json::{self, SchedRecord};
 use omen_core::parallel::assign;
 use omen_parsim::{run_ranks, Comm};
-use omen_sched::{dynamic_sweep, imbalance_ratio, CostModel, SchedOptions};
+use omen_sched::{dynamic_sweep, imbalance_ratio, CostModel, ModelBank, SchedOptions, SchedStats};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -98,6 +110,127 @@ fn run_dynamic(w: &Workload, ranks: usize) -> (f64, f64, usize) {
     (wall, outcome.stats.imbalance(), reissued)
 }
 
+/// The I–V sweep workload: `bias` bias points, each one unified grid of
+/// `n_k` momentum groups × `n_e` energies (unit `id = ik · n_e + ie`).
+/// Momentum group 0 carries a resonance comb (every third energy costs
+/// `spike`); the other k points are flat `base` — the skew is *between*
+/// k points, which a per-group energy balancer cannot see.
+struct IvWorkload {
+    bias: usize,
+    n_k: usize,
+    n_e: usize,
+    base: Duration,
+    spike: Duration,
+}
+
+impl IvWorkload {
+    /// Units per bias point (one dynamic sweep).
+    fn grid(&self) -> usize {
+        self.n_k * self.n_e
+    }
+
+    /// Units over the whole curve (what the records report).
+    fn units(&self) -> usize {
+        self.bias * self.grid()
+    }
+
+    fn cost(&self, id: usize) -> Duration {
+        let (ik, ie) = (id / self.n_e, id % self.n_e);
+        if ik == 0 && ie.is_multiple_of(3) {
+            self.spike
+        } else {
+            self.base
+        }
+    }
+
+    fn energies(&self) -> Vec<f64> {
+        (0..self.grid()).map(|i| i as f64).collect()
+    }
+}
+
+/// Static nested split, exactly the shape `omen_core::parallel` uses for
+/// `Schedule::Static`: ranks divide into `n_k` momentum groups, group
+/// `g` owns k point `g`, and each group round-robins its energies over
+/// its members. Busy seconds accumulate across all bias points.
+/// Returns `(wall_s, imbalance)`.
+fn run_iv_static(w: &IvWorkload, ranks: usize) -> (f64, f64) {
+    assert_eq!(
+        ranks % w.n_k,
+        0,
+        "iv-multibias static split needs ranks % n_k == 0"
+    );
+    let per = ranks / w.n_k;
+    let t0 = Instant::now();
+    let out = run_ranks(ranks, |ctx| {
+        let (ik, erank) = (ctx.rank() / per, ctx.rank() % per);
+        let mine = assign(w.n_e, per, erank);
+        let t = Instant::now();
+        for _ in 0..w.bias {
+            for &ie in &mine {
+                std::thread::sleep(w.cost(ik * w.n_e + ie));
+            }
+        }
+        t.elapsed().as_secs_f64()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let busy: Vec<f64> = out.results.into_iter().map(|r| r.unwrap()).collect();
+    (wall, imbalance_ratio(&busy))
+}
+
+/// Whole-curve dynamic sweep: one `dynamic_sweep` over the unified
+/// `k × E` grid per bias point, per-(bias, k) cost models carried across
+/// bias points in a [`ModelBank`] (checkout → concat → sweep → split →
+/// commit, the `parallel_transmission_k_banked` lifecycle). Returns
+/// `(wall_s, imbalance, reissued)` aggregated over the whole curve.
+fn run_iv_dynamic(w: &IvWorkload, ranks: usize) -> (f64, f64, usize) {
+    // A non-blocking poll keeps the solving coordinator competitive: it
+    // only picks up a unit once its mailbox drains, and with three workers
+    // streaming results the default 5 ms window almost never does.
+    let opts = SchedOptions {
+        chunk_max: 2,
+        poll_ms: 0,
+        ..SchedOptions::default()
+    };
+    let es = w.energies();
+    let t0 = Instant::now();
+    let out = run_ranks(ranks, |ctx| {
+        let world = Comm::world(ctx);
+        let mut bank = ModelBank::new();
+        let mut agg = SchedStats::default();
+        for bias in 0..w.bias {
+            let parts: Vec<CostModel> = (0..w.n_k)
+                .map(|ik| bank.checkout(bias, ik, w.n_e, || CostModel::band_edge(w.n_e, 2.0)))
+                .collect();
+            let mut model = CostModel::concat(&parts);
+            let outcome = dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+                std::thread::sleep(w.cost(id));
+                Ok(vec![id as f64])
+            })
+            .unwrap();
+            assert!(outcome.report.is_clean(), "synthetic solve never fails");
+            assert_eq!(outcome.report.solved, w.grid());
+            for (ik, part) in model.split(w.n_e).into_iter().enumerate() {
+                bank.commit(bias, ik, part);
+            }
+            agg.absorb(&outcome.stats);
+        }
+        (agg, bank.lifetime_counts())
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let (agg, counts) = out
+        .results
+        .into_iter()
+        .next()
+        .expect("at least one rank")
+        .unwrap();
+    // The bank must seed only on the first bias point and warm-start every
+    // later one — the whole point of sweep-lifetime cost models.
+    assert_eq!(counts.seeded, w.n_k, "only the first bias point may seed");
+    assert_eq!(counts.warmed, w.n_k * (w.bias - 1));
+    let reissued = agg.reissued_failed + agg.reissued_straggler;
+    (wall, agg.imbalance(), reissued)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (w, ranks) = if smoke {
@@ -140,7 +273,7 @@ fn main() {
     );
 
     let case = "resonance-comb";
-    let records = vec![
+    let mut records = vec![
         SchedRecord {
             case: case.into(),
             schedule: "static".into(),
@@ -160,6 +293,77 @@ fn main() {
             reissued,
         },
     ];
+
+    let (iv, iv_ranks) = if smoke {
+        (
+            IvWorkload {
+                bias: 2,
+                n_k: 2,
+                n_e: 9,
+                base: Duration::from_millis(2),
+                spike: Duration::from_millis(12),
+            },
+            4,
+        )
+    } else {
+        (
+            IvWorkload {
+                bias: 3,
+                n_k: 2,
+                n_e: 18,
+                base: Duration::from_millis(6),
+                spike: Duration::from_millis(36),
+            },
+            4,
+        )
+    };
+    println!(
+        "omen-bench sched iv-multibias ({}): {} bias × {} k × {} E = {} units, \
+         {}/{} ms base/spike, {iv_ranks} ranks",
+        if smoke { "smoke" } else { "full" },
+        iv.bias,
+        iv.n_k,
+        iv.n_e,
+        iv.units(),
+        iv.base.as_millis(),
+        iv.spike.as_millis()
+    );
+    let (iv_wall_s, iv_imb_s) = run_iv_static(&iv, iv_ranks);
+    let (iv_wall_d, iv_imb_d, iv_reissued) = run_iv_dynamic(&iv, iv_ranks);
+    println!("static   wall {iv_wall_s:.3} s  imbalance {iv_imb_s:.3}");
+    println!("dynamic  wall {iv_wall_d:.3} s  imbalance {iv_imb_d:.3}  reissued {iv_reissued}");
+    // The nested static split is only mildly skewed (unlike the degenerate
+    // resonance comb), so at smoke-sized millisecond sleeps the comparison
+    // is noise; the smoke floors in TOLERANCES.toml still catch catastrophe.
+    if !smoke {
+        assert!(
+            iv_imb_d <= iv_imb_s,
+            "whole-curve dynamic must not be less balanced than the nested static split"
+        );
+        assert!(
+            iv_wall_d < iv_wall_s,
+            "whole-curve dynamic must beat the nested static split on wall clock \
+             ({iv_wall_d:.3} s vs {iv_wall_s:.3} s)"
+        );
+    }
+    records.push(SchedRecord {
+        case: "iv-multibias".into(),
+        schedule: "static".into(),
+        ranks: iv_ranks,
+        units: iv.units(),
+        wall_s: iv_wall_s,
+        imbalance: iv_imb_s,
+        reissued: 0,
+    });
+    records.push(SchedRecord {
+        case: "iv-multibias".into(),
+        schedule: "dynamic".into(),
+        ranks: iv_ranks,
+        units: iv.units(),
+        wall_s: iv_wall_d,
+        imbalance: iv_imb_d,
+        reissued: iv_reissued,
+    });
 
     let path: PathBuf = if smoke {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_sched.smoke.json")

@@ -56,6 +56,7 @@ fn run_case(
         ServerConfig {
             workers: 2,
             queue_capacity: 256,
+            ..ServerConfig::default()
         },
         instant_executor(),
     )

@@ -110,7 +110,10 @@ pub fn check_committed_kernels(policy: &TolerancePolicy, records: &[KernelRecord
 /// Validates the committed scheduler baseline: every record must have a
 /// `[[sched_guardband]]` entry for its `(case, schedule)` pair and stay
 /// under the entry's imbalance ceiling; wall time must be finite and
-/// positive.
+/// positive. A guardband carrying `min_speedup` additionally requires a
+/// committed `static` record of the same `(case, ranks)` and enforces
+/// `static wall / this wall >= min_speedup` — the dynamic scheduler must
+/// actually buy wall clock, not merely balance busy time.
 pub fn check_committed_sched(policy: &TolerancePolicy, records: &[SchedRecord]) -> GateReport {
     let mut report = GateReport::default();
     if records.is_empty() {
@@ -140,6 +143,32 @@ pub fn check_committed_sched(policy: &TolerancePolicy, records: &[SchedRecord]) 
                          regression",
                         r.imbalance, g.max_imbalance
                     ));
+                }
+                if let Some(min) = g.min_speedup {
+                    let partner = records
+                        .iter()
+                        .find(|o| o.case == r.case && o.ranks == r.ranks && o.schedule == "static");
+                    match partner {
+                        None => report.failures.push(format!(
+                            "sched record {tag}: guardband requires min_speedup {min:.2} but \
+                             the baseline has no static record for ({}, r{}) to compare \
+                             against",
+                            r.case, r.ranks
+                        )),
+                        Some(st) => {
+                            // Both walls already passed the finite/positive
+                            // screen above, so the ratio is well-defined.
+                            let speedup = st.wall_s / r.wall_s;
+                            if speedup < min {
+                                report.failures.push(format!(
+                                    "sched record {tag}: wall {:.3e} s is only {speedup:.3}× \
+                                     faster than static's {:.3e} s (floor {min:.2}×) — the \
+                                     dynamic schedule stopped paying for itself",
+                                    r.wall_s, st.wall_s
+                                ));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -342,6 +371,19 @@ schedule = "dynamic"
 max_imbalance = 1.5
 rationale = "test ceiling"
 
+[[sched_guardband]]
+case = "iv-multibias"
+schedule = "dynamic"
+max_imbalance = 1.2
+min_speedup = 1.5
+rationale = "test speedup floor"
+
+[[sched_guardband]]
+case = "iv-multibias"
+schedule = "static"
+max_imbalance = 3.0
+rationale = "test bad baseline"
+
 [[kernel_smoke_floor]]
 kernel = "gemm"
 min_gflops = 0.05
@@ -421,6 +463,46 @@ rationale = "catastrophic only"
             imbalance,
             reissued: 0,
         }
+    }
+
+    fn ivrec(schedule: &str, wall_s: f64) -> SchedRecord {
+        SchedRecord {
+            case: "iv-multibias".into(),
+            schedule: schedule.into(),
+            ranks: 4,
+            units: 72,
+            wall_s,
+            imbalance: 1.1,
+            reissued: 0,
+        }
+    }
+
+    #[test]
+    fn min_speedup_floor_requires_and_compares_the_static_partner() {
+        let policy = test_policy();
+        // 2.0× faster than the static partner — clears the 1.5× floor.
+        let pair = vec![ivrec("static", 1.0), ivrec("dynamic", 0.5)];
+        assert!(check_committed_sched(&policy, &pair).is_clean());
+        // 1.25× is under the floor.
+        let slow = vec![ivrec("static", 1.0), ivrec("dynamic", 0.8)];
+        let report = check_committed_sched(&policy, &slow);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(
+            report.failures[0].contains("stopped paying for itself"),
+            "{:?}",
+            report.failures
+        );
+        // A static partner at a different rank count does not satisfy the
+        // comparison — the floor is per (case, ranks).
+        let mut other_ranks = ivrec("static", 1.0);
+        other_ranks.ranks = 8;
+        let report = check_committed_sched(&policy, &[other_ranks, ivrec("dynamic", 0.5)]);
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(
+            report.failures[0].contains("no static record"),
+            "{:?}",
+            report.failures
+        );
     }
 
     /// The acceptance criterion for the gate: a committed record

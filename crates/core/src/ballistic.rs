@@ -10,7 +10,7 @@ use crate::spec::{Bias, NanoTransistor};
 use omen_linalg::ZMat;
 use omen_negf::transport::EnergyPointData;
 use omen_num::{fermi, trapezoid, OmenResult, SweepReport, I0_UA_PER_EV};
-use omen_sched::CostModel;
+use omen_sched::{CostModel, ModelBank};
 use omen_sparse::BlockTridiag;
 
 /// Which transport engine evaluates each energy point.
@@ -400,6 +400,36 @@ pub fn ballistic_solve_k_scheduled(
         models.iter().map(CostModel::observations).sum::<usize>(),
     ));
     r
+}
+
+/// [`ballistic_solve_k_scheduled`] backed by a sweep-lifetime
+/// [`ModelBank`] instead of a caller-held vector: each k-point's
+/// [`CostModel`] is checked out of the bank under key
+/// `(bias_step, ik)` — exact hit first, then a warm clone from the
+/// nearest earlier bias on the same k, then a band-edge seed — and the
+/// measured ledger is committed back after the sweep. Pass the same bank
+/// across SCF outer iterations *and* bias points (with `bias_step` the
+/// I–V point index) so from the second bias point onward no sweep starts
+/// from seeds. Observables stay bit-identical to the static variant.
+#[allow(clippy::too_many_arguments)]
+pub fn ballistic_solve_k_banked(
+    tr: &NanoTransistor,
+    v_atoms: &[f64],
+    bias: &Bias,
+    engine: Engine,
+    n_energy: usize,
+    n_k: usize,
+    bank: &mut ModelBank,
+    bias_step: usize,
+) -> BallisticResult {
+    let grid = momentum_grid(tr, n_k);
+    let n_e = n_energy.max(1);
+    accumulate_k(&grid, |ik, ky| {
+        let mut model = bank.checkout(bias_step, ik, n_e, || CostModel::band_edge(n_e, 2.0));
+        let r = ballistic_solve_scheduled(tr, v_atoms, bias, engine, n_energy, ky, &mut model);
+        bank.commit(bias_step, ik, model);
+        r
+    })
 }
 
 /// Weighted accumulation of per-k solves over a momentum grid. `solve`

@@ -2,9 +2,10 @@
 
 use crate::ballistic::Engine;
 use crate::log::SweepSeq;
-use crate::scf::{self_consistent, ScfOptions};
+use crate::scf::{self_consistent_banked, ScfOptions};
 use crate::spec::{Bias, NanoTransistor};
 use omen_num::SweepReport;
+use omen_sched::{CostModel, ModelBank};
 
 /// One point of an I–V characteristic.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +65,11 @@ fn point_line(kind: &str, prog: &PointProgress<'_>) -> String {
 }
 
 /// Sweeps the gate at fixed `v_ds`, warm-starting each point from the
-/// previous one (the standard way a full Id–Vg is produced).
+/// previous one (the standard way a full Id–Vg is produced). Under
+/// [`crate::parallel::Schedule::Dynamic`] the scheduler's cost models are
+/// warm-started across bias points the same way: one [`ModelBank`] spans
+/// the sweep, so from the second gate step onward every SCF call opens
+/// with an LPT schedule over measured costs instead of band-edge seeds.
 pub fn gate_sweep(
     tr: &mut NanoTransistor,
     v_gates: &[f64],
@@ -89,6 +94,7 @@ pub fn gate_sweep_observed(
 ) -> Vec<IvPoint> {
     let mut out = Vec::with_capacity(v_gates.len());
     let mut warm: Option<Vec<f64>> = None;
+    let mut bank = ModelBank::new();
     let mut seq = SweepSeq::new();
     for (index, &vg) in v_gates.iter().enumerate() {
         let bias = Bias {
@@ -96,7 +102,7 @@ pub fn gate_sweep_observed(
             v_ds,
             mu_source,
         };
-        let r = self_consistent(tr, &bias, opts, warm.as_deref());
+        let r = self_consistent_banked(tr, &bias, opts, warm.as_deref(), &mut bank, index);
         let point = IvPoint {
             v_gate: vg,
             v_ds,
@@ -129,6 +135,7 @@ pub fn drain_sweep(
 ) -> Vec<IvPoint> {
     let mut out = Vec::with_capacity(v_dss.len());
     let mut warm: Option<Vec<f64>> = None;
+    let mut bank = ModelBank::new();
     let mut seq = SweepSeq::new();
     for (index, &vds) in v_dss.iter().enumerate() {
         let bias = Bias {
@@ -136,7 +143,7 @@ pub fn drain_sweep(
             v_ds: vds,
             mu_source,
         };
-        let r = self_consistent(tr, &bias, opts, warm.as_deref());
+        let r = self_consistent_banked(tr, &bias, opts, warm.as_deref(), &mut bank, index);
         let point = IvPoint {
             v_gate,
             v_ds: vds,
@@ -229,6 +236,11 @@ pub fn frozen_field_sweep_observed(
     let lg_hi = tr.spec.num_slabs - tr.spec.drain_slabs;
     let mut seq = SweepSeq::new();
     let mut out = Vec::with_capacity(v_gates.len());
+    // Frozen sweeps have no SCF loop, but the cost-model bank still warm
+    // starts each bias point's energy order from the previous one (the
+    // model only reorders execution, never what a point returns).
+    let mut bank = ModelBank::new();
+    let n_e = n_energy.max(1);
     for (index, &vg) in v_gates.iter().enumerate() {
         let v_atoms: Vec<f64> = tr
             .device
@@ -247,7 +259,11 @@ pub fn frozen_field_sweep_observed(
             v_ds,
             mu_source,
         };
-        let r = crate::ballistic::ballistic_solve(tr, &v_atoms, &bias, engine, n_energy, 0.0);
+        let mut model = bank.checkout(index, 0, n_e, || CostModel::band_edge(n_e, 2.0));
+        let r = crate::ballistic::ballistic_solve_scheduled(
+            tr, &v_atoms, &bias, engine, n_energy, 0.0, &mut model,
+        );
+        bank.commit(index, 0, model);
         let point = IvPoint {
             v_gate: vg,
             v_ds,

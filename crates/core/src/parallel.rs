@@ -13,7 +13,7 @@ use crate::spec::NanoTransistor;
 use omen_linalg::ZMat;
 use omen_num::{FailedPoint, OmenError, OmenResult, SweepReport};
 use omen_parsim::{Comm, RankCtx};
-use omen_sched::{dynamic_sweep, proto, CostModel, SchedOptions, SchedStats};
+use omen_sched::{dynamic_sweep, proto, CostModel, ModelBank, SchedOptions, SchedStats};
 use omen_sparse::BlockTridiag;
 
 /// Rank counts per parallel level; the product must equal the world size.
@@ -330,11 +330,125 @@ fn dynamic_transmission(
     })
 }
 
+/// One unified dynamic dataflow across every momentum group of a bias
+/// point: a single [`dynamic_sweep`] over the bias group brokers the full
+/// `k × E` unit grid, so a rank whose k-group drains early steals units
+/// from a loaded one instead of idling at the gather barrier, and the
+/// coordinator rank solves units between brokering rounds.
+///
+/// Bit-identity with the static nested split is by construction: the
+/// solve closure is the *same* pure per-(k, E) splitsolve the static leg
+/// runs, the canonical-order merge hands every member the identical
+/// value table, and each rank then rebuilds exactly the per-k curves its
+/// momentum group would have produced (the static leg's momentum-level
+/// allreduce is a bit-exact identity: one non-zero contributor per
+/// energy plus exact zeros) before replaying the static leg's bias-group
+/// reduction and failure exchange verbatim.
+#[allow(clippy::too_many_arguments)]
+fn whole_curve_dynamic(
+    comms: &LevelComms<'_>,
+    system_of: &impl Fn(f64) -> (BlockTridiag, ZMat, ZMat),
+    kys: &[(f64, f64)],
+    energies: &[f64],
+    opts: &SchedOptions,
+    bank: &mut ModelBank,
+    bias_step: usize,
+    mine: &[usize],
+) -> OmenResult<(Vec<TransmissionSweep>, Option<SchedStats>)> {
+    let n_e = energies.len();
+    let nk = kys.len();
+    // Sweep-lifetime cost models: one ledger per k-point, checked out of
+    // the bank (hit → warm → band-edge seed) and concatenated into the
+    // unit-grid order `id = ik * n_e + ie`.
+    let parts: Vec<CostModel> = (0..nk)
+        .map(|ik| bank.checkout(bias_step, ik, n_e, || CostModel::band_edge(n_e, 2.0)))
+        .collect();
+    let mut model = CostModel::concat(&parts);
+    let stamps: Vec<f64> = (0..nk * n_e).map(|id| energies[id % n_e]).collect();
+    // Lazily build each k-point's system on first use; units for one k
+    // arrive chunked, so in practice each worker factorizes few systems.
+    let mut cached: Option<(usize, (BlockTridiag, ZMat, ZMat))> = None;
+    let outcome = dynamic_sweep(&comms.bias_group, &stamps, &mut model, opts, |id| {
+        let ik = id / n_e;
+        if cached.as_ref().map(|c| c.0) != Some(ik) {
+            cached = Some((ik, system_of(kys[ik].0)));
+        }
+        let (_, (h, h00, h01)) = cached.as_ref().expect("cached above");
+        let d = omen_wf::transport::wf_transport_splitsolve(
+            &comms.spatial_group,
+            energies[id % n_e],
+            h,
+            (h00, h01),
+            (h00, h01),
+        )?;
+        Ok(vec![d.transmission, d.retries as f64])
+    })?;
+    for (ik, part) in model.split(n_e).into_iter().enumerate() {
+        bank.commit(bias_step, ik, part);
+    }
+    // Map each unresolved unit to its typed ledger entry (the scheduler
+    // records failures in ascending unit order).
+    let mut fail_idx = vec![usize::MAX; nk * n_e];
+    let mut next_fail = 0usize;
+    for (id, slot) in outcome.values.iter().enumerate() {
+        if slot.is_none() {
+            fail_idx[id] = next_fail;
+            next_fail += 1;
+        }
+    }
+    // Rebuild the per-k sweeps my momentum group owns, exactly as the
+    // static leg's momentum-level reduction would have produced them.
+    let mut sweeps = Vec::with_capacity(mine.len());
+    for &ik in mine {
+        let mut transmission = vec![0.0; n_e];
+        let mut report = SweepReport::default();
+        for (ie, t) in transmission.iter_mut().enumerate() {
+            let id = ik * n_e + ie;
+            match &outcome.values[id] {
+                Some(p) => {
+                    *t = p[0];
+                    // Payload carries solver retries so the report matches
+                    // the static schedule's (the scheduler's own report
+                    // counts *re-issues*, not solver retries).
+                    report.record_solved(p[1] as usize);
+                }
+                None => {
+                    let f = &outcome.report.failed[fail_idx[id]];
+                    report.record_failed(f.energy, f.error.clone());
+                }
+            }
+        }
+        sweeps.push(TransmissionSweep {
+            transmission,
+            report,
+            sched: None,
+        });
+    }
+    if comms.bias_group.rank() == 0 {
+        crate::log::emit(&format!(
+            "sched iv sweep: {} k × {} E units in {} chunks, coordinator solved {}, \
+             reissued {}+{} (failed+straggler), imbalance {:.2}",
+            nk,
+            n_e,
+            outcome.stats.chunks,
+            outcome.stats.coordinator_units,
+            outcome.stats.reissued_failed,
+            outcome.stats.reissued_straggler,
+            outcome.stats.imbalance(),
+        ));
+    }
+    Ok((sweeps, Some(outcome.stats)))
+}
+
 /// Momentum-resolved distributed sweep: the momentum groups of this bias
-/// group split the `(k_y, weight)` list statically, each group runs a
-/// [`parallel_transmission`] energy sweep (static or dynamic per
-/// `schedule`) on the system `system_of(k_y)`, and the weighted k-average
-/// of `T(E)` is reduced over the bias group.
+/// group split the `(k_y, weight)` list statically and the weighted
+/// k-average of `T(E)` is reduced over the bias group. Under
+/// [`Schedule::Static`] (or whenever `cfg.spatial > 1`) each group runs a
+/// per-k [`parallel_transmission`] energy sweep; under
+/// [`Schedule::Dynamic`] with `cfg.spatial == 1` the whole `k × E` grid
+/// becomes one bias-group-wide dataflow ([`whole_curve_dynamic`]) with
+/// cross-momentum work stealing and a solving coordinator, bit-identical
+/// to the static nested split.
 ///
 /// **Momentum-level fault isolation**: a k-point whose *entire* energy
 /// sweep failed contributes one recorded [`FailedPoint`] (stamped with
@@ -355,29 +469,74 @@ pub fn parallel_transmission_k(
     energies: &[f64],
     schedule: Schedule,
 ) -> OmenResult<TransmissionSweep> {
+    let mut bank = ModelBank::new();
+    parallel_transmission_k_banked(comms, cfg, system_of, kys, energies, schedule, &mut bank, 0)
+}
+
+/// [`parallel_transmission_k`] with a sweep-lifetime [`ModelBank`]: the
+/// dynamic dataflow checks its per-(bias, k) cost models out of `bank`
+/// before the sweep and commits the measured ledgers back afterwards. Pass
+/// the same bank across SCF outer iterations and bias points (`bias_step`
+/// is the bank's bias key, e.g. the I–V point index) so from the second
+/// step onward every sweep is LPT-scheduled over *measured* costs instead
+/// of band-edge seeds. The bank never changes values — only execution
+/// order — so results stay bit-identical to [`Schedule::Static`].
+///
+/// # Errors
+///
+/// Same contract as [`parallel_transmission_k`].
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_transmission_k_banked(
+    comms: &LevelComms<'_>,
+    cfg: &LevelConfig,
+    system_of: impl Fn(f64) -> (BlockTridiag, ZMat, ZMat),
+    kys: &[(f64, f64)],
+    energies: &[f64],
+    schedule: Schedule,
+    bank: &mut ModelBank,
+    bias_step: usize,
+) -> OmenResult<TransmissionSweep> {
     let n = energies.len();
     let mine = assign(kys.len(), cfg.momentum, comms.momentum_index);
+    // Per-k full curves (and per-k reports) for *my* momentum group's
+    // k-points: either the per-k static/fallback loop, or one unified
+    // dynamic sweep spanning every momentum group of the bias point.
+    let (k_sweeps, sched) = match schedule {
+        Schedule::Dynamic(opts) if cfg.spatial == 1 && !kys.is_empty() && n > 0 => {
+            whole_curve_dynamic(
+                comms, &system_of, kys, energies, &opts, bank, bias_step, &mine,
+            )?
+        }
+        _ => {
+            let mut sweeps = Vec::with_capacity(mine.len());
+            let mut sched: Option<SchedStats> = None;
+            for &ik in &mine {
+                let (ky, _) = kys[ik];
+                let (h, h00, h01) = system_of(ky);
+                let sweep = parallel_transmission(
+                    comms,
+                    cfg,
+                    &h,
+                    (&h00, &h01),
+                    (&h00, &h01),
+                    energies,
+                    schedule,
+                )?;
+                if let Some(s) = &sweep.sched {
+                    match &mut sched {
+                        Some(acc) => acc.absorb(s),
+                        None => sched = Some(s.clone()),
+                    }
+                }
+                sweeps.push(sweep);
+            }
+            (sweeps, sched)
+        }
+    };
     let mut t_acc = vec![0.0; n];
     let mut local = SweepReport::default();
-    let mut sched: Option<SchedStats> = None;
-    for &ik in &mine {
+    for (&ik, sweep) in mine.iter().zip(&k_sweeps) {
         let (ky, w) = kys[ik];
-        let (h, h00, h01) = system_of(ky);
-        let sweep = parallel_transmission(
-            comms,
-            cfg,
-            &h,
-            (&h00, &h01),
-            (&h00, &h01),
-            energies,
-            schedule,
-        )?;
-        if let Some(s) = &sweep.sched {
-            match &mut sched {
-                Some(acc) => acc.absorb(s),
-                None => sched = Some(s.clone()),
-            }
-        }
         if sweep.report.solved == 0 && !sweep.report.failed.is_empty() {
             // The whole k-point is lost: one typed entry, zero contribution.
             local.record_failed(ky, sweep.report.failed[0].error.clone());
@@ -667,6 +826,21 @@ mod tests {
         (BlockTridiag::new(diag, lower, upper), z(), t())
     }
 
+    /// A uniform healthy 1×1-block chain: every energy solves.
+    fn healthy_chain() -> (BlockTridiag, ZMat, ZMat) {
+        use omen_num::c64;
+        let n = 5;
+        let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
+        let diag = vec![ZMat::zeros(1, 1); n];
+        let lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        let upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
+        (
+            BlockTridiag::new(diag, lower, upper),
+            ZMat::zeros(1, 1),
+            t(),
+        )
+    }
+
     #[test]
     fn failed_point_is_isolated_not_group_fatal() {
         let (h, h00, h01) = singular_at_zero_system();
@@ -723,20 +897,6 @@ mod tests {
         // k-point as one typed report entry and keep the healthy one.
         let energies = vec![0.0];
         let kys = [(0.0, 0.5), (1.0, 0.5)];
-        let healthy = |ky: f64| {
-            use omen_num::c64;
-            let n = 5;
-            let t = || ZMat::from_vec(1, 1, vec![c64::real(-1.0)]);
-            let diag = vec![ZMat::zeros(1, 1); n];
-            let lower: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
-            let upper: Vec<ZMat> = (0..n - 1).map(|_| t()).collect();
-            let _ = ky;
-            (
-                BlockTridiag::new(diag, lower, upper),
-                ZMat::zeros(1, 1),
-                t(),
-            )
-        };
         let cfg = LevelConfig {
             bias: 1,
             momentum: 2,
@@ -744,45 +904,111 @@ mod tests {
             spatial: 1,
         };
         let reference = {
-            let (h, h00, h01) = healthy(1.0);
+            let (h, h00, h01) = healthy_chain();
             sequential_transmission(&h, (&h00, &h01), (&h00, &h01), &energies, Engine::WfThomas)
                 .unwrap()
         };
-        let out = run_ranks(2, |ctx| {
-            let comms = split_levels(ctx, &cfg)?;
-            parallel_transmission_k(
-                &comms,
-                &cfg,
-                |ky| {
-                    if ky == 0.0 {
-                        singular_at_zero_system()
-                    } else {
-                        healthy(ky)
-                    }
-                },
-                &kys,
-                &energies,
-                Schedule::Static,
-            )
-        })
-        .flattened();
-        for res in out.unwrap_all() {
-            // The healthy k-point solved; the dead one is a single typed
-            // entry stamped with its k value, not a group-wide failure.
-            assert_eq!(res.report.solved, 1);
-            assert_eq!(res.report.failed.len(), 1);
-            assert_eq!(res.report.failed[0].energy, 0.0, "stamped with k_y");
-            assert!(matches!(
-                res.report.failed[0].error,
-                OmenError::SingularBlock { .. }
-            ));
-            // Only the healthy k-point's weighted transmission contributes.
-            let want = 0.5 * reference[0];
-            assert!(
-                (res.transmission[0] - want).abs() < 1e-8 * (1.0 + want.abs()),
-                "{} vs {want}",
-                res.transmission[0]
-            );
+        for schedule in [Schedule::Static, Schedule::Dynamic(SchedOptions::default())] {
+            let out = run_ranks(2, |ctx| {
+                let comms = split_levels(ctx, &cfg)?;
+                parallel_transmission_k(
+                    &comms,
+                    &cfg,
+                    |ky| {
+                        if ky == 0.0 {
+                            singular_at_zero_system()
+                        } else {
+                            healthy_chain()
+                        }
+                    },
+                    &kys,
+                    &energies,
+                    schedule,
+                )
+            })
+            .flattened();
+            for res in out.unwrap_all() {
+                // The healthy k-point solved; the dead one is a single typed
+                // entry stamped with its k value, not a group-wide failure.
+                assert_eq!(res.report.solved, 1, "{schedule:?}");
+                assert_eq!(res.report.failed.len(), 1);
+                assert_eq!(res.report.failed[0].energy, 0.0, "stamped with k_y");
+                assert!(matches!(
+                    res.report.failed[0].error,
+                    OmenError::SingularBlock { .. }
+                ));
+                // Only the healthy k-point's weighted transmission contributes.
+                let want = 0.5 * reference[0];
+                assert!(
+                    (res.transmission[0] - want).abs() < 1e-8 * (1.0 + want.abs()),
+                    "{} vs {want}",
+                    res.transmission[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_curve_dynamic_is_bit_identical_to_static_at_any_rank_count() {
+        // Mixed-health k × E grid: k = 0 is the singular chain (its E = 0
+        // point fails), k = 1 is healthy. The one-dataflow dynamic sweep —
+        // cross-momentum stealing plus the solving coordinator — must
+        // reproduce the static nested split to the bit at every rank count
+        // and level shape: transmission, counters, AND the fault ledger.
+        let energies = linspace(-0.5, 0.5, 5);
+        let kys = [(0.0, 0.5), (1.0, 0.5)];
+        let system = |ky: f64| {
+            if ky == 0.0 {
+                singular_at_zero_system()
+            } else {
+                healthy_chain()
+            }
+        };
+        let shapes = [
+            (1, 1usize, 1usize),
+            (2, 2, 1),
+            (2, 1, 2), // both k-points in one momentum group: replay must
+            // keep the static weighted accumulation order
+            (4, 2, 2),
+        ];
+        for (ranks, momentum, energy) in shapes {
+            let cfg = LevelConfig {
+                bias: 1,
+                momentum,
+                energy,
+                spatial: 1,
+            };
+            let run = |schedule: Schedule| {
+                run_ranks(ranks, |ctx| {
+                    let comms = split_levels(ctx, &cfg)?;
+                    parallel_transmission_k(&comms, &cfg, system, &kys, &energies, schedule)
+                })
+                .flattened()
+                .unwrap_all()
+            };
+            let stat = run(Schedule::Static);
+            let dynr = run(Schedule::Dynamic(SchedOptions::default()));
+            for (rank, (s, d)) in stat.iter().zip(&dynr).enumerate() {
+                let at = format!("{ranks} ranks ({momentum}×{energy}), rank {rank}");
+                for (i, (a, b)) in s.transmission.iter().zip(&d.transmission).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{at} energy {i}: static {a} vs dynamic {b}"
+                    );
+                }
+                assert_eq!(d.report.solved, s.report.solved, "{at}");
+                assert_eq!(d.report.retried, s.report.retried, "{at}");
+                assert_eq!(d.report.recovered, s.report.recovered, "{at}");
+                assert_eq!(d.report.failed.len(), s.report.failed.len(), "{at}");
+                for (fs, fd) in s.report.failed.iter().zip(&d.report.failed) {
+                    assert_eq!(fs.energy.to_bits(), fd.energy.to_bits(), "{at}");
+                    assert!(matches!(fd.error, OmenError::SingularBlock { .. }), "{at}");
+                }
+                // The unified grid spans every momentum group's units.
+                let stats = d.sched.as_ref().expect("dynamic stats");
+                assert_eq!(stats.units, kys.len() * energies.len(), "{at}");
+            }
         }
     }
 }

@@ -200,6 +200,11 @@ pub struct SchedGuardband {
     pub schedule: String,
     /// Maximum allowed max/mean busy-time imbalance.
     pub max_imbalance: f64,
+    /// Optional wall-clock floor: the committed record must be at least
+    /// this many times faster than the `static` record of the same
+    /// `(case, ranks)` (static wall / this wall ≥ `min_speedup`). Only
+    /// meaningful on non-static schedules; ≥ 1.
+    pub min_speedup: Option<f64>,
     /// Why this ceiling is what it is (never empty).
     pub rationale: String,
 }
@@ -391,6 +396,16 @@ impl<'a> Keys<'a> {
                 line,
                 format!("key {key:?} must be a number, got {}", other.type_name()),
             )),
+        }
+    }
+
+    /// Optional numeric key: `None` when the entry simply omits it. A
+    /// present key of the wrong type is still a hard error.
+    fn num_if_present(&mut self, key: &str) -> OmenResult<Option<(f64, usize)>> {
+        if self.entry.keys.iter().any(|(k, _, _)| k == key) {
+            self.num(key).map(Some)
+        } else {
+            Ok(None)
         }
     }
 
@@ -671,6 +686,32 @@ impl TolerancePolicy {
                             format!("max_imbalance {max_imbalance} must be >= 1 (max/mean ratio)"),
                         ));
                     }
+                    let min_speedup = match keys.num_if_present("min_speedup")? {
+                        None => None,
+                        Some((v, sline)) => {
+                            let v = finite_positive(source, sline, "min_speedup", v)?;
+                            if v < 1.0 {
+                                return Err(perr(
+                                    source,
+                                    sline,
+                                    format!(
+                                        "min_speedup {v} must be >= 1 \
+                                         (static wall / scheduled wall)"
+                                    ),
+                                ));
+                            }
+                            if schedule == "static" {
+                                return Err(perr(
+                                    source,
+                                    sline,
+                                    "min_speedup compares against the static record and \
+                                     cannot appear on the static schedule itself"
+                                        .to_string(),
+                                ));
+                            }
+                            Some(v)
+                        }
+                    };
                     let rationale = keys.rationale()?;
                     keys.finish()?;
                     if policy
@@ -688,6 +729,7 @@ impl TolerancePolicy {
                         case,
                         schedule,
                         max_imbalance,
+                        min_speedup,
                         rationale,
                     });
                 }
@@ -1195,6 +1237,40 @@ mod tests {
         let bad_band = doc("[[kernel_guardband]]\nkernel = \"gemm\"\nsimd = false\n\
              reference_gflops = 7.5\nguardband = 1.5\nrationale = \"x\"\n");
         expect_policy_err(&bad_band, "must be < 1");
+    }
+
+    #[test]
+    fn sched_guardband_min_speedup_is_optional_and_validated() {
+        // Absent key parses to None (the resonance-comb style entry above
+        // already covers that); a present key must be >= 1 and must not
+        // sit on the static schedule.
+        let text = doc(
+            "[[sched_guardband]]\ncase = \"iv\"\nschedule = \"dynamic\"\n\
+             max_imbalance = 1.1\nmin_speedup = 1.05\nrationale = \"curve floor\"\n\
+             [[sched_guardband]]\ncase = \"iv\"\nschedule = \"static\"\n\
+             max_imbalance = 2.0\nrationale = \"bad baseline\"\n",
+        );
+        let p = TolerancePolicy::parse("test", &text).unwrap();
+        assert_eq!(
+            p.sched_guardband("iv", "dynamic").unwrap().min_speedup,
+            Some(1.05)
+        );
+        assert_eq!(p.sched_guardband("iv", "static").unwrap().min_speedup, None);
+        let slow = doc(
+            "[[sched_guardband]]\ncase = \"iv\"\nschedule = \"dynamic\"\n\
+             max_imbalance = 1.1\nmin_speedup = 0.9\nrationale = \"x\"\n",
+        );
+        expect_policy_err(&slow, "must be >= 1");
+        let on_static = doc(
+            "[[sched_guardband]]\ncase = \"iv\"\nschedule = \"static\"\n\
+             max_imbalance = 2.0\nmin_speedup = 1.1\nrationale = \"x\"\n",
+        );
+        expect_policy_err(&on_static, "cannot appear on the static schedule");
+        let typed = doc(
+            "[[sched_guardband]]\ncase = \"iv\"\nschedule = \"dynamic\"\n\
+             max_imbalance = 1.1\nmin_speedup = \"fast\"\nrationale = \"x\"\n",
+        );
+        expect_policy_err(&typed, "must be a number");
     }
 
     #[test]

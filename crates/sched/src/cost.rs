@@ -13,6 +13,7 @@
 //! needed by straggler detection — only exist after real measurements.
 
 use omen_num::{OmenError, OmenResult};
+use std::collections::BTreeMap;
 
 /// EWMA smoothing factor: weight of the newest measurement.
 const DEFAULT_ALPHA: f64 = 0.4;
@@ -180,6 +181,182 @@ impl CostModel {
     fn inject_ewma(&mut self, id: usize, value: f64) {
         self.ewma[id] = value;
     }
+
+    /// Concatenates per-segment models into one model over the combined
+    /// unit range; segment order is id order, so a whole-curve grid whose
+    /// unit id is `k · n_energy + e` is assembled from per-k models in k
+    /// order. Measured EWMA values carry over verbatim; the seed→seconds
+    /// calibration is recomputed from the measured (seed, ewma) pairs of
+    /// the combined range, so mixed measured/unmeasured comparisons stay
+    /// meaningful across segment boundaries.
+    pub fn concat(parts: &[CostModel]) -> CostModel {
+        let mut seed = Vec::new();
+        let mut ewma = Vec::new();
+        let mut observations = 0;
+        for p in parts {
+            seed.extend_from_slice(&p.seed);
+            ewma.extend_from_slice(&p.ewma);
+            observations += p.observations;
+        }
+        let (cal_secs, cal_seed) = measured_pairs(&seed, &ewma);
+        CostModel {
+            seed,
+            ewma,
+            alpha: DEFAULT_ALPHA,
+            cal_secs,
+            cal_seed,
+            observations,
+        }
+    }
+
+    /// Splits this model into consecutive segments of `chunk` units each —
+    /// the inverse of [`CostModel::concat`] for equal-length parts, used to
+    /// fold a whole-curve sweep's measurements back into the per-(bias, k)
+    /// bank. Each part recomputes its calibration from its own measured
+    /// pairs; `observations` is re-attributed as the count of measured
+    /// units per part (per-repeat counts are not tracked per unit).
+    pub fn split(&self, chunk: usize) -> Vec<CostModel> {
+        assert!(
+            chunk > 0 && self.seed.len().is_multiple_of(chunk),
+            "split chunk {} must evenly divide the {}-unit model",
+            chunk,
+            self.seed.len()
+        );
+        self.seed
+            .chunks(chunk)
+            .zip(self.ewma.chunks(chunk))
+            .map(|(s, e)| {
+                let (cal_secs, cal_seed) = measured_pairs(s, e);
+                CostModel {
+                    seed: s.to_vec(),
+                    ewma: e.to_vec(),
+                    alpha: self.alpha,
+                    cal_secs,
+                    cal_seed,
+                    observations: e.iter().filter(|v| !v.is_nan()).count(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Sums the measured EWMA seconds and their matching seeds — the
+/// calibration basis recomputed when models are concatenated or split.
+fn measured_pairs(seed: &[f64], ewma: &[f64]) -> (f64, f64) {
+    let mut secs = 0.0;
+    let mut sd = 0.0;
+    for (s, e) in seed.iter().zip(ewma) {
+        if !e.is_nan() {
+            secs += e;
+            sd += s;
+        }
+    }
+    (secs, sd)
+}
+
+/// Counters of how [`ModelBank::checkout`] satisfied its requests since the
+/// last [`ModelBank::take_counts`]: the observable witness that cost models
+/// persist across SCF calls and warm-start across bias points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankCounts {
+    /// Checkouts served by the exact (bias, k) model from an earlier call.
+    pub hits: usize,
+    /// Checkouts warm-started from the nearest earlier bias at the same k.
+    pub warmed: usize,
+    /// Checkouts that had to fall back to a fresh seed.
+    pub seeded: usize,
+}
+
+/// Sweep-lifetime bank of per-(bias, k) cost models.
+///
+/// The scheduler's EWMA ledgers are only useful if they outlive one
+/// schedule: SCF outer iterations re-solve the same (bias, k) grid many
+/// times, and neighbouring bias points of an I–V sweep have nearly the
+/// same cost structure. The bank keys models by `(bias index, k index)` so
+/// a later SCF call at the same bias resumes its own measured ledger (a
+/// *hit*), and the first call at a new bias clones the nearest earlier
+/// bias at the same k (a *warm* start — the cost analogue of the potential
+/// warm start in `gate_sweep`). Only when neither exists does a checkout
+/// fall back to the caller's seed. Checkout/commit round-trips keep
+/// borrows simple across distributed assembly ([`CostModel::concat`] /
+/// [`CostModel::split`]).
+#[derive(Debug, Default)]
+pub struct ModelBank {
+    models: BTreeMap<(usize, usize), CostModel>,
+    counts: BankCounts,
+    lifetime: BankCounts,
+}
+
+impl ModelBank {
+    /// An empty bank.
+    pub fn new() -> ModelBank {
+        ModelBank::default()
+    }
+
+    /// Number of (bias, k) models stored.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the bank stores no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Checks out the model for `(bias, k)` over `n` units: the stored
+    /// model when one exists with a matching unit count (*hit*), else a
+    /// clone of the nearest earlier bias at the same k (*warm*), else
+    /// `seed()` (*seeded*). A stored model whose unit count no longer
+    /// matches — the energy grid changed — is discarded and reseeded.
+    pub fn checkout(
+        &mut self,
+        bias: usize,
+        k: usize,
+        n: usize,
+        seed: impl FnOnce() -> CostModel,
+    ) -> CostModel {
+        if let Some(m) = self.models.get(&(bias, k)) {
+            if m.len() == n {
+                self.counts.hits += 1;
+                self.lifetime.hits += 1;
+                return m.clone();
+            }
+        }
+        for b in (0..bias).rev() {
+            if let Some(m) = self.models.get(&(b, k)) {
+                if m.len() == n {
+                    self.counts.warmed += 1;
+                    self.lifetime.warmed += 1;
+                    return m.clone();
+                }
+                // The nearest earlier bias ran a different grid; anything
+                // older is staler still — reseed.
+                break;
+            }
+        }
+        self.counts.seeded += 1;
+        self.lifetime.seeded += 1;
+        let m = seed();
+        assert!(m.len() == n, "seeded cost model must cover {n} units");
+        m
+    }
+
+    /// Stores the (measured) model back under `(bias, k)`.
+    pub fn commit(&mut self, bias: usize, k: usize, model: CostModel) {
+        self.models.insert((bias, k), model);
+    }
+
+    /// Drains the per-call counters (for one OMEN_LOG `sched` line per SCF
+    /// call) and returns them; [`ModelBank::lifetime_counts`] keeps
+    /// accumulating.
+    pub fn take_counts(&mut self) -> BankCounts {
+        std::mem::take(&mut self.counts)
+    }
+
+    /// Counters over the bank's whole lifetime (never reset).
+    pub fn lifetime_counts(&self) -> BankCounts {
+        self.lifetime
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +441,145 @@ mod tests {
         m.inject_ewma(1, f64::NAN);
         let with_nan = m.descending_order(0..6);
         assert_eq!(with_nan, order);
+    }
+
+    #[test]
+    fn concat_then_split_round_trips_predictions() {
+        let mut a = CostModel::band_edge(3, 2.0);
+        let mut b = CostModel::uniform(3);
+        a.observe(0, 0.5).unwrap();
+        a.observe(2, 0.1).unwrap();
+        b.observe(1, 0.25).unwrap();
+        let joined = CostModel::concat(&[a.clone(), b.clone()]);
+        assert_eq!(joined.len(), 6);
+        // Measured units keep their EWMA verbatim across the seam.
+        assert_eq!(joined.predict(0).to_bits(), a.predict(0).to_bits());
+        assert_eq!(joined.predict(4).to_bits(), b.predict(1).to_bits());
+        let parts = joined.split(3);
+        assert_eq!(parts.len(), 2);
+        for id in 0..3 {
+            assert!(parts[0].predict_secs(id).is_some(), "calibrated");
+            assert_eq!(parts[1].ewma[id].to_bits(), b.ewma[id].to_bits());
+        }
+        assert_eq!(parts[0].observations(), 2, "two measured units");
+        assert_eq!(parts[1].observations(), 1);
+    }
+
+    #[test]
+    fn bank_hits_then_warms_then_seeds() {
+        let mut bank = ModelBank::new();
+        // First checkout at bias 0: nothing stored, must seed.
+        let mut m = bank.checkout(0, 0, 4, || CostModel::band_edge(4, 2.0));
+        m.observe(3, 0.75).unwrap();
+        bank.commit(0, 0, m);
+        assert_eq!(
+            bank.take_counts(),
+            BankCounts {
+                hits: 0,
+                warmed: 0,
+                seeded: 1
+            }
+        );
+        // Same (bias, k) again — the SCF re-solve path — is a hit carrying
+        // the measured ledger.
+        let m = bank.checkout(0, 0, 4, || CostModel::band_edge(4, 2.0));
+        assert!((m.predict(3) - 0.75).abs() < 1e-12, "ledger persisted");
+        bank.commit(0, 0, m);
+        // Next bias point, same k: warm-started from bias 0.
+        let m = bank.checkout(1, 0, 4, || CostModel::band_edge(4, 2.0));
+        assert!((m.predict(3) - 0.75).abs() < 1e-12, "warm start");
+        bank.commit(1, 0, m);
+        // A different k at bias 1 has no earlier model anywhere: seeded.
+        let m = bank.checkout(1, 1, 4, || CostModel::band_edge(4, 2.0));
+        bank.commit(1, 1, m);
+        assert_eq!(
+            bank.take_counts(),
+            BankCounts {
+                hits: 1,
+                warmed: 1,
+                seeded: 1
+            }
+        );
+        // Per-call counters drained; lifetime keeps the full history.
+        assert_eq!(bank.take_counts(), BankCounts::default());
+        assert_eq!(
+            bank.lifetime_counts(),
+            BankCounts {
+                hits: 1,
+                warmed: 1,
+                seeded: 2
+            }
+        );
+        assert_eq!(bank.len(), 3);
+    }
+
+    #[test]
+    fn bank_reseeds_on_grid_change() {
+        let mut bank = ModelBank::new();
+        let m = bank.checkout(0, 0, 4, || CostModel::uniform(4));
+        bank.commit(0, 0, m);
+        // The energy grid grew: the stored 4-unit model must not leak into
+        // a 6-unit schedule, at the same bias or warm-started from it.
+        let m = bank.checkout(0, 0, 6, || CostModel::uniform(6));
+        assert_eq!(m.len(), 6);
+        let m2 = bank.checkout(1, 0, 6, || CostModel::uniform(6));
+        assert_eq!(m2.len(), 6);
+        assert_eq!(
+            bank.take_counts(),
+            BankCounts {
+                hits: 0,
+                warmed: 0,
+                seeded: 3
+            }
+        );
+    }
+
+    #[test]
+    fn warm_started_lpt_order_matches_recorded_costs() {
+        // Property: for any measured cost ledger committed at bias b, the
+        // warm-started checkout at bias b+1 hands out units in exactly the
+        // LPT order of the recorded costs. Deterministic xorshift stream
+        // over many trials stands in for a property-test generator.
+        let mut x = 0x9e37_79b9_u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f64 / 1000.0 + 1e-3
+        };
+        for trial in 0..50 {
+            let n = 3 + (trial % 13);
+            let mut bank = ModelBank::new();
+            let mut m = bank.checkout(0, 0, n, || CostModel::band_edge(n, 2.0));
+            let mut costs = Vec::with_capacity(n);
+            for id in 0..n {
+                let c = rand();
+                m.observe(id, c).unwrap();
+                costs.push(c);
+            }
+            bank.commit(0, 0, m);
+            let warm = bank.checkout(1, 0, n, || CostModel::band_edge(n, 2.0));
+            let mut want: Vec<usize> = (0..n).collect();
+            want.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+            assert_eq!(
+                warm.descending_order(0..n),
+                want,
+                "trial {trial}: warm LPT order must equal the recorded-cost order"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_checkout_still_rejects_non_finite_costs_typed() {
+        let mut bank = ModelBank::new();
+        let mut m = bank.checkout(0, 0, 2, || CostModel::uniform(2));
+        m.observe(0, 0.5).unwrap();
+        bank.commit(0, 0, m);
+        let mut warm = bank.checkout(1, 0, 2, || CostModel::uniform(2));
+        match warm.observe(1, f64::NAN) {
+            Err(OmenError::NonFiniteCost { unit: 1, .. }) => {}
+            other => panic!("warm model must keep typed rejection, got {other:?}"),
+        }
+        assert!((warm.predict(0) - 0.5).abs() < 1e-12, "ledger untouched");
     }
 }

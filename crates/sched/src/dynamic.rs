@@ -8,6 +8,15 @@
 //! [`SweepOutcome`] to every worker. All other members are workers running
 //! the caller's solve closure.
 //!
+//! The coordinator is not idle between brokering rounds: whenever its
+//! mailbox drains (one poll window with no worker traffic) it pops the
+//! *cheapest* queued unit and solves it inline — the solving coordinator
+//! recovers 1/N of the machine that a broker-only rank would waste, and
+//! picking from the cheap end of the LPT queue bounds the blind window
+//! during which worker messages queue up unserved. Worker liveness clocks
+//! are credited with each blind window so a heartbeat that sat in the
+//! mailbox during a local solve can never read as worker silence.
+//!
 //! # Determinism
 //!
 //! The solve closure is pure in its unit id — a unit's payload is the same
@@ -58,6 +67,11 @@ pub struct SchedOptions {
     /// A worker silent this long is declared dead. Must exceed the
     /// slowest single unit's solve time.
     pub dead_after_ms: u64,
+    /// Whether the coordinator solves queued units itself between
+    /// brokering rounds (cheapest-first, so the blind window stays short).
+    /// On by default; turned off only by tests that pin exact scheduling
+    /// behavior.
+    pub coordinator_solves: bool,
 }
 
 impl Default for SchedOptions {
@@ -69,6 +83,7 @@ impl Default for SchedOptions {
             straggler_factor: 8.0,
             straggler_min_ms: 500,
             dead_after_ms: 30_000,
+            coordinator_solves: true,
         }
     }
 }
@@ -95,17 +110,20 @@ pub struct SchedStats {
     /// sweep epoch — late traffic from a previous sweep on the same
     /// communicator.
     pub stale_msgs: usize,
-    /// Busy seconds per communicator member (index = local rank; the
-    /// coordinator's entry stays 0.0 in distributed runs).
+    /// Units the coordinator solved itself between brokering rounds.
+    pub coordinator_units: usize,
+    /// Busy seconds per communicator member (index = local rank; entry 0
+    /// is the coordinator's own solve time, 0.0 when it only brokered).
     pub worker_busy_s: Vec<f64>,
 }
 
 impl SchedStats {
     /// Load-imbalance ratio (max/mean busy seconds) over the solving
-    /// members — the coordinator's zero entry is excluded in distributed
-    /// runs. 1.0 is a perfect balance; also 1.0 for degenerate inputs.
+    /// members. A coordinator that only brokered (entry 0 exactly 0.0) is
+    /// excluded; a solving coordinator counts like any other member. 1.0
+    /// is a perfect balance; also 1.0 for degenerate inputs.
     pub fn imbalance(&self) -> f64 {
-        let busy: &[f64] = if self.worker_busy_s.len() > 1 {
+        let busy: &[f64] = if self.worker_busy_s.len() > 1 && self.worker_busy_s[0] == 0.0 {
             &self.worker_busy_s[1..]
         } else {
             &self.worker_busy_s
@@ -124,6 +142,7 @@ impl SchedStats {
         self.duplicate_results += o.duplicate_results;
         self.workers_dead += o.workers_dead;
         self.stale_msgs += o.stale_msgs;
+        self.coordinator_units += o.coordinator_units;
         if self.worker_busy_s.len() < o.worker_busy_s.len() {
             self.worker_busy_s.resize(o.worker_busy_s.len(), 0.0);
         }
@@ -263,7 +282,7 @@ pub fn dynamic_sweep(
         });
     }
     if comm.rank() == 0 {
-        coordinate(comm, epoch, energies, model, opts)
+        coordinate(comm, epoch, energies, model, opts, solve)
     } else {
         work(comm, epoch, opts, solve)
     }
@@ -273,6 +292,20 @@ pub fn dynamic_sweep(
 // Coordinator
 // ---------------------------------------------------------------------------
 
+/// One in-flight copy of a unit: who holds it and when it (last) started.
+/// Tracking copies individually — instead of a single `inflight` count plus
+/// one `assigned_to` rank — is what makes dead-worker reclamation exact: a
+/// worker's death removes *its* copies only, and a unit is re-issued only
+/// when no live copy remains, so a late heartbeat can never re-attribute a
+/// straggler copy to the wrong holder and double-count the re-issue.
+#[derive(Debug, Clone)]
+struct InflightCopy {
+    /// Local rank holding this copy (0 = the solving coordinator).
+    holder: usize,
+    /// Hand-out time, refreshed when the holder's heartbeat lands.
+    started: Instant,
+}
+
 /// Lifecycle of one unit at the coordinator.
 #[derive(Debug, Clone)]
 struct UnitState {
@@ -280,15 +313,12 @@ struct UnitState {
     resolved: bool,
     /// Sitting in the queue awaiting (re-)hand-out.
     queued: bool,
-    /// Copies currently assigned to workers.
-    inflight: usize,
+    /// Copies currently in flight, one entry per holder.
+    copies: Vec<InflightCopy>,
     /// Re-issues spent (failures, stragglers, dead workers combined).
     reissues: usize,
-    /// When the most recent copy started (heartbeat time; hand-out time
-    /// until the heartbeat lands).
-    started: Option<Instant>,
-    /// Local rank of the most recent assignee.
-    assigned_to: usize,
+    /// Local rank of the most recent holder (stamps dead-worker errors).
+    last_holder: usize,
 }
 
 struct WorkerState {
@@ -304,6 +334,7 @@ fn coordinate(
     energies: &[f64],
     model: &mut CostModel,
     opts: &SchedOptions,
+    mut solve: impl FnMut(usize) -> OmenResult<Vec<f64>>,
 ) -> OmenResult<SweepOutcome> {
     let n = energies.len();
     let poll = Duration::from_millis(opts.poll_ms.max(1));
@@ -315,10 +346,9 @@ fn coordinate(
         .map(|_| UnitState {
             resolved: false,
             queued: true,
-            inflight: 0,
+            copies: Vec::new(),
             reissues: 0,
-            started: None,
-            assigned_to: 0,
+            last_holder: 0,
         })
         .collect();
     let mut values: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
@@ -367,9 +397,16 @@ fn coordinate(
                         );
                     }
                     WorkerMsg::Heartbeat { unit, .. } => {
-                        if unit < n && !state[unit].resolved && state[unit].inflight > 0 {
-                            state[unit].started = Some(Instant::now());
-                            state[unit].assigned_to = from;
+                        // Only the heartbeat of a rank actually holding a
+                        // copy refreshes the straggler clock: a late or
+                        // spurious heartbeat from a non-holder must not
+                        // re-attribute the copy (see [`InflightCopy`]).
+                        if unit < n && !state[unit].resolved {
+                            let st = &mut state[unit];
+                            if let Some(c) = st.copies.iter_mut().find(|c| c.holder == from) {
+                                c.started = Instant::now();
+                                st.last_holder = from;
+                            }
                         }
                     }
                     WorkerMsg::Result {
@@ -394,39 +431,77 @@ fn coordinate(
                             workers[from - 1].busy_s += elapsed_s;
                         }
                         let st = &mut state[unit];
-                        st.inflight = st.inflight.saturating_sub(1);
-                        if st.resolved {
-                            stats.duplicate_results += 1;
-                            let _ = model.observe(unit, elapsed_s);
-                        } else {
-                            match outcome {
-                                Ok(v) => {
-                                    let _ = model.observe(unit, elapsed_s);
-                                    values[unit] = Some(v);
-                                    st.resolved = true;
-                                    st.queued = false;
-                                    unresolved -= 1;
-                                }
-                                Err(e) => {
-                                    last_err[unit] = Some(e);
-                                    if st.reissues < opts.max_reissue {
-                                        st.reissues += 1;
-                                        st.queued = true;
-                                        queue.push_front(unit);
-                                        stats.reissued_failed += 1;
-                                    } else if st.inflight == 0 && !st.queued {
-                                        st.resolved = true;
-                                        unresolved -= 1;
-                                    }
-                                    // else: a straggler copy is still in
-                                    // flight or queued; it decides.
-                                }
-                            }
+                        if let Some(pos) = st.copies.iter().position(|c| c.holder == from) {
+                            st.copies.swap_remove(pos);
                         }
+                        fold_outcome(
+                            unit,
+                            elapsed_s,
+                            outcome,
+                            model,
+                            &mut state,
+                            &mut values,
+                            &mut last_err,
+                            &mut queue,
+                            &mut stats,
+                            &mut unresolved,
+                            opts,
+                        );
                     }
                 }
             }
             None => {
+                // Mailbox drained: instead of idling a whole poll window,
+                // the coordinator solves the cheapest queued unit itself.
+                if opts.coordinator_solves {
+                    if let Some(unit) = pop_back_live(&mut queue, &state) {
+                        let t0 = Instant::now();
+                        {
+                            let st = &mut state[unit];
+                            st.queued = false;
+                            st.copies.push(InflightCopy {
+                                holder: 0,
+                                started: t0,
+                            });
+                            st.last_holder = 0;
+                        }
+                        stats.coordinator_units += 1;
+                        let outcome = solve(unit);
+                        let blind = t0.elapsed();
+                        let elapsed_s = blind.as_secs_f64();
+                        stats.worker_busy_s[0] += elapsed_s;
+                        // The coordinator was blind while solving: credit
+                        // every live worker the blind window (capped at
+                        // now) so a heartbeat that queued up meanwhile is
+                        // never mistaken for silence.
+                        let t1 = Instant::now();
+                        for w in workers.iter_mut() {
+                            if !w.dead {
+                                w.last_seen = (w.last_seen + blind).min(t1);
+                            }
+                        }
+                        let st = &mut state[unit];
+                        if let Some(pos) = st.copies.iter().position(|c| c.holder == 0) {
+                            st.copies.swap_remove(pos);
+                        }
+                        fold_outcome(
+                            unit,
+                            elapsed_s,
+                            outcome,
+                            model,
+                            &mut state,
+                            &mut values,
+                            &mut last_err,
+                            &mut queue,
+                            &mut stats,
+                            &mut unresolved,
+                            opts,
+                        );
+                        // Serve the mail that piled up before any liveness
+                        // judgement.
+                        continue;
+                    }
+                }
                 scan_liveness(
                     comm,
                     energies,
@@ -451,7 +526,7 @@ fn coordinate(
             report.record_solved(state[id].reissues);
         } else {
             let err = last_err[id].take().unwrap_or(OmenError::RankFailed {
-                rank: comm.global_rank(state[id].assigned_to),
+                rank: comm.global_rank(state[id].last_holder),
                 detail: "unit lost to a dead worker with re-issue exhausted".to_string(),
             });
             report.record_failed(energies[id], err);
@@ -592,12 +667,76 @@ fn pop_chunk(
         }
         let st = &mut state[u];
         st.queued = false;
-        st.inflight += 1;
-        st.started = Some(Instant::now());
-        st.assigned_to = to;
+        st.copies.push(InflightCopy {
+            holder: to,
+            started: Instant::now(),
+        });
+        st.last_holder = to;
         chunk.push(u);
     }
     chunk
+}
+
+/// Pops the cheapest live unit off the back of the LPT queue (the
+/// solving coordinator's end — short units keep its blind windows short),
+/// discarding stale entries along the way.
+fn pop_back_live(queue: &mut VecDeque<usize>, state: &[UnitState]) -> Option<usize> {
+    while let Some(u) = queue.pop_back() {
+        if !state[u].resolved && state[u].queued {
+            return Some(u);
+        }
+    }
+    None
+}
+
+/// Folds one copy's outcome into the merge: first result wins, typed
+/// failures are re-queued up to `max_reissue` times, and a unit is
+/// abandoned only when no copy remains in flight or queued. Shared by the
+/// wire path (worker results) and the solving coordinator's local path so
+/// both honor the exact same lifecycle.
+#[allow(clippy::too_many_arguments)]
+fn fold_outcome(
+    unit: usize,
+    elapsed_s: f64,
+    outcome: Result<Vec<f64>, OmenError>,
+    model: &mut CostModel,
+    state: &mut [UnitState],
+    values: &mut [Option<Vec<f64>>],
+    last_err: &mut [Option<OmenError>],
+    queue: &mut VecDeque<usize>,
+    stats: &mut SchedStats,
+    unresolved: &mut usize,
+    opts: &SchedOptions,
+) {
+    let st = &mut state[unit];
+    if st.resolved {
+        stats.duplicate_results += 1;
+        let _ = model.observe(unit, elapsed_s);
+        return;
+    }
+    match outcome {
+        Ok(v) => {
+            let _ = model.observe(unit, elapsed_s);
+            values[unit] = Some(v);
+            st.resolved = true;
+            st.queued = false;
+            *unresolved -= 1;
+        }
+        Err(e) => {
+            last_err[unit] = Some(e);
+            if st.reissues < opts.max_reissue {
+                st.reissues += 1;
+                st.queued = true;
+                queue.push_front(unit);
+                stats.reissued_failed += 1;
+            } else if st.copies.is_empty() && !st.queued {
+                st.resolved = true;
+                *unresolved -= 1;
+            }
+            // else: a straggler copy is still in flight or queued; it
+            // decides.
+        }
+    }
 }
 
 /// Poll-timeout housekeeping: declare silent workers dead (re-issuing their
@@ -628,11 +767,17 @@ fn scan_liveness(
         let local = i + 1;
         for u in 0..n {
             let st = &mut state[u];
-            if st.resolved || st.inflight == 0 || st.assigned_to != local {
+            if st.resolved {
                 continue;
             }
-            st.inflight = st.inflight.saturating_sub(1);
-            if st.queued {
+            // Reclaim exactly the dead worker's copies. Re-issue only when
+            // that leaves the unit with no live copy and no queue entry —
+            // a straggler copy on a live rank already covers it, and
+            // counting a second re-issue for a covered unit is the
+            // double-count race this structure exists to prevent.
+            let before = st.copies.len();
+            st.copies.retain(|c| c.holder != local);
+            if st.copies.len() == before || st.queued || !st.copies.is_empty() {
                 continue;
             }
             if st.reissues < opts.max_reissue {
@@ -640,7 +785,7 @@ fn scan_liveness(
                 st.queued = true;
                 queue.push_back(u);
                 stats.reissued_failed += 1;
-            } else if st.inflight == 0 {
+            } else {
                 st.resolved = true;
                 *unresolved -= 1;
                 if last_err[u].is_none() {
@@ -657,12 +802,15 @@ fn scan_liveness(
     }
 
     // Stragglers: a unit in flight far past its predicted time is
-    // speculatively re-queued; whichever copy lands first wins.
+    // speculatively re-queued; whichever copy lands first wins. The clock
+    // is the *youngest* copy — only when every holder has gone quiet past
+    // the bound is another copy worth paying for.
     for (u, st) in state.iter_mut().enumerate() {
-        if st.resolved || st.queued || st.inflight == 0 || st.reissues >= opts.max_reissue {
+        if st.resolved || st.queued || st.copies.is_empty() || st.reissues >= opts.max_reissue {
             continue;
         }
-        let (Some(started), Some(pred)) = (st.started, model.predict_secs(u)) else {
+        let started = st.copies.iter().map(|c| c.started).max().unwrap_or(now);
+        let Some(pred) = model.predict_secs(u) else {
             continue;
         };
         let bound = Duration::from_millis(opts.straggler_min_ms).as_secs_f64()
@@ -803,6 +951,7 @@ pub fn encode_outcome(o: &SweepOutcome) -> Vec<u8> {
         o.stats.duplicate_results,
         o.stats.workers_dead,
         o.stats.stale_msgs,
+        o.stats.coordinator_units,
         o.stats.worker_busy_s.len(),
     ] {
         put_u64(&mut out, v as u64);
@@ -855,6 +1004,7 @@ pub fn decode_outcome(b: &[u8]) -> OmenResult<SweepOutcome> {
         let duplicate_results = r.usize()?;
         let workers_dead = r.usize()?;
         let stale_msgs = r.usize()?;
+        let coordinator_units = r.usize()?;
         let nb = r.usize()?;
         let worker_busy_s = r.f64s(nb)?;
         if !r.done() {
@@ -871,6 +1021,7 @@ pub fn decode_outcome(b: &[u8]) -> OmenResult<SweepOutcome> {
                 duplicate_results,
                 workers_dead,
                 stale_msgs,
+                coordinator_units,
                 worker_busy_s,
             },
         })
@@ -905,7 +1056,8 @@ mod tests {
                 duplicate_results: 1,
                 workers_dead: 0,
                 stale_msgs: 2,
-                worker_busy_s: vec![0.0, 1.5, 2.5],
+                coordinator_units: 1,
+                worker_busy_s: vec![0.25, 1.5, 2.5],
             },
         };
         assert_eq!(decode_outcome(&encode_outcome(&o)).unwrap(), o);
@@ -922,8 +1074,16 @@ mod tests {
             worker_busy_s: vec![0.0, 2.0, 2.0, 4.0],
             ..SchedStats::default()
         };
-        // Coordinator entry excluded: mean 8/3, max 4 → 1.5.
+        // Broker-only coordinator (entry 0 exactly 0.0) excluded:
+        // mean 8/3, max 4 → 1.5.
         assert!((s.imbalance() - 1.5).abs() < 1e-12);
+        // A solving coordinator counts like any other member:
+        // mean 12/4 = 3, max 4 → 4/3.
+        let s = SchedStats {
+            worker_busy_s: vec![4.0, 2.0, 2.0, 4.0],
+            ..SchedStats::default()
+        };
+        assert!((s.imbalance() - 4.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   [`CostModel::band_edge`]) refined by an EWMA ledger of measured solve
 //!   seconds, with a seed→seconds calibration that gates straggler
 //!   detection.
+//! * [`ModelBank`] — sweep-lifetime persistence of those ledgers, keyed by
+//!   (bias, k): SCF re-solves resume their own measurements (*hits*), new
+//!   bias points warm-start from the nearest earlier bias (*warmed*), and
+//!   only a cold grid falls back to seeds ([`BankCounts`] is the witness).
 //! * [`dynamic_sweep`] — the pull-based coordinator/worker engine: chunked
 //!   hand-out over typed, fingerprinted messages ([`proto`]),
 //!   heartbeat-based liveness, bounded re-issue of failed or straggling
@@ -34,7 +38,7 @@ pub mod dynamic;
 pub mod proto;
 pub mod unit;
 
-pub use cost::CostModel;
+pub use cost::{BankCounts, CostModel, ModelBank};
 pub use dynamic::{
     dynamic_sweep, imbalance_ratio, local_sweep, LocalOutcome, SchedOptions, SchedStats,
     SweepOutcome,

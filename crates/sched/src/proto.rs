@@ -24,8 +24,10 @@ pub const TAG_WORK: u64 = 0x5C1;
 
 /// First header byte of every scheduler message.
 const MAGIC: u8 = 0xC5;
-/// Protocol version carried in the second header byte.
-const VERSION: u8 = 1;
+/// Protocol version carried in the second header byte. Version 2 added the
+/// solving coordinator's `coordinator_units` counter to the FIN-payload
+/// stats block, so a v1 peer must reject rather than misparse it.
+const VERSION: u8 = 2;
 
 const KIND_REQUEST: u8 = 1;
 const KIND_HEARTBEAT: u8 = 2;
@@ -698,7 +700,7 @@ mod tests {
         assert!(decode_worker(&[]).is_err());
         assert!(decode_worker(&[0xC5, 1, 99]).is_err());
         assert!(decode_worker(&[0xAA, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
-        assert!(decode_coord(&[0xC5, 2, 4]).is_err(), "wrong version");
+        assert!(decode_coord(&[0xC5, 9, 4]).is_err(), "wrong version");
         // Trailing bytes after a well-formed request are a framing error.
         let mut ok = encode_worker(
             &WorkerMsg::Request {

@@ -8,7 +8,11 @@
 //! outcome's `SweepReport` instead of failing the whole sweep.
 
 use omen_parsim::{run_ranks, run_ranks_with_timeout, Comm};
-use omen_sched::{dynamic_sweep, local_sweep, CostModel, SchedOptions, SweepOutcome};
+use omen_sched::proto::{encode_worker, WorkerMsg, TAG_CTRL};
+use omen_sched::{
+    dynamic_sweep, local_sweep, BankCounts, CostModel, ModelBank, SchedOptions, SweepOutcome,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 const N_UNITS: usize = 24;
@@ -36,6 +40,7 @@ fn opts_fast() -> SchedOptions {
         straggler_factor: 50.0,
         straggler_min_ms: 5_000,
         dead_after_ms: 20_000,
+        coordinator_solves: true,
     }
 }
 
@@ -203,6 +208,7 @@ fn dead_worker_is_isolated_and_its_units_rescheduled() {
         straggler_factor: 1_000.0,
         straggler_min_ms: 60_000, // keep straggler logic out of this test
         dead_after_ms: 150,
+        coordinator_solves: false, // pin exact re-issue accounting
     };
     let wedge = Duration::from_secs(2);
     let out = run_ranks_with_timeout(4, Duration::from_millis(400), |ctx| {
@@ -259,6 +265,7 @@ fn straggler_copy_is_speculatively_reissued_first_result_wins() {
         straggler_factor: 10.0,
         straggler_min_ms: 60,
         dead_after_ms: 30_000,
+        coordinator_solves: false, // the 600 ms wedge must stay on a worker
     };
     let out = run_ranks(4, |ctx| {
         let world = Comm::world(ctx);
@@ -290,6 +297,216 @@ fn straggler_copy_is_speculatively_reissued_first_result_wins() {
             let got = o.values[id].as_deref().unwrap();
             for (a, b) in got.iter().zip(payload(id).iter()) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn solving_coordinator_executes_units_and_stays_bit_identical() {
+    // With `coordinator_solves` on and slow workers, the coordinator's idle
+    // poll windows pick units off the cheap end of the queue. The merged
+    // values must stay bit-identical to the serial reference, and the
+    // stats must witness the coordinator's own work.
+    let es = energies();
+    let serial = {
+        let mut model = CostModel::band_edge(N_UNITS, 2.0);
+        local_sweep(&es, &mut model, |id| Ok(payload(id)))
+    };
+    for ranks in [2usize, 4] {
+        let outs = run_dynamic(ranks, opts_fast(), |rank, _| {
+            if rank == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(10)
+            }
+        });
+        for o in &outs {
+            assert_eq!(o.report.solved, N_UNITS);
+            assert!(o.report.failed.is_empty());
+            if ranks == 2 {
+                // One slow worker guarantees idle poll windows: the
+                // coordinator must have solved units itself.
+                assert!(
+                    o.stats.coordinator_units >= 1,
+                    "coordinator solved nothing: {:?}",
+                    o.stats
+                );
+                assert!(o.stats.worker_busy_s[0] > 0.0);
+            }
+            for id in 0..N_UNITS {
+                let got = o.values[id].as_deref().unwrap();
+                let want = serial.values[id].as_deref().unwrap();
+                for (a, b) in got.iter().zip(want.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "unit {id} not bit-identical");
+                }
+            }
+        }
+        assert!(outs.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+#[test]
+fn dead_worker_heartbeat_race_does_not_double_count_reissues() {
+    // Regression for the heartbeat/dead-worker race: a worker that
+    // heartbeats a unit it does not hold and then goes silent must not
+    // cause that unit to be re-issued when it is declared dead — only the
+    // dying rank's own in-flight copy is reclaimed. The old bookkeeping
+    // kept a single `assigned_to` rank per unit, so the spurious heartbeat
+    // re-attributed the covered unit to the dying rank and its death
+    // double-counted the re-issue (and spawned a duplicate copy).
+    const N: usize = 8;
+    let es: Vec<f64> = (0..N).map(|i| i as f64 * 0.1).collect();
+    let opts = SchedOptions {
+        chunk_max: 1,
+        max_reissue: 2,
+        poll_ms: 2,
+        straggler_factor: 1_000.0,
+        straggler_min_ms: 60_000, // keep straggler logic out of this test
+        dead_after_ms: 350,
+        coordinator_solves: false, // pin exact re-issue accounting
+    };
+    let attempts = AtomicUsize::new(0);
+    let second_holder = AtomicUsize::new(usize::MAX);
+    let wedger = AtomicUsize::new(usize::MAX);
+    let out = run_ranks_with_timeout(3, Duration::from_millis(400), |ctx| {
+        let world = Comm::world(ctx);
+        let me = ctx.rank();
+        let mut model = CostModel::uniform(N);
+        // First sweep on a fresh communicator: epoch 1 (what the injected
+        // heartbeats below must carry to pass the coordinator's gate).
+        dynamic_sweep(&world, &es, &mut model, &opts, |id| {
+            if id == 0 {
+                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    // First copy fails fast: re-issue #1.
+                    std::thread::sleep(Duration::from_millis(50));
+                    return Err(omen_num::OmenError::LeadNotConverged {
+                        energy: es[0],
+                        iters: 1,
+                    });
+                }
+                // Second copy: a long solve that stays visibly alive by
+                // re-heartbeating its own unit (the legitimate refresh).
+                second_holder.store(me, Ordering::SeqCst);
+                for _ in 0..6 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    world.send(
+                        0,
+                        TAG_CTRL,
+                        encode_worker(&WorkerMsg::Heartbeat { epoch: 1, unit: 0 }, me),
+                    );
+                }
+                return Ok(payload(0));
+            }
+            let holder = second_holder.load(Ordering::SeqCst);
+            if holder != usize::MAX
+                && holder != me
+                && wedger
+                    .compare_exchange(usize::MAX, me, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                // Spurious heartbeat for a unit this rank does NOT hold,
+                // then permanent silence — this rank is declared dead while
+                // the true copy of unit 0 is still in flight.
+                world.send(
+                    0,
+                    TAG_CTRL,
+                    encode_worker(&WorkerMsg::Heartbeat { epoch: 1, unit: 0 }, me),
+                );
+                std::thread::sleep(Duration::from_millis(2_500));
+            } else {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Ok(payload(id))
+        })
+        .unwrap()
+    });
+    let mut healthy = 0;
+    for (rank, r) in out.results.into_iter().enumerate() {
+        match r {
+            Ok(o) => {
+                healthy += 1;
+                assert_eq!(o.report.solved, N, "rank {rank}: all units solve");
+                assert!(o.report.failed.is_empty());
+                assert_eq!(o.stats.workers_dead, 1);
+                // Exactly two re-issues: the failed first copy of unit 0
+                // plus the dead worker's own in-flight unit. The spurious
+                // heartbeat must not add a third, and no duplicate copy of
+                // unit 0 may ever be spawned.
+                assert_eq!(o.stats.reissued_failed, 2, "rank {rank}: {:?}", o.stats);
+                assert_eq!(o.stats.reissued_straggler, 0, "rank {rank}: {:?}", o.stats);
+                assert_eq!(o.stats.duplicate_results, 0, "rank {rank}: {:?}", o.stats);
+                for id in 0..N {
+                    let got = o.values[id].as_deref().unwrap();
+                    for (a, b) in got.iter().zip(payload(id).iter()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+            Err(e) => {
+                assert_eq!(
+                    rank,
+                    wedger.load(Ordering::SeqCst),
+                    "only the wedged worker may fail: {e}"
+                );
+            }
+        }
+    }
+    assert!(healthy >= 2, "coordinator and the true holder both finish");
+}
+
+#[test]
+fn warm_cost_models_keep_merged_sweeps_bit_identical() {
+    // Sweep-lifetime persistence must never leak into values: a sweep
+    // scheduled from a warm (measured) model is bit-identical to the
+    // cold-seeded sweep of the same pure solve, and the bank's counters
+    // witness that the warm path actually ran.
+    let es = energies();
+    let opts = opts_fast();
+    let out = run_ranks(3, |ctx| {
+        let world = Comm::world(ctx);
+        let mut bank = ModelBank::new();
+        let seed = || CostModel::band_edge(N_UNITS, 2.0);
+        let mut cold = bank.checkout(0, 0, N_UNITS, seed);
+        let first = dynamic_sweep(&world, &es, &mut cold, &opts, |id| {
+            std::thread::sleep(Duration::from_micros(((id * 37) % 11) as u64 * 120));
+            Ok(payload(id))
+        })
+        .unwrap();
+        bank.commit(0, 0, cold);
+        let cold_counts = bank.take_counts();
+        // Next bias point, same k: warm-started from bias 0's ledger.
+        let mut warm = bank.checkout(1, 0, N_UNITS, seed);
+        let second = dynamic_sweep(&world, &es, &mut warm, &opts, |id| Ok(payload(id))).unwrap();
+        bank.commit(1, 0, warm);
+        (first, second, cold_counts, bank.take_counts())
+    });
+    for r in out.results {
+        let (first, second, cold_counts, warm_counts) = r.unwrap();
+        assert_eq!(
+            cold_counts,
+            BankCounts {
+                hits: 0,
+                warmed: 0,
+                seeded: 1
+            }
+        );
+        assert_eq!(
+            warm_counts,
+            BankCounts {
+                hits: 0,
+                warmed: 1,
+                seeded: 0
+            }
+        );
+        assert_eq!(first.report.solved, N_UNITS);
+        assert_eq!(second.report.solved, N_UNITS);
+        for id in 0..N_UNITS {
+            let a = first.values[id].as_deref().unwrap();
+            let b = second.values[id].as_deref().unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "unit {id} cold vs warm");
             }
         }
     }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic  4 B   b"OMSV"
-//! ver    2 B   u16 LE, currently 1
+//! ver    2 B   u16 LE, currently 2
 //! kind   1 B   frame discriminant
 //! len    4 B   u32 LE payload length, <= 16 MiB
 //! body   len B kind-specific payload (all integers LE, floats as
@@ -24,8 +24,9 @@ use std::io::Read;
 
 /// Frame magic: "OMSV" (OMen SerVe).
 pub const MAGIC: [u8; 4] = *b"OMSV";
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version. Version 2 added `cache_evictions` to the
+/// `StatsReply` payload when the result cache became a bounded LRU.
+pub const VERSION: u16 = 2;
 /// Maximum payload bytes one frame may carry.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// Fixed header size (magic + version + kind + length).
@@ -88,6 +89,9 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Submissions that joined an in-flight identical job.
     pub dedupe_joins: u64,
+    /// Finished results evicted from the bounded LRU cache to stay
+    /// within the byte budget.
+    pub cache_evictions: u64,
     /// Jobs currently queued.
     pub queued: u64,
     /// Jobs currently being solved.
@@ -260,6 +264,7 @@ impl Frame {
                 e.u64(s.solves_started);
                 e.u64(s.cache_hits);
                 e.u64(s.dedupe_joins);
+                e.u64(s.cache_evictions);
                 e.u64(s.queued);
                 e.u64(s.running);
             }
@@ -403,6 +408,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> OmenResult<Frame> {
             solves_started: d.u64()?,
             cache_hits: d.u64()?,
             dedupe_joins: d.u64()?,
+            cache_evictions: d.u64()?,
             queued: d.u64()?,
             running: d.u64()?,
         }),
@@ -616,6 +622,7 @@ mod tests {
                 solves_started: 4,
                 cache_hits: 3,
                 dedupe_joins: 3,
+                cache_evictions: 5,
                 queued: 1,
                 running: 2,
             }),

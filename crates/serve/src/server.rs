@@ -50,6 +50,12 @@ pub struct ServerConfig {
     /// Maximum jobs queued (waiting, not running) across all clients;
     /// submissions beyond this get a typed `Busy`.
     pub queue_capacity: usize,
+    /// Byte budget for the finished-result cache. Least-recently-used
+    /// results are evicted once stored payload bytes exceed it; a single
+    /// payload larger than the whole budget is never cached (it would
+    /// empty the cache and still not fit). In-flight dedupe is
+    /// unaffected — it keys on the job table, not the cache.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 2,
             queue_capacity: 64,
+            cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -94,6 +101,14 @@ struct Counters {
     solves_started: u64,
     cache_hits: u64,
     dedupe_joins: u64,
+    cache_evictions: u64,
+}
+
+/// One finished result in the bounded cache, tagged with its recency
+/// tick (the key into the LRU index).
+struct CacheEntry {
+    bytes: Arc<Vec<u8>>,
+    tick: u64,
 }
 
 struct State {
@@ -106,11 +121,67 @@ struct State {
     running: usize,
     /// Queued or running jobs by content address (the dedupe table).
     inflight: HashMap<u128, Arc<Job>>,
-    /// Finished results by content address.
-    cache: HashMap<u128, Arc<Vec<u8>>>,
+    /// Finished results by content address, LRU-bounded by
+    /// [`ServerConfig::cache_bytes`].
+    cache: HashMap<u128, CacheEntry>,
+    /// Recency index: tick → content address, oldest first. Ticks are
+    /// drawn from `next_tick`, so every entry's tick is unique.
+    lru: BTreeMap<u64, u128>,
+    /// Payload bytes currently cached.
+    cache_used: usize,
+    next_tick: u64,
     counters: Counters,
     draining: bool,
     next_job_id: u64,
+}
+
+impl State {
+    /// Cache lookup that refreshes the entry's recency.
+    fn cache_get(&mut self, key: u128) -> Option<Arc<Vec<u8>>> {
+        let tick = self.next_tick;
+        let entry = self.cache.get_mut(&key)?;
+        self.next_tick += 1;
+        self.lru.remove(&entry.tick);
+        entry.tick = tick;
+        self.lru.insert(tick, key);
+        Some(Arc::clone(&entry.bytes))
+    }
+
+    /// Inserts a finished result, evicting least-recently-used entries
+    /// until the cache fits `budget`. Returns how many were evicted.
+    /// The fresh entry holds the newest tick, so it is never the
+    /// eviction victim — oversized payloads are rejected up front.
+    fn cache_insert(&mut self, key: u128, bytes: Arc<Vec<u8>>, budget: usize) -> u64 {
+        if bytes.len() > budget {
+            return 0;
+        }
+        if let Some(old) = self.cache.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.cache_used -= old.bytes.len();
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.cache_used += bytes.len();
+        self.cache.insert(key, CacheEntry { bytes, tick });
+        self.lru.insert(tick, key);
+        let mut evicted = 0u64;
+        while self.cache_used > budget {
+            // An over-budget cache always has a resident entry, so the
+            // breaks never fire; they keep an (impossible) bookkeeping
+            // desync from looping forever instead of panicking a worker.
+            let Some((&t, &k)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&t);
+            let Some(e) = self.cache.remove(&k) else {
+                break;
+            };
+            self.cache_used -= e.bytes.len();
+            evicted += 1;
+        }
+        self.counters.cache_evictions += evicted;
+        evicted
+    }
 }
 
 struct Shared {
@@ -141,6 +212,7 @@ impl Shared {
             solves_started: st.counters.solves_started,
             cache_hits: st.counters.cache_hits,
             dedupe_joins: st.counters.dedupe_joins,
+            cache_evictions: st.counters.cache_evictions,
             queued: st.queued as u64,
             running: st.running as u64,
         }
@@ -164,7 +236,7 @@ impl Shared {
             ));
         }
         let job_id = st.next_job_id;
-        if let Some(bytes) = st.cache.get(&key).cloned() {
+        if let Some(bytes) = st.cache_get(key) {
             st.counters.jobs_accepted += 1;
             st.counters.cache_hits += 1;
             st.next_job_id += 1;
@@ -295,7 +367,17 @@ impl Shared {
                 st.inflight.remove(&job.key);
                 st.running -= 1;
                 if let Ok(bytes) = &finished {
-                    st.cache.insert(job.key, Arc::new(bytes.clone()));
+                    let evicted =
+                        st.cache_insert(job.key, Arc::new(bytes.clone()), self.cfg.cache_bytes);
+                    if evicted > 0 {
+                        let (used, total) = (st.cache_used, st.counters.cache_evictions);
+                        drop(st);
+                        crate::log_line(&format!(
+                            "serve cache: evicted {evicted} result(s) to fit {} B budget \
+                             ({used} B cached, {total} evictions total)",
+                            self.cfg.cache_bytes,
+                        ));
+                    }
                 }
             }
             let final_frame = match finished {
@@ -425,6 +507,9 @@ impl Server {
                 running: 0,
                 inflight: HashMap::new(),
                 cache: HashMap::new(),
+                lru: BTreeMap::new(),
+                cache_used: 0,
+                next_tick: 0,
                 counters: Counters::default(),
                 draining: false,
                 next_job_id: 1,
@@ -457,9 +542,10 @@ impl Server {
             }
         });
         crate::log_line(&format!(
-            "serve listening on {local} ({} workers, queue capacity {})",
+            "serve listening on {local} ({} workers, queue capacity {}, cache budget {} B)",
             cfg.workers.max(1),
-            cfg.queue_capacity
+            cfg.queue_capacity,
+            cfg.cache_bytes
         ));
         Ok(Server {
             shared,
@@ -639,6 +725,9 @@ mod tests {
             running: 0,
             inflight: HashMap::new(),
             cache: HashMap::new(),
+            lru: BTreeMap::new(),
+            cache_used: 0,
+            next_tick: 0,
             counters: Counters::default(),
             draining: false,
             next_job_id: 1,
@@ -663,6 +752,35 @@ mod tests {
         assert_eq!(st.running, 5);
         assert_eq!(st.counters.solves_started, 5);
         assert!(st.queues.is_empty(), "drained queues are removed");
+    }
+
+    #[test]
+    fn cache_lru_evicts_by_recency_within_byte_budget() {
+        let mut st = state_with(&[]);
+        let budget = 100;
+        assert_eq!(st.cache_insert(1, Arc::new(vec![0u8; 40]), budget), 0);
+        assert_eq!(st.cache_insert(2, Arc::new(vec![0u8; 40]), budget), 0);
+        // Third 40-byte entry overflows the 100-byte budget: the least
+        // recently used (key 1) goes.
+        assert_eq!(st.cache_insert(3, Arc::new(vec![0u8; 40]), budget), 1);
+        assert!(st.cache_get(1).is_none(), "oldest entry evicted");
+        assert!(st.cache_get(2).is_some());
+        assert!(st.cache_get(3).is_some());
+        assert_eq!(st.cache_used, 80);
+        assert_eq!(st.counters.cache_evictions, 1);
+        // A hit refreshes recency: after touching 2, inserting 4 evicts 3.
+        let _ = st.cache_get(2);
+        assert_eq!(st.cache_insert(4, Arc::new(vec![0u8; 40]), budget), 1);
+        assert!(st.cache_get(3).is_none(), "hit on 2 made 3 the victim");
+        assert!(st.cache_get(2).is_some());
+        // Replacing a resident key swaps bytes without double counting.
+        assert_eq!(st.cache_insert(4, Arc::new(vec![0u8; 10]), budget), 0);
+        assert_eq!(st.cache_used, 50);
+        // A payload over the whole budget is never cached, evicts nothing.
+        assert_eq!(st.cache_insert(9, Arc::new(vec![0u8; 101]), budget), 0);
+        assert!(st.cache_get(9).is_none());
+        assert_eq!(st.counters.cache_evictions, 2);
+        assert_eq!(st.lru.len(), st.cache.len(), "indexes stay aligned");
     }
 
     #[test]

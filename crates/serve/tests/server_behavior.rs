@@ -115,6 +115,7 @@ fn identical_concurrent_submissions_share_one_solve() {
         ServerConfig {
             workers: 2,
             queue_capacity: 8,
+            ..ServerConfig::default()
         },
         counting_executor(Arc::clone(&solves), Some(Arc::clone(&gate))),
     );
@@ -177,6 +178,7 @@ fn bounded_queue_yields_typed_busy() {
         ServerConfig {
             workers: 1,
             queue_capacity: 1,
+            ..ServerConfig::default()
         },
         counting_executor(Arc::new(AtomicUsize::new(0)), Some(Arc::clone(&gate))),
     );
@@ -225,6 +227,7 @@ fn worker_panic_is_caught_typed_and_server_keeps_serving() {
         ServerConfig {
             workers: 1,
             queue_capacity: 4,
+            ..ServerConfig::default()
         },
         executor,
     );
@@ -335,6 +338,50 @@ fn failed_points_surface_in_streamed_frames() {
     assert_eq!(out.progress[0].failed, 0);
     assert_eq!(out.progress[1].failed, 1, "failure visible in its frame");
     assert_eq!(out.progress[2].failed, 1, "ledger is cumulative");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn result_cache_is_lru_bounded_by_byte_budget() {
+    // Fixed 1000-byte payloads against a 2500-byte budget: two results
+    // fit, the third evicts the least recently used — and an evicted
+    // request is a fresh re-solve, while the dedupe/cache-hit paths for
+    // resident entries are untouched.
+    let executor: Executor = Arc::new(|req, _on_progress| Ok(vec![req.slabs as u8; 1000]));
+    let server = spawn(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_bytes: 2500,
+        },
+        executor,
+    );
+    let mut c = connect(&server);
+    for slabs in [6, 7, 8] {
+        let out = c
+            .submit_and_wait(&format!("slabs = {slabs}\n"))
+            .expect("job runs");
+        assert_eq!(out.disposition, Disposition::Fresh);
+    }
+    // Inserting the third result pushed the cache to 3000 B: the oldest
+    // entry (slabs = 6) was evicted.
+    assert_eq!(server.stats().cache_evictions, 1);
+    // Resident entries still hit (and refresh their recency).
+    let out = c.submit_and_wait("slabs = 7\n").expect("cache hit");
+    assert_eq!(out.disposition, Disposition::Cached);
+    assert_eq!(out.payload, vec![7u8; 1000], "hit payload bit-identical");
+    // The evicted request is solved afresh...
+    let out = c.submit_and_wait("slabs = 6\n").expect("re-solve");
+    assert_eq!(out.disposition, Disposition::Fresh);
+    // ...whose insert evicts the now-least-recent slabs = 8 (7 was
+    // touched by the hit above), not the freshly touched entry.
+    let out = c.submit_and_wait("slabs = 7\n").expect("still cached");
+    assert_eq!(out.disposition, Disposition::Cached);
+    let s = server.stats();
+    assert_eq!(s.solves_started, 4, "eviction costs exactly one re-solve");
+    assert_eq!(s.cache_evictions, 2);
+    assert_eq!(s.cache_hits, 2);
+    assert_eq!(s.dedupe_joins, 0, "dedupe path unaffected by the LRU");
     server.shutdown_and_join();
 }
 

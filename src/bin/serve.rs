@@ -35,6 +35,11 @@ fn parse_args(args: &[String]) -> Result<(String, ServerConfig), String> {
                     .parse()
                     .map_err(|_| "--queue: expected an integer".to_string())?;
             }
+            "--cache-bytes" => {
+                cfg.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-bytes: expected a byte count".to_string())?;
+            }
             f => return Err(format!("unknown flag `{f}`")),
         }
     }
@@ -47,7 +52,9 @@ fn main() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--queue N]");
+            eprintln!(
+                "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-bytes N]"
+            );
             std::process::exit(2);
         }
     };
@@ -60,10 +67,12 @@ fn main() {
         }
     };
     println!(
-        "serve: listening on {} ({} workers, queue capacity {}); stop with `serve_client {} shutdown`",
+        "serve: listening on {} ({} workers, queue capacity {}, cache budget {} B); \
+         stop with `serve_client {} shutdown`",
         server.addr(),
         cfg.workers,
         cfg.queue_capacity,
+        cfg.cache_bytes,
         server.addr(),
     );
     // Blocks until a client-initiated drain completes.
@@ -88,11 +97,15 @@ mod tests {
             "7",
             "--queue",
             "3",
+            "--cache-bytes",
+            "4096",
         ]))
         .expect("parses");
         assert_eq!(addr, "0.0.0.0:9000");
         assert_eq!(cfg.workers, 7);
         assert_eq!(cfg.queue_capacity, 3);
+        assert_eq!(cfg.cache_bytes, 4096);
+        assert!(parse_args(&strs(&["--cache-bytes", "lots"])).is_err());
         assert!(parse_args(&strs(&["--bogus"])).is_err());
         assert!(parse_args(&strs(&["--workers"])).is_err());
         assert!(parse_args(&strs(&["--workers", "many"])).is_err());

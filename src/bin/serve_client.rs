@@ -79,12 +79,13 @@ fn main() {
             let s = c.stats().unwrap_or_else(|e| fail(e));
             println!(
                 "jobs_accepted={} busy_rejections={} solves_started={} cache_hits={} \
-                 dedupe_joins={} queued={} running={}",
+                 dedupe_joins={} cache_evictions={} queued={} running={}",
                 s.jobs_accepted,
                 s.busy_rejections,
                 s.solves_started,
                 s.cache_hits,
                 s.dedupe_joins,
+                s.cache_evictions,
                 s.queued,
                 s.running,
             );

@@ -34,6 +34,7 @@ fn service_end_to_end_with_real_solver() {
         ServerConfig {
             workers: 2,
             queue_capacity: 16,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
